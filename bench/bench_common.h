@@ -1,0 +1,114 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Every experiment binary accepts environment overrides so the suite can
+// be run at laptop scale (defaults) or closer to paper scale:
+//   STAQ_BENCH_SCALE  linear zone/POI count multiplier (default 0.25;
+//                     1.0 reproduces the paper's 3217/1014 zone counts)
+//   STAQ_BENCH_RATE   TODAM start-time samples per hour (default 12;
+//                     the paper's matrices correspond to ~30)
+//   STAQ_BENCH_SEED   master seed (default 42)
+//   STAQ_BENCH_OUT    directory for CSV outputs (default ".")
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/access_query.h"
+#include "core/pipeline.h"
+#include "synth/city_builder.h"
+#include "util/csv.h"
+#include "util/stopwatch.h"
+
+namespace staq::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("STAQ_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 0.25;
+}
+
+inline int BenchRate() {
+  const char* env = std::getenv("STAQ_BENCH_RATE");
+  return env != nullptr ? std::atoi(env) : 12;
+}
+
+inline uint64_t BenchSeed() {
+  const char* env = std::getenv("STAQ_BENCH_SEED");
+  return env != nullptr ? std::strtoull(env, nullptr, 10) : 42;
+}
+
+inline std::string OutDir() {
+  const char* env = std::getenv("STAQ_BENCH_OUT");
+  return env != nullptr ? env : ".";
+}
+
+/// The β grid of the paper's sweeps (Figs. 3-4, Table II).
+inline std::vector<double> PaperBudgets() {
+  return {0.03, 0.05, 0.07, 0.10, 0.20, 0.30};
+}
+
+/// The four POI categories in paper order.
+inline std::vector<synth::PoiCategory> PaperCategories() {
+  return {synth::PoiCategory::kSchool, synth::PoiCategory::kHospital,
+          synth::PoiCategory::kVaxCenter, synth::PoiCategory::kJobCenter};
+}
+
+/// One evaluation city with its pipeline and calibrated gravity settings.
+/// The city lives behind a unique_ptr so the pipeline's pointer to it stays
+/// valid when a BenchCity is moved (e.g. into a vector).
+struct BenchCity {
+  std::string name;
+  std::unique_ptr<synth::City> city;
+  std::unique_ptr<core::SsrPipeline> pipeline;
+  core::GravityConfig gravity;
+};
+
+inline BenchCity MakeBenchCity(const synth::CitySpec& spec) {
+  BenchCity bc;
+  bc.name = spec.name;
+  auto built = synth::BuildCity(spec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "city build failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  bc.city = std::make_unique<synth::City>(std::move(built).value());
+  bc.pipeline = std::make_unique<core::SsrPipeline>(bc.city.get(),
+                                                    gtfs::WeekdayAmPeak());
+  bc.gravity = core::CalibratedGravityConfig(spec);
+  bc.gravity.sample_rate_per_hour = BenchRate();
+  return bc;
+}
+
+/// Both evaluation cities at the configured scale.
+inline std::vector<BenchCity> MakeBothCities() {
+  std::vector<BenchCity> cities;
+  cities.push_back(
+      MakeBenchCity(synth::CitySpec::Brindale(BenchScale(), BenchSeed())));
+  cities.push_back(
+      MakeBenchCity(synth::CitySpec::Covely(BenchScale(), BenchSeed() + 1)));
+  return cities;
+}
+
+/// Writes a CSV next to printing it; failures are reported but non-fatal.
+inline void EmitCsv(const util::CsvTable& table, const std::string& filename) {
+  std::string path = OutDir() + "/" + filename;
+  auto status = table.WriteFile(path);
+  if (status.ok()) {
+    std::printf("  -> wrote %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "  (csv write failed: %s)\n",
+                 status.ToString().c_str());
+  }
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("  scale=%.2f  rate=%d/hr  seed=%llu\n", BenchScale(),
+              BenchRate(), static_cast<unsigned long long>(BenchSeed()));
+  std::printf("================================================================\n");
+}
+
+}  // namespace staq::bench

@@ -1,0 +1,143 @@
+// Micro-benchmarks for the offline structures and online feature
+// extraction (§IV-A/B, complexity analysis §IV-E): isochrone computation,
+// hop-tree construction, interchange identification, and per-OD / per-zone
+// feature extraction.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/features.h"
+#include "core/hoptree.h"
+#include "core/interchange.h"
+#include "core/isochrone.h"
+#include "util/rng.h"
+
+namespace staq::bench {
+namespace {
+
+struct FeatureFixture {
+  explicit FeatureFixture(synth::CitySpec spec)
+      : city(std::move(synth::BuildCity(spec)).value()),
+        isochrones(city, core::IsochroneConfig{}),
+        trees(city, isochrones, gtfs::WeekdayAmPeak()),
+        extractor(&city, &isochrones, &trees) {}
+
+  synth::City city;
+  core::IsochroneSet isochrones;
+  core::HopTreeSet trees;
+  core::FeatureExtractor extractor;
+};
+
+FeatureFixture& Fixture() {
+  static FeatureFixture* fixture =
+      new FeatureFixture(synth::CitySpec::Brindale(BenchScale(), BenchSeed()));
+  return *fixture;
+}
+
+void BM_IsochroneSingle(benchmark::State& state) {
+  FeatureFixture& f = Fixture();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    uint32_t z = static_cast<uint32_t>(rng.UniformU64(f.city.zones.size()));
+    geo::Polygon iso = core::WalkingIsochrone(f.city.road, f.city.zone_node[z],
+                                              core::IsochroneConfig{});
+    benchmark::DoNotOptimize(iso.size());
+  }
+}
+BENCHMARK(BM_IsochroneSingle)->Unit(benchmark::kMicrosecond);
+
+void BM_IsochroneSetBuild(benchmark::State& state) {
+  FeatureFixture& f = Fixture();
+  for (auto _ : state) {
+    core::IsochroneSet set(f.city, core::IsochroneConfig{});
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.counters["zones"] = static_cast<double>(f.city.zones.size());
+}
+BENCHMARK(BM_IsochroneSetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_HopTreeSetBuild(benchmark::State& state) {
+  // The paper's offline pre-computation phase for one time interval.
+  FeatureFixture& f = Fixture();
+  for (auto _ : state) {
+    core::HopTreeSet trees(f.city, f.isochrones, gtfs::WeekdayAmPeak());
+    benchmark::DoNotOptimize(trees.num_zones());
+  }
+  state.counters["zones"] = static_cast<double>(f.city.zones.size());
+}
+BENCHMARK(BM_HopTreeSetBuild)->Unit(benchmark::kMillisecond);
+
+void BM_HopTreeRetrieval(benchmark::State& state) {
+  // §IV-A claims O(1) retrieval; this is the lookup plus a leaf Find.
+  FeatureFixture& f = Fixture();
+  util::Rng rng(2);
+  for (auto _ : state) {
+    uint32_t z = static_cast<uint32_t>(rng.UniformU64(f.city.zones.size()));
+    uint32_t target =
+        static_cast<uint32_t>(rng.UniformU64(f.city.zones.size()));
+    const core::HopTree& tree = f.trees.Outbound(z);
+    benchmark::DoNotOptimize(tree.Find(target));
+  }
+}
+BENCHMARK(BM_HopTreeRetrieval)->Unit(benchmark::kNanosecond);
+
+void BM_InterchangeIdentification(benchmark::State& state) {
+  // §IV-B1: k-NN (k=1) over the inbound leaves per outbound leaf.
+  FeatureFixture& f = Fixture();
+  util::Rng rng(3);
+  for (auto _ : state) {
+    uint32_t o = static_cast<uint32_t>(rng.UniformU64(f.city.zones.size()));
+    uint32_t d = static_cast<uint32_t>(rng.UniformU64(f.city.zones.size()));
+    auto ics = core::FindInterchanges(f.trees.Outbound(o), f.trees.Inbound(d),
+                                      f.isochrones);
+    benchmark::DoNotOptimize(ics.size());
+  }
+}
+BENCHMARK(BM_InterchangeIdentification)->Unit(benchmark::kMicrosecond);
+
+void BM_OdFeatureVector(benchmark::State& state) {
+  // The full per-(z_i, p_j) online feature computation of §IV-B2.
+  FeatureFixture& f = Fixture();
+  util::Rng rng(4);
+  double out[core::kNumFeatures];
+  for (auto _ : state) {
+    uint32_t z = static_cast<uint32_t>(rng.UniformU64(f.city.zones.size()));
+    const synth::Poi& poi =
+        f.city.pois[rng.UniformU64(f.city.pois.size())];
+    f.extractor.ExtractOd(z, poi, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+}
+BENCHMARK(BM_OdFeatureVector)->Unit(benchmark::kMicrosecond);
+
+void BM_ZoneFeatureMatrix(benchmark::State& state) {
+  // Aggregated |Z| x d matrix over the vax-centre POI set.
+  FeatureFixture& f = Fixture();
+  auto pois = f.city.PoisOf(synth::PoiCategory::kVaxCenter);
+  auto alpha = core::AttractivenessMatrix(f.city.zones, pois, 3000);
+  for (auto _ : state) {
+    ml::Matrix features = f.extractor.ExtractZoneMatrix(pois, alpha);
+    benchmark::DoNotOptimize(features.row(0));
+  }
+  state.counters["zones"] = static_cast<double>(f.city.zones.size());
+  state.counters["pois"] = static_cast<double>(pois.size());
+}
+BENCHMARK(BM_ZoneFeatureMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_GravityTodamBuild(benchmark::State& state) {
+  FeatureFixture& f = Fixture();
+  auto pois = f.city.PoisOf(synth::PoiCategory::kSchool);
+  core::GravityConfig gravity = core::CalibratedGravityConfig(f.city.spec);
+  gravity.sample_rate_per_hour = BenchRate();
+  core::TodamBuilder builder(f.city.zones, pois, gtfs::WeekdayAmPeak(),
+                             gravity);
+  for (auto _ : state) {
+    core::Todam todam = builder.BuildGravity(BenchSeed());
+    benchmark::DoNotOptimize(todam.num_trips());
+  }
+}
+BENCHMARK(BM_GravityTodamBuild)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace staq::bench
+
+BENCHMARK_MAIN();

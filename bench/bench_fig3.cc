@@ -1,0 +1,87 @@
+// Fig. 3 — Journey-time (JT) errors of the SSR solution: mean-absolute
+// error of predicted zone MAC (in minutes) for every model x labeling
+// budget x POI type x city.
+//
+// The paper reports heat-grids per (city, POI type) with models on one
+// axis and budgets on the other; this bench prints the same grids and
+// writes a long-form CSV.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace staq::bench {
+namespace {
+
+int Main() {
+  PrintHeader("Fig. 3: JT mean-absolute error across models and budgets");
+  util::CsvTable csv({"city", "poi", "model", "beta", "jt_mae_min",
+                      "mac_corr", "spqs", "ground_truth_spqs"});
+
+  auto budgets = PaperBudgets();
+  auto models = ml::AllModelKinds();
+
+  for (BenchCity& bc : MakeBothCities()) {
+    for (synth::PoiCategory category : PaperCategories()) {
+      auto pois = bc.city->PoisOf(category);
+      core::Todam todam =
+          bc.pipeline->BuildGravityTodam(pois, bc.gravity, BenchSeed());
+      core::GroundTruth truth = bc.pipeline->ComputeGroundTruth(
+          pois, todam, core::CostKind::kJourneyTime);
+
+      // Features are identical across budgets and models: extract once.
+      util::Stopwatch feature_watch;
+      ml::Matrix features = bc.pipeline->feature_extractor().ExtractZoneMatrix(
+          pois, todam.alpha());
+      double features_s = feature_watch.ElapsedSeconds();
+
+      std::printf("\n%s / %s  (|P|=%zu, |M_g|=%llu, walk-only=%.1f%%)\n",
+                  bc.name.c_str(), synth::PoiCategoryName(category),
+                  pois.size(),
+                  static_cast<unsigned long long>(todam.num_trips()),
+                  100 * truth.walk_only_fraction);
+      std::printf("%-7s", "model");
+      for (double beta : budgets) std::printf("  b=%-4.0f%%", beta * 100);
+      std::printf("   (JT MAE, minutes)\n");
+
+      for (ml::ModelKind model : models) {
+        std::printf("%-7s", ml::ModelKindName(model));
+        for (double beta : budgets) {
+          core::PipelineConfig config;
+          config.beta = beta;
+          config.model = model;
+          config.cost = core::CostKind::kJourneyTime;
+          config.seed = BenchSeed();
+          auto run = bc.pipeline->Run(pois, todam, config, &features,
+                                      features_s);
+          if (!run.ok()) {
+            std::printf("  %7s", "err");
+            continue;
+          }
+          core::EvaluationMetrics metrics = Evaluate(truth, run.value());
+          std::printf("  %7.2f", metrics.mac_mae / 60.0);
+          (void)csv.AddRow(
+              {bc.name, synth::PoiCategoryName(category),
+               ml::ModelKindName(model), util::CsvTable::Num(beta, 2),
+               util::CsvTable::Num(metrics.mac_mae / 60.0, 3),
+               util::CsvTable::Num(metrics.mac_corr, 3),
+               util::CsvTable::Num(static_cast<int64_t>(run.value().spqs)),
+               util::CsvTable::Num(static_cast<int64_t>(truth.spqs))});
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  std::printf(
+      "\nPaper reference (Fig. 3): MLP is the strongest model; errors grow "
+      "as the budget\nshrinks (gracefully for MLP, erratically for OLS); "
+      "Birmingham tolerates lower\nbudgets than Coventry; at beta=3%% school"
+      " JT error is ~3.3 minutes.\n");
+  EmitCsv(csv, "fig3_jt_errors.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Main(); }

@@ -1,0 +1,102 @@
+// Fig. 4 — Generalized-access-cost (GAC) performance on vaccination-centre
+// POIs: MAC correlation, ACSD correlation, accessibility-classification
+// accuracy, and fairness-index error, per model x budget x city.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+
+namespace staq::bench {
+namespace {
+
+int Main() {
+  PrintHeader(
+      "Fig. 4: GAC metrics on vaccination centres (MAC corr / ACSD corr / "
+      "AC accuracy / FIE)");
+  util::CsvTable csv({"city", "model", "beta", "mac_corr", "acsd_corr",
+                      "class_accuracy", "fie"});
+
+  auto budgets = PaperBudgets();
+  auto models = ml::AllModelKinds();
+
+  for (BenchCity& bc : MakeBothCities()) {
+    auto pois = bc.city->PoisOf(synth::PoiCategory::kVaxCenter);
+    core::Todam todam =
+        bc.pipeline->BuildGravityTodam(pois, bc.gravity, BenchSeed());
+    core::GroundTruth truth = bc.pipeline->ComputeGroundTruth(
+        pois, todam, core::CostKind::kGeneralizedCost);
+
+    util::Stopwatch feature_watch;
+    ml::Matrix features = bc.pipeline->feature_extractor().ExtractZoneMatrix(
+        pois, todam.alpha());
+    double features_s = feature_watch.ElapsedSeconds();
+
+    std::printf("\n=== %s (|P|=%zu, walk-only=%.1f%%) ===\n", bc.name.c_str(),
+                pois.size(), 100 * truth.walk_only_fraction);
+
+    // One run per (model, budget); the four grids print from stored
+    // metrics.
+    std::map<std::pair<int, double>, core::EvaluationMetrics> grid;
+    for (ml::ModelKind model : models) {
+      for (double beta : budgets) {
+        core::PipelineConfig config;
+        config.beta = beta;
+        config.model = model;
+        config.cost = core::CostKind::kGeneralizedCost;
+        config.seed = BenchSeed();
+        auto run =
+            bc.pipeline->Run(pois, todam, config, &features, features_s);
+        if (!run.ok()) continue;
+        core::EvaluationMetrics m = Evaluate(truth, run.value());
+        grid[{static_cast<int>(model), beta}] = m;
+        (void)csv.AddRow({bc.name, ml::ModelKindName(model),
+                          util::CsvTable::Num(beta, 2),
+                          util::CsvTable::Num(m.mac_corr, 3),
+                          util::CsvTable::Num(m.acsd_corr, 3),
+                          util::CsvTable::Num(m.class_accuracy, 3),
+                          util::CsvTable::Num(m.fie, 4)});
+      }
+    }
+
+    struct MetricView {
+      const char* title;
+      double core::EvaluationMetrics::* field;
+    };
+    const MetricView views[] = {
+        {"MAC corr", &core::EvaluationMetrics::mac_corr},
+        {"ACSD corr", &core::EvaluationMetrics::acsd_corr},
+        {"AC accuracy", &core::EvaluationMetrics::class_accuracy},
+        {"FIE", &core::EvaluationMetrics::fie},
+    };
+    for (const MetricView& view : views) {
+      std::printf("\n-- %s --\n%-7s", view.title, "model");
+      for (double beta : budgets) std::printf("  b=%-4.0f%%", beta * 100);
+      std::printf("\n");
+      for (ml::ModelKind model : models) {
+        std::printf("%-7s", ml::ModelKindName(model));
+        for (double beta : budgets) {
+          auto it = grid.find({static_cast<int>(model), beta});
+          if (it == grid.end()) {
+            std::printf("  %7s", "err");
+          } else {
+            std::printf("  %7.3f", it->second.*(view.field));
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+
+  std::printf(
+      "\nPaper reference (Fig. 4): MAC correlations high (~0.85 for MLP) "
+      "even at low\nbudgets; ACSD correlation weaker and dropping at low "
+      "budgets, worse in the\nsmaller (more walk-only) city; accuracy > 60%%"
+      " for MLP at beta=5%% in Birmingham;\nFIE small everywhere.\n");
+  EmitCsv(csv, "fig4_gac_metrics.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Main(); }

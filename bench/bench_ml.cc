@@ -1,0 +1,100 @@
+// Micro-benchmarks for the SSR learning stage (the "training" component of
+// Table II): per-model fit + transductive-predict cost on a realistic
+// zone-level dataset, plus the shared numeric kernels.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "ml/model_factory.h"
+#include "testing_dataset.h"
+
+namespace staq::bench {
+namespace {
+
+/// Fit + predict once; the dataset mimics a city sweep cell (|Z| zones,
+/// 20 features, beta-sized labeled set).
+void RunModel(benchmark::State& state, ml::ModelKind kind) {
+  size_t zones = static_cast<size_t>(state.range(0));
+  double beta = 0.05;
+  ml::Dataset data = MakeZoneLikeDataset(zones, 20, beta, 7);
+  for (auto _ : state) {
+    auto model = ml::CreateModel(kind, 7);
+    auto status = model->Fit(data);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    auto pred = model->Predict();
+    benchmark::DoNotOptimize(pred.data());
+  }
+  state.counters["zones"] = static_cast<double>(zones);
+}
+
+void BM_FitOls(benchmark::State& state) {
+  RunModel(state, ml::ModelKind::kOls);
+}
+void BM_FitMlp(benchmark::State& state) {
+  RunModel(state, ml::ModelKind::kMlp);
+}
+void BM_FitCoreg(benchmark::State& state) {
+  RunModel(state, ml::ModelKind::kCoreg);
+}
+void BM_FitMeanTeacher(benchmark::State& state) {
+  RunModel(state, ml::ModelKind::kMeanTeacher);
+}
+void BM_FitGnn(benchmark::State& state) {
+  RunModel(state, ml::ModelKind::kGnn);
+}
+
+BENCHMARK(BM_FitOls)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitMlp)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitCoreg)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitMeanTeacher)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FitGnn)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_MatMul(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  ml::Matrix a(n, n), b(n, n);
+  for (auto& v : a.data()) v = rng.Uniform(-1, 1);
+  for (auto& v : b.data()) v = rng.Uniform(-1, 1);
+  for (auto _ : state) {
+    ml::Matrix c = ml::MatMul(a, b);
+    benchmark::DoNotOptimize(c.row(0));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+
+void BM_SolveSpd(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  ml::Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.Uniform(-1, 1);
+  ml::Matrix a = ml::Gram(b);
+  for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  std::vector<double> rhs(n);
+  for (auto& v : rhs) v = rng.Uniform(-1, 1);
+  for (auto _ : state) {
+    auto x = ml::SolveLinearSystem(a, rhs);
+    benchmark::DoNotOptimize(x.ok());
+  }
+}
+BENCHMARK(BM_SolveSpd)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_AdjacencyBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<geo::Point> positions;
+  for (size_t i = 0; i < n; ++i) {
+    positions.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+  }
+  for (auto _ : state) {
+    ml::Matrix a = ml::BuildNormalizedAdjacency(positions, 0.25, 0.05);
+    benchmark::DoNotOptimize(a.row(0));
+  }
+}
+BENCHMARK(BM_AdjacencyBuild)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace staq::bench
+
+BENCHMARK_MAIN();

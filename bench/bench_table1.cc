@@ -1,0 +1,95 @@
+// Table I — Matrix composition: size of the full TODAM M_f vs the
+// gravity-constructed M_g and the percentage reduction, for both cities
+// and all four POI categories.
+//
+// Two modes in one run:
+//  1. Paper-scale counting: full zone/POI counts (3217 / 1014 zones), no
+//     trips materialised — reproduces the magnitude of the paper's table.
+//  2. Bench-scale verification: the configured scale with a materialised
+//     M_g, verifying the counting path equals the built matrix.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/todam.h"
+
+namespace staq::bench {
+namespace {
+
+void RunAtScale(double scale, bool materialize, util::CsvTable* csv) {
+  std::vector<synth::CitySpec> specs{
+      synth::CitySpec::Brindale(scale, BenchSeed()),
+      synth::CitySpec::Covely(scale, BenchSeed() + 1),
+  };
+  // The paper's |R| ~ 60 start times per pair (30/hr over the 2 h peak).
+  int rate = materialize ? BenchRate() : 30;
+
+  std::printf("%-10s %-11s %6s %14s %14s %8s\n", "city", "poi", "|P|",
+              "full", "gravity", "%red");
+  for (const synth::CitySpec& spec : specs) {
+    auto built = synth::BuildCity(spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "build failed\n");
+      std::exit(1);
+    }
+    synth::City city = std::move(built).value();
+    core::GravityConfig gravity = core::CalibratedGravityConfig(spec);
+    gravity.sample_rate_per_hour = rate;
+
+    for (synth::PoiCategory category : PaperCategories()) {
+      auto pois = city.PoisOf(category);
+      core::TodamBuilder builder(city.zones, pois, gtfs::WeekdayAmPeak(),
+                                 gravity);
+      uint64_t full = builder.FullTripCount();
+      uint64_t grav;
+      if (materialize) {
+        core::Todam todam = builder.BuildGravity(BenchSeed());
+        grav = todam.num_trips();
+        // Invariant: the counting path agrees with materialisation.
+        if (builder.GravityTripCount(BenchSeed()) != grav) {
+          std::fprintf(stderr, "COUNT MISMATCH for %s/%s\n",
+                       spec.name.c_str(), synth::PoiCategoryName(category));
+          std::exit(1);
+        }
+      } else {
+        grav = builder.GravityTripCount(BenchSeed());
+      }
+      double reduction =
+          100.0 * (1.0 - static_cast<double>(grav) / static_cast<double>(full));
+      std::printf("%-10s %-11s %6zu %14llu %14llu %7.1f%%\n",
+                  spec.name.c_str(), synth::PoiCategoryName(category),
+                  pois.size(), static_cast<unsigned long long>(full),
+                  static_cast<unsigned long long>(grav), reduction);
+      (void)csv->AddRow({spec.name, synth::PoiCategoryName(category),
+                         util::CsvTable::Num(static_cast<int64_t>(pois.size())),
+                         util::CsvTable::Num(static_cast<int64_t>(full)),
+                         util::CsvTable::Num(static_cast<int64_t>(grav)),
+                         util::CsvTable::Num(reduction, 1),
+                         util::CsvTable::Num(scale, 2)});
+    }
+  }
+}
+
+int Main() {
+  PrintHeader("Table I: TODAM size, full vs gravity construction");
+  util::CsvTable csv({"city", "poi", "num_pois", "full_trips", "gravity_trips",
+                      "reduction_pct", "scale"});
+
+  std::printf("\n--- paper scale (counting only; |R| = 60/pair) ---\n");
+  RunAtScale(1.0, /*materialize=*/false, &csv);
+
+  std::printf("\n--- bench scale %.2f (materialised M_g) ---\n", BenchScale());
+  RunAtScale(BenchScale(), /*materialize=*/true, &csv);
+
+  std::printf(
+      "\nPaper reference (Table I): Birmingham reductions 97.9 / 78.6 / 86.5"
+      " / 74.9 %%; Coventry 94.3 / 60.9 / 75.9 / 0.0 %%.\n"
+      "Expected shape: larger POI sets reduce more; the 1-2 POI Covely job-"
+      "centre set reduces ~0%%.\n");
+  EmitCsv(csv, "table1_matrix_composition.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Main(); }

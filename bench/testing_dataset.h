@@ -1,0 +1,39 @@
+// Synthetic zone-like datasets for the ML micro-benchmarks: smooth spatial
+// targets over jittered positions, mirroring what the pipeline feeds the
+// SSR models.
+#pragma once
+
+#include <cmath>
+
+#include "ml/gnn.h"
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace staq::bench {
+
+inline ml::Dataset MakeZoneLikeDataset(size_t zones, size_t features,
+                                       double beta, uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset data;
+  data.x = ml::Matrix(zones, features);
+  data.y.resize(zones);
+  data.positions.resize(zones);
+  for (size_t i = 0; i < zones; ++i) {
+    double px = rng.Uniform(0, 12000), py = rng.Uniform(0, 12000);
+    data.positions[i] = geo::Point{px, py};
+    for (size_t c = 0; c < features; ++c) {
+      data.x(i, c) =
+          std::sin(px / 1500.0 + static_cast<double>(c)) + py / 4000.0 +
+          rng.Normal(0, 0.25);
+    }
+    data.y[i] = 1800 + px / 10.0 + 400 * std::sin(py / 2000.0) +
+                rng.Normal(0, 60);
+  }
+  size_t labeled =
+      std::max<size_t>(2, static_cast<size_t>(beta * static_cast<double>(zones)));
+  auto sample = rng.SampleWithoutReplacement(zones, labeled);
+  data.labeled.assign(sample.begin(), sample.end());
+  return data;
+}
+
+}  // namespace staq::bench

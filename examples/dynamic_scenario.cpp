@@ -1,0 +1,102 @@
+// Dynamic access queries — the paper's core motivation (§I): policy makers
+// "need to operate in a dynamic environment and test new policy scenarios,
+// such as optimally locating a new school ... or introducing new bus stops
+// to avoid 'access deserts'".
+//
+// This example runs a scenario loop:
+//   1. baseline AQ for schools,
+//   2. find the worst "access desert" zone,
+//   3. scenario A: build a school there (POI edit) -> re-query,
+//   4. scenario B: instead analyse a different time interval,
+//   5. compare the naive (exact) cost against the SSR cost for the same
+//      queries, demonstrating why dynamic querying needs the SSR solution.
+#include <cstdio>
+
+#include "core/access_query.h"
+#include "synth/city_builder.h"
+
+using namespace staq;
+
+int main() {
+  auto built = synth::BuildCity(synth::CitySpec::Brindale(0.12, 19));
+  if (!built.ok()) return 1;
+  core::AccessQueryEngine engine(std::move(built).value(),
+                                 gtfs::WeekdayAmPeak());
+  const synth::City& city = engine.city();
+
+  core::AccessQueryOptions ssr;
+  ssr.beta = 0.07;
+  ssr.model = ml::ModelKind::kMlp;
+  ssr.gravity.sample_rate_per_hour = 8;
+  core::AccessQueryOptions exact = ssr;
+  exact.exact = true;
+
+  // 1. Baseline, both ways, to show the cost gap on identical questions.
+  auto baseline_exact = engine.Query(synth::PoiCategory::kSchool, exact);
+  auto baseline_ssr = engine.Query(synth::PoiCategory::kSchool, ssr);
+  if (!baseline_exact.ok() || !baseline_ssr.ok()) return 1;
+
+  std::printf("baseline access to schools (weekday AM peak)\n");
+  std::printf("  exact : mean %.1f min, %llu SPQs, %.2f s\n",
+              baseline_exact.value().mean_mac / 60,
+              static_cast<unsigned long long>(baseline_exact.value().spqs),
+              baseline_exact.value().elapsed_s);
+  std::printf("  SSR   : mean %.1f min, %llu SPQs, %.2f s  (%.0f%% fewer "
+              "SPQs)\n",
+              baseline_ssr.value().mean_mac / 60,
+              static_cast<unsigned long long>(baseline_ssr.value().spqs),
+              baseline_ssr.value().elapsed_s,
+              100.0 * (1.0 - static_cast<double>(baseline_ssr.value().spqs) /
+                                 baseline_exact.value().spqs));
+
+  // 2. The worst-served zone is the candidate "access desert".
+  const auto& mac = baseline_ssr.value().mac;
+  uint32_t desert = 0;
+  for (uint32_t z = 1; z < mac.size(); ++z) {
+    if (mac[z] > mac[desert]) desert = z;
+  }
+  std::printf("\naccess desert: zone %u at (%.0f, %.0f), MAC %.1f min\n",
+              desert, city.zones[desert].centroid.x,
+              city.zones[desert].centroid.y, mac[desert] / 60);
+
+  // 3. Scenario A: build a school in the desert and re-query. The SSR
+  //    answer gives the cheap citywide picture; the single desert zone's
+  //    before/after is checked exactly (its improvement is too local for
+  //    an unlabeled-zone prediction to resolve).
+  uint32_t new_school = engine.AddPoi(synth::PoiCategory::kSchool,
+                                      city.zones[desert].centroid);
+  auto scenario_a = engine.Query(synth::PoiCategory::kSchool, ssr);
+  auto scenario_a_exact = engine.Query(synth::PoiCategory::kSchool, exact);
+  if (!scenario_a.ok() || !scenario_a_exact.ok()) return 1;
+  std::printf("\nscenario A — new school in the desert zone:\n");
+  std::printf("  desert zone MAC (exact): %.1f -> %.1f min\n",
+              baseline_exact.value().mac[desert] / 60,
+              scenario_a_exact.value().mac[desert] / 60);
+  std::printf("  citywide mean (SSR)    : %.1f -> %.1f min (answered in "
+              "%.2f s)\n",
+              baseline_ssr.value().mean_mac / 60,
+              scenario_a.value().mean_mac / 60,
+              scenario_a.value().elapsed_s);
+  (void)engine.RemovePoi(new_school);
+
+  // 4. Scenario B: the same question at Sunday morning service levels.
+  engine.SetInterval(gtfs::SundayMorning());
+  auto scenario_b = engine.Query(synth::PoiCategory::kSchool, ssr);
+  if (!scenario_b.ok()) return 1;
+  std::printf("\nscenario B — Sunday morning instead of AM peak:\n");
+  std::printf("  citywide mean  : %.1f min (weekday %.1f); offline re-prep "
+              "%.2f s\n",
+              scenario_b.value().mean_mac / 60,
+              baseline_ssr.value().mean_mac / 60, engine.offline_seconds());
+
+  // 5. Takeaway.
+  std::printf(
+      "\nEach scenario is a fresh TODAM + labeling pass; at beta=%.0f%% the "
+      "SSR solution\nanswers every variation with ~%.0f%% of the naive SPQ "
+      "workload, which is what\nmakes interactive what-if analysis "
+      "practical.\n",
+      ssr.beta * 100,
+      100.0 * static_cast<double>(baseline_ssr.value().spqs) /
+          baseline_exact.value().spqs);
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "core/access_query.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace staq::core {
+
+AccessQueryEngine::AccessQueryEngine(synth::City city,
+                                     gtfs::TimeInterval interval)
+    : city_(std::move(city)), interval_(interval) {
+  pipeline_ = std::make_unique<SsrPipeline>(&city_, interval_);
+}
+
+util::Result<AccessQueryResult> AccessQueryEngine::Query(
+    synth::PoiCategory category, const AccessQueryOptions& options) {
+  std::vector<synth::Poi> pois = city_.PoisOf(category);
+  if (pois.empty()) {
+    return util::Status::NotFound("no POIs of requested category");
+  }
+
+  util::Stopwatch watch;
+  Todam todam = pipeline_->BuildGravityTodam(pois, options.gravity,
+                                             options.seed);
+
+  AccessQueryResult result;
+  result.gravity_trips = todam.num_trips();
+
+  if (options.exact) {
+    GroundTruth truth =
+        pipeline_->ComputeGroundTruth(pois, todam, options.cost, options.gac);
+    result.mac = std::move(truth.mac);
+    result.acsd = std::move(truth.acsd);
+    result.spqs = truth.spqs;
+  } else {
+    PipelineConfig config;
+    config.beta = options.beta;
+    config.model = options.model;
+    config.cost = options.cost;
+    config.gac = options.gac;
+    config.seed = options.seed;
+    auto run = pipeline_->Run(pois, todam, config);
+    if (!run.ok()) return run.status();
+    result.mac = std::move(run.value().mac);
+    result.acsd = std::move(run.value().acsd);
+    result.spqs = run.value().spqs;
+  }
+
+  result.classes = ClassifyAccessibility(result.mac, result.acsd);
+  for (size_t z = 0; z < result.mac.size(); ++z) {
+    result.mean_mac += result.mac[z];
+    result.mean_acsd += result.acsd[z];
+  }
+  result.mean_mac /= static_cast<double>(result.mac.size());
+  result.mean_acsd /= static_cast<double>(result.acsd.size());
+
+  result.fairness = JainIndex(result.mac);
+  std::vector<double> pop_weights, vulnerable_weights;
+  pop_weights.reserve(city_.zones.size());
+  vulnerable_weights.reserve(city_.zones.size());
+  for (const synth::Zone& z : city_.zones) {
+    pop_weights.push_back(z.population);
+    vulnerable_weights.push_back(z.population * z.vulnerability);
+  }
+  result.population_fairness = WeightedJainIndex(result.mac, pop_weights);
+  result.vulnerable_fairness =
+      WeightedJainIndex(result.mac, vulnerable_weights);
+
+  result.elapsed_s = watch.ElapsedSeconds();
+  return result;
+}
+
+uint32_t AccessQueryEngine::AddPoi(synth::PoiCategory category,
+                                   const geo::Point& position) {
+  uint32_t id = city_.pois.empty() ? 0 : city_.pois.back().id + 1;
+  city_.pois.push_back(synth::Poi{id, category, position});
+  return id;
+}
+
+util::Status AccessQueryEngine::RemovePoi(uint32_t poi_id) {
+  auto it = std::find_if(city_.pois.begin(), city_.pois.end(),
+                         [poi_id](const synth::Poi& p) {
+                           return p.id == poi_id;
+                         });
+  if (it == city_.pois.end()) {
+    return util::Status::NotFound("no POI with id " + std::to_string(poi_id));
+  }
+  city_.pois.erase(it);
+  return util::Status::OK();
+}
+
+void AccessQueryEngine::SetInterval(const gtfs::TimeInterval& interval) {
+  interval_ = interval;
+  pipeline_ = std::make_unique<SsrPipeline>(&city_, interval_);
+}
+
+}  // namespace staq::core

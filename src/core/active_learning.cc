@@ -1,0 +1,181 @@
+#include "core/active_learning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/sampling.h"
+#include "ml/scaler.h"
+#include "util/rng.h"
+
+namespace staq::core {
+
+namespace {
+
+size_t BudgetCount(size_t num_zones, double beta) {
+  size_t want =
+      static_cast<size_t>(std::ceil(beta * static_cast<double>(num_zones)));
+  return std::clamp<size_t>(want, 2, num_zones);
+}
+
+/// Greedy k-centre: start from a random zone, repeatedly pick the zone
+/// farthest from the chosen set.
+std::vector<uint32_t> FarthestPoint(const std::vector<geo::Point>& positions,
+                                    size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  size_t n = positions.size();
+  std::vector<uint32_t> chosen;
+  chosen.reserve(count);
+  std::vector<double> dist_to_set(n, std::numeric_limits<double>::infinity());
+
+  uint32_t current = static_cast<uint32_t>(rng.UniformU64(n));
+  chosen.push_back(current);
+  while (chosen.size() < count) {
+    uint32_t farthest = 0;
+    double best = -1.0;
+    for (uint32_t z = 0; z < n; ++z) {
+      double d = geo::Distance(positions[z], positions[current]);
+      if (d < dist_to_set[z]) dist_to_set[z] = d;
+      if (dist_to_set[z] > best) {
+        best = dist_to_set[z];
+        farthest = z;
+      }
+    }
+    current = farthest;
+    chosen.push_back(current);
+  }
+  return chosen;
+}
+
+/// k-means++ seeding (D² sampling) over standardised feature rows.
+std::vector<uint32_t> DSquaredSampling(const ml::Matrix& features,
+                                       size_t count, uint64_t seed) {
+  util::Rng rng(seed);
+  size_t n = features.rows();
+  size_t d = features.cols();
+
+  ml::StandardScaler scaler;
+  ml::Matrix scaled = scaler.FitTransform(features);
+
+  auto dist_sq = [&](uint32_t a, uint32_t b) {
+    const double* ra = scaled.row(a);
+    const double* rb = scaled.row(b);
+    double acc = 0;
+    for (size_t c = 0; c < d; ++c) {
+      double delta = ra[c] - rb[c];
+      acc += delta * delta;
+    }
+    return acc;
+  };
+
+  std::vector<uint32_t> chosen;
+  chosen.reserve(count);
+  std::vector<double> best_sq(n, std::numeric_limits<double>::infinity());
+  uint32_t current = static_cast<uint32_t>(rng.UniformU64(n));
+  chosen.push_back(current);
+
+  while (chosen.size() < count) {
+    double total = 0.0;
+    for (uint32_t z = 0; z < n; ++z) {
+      best_sq[z] = std::min(best_sq[z], dist_sq(z, current));
+      total += best_sq[z];
+    }
+    if (total <= 0.0) {
+      // All remaining rows identical to chosen ones: fall back to uniform
+      // over the unchosen.
+      std::vector<uint32_t> remaining;
+      std::vector<uint8_t> mask(n, 0);
+      for (uint32_t z : chosen) mask[z] = 1;
+      for (uint32_t z = 0; z < n; ++z) {
+        if (!mask[z]) remaining.push_back(z);
+      }
+      while (chosen.size() < count && !remaining.empty()) {
+        size_t pick = static_cast<size_t>(rng.UniformU64(remaining.size()));
+        chosen.push_back(remaining[pick]);
+        remaining.erase(remaining.begin() + static_cast<long>(pick));
+      }
+      break;
+    }
+    double draw = rng.UniformDouble() * total;
+    double acc = 0.0;
+    current = static_cast<uint32_t>(n - 1);
+    for (uint32_t z = 0; z < n; ++z) {
+      acc += best_sq[z];
+      if (acc >= draw) {
+        current = z;
+        break;
+      }
+    }
+    chosen.push_back(current);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+const char* SamplingStrategyName(SamplingStrategy strategy) {
+  switch (strategy) {
+    case SamplingStrategy::kRandom:
+      return "random";
+    case SamplingStrategy::kSpatialSpread:
+      return "spatial_spread";
+    case SamplingStrategy::kFeatureDiverse:
+      return "feature_diverse";
+  }
+  return "unknown";
+}
+
+util::Result<std::vector<uint32_t>> SelectLabeledZones(
+    SamplingStrategy strategy, size_t num_zones, double beta, uint64_t seed,
+    const std::vector<geo::Point>* positions, const ml::Matrix* features) {
+  if (num_zones < 2) {
+    return util::Status::InvalidArgument("need at least 2 zones");
+  }
+  if (beta <= 0.0 || beta > 1.0) {
+    return util::Status::InvalidArgument("beta must be in (0, 1]");
+  }
+  size_t count = BudgetCount(num_zones, beta);
+
+  std::vector<uint32_t> chosen;
+  switch (strategy) {
+    case SamplingStrategy::kRandom:
+      return SampleLabeledZones(num_zones, beta, seed);
+    case SamplingStrategy::kSpatialSpread:
+      if (positions == nullptr || positions->size() != num_zones) {
+        return util::Status::InvalidArgument(
+            "spatial_spread requires positions for every zone");
+      }
+      chosen = FarthestPoint(*positions, count, seed);
+      break;
+    case SamplingStrategy::kFeatureDiverse:
+      if (features == nullptr || features->rows() != num_zones) {
+        return util::Status::InvalidArgument(
+            "feature_diverse requires a feature row per zone");
+      }
+      chosen = DSquaredSampling(*features, count, seed);
+      break;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+
+  // Degenerate geometry/features can produce duplicate picks; top the
+  // budget back up uniformly so callers always get the requested size.
+  if (chosen.size() < count) {
+    util::Rng rng(seed ^ 0xa5a5a5a5ULL);
+    std::vector<uint8_t> mask(num_zones, 0);
+    for (uint32_t z : chosen) mask[z] = 1;
+    std::vector<uint32_t> remaining;
+    for (uint32_t z = 0; z < num_zones; ++z) {
+      if (!mask[z]) remaining.push_back(z);
+    }
+    rng.Shuffle(&remaining);
+    while (chosen.size() < count && !remaining.empty()) {
+      chosen.push_back(remaining.back());
+      remaining.pop_back();
+    }
+    std::sort(chosen.begin(), chosen.end());
+  }
+  return chosen;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,42 @@
+// Labeled-set selection strategies beyond uniform random sampling.
+//
+// The paper samples L uniformly and notes (§IV-C, §VI) that "active
+// learning strategies may be explored to ensure coverage and to capture
+// aspects of uncertainty". This module implements that future-work item:
+//
+//  * kRandom         — the paper's baseline (core/sampling.h).
+//  * kSpatialSpread  — greedy k-centre (farthest-point) selection on zone
+//                      centroids: guarantees geographic coverage, the
+//                      property random sampling only achieves in
+//                      expectation.
+//  * kFeatureDiverse — k-means++-style D² sampling in standardised feature
+//                      space: spends the budget where the connectivity
+//                      descriptors differ most.
+//
+// All strategies are deterministic given the seed.
+#pragma once
+
+#include <vector>
+
+#include "geo/latlon.h"
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace staq::core {
+
+enum class SamplingStrategy {
+  kRandom = 0,
+  kSpatialSpread,
+  kFeatureDiverse,
+};
+
+const char* SamplingStrategyName(SamplingStrategy strategy);
+
+/// Selects ⌈β·n⌉ zones (≥ 2) with the given strategy, ascending ids.
+/// `positions` is required (size n) for kSpatialSpread; `features`
+/// (n rows) for kFeatureDiverse; unused arguments may be null.
+util::Result<std::vector<uint32_t>> SelectLabeledZones(
+    SamplingStrategy strategy, size_t num_zones, double beta, uint64_t seed,
+    const std::vector<geo::Point>* positions, const ml::Matrix* features);
+
+}  // namespace staq::core

@@ -1,0 +1,39 @@
+// Result export: GeoJSON and Markdown.
+//
+// The access measures are "typically mapped to provide a visual analysis"
+// (paper §III-D, Fig. 5). ExportAccessGeoJson writes a FeatureCollection —
+// one Point feature per zone carrying MAC / ACSD / class / population, plus
+// the POI sites — that drops straight into QGIS, kepler.gl or geojson.io.
+// WriteAccessReport renders the same result as a human-readable Markdown
+// briefing (summary, fairness, class histogram, worst zones).
+#pragma once
+
+#include <string>
+
+#include "core/access_query.h"
+#include "geo/latlon.h"
+
+namespace staq::core {
+
+/// Writes a GeoJSON FeatureCollection for `result` over `city`.
+/// `projection` converts the city's local metres to WGS-84. `pois`
+/// (optional) adds the queried POI sites as features.
+util::Status ExportAccessGeoJson(const synth::City& city,
+                                 const geo::LocalProjection& projection,
+                                 const AccessQueryResult& result,
+                                 const std::vector<synth::Poi>& pois,
+                                 const std::string& path);
+
+/// Renders a Markdown report of the query result.
+/// `title` heads the document (e.g. "Access to hospitals, weekday AM peak").
+std::string RenderAccessReport(const synth::City& city,
+                               const AccessQueryResult& result,
+                               const std::string& title);
+
+/// RenderAccessReport + write to `path`.
+util::Status WriteAccessReport(const synth::City& city,
+                               const AccessQueryResult& result,
+                               const std::string& title,
+                               const std::string& path);
+
+}  // namespace staq::core

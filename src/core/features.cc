@@ -1,0 +1,219 @@
+#include "core/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace staq::core {
+
+namespace {
+
+const char* const kFeatureNames[kNumFeatures] = {
+    "od_distance_m",        // 0
+    "walkable",             // 1
+    "reachable_1hop",       // 2
+    "reachable_2hop",       // 3
+    "ob_best_dist_to_d_m",  // 4
+    "ob_best_service",      // 5
+    "ob_best_journey_s",    // 6
+    "ib_best_dist_to_o_m",  // 7
+    "ib_best_service",      // 8
+    "ib_best_journey_s",    // 9
+    "interchange_count",    // 10
+    "ic_nearest_to_o_m",    // 11
+    "ic_nearest_to_d_m",    // 12
+    "ic_max_strength",      // 13
+    "hf_best_dist_to_d_m",  // 14
+    "hf_interchanges",      // 15
+    "ob_leaf_count",        // 16
+    "ib_leaf_count",        // 17
+    "reach2_fraction",      // 18
+    "ob_total_service",     // 19
+};
+
+/// Service-count threshold marking a leaf as "high frequency": the top
+/// quartile of the tree's leaves (>= 1).
+uint32_t HighFrequencyThreshold(const HopTree& tree) {
+  if (tree.leaves().empty()) return 1;
+  std::vector<uint32_t> counts;
+  counts.reserve(tree.size());
+  for (const HopLeaf& leaf : tree.leaves()) counts.push_back(leaf.service_count);
+  size_t idx = counts.size() * 3 / 4;
+  std::nth_element(counts.begin(), counts.begin() + idx, counts.end());
+  return std::max<uint32_t>(1, counts[idx]);
+}
+
+/// Sorted zone-id intersection between two trees' leaves.
+bool LeavesIntersect(const HopTree& a, const HopTree& b) {
+  auto ia = a.leaves().begin(), ea = a.leaves().end();
+  auto ib = b.leaves().begin(), eb = b.leaves().end();
+  while (ia != ea && ib != eb) {
+    if (ia->zone < ib->zone) {
+      ++ia;
+    } else if (ib->zone < ia->zone) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FeatureName(size_t index) {
+  return index < kNumFeatures ? kFeatureNames[index] : "invalid";
+}
+
+FeatureExtractor::FeatureExtractor(const synth::City* city,
+                                   const IsochroneSet* isochrones,
+                                   const HopTreeSet* hop_trees)
+    : city_(city), isochrones_(isochrones), hop_trees_(hop_trees) {
+  std::vector<geo::IndexedPoint> centroids;
+  centroids.reserve(city_->zones.size());
+  for (const synth::Zone& z : city_->zones) {
+    centroids.push_back(geo::IndexedPoint{z.centroid, z.id});
+  }
+  zone_index_ = std::make_unique<geo::KdTree>(std::move(centroids));
+}
+
+uint32_t FeatureExtractor::PoiZone(const synth::Poi& poi) const {
+  return zone_index_->Nearest(poi.position).id;
+}
+
+FeatureExtractor::OriginCache FeatureExtractor::ComputeOriginCache(
+    uint32_t zone) const {
+  OriginCache cache;
+  auto reachable = hop_trees_->ReachableZones(zone, 2);
+  cache.reach2_fraction = static_cast<double>(reachable.size()) /
+                          static_cast<double>(city_->zones.size());
+  for (const HopLeaf& leaf : hop_trees_->Outbound(zone).leaves()) {
+    cache.ob_total_service += leaf.service_count;
+  }
+  cache.hf_threshold = HighFrequencyThreshold(hop_trees_->Outbound(zone));
+  cache.ready = true;
+  return cache;
+}
+
+void FeatureExtractor::ExtractOd(uint32_t zone, const synth::Poi& poi,
+                                 double* out) const {
+  uint32_t poi_zone = PoiZone(poi);
+  auto interchanges =
+      FindInterchanges(hop_trees_->Outbound(zone),
+                       hop_trees_->Inbound(poi_zone), *isochrones_);
+  ExtractOdImpl(zone, poi, poi_zone, interchanges, ComputeOriginCache(zone),
+                out);
+}
+
+void FeatureExtractor::ExtractOdImpl(
+    uint32_t zone, const synth::Poi& poi, uint32_t poi_zone,
+    const std::vector<Interchange>& interchanges, const OriginCache& origin,
+    double* out) const {
+  const geo::Point& o = city_->zones[zone].centroid;
+  const geo::Point& d = poi.position;
+  const HopTree& ob = hop_trees_->Outbound(zone);
+  const HopTree& ib = hop_trees_->Inbound(poi_zone);
+  double od = geo::Distance(o, d);
+  double reach_m = isochrones_->config().ReachMeters();
+
+  std::fill(out, out + kNumFeatures, 0.0);
+  out[0] = od;
+  out[1] = od <= reach_m ? 1.0 : 0.0;
+  out[2] = ob.Find(poi_zone) != nullptr ? 1.0 : 0.0;
+  out[3] = (out[2] != 0.0 || LeavesIntersect(ob, ib)) ? 1.0 : 0.0;
+
+  // Nearest outbound leaf to the destination.
+  out[4] = od;  // fallback when the tree is empty: best you can do is walk
+  for (const HopLeaf& leaf : ob.leaves()) {
+    double dist = geo::Distance(leaf.position, d);
+    if (dist < out[4]) {
+      out[4] = dist;
+      out[5] = leaf.service_count;
+      out[6] = leaf.mean_journey_s;
+    }
+  }
+  // Nearest inbound leaf to the origin.
+  out[7] = od;
+  for (const HopLeaf& leaf : ib.leaves()) {
+    double dist = geo::Distance(leaf.position, o);
+    if (dist < out[7]) {
+      out[7] = dist;
+      out[8] = leaf.service_count;
+      out[9] = leaf.mean_journey_s;
+    }
+  }
+
+  // Interchange structure.
+  out[10] = static_cast<double>(interchanges.size());
+  out[11] = od;
+  out[12] = od;
+  for (const Interchange& ic : interchanges) {
+    out[11] = std::min(out[11], geo::Distance(ic.position, o));
+    out[12] = std::min(out[12], geo::Distance(ic.position, d));
+    out[13] = std::max(out[13], static_cast<double>(ic.strength));
+  }
+
+  // High-frequency reach: how close the top-quartile outbound leaves get
+  // to the destination, and how many of them host an interchange.
+  uint32_t hf_threshold = origin.hf_threshold;
+  out[14] = od;
+  for (const HopLeaf& leaf : ob.leaves()) {
+    if (leaf.service_count < hf_threshold) continue;
+    out[14] = std::min(out[14], geo::Distance(leaf.position, d));
+  }
+  for (const Interchange& ic : interchanges) {
+    const HopLeaf* leaf = ob.Find(ic.ob_zone);
+    if (leaf != nullptr && leaf->service_count >= hf_threshold) {
+      out[15] += 1.0;
+    }
+  }
+
+  out[16] = static_cast<double>(ob.size());
+  out[17] = static_cast<double>(ib.size());
+  out[18] = origin.reach2_fraction;
+  out[19] = origin.ob_total_service;
+}
+
+ml::Matrix FeatureExtractor::ExtractZoneMatrix(
+    const std::vector<synth::Poi>& pois,
+    const std::vector<std::vector<double>>& alpha) const {
+  size_t num_zones = city_->zones.size();
+  ml::Matrix features(num_zones, kNumFeatures);
+
+  // POI zones are shared across origins; resolve once.
+  std::vector<uint32_t> poi_zone(pois.size());
+  for (size_t j = 0; j < pois.size(); ++j) poi_zone[j] = PoiZone(pois[j]);
+
+  std::vector<double> od_features(kNumFeatures);
+  for (uint32_t z = 0; z < num_zones; ++z) {
+    OriginCache origin = ComputeOriginCache(z);
+    // Interchanges depend only on the destination ZONE; POIs sharing a
+    // zone reuse the computation.
+    std::unordered_map<uint32_t, std::vector<Interchange>> ic_cache;
+
+    double* row = features.row(z);
+    double weight_sum = 0.0;
+    for (size_t j = 0; j < pois.size(); ++j) {
+      double w = alpha[z][j];
+      if (w <= 0.0) continue;
+      auto [it, inserted] = ic_cache.try_emplace(poi_zone[j]);
+      if (inserted) {
+        it->second = FindInterchanges(hop_trees_->Outbound(z),
+                                      hop_trees_->Inbound(poi_zone[j]),
+                                      *isochrones_);
+      }
+      ExtractOdImpl(z, pois[j], poi_zone[j], it->second, origin,
+                    od_features.data());
+      for (size_t f = 0; f < kNumFeatures; ++f) {
+        row[f] += w * od_features[f];
+      }
+      weight_sum += w;
+    }
+    if (weight_sum > 0.0) {
+      for (size_t f = 0; f < kNumFeatures; ++f) row[f] /= weight_sum;
+    }
+  }
+  return features;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,69 @@
+// Online feature extraction (paper §IV-B).
+//
+// For a (z_i, p_j) pair, the extractor maps the query over the outbound
+// tree OB(z_i) and the inbound tree IB(zone(p_j)) and emits a fixed-width
+// descriptor of their connectivity: reachability flags, nearest-leaf
+// geometry and service statistics, interchange structure, high-frequency
+// route reach, and origin-level coverage. For training, per-OD vectors are
+// aggregated to the origin level with the same α weights the gravity-based
+// access measures use (§IV-C).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/hoptree.h"
+#include "core/interchange.h"
+#include "core/isochrone.h"
+#include "geo/kdtree.h"
+#include "ml/matrix.h"
+#include "synth/city_builder.h"
+
+namespace staq::core {
+
+/// Width of the per-OD feature vector.
+inline constexpr size_t kNumFeatures = 20;
+
+/// Stable name of each feature dimension (for docs/exports).
+const char* FeatureName(size_t index);
+
+/// Computes per-OD and zone-aggregated feature vectors from pre-computed
+/// structures. Read-only over the city; cheap to construct.
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const synth::City* city, const IsochroneSet* isochrones,
+                   const HopTreeSet* hop_trees);
+
+  /// The zone a POI belongs to (nearest centroid).
+  uint32_t PoiZone(const synth::Poi& poi) const;
+
+  /// Fills `out[0..kNumFeatures)` with the descriptor of (zone, poi).
+  void ExtractOd(uint32_t zone, const synth::Poi& poi, double* out) const;
+
+  /// |Z| x kNumFeatures matrix: per-OD features aggregated to the origin
+  /// level by an α-weighted mean (α rows normalised per zone, as produced
+  /// by AttractivenessMatrix). alpha[z].size() must equal pois.size().
+  ml::Matrix ExtractZoneMatrix(
+      const std::vector<synth::Poi>& pois,
+      const std::vector<std::vector<double>>& alpha) const;
+
+ private:
+  struct OriginCache {
+    double reach2_fraction = 0.0;
+    double ob_total_service = 0.0;
+    uint32_t hf_threshold = 1;  // "high frequency" leaf service cut-off
+    bool ready = false;
+  };
+
+  void ExtractOdImpl(uint32_t zone, const synth::Poi& poi, uint32_t poi_zone,
+                     const std::vector<Interchange>& interchanges,
+                     const OriginCache& origin, double* out) const;
+  OriginCache ComputeOriginCache(uint32_t zone) const;
+
+  const synth::City* city_;
+  const IsochroneSet* isochrones_;
+  const HopTreeSet* hop_trees_;
+  std::unique_ptr<geo::KdTree> zone_index_;
+};
+
+}  // namespace staq::core

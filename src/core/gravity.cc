@@ -1,0 +1,46 @@
+#include "core/gravity.h"
+
+#include <cmath>
+
+namespace staq::core {
+
+double DistanceDecay(double distance_m, double decay_scale_m) {
+  return std::exp(-distance_m / decay_scale_m);
+}
+
+std::vector<double> AttractivenessRow(const geo::Point& zone_centroid,
+                                      const std::vector<synth::Poi>& pois,
+                                      double decay_scale_m) {
+  std::vector<double> row(pois.size(), 0.0);
+  double total = 0.0;
+  for (size_t j = 0; j < pois.size(); ++j) {
+    double d = geo::Distance(zone_centroid, pois[j].position);
+    row[j] = DistanceDecay(d, decay_scale_m);
+    total += row[j];
+  }
+  if (total > 0.0) {
+    for (double& v : row) v /= total;
+  }
+  return row;
+}
+
+GravityConfig CalibratedGravityConfig(const synth::CitySpec& spec) {
+  GravityConfig config;
+  config.decay_scale_m = 3000;
+  config.keep_scale = 25.0 * spec.scale;
+  config.sample_rate_per_hour = 30;
+  return config;
+}
+
+std::vector<std::vector<double>> AttractivenessMatrix(
+    const std::vector<synth::Zone>& zones, const std::vector<synth::Poi>& pois,
+    double decay_scale_m) {
+  std::vector<std::vector<double>> alpha;
+  alpha.reserve(zones.size());
+  for (const synth::Zone& z : zones) {
+    alpha.push_back(AttractivenessRow(z.centroid, pois, decay_scale_m));
+  }
+  return alpha;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,52 @@
+// Gravity model of accessibility (paper §III-B, §III-C).
+//
+// Attractiveness α_ij says how likely residents of zone z_i are to travel
+// to POI p_j. Following the paper's evaluation we derive it from a negative
+// exponential distance-decay function and normalise over the POI set per
+// zone, so Σ_j α_ij = 1. The TODAM builder then samples trips per (i,j)
+// pair in proportion to α_ij — this is where the Hansen equation moves
+// "downstream" into matrix construction and produces the Table-I
+// reductions.
+#pragma once
+
+#include <vector>
+
+#include "synth/city_builder.h"
+
+namespace staq::core {
+
+/// Gravity / sampling configuration.
+struct GravityConfig {
+  /// e-folding distance of the negative exponential decay (metres).
+  double decay_scale_m = 4000;
+  /// Trip-keep multiplier k: a trip for pair (i,j) enters M_g with
+  /// probability min(1, k * α_ij). Larger POI sets spread α thinner, so
+  /// the same k yields stronger reductions — the Table-I effect.
+  double keep_scale = 25.0;
+  /// Start-time samples per hour; |R| = rate x interval duration.
+  int sample_rate_per_hour = 30;
+};
+
+/// Raw (unnormalised) attractiveness of a POI at `distance_m` from a zone.
+double DistanceDecay(double distance_m, double decay_scale_m);
+
+/// The α row for one zone over a POI set: decay-weighted and normalised to
+/// sum to 1 (all-zero rows stay all-zero; happens only with no POIs).
+std::vector<double> AttractivenessRow(const geo::Point& zone_centroid,
+                                      const std::vector<synth::Poi>& pois,
+                                      double decay_scale_m);
+
+/// Dense |Z| x |P| attractiveness matrix, row-normalised.
+std::vector<std::vector<double>> AttractivenessMatrix(
+    const std::vector<synth::Zone>& zones, const std::vector<synth::Poi>& pois,
+    double decay_scale_m);
+
+/// Gravity configuration calibrated for a (possibly scaled) city spec.
+///
+/// α is normalised over the POI set, so at a POI-count scale s the per-pair
+/// α grows by 1/s; dividing keep_scale by the same factor keeps the keep
+/// probability — and therefore the Table-I reduction percentages —
+/// invariant under scaling.
+GravityConfig CalibratedGravityConfig(const synth::CitySpec& spec);
+
+}  // namespace staq::core

@@ -1,0 +1,186 @@
+#include "core/hoptree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "geo/grid_index.h"
+
+namespace staq::core {
+
+HopTree::HopTree(uint32_t root, std::vector<HopLeaf> leaves)
+    : root_(root), leaves_(std::move(leaves)) {
+  std::sort(leaves_.begin(), leaves_.end(),
+            [](const HopLeaf& a, const HopLeaf& b) { return a.zone < b.zone; });
+}
+
+const HopLeaf* HopTree::Find(uint32_t zone) const {
+  auto it = std::lower_bound(leaves_.begin(), leaves_.end(), zone,
+                             [](const HopLeaf& leaf, uint32_t z) {
+                               return leaf.zone < z;
+                             });
+  if (it != leaves_.end() && it->zone == zone) return &*it;
+  return nullptr;
+}
+
+const geo::KdTree* HopTree::LeafIndex() const {
+  if (leaves_.empty()) return nullptr;
+  if (!leaf_index_) {
+    std::vector<geo::IndexedPoint> points;
+    points.reserve(leaves_.size());
+    for (uint32_t i = 0; i < leaves_.size(); ++i) {
+      points.push_back(geo::IndexedPoint{leaves_[i].position, i});
+    }
+    leaf_index_ = std::make_unique<geo::KdTree>(std::move(points));
+  }
+  return leaf_index_.get();
+}
+
+namespace {
+
+/// Transient per-leaf accumulator during tree construction.
+struct LeafAccum {
+  uint32_t service_count = 0;
+  double journey_sum_s = 0.0;
+  std::set<gtfs::RouteId> routes;
+};
+
+std::vector<HopLeaf> Finalize(const std::map<uint32_t, LeafAccum>& accums,
+                              const std::vector<synth::Zone>& zones) {
+  std::vector<HopLeaf> leaves;
+  leaves.reserve(accums.size());
+  for (const auto& [zone, acc] : accums) {
+    HopLeaf leaf;
+    leaf.zone = zone;
+    leaf.service_count = acc.service_count;
+    leaf.route_count = static_cast<uint32_t>(acc.routes.size());
+    leaf.mean_journey_s =
+        acc.service_count > 0
+            ? acc.journey_sum_s / static_cast<double>(acc.service_count)
+            : 0.0;
+    leaf.position = zones[zone].centroid;
+    leaves.push_back(leaf);
+  }
+  return leaves;
+}
+
+}  // namespace
+
+HopTreeSet::HopTreeSet(const synth::City& city, const IsochroneSet& isochrones,
+                       const gtfs::TimeInterval& interval,
+                       HopTreeOptions options)
+    : interval_(interval) {
+  const gtfs::Feed& feed = city.feed;
+  size_t num_zones = city.zones.size();
+
+  // Assign each stop to its zone (nearest centroid).
+  stop_zone_.resize(feed.num_stops());
+  {
+    std::vector<geo::IndexedPoint> centroids;
+    centroids.reserve(num_zones);
+    for (const synth::Zone& z : city.zones) {
+      centroids.push_back(geo::IndexedPoint{z.centroid, z.id});
+    }
+    geo::KdTree zone_tree(std::move(centroids));
+    for (gtfs::StopId s = 0; s < feed.num_stops(); ++s) {
+      stop_zone_[s] = zone_tree.Nearest(feed.stop(s).position).id;
+    }
+  }
+
+  // Walkable stops per zone: grid prefilter by reach, then the exact
+  // isochrone containment test (F_stops ∩ W_i of §IV-A).
+  std::vector<std::vector<gtfs::StopId>> walkable(num_zones);
+  {
+    std::vector<geo::IndexedPoint> stop_points;
+    stop_points.reserve(feed.num_stops());
+    for (gtfs::StopId s = 0; s < feed.num_stops(); ++s) {
+      stop_points.push_back(geo::IndexedPoint{feed.stop(s).position, s});
+    }
+    double reach = isochrones.config().ReachMeters();
+    if (!stop_points.empty()) {
+      geo::GridIndex grid(std::move(stop_points), std::max(reach, 50.0));
+      for (uint32_t z = 0; z < num_zones; ++z) {
+        for (const geo::Neighbor& n :
+             grid.WithinRadius(city.zones[z].centroid, reach * 1.5)) {
+          if (isochrones.For(z).Contains(feed.stop(n.id).position)) {
+            walkable[z].push_back(n.id);
+          }
+        }
+      }
+    }
+  }
+
+  outbound_.resize(num_zones);
+  inbound_.resize(num_zones);
+  const auto& stop_times = feed.stop_times();
+
+  for (uint32_t z = 0; z < num_zones; ++z) {
+    std::map<uint32_t, LeafAccum> ob_accum;
+    std::map<uint32_t, LeafAccum> ib_accum;
+
+    for (gtfs::StopId s : walkable[z]) {
+      for (const gtfs::Departure& dep : feed.DeparturesInWindow(
+               s, interval_.day, interval_.start, interval_.end)) {
+        const gtfs::Trip& trip = feed.trip(dep.trip);
+        uint32_t first = trip.first_stop_time;
+        uint32_t end = first + trip.num_stop_times;
+        gtfs::RouteId route = trip.route;
+
+        // Outbound: visit each subsequent call of the service.
+        for (uint32_t i = dep.stop_time_index + 1; i < end; ++i) {
+          const gtfs::StopTime& call = stop_times[i];
+          double ride_s = static_cast<double>(call.arrival - dep.time);
+          if (ride_s > options.max_ride_s) break;
+          uint32_t leaf_zone = stop_zone_[call.stop];
+          if (leaf_zone == z) continue;
+          LeafAccum& acc = ob_accum[leaf_zone];
+          ++acc.service_count;
+          acc.journey_sum_s += ride_s;
+          acc.routes.insert(route);
+        }
+
+        // Inbound: visit each preceding call (a passenger boarding there
+        // reaches this walkable stop).
+        const gtfs::StopTime& here = stop_times[dep.stop_time_index];
+        for (uint32_t i = first; i < dep.stop_time_index; ++i) {
+          const gtfs::StopTime& call = stop_times[i];
+          double ride_s = static_cast<double>(here.arrival - call.departure);
+          if (ride_s < 0 || ride_s > options.max_ride_s) continue;
+          uint32_t leaf_zone = stop_zone_[call.stop];
+          if (leaf_zone == z) continue;
+          LeafAccum& acc = ib_accum[leaf_zone];
+          ++acc.service_count;
+          acc.journey_sum_s += ride_s;
+          acc.routes.insert(route);
+        }
+      }
+    }
+
+    outbound_[z] = HopTree(z, Finalize(ob_accum, city.zones));
+    inbound_[z] = HopTree(z, Finalize(ib_accum, city.zones));
+  }
+}
+
+std::vector<uint32_t> HopTreeSet::ReachableZones(uint32_t zone,
+                                                 int hops) const {
+  std::vector<uint8_t> seen(outbound_.size(), 0);
+  std::vector<uint32_t> frontier{zone};
+  std::vector<uint32_t> out;
+  for (int h = 0; h < hops; ++h) {
+    std::vector<uint32_t> next;
+    for (uint32_t f : frontier) {
+      for (const HopLeaf& leaf : outbound_[f].leaves()) {
+        if (leaf.zone == zone || seen[leaf.zone]) continue;
+        seen[leaf.zone] = 1;
+        out.push_back(leaf.zone);
+        next.push_back(leaf.zone);
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,99 @@
+// Transit-hop trees (paper §IV-A, Fig. 2A/2B).
+//
+// A transit hop from a zone is a short foot journey to a stop followed by
+// a transit ride (outbound), or a ride followed by a foot journey to the
+// zone (inbound). The hop tree of a zone z for an interval v has z at the
+// root and a leaf per zone reachable in one hop, carrying connectivity
+// data: how many scheduled services reach that leaf in v and the mean
+// in-vehicle journey time.
+//
+// Trees are pre-computed offline for every zone x direction and retrieved
+// in O(1); the online feature extractor (core/features.h) maps a
+// (z_i, z_j) query over OB(z_i) and IB(z_j).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/isochrone.h"
+#include "geo/kdtree.h"
+#include "gtfs/time.h"
+#include "synth/city_builder.h"
+
+namespace staq::core {
+
+/// One leaf of a hop tree: a zone reachable in a single transit hop.
+struct HopLeaf {
+  uint32_t zone = 0;
+  /// Number of scheduled departures reaching the leaf in the interval
+  /// (the per-leaf counter of §IV-A).
+  uint32_t service_count = 0;
+  /// Number of distinct routes contributing to the leaf.
+  uint32_t route_count = 0;
+  /// Mean in-vehicle journey time over the recorded journeys (seconds).
+  double mean_journey_s = 0.0;
+  /// Leaf zone centroid (copied here so k-NN structures need no lookups).
+  geo::Point position;
+};
+
+/// Direction of the foot/ride composition.
+enum class HopDirection { kOutbound, kInbound };
+
+/// One zone's hop tree in one direction. Leaves are sorted by zone id.
+class HopTree {
+ public:
+  HopTree() = default;
+  HopTree(uint32_t root, std::vector<HopLeaf> leaves);
+
+  uint32_t root() const { return root_; }
+  const std::vector<HopLeaf>& leaves() const { return leaves_; }
+  size_t size() const { return leaves_.size(); }
+
+  /// Leaf for `zone`, or nullptr when it is not reachable in one hop.
+  const HopLeaf* Find(uint32_t zone) const;
+
+  /// k-d tree over leaf centroids, built lazily on first use (used by the
+  /// interchange finder); nullptr when the tree has no leaves.
+  const geo::KdTree* LeafIndex() const;
+
+ private:
+  uint32_t root_ = 0;
+  std::vector<HopLeaf> leaves_;
+  mutable std::unique_ptr<geo::KdTree> leaf_index_;
+};
+
+/// Build options.
+struct HopTreeOptions {
+  /// Cap on journey time recorded along a single trip sweep; keeps leaves
+  /// local to the hop rather than the entire line end-to-end.
+  double max_ride_s = 3600;
+};
+
+/// All hop trees of a city for one time interval, both directions.
+class HopTreeSet {
+ public:
+  /// Pre-computes OB and IB trees for every zone (paper: offline phase).
+  HopTreeSet(const synth::City& city, const IsochroneSet& isochrones,
+             const gtfs::TimeInterval& interval, HopTreeOptions options = {});
+
+  const gtfs::TimeInterval& interval() const { return interval_; }
+  size_t num_zones() const { return outbound_.size(); }
+
+  const HopTree& Outbound(uint32_t zone) const { return outbound_[zone]; }
+  const HopTree& Inbound(uint32_t zone) const { return inbound_[zone]; }
+
+  /// Zone ids reachable from `zone` within `hops` chained outbound hops
+  /// (excluding the zone itself), ascending. hops >= 1.
+  std::vector<uint32_t> ReachableZones(uint32_t zone, int hops) const;
+
+  /// The zone each stop belongs to (nearest centroid).
+  const std::vector<uint32_t>& stop_zone() const { return stop_zone_; }
+
+ private:
+  gtfs::TimeInterval interval_;
+  std::vector<HopTree> outbound_;
+  std::vector<HopTree> inbound_;
+  std::vector<uint32_t> stop_zone_;
+};
+
+}  // namespace staq::core

@@ -1,0 +1,33 @@
+#include "core/interchange.h"
+
+#include <algorithm>
+
+namespace staq::core {
+
+std::vector<Interchange> FindInterchanges(const HopTree& ob, const HopTree& ib,
+                                          const IsochroneSet& isochrones) {
+  std::vector<Interchange> out;
+  const geo::KdTree* ib_index = ib.LeafIndex();
+  if (ib_index == nullptr || ob.leaves().empty()) return out;
+
+  for (const HopLeaf& ob_leaf : ob.leaves()) {
+    geo::Neighbor nearest = ib_index->Nearest(ob_leaf.position);
+    const HopLeaf& ib_leaf = ib.leaves()[nearest.id];
+
+    bool connects = ob_leaf.zone == ib_leaf.zone ||
+                    isochrones.Overlap(ob_leaf.zone, ib_leaf.zone);
+    if (!connects) continue;
+
+    Interchange ic;
+    ic.ob_zone = ob_leaf.zone;
+    ic.ib_zone = ib_leaf.zone;
+    ic.gap_m = nearest.distance;
+    ic.strength = std::min(ob_leaf.service_count, ib_leaf.service_count);
+    ic.position = geo::Point{(ob_leaf.position.x + ib_leaf.position.x) / 2,
+                             (ob_leaf.position.y + ib_leaf.position.y) / 2};
+    out.push_back(ic);
+  }
+  return out;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,35 @@
+// Interchange identification (paper §IV-B1).
+//
+// An interchange exists where a leaf of the origin's outbound tree is
+// within walking distance of a leaf of the destination's inbound tree: a
+// passenger can ride out of the origin, walk, and ride into the
+// destination. Computed online per (z_i, z_j) query with a k-NN (k = 1)
+// search from each outbound leaf onto the inbound tree followed by a
+// walking-isochrone intersection test.
+#pragma once
+
+#include <vector>
+
+#include "core/hoptree.h"
+#include "core/isochrone.h"
+
+namespace staq::core {
+
+/// A feasible mid-journey connection between the two trees.
+struct Interchange {
+  uint32_t ob_zone = 0;  // leaf zone of the outbound tree
+  uint32_t ib_zone = 0;  // leaf zone of the inbound tree
+  double gap_m = 0.0;    // centroid distance between the two leaf zones
+  /// Connectivity strength: min(outbound service count, inbound service
+  /// count) of the joined leaves.
+  uint32_t strength = 0;
+  geo::Point position;   // midpoint, used for proximity features
+};
+
+/// Finds all interchanges between ob and ib. Same-zone leaf pairs always
+/// interchange; distinct zones interchange when their walking isochrones
+/// overlap.
+std::vector<Interchange> FindInterchanges(const HopTree& ob, const HopTree& ib,
+                                          const IsochroneSet& isochrones);
+
+}  // namespace staq::core

@@ -1,0 +1,38 @@
+#include "core/isochrone.h"
+
+#include "graph/dijkstra.h"
+
+namespace staq::core {
+
+geo::Polygon WalkingIsochrone(const graph::Graph& road, graph::NodeId source,
+                              const IsochroneConfig& config) {
+  double reach = config.ReachMeters();
+  auto settled = graph::BoundedShortestPaths(road, source, reach);
+  std::vector<geo::Point> points;
+  points.reserve(settled.size());
+  for (const graph::ReachedNode& r : settled) {
+    points.push_back(road.position(r.node));
+  }
+  geo::Polygon hull = geo::ConvexHull(std::move(points));
+  if (hull.size() >= 3) return hull;
+
+  // Degenerate (isolated node or collinear street): a small box around the
+  // source sized by the remaining budget keeps containment tests sane.
+  geo::Point c = road.position(source);
+  double r = std::max(50.0, reach * 0.1);
+  return geo::Polygon({{c.x - r, c.y - r},
+                       {c.x + r, c.y - r},
+                       {c.x + r, c.y + r},
+                       {c.x - r, c.y + r}});
+}
+
+IsochroneSet::IsochroneSet(const synth::City& city, IsochroneConfig config)
+    : config_(config) {
+  isochrones_.reserve(city.zones.size());
+  for (uint32_t z = 0; z < city.zones.size(); ++z) {
+    isochrones_.push_back(
+        WalkingIsochrone(city.road, city.zone_node[z], config_));
+  }
+}
+
+}  // namespace staq::core

@@ -1,0 +1,56 @@
+// Walking isochrones (paper §IV-A, Fig. 2C).
+//
+// The isochrone of a zone is the area walkable from its centroid within
+// the acceptable walking time τ at speed ω, computed in the road graph G.
+// The paper derives shapefiles; we take the convex hull of the road nodes
+// reached by a bounded Dijkstra, which supports the two operations the
+// pipeline needs: stop ∩ isochrone tests and isochrone x isochrone
+// intersection (the interchange test).
+#pragma once
+
+#include <vector>
+
+#include "geo/polygon.h"
+#include "graph/graph.h"
+#include "synth/city_builder.h"
+
+namespace staq::core {
+
+/// Walking parameters for isochrone computation. Paper values: τ = 600 s,
+/// ω = 4.5 km/h.
+struct IsochroneConfig {
+  double tau_s = 600;
+  double omega_kph = 4.5;
+
+  /// Maximum walkable metres implied by τ and ω.
+  double ReachMeters() const { return tau_s * omega_kph / 3.6; }
+};
+
+/// Isochrone around one road node: convex hull of nodes within the walk
+/// budget. Degenerates to a small square around isolated nodes so that
+/// containment tests stay meaningful.
+geo::Polygon WalkingIsochrone(const graph::Graph& road, graph::NodeId source,
+                              const IsochroneConfig& config);
+
+/// The pre-computed isochrone set W: one polygon per zone.
+class IsochroneSet {
+ public:
+  /// Computes isochrones for every zone of the city (paper: pre-computed
+  /// offline). O(|Z| x bounded-Dijkstra).
+  IsochroneSet(const synth::City& city, IsochroneConfig config);
+
+  const IsochroneConfig& config() const { return config_; }
+  size_t size() const { return isochrones_.size(); }
+  const geo::Polygon& For(uint32_t zone) const { return isochrones_[zone]; }
+
+  /// True if the walkable areas of the two zones overlap.
+  bool Overlap(uint32_t zone_a, uint32_t zone_b) const {
+    return isochrones_[zone_a].Intersects(isochrones_[zone_b]);
+  }
+
+ private:
+  IsochroneConfig config_;
+  std::vector<geo::Polygon> isochrones_;
+};
+
+}  // namespace staq::core

@@ -1,0 +1,68 @@
+#include "core/labeling.h"
+
+#include <cmath>
+
+namespace staq::core {
+
+const char* CostKindName(CostKind kind) {
+  switch (kind) {
+    case CostKind::kJourneyTime:
+      return "JT";
+    case CostKind::kGeneralizedCost:
+      return "GAC";
+  }
+  return "unknown";
+}
+
+LabelingEngine::LabelingEngine(const synth::City* city,
+                               router::Router* router,
+                               router::GacWeights gac_weights)
+    : city_(city), router_(router), gac_weights_(gac_weights) {}
+
+ZoneLabel LabelingEngine::LabelZone(const Todam& todam, uint32_t zone,
+                                    const std::vector<synth::Poi>& pois,
+                                    CostKind kind, gtfs::Day day) {
+  ZoneLabel label;
+  const geo::Point& origin = city_->zones[zone].centroid;
+  double sum = 0.0, sum_sq = 0.0;
+  uint32_t feasible = 0;
+
+  for (const TripEntry& trip : todam.TripsFor(zone)) {
+    router::Journey journey = router_->Route(origin, pois[trip.poi].position,
+                                             day, trip.depart);
+    ++spq_count_;
+    ++label.num_trips;
+    if (!journey.feasible) {
+      ++label.num_infeasible;
+      continue;
+    }
+    if (journey.IsWalkOnly()) ++label.num_walk_only;
+    double cost = kind == CostKind::kJourneyTime
+                      ? journey.JourneyTimeSeconds()
+                      : router::GeneralizedAccessCost(journey, gac_weights_);
+    sum += cost;
+    sum_sq += cost * cost;
+    ++feasible;
+  }
+
+  if (feasible > 0) {
+    double n = static_cast<double>(feasible);
+    label.mac = sum / n;
+    double var = sum_sq / n - label.mac * label.mac;
+    label.acsd = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  return label;
+}
+
+std::vector<ZoneLabel> LabelingEngine::LabelZones(
+    const Todam& todam, const std::vector<uint32_t>& zones,
+    const std::vector<synth::Poi>& pois, CostKind kind, gtfs::Day day) {
+  std::vector<ZoneLabel> out;
+  out.reserve(zones.size());
+  for (uint32_t z : zones) {
+    out.push_back(LabelZone(todam, z, pois, kind, day));
+  }
+  return out;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,69 @@
+// Labeling (paper §IV-D): running SPQs for the trips of selected zones and
+// aggregating the access costs to zone level.
+//
+// For each labeled zone, every trip recorded for it in M_g is resolved by
+// the multi-modal router (the OTP substitute) and the chosen cost (JT or
+// GAC) is aggregated to the zone mean (MAC) and standard deviation (ACSD),
+// which form the SSR target vector. This is by far the dominant cost of
+// the whole solution and is proportional to β — the scalability lever of
+// §IV-E.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/todam.h"
+#include "router/router.h"
+#include "synth/city_builder.h"
+
+namespace staq::core {
+
+/// Which access cost fills the TODAM (paper §III-C).
+enum class CostKind {
+  kJourneyTime,      // JT: AT(d) - t, seconds
+  kGeneralizedCost,  // GAC: Eq. 1, generalized seconds
+};
+
+const char* CostKindName(CostKind kind);
+
+/// Zone-level label: the access measures of §III-D restricted to one zone.
+struct ZoneLabel {
+  double mac = 0.0;   // mean access cost
+  double acsd = 0.0;  // access cost standard deviation
+  uint32_t num_trips = 0;
+  uint32_t num_infeasible = 0;  // trips the router could not resolve
+  uint32_t num_walk_only = 0;
+};
+
+/// Runs SPQs and aggregates. Holds a Router (stateful scratch), so one
+/// engine per thread.
+class LabelingEngine {
+ public:
+  /// `city` and `router` must outlive the engine.
+  LabelingEngine(const synth::City* city, router::Router* router,
+                 router::GacWeights gac_weights = {});
+
+  /// Labels one zone: resolves every trip of `zone` in `todam` against the
+  /// given POI set and aggregates `kind` costs. Infeasible trips are
+  /// excluded from the aggregates but counted.
+  ZoneLabel LabelZone(const Todam& todam, uint32_t zone,
+                      const std::vector<synth::Poi>& pois, CostKind kind,
+                      gtfs::Day day);
+
+  /// Labels many zones (the L set, or all zones for the naive baseline).
+  std::vector<ZoneLabel> LabelZones(const Todam& todam,
+                                    const std::vector<uint32_t>& zones,
+                                    const std::vector<synth::Poi>& pois,
+                                    CostKind kind, gtfs::Day day);
+
+  /// Total SPQs issued since construction (for cost accounting).
+  uint64_t spq_count() const { return spq_count_; }
+
+ private:
+  const synth::City* city_;
+  router::Router* router_;
+  router::GacWeights gac_weights_;
+  uint64_t spq_count_ = 0;
+};
+
+}  // namespace staq::core

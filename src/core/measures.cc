@@ -1,0 +1,84 @@
+#include "core/measures.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::core {
+
+const char* AccessClassName(AccessClass c) {
+  switch (c) {
+    case AccessClass::kBest:
+      return "best";
+    case AccessClass::kWorst:
+      return "worst";
+    case AccessClass::kMostlyGood:
+      return "mostly_good";
+    case AccessClass::kMostlyBad:
+      return "mostly_bad";
+  }
+  return "unknown";
+}
+
+std::vector<int> ClassifyAccessibility(const std::vector<double>& mac,
+                                       const std::vector<double>& acsd) {
+  assert(mac.size() == acsd.size() && !mac.empty());
+  double mac_mean = 0.0, acsd_mean = 0.0;
+  for (size_t i = 0; i < mac.size(); ++i) {
+    mac_mean += mac[i];
+    acsd_mean += acsd[i];
+  }
+  mac_mean /= static_cast<double>(mac.size());
+  acsd_mean /= static_cast<double>(acsd.size());
+
+  std::vector<int> classes(mac.size());
+  for (size_t i = 0; i < mac.size(); ++i) {
+    bool high_mac = mac[i] > mac_mean;
+    bool high_acsd = acsd[i] > acsd_mean;
+    AccessClass c;
+    if (!high_mac && !high_acsd) {
+      c = AccessClass::kBest;
+    } else if (high_mac && !high_acsd) {
+      c = AccessClass::kWorst;
+    } else if (!high_mac && high_acsd) {
+      c = AccessClass::kMostlyGood;
+    } else {
+      c = AccessClass::kMostlyBad;
+    }
+    classes[i] = static_cast<int>(c);
+  }
+  return classes;
+}
+
+double JainIndex(const std::vector<double>& values) {
+  assert(!values.empty());
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  double n = static_cast<double>(values.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double WeightedJainIndex(const std::vector<double>& values,
+                         const std::vector<double>& weights) {
+  assert(values.size() == weights.size() && !values.empty());
+  // Weighted form: J = (Σ w x)^2 / (Σw · Σ w x^2); reduces to JainIndex
+  // when all weights are equal.
+  double wsum = 0.0, wx = 0.0, wx2 = 0.0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    wsum += weights[i];
+    wx += weights[i] * values[i];
+    wx2 += weights[i] * values[i] * values[i];
+  }
+  if (wx2 <= 0.0 || wsum <= 0.0) return 1.0;
+  return (wx * wx) / (wsum * wx2);
+}
+
+double FairnessIndexError(const std::vector<double>& truth_mac,
+                          const std::vector<double>& predicted_mac) {
+  return std::abs(JainIndex(truth_mac) - JainIndex(predicted_mac));
+}
+
+}  // namespace staq::core

@@ -1,0 +1,49 @@
+#include "core/parallel_labeling.h"
+
+#include <atomic>
+#include <thread>
+
+namespace staq::core {
+
+std::vector<ZoneLabel> LabelZonesParallel(
+    const synth::City& city, const Todam& todam,
+    const std::vector<uint32_t>& zones, const std::vector<synth::Poi>& pois,
+    CostKind kind, gtfs::Day day, int num_threads,
+    const router::RouterOptions& router_options,
+    router::GacWeights gac_weights, uint64_t* total_spqs) {
+  if (num_threads <= 1 || zones.size() <= 1) {
+    router::Router router(&city.feed, router_options);
+    LabelingEngine engine(&city, &router, gac_weights);
+    auto labels = engine.LabelZones(todam, zones, pois, kind, day);
+    if (total_spqs != nullptr) *total_spqs = engine.spq_count();
+    return labels;
+  }
+
+  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads),
+                                    zones.size());
+  std::vector<ZoneLabel> labels(zones.size());
+  std::atomic<size_t> next_index{0};
+  std::atomic<uint64_t> spqs{0};
+
+  auto work = [&]() {
+    // Per-worker router: scratch space is instance-local.
+    router::Router router(&city.feed, router_options);
+    LabelingEngine engine(&city, &router, gac_weights);
+    while (true) {
+      size_t i = next_index.fetch_add(1);
+      if (i >= zones.size()) break;
+      labels[i] = engine.LabelZone(todam, zones[i], pois, kind, day);
+    }
+    spqs.fetch_add(engine.spq_count());
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) threads.emplace_back(work);
+  for (std::thread& t : threads) t.join();
+
+  if (total_spqs != nullptr) *total_spqs = spqs.load();
+  return labels;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,20 @@
+// Data sampling (paper §IV-C): splitting zones into the labeled set L and
+// unlabeled set U by a sampling budget β.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace staq::core {
+
+/// Uniform random sample of ⌈β · num_zones⌉ zones (at least 2, at most
+/// all), ascending ids. The paper assumes random sampling gives reasonable
+/// geographic coverage.
+util::Result<std::vector<uint32_t>> SampleLabeledZones(size_t num_zones,
+                                                       double beta,
+                                                       uint64_t seed);
+
+}  // namespace staq::core

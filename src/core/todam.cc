@@ -1,0 +1,131 @@
+#include "core/todam.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::core {
+
+namespace {
+
+/// Independent per-(zone, poi) generator so counting and materialisation
+/// agree and pairs can be processed in any order.
+util::Rng PairRng(uint64_t seed, uint32_t zone, uint32_t poi,
+                  uint32_t num_pois) {
+  uint64_t pair_index =
+      static_cast<uint64_t>(zone) * num_pois + poi;
+  util::SplitMix64 mixer(seed ^ (pair_index * 0x9e3779b97f4a7c15ULL +
+                                 0x2545f4914f6cdd1dULL));
+  return util::Rng(mixer.Next());
+}
+
+}  // namespace
+
+double Todam::WalkOnlyFraction(const std::vector<synth::Zone>& zones,
+                               const std::vector<synth::Poi>& pois,
+                               double reach_m) const {
+  uint64_t walkable = 0;
+  uint64_t total = 0;
+  for (size_t z = 0; z < trips_.size(); ++z) {
+    for (const TripEntry& trip : trips_[z]) {
+      double d = geo::Distance(zones[z].centroid, pois[trip.poi].position);
+      if (d <= reach_m) ++walkable;
+      ++total;
+    }
+  }
+  return total > 0 ? static_cast<double>(walkable) / static_cast<double>(total)
+                   : 0.0;
+}
+
+TodamBuilder::TodamBuilder(const std::vector<synth::Zone>& zones,
+                           const std::vector<synth::Poi>& pois,
+                           const gtfs::TimeInterval& interval,
+                           GravityConfig config)
+    : zones_(zones), pois_(pois), interval_(interval), config_(config) {
+  alpha_ = AttractivenessMatrix(zones_, pois_, config_.decay_scale_m);
+}
+
+uint32_t TodamBuilder::SamplesPerPair() const {
+  double samples = config_.sample_rate_per_hour * interval_.DurationHours();
+  return static_cast<uint32_t>(std::lround(std::max(1.0, samples)));
+}
+
+uint64_t TodamBuilder::FullTripCount() const {
+  return static_cast<uint64_t>(zones_.size()) * pois_.size() *
+         SamplesPerPair();
+}
+
+double TodamBuilder::KeepProbability(double alpha_ij) const {
+  double p = config_.keep_scale * alpha_ij;
+  return p > 1.0 ? 1.0 : p;
+}
+
+Todam TodamBuilder::BuildFull(uint64_t seed) const {
+  Todam todam;
+  todam.alpha_ = alpha_;
+  todam.trips_.resize(zones_.size());
+  uint32_t samples = SamplesPerPair();
+  for (uint32_t z = 0; z < zones_.size(); ++z) {
+    auto& zone_trips = todam.trips_[z];
+    zone_trips.reserve(static_cast<size_t>(pois_.size()) * samples);
+    for (uint32_t p = 0; p < pois_.size(); ++p) {
+      util::Rng rng = PairRng(seed, z, p, static_cast<uint32_t>(pois_.size()));
+      double span = static_cast<double>(interval_.end - interval_.start);
+      for (uint32_t r = 0; r < samples; ++r) {
+        gtfs::TimeOfDay t = interval_.start +
+                            static_cast<gtfs::TimeOfDay>(rng.UniformDouble() * span);
+        zone_trips.push_back(TripEntry{p, t});
+      }
+    }
+    todam.num_trips_ += zone_trips.size();
+  }
+  return todam;
+}
+
+Todam TodamBuilder::BuildGravity(uint64_t seed) const {
+  Todam todam;
+  todam.alpha_ = alpha_;
+  todam.trips_.resize(zones_.size());
+  uint32_t samples = SamplesPerPair();
+  for (uint32_t z = 0; z < zones_.size(); ++z) {
+    auto& zone_trips = todam.trips_[z];
+    for (uint32_t p = 0; p < pois_.size(); ++p) {
+      double keep = KeepProbability(alpha_[z][p]);
+      if (keep <= 0.0) continue;  // α = 0: no trips for this pair (M_b row 0)
+      util::Rng rng = PairRng(seed, z, p, static_cast<uint32_t>(pois_.size()));
+      double span = static_cast<double>(interval_.end - interval_.start);
+      for (uint32_t r = 0; r < samples; ++r) {
+        // One Bernoulli + one time draw per candidate, both single-word,
+        // so counting and building stay in RNG lockstep.
+        bool kept = rng.Bernoulli(keep);
+        gtfs::TimeOfDay t = interval_.start +
+                            static_cast<gtfs::TimeOfDay>(rng.UniformDouble() * span);
+        if (kept) zone_trips.push_back(TripEntry{p, t});
+      }
+    }
+    todam.num_trips_ += zone_trips.size();
+  }
+  return todam;
+}
+
+uint64_t TodamBuilder::GravityTripCount(uint64_t seed) const {
+  uint64_t count = 0;
+  uint32_t samples = SamplesPerPair();
+  for (uint32_t z = 0; z < zones_.size(); ++z) {
+    for (uint32_t p = 0; p < pois_.size(); ++p) {
+      double keep = KeepProbability(alpha_[z][p]);
+      if (keep <= 0.0) continue;
+      if (keep >= 1.0) {
+        count += samples;
+        continue;
+      }
+      util::Rng rng = PairRng(seed, z, p, static_cast<uint32_t>(pois_.size()));
+      for (uint32_t r = 0; r < samples; ++r) {
+        if (rng.Bernoulli(keep)) ++count;
+        (void)rng.NextU64();  // skip the time draw to stay in lockstep
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace staq::core

@@ -1,0 +1,95 @@
+// Temporal origin-destination access matrix (paper §III-C).
+//
+// The TODAM is conceptually |Z| x |P| x |R|: every (zone, POI, start-time)
+// trip. Materialising the full matrix M_f is exactly the bottleneck the
+// paper attacks, so this type supports both:
+//   * materialised construction (full or gravity-masked M_g) — trips are
+//     stored grouped by origin zone, which is the access pattern of both
+//     labeling and aggregation;
+//   * counting-only construction, which reproduces Table I's matrix sizes
+//     at full city scale without allocating hundreds of millions of trips.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gravity.h"
+#include "gtfs/time.h"
+#include "synth/city_builder.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace staq::core {
+
+/// One sampled trip from a zone: destination POI index (into the POI set
+/// the TODAM was built over) and start time.
+struct TripEntry {
+  uint32_t poi = 0;        // index into the builder's POI vector
+  gtfs::TimeOfDay depart = 0;
+};
+
+/// Materialised TODAM over one POI set and one time interval.
+class Todam {
+ public:
+  /// Trips originating at `zone`, grouped contiguously.
+  const std::vector<TripEntry>& TripsFor(uint32_t zone) const {
+    return trips_[zone];
+  }
+  size_t num_zones() const { return trips_.size(); }
+  uint64_t num_trips() const { return num_trips_; }
+
+  /// α_ij weights used during construction (row-normalised); needed again
+  /// for the gravity-weighted feature aggregation.
+  const std::vector<std::vector<double>>& alpha() const { return alpha_; }
+
+  /// Fraction of trips whose POI is within the walking reach `reach_m` of
+  /// the origin centroid (the paper's walk-only share diagnostic, §V-B2).
+  double WalkOnlyFraction(const std::vector<synth::Zone>& zones,
+                          const std::vector<synth::Poi>& pois,
+                          double reach_m) const;
+
+ private:
+  friend class TodamBuilder;
+  std::vector<std::vector<TripEntry>> trips_;
+  std::vector<std::vector<double>> alpha_;
+  uint64_t num_trips_ = 0;
+};
+
+/// Builds full and gravity TODAMs and their trip counts.
+class TodamBuilder {
+ public:
+  /// `zones`/`pois` must outlive the builder call; `interval` gives the
+  /// start-time window, `config` the gravity parameters.
+  TodamBuilder(const std::vector<synth::Zone>& zones,
+               const std::vector<synth::Poi>& pois,
+               const gtfs::TimeInterval& interval, GravityConfig config);
+
+  /// |R|: start-time samples per (zone, POI) pair.
+  uint32_t SamplesPerPair() const;
+
+  /// Size of the full matrix M_f = |Z| x |P| x |R| (no materialisation).
+  uint64_t FullTripCount() const;
+
+  /// Materialises the full TODAM M_f. Use only at small scales.
+  Todam BuildFull(uint64_t seed) const;
+
+  /// Materialises the gravity TODAM M_g: per pair (i,j), each of the |R|
+  /// start times is kept with probability min(1, keep_scale * α_ij).
+  Todam BuildGravity(uint64_t seed) const;
+
+  /// Trip count of M_g under `seed` without materialising the start times
+  /// (draws only the per-pair binomial counts). Matches BuildGravity's
+  /// count for the same seed.
+  uint64_t GravityTripCount(uint64_t seed) const;
+
+ private:
+  double KeepProbability(double alpha_ij) const;
+
+  const std::vector<synth::Zone>& zones_;
+  const std::vector<synth::Poi>& pois_;
+  gtfs::TimeInterval interval_;
+  GravityConfig config_;
+  std::vector<std::vector<double>> alpha_;
+};
+
+}  // namespace staq::core

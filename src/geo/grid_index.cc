@@ -1,0 +1,114 @@
+#include "geo/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace staq::geo {
+
+GridIndex::GridIndex(std::vector<IndexedPoint> points, double cell_size)
+    : points_(std::move(points)), cell_size_(cell_size) {
+  assert(cell_size_ > 0);
+  if (points_.empty()) return;
+  double max_x = points_[0].point.x, max_y = points_[0].point.y;
+  min_x_ = max_x;
+  min_y_ = max_y;
+  for (const auto& ip : points_) {
+    min_x_ = std::min(min_x_, ip.point.x);
+    min_y_ = std::min(min_y_, ip.point.y);
+    max_x = std::max(max_x, ip.point.x);
+    max_y = std::max(max_y, ip.point.y);
+  }
+  cols_ = static_cast<int64_t>((max_x - min_x_) / cell_size_) + 1;
+  rows_ = static_cast<int64_t>((max_y - min_y_) / cell_size_) + 1;
+
+  size_t num_cells = static_cast<size_t>(cols_ * rows_);
+  std::vector<uint32_t> counts(num_cells + 1, 0);
+  for (const auto& ip : points_) {
+    ++counts[CellIndex(CellX(ip.point.x), CellY(ip.point.y)) + 1];
+  }
+  for (size_t i = 1; i <= num_cells; ++i) counts[i] += counts[i - 1];
+  cell_start_ = counts;
+  order_.resize(points_.size());
+  std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (uint32_t i = 0; i < points_.size(); ++i) {
+    size_t cell = CellIndex(CellX(points_[i].point.x), CellY(points_[i].point.y));
+    order_[cursor[cell]++] = i;
+  }
+}
+
+int64_t GridIndex::CellX(double x) const {
+  int64_t c = static_cast<int64_t>((x - min_x_) / cell_size_);
+  return std::clamp<int64_t>(c, 0, cols_ - 1);
+}
+
+int64_t GridIndex::CellY(double y) const {
+  int64_t c = static_cast<int64_t>((y - min_y_) / cell_size_);
+  return std::clamp<int64_t>(c, 0, rows_ - 1);
+}
+
+size_t GridIndex::CellIndex(int64_t cx, int64_t cy) const {
+  return static_cast<size_t>(cy * cols_ + cx);
+}
+
+void GridIndex::ScanCell(int64_t cx, int64_t cy, const Point& query,
+                         double radius_sq, std::vector<Neighbor>* out) const {
+  if (cx < 0 || cx >= cols_ || cy < 0 || cy >= rows_) return;
+  size_t cell = CellIndex(cx, cy);
+  for (uint32_t k = cell_start_[cell]; k < cell_start_[cell + 1]; ++k) {
+    const IndexedPoint& ip = points_[order_[k]];
+    double d_sq = DistanceSquared(ip.point, query);
+    if (d_sq <= radius_sq) {
+      out->push_back(Neighbor{ip.id, std::sqrt(d_sq)});
+    }
+  }
+}
+
+std::vector<Neighbor> GridIndex::WithinRadius(const Point& query,
+                                              double radius) const {
+  std::vector<Neighbor> out;
+  if (points_.empty() || radius < 0) return out;
+  // Cell coordinates here are unclamped so the loop covers the query disc
+  // even when the query point lies outside the indexed extent.
+  int64_t cx0 = static_cast<int64_t>(std::floor((query.x - radius - min_x_) / cell_size_));
+  int64_t cx1 = static_cast<int64_t>(std::floor((query.x + radius - min_x_) / cell_size_));
+  int64_t cy0 = static_cast<int64_t>(std::floor((query.y - radius - min_y_) / cell_size_));
+  int64_t cy1 = static_cast<int64_t>(std::floor((query.y + radius - min_y_) / cell_size_));
+  double radius_sq = radius * radius;
+  for (int64_t cy = cy0; cy <= cy1; ++cy) {
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      ScanCell(cx, cy, query, radius_sq, &out);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Neighbor& a, const Neighbor& b) {
+              return a.distance < b.distance;
+            });
+  return out;
+}
+
+Neighbor GridIndex::Nearest(const Point& query) const {
+  assert(!points_.empty());
+  // Expand the search radius in cell-size increments until a hit is found,
+  // then one more ring to guarantee correctness near cell boundaries.
+  double radius = cell_size_;
+  // Upper bound: the whole indexed extent plus distance to it.
+  double extent = cell_size_ * static_cast<double>(std::max(cols_, rows_) + 2) +
+                  std::abs(query.x - min_x_) + std::abs(query.y - min_y_);
+  while (radius <= extent) {
+    auto hits = WithinRadius(query, radius);
+    if (!hits.empty()) return hits.front();
+    radius *= 2;
+  }
+  // Fallback: linear scan (only reachable for pathological extents).
+  Neighbor best{points_[0].id,
+                std::sqrt(DistanceSquared(points_[0].point, query))};
+  for (const auto& ip : points_) {
+    double d = std::sqrt(DistanceSquared(ip.point, query));
+    if (d < best.distance) best = Neighbor{ip.id, d};
+  }
+  return best;
+}
+
+}  // namespace staq::geo

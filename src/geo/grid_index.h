@@ -1,0 +1,50 @@
+// Uniform-grid spatial index.
+//
+// Complements the k-d tree for dense radius queries with a fixed radius —
+// e.g. "all bus stops within the walking budget of a zone centroid", where
+// the query radius is known up front and queries are issued for every zone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/kdtree.h"  // for IndexedPoint / Neighbor
+#include "geo/latlon.h"
+
+namespace staq::geo {
+
+/// Buckets points into square cells of a fixed size; radius queries visit
+/// only the cells overlapping the query disc.
+class GridIndex {
+ public:
+  /// Builds the index with the given cell size in metres. A cell size close
+  /// to the typical query radius is near-optimal. Requires cell_size > 0.
+  GridIndex(std::vector<IndexedPoint> points, double cell_size);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// All points within `radius` metres of `query`, ascending by distance.
+  std::vector<Neighbor> WithinRadius(const Point& query, double radius) const;
+
+  /// Nearest point, searched by expanding rings of cells. Requires a
+  /// non-empty index.
+  Neighbor Nearest(const Point& query) const;
+
+ private:
+  int64_t CellX(double x) const;
+  int64_t CellY(double y) const;
+  size_t CellIndex(int64_t cx, int64_t cy) const;
+  void ScanCell(int64_t cx, int64_t cy, const Point& query, double radius_sq,
+                std::vector<Neighbor>* out) const;
+
+  std::vector<IndexedPoint> points_;
+  double cell_size_;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  int64_t cols_ = 0, rows_ = 0;
+  // CSR-style layout: cell_start_[c]..cell_start_[c+1] indexes into order_.
+  std::vector<uint32_t> cell_start_;
+  std::vector<uint32_t> order_;
+};
+
+}  // namespace staq::geo

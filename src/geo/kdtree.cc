@@ -1,0 +1,144 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace staq::geo {
+
+namespace {
+
+inline double Coord(const Point& p, int axis) { return axis == 0 ? p.x : p.y; }
+
+/// Max-heap ordering on distance for the k-NN candidate set.
+inline bool HeapLess(const Neighbor& a, const Neighbor& b) {
+  return a.distance < b.distance;
+}
+
+}  // namespace
+
+KdTree::KdTree(std::vector<IndexedPoint> points) : points_(std::move(points)) {
+  if (!points_.empty()) Build(0, points_.size(), 0);
+}
+
+void KdTree::Build(size_t begin, size_t end, int axis) {
+  if (end - begin <= 1) return;
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(points_.begin() + begin, points_.begin() + mid,
+                   points_.begin() + end,
+                   [axis](const IndexedPoint& a, const IndexedPoint& b) {
+                     return Coord(a.point, axis) < Coord(b.point, axis);
+                   });
+  Build(begin, mid, 1 - axis);
+  Build(mid + 1, end, 1 - axis);
+}
+
+Neighbor KdTree::Nearest(const Point& query) const {
+  assert(!points_.empty());
+  Neighbor best{points_[0].id,
+                std::sqrt(DistanceSquared(points_[0].point, query))};
+  double best_dist_sq = best.distance * best.distance;
+  NearestImpl(0, points_.size(), 0, query, &best, &best_dist_sq);
+  best.distance = std::sqrt(best_dist_sq);
+  return best;
+}
+
+void KdTree::NearestImpl(size_t begin, size_t end, int axis,
+                         const Point& query, Neighbor* best,
+                         double* best_dist_sq) const {
+  if (begin >= end) return;
+  size_t mid = begin + (end - begin) / 2;
+  const IndexedPoint& node = points_[mid];
+  double d_sq = DistanceSquared(node.point, query);
+  if (d_sq < *best_dist_sq) {
+    *best_dist_sq = d_sq;
+    best->id = node.id;
+  }
+  double delta = Coord(query, axis) - Coord(node.point, axis);
+  // Descend into the near side first; prune the far side by plane distance.
+  if (delta < 0) {
+    NearestImpl(begin, mid, 1 - axis, query, best, best_dist_sq);
+    if (delta * delta < *best_dist_sq) {
+      NearestImpl(mid + 1, end, 1 - axis, query, best, best_dist_sq);
+    }
+  } else {
+    NearestImpl(mid + 1, end, 1 - axis, query, best, best_dist_sq);
+    if (delta * delta < *best_dist_sq) {
+      NearestImpl(begin, mid, 1 - axis, query, best, best_dist_sq);
+    }
+  }
+}
+
+std::vector<Neighbor> KdTree::KNearest(const Point& query, size_t k) const {
+  std::vector<Neighbor> heap;
+  if (k == 0 || points_.empty()) return heap;
+  heap.reserve(k + 1);
+  KNearestImpl(0, points_.size(), 0, query, k, &heap);
+  std::sort_heap(heap.begin(), heap.end(), HeapLess);
+  return heap;
+}
+
+void KdTree::KNearestImpl(size_t begin, size_t end, int axis,
+                          const Point& query, size_t k,
+                          std::vector<Neighbor>* heap) const {
+  if (begin >= end) return;
+  size_t mid = begin + (end - begin) / 2;
+  const IndexedPoint& node = points_[mid];
+  double dist = std::sqrt(DistanceSquared(node.point, query));
+  if (heap->size() < k) {
+    heap->push_back(Neighbor{node.id, dist});
+    std::push_heap(heap->begin(), heap->end(), HeapLess);
+  } else if (dist < heap->front().distance) {
+    std::pop_heap(heap->begin(), heap->end(), HeapLess);
+    heap->back() = Neighbor{node.id, dist};
+    std::push_heap(heap->begin(), heap->end(), HeapLess);
+  }
+  double delta = Coord(query, axis) - Coord(node.point, axis);
+  double worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                                  : heap->front().distance;
+  if (delta < 0) {
+    KNearestImpl(begin, mid, 1 - axis, query, k, heap);
+    worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                             : heap->front().distance;
+    if (std::abs(delta) < worst) {
+      KNearestImpl(mid + 1, end, 1 - axis, query, k, heap);
+    }
+  } else {
+    KNearestImpl(mid + 1, end, 1 - axis, query, k, heap);
+    worst = heap->size() < k ? std::numeric_limits<double>::infinity()
+                             : heap->front().distance;
+    if (std::abs(delta) < worst) {
+      KNearestImpl(begin, mid, 1 - axis, query, k, heap);
+    }
+  }
+}
+
+std::vector<Neighbor> KdTree::WithinRadius(const Point& query,
+                                           double radius) const {
+  std::vector<Neighbor> out;
+  if (points_.empty() || radius < 0) return out;
+  RadiusImpl(0, points_.size(), 0, query, radius * radius, &out);
+  std::sort(out.begin(), out.end(), HeapLess);
+  return out;
+}
+
+void KdTree::RadiusImpl(size_t begin, size_t end, int axis, const Point& query,
+                        double radius_sq, std::vector<Neighbor>* out) const {
+  if (begin >= end) return;
+  size_t mid = begin + (end - begin) / 2;
+  const IndexedPoint& node = points_[mid];
+  double d_sq = DistanceSquared(node.point, query);
+  if (d_sq <= radius_sq) {
+    out->push_back(Neighbor{node.id, std::sqrt(d_sq)});
+  }
+  double delta = Coord(query, axis) - Coord(node.point, axis);
+  if (delta < 0 || delta * delta <= radius_sq) {
+    RadiusImpl(begin, mid, 1 - axis, query, radius_sq, out);
+  }
+  if (delta > 0 || delta * delta <= radius_sq) {
+    RadiusImpl(mid + 1, end, 1 - axis, query, radius_sq, out);
+  }
+}
+
+}  // namespace staq::geo

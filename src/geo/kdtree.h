@@ -1,0 +1,65 @@
+// 2-d k-d tree over projected points.
+//
+// Used for the paper's interchange identification (§IV-B1): a k-NN (k=1)
+// search from each outbound-tree leaf onto the inbound tree's leaves, and
+// for nearest-stop / nearest-leaf feature computations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace staq::geo {
+
+/// A point paired with a caller-supplied id (zone index, stop index, ...).
+struct IndexedPoint {
+  Point point;
+  uint32_t id = 0;
+};
+
+/// Result of a nearest-neighbour query.
+struct Neighbor {
+  uint32_t id = 0;
+  double distance = 0.0;  // metres
+};
+
+/// Static 2-d k-d tree built once over a point set; O(log n) expected
+/// nearest-neighbour queries, O(n log n) build.
+///
+/// Uses an implicit median layout: the tree is the reordered point array
+/// itself — the subtree for a range [begin, end) stores its splitting point
+/// at the median index, alternating split axis by depth. No per-node
+/// allocation.
+class KdTree {
+ public:
+  /// Builds the tree over `points`. The point set is copied and reordered
+  /// internally; ids are preserved.
+  explicit KdTree(std::vector<IndexedPoint> points);
+
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+
+  /// Nearest neighbour to `query`. Requires a non-empty tree.
+  Neighbor Nearest(const Point& query) const;
+
+  /// The k nearest neighbours, ascending by distance. Returns fewer than k
+  /// if the tree is smaller.
+  std::vector<Neighbor> KNearest(const Point& query, size_t k) const;
+
+  /// All points within `radius` metres of `query`, ascending by distance.
+  std::vector<Neighbor> WithinRadius(const Point& query, double radius) const;
+
+ private:
+  void Build(size_t begin, size_t end, int axis);
+  void NearestImpl(size_t begin, size_t end, int axis, const Point& query,
+                   Neighbor* best, double* best_dist_sq) const;
+  void KNearestImpl(size_t begin, size_t end, int axis, const Point& query,
+                    size_t k, std::vector<Neighbor>* heap) const;
+  void RadiusImpl(size_t begin, size_t end, int axis, const Point& query,
+                  double radius_sq, std::vector<Neighbor>* out) const;
+
+  std::vector<IndexedPoint> points_;
+};
+
+}  // namespace staq::geo

@@ -1,0 +1,36 @@
+#include "geo/latlon.h"
+
+namespace staq::geo {
+
+namespace {
+constexpr double kDegToRad = 0.017453292519943295;
+constexpr double kRadToDeg = 57.29577951308232;
+}  // namespace
+
+double HaversineMeters(const LatLon& a, const LatLon& b) {
+  double lat1 = a.lat * kDegToRad;
+  double lat2 = b.lat * kDegToRad;
+  double dlat = (b.lat - a.lat) * kDegToRad;
+  double dlon = (b.lon - a.lon) * kDegToRad;
+  double s1 = std::sin(dlat / 2);
+  double s2 = std::sin(dlon / 2);
+  double h = s1 * s1 + std::cos(lat1) * std::cos(lat2) * s2 * s2;
+  if (h > 1.0) h = 1.0;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::sqrt(h));
+}
+
+LocalProjection::LocalProjection(const LatLon& origin)
+    : origin_(origin), cos_lat_(std::cos(origin.lat * kDegToRad)) {}
+
+Point LocalProjection::Project(const LatLon& c) const {
+  return Point{(c.lon - origin_.lon) * kDegToRad * kEarthRadiusMeters * cos_lat_,
+               (c.lat - origin_.lat) * kDegToRad * kEarthRadiusMeters};
+}
+
+LatLon LocalProjection::Unproject(const Point& p) const {
+  return LatLon{origin_.lat + (p.y / kEarthRadiusMeters) * kRadToDeg,
+                origin_.lon +
+                    (p.x / (kEarthRadiusMeters * cos_lat_)) * kRadToDeg};
+}
+
+}  // namespace staq::geo

@@ -1,0 +1,89 @@
+// Geographic primitives: WGS-84 coordinates, great-circle distance, and a
+// local equirectangular projection into metres.
+//
+// staq keeps raw inputs (zone centroids, stops, POIs) in lat/lon, but all
+// geometric computation (isochrones, k-NN, interchange tests) happens in a
+// per-city local projection where Euclidean distance approximates ground
+// distance to well under 0.1% at city scale.
+#pragma once
+
+#include <cmath>
+
+namespace staq::geo {
+
+/// Mean Earth radius in metres (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// A WGS-84 coordinate in decimal degrees.
+struct LatLon {
+  double lat = 0.0;
+  double lon = 0.0;
+
+  bool operator==(const LatLon&) const = default;
+};
+
+/// A point in a local projected plane, metres east (x) / north (y) of the
+/// projection origin.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Euclidean distance between two projected points, in metres.
+inline double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance (avoids the sqrt for comparisons).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Great-circle (haversine) distance between two coordinates, in metres.
+double HaversineMeters(const LatLon& a, const LatLon& b);
+
+/// Equirectangular projection centred on a reference coordinate.
+///
+/// Within a ~50 km city radius the distortion relative to haversine is
+/// negligible for accessibility purposes; the projection is exactly
+/// invertible.
+class LocalProjection {
+ public:
+  /// Creates a projection whose origin (0,0) is `origin`.
+  explicit LocalProjection(const LatLon& origin);
+
+  const LatLon& origin() const { return origin_; }
+
+  /// Projects a coordinate to local metres.
+  Point Project(const LatLon& c) const;
+
+  /// Inverse projection back to lat/lon.
+  LatLon Unproject(const Point& p) const;
+
+ private:
+  LatLon origin_;
+  double cos_lat_;  // cos(origin.lat), cached for Project/Unproject.
+};
+
+/// Axis-aligned bounding box in projected metres.
+struct BBox {
+  double min_x = 0.0, min_y = 0.0, max_x = 0.0, max_y = 0.0;
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Intersects(const BBox& o) const {
+    return min_x <= o.max_x && o.min_x <= max_x && min_y <= o.max_y &&
+           o.min_y <= max_y;
+  }
+  double Width() const { return max_x - min_x; }
+  double Height() const { return max_y - min_y; }
+};
+
+}  // namespace staq::geo

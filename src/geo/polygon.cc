@@ -1,0 +1,165 @@
+#include "geo/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace staq::geo {
+
+namespace {
+
+/// Cross product of (b - a) x (c - a); >0 means c is left of a->b.
+double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+/// -1 / 0 / +1 orientation of the triple with a small epsilon for
+/// collinearity.
+int Orientation(const Point& a, const Point& b, const Point& c) {
+  double v = Cross(a, b, c);
+  // Relative epsilon: coordinates are metres, city extents ~1e5, so doubles
+  // carry ~1e-10 absolute noise after a few ops; 1e-9 * scale is safe.
+  double scale = std::abs(v) + std::abs((b.x - a.x) * (c.y - a.y)) +
+                 std::abs((b.y - a.y) * (c.x - a.x));
+  if (std::abs(v) <= 1e-12 * std::max(scale, 1.0)) return 0;
+  return v > 0 ? 1 : -1;
+}
+
+bool OnSegment(const Point& a, const Point& b, const Point& p) {
+  return p.x >= std::min(a.x, b.x) - 1e-9 && p.x <= std::max(a.x, b.x) + 1e-9 &&
+         p.y >= std::min(a.y, b.y) - 1e-9 && p.y <= std::max(a.y, b.y) + 1e-9;
+}
+
+}  // namespace
+
+double Polygon::SignedArea() const {
+  if (vertices_.size() < 3) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    acc += a.x * b.y - b.x * a.y;
+  }
+  return acc / 2.0;
+}
+
+Point Polygon::Centroid() const {
+  if (vertices_.empty()) return Point{};
+  double area = SignedArea();
+  if (vertices_.size() < 3 || std::abs(area) < 1e-12) {
+    Point mean{};
+    for (const Point& v : vertices_) {
+      mean.x += v.x;
+      mean.y += v.y;
+    }
+    mean.x /= static_cast<double>(vertices_.size());
+    mean.y /= static_cast<double>(vertices_.size());
+    return mean;
+  }
+  double cx = 0.0, cy = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    double w = a.x * b.y - b.x * a.y;
+    cx += (a.x + b.x) * w;
+    cy += (a.y + b.y) * w;
+  }
+  return Point{cx / (6.0 * area), cy / (6.0 * area)};
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (vertices_.size() < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = vertices_.size() - 1; i < vertices_.size(); j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    // Boundary check: point collinear with and within the edge's box.
+    if (Orientation(a, b, p) == 0 && OnSegment(a, b, p)) return true;
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_at_y = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+      if (p.x < x_at_y) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+BBox Polygon::Bounds() const {
+  if (vertices_.empty()) return BBox{};
+  BBox box{vertices_[0].x, vertices_[0].y, vertices_[0].x, vertices_[0].y};
+  for (const Point& v : vertices_) {
+    box.min_x = std::min(box.min_x, v.x);
+    box.min_y = std::min(box.min_y, v.y);
+    box.max_x = std::max(box.max_x, v.x);
+    box.max_y = std::max(box.max_y, v.y);
+  }
+  return box;
+}
+
+bool Polygon::Intersects(const Polygon& other) const {
+  if (empty() || other.empty()) return false;
+  if (!Bounds().Intersects(other.Bounds())) return false;
+  // Vertex containment either way covers full-containment cases.
+  for (const Point& v : other.vertices_) {
+    if (Contains(v)) return true;
+  }
+  for (const Point& v : vertices_) {
+    if (other.Contains(v)) return true;
+  }
+  // Edge-crossing check covers partial overlaps with no contained vertex.
+  size_t n = vertices_.size(), m = other.vertices_.size();
+  if (n < 2 || m < 2) return false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a1 = vertices_[i];
+    const Point& a2 = vertices_[(i + 1) % n];
+    for (size_t j = 0; j < m; ++j) {
+      if (SegmentsIntersect(a1, a2, other.vertices_[j],
+                            other.vertices_[(j + 1) % m])) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2) {
+  int o1 = Orientation(a1, a2, b1);
+  int o2 = Orientation(a1, a2, b2);
+  int o3 = Orientation(b1, b2, a1);
+  int o4 = Orientation(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && OnSegment(a1, a2, b1)) return true;
+  if (o2 == 0 && OnSegment(a1, a2, b2)) return true;
+  if (o3 == 0 && OnSegment(b1, b2, a1)) return true;
+  if (o4 == 0 && OnSegment(b1, b2, a2)) return true;
+  return false;
+}
+
+Polygon ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(), [](const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  });
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  size_t n = points.size();
+  if (n < 3) return Polygon(std::move(points));
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower hull.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  // Upper hull.
+  for (size_t i = n - 1, t = k + 1; i > 0; --i) {
+    while (k >= t && Cross(hull[k - 2], hull[k - 1], points[i - 1]) <= 0) --k;
+    hull[k++] = points[i - 1];
+  }
+  hull.resize(k - 1);  // Last point repeats the first.
+  if (hull.size() < 3) {
+    // All input collinear: keep the two extremes.
+    return Polygon(std::move(hull));
+  }
+  return Polygon(std::move(hull));
+}
+
+}  // namespace staq::geo

@@ -1,0 +1,62 @@
+// Simple polygons in the local projected plane.
+//
+// Walking isochrones (paper Fig. 2C) are represented as polygons: the
+// paper derives them from road-network shapefiles; we compute them as the
+// convex hull of the road nodes reachable within the walk budget (see
+// core/isochrone.h) which preserves the two operations the pipeline needs:
+// point containment (stop ∩ isochrone) and polygon intersection
+// (interchange test).
+#pragma once
+
+#include <vector>
+
+#include "geo/latlon.h"
+
+namespace staq::geo {
+
+/// A simple polygon (no self-intersection assumed), vertices in order.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Signed area: positive for counter-clockwise winding.
+  double SignedArea() const;
+
+  /// |SignedArea()|.
+  double Area() const { return std::abs(SignedArea()); }
+
+  /// Centroid of the polygon area (vertex mean for degenerate polygons).
+  Point Centroid() const;
+
+  /// Ray-casting point-in-polygon test; boundary points count as inside.
+  bool Contains(const Point& p) const;
+
+  /// Tight axis-aligned bounding box; zero box when empty.
+  BBox Bounds() const;
+
+  /// True if this polygon and `other` overlap: any vertex of one inside the
+  /// other, or any pair of edges crossing. Exact for convex polygons, which
+  /// is what isochrones are.
+  bool Intersects(const Polygon& other) const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// Andrew's monotone-chain convex hull. Returns vertices in
+/// counter-clockwise order without the closing duplicate. Collinear input
+/// degenerates to the two extreme points; fewer than 3 distinct points are
+/// returned as-is.
+Polygon ConvexHull(std::vector<Point> points);
+
+/// True if segments (a1,a2) and (b1,b2) intersect (including touching).
+bool SegmentsIntersect(const Point& a1, const Point& a2, const Point& b1,
+                       const Point& b2);
+
+}  // namespace staq::geo

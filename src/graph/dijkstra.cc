@@ -1,0 +1,116 @@
+#include "graph/dijkstra.h"
+
+#include <cassert>
+#include <queue>
+
+namespace staq::graph {
+
+namespace {
+
+struct QueueEntry {
+  double distance;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return distance > o.distance; }
+};
+
+using MinQueue =
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<double> ShortestPaths(const Graph& g, NodeId source) {
+  assert(g.finalized() && source < g.num_nodes());
+  std::vector<double> dist(g.num_nodes(), kUnreachable);
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, n] = queue.top();
+    queue.pop();
+    if (d > dist[n]) continue;  // stale entry
+    for (const Arc* a = g.arcs_begin(n); a != g.arcs_end(n); ++a) {
+      double nd = d + a->length_m;
+      if (nd < dist[a->head]) {
+        dist[a->head] = nd;
+        queue.push({nd, a->head});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<ReachedNode> BoundedShortestPaths(const Graph& g, NodeId source,
+                                              double max_distance) {
+  assert(g.finalized() && source < g.num_nodes());
+  std::vector<double> dist(g.num_nodes(), kUnreachable);
+  std::vector<ReachedNode> settled;
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, n] = queue.top();
+    queue.pop();
+    if (d > dist[n]) continue;
+    settled.push_back(ReachedNode{n, d});
+    for (const Arc* a = g.arcs_begin(n); a != g.arcs_end(n); ++a) {
+      double nd = d + a->length_m;
+      if (nd <= max_distance && nd < dist[a->head]) {
+        dist[a->head] = nd;
+        queue.push({nd, a->head});
+      }
+    }
+  }
+  return settled;
+}
+
+double ShortestPathDistance(const Graph& g, NodeId source, NodeId target) {
+  assert(g.finalized() && source < g.num_nodes() && target < g.num_nodes());
+  if (source == target) return 0.0;
+  std::vector<double> dist(g.num_nodes(), kUnreachable);
+  MinQueue queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, n] = queue.top();
+    queue.pop();
+    if (d > dist[n]) continue;
+    if (n == target) return d;
+    for (const Arc* a = g.arcs_begin(n); a != g.arcs_end(n); ++a) {
+      double nd = d + a->length_m;
+      if (nd < dist[a->head]) {
+        dist[a->head] = nd;
+        queue.push({nd, a->head});
+      }
+    }
+  }
+  return kUnreachable;
+}
+
+std::vector<double> MultiSourceShortestPaths(
+    const Graph& g, const std::vector<ReachedNode>& sources) {
+  assert(g.finalized());
+  std::vector<double> dist(g.num_nodes(), kUnreachable);
+  MinQueue queue;
+  for (const auto& s : sources) {
+    assert(s.node < g.num_nodes() && s.distance >= 0);
+    if (s.distance < dist[s.node]) {
+      dist[s.node] = s.distance;
+      queue.push({s.distance, s.node});
+    }
+  }
+  while (!queue.empty()) {
+    auto [d, n] = queue.top();
+    queue.pop();
+    if (d > dist[n]) continue;
+    for (const Arc* a = g.arcs_begin(n); a != g.arcs_end(n); ++a) {
+      double nd = d + a->length_m;
+      if (nd < dist[a->head]) {
+        dist[a->head] = nd;
+        queue.push({nd, a->head});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace staq::graph

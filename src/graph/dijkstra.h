@@ -1,0 +1,46 @@
+// Dijkstra shortest paths over the road graph.
+//
+// Three variants cover the library's needs:
+//  * full single-source (walk-time tables, SPQ labeling),
+//  * cost-bounded single-source (walking isochrones, paper §IV-A),
+//  * single-target with early exit (point-to-point SPQs).
+//
+// Costs are metres here; callers convert to seconds via a walking speed.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace staq::graph {
+
+inline constexpr double kUnreachable = std::numeric_limits<double>::infinity();
+
+/// A node reached by a bounded search, with its distance from the source.
+struct ReachedNode {
+  NodeId node = 0;
+  double distance = 0.0;
+};
+
+/// Full single-source shortest paths. Returns a distance per node
+/// (kUnreachable where no path exists). Requires g.finalized().
+std::vector<double> ShortestPaths(const Graph& g, NodeId source);
+
+/// Single-source shortest paths limited to `max_distance`; returns only the
+/// nodes whose distance is <= max_distance, in non-decreasing distance
+/// order (the source itself is included at distance 0).
+std::vector<ReachedNode> BoundedShortestPaths(const Graph& g, NodeId source,
+                                              double max_distance);
+
+/// Point-to-point distance with early termination when `target` is settled.
+/// Returns kUnreachable when no path exists.
+double ShortestPathDistance(const Graph& g, NodeId source, NodeId target);
+
+/// Multi-source variant: each source starts with the given initial distance
+/// (non-negative). Used for stop-to-stop walk tables where several graph
+/// nodes approximate one stop. Returns a distance per node.
+std::vector<double> MultiSourceShortestPaths(
+    const Graph& g, const std::vector<ReachedNode>& sources);
+
+}  // namespace staq::graph

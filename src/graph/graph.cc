@@ -1,0 +1,70 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace staq::graph {
+
+NodeId Graph::AddNode(const geo::Point& position) {
+  assert(!finalized_);
+  positions_.push_back(position);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+util::Status Graph::AddEdge(NodeId a, NodeId b, double length_m,
+                            bool bidirectional) {
+  if (finalized_) {
+    return util::Status::FailedPrecondition("graph already finalized");
+  }
+  if (a >= positions_.size() || b >= positions_.size()) {
+    return util::Status::InvalidArgument("edge references unknown node");
+  }
+  if (length_m < 0) {
+    return util::Status::InvalidArgument("negative edge length");
+  }
+  pending_.push_back(PendingEdge{a, b, length_m});
+  if (bidirectional) pending_.push_back(PendingEdge{b, a, length_m});
+  return util::Status::OK();
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  offsets_.assign(positions_.size() + 1, 0);
+  for (const auto& e : pending_) ++offsets_[e.tail + 1];
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  arcs_.resize(pending_.size());
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& e : pending_) {
+    arcs_[cursor[e.tail]++] = Arc{e.head, e.length_m};
+  }
+  pending_.clear();
+  pending_.shrink_to_fit();
+  finalized_ = true;
+}
+
+size_t Graph::ConnectedComponents(std::vector<uint32_t>* labels) const {
+  assert(finalized_);
+  constexpr uint32_t kUnlabeled = static_cast<uint32_t>(-1);
+  labels->assign(num_nodes(), kUnlabeled);
+  uint32_t next_label = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < num_nodes(); ++start) {
+    if ((*labels)[start] != kUnlabeled) continue;
+    uint32_t label = next_label++;
+    stack.push_back(start);
+    (*labels)[start] = label;
+    while (!stack.empty()) {
+      NodeId n = stack.back();
+      stack.pop_back();
+      for (const Arc* a = arcs_begin(n); a != arcs_end(n); ++a) {
+        if ((*labels)[a->head] == kUnlabeled) {
+          (*labels)[a->head] = label;
+          stack.push_back(a->head);
+        }
+      }
+    }
+  }
+  return next_label;
+}
+
+}  // namespace staq::graph

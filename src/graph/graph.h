@@ -1,0 +1,74 @@
+// Road-network graph G(N, E) (paper §III-A).
+//
+// Nodes are embedded in the local projected plane; edges carry a length in
+// metres. Walking times are derived by dividing by a walking speed, which
+// keeps the graph reusable across walk-speed settings.
+//
+// The graph is built incrementally (AddNode / AddEdge) and then finalised
+// into a CSR adjacency layout for cache-friendly traversal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "util/status.h"
+
+namespace staq::graph {
+
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An outgoing arc in the finalised adjacency.
+struct Arc {
+  NodeId head = 0;          // target node
+  double length_m = 0.0;    // edge length in metres
+};
+
+/// Mutable-then-finalised CSR graph.
+class Graph {
+ public:
+  /// Adds a node at `position`; returns its id (dense, starting at 0).
+  NodeId AddNode(const geo::Point& position);
+
+  /// Adds an edge of `length_m` metres. Undirected edges insert both arcs.
+  /// Must be called before Finalize(). Node ids must be valid.
+  util::Status AddEdge(NodeId a, NodeId b, double length_m,
+                       bool bidirectional = true);
+
+  /// Freezes the edge set and builds the CSR layout. Idempotent.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t num_nodes() const { return positions_.size(); }
+  size_t num_arcs() const { return arcs_.size(); }
+
+  const geo::Point& position(NodeId n) const { return positions_[n]; }
+  const std::vector<geo::Point>& positions() const { return positions_; }
+
+  /// Outgoing arcs of `n` as a contiguous span. Requires finalized().
+  const Arc* arcs_begin(NodeId n) const { return arcs_.data() + offsets_[n]; }
+  const Arc* arcs_end(NodeId n) const { return arcs_.data() + offsets_[n + 1]; }
+
+  /// Out-degree of `n`. Requires finalized().
+  size_t degree(NodeId n) const { return offsets_[n + 1] - offsets_[n]; }
+
+  /// Labels each node with its connected-component id (treating arcs as
+  /// undirected); returns the number of components. Requires finalized().
+  size_t ConnectedComponents(std::vector<uint32_t>* labels) const;
+
+ private:
+  struct PendingEdge {
+    NodeId tail, head;
+    double length_m;
+  };
+
+  std::vector<geo::Point> positions_;
+  std::vector<PendingEdge> pending_;
+  std::vector<uint32_t> offsets_;  // size num_nodes()+1 after Finalize
+  std::vector<Arc> arcs_;
+  bool finalized_ = false;
+};
+
+}  // namespace staq::graph

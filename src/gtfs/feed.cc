@@ -1,0 +1,105 @@
+#include "gtfs/feed.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace staq::gtfs {
+
+std::vector<Departure> Feed::DeparturesInWindow(StopId s, Day day,
+                                                TimeOfDay from,
+                                                TimeOfDay to) const {
+  const auto& deps = stop_departures_[s];
+  std::vector<Departure> out;
+  auto it = std::lower_bound(deps.begin(), deps.end(), from,
+                             [](const Departure& d, TimeOfDay t) {
+                               return d.time < t;
+                             });
+  for (; it != deps.end() && it->time < to; ++it) {
+    if (RunsOn(trips_[it->trip].days, day)) out.push_back(*it);
+  }
+  return out;
+}
+
+bool Feed::NextDeparture(StopId s, Day day, TimeOfDay earliest,
+                         Departure* out) const {
+  const auto& deps = stop_departures_[s];
+  auto it = std::lower_bound(deps.begin(), deps.end(), earliest,
+                             [](const Departure& d, TimeOfDay t) {
+                               return d.time < t;
+                             });
+  for (; it != deps.end(); ++it) {
+    const Trip& trip = trips_[it->trip];
+    if (!RunsOn(trip.days, day)) continue;
+    // Skip departures at the trip's final call: no onward travel.
+    if (it->stop_time_index + 1 >= trip.first_stop_time + trip.num_stop_times) {
+      continue;
+    }
+    *out = *it;
+    return true;
+  }
+  return false;
+}
+
+std::vector<RouteId> Feed::RoutesThrough(StopId s, Day day, TimeOfDay from,
+                                         TimeOfDay to) const {
+  std::set<RouteId> seen;
+  for (const Departure& d : DeparturesInWindow(s, day, from, to)) {
+    seen.insert(trips_[d.trip].route);
+  }
+  return std::vector<RouteId>(seen.begin(), seen.end());
+}
+
+StopServiceStats Feed::ServiceStats(StopId s, const TimeInterval& v) const {
+  StopServiceStats stats;
+  auto deps = DeparturesInWindow(s, v.day, v.start, v.end);
+  stats.num_departures = static_cast<uint32_t>(deps.size());
+  std::set<RouteId> routes;
+  for (const Departure& d : deps) routes.insert(trips_[d.trip].route);
+  stats.num_routes = static_cast<uint32_t>(routes.size());
+  if (deps.size() >= 2) {
+    // deps are time-sorted; mean gap between consecutive departures.
+    double total_gap = static_cast<double>(deps.back().time - deps.front().time);
+    stats.mean_headway_s = total_gap / static_cast<double>(deps.size() - 1);
+  }
+  return stats;
+}
+
+util::Status Feed::Validate() const {
+  for (const Trip& t : trips_) {
+    if (t.route >= routes_.size()) {
+      return util::Status::InvalidArgument(
+          util::Format("trip %u references unknown route %u", t.id, t.route));
+    }
+    if (t.num_stop_times < 2) {
+      return util::Status::InvalidArgument(
+          util::Format("trip %u has fewer than 2 calls", t.id));
+    }
+    if (static_cast<size_t>(t.first_stop_time) + t.num_stop_times >
+        stop_times_.size()) {
+      return util::Status::Internal(
+          util::Format("trip %u stop_time range out of bounds", t.id));
+    }
+    TimeOfDay prev = -1;
+    for (const StopTime* st = trip_begin(t.id); st != trip_end(t.id); ++st) {
+      if (st->stop >= stops_.size()) {
+        return util::Status::InvalidArgument(
+            util::Format("trip %u calls unknown stop %u", t.id, st->stop));
+      }
+      if (st->departure < st->arrival) {
+        return util::Status::InvalidArgument(
+            util::Format("trip %u departs before arriving at stop %u", t.id,
+                         st->stop));
+      }
+      if (st->arrival < prev) {
+        return util::Status::InvalidArgument(
+            util::Format("trip %u time travels at stop %u", t.id, st->stop));
+      }
+      prev = st->departure;
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace staq::gtfs

@@ -1,0 +1,134 @@
+// In-memory GTFS-shaped timetable store F (paper §III-A).
+//
+// Mirrors the GTFS entities the pipeline consumes — stops, routes, trips,
+// stop_times, service days — with the query indexes the router and the
+// transit-hop-tree builder need:
+//   * per-stop departures sorted by time (router boarding scans),
+//   * per-(route, stop) departures (earliest-trip-of-route lookups),
+//   * per-trip stop sequence (riding a trip forward / backward),
+//   * trips passing through a stop within a TimeInterval (hop trees).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "gtfs/time.h"
+#include "util/status.h"
+
+namespace staq::gtfs {
+
+using StopId = uint32_t;
+using RouteId = uint32_t;
+using TripId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = static_cast<uint32_t>(-1);
+
+/// A transit stop, embedded in the city's local projection.
+struct Stop {
+  StopId id = 0;
+  std::string name;
+  geo::Point position;
+};
+
+/// A transit route (a named line; its trips share the stop pattern).
+struct Route {
+  RouteId id = 0;
+  std::string name;
+  double flat_fare = 0.0;  // monetary units per boarding, used by GAC
+};
+
+/// One scheduled vehicle run along a route.
+struct Trip {
+  TripId id = 0;
+  RouteId route = 0;
+  DayMask days = kEveryDay;
+  uint32_t first_stop_time = 0;  // index range into Feed::stop_times()
+  uint32_t num_stop_times = 0;
+};
+
+/// A timetable event: the trip calls at the stop.
+struct StopTime {
+  TripId trip = 0;
+  StopId stop = 0;
+  TimeOfDay arrival = 0;
+  TimeOfDay departure = 0;
+};
+
+/// A departure event at a stop, used by the router's boarding scans.
+struct Departure {
+  TimeOfDay time = 0;
+  TripId trip = 0;
+  uint32_t stop_time_index = 0;  // index into Feed::stop_times()
+};
+
+/// Summary of service through a stop over an interval.
+struct StopServiceStats {
+  uint32_t num_departures = 0;
+  uint32_t num_routes = 0;
+  double mean_headway_s = 0.0;  // 0 when fewer than 2 departures
+};
+
+/// Immutable timetable with query indexes. Construct via FeedBuilder.
+class Feed {
+ public:
+  size_t num_stops() const { return stops_.size(); }
+  size_t num_routes() const { return routes_.size(); }
+  size_t num_trips() const { return trips_.size(); }
+  size_t num_stop_times() const { return stop_times_.size(); }
+
+  const Stop& stop(StopId s) const { return stops_[s]; }
+  const Route& route(RouteId r) const { return routes_[r]; }
+  const Trip& trip(TripId t) const { return trips_[t]; }
+  const std::vector<Stop>& stops() const { return stops_; }
+  const std::vector<Route>& routes() const { return routes_; }
+  const std::vector<Trip>& trips() const { return trips_; }
+  const std::vector<StopTime>& stop_times() const { return stop_times_; }
+
+  /// Stop-time range of a trip, ordered by stop sequence.
+  const StopTime* trip_begin(TripId t) const {
+    return stop_times_.data() + trips_[t].first_stop_time;
+  }
+  const StopTime* trip_end(TripId t) const {
+    return trip_begin(t) + trips_[t].num_stop_times;
+  }
+
+  /// All departures from `s` sorted by time (all service days mixed; filter
+  /// with Trip::days).
+  const std::vector<Departure>& departures(StopId s) const {
+    return stop_departures_[s];
+  }
+
+  /// Departures from `s` on `day` within [from, to), in time order.
+  std::vector<Departure> DeparturesInWindow(StopId s, Day day, TimeOfDay from,
+                                            TimeOfDay to) const;
+
+  /// The earliest departure from `s` on `day` at or after `earliest`,
+  /// skipping trips whose final call is `s` (nothing to ride). Returns
+  /// false when none exists.
+  bool NextDeparture(StopId s, Day day, TimeOfDay earliest,
+                     Departure* out) const;
+
+  /// Routes with at least one departure from `s` on `day` in [from, to).
+  std::vector<RouteId> RoutesThrough(StopId s, Day day, TimeOfDay from,
+                                     TimeOfDay to) const;
+
+  /// Departure count / distinct routes / mean headway at `s` over `v`.
+  StopServiceStats ServiceStats(StopId s, const TimeInterval& v) const;
+
+  /// Structural validation: ids in range, per-trip times non-decreasing,
+  /// departures >= arrivals, at least two calls per trip.
+  util::Status Validate() const;
+
+ private:
+  friend class FeedBuilder;
+
+  std::vector<Stop> stops_;
+  std::vector<Route> routes_;
+  std::vector<Trip> trips_;
+  std::vector<StopTime> stop_times_;              // grouped by trip, in sequence
+  std::vector<std::vector<Departure>> stop_departures_;  // per stop, by time
+};
+
+}  // namespace staq::gtfs

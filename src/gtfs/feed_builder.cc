@@ -1,0 +1,75 @@
+#include "gtfs/feed_builder.h"
+
+#include <algorithm>
+
+namespace staq::gtfs {
+
+StopId FeedBuilder::AddStop(std::string name, const geo::Point& position) {
+  StopId id = static_cast<StopId>(feed_.stops_.size());
+  feed_.stops_.push_back(Stop{id, std::move(name), position});
+  return id;
+}
+
+RouteId FeedBuilder::AddRoute(std::string name, double flat_fare) {
+  RouteId id = static_cast<RouteId>(feed_.routes_.size());
+  feed_.routes_.push_back(Route{id, std::move(name), flat_fare});
+  return id;
+}
+
+TripId FeedBuilder::BeginTrip(RouteId route, DayMask days) {
+  TripId id = static_cast<TripId>(feed_.trips_.size());
+  Trip trip;
+  trip.id = id;
+  trip.route = route;
+  trip.days = days;
+  trip.first_stop_time = static_cast<uint32_t>(feed_.stop_times_.size());
+  trip.num_stop_times = 0;
+  feed_.trips_.push_back(trip);
+  return id;
+}
+
+util::Status FeedBuilder::AddCall(StopId stop, TimeOfDay arrival,
+                                  TimeOfDay departure) {
+  if (feed_.trips_.empty()) {
+    return util::Status::FailedPrecondition("AddCall before BeginTrip");
+  }
+  if (stop >= feed_.stops_.size()) {
+    return util::Status::InvalidArgument("unknown stop");
+  }
+  if (departure < arrival) {
+    return util::Status::InvalidArgument("departure before arrival");
+  }
+  Trip& trip = feed_.trips_.back();
+  feed_.stop_times_.push_back(StopTime{trip.id, stop, arrival, departure});
+  ++trip.num_stop_times;
+  return util::Status::OK();
+}
+
+util::Result<Feed> FeedBuilder::Build() {
+  if (built_) {
+    return util::Status::FailedPrecondition("Build() called twice");
+  }
+  built_ = true;
+
+  util::Status st = feed_.Validate();
+  if (!st.ok()) return st;
+
+  // Per-stop departure index, sorted by time. The final call of each trip
+  // is included (hop-tree construction wants arrivals too via stop_times);
+  // the router skips final calls via NextDeparture.
+  feed_.stop_departures_.assign(feed_.stops_.size(), {});
+  for (uint32_t i = 0; i < feed_.stop_times_.size(); ++i) {
+    const StopTime& st_row = feed_.stop_times_[i];
+    feed_.stop_departures_[st_row.stop].push_back(
+        Departure{st_row.departure, st_row.trip, i});
+  }
+  for (auto& deps : feed_.stop_departures_) {
+    std::sort(deps.begin(), deps.end(),
+              [](const Departure& a, const Departure& b) {
+                return a.time < b.time || (a.time == b.time && a.trip < b.trip);
+              });
+  }
+  return std::move(feed_);
+}
+
+}  // namespace staq::gtfs

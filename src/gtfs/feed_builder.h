@@ -1,0 +1,44 @@
+// Incremental construction of a Feed.
+//
+// Callers (the synthetic city generator, tests) add stops/routes/trips in
+// any order; Build() assembles the immutable Feed with its indexes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtfs/feed.h"
+
+namespace staq::gtfs {
+
+/// Builder for Feed. Not thread-safe. Build() may be called once.
+class FeedBuilder {
+ public:
+  /// Adds a stop at `position`; returns its dense id.
+  StopId AddStop(std::string name, const geo::Point& position);
+
+  /// Adds a route; returns its dense id.
+  RouteId AddRoute(std::string name, double flat_fare = 0.0);
+
+  /// Starts a new trip on `route` running on `days`; subsequent AddCall()
+  /// invocations append calls to this trip. Returns the trip id.
+  TripId BeginTrip(RouteId route, DayMask days);
+
+  /// Appends a call to the most recent trip. `arrival` <= `departure`.
+  util::Status AddCall(StopId stop, TimeOfDay arrival, TimeOfDay departure);
+
+  /// Convenience: call with zero dwell.
+  util::Status AddCall(StopId stop, TimeOfDay time) {
+    return AddCall(stop, time, time);
+  }
+
+  /// Validates and assembles the Feed. The builder is consumed.
+  util::Result<Feed> Build();
+
+ private:
+  Feed feed_;
+  bool built_ = false;
+};
+
+}  // namespace staq::gtfs

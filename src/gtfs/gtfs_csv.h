@@ -1,0 +1,39 @@
+// GTFS CSV interchange.
+//
+// Serialises a Feed to the standard GTFS text files and loads one back, so
+// the library can run on real published feeds (the paper uses the TfWM
+// feed) as well as synthetic ones. The subset implemented is the subset
+// the pipeline consumes:
+//
+//   stops.txt        stop_id, stop_name, stop_lat, stop_lon
+//   routes.txt       route_id, route_short_name, route_type
+//   calendar.txt     service_id, monday..sunday, start_date, end_date
+//   trips.txt        route_id, service_id, trip_id
+//   stop_times.txt   trip_id, arrival_time, departure_time, stop_id,
+//                    stop_sequence
+//   fare_attributes.txt / fare_rules.txt   flat per-route fares
+//
+// Feeds store projected coordinates; a geo::LocalProjection converts to
+// and from the WGS-84 lat/lon GTFS requires. Extra columns in input files
+// are ignored; missing required columns fail with InvalidArgument.
+#pragma once
+
+#include <string>
+
+#include "geo/latlon.h"
+#include "gtfs/feed.h"
+
+namespace staq::gtfs {
+
+/// Writes the feed as GTFS CSV files into `directory` (created if absent).
+util::Status WriteFeedCsv(const Feed& feed,
+                          const geo::LocalProjection& projection,
+                          const std::string& directory);
+
+/// Loads a feed from GTFS CSV files in `directory`. String ids are
+/// re-mapped to dense indices; the result passes Feed::Validate().
+/// fare files are optional (fares default to 0).
+util::Result<Feed> ReadFeedCsv(const std::string& directory,
+                               const geo::LocalProjection& projection);
+
+}  // namespace staq::gtfs

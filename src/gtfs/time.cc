@@ -1,0 +1,66 @@
+#include "gtfs/time.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace staq::gtfs {
+
+TimeOfDay MakeTime(int hours, int minutes, int seconds) {
+  assert(hours >= 0 && minutes >= 0 && minutes < 60 && seconds >= 0 &&
+         seconds < 60);
+  return hours * 3600 + minutes * 60 + seconds;
+}
+
+util::Result<TimeOfDay> ParseTime(const std::string& text) {
+  auto parts = util::Split(util::Trim(text), ':');
+  if (parts.size() != 2 && parts.size() != 3) {
+    return util::Status::InvalidArgument("bad time: " + text);
+  }
+  int values[3] = {0, 0, 0};
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i].empty() || parts[i].size() > 2) {
+      return util::Status::InvalidArgument("bad time field: " + text);
+    }
+    for (char c : parts[i]) {
+      if (c < '0' || c > '9') {
+        return util::Status::InvalidArgument("bad time digit: " + text);
+      }
+    }
+    values[i] = std::stoi(parts[i]);
+  }
+  if (values[0] > 47 || values[1] > 59 || values[2] > 59) {
+    return util::Status::OutOfRange("time out of range: " + text);
+  }
+  return MakeTime(values[0], values[1], values[2]);
+}
+
+std::string FormatTime(TimeOfDay t) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d", t / 3600, (t / 60) % 60,
+                t % 60);
+  return buf;
+}
+
+TimeInterval WeekdayAmPeak() {
+  return TimeInterval{MakeTime(7, 0), MakeTime(9, 0), Day::kTuesday,
+                      "weekday-am-peak"};
+}
+
+TimeInterval WeekdayPmPeak() {
+  return TimeInterval{MakeTime(16, 30), MakeTime(18, 30), Day::kTuesday,
+                      "weekday-pm-peak"};
+}
+
+TimeInterval WeekdayOffPeak() {
+  return TimeInterval{MakeTime(11, 0), MakeTime(13, 0), Day::kTuesday,
+                      "weekday-off-peak"};
+}
+
+TimeInterval SundayMorning() {
+  return TimeInterval{MakeTime(9, 0), MakeTime(11, 0), Day::kSunday,
+                      "sunday-morning"};
+}
+
+}  // namespace staq::gtfs

@@ -1,0 +1,114 @@
+#include "ml/coreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace staq::ml {
+
+namespace {
+
+/// Error reduction over `candidate`'s labeled neighbourhood when
+/// (candidate, pseudo_label) is tentatively added to `model`. Positive
+/// means the addition helps (Zhou & Li's confidence criterion).
+double ErrorReduction(KnnCore* model, const double* candidate, size_t dim,
+                      double pseudo_label) {
+  auto neighborhood = model->Neighbors(candidate, dim);
+  if (neighborhood.empty()) return 0.0;
+
+  double before = 0.0;
+  for (uint32_t i : neighborhood) {
+    double pred = model->PredictOneExcluding(model->features(i).data(), dim, i);
+    double err = model->target(i) - pred;
+    before += err * err;
+  }
+
+  model->Add(std::vector<double>(candidate, candidate + dim), pseudo_label);
+  double after = 0.0;
+  for (uint32_t i : neighborhood) {
+    double pred = model->PredictOneExcluding(model->features(i).data(), dim, i);
+    double err = model->target(i) - pred;
+    after += err * err;
+  }
+  model->RemoveLast();
+  return before - after;
+}
+
+}  // namespace
+
+util::Status Coreg::Fit(const Dataset& data) {
+  STAQ_RETURN_NOT_OK(data.Validate());
+
+  Matrix x_labeled = data.x.SelectRows(data.labeled);
+  scaler_.Fit(x_labeled);
+  x_all_scaled_ = scaler_.Transform(data.x);
+  size_t dim = x_all_scaled_.cols();
+
+  h1_ = std::make_unique<KnnCore>(config_.knn1);
+  h2_ = std::make_unique<KnnCore>(config_.knn2);
+  for (uint32_t idx : data.labeled) {
+    std::vector<double> row(x_all_scaled_.row(idx),
+                            x_all_scaled_.row(idx) + dim);
+    h1_->Add(row, data.y[idx]);
+    h2_->Add(std::move(row), data.y[idx]);
+  }
+
+  // Unlabeled pool; replenished from the remaining unlabeled set.
+  std::vector<uint32_t> unlabeled = data.UnlabeledIndices();
+  util::Rng rng(config_.seed);
+  rng.Shuffle(&unlabeled);
+  size_t pool_end = std::min(config_.pool_size, unlabeled.size());
+  pseudo_labels_added_ = 0;
+
+  for (int iter = 0; iter < config_.max_iterations; ++iter) {
+    bool any_added = false;
+    // Each regressor nominates its best candidate for the OTHER one.
+    KnnCore* models[2] = {h1_.get(), h2_.get()};
+    for (int j = 0; j < 2; ++j) {
+      KnnCore* self = models[j];
+      KnnCore* other = models[1 - j];
+
+      double best_delta = 0.0;
+      size_t best_pos = SIZE_MAX;
+      double best_label = 0.0;
+      for (size_t p = 0; p < pool_end; ++p) {
+        const double* row = x_all_scaled_.row(unlabeled[p]);
+        double pseudo = self->PredictOne(row, dim);
+        double delta = ErrorReduction(self, row, dim, pseudo);
+        if (delta > best_delta) {
+          best_delta = delta;
+          best_pos = p;
+          best_label = pseudo;
+        }
+      }
+      if (best_pos != SIZE_MAX) {
+        const double* row = x_all_scaled_.row(unlabeled[best_pos]);
+        other->Add(std::vector<double>(row, row + dim), best_label);
+        ++pseudo_labels_added_;
+        any_added = true;
+        // Remove from pool; backfill from the unscreened remainder.
+        std::swap(unlabeled[best_pos], unlabeled[pool_end - 1]);
+        if (pool_end < unlabeled.size()) {
+          std::swap(unlabeled[pool_end - 1], unlabeled.back());
+          unlabeled.pop_back();
+        } else {
+          unlabeled.pop_back();
+          --pool_end;
+        }
+      }
+    }
+    if (!any_added) break;
+  }
+  return util::Status::OK();
+}
+
+std::vector<double> Coreg::Predict() const {
+  size_t dim = x_all_scaled_.cols();
+  std::vector<double> out(x_all_scaled_.rows());
+  for (size_t i = 0; i < x_all_scaled_.rows(); ++i) {
+    const double* row = x_all_scaled_.row(i);
+    out[i] = 0.5 * (h1_->PredictOne(row, dim) + h2_->PredictOne(row, dim));
+  }
+  return out;
+}
+
+}  // namespace staq::ml

@@ -1,0 +1,217 @@
+#include "ml/gnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace staq::ml {
+
+Matrix BuildNormalizedAdjacency(const std::vector<geo::Point>& positions,
+                                double sigma_factor, double threshold) {
+  size_t n = positions.size();
+  Matrix a(n, n);
+
+  // Mean pairwise distance sets the kernel scale. Exact mean is O(n^2),
+  // same as filling A, so no extra asymptotic cost.
+  double mean_dist = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      mean_dist += geo::Distance(positions[i], positions[j]);
+      ++pairs;
+    }
+  }
+  mean_dist = pairs > 0 ? mean_dist / static_cast<double>(pairs) : 1.0;
+  double sigma = std::max(sigma_factor * mean_dist, 1e-9);
+
+  for (size_t i = 0; i < n; ++i) {
+    a(i, i) = 1.0;  // self-loop (the +I term)
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = geo::Distance(positions[i], positions[j]);
+      double w = std::exp(-(d * d) / (2.0 * sigma * sigma));
+      if (w < threshold) w = 0.0;
+      a(i, j) = w;
+      a(j, i) = w;
+    }
+  }
+
+  // Symmetric normalisation D^{-1/2} A D^{-1/2}.
+  std::vector<double> inv_sqrt_deg(n);
+  for (size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (size_t j = 0; j < n; ++j) deg += a(i, j);
+    inv_sqrt_deg[i] = deg > 0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      a(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  return a;
+}
+
+util::Status GnnRegressor::Fit(const Dataset& data) {
+  STAQ_RETURN_NOT_OK(data.Validate());
+  if (data.positions.size() != data.x.rows()) {
+    return util::Status::InvalidArgument(
+        "GNN requires zone positions for the adjacency matrix");
+  }
+
+  size_t n = data.x.rows();
+  size_t d = data.x.cols();
+  size_t h = config_.hidden;
+
+  Matrix x_labeled = data.x.SelectRows(data.labeled);
+  scaler_.Fit(x_labeled);
+  Matrix xs = scaler_.Transform(data.x);
+
+  std::vector<double> y_labeled(data.labeled.size());
+  for (size_t i = 0; i < data.labeled.size(); ++i) {
+    y_labeled[i] = data.y[data.labeled[i]];
+  }
+  target_scaler_.Fit(y_labeled);
+
+  std::vector<double> y_scaled(n, 0.0);
+  std::vector<uint8_t> is_labeled(n, 0);
+  for (size_t i = 0; i < data.labeled.size(); ++i) {
+    y_scaled[data.labeled[i]] =
+        (y_labeled[i] - target_scaler_.mean()) / target_scaler_.stddev();
+    is_labeled[data.labeled[i]] = 1;
+  }
+  double n_labeled = static_cast<double>(data.labeled.size());
+
+  Matrix a_hat = BuildNormalizedAdjacency(data.positions, config_.sigma_factor,
+                                          config_.threshold);
+  Matrix z = MatMul(a_hat, xs);  // Â X, constant across epochs
+
+  // Parameters: W1 (d x h), b1 (h), w2 (h), b2 (scalar).
+  util::Rng rng(config_.seed);
+  size_t num_params = d * h + h + h + 1;
+  std::vector<double> params(num_params);
+  {
+    double s1 = std::sqrt(2.0 / static_cast<double>(d));
+    for (size_t i = 0; i < d * h; ++i) params[i] = rng.Normal(0.0, s1);
+    double s2 = std::sqrt(2.0 / static_cast<double>(h));
+    for (size_t i = 0; i < h; ++i) params[d * h + h + i] = rng.Normal(0.0, s2);
+  }
+  auto w1 = [&](std::vector<double>& p) { return p.data(); };
+  auto b1 = [&](std::vector<double>& p) { return p.data() + d * h; };
+  auto w2 = [&](std::vector<double>& p) { return p.data() + d * h + h; };
+  auto b2 = [&](std::vector<double>& p) { return p.data() + d * h + h + h; };
+
+  AdamOptimizer opt(num_params, config_.learning_rate, config_.weight_decay);
+  std::vector<double> grad(num_params);
+
+  Matrix h1(n, h);        // ReLU(Z W1 + b1)
+  Matrix p_mat(n, h);     // Â H1
+  std::vector<double> out(n);
+  std::vector<double> dout(n);
+  Matrix dp(n, h);
+  Matrix dh1(n, h);
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // ---- forward ----
+    const double* w1p = w1(params);
+    const double* b1p = b1(params);
+    const double* w2p = w2(params);
+    double b2p = *b2(params);
+    for (size_t i = 0; i < n; ++i) {
+      const double* zr = z.row(i);
+      double* hr = h1.row(i);
+      for (size_t j = 0; j < h; ++j) hr[j] = b1p[j];
+      for (size_t c = 0; c < d; ++c) {
+        double zc = zr[c];
+        if (zc == 0.0) continue;
+        const double* w_row = w1p + c * h;
+        for (size_t j = 0; j < h; ++j) hr[j] += zc * w_row[j];
+      }
+      for (size_t j = 0; j < h; ++j) {
+        if (hr[j] < 0.0) hr[j] = 0.0;
+      }
+    }
+    p_mat = MatMul(a_hat, h1);
+    for (size_t i = 0; i < n; ++i) {
+      const double* pr = p_mat.row(i);
+      double acc = b2p;
+      for (size_t j = 0; j < h; ++j) acc += pr[j] * w2p[j];
+      out[i] = acc;
+    }
+
+    // ---- backward ----
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      dout[i] = is_labeled[i] ? (out[i] - y_scaled[i]) / n_labeled : 0.0;
+    }
+    double* gw1 = w1(grad);
+    double* gb1 = b1(grad);
+    double* gw2 = w2(grad);
+    double* gb2 = b2(grad);
+    for (size_t i = 0; i < n; ++i) {
+      if (dout[i] == 0.0) {
+        std::fill(dp.row(i), dp.row(i) + h, 0.0);
+        continue;
+      }
+      const double* pr = p_mat.row(i);
+      double* dpr = dp.row(i);
+      for (size_t j = 0; j < h; ++j) {
+        gw2[j] += dout[i] * pr[j];
+        dpr[j] = dout[i] * w2p[j];
+      }
+      *gb2 += dout[i];
+    }
+    // dH1 = Â^T dP = Â dP (Â is symmetric).
+    dh1 = MatMul(a_hat, dp);
+    for (size_t i = 0; i < n; ++i) {
+      double* dr = dh1.row(i);
+      const double* hr = h1.row(i);
+      const double* zr = z.row(i);
+      for (size_t j = 0; j < h; ++j) {
+        if (hr[j] <= 0.0) dr[j] = 0.0;  // ReLU gate
+        gb1[j] += dr[j];
+      }
+      for (size_t c = 0; c < d; ++c) {
+        double zc = zr[c];
+        if (zc == 0.0) continue;
+        double* gw_row = gw1 + c * h;
+        for (size_t j = 0; j < h; ++j) gw_row[j] += zc * dr[j];
+      }
+    }
+    opt.Step(&params, grad);
+  }
+
+  // Final forward with trained parameters for the cached predictions.
+  {
+    const double* w1p = w1(params);
+    const double* b1p = b1(params);
+    const double* w2p = w2(params);
+    double b2p = *b2(params);
+    for (size_t i = 0; i < n; ++i) {
+      const double* zr = z.row(i);
+      double* hr = h1.row(i);
+      for (size_t j = 0; j < h; ++j) hr[j] = b1p[j];
+      for (size_t c = 0; c < d; ++c) {
+        double zc = zr[c];
+        if (zc == 0.0) continue;
+        const double* w_row = w1p + c * h;
+        for (size_t j = 0; j < h; ++j) hr[j] += zc * w_row[j];
+      }
+      for (size_t j = 0; j < h; ++j) {
+        if (hr[j] < 0.0) hr[j] = 0.0;
+      }
+    }
+    p_mat = MatMul(a_hat, h1);
+    predictions_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double* pr = p_mat.row(i);
+      double acc = b2p;
+      for (size_t j = 0; j < h; ++j) acc += pr[j] * w2p[j];
+      predictions_[i] = target_scaler_.InverseTransform(acc);
+    }
+  }
+  return util::Status::OK();
+}
+
+std::vector<double> GnnRegressor::Predict() const { return predictions_; }
+
+}  // namespace staq::ml

@@ -1,0 +1,50 @@
+// Graph neural network (two-layer GCN) over the zone-adjacency graph.
+//
+// Per the paper (§V-A): the adjacency matrix is computed from Euclidean
+// distances between zone centroids and normalised with the Gaussian
+// thresholded approach; propagation uses the symmetric-normalised
+// Â = D^{-1/2}(A + I)D^{-1/2} of Kipf & Welling. Training is full-batch
+// Adam on the labeled MSE; prediction is transductive over all zones.
+#pragma once
+
+#include <memory>
+
+#include "ml/mlp.h"  // AdamOptimizer
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace staq::ml {
+
+struct GnnConfig {
+  size_t hidden = 32;
+  int epochs = 400;
+  double learning_rate = 5e-3;
+  double weight_decay = 5e-4;
+  /// Gaussian kernel width as a multiple of the mean pairwise distance.
+  double sigma_factor = 0.25;
+  /// Kernel weights below this threshold are cut to zero.
+  double threshold = 0.05;
+  uint64_t seed = 17;
+};
+
+class GnnRegressor : public SsrModel {
+ public:
+  explicit GnnRegressor(GnnConfig config = {}) : config_(config) {}
+
+  const char* name() const override { return "GNN"; }
+  util::Status Fit(const Dataset& data) override;
+  std::vector<double> Predict() const override;
+
+ private:
+  GnnConfig config_;
+  StandardScaler scaler_;
+  TargetScaler target_scaler_;
+  std::vector<double> predictions_;  // cached transductive output
+};
+
+/// Builds the Gaussian-thresholded, symmetric-normalised adjacency over the
+/// given positions (exposed for tests and ablation benches).
+Matrix BuildNormalizedAdjacency(const std::vector<geo::Point>& positions,
+                                double sigma_factor, double threshold);
+
+}  // namespace staq::ml

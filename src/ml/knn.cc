@@ -1,0 +1,108 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace staq::ml {
+
+void KnnCore::Add(std::vector<double> features, double target) {
+  rows_.push_back(std::move(features));
+  targets_.push_back(target);
+}
+
+double KnnCore::DistanceTo(uint32_t i, const double* row, size_t dim) const {
+  const std::vector<double>& stored = rows_[i];
+  assert(stored.size() == dim);
+  double p = config_.minkowski_p;
+  if (p == 2.0) {
+    double acc = 0.0;
+    for (size_t c = 0; c < dim; ++c) {
+      double d = stored[c] - row[c];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  }
+  double acc = 0.0;
+  for (size_t c = 0; c < dim; ++c) {
+    acc += std::pow(std::abs(stored[c] - row[c]), p);
+  }
+  return std::pow(acc, 1.0 / p);
+}
+
+void KnnCore::RemoveLast() {
+  rows_.pop_back();
+  targets_.pop_back();
+}
+
+std::vector<uint32_t> KnnCore::Neighbors(const double* row, size_t dim,
+                                         uint32_t exclude) const {
+  std::vector<std::pair<double, uint32_t>> scored;
+  scored.reserve(rows_.size());
+  for (uint32_t i = 0; i < rows_.size(); ++i) {
+    if (i == exclude) continue;
+    scored.emplace_back(DistanceTo(i, row, dim), i);
+  }
+  size_t k = std::min<size_t>(static_cast<size_t>(config_.k), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + k, scored.end());
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+double KnnCore::PredictOneExcluding(const double* row, size_t dim,
+                                    uint32_t exclude) const {
+  assert(targets_.size() >= 2);
+  auto neighbors = Neighbors(row, dim, exclude);
+  double weight_sum = 0.0, acc = 0.0;
+  for (uint32_t i : neighbors) {
+    double d = DistanceTo(i, row, dim);
+    double w = config_.distance_weighted ? 1.0 / (d + 1e-9) : 1.0;
+    weight_sum += w;
+    acc += w * targets_[i];
+  }
+  return acc / weight_sum;
+}
+
+double KnnCore::PredictOne(const double* row, size_t dim) const {
+  assert(!targets_.empty());
+  auto neighbors = Neighbors(row, dim);
+  if (!config_.distance_weighted) {
+    double acc = 0.0;
+    for (uint32_t i : neighbors) acc += targets_[i];
+    return acc / static_cast<double>(neighbors.size());
+  }
+  double weight_sum = 0.0, acc = 0.0;
+  for (uint32_t i : neighbors) {
+    double d = DistanceTo(i, row, dim);
+    double w = 1.0 / (d + 1e-9);
+    weight_sum += w;
+    acc += w * targets_[i];
+  }
+  return acc / weight_sum;
+}
+
+util::Status KnnRegressor::Fit(const Dataset& data) {
+  STAQ_RETURN_NOT_OK(data.Validate());
+  Matrix x_labeled = data.x.SelectRows(data.labeled);
+  scaler_.Fit(x_labeled);
+  Matrix xs = scaler_.Transform(x_labeled);
+  core_ = std::make_unique<KnnCore>(config_);
+  for (size_t i = 0; i < xs.rows(); ++i) {
+    std::vector<double> row(xs.row(i), xs.row(i) + xs.cols());
+    core_->Add(std::move(row), data.y[data.labeled[i]]);
+  }
+  x_all_scaled_ = scaler_.Transform(data.x);
+  return util::Status::OK();
+}
+
+std::vector<double> KnnRegressor::Predict() const {
+  std::vector<double> out(x_all_scaled_.rows());
+  for (size_t i = 0; i < x_all_scaled_.rows(); ++i) {
+    out[i] = core_->PredictOne(x_all_scaled_.row(i), x_all_scaled_.cols());
+  }
+  return out;
+}
+
+}  // namespace staq::ml

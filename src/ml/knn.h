@@ -1,0 +1,77 @@
+// k-nearest-neighbour regression in feature space.
+//
+// Doubles as (a) a standalone baseline and (b) the component regressor of
+// COREG (Zhou & Li 2005), which pairs two kNN regressors with different
+// Minkowski orders. The incremental KnnCore supports COREG's pseudo-label
+// additions.
+#pragma once
+
+#include <vector>
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace staq::ml {
+
+struct KnnConfig {
+  int k = 3;
+  /// Minkowski distance order (2 = Euclidean).
+  double minkowski_p = 2.0;
+  /// Inverse-distance weighting of neighbour targets; plain mean if false.
+  bool distance_weighted = true;
+};
+
+/// Brute-force incremental kNN regressor over standardised features.
+/// Sizes here are hundreds of labeled zones, so brute force is exact and
+/// fast enough.
+class KnnCore {
+ public:
+  explicit KnnCore(KnnConfig config) : config_(config) {}
+
+  void Add(std::vector<double> features, double target);
+  /// Removes the most recently added example (for tentative additions).
+  void RemoveLast();
+  size_t size() const { return targets_.size(); }
+  const KnnConfig& config() const { return config_; }
+
+  /// Predicts for one feature row. Requires size() >= 1.
+  double PredictOne(const double* row, size_t dim) const;
+
+  /// Predicts for one row while ignoring the stored example at `exclude`
+  /// (leave-one-out evaluation). Requires at least 2 examples.
+  double PredictOneExcluding(const double* row, size_t dim,
+                             uint32_t exclude) const;
+
+  /// Indices (into insertion order) of the k nearest stored examples,
+  /// optionally skipping `exclude`.
+  std::vector<uint32_t> Neighbors(const double* row, size_t dim,
+                                  uint32_t exclude = UINT32_MAX) const;
+
+  double target(uint32_t i) const { return targets_[i]; }
+  const std::vector<double>& features(uint32_t i) const { return rows_[i]; }
+
+ private:
+  double DistanceTo(uint32_t i, const double* row, size_t dim) const;
+
+  KnnConfig config_;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> targets_;
+};
+
+/// SsrModel wrapper: supervised kNN on the labeled rows.
+class KnnRegressor : public SsrModel {
+ public:
+  explicit KnnRegressor(KnnConfig config = {}) : config_(config) {}
+
+  const char* name() const override { return "kNN"; }
+  util::Status Fit(const Dataset& data) override;
+  std::vector<double> Predict() const override;
+
+ private:
+  KnnConfig config_;
+  StandardScaler scaler_;
+  std::unique_ptr<KnnCore> core_;
+  Matrix x_all_scaled_;
+};
+
+}  // namespace staq::ml

@@ -1,0 +1,179 @@
+#include "ml/matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::ml {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::SelectRows(const std::vector<uint32_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < rows_);
+    const double* src = row(indices[i]);
+    double* dst = out.row(i);
+    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* out_row = out.row(i);
+    const double* a_row = a.row(i);
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (size_t j = 0; j < b.cols(); ++j) {
+        out_row[j] += aik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  assert(a.cols() == x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) acc += a_row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix Gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* r = a.row(i);
+    for (size_t p = 0; p < a.cols(); ++p) {
+      double rp = r[p];
+      if (rp == 0.0) continue;
+      double* g_row = g.row(p);
+      for (size_t q = 0; q < a.cols(); ++q) {
+        g_row[q] += rp * r[q];
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<double> TransposeVec(const Matrix& a,
+                                 const std::vector<double>& y) {
+  assert(a.rows() == y.size());
+  std::vector<double> out(a.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* r = a.row(i);
+    double yi = y[i];
+    for (size_t j = 0; j < a.cols(); ++j) out[j] += r[j] * yi;
+  }
+  return out;
+}
+
+namespace {
+
+/// In-place Cholesky A = L L^T; returns false when not positive definite.
+bool CholeskySolve(Matrix* a, std::vector<double>* b) {
+  size_t n = a->rows();
+  for (size_t j = 0; j < n; ++j) {
+    double diag = (*a)(j, j);
+    for (size_t k = 0; k < j; ++k) diag -= (*a)(j, k) * (*a)(j, k);
+    if (diag <= 1e-12) return false;
+    diag = std::sqrt(diag);
+    (*a)(j, j) = diag;
+    for (size_t i = j + 1; i < n; ++i) {
+      double v = (*a)(i, j);
+      for (size_t k = 0; k < j; ++k) v -= (*a)(i, k) * (*a)(j, k);
+      (*a)(i, j) = v / diag;
+    }
+  }
+  // Forward solve L z = b.
+  for (size_t i = 0; i < n; ++i) {
+    double v = (*b)[i];
+    for (size_t k = 0; k < i; ++k) v -= (*a)(i, k) * (*b)[k];
+    (*b)[i] = v / (*a)(i, i);
+  }
+  // Back solve L^T x = z.
+  for (size_t i = n; i-- > 0;) {
+    double v = (*b)[i];
+    for (size_t k = i + 1; k < n; ++k) v -= (*a)(k, i) * (*b)[k];
+    (*b)[i] = v / (*a)(i, i);
+  }
+  return true;
+}
+
+/// Gaussian elimination with partial pivoting; returns false when singular.
+bool GaussianSolve(Matrix* a, std::vector<double>* b) {
+  size_t n = a->rows();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    double best = std::abs((*a)(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::abs((*a)(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap((*a)(pivot, c), (*a)(col, c));
+      std::swap((*b)[pivot], (*b)[col]);
+    }
+    double inv = 1.0 / (*a)(col, col);
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = (*a)(r, col) * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) {
+        (*a)(r, c) -= factor * (*a)(col, c);
+      }
+      (*b)[r] -= factor * (*b)[col];
+    }
+  }
+  for (size_t i = n; i-- > 0;) {
+    double v = (*b)[i];
+    for (size_t c = i + 1; c < n; ++c) v -= (*a)(i, c) * (*b)[c];
+    (*b)[i] = v / (*a)(i, i);
+  }
+  return true;
+}
+
+}  // namespace
+
+util::Result<std::vector<double>> SolveLinearSystem(Matrix a,
+                                                    std::vector<double> b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return util::Status::InvalidArgument("solve: dimension mismatch");
+  }
+  Matrix chol = a;
+  std::vector<double> rhs = b;
+  if (CholeskySolve(&chol, &rhs)) return rhs;
+  if (GaussianSolve(&a, &b)) return b;
+  return util::Status::Internal("linear system is singular");
+}
+
+}  // namespace staq::ml

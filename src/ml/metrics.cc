@@ -1,0 +1,62 @@
+#include "ml/metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::ml {
+
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& predicted) {
+  assert(truth.size() == predicted.size() && !truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& predicted) {
+  assert(truth.size() == predicted.size() && !truth.empty());
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  assert(a.size() == b.size() && !a.empty());
+  double n = static_cast<double>(a.size());
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double da = a[i] - mean_a;
+    double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a < 1e-24 || var_b < 1e-24) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double ClassificationAccuracy(const std::vector<int>& truth,
+                              const std::vector<int>& predicted) {
+  assert(truth.size() == predicted.size() && !truth.empty());
+  size_t hits = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace staq::ml

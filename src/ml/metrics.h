@@ -1,0 +1,27 @@
+// Performance measures used by the evaluation (paper §V-A): MAE, RMSE,
+// Pearson correlation, and classification accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace staq::ml {
+
+/// Mean absolute error. Requires equal, non-zero sizes.
+double MeanAbsoluteError(const std::vector<double>& truth,
+                         const std::vector<double>& predicted);
+
+/// Root mean squared error.
+double RootMeanSquaredError(const std::vector<double>& truth,
+                            const std::vector<double>& predicted);
+
+/// Pearson correlation coefficient in [-1, 1]. Returns 0 when either side
+/// has zero variance.
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Fraction of positions where the class labels match.
+double ClassificationAccuracy(const std::vector<int>& truth,
+                              const std::vector<int>& predicted);
+
+}  // namespace staq::ml

@@ -1,0 +1,176 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace staq::ml {
+
+DenseNet::DenseNet(size_t input_dim, std::vector<size_t> hidden,
+                   util::Rng* rng) {
+  dims_.push_back(input_dim);
+  for (size_t h : hidden) dims_.push_back(h);
+  dims_.push_back(1);
+
+  size_t total = 0;
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    layer_offset_.push_back(total);
+    total += dims_[l] * dims_[l + 1] + dims_[l + 1];
+  }
+  params_.resize(total);
+
+  // He initialisation for ReLU layers; biases zero.
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    size_t in = dims_[l], out = dims_[l + 1];
+    double scale = std::sqrt(2.0 / static_cast<double>(in));
+    double* w = params_.data() + layer_offset_[l];
+    for (size_t i = 0; i < in * out; ++i) w[i] = rng->Normal(0.0, scale);
+    // biases (the `out` doubles after W) remain zero.
+  }
+}
+
+double DenseNet::Forward(const double* x,
+                         std::vector<std::vector<double>>* activations) const {
+  if (activations) {
+    activations->assign(dims_.size() - 1, {});
+  }
+  std::vector<double> current(x, x + dims_[0]);
+  for (size_t l = 0; l + 1 < dims_.size(); ++l) {
+    size_t in = dims_[l], out = dims_[l + 1];
+    const double* w = params_.data() + layer_offset_[l];
+    const double* b = w + in * out;
+    std::vector<double> next(out, 0.0);
+    for (size_t i = 0; i < in; ++i) {
+      double xi = current[i];
+      if (xi == 0.0) continue;
+      const double* w_row = w + i * out;
+      for (size_t j = 0; j < out; ++j) next[j] += xi * w_row[j];
+    }
+    bool is_output = (l + 2 == dims_.size());
+    for (size_t j = 0; j < out; ++j) {
+      next[j] += b[j];
+      if (!is_output && next[j] < 0.0) next[j] = 0.0;  // ReLU
+    }
+    if (activations) (*activations)[l] = next;
+    current = std::move(next);
+  }
+  return current[0];
+}
+
+void DenseNet::Backward(const double* x,
+                        const std::vector<std::vector<double>>& activations,
+                        double dloss_dout, std::vector<double>* grad) const {
+  assert(grad->size() == params_.size());
+  size_t num_layers = dims_.size() - 1;
+  std::vector<double> delta{dloss_dout};  // gradient wrt layer output
+
+  for (size_t l = num_layers; l-- > 0;) {
+    size_t in = dims_[l], out = dims_[l + 1];
+    const double* input =
+        (l == 0) ? x : activations[l - 1].data();
+    const double* w = params_.data() + layer_offset_[l];
+    double* gw = grad->data() + layer_offset_[l];
+    double* gb = gw + in * out;
+
+    // ReLU mask on hidden-layer outputs (output layer is linear).
+    bool is_output = (l + 1 == num_layers);
+    std::vector<double> local = delta;
+    if (!is_output) {
+      for (size_t j = 0; j < out; ++j) {
+        if (activations[l][j] <= 0.0) local[j] = 0.0;
+      }
+    }
+
+    for (size_t j = 0; j < out; ++j) gb[j] += local[j];
+    std::vector<double> next_delta(in, 0.0);
+    for (size_t i = 0; i < in; ++i) {
+      double xi = input[i];
+      const double* w_row = w + i * out;
+      double* gw_row = gw + i * out;
+      double acc = 0.0;
+      for (size_t j = 0; j < out; ++j) {
+        gw_row[j] += xi * local[j];
+        acc += w_row[j] * local[j];
+      }
+      next_delta[i] = acc;
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+AdamOptimizer::AdamOptimizer(size_t num_params, double lr, double weight_decay)
+    : lr_(lr),
+      weight_decay_(weight_decay),
+      m_(num_params, 0.0),
+      v_(num_params, 0.0) {}
+
+void AdamOptimizer::Step(std::vector<double>* params,
+                         const std::vector<double>& grad) {
+  assert(params->size() == m_.size() && grad.size() == m_.size());
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < grad.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1 - beta2_) * grad[i] * grad[i];
+    double m_hat = m_[i] / bc1;
+    double v_hat = v_[i] / bc2;
+    (*params)[i] -= lr_ * (m_hat / (std::sqrt(v_hat) + eps_) +
+                           weight_decay_ * (*params)[i]);
+  }
+}
+
+util::Status MlpRegressor::Fit(const Dataset& data) {
+  STAQ_RETURN_NOT_OK(data.Validate());
+  Matrix x_labeled = data.x.SelectRows(data.labeled);
+  scaler_.Fit(x_labeled);
+  Matrix xs = scaler_.Transform(x_labeled);
+
+  std::vector<double> y_labeled(data.labeled.size());
+  for (size_t i = 0; i < data.labeled.size(); ++i) {
+    y_labeled[i] = data.y[data.labeled[i]];
+  }
+  target_scaler_.Fit(y_labeled);
+  std::vector<double> ys = target_scaler_.Transform(y_labeled);
+
+  util::Rng rng(config_.seed);
+  net_ = std::make_unique<DenseNet>(xs.cols(), config_.hidden, &rng);
+  AdamOptimizer opt(net_->num_params(), config_.learning_rate,
+                    config_.weight_decay);
+
+  size_t n = xs.rows();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<double> grad(net_->num_params());
+  std::vector<std::vector<double>> acts;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start < n; start += config_.batch_size) {
+      size_t end = std::min(n, start + config_.batch_size);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      for (size_t b = start; b < end; ++b) {
+        size_t i = order[b];
+        double pred = net_->Forward(xs.row(i), &acts);
+        // d(0.5 (pred - y)^2)/dpred, averaged over the batch.
+        double dloss = (pred - ys[i]) / static_cast<double>(end - start);
+        net_->Backward(xs.row(i), acts, dloss, &grad);
+      }
+      opt.Step(&net_->params(), grad);
+    }
+  }
+
+  x_all_scaled_ = scaler_.Transform(data.x);
+  return util::Status::OK();
+}
+
+std::vector<double> MlpRegressor::Predict() const {
+  std::vector<double> out(x_all_scaled_.rows());
+  for (size_t i = 0; i < x_all_scaled_.rows(); ++i) {
+    out[i] = target_scaler_.InverseTransform(
+        net_->Forward(x_all_scaled_.row(i)));
+  }
+  return out;
+}
+
+}  // namespace staq::ml

@@ -1,0 +1,39 @@
+#include "ml/model.h"
+
+#include <algorithm>
+
+namespace staq::ml {
+
+util::Status Dataset::Validate() const {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return util::Status::InvalidArgument("empty feature matrix");
+  }
+  if (y.size() != x.rows()) {
+    return util::Status::InvalidArgument("target size != row count");
+  }
+  if (labeled.size() < 2) {
+    return util::Status::InvalidArgument("need at least 2 labeled instances");
+  }
+  for (uint32_t idx : labeled) {
+    if (idx >= x.rows()) {
+      return util::Status::OutOfRange("labeled index out of range");
+    }
+  }
+  if (!positions.empty() && positions.size() != x.rows()) {
+    return util::Status::InvalidArgument("positions size != row count");
+  }
+  return util::Status::OK();
+}
+
+std::vector<uint32_t> Dataset::UnlabeledIndices() const {
+  std::vector<uint8_t> mask(x.rows(), 0);
+  for (uint32_t idx : labeled) mask[idx] = 1;
+  std::vector<uint32_t> out;
+  out.reserve(x.rows() - labeled.size());
+  for (uint32_t i = 0; i < x.rows(); ++i) {
+    if (!mask[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace staq::ml

@@ -1,0 +1,59 @@
+// Common transductive interface for the SSR models (paper §V-A: OLS, MLP,
+// COREG, Mean Teacher, GNN).
+//
+// Semi-supervised regression here is transductive: the model sees the
+// feature matrix for ALL zones (L ∪ U), targets for the labeled subset, and
+// must produce predictions for every zone. Purely supervised models (OLS,
+// MLP) simply ignore the unlabeled rows during fitting.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "ml/matrix.h"
+#include "util/status.h"
+
+namespace staq::ml {
+
+/// A transductive SSR problem instance.
+struct Dataset {
+  /// Feature matrix over all instances, one row per zone.
+  Matrix x;
+  /// Target values; only entries at labeled indices are meaningful.
+  std::vector<double> y;
+  /// Indices (rows of x) that carry labels.
+  std::vector<uint32_t> labeled;
+  /// Zone centroids, used by graph-based models for the adjacency matrix.
+  /// May be empty for models that do not need it.
+  std::vector<geo::Point> positions;
+
+  size_t num_instances() const { return x.rows(); }
+  size_t num_labeled() const { return labeled.size(); }
+
+  /// Structural validation (sizes agree, labels in range, >= 2 labels).
+  util::Status Validate() const;
+
+  /// Indices not in `labeled`, ascending.
+  std::vector<uint32_t> UnlabeledIndices() const;
+};
+
+/// Abstract SSR model. Fit() then Predict(); Predict() returns one value
+/// per dataset row (including the labeled ones).
+class SsrModel {
+ public:
+  virtual ~SsrModel() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Trains on the dataset. Implementations must be deterministic given
+  /// their configured seed.
+  virtual util::Status Fit(const Dataset& data) = 0;
+
+  /// Predictions for every dataset row, in row order. Requires a
+  /// successful Fit().
+  virtual std::vector<double> Predict() const = 0;
+};
+
+}  // namespace staq::ml

@@ -1,0 +1,33 @@
+// Factory for the SSR models evaluated in the paper, keyed by a stable
+// enum so benches can sweep the model axis of Figs. 3 and 4.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace staq::ml {
+
+/// The model families of §V-A.
+enum class ModelKind {
+  kOls = 0,
+  kMlp,
+  kCoreg,
+  kMeanTeacher,
+  kGnn,
+};
+
+inline constexpr int kNumModelKinds = 5;
+
+/// Stable display name ("OLS", "MLP", "COREG", "MT", "GNN").
+const char* ModelKindName(ModelKind kind);
+
+/// All model kinds in paper order.
+std::vector<ModelKind> AllModelKinds();
+
+/// Instantiates a model with the library defaults and the given seed.
+std::unique_ptr<SsrModel> CreateModel(ModelKind kind, uint64_t seed);
+
+}  // namespace staq::ml

@@ -1,0 +1,47 @@
+#include "ml/ols.h"
+
+namespace staq::ml {
+
+util::Status OlsRegressor::Fit(const Dataset& data) {
+  STAQ_RETURN_NOT_OK(data.Validate());
+
+  // Standardise on the labeled design; append an intercept column.
+  Matrix x_labeled = data.x.SelectRows(data.labeled);
+  scaler_.Fit(x_labeled);
+  Matrix xs = scaler_.Transform(x_labeled);
+
+  size_t n = xs.rows(), d = xs.cols();
+  Matrix design(n, d + 1);
+  for (size_t i = 0; i < n; ++i) {
+    const double* src = xs.row(i);
+    double* dst = design.row(i);
+    for (size_t c = 0; c < d; ++c) dst[c] = src[c];
+    dst[d] = 1.0;
+  }
+
+  std::vector<double> y_labeled(n);
+  for (size_t i = 0; i < n; ++i) y_labeled[i] = data.y[data.labeled[i]];
+
+  Matrix gram = Gram(design);
+  for (size_t c = 0; c < d; ++c) gram(c, c) += config_.ridge;  // not intercept
+  auto solved = SolveLinearSystem(gram, TransposeVec(design, y_labeled));
+  if (!solved.ok()) return solved.status();
+  coef_ = std::move(solved).value();
+
+  x_all_scaled_ = scaler_.Transform(data.x);
+  return util::Status::OK();
+}
+
+std::vector<double> OlsRegressor::Predict() const {
+  size_t n = x_all_scaled_.rows(), d = x_all_scaled_.cols();
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = x_all_scaled_.row(i);
+    double acc = coef_[d];  // intercept
+    for (size_t c = 0; c < d; ++c) acc += coef_[c] * r[c];
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace staq::ml

@@ -1,0 +1,39 @@
+// Ordinary least squares baseline with a small ridge term for numerical
+// stability at tiny labeling budgets (where the design matrix is often
+// rank-deficient — the paper observes OLS becoming erratic there).
+#pragma once
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace staq::ml {
+
+struct OlsConfig {
+  /// Ridge penalty on the (standardised) coefficients; 0 = pure OLS. The
+  /// small default keeps the normal equations solvable when the labeled
+  /// design is rank deficient (tiny β) without meaningfully biasing
+  /// well-posed fits.
+  double ridge = 1e-3;
+};
+
+/// Linear regression on the labeled rows; unlabeled rows are ignored.
+class OlsRegressor : public SsrModel {
+ public:
+  explicit OlsRegressor(OlsConfig config = {}) : config_(config) {}
+
+  const char* name() const override { return "OLS"; }
+  util::Status Fit(const Dataset& data) override;
+  std::vector<double> Predict() const override;
+
+  /// Learned coefficients in standardised feature space (last entry is the
+  /// intercept). Valid after Fit().
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  OlsConfig config_;
+  StandardScaler scaler_;
+  std::vector<double> coef_;
+  Matrix x_all_scaled_;
+};
+
+}  // namespace staq::ml

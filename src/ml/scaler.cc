@@ -1,0 +1,70 @@
+#include "ml/scaler.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::ml {
+
+void StandardScaler::Fit(const Matrix& x) {
+  size_t n = x.rows(), d = x.cols();
+  means_.assign(d, 0.0);
+  stds_.assign(d, 1.0);
+  if (n == 0) return;
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = x.row(i);
+    for (size_t c = 0; c < d; ++c) means_[c] += r[c];
+  }
+  for (size_t c = 0; c < d; ++c) means_[c] /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* r = x.row(i);
+    for (size_t c = 0; c < d; ++c) {
+      double delta = r[c] - means_[c];
+      var[c] += delta * delta;
+    }
+  }
+  for (size_t c = 0; c < d; ++c) {
+    double s = std::sqrt(var[c] / static_cast<double>(n));
+    stds_[c] = s > 1e-12 ? s : 1.0;  // constant column -> identity scale
+  }
+}
+
+Matrix StandardScaler::Transform(const Matrix& x) const {
+  assert(x.cols() == means_.size());
+  Matrix out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const double* src = x.row(i);
+    double* dst = out.row(i);
+    for (size_t c = 0; c < x.cols(); ++c) {
+      dst[c] = (src[c] - means_[c]) / stds_[c];
+    }
+  }
+  return out;
+}
+
+void TargetScaler::Fit(const std::vector<double>& y) {
+  mean_ = 0.0;
+  std_ = 1.0;
+  if (y.empty()) return;
+  for (double v : y) mean_ += v;
+  mean_ /= static_cast<double>(y.size());
+  double var = 0.0;
+  for (double v : y) var += (v - mean_) * (v - mean_);
+  double s = std::sqrt(var / static_cast<double>(y.size()));
+  std_ = s > 1e-12 ? s : 1.0;
+}
+
+std::vector<double> TargetScaler::Transform(const std::vector<double>& y) const {
+  std::vector<double> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = (y[i] - mean_) / std_;
+  return out;
+}
+
+std::vector<double> TargetScaler::InverseTransform(
+    const std::vector<double>& y) const {
+  std::vector<double> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = y[i] * std_ + mean_;
+  return out;
+}
+
+}  // namespace staq::ml

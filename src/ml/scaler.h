@@ -1,0 +1,51 @@
+// Per-column standardisation (zero mean, unit variance), fit on one matrix
+// and applied to others. Constant columns scale to zero rather than NaN.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace staq::ml {
+
+/// Column-wise standard scaler.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and standard deviation from `x`.
+  void Fit(const Matrix& x);
+
+  /// Returns (x - mean) / std column-wise. Must be Fit() first; `x` must
+  /// have the same column count.
+  Matrix Transform(const Matrix& x) const;
+
+  /// Fit then Transform in one step.
+  Matrix FitTransform(const Matrix& x) {
+    Fit(x);
+    return Transform(x);
+  }
+
+  const std::vector<double>& means() const { return means_; }
+  const std::vector<double>& stds() const { return stds_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+/// Scalar standardiser for target vectors.
+class TargetScaler {
+ public:
+  void Fit(const std::vector<double>& y);
+  std::vector<double> Transform(const std::vector<double>& y) const;
+  std::vector<double> InverseTransform(const std::vector<double>& y) const;
+  double InverseTransform(double v) const { return v * std_ + mean_; }
+
+  double mean() const { return mean_; }
+  double stddev() const { return std_; }
+
+ private:
+  double mean_ = 0.0;
+  double std_ = 1.0;
+};
+
+}  // namespace staq::ml

@@ -1,0 +1,50 @@
+#include "router/profile.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::router {
+
+std::vector<ProfilePoint> SampleProfile(Router* router,
+                                        const geo::Point& origin,
+                                        const geo::Point& dest,
+                                        const gtfs::TimeInterval& v,
+                                        int step_s) {
+  assert(step_s > 0);
+  std::vector<ProfilePoint> profile;
+  for (gtfs::TimeOfDay t = v.start; t < v.end; t += step_s) {
+    Journey journey = router->Route(origin, dest, v.day, t);
+    ProfilePoint point;
+    point.depart = t;
+    point.feasible = journey.feasible;
+    point.arrive = journey.feasible ? journey.arrive : t;
+    profile.push_back(point);
+  }
+  return profile;
+}
+
+ProfileStats SummarizeProfile(const std::vector<ProfilePoint>& profile) {
+  ProfileStats stats;
+  stats.num_points = static_cast<uint32_t>(profile.size());
+  double sum = 0.0, sum_sq = 0.0;
+  bool first = true;
+  for (const ProfilePoint& point : profile) {
+    if (!point.feasible) continue;
+    double jt = point.JourneyTimeSeconds();
+    ++stats.num_feasible;
+    sum += jt;
+    sum_sq += jt * jt;
+    if (first || jt < stats.min_jt_s) stats.min_jt_s = jt;
+    if (first || jt > stats.max_jt_s) stats.max_jt_s = jt;
+    first = false;
+  }
+  if (stats.num_feasible > 0) {
+    double n = static_cast<double>(stats.num_feasible);
+    stats.mean_jt_s = sum / n;
+    double var = sum_sq / n - stats.mean_jt_s * stats.mean_jt_s;
+    stats.stddev_jt_s = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  return stats;
+}
+
+}  // namespace staq::router

@@ -1,0 +1,53 @@
+// Travel-time profiles: the arrival function of an OD pair over a
+// departure window.
+//
+// Related work (§II) analyses accessibility with travel-time cubes —
+// dense (o, d, t) arrays of journey times. A profile query computes one
+// fibre of that cube: earliest arrival for each sampled departure time in
+// an interval, plus the summary statistics (mean/σ of journey time) that
+// the TODAM estimates by sparse sampling. Profiles are the exact reference
+// the TODAM's per-pair samples approximate, and power analyses such as
+// "how does waiting for the next service penalise this pair".
+#pragma once
+
+#include <vector>
+
+#include "router/router.h"
+
+namespace staq::router {
+
+/// One sampled departure.
+struct ProfilePoint {
+  gtfs::TimeOfDay depart = 0;
+  gtfs::TimeOfDay arrive = 0;  // meaningful only when feasible
+  bool feasible = false;
+
+  double JourneyTimeSeconds() const {
+    return static_cast<double>(arrive - depart);
+  }
+};
+
+/// Summary of a profile's feasible points.
+struct ProfileStats {
+  uint32_t num_points = 0;
+  uint32_t num_feasible = 0;
+  double mean_jt_s = 0.0;
+  double stddev_jt_s = 0.0;  // the exact per-pair analogue of ACSD
+  double min_jt_s = 0.0;
+  double max_jt_s = 0.0;
+};
+
+/// Samples the arrival function of (origin -> dest) for departures
+/// from `v.start` to `v.end` (exclusive) every `step_s` seconds.
+/// Requires step_s > 0.
+std::vector<ProfilePoint> SampleProfile(Router* router,
+                                        const geo::Point& origin,
+                                        const geo::Point& dest,
+                                        const gtfs::TimeInterval& v,
+                                        int step_s = 60);
+
+/// Aggregates a sampled profile. Profiles with no feasible point return a
+/// zeroed struct with num_feasible == 0.
+ProfileStats SummarizeProfile(const std::vector<ProfilePoint>& profile);
+
+}  // namespace staq::router

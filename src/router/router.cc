@@ -1,0 +1,289 @@
+#include "router/router.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace staq::router {
+
+namespace {
+constexpr gtfs::TimeOfDay kNever = INT32_MAX;
+}
+
+Router::Router(const gtfs::Feed* feed, RouterOptions options)
+    : feed_(feed), options_(options), walk_table_(feed, options.walk) {
+  stop_epoch_.assign(feed_->num_stops(), 0);
+  labels_.resize(feed_->num_stops());
+  trip_epoch_.assign(feed_->num_trips(), 0);
+  trip_board_index_.assign(feed_->num_trips(), 0);
+  epoch_ = 0;
+}
+
+Router::Label& Router::Touch(uint32_t stop) {
+  if (stop_epoch_[stop] != epoch_) {
+    stop_epoch_[stop] = epoch_;
+    labels_[stop] = Label{};
+    labels_[stop].arrival = kNever;
+  }
+  return labels_[stop];
+}
+
+void Router::RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
+                      uint32_t board_stop, gtfs::TimeOfDay board_time,
+                      gtfs::TimeOfDay latest_arrival) {
+  const gtfs::Trip& t = feed_->trip(trip);
+  uint32_t end = t.first_stop_time + t.num_stop_times;
+
+  // If this trip was already ridden from an earlier (or equal) call, the
+  // earlier ride already relaxed everything downstream at least as well.
+  if (trip_epoch_[trip] == epoch_ &&
+      trip_board_index_[trip] <= from_stop_time_index) {
+    return;
+  }
+  trip_epoch_[trip] = epoch_;
+  trip_board_index_[trip] = from_stop_time_index;
+
+  const auto& stop_times = feed_->stop_times();
+  for (uint32_t i = from_stop_time_index + 1; i < end; ++i) {
+    const gtfs::StopTime& call = stop_times[i];
+    if (call.arrival > latest_arrival) break;
+    Label& label = Touch(call.stop);
+    if (call.arrival < label.arrival) {
+      label.arrival = call.arrival;
+      label.kind = Label::Kind::kRide;
+      label.pred_stop = board_stop;
+      label.trip = trip;
+      label.board_time = board_time;
+      label.walk_s = 0;
+      queue_storage_.push_back(QueueEntry{call.arrival, call.stop});
+      std::push_heap(queue_storage_.begin(), queue_storage_.end(),
+                     std::greater<>());
+    }
+  }
+}
+
+Journey Router::Route(const geo::Point& origin, const geo::Point& dest,
+                      gtfs::Day day, gtfs::TimeOfDay depart) {
+  ++epoch_;
+  queue_storage_.clear();
+
+  gtfs::TimeOfDay latest_arrival =
+      depart + static_cast<gtfs::TimeOfDay>(options_.horizon_s);
+
+  // Walk-only baseline.
+  double direct_walk_s = walk_table_.WalkSecondsBetween(origin, dest);
+  double best_total = direct_walk_s <= options_.horizon_s
+                          ? direct_walk_s
+                          : std::numeric_limits<double>::infinity();
+
+  // Seed access stops.
+  for (const WalkHop& hop : walk_table_.AccessStops(origin)) {
+    gtfs::TimeOfDay at =
+        depart + static_cast<gtfs::TimeOfDay>(std::lround(hop.walk_s));
+    if (at > latest_arrival) continue;
+    Label& label = Touch(hop.stop);
+    if (at < label.arrival) {
+      label.arrival = at;
+      label.kind = Label::Kind::kAccess;
+      label.pred_stop = gtfs::kInvalidId;
+      label.walk_s = static_cast<float>(hop.walk_s);
+      queue_storage_.push_back(QueueEntry{at, hop.stop});
+      std::push_heap(queue_storage_.begin(), queue_storage_.end(),
+                     std::greater<>());
+    }
+  }
+
+  // Egress candidates, checked as stops settle.
+  std::vector<WalkHop> egress = walk_table_.AccessStops(dest);
+  std::vector<double> egress_walk(feed_->num_stops(),
+                                  std::numeric_limits<double>::infinity());
+  for (const WalkHop& hop : egress) egress_walk[hop.stop] = hop.walk_s;
+
+  uint32_t best_egress_stop = gtfs::kInvalidId;
+  double best_egress_walk = 0.0;
+
+  while (!queue_storage_.empty()) {
+    std::pop_heap(queue_storage_.begin(), queue_storage_.end(),
+                  std::greater<>());
+    QueueEntry entry = queue_storage_.back();
+    queue_storage_.pop_back();
+
+    Label& label = Touch(entry.stop);
+    if (entry.time > label.arrival) continue;  // stale
+    gtfs::TimeOfDay now = entry.time;
+
+    // Once the earliest settled time alone exceeds the best known total
+    // arrival, nothing can improve (egress walk is non-negative).
+    if (static_cast<double>(now - depart) >= best_total) break;
+
+    // Egress relaxation.
+    double ew = egress_walk[entry.stop];
+    if (ew != std::numeric_limits<double>::infinity()) {
+      double total = static_cast<double>(now - depart) + ew;
+      if (total < best_total) {
+        best_total = total;
+        best_egress_stop = entry.stop;
+        best_egress_walk = ew;
+      }
+    }
+
+    // Boarding scan: first departure per distinct route at or after `now`.
+    seen_routes_scratch_.clear();
+    const auto& deps = feed_->departures(entry.stop);
+    auto it = std::lower_bound(
+        deps.begin(), deps.end(), now,
+        [](const gtfs::Departure& d, gtfs::TimeOfDay t) { return d.time < t; });
+    gtfs::TimeOfDay scan_limit =
+        now + static_cast<gtfs::TimeOfDay>(options_.max_boarding_wait_s);
+    for (; it != deps.end() && it->time <= scan_limit; ++it) {
+      const gtfs::Trip& trip = feed_->trip(it->trip);
+      if (!gtfs::RunsOn(trip.days, day)) continue;
+      if (it->stop_time_index + 1 >= trip.first_stop_time + trip.num_stop_times)
+        continue;  // final call
+      if (std::find(seen_routes_scratch_.begin(), seen_routes_scratch_.end(),
+                    trip.route) != seen_routes_scratch_.end()) {
+        continue;  // a FIFO-earlier trip of this route was already boarded
+      }
+      seen_routes_scratch_.push_back(trip.route);
+      RideTrip(it->trip, it->stop_time_index, entry.stop, it->time,
+               latest_arrival);
+    }
+
+    // Foot transfers.
+    for (const WalkHop& hop : walk_table_.Transfers(entry.stop)) {
+      gtfs::TimeOfDay at =
+          now + static_cast<gtfs::TimeOfDay>(std::lround(hop.walk_s));
+      if (at > latest_arrival) continue;
+      Label& next = Touch(hop.stop);
+      if (at < next.arrival) {
+        next.arrival = at;
+        next.kind = Label::Kind::kTransfer;
+        next.pred_stop = entry.stop;
+        next.trip = gtfs::kInvalidId;
+        next.walk_s = static_cast<float>(hop.walk_s);
+        queue_storage_.push_back(QueueEntry{at, hop.stop});
+        std::push_heap(queue_storage_.begin(), queue_storage_.end(),
+                       std::greater<>());
+      }
+    }
+  }
+
+  if (best_total == std::numeric_limits<double>::infinity()) {
+    Journey none;
+    none.depart = depart;
+    return none;  // infeasible
+  }
+
+  if (best_egress_stop == gtfs::kInvalidId) {
+    // Pure walk wins.
+    Journey j;
+    j.feasible = true;
+    j.depart = depart;
+    j.arrive = depart + static_cast<gtfs::TimeOfDay>(std::lround(direct_walk_s));
+    j.access_walk_s = direct_walk_s;
+    JourneyLeg leg;
+    leg.type = JourneyLeg::Type::kWalk;
+    leg.start = depart;
+    leg.end = j.arrive;
+    j.legs.push_back(leg);
+    return j;
+  }
+
+  return Reconstruct(origin, dest, depart, best_egress_stop, best_egress_walk);
+}
+
+Journey Router::Reconstruct(const geo::Point& /*origin*/,
+                            const geo::Point& /*dest*/, gtfs::TimeOfDay depart,
+                            uint32_t egress_stop, double egress_walk_s) const {
+  Journey j;
+  j.feasible = true;
+  j.depart = depart;
+
+  // Walk back through labels collecting legs in reverse.
+  std::vector<JourneyLeg> reversed;
+  uint32_t stop = egress_stop;
+  // The label array is valid for the current epoch; Reconstruct is called
+  // immediately after the search.
+  int guard = 0;
+  while (stop != gtfs::kInvalidId && guard++ < 1024) {
+    const Label& label = labels_[stop];
+    switch (label.kind) {
+      case Label::Kind::kAccess: {
+        JourneyLeg walk;
+        walk.type = JourneyLeg::Type::kWalk;
+        walk.end = label.arrival;
+        walk.start = label.arrival -
+                     static_cast<gtfs::TimeOfDay>(std::lround(label.walk_s));
+        walk.to_stop = stop;
+        reversed.push_back(walk);
+        j.access_walk_s += label.walk_s;
+        stop = gtfs::kInvalidId;
+        break;
+      }
+      case Label::Kind::kRide: {
+        JourneyLeg ride;
+        ride.type = JourneyLeg::Type::kRide;
+        ride.route = feed_->trip(label.trip).route;
+        ride.from_stop = label.pred_stop;
+        ride.to_stop = stop;
+        ride.start = label.board_time;
+        ride.end = label.arrival;
+        reversed.push_back(ride);
+        j.in_vehicle_s += static_cast<double>(ride.end - ride.start);
+        ++j.num_boardings;
+        j.total_fare += feed_->route(ride.route).flat_fare;
+
+        // Wait at the boarding stop between arrival there and departure.
+        const Label& board_label = labels_[label.pred_stop];
+        gtfs::TimeOfDay waited = label.board_time - board_label.arrival;
+        if (waited > 0) {
+          JourneyLeg wait;
+          wait.type = JourneyLeg::Type::kWait;
+          wait.start = board_label.arrival;
+          wait.end = label.board_time;
+          wait.from_stop = wait.to_stop = label.pred_stop;
+          reversed.push_back(wait);
+          j.wait_s += static_cast<double>(waited);
+        }
+        stop = label.pred_stop;
+        break;
+      }
+      case Label::Kind::kTransfer: {
+        JourneyLeg walk;
+        walk.type = JourneyLeg::Type::kWalk;
+        walk.end = label.arrival;
+        walk.start = label.arrival -
+                     static_cast<gtfs::TimeOfDay>(std::lround(label.walk_s));
+        walk.from_stop = label.pred_stop;
+        walk.to_stop = stop;
+        reversed.push_back(walk);
+        j.transfer_walk_s += label.walk_s;
+        stop = label.pred_stop;
+        break;
+      }
+      case Label::Kind::kNone:
+        assert(false && "reconstruction reached an unlabeled stop");
+        stop = gtfs::kInvalidId;
+        break;
+    }
+  }
+
+  std::reverse(reversed.begin(), reversed.end());
+  j.legs = std::move(reversed);
+
+  // Egress leg.
+  gtfs::TimeOfDay at_stop = labels_[egress_stop].arrival;
+  JourneyLeg walk;
+  walk.type = JourneyLeg::Type::kWalk;
+  walk.start = at_stop;
+  walk.end =
+      at_stop + static_cast<gtfs::TimeOfDay>(std::lround(egress_walk_s));
+  walk.from_stop = egress_stop;
+  j.legs.push_back(walk);
+  j.egress_walk_s = egress_walk_s;
+  j.arrive = walk.end;
+  return j;
+}
+
+}  // namespace staq::router

@@ -1,0 +1,95 @@
+// Multi-modal (walk + transit) earliest-arrival router.
+//
+// This is the library's SPQ oracle — the role OpenTripPlanner plays in the
+// paper (§IV-D). A query (origin point, destination point, day, departure
+// time) is answered with the earliest-arrival journey, decomposed into the
+// components the JT and GAC cost functions need.
+//
+// Algorithm: label-correcting Dijkstra over stops in the time dimension.
+// Settling a stop scans its next departure per route (FIFO timetables make
+// the earliest boarding dominate later ones) and rides each trip forward,
+// then relaxes precomputed foot transfers. Access and egress legs connect
+// arbitrary points to stops within the walking budget; a pure-walk journey
+// is always considered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtfs/feed.h"
+#include "router/cost.h"
+#include "router/walk_table.h"
+
+namespace staq::router {
+
+/// Router configuration.
+struct RouterOptions {
+  WalkParams walk;
+  /// Maximum journey duration considered. The horizon bounds transit stop
+  /// labels (and the pure-walk baseline); a journey whose final egress walk
+  /// extends slightly past the horizon may still be returned. Journeys
+  /// whose total duration fits within the horizon are found optimally.
+  double horizon_s = 3 * 3600;
+  /// Maximum wait for any single boarding.
+  double max_boarding_wait_s = 3600;
+};
+
+/// Earliest-arrival router over one Feed. Reuses internal scratch space
+/// across queries via epoch versioning; a Router instance is therefore NOT
+/// safe for concurrent queries — use one Router per thread.
+class Router {
+ public:
+  Router(const gtfs::Feed* feed, RouterOptions options);
+
+  const RouterOptions& options() const { return options_; }
+  const WalkTable& walk_table() const { return walk_table_; }
+
+  /// Answers the SPQ (o, d, t): earliest-arrival journey leaving `origin`
+  /// at `depart` on `day`. Returns an infeasible Journey when `dest` cannot
+  /// be reached within the horizon.
+  Journey Route(const geo::Point& origin, const geo::Point& dest,
+                gtfs::Day day, gtfs::TimeOfDay depart);
+
+ private:
+  struct Label {
+    enum class Kind : uint8_t { kNone, kAccess, kRide, kTransfer };
+    gtfs::TimeOfDay arrival = 0;
+    Kind kind = Kind::kNone;
+    uint32_t pred_stop = gtfs::kInvalidId;  // kRide: boarding stop; kTransfer: origin stop
+    gtfs::TripId trip = gtfs::kInvalidId;   // kRide
+    gtfs::TimeOfDay board_time = 0;         // kRide: departure at boarding stop
+    float walk_s = 0;                       // kAccess / kTransfer walk time
+  };
+
+  /// Resets per-query scratch lazily via the epoch counter.
+  bool Fresh(uint32_t stop) const { return stop_epoch_[stop] == epoch_; }
+  Label& Touch(uint32_t stop);
+
+  void RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
+                uint32_t board_stop, gtfs::TimeOfDay board_time,
+                gtfs::TimeOfDay latest_arrival);
+  Journey Reconstruct(const geo::Point& origin, const geo::Point& dest,
+                      gtfs::TimeOfDay depart, uint32_t egress_stop,
+                      double egress_walk_s) const;
+
+  const gtfs::Feed* feed_;
+  RouterOptions options_;
+  WalkTable walk_table_;
+
+  // Scratch: labels + priority queue, versioned by epoch_ so a new query
+  // needs no O(n) clear.
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> stop_epoch_;
+  std::vector<Label> labels_;
+  std::vector<uint32_t> trip_epoch_;
+  std::vector<uint32_t> trip_board_index_;  // earliest stop_time index boarded
+  struct QueueEntry {
+    gtfs::TimeOfDay time;
+    uint32_t stop;
+    bool operator>(const QueueEntry& o) const { return time > o.time; }
+  };
+  std::vector<QueueEntry> queue_storage_;
+  std::vector<gtfs::RouteId> seen_routes_scratch_;
+};
+
+}  // namespace staq::router

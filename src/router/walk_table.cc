@@ -1,0 +1,45 @@
+#include "router/walk_table.h"
+
+#include <algorithm>
+
+namespace staq::router {
+
+WalkTable::WalkTable(const gtfs::Feed* feed, WalkParams params)
+    : feed_(feed), params_(params) {
+  std::vector<geo::IndexedPoint> points;
+  points.reserve(feed_->num_stops());
+  for (const gtfs::Stop& s : feed_->stops()) {
+    points.push_back(geo::IndexedPoint{s.position, s.id});
+  }
+  double access_reach = params_.ReachMeters(params_.max_access_walk_s);
+  if (!points.empty()) {
+    stop_index_ = std::make_unique<geo::GridIndex>(
+        std::move(points), std::max(access_reach, 50.0));
+  }
+
+  // Transfer lists: stops within the transfer walk budget of each stop.
+  transfers_.assign(feed_->num_stops(), {});
+  double transfer_reach = params_.ReachMeters(params_.max_transfer_walk_s);
+  if (stop_index_) {
+    for (const gtfs::Stop& s : feed_->stops()) {
+      for (const geo::Neighbor& n :
+           stop_index_->WithinRadius(s.position, transfer_reach)) {
+        if (n.id == s.id) continue;
+        transfers_[s.id].push_back(
+            WalkHop{n.id, params_.WalkSeconds(n.distance)});
+      }
+    }
+  }
+}
+
+std::vector<WalkHop> WalkTable::AccessStops(const geo::Point& p) const {
+  std::vector<WalkHop> out;
+  if (!stop_index_) return out;
+  double reach = params_.ReachMeters(params_.max_access_walk_s);
+  for (const geo::Neighbor& n : stop_index_->WithinRadius(p, reach)) {
+    out.push_back(WalkHop{n.id, params_.WalkSeconds(n.distance)});
+  }
+  return out;
+}
+
+}  // namespace staq::router

@@ -1,0 +1,70 @@
+// Walking access and transfer tables.
+//
+// Walk times between arbitrary points and stops are approximated as
+// straight-line distance inflated by a detour factor divided by walking
+// speed — the standard approximation when a per-query road search would
+// dominate (and what keeps a single SPQ in the ~10ms range the paper
+// reports). Stop-to-stop transfer candidates are precomputed once.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/grid_index.h"
+#include "gtfs/feed.h"
+
+namespace staq::router {
+
+/// A stop reachable on foot, with the walk time.
+struct WalkHop {
+  gtfs::StopId stop = 0;
+  double walk_s = 0.0;
+};
+
+/// Walking parameters. Paper defaults: ω = 4.5 km/h, τ = 600 s.
+struct WalkParams {
+  double speed_mps = 4.5 / 3.6;   // ω
+  double detour_factor = 1.3;     // street-network detour over straight line
+  double max_access_walk_s = 600; // τ: access / egress walk budget
+  double max_transfer_walk_s = 300;  // interchange walk budget
+
+  /// Seconds to walk `meters` of straight-line distance.
+  double WalkSeconds(double meters) const {
+    return meters * detour_factor / speed_mps;
+  }
+  /// Straight-line metres walkable within `seconds`.
+  double ReachMeters(double seconds) const {
+    return seconds * speed_mps / detour_factor;
+  }
+};
+
+/// Precomputed access/transfer structure over a feed's stops.
+class WalkTable {
+ public:
+  WalkTable(const gtfs::Feed* feed, WalkParams params);
+
+  const WalkParams& params() const { return params_; }
+
+  /// Stops reachable on foot from `p` within the access budget, ascending
+  /// by walk time.
+  std::vector<WalkHop> AccessStops(const geo::Point& p) const;
+
+  /// Precomputed foot transfers from `stop` (excluding the stop itself),
+  /// ascending by walk time.
+  const std::vector<WalkHop>& Transfers(gtfs::StopId stop) const {
+    return transfers_[stop];
+  }
+
+  /// Walk time between two arbitrary points (no budget applied).
+  double WalkSecondsBetween(const geo::Point& a, const geo::Point& b) const {
+    return params_.WalkSeconds(geo::Distance(a, b));
+  }
+
+ private:
+  const gtfs::Feed* feed_;
+  WalkParams params_;
+  std::unique_ptr<geo::GridIndex> stop_index_;
+  std::vector<std::vector<WalkHop>> transfers_;
+};
+
+}  // namespace staq::router

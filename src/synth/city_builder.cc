@@ -1,0 +1,454 @@
+#include "synth/city_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/kdtree.h"
+#include "gtfs/feed_builder.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace staq::synth {
+
+namespace {
+
+using geo::Point;
+using util::Rng;
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Builds zone lattice with jitter and demographics.
+std::vector<Zone> BuildZones(const CitySpec& spec, Rng* rng,
+                             const Point& centre) {
+  std::vector<Zone> zones;
+  zones.reserve(static_cast<size_t>(spec.num_zones()));
+
+  // Vulnerability field: inverse-distance mix of a few deprived anchors.
+  std::vector<Point> anchors;
+  double w = spec.zones_x * spec.zone_spacing_m;
+  double h = spec.zones_y * spec.zone_spacing_m;
+  for (int a = 0; a < 3; ++a) {
+    anchors.push_back(Point{rng->Uniform(0.15 * w, 0.85 * w),
+                            rng->Uniform(0.15 * h, 0.85 * h)});
+  }
+
+  for (int y = 0; y < spec.zones_y; ++y) {
+    for (int x = 0; x < spec.zones_x; ++x) {
+      Zone z;
+      z.id = static_cast<uint32_t>(zones.size());
+      double jitter = 0.25 * spec.zone_spacing_m;
+      z.centroid = Point{(x + 0.5) * spec.zone_spacing_m +
+                             rng->Uniform(-jitter, jitter),
+                         (y + 0.5) * spec.zone_spacing_m +
+                             rng->Uniform(-jitter, jitter)};
+      double r = geo::Distance(z.centroid, centre);
+      double density = std::exp(-r / spec.centre_density_scale_m);
+      double noise = std::exp(rng->Normal(0.0, 0.35));
+      z.population = spec.base_zone_population * (0.35 + density) * noise;
+
+      double vuln = 0.0;
+      for (const Point& a : anchors) {
+        double d = geo::Distance(z.centroid, a);
+        vuln += std::exp(-d / (0.18 * std::min(w, h)));
+      }
+      vuln = vuln / static_cast<double>(anchors.size()) +
+             rng->Uniform(-0.08, 0.08);
+      z.vulnerability = std::clamp(vuln, 0.0, 1.0);
+      zones.push_back(z);
+    }
+  }
+  return zones;
+}
+
+/// Builds the road lattice: jittered grid at a finer pitch than zones, with
+/// 4-neighbour edges plus probabilistic diagonals.
+graph::Graph BuildRoad(const CitySpec& spec, Rng* rng) {
+  graph::Graph g;
+  int nx = spec.zones_x * spec.road_nodes_per_zone_axis;
+  int ny = spec.zones_y * spec.road_nodes_per_zone_axis;
+  double pitch = spec.zone_spacing_m /
+                 static_cast<double>(spec.road_nodes_per_zone_axis);
+  double jitter = 0.2 * pitch;
+
+  std::vector<graph::NodeId> ids(static_cast<size_t>(nx) * ny);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      Point p{(x + 0.5) * pitch + rng->Uniform(-jitter, jitter),
+              (y + 0.5) * pitch + rng->Uniform(-jitter, jitter)};
+      ids[static_cast<size_t>(y) * nx + x] = g.AddNode(p);
+    }
+  }
+  auto node_at = [&](int x, int y) {
+    return ids[static_cast<size_t>(y) * nx + x];
+  };
+  auto connect = [&](graph::NodeId a, graph::NodeId b) {
+    double len = geo::Distance(g.position(a), g.position(b)) *
+                 spec.road_detour_factor;
+    (void)g.AddEdge(a, b, len);
+  };
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      if (x + 1 < nx) connect(node_at(x, y), node_at(x + 1, y));
+      if (y + 1 < ny) connect(node_at(x, y), node_at(x, y + 1));
+      if (x + 1 < nx && y + 1 < ny &&
+          rng->Bernoulli(spec.diagonal_edge_prob)) {
+        connect(node_at(x, y), node_at(x + 1, y + 1));
+      }
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+/// Accumulates stop positions with deduplication: stops of different routes
+/// that fall within `merge_radius` share an id, creating interchanges.
+class StopPool {
+ public:
+  explicit StopPool(double merge_radius) : merge_radius_(merge_radius) {}
+
+  uint32_t Intern(const Point& p) {
+    for (size_t i = 0; i < points_.size(); ++i) {
+      if (geo::Distance(points_[i], p) <= merge_radius_) {
+        return static_cast<uint32_t>(i);
+      }
+    }
+    points_.push_back(p);
+    return static_cast<uint32_t>(points_.size() - 1);
+  }
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  double merge_radius_;
+  std::vector<Point> points_;
+};
+
+/// Stop positions along a polyline at a fixed spacing.
+std::vector<Point> StopsAlong(const std::vector<Point>& polyline,
+                              double spacing, Rng* rng) {
+  std::vector<Point> stops;
+  if (polyline.size() < 2) return stops;
+  double carried = 0.0;
+  stops.push_back(polyline.front());
+  for (size_t i = 0; i + 1 < polyline.size(); ++i) {
+    Point a = polyline[i];
+    Point b = polyline[i + 1];
+    double seg = geo::Distance(a, b);
+    if (seg <= 1e-9) continue;
+    double along = spacing - carried;
+    while (along < seg) {
+      double f = along / seg;
+      Point p{a.x + f * (b.x - a.x) + rng->Uniform(-20, 20),
+              a.y + f * (b.y - a.y) + rng->Uniform(-20, 20)};
+      stops.push_back(p);
+      along += spacing;
+    }
+    carried = seg - (along - spacing);
+  }
+  return stops;
+}
+
+struct RouteGeometry {
+  std::string name;
+  std::vector<Point> stops;  // ordered along the route
+};
+
+std::vector<RouteGeometry> BuildRouteGeometries(const CitySpec& spec,
+                                                const Point& centre, Rng* rng) {
+  std::vector<RouteGeometry> routes;
+  double w = spec.zones_x * spec.zone_spacing_m;
+  double h = spec.zones_y * spec.zone_spacing_m;
+  double radius = 0.48 * std::min(w, h);
+
+  // Radial routes: straight through the centre at evenly-rotated angles.
+  for (int k = 0; k < spec.num_radial_routes; ++k) {
+    double theta = kPi * k / std::max(1, spec.num_radial_routes) +
+                   rng->Uniform(-0.06, 0.06);
+    Point a{centre.x - radius * std::cos(theta),
+            centre.y - radius * std::sin(theta)};
+    Point b{centre.x + radius * std::cos(theta),
+            centre.y + radius * std::sin(theta)};
+    RouteGeometry geom;
+    geom.name = util::Format("radial-%d", k);
+    geom.stops = StopsAlong({a, centre, b}, spec.stop_spacing_m, rng);
+    routes.push_back(std::move(geom));
+  }
+
+  // Orbital routes: rings at increasing radii.
+  for (int k = 0; k < spec.num_orbital_routes; ++k) {
+    double r = radius * (k + 1) / (spec.num_orbital_routes + 1);
+    std::vector<Point> ring;
+    int segments = std::max(8, static_cast<int>(2 * kPi * r / 400.0));
+    for (int s = 0; s <= segments; ++s) {
+      double a = 2 * kPi * s / segments;
+      ring.push_back(Point{centre.x + r * std::cos(a),
+                           centre.y + r * std::sin(a)});
+    }
+    RouteGeometry geom;
+    geom.name = util::Format("orbital-%d", k);
+    geom.stops = StopsAlong(ring, spec.stop_spacing_m, rng);
+    routes.push_back(std::move(geom));
+  }
+
+  // Crosstown routes: random chords that avoid the centre.
+  for (int k = 0; k < spec.num_crosstown_routes; ++k) {
+    Point a{rng->Uniform(0.05 * w, 0.95 * w), rng->Uniform(0.05 * h, 0.95 * h)};
+    Point b{rng->Uniform(0.05 * w, 0.95 * w), rng->Uniform(0.05 * h, 0.95 * h)};
+    if (geo::Distance(a, b) < 0.3 * std::min(w, h)) {
+      b = Point{w - a.x, h - a.y};  // stretch short chords
+    }
+    RouteGeometry geom;
+    geom.name = util::Format("crosstown-%d", k);
+    geom.stops = StopsAlong({a, b}, spec.stop_spacing_m, rng);
+    routes.push_back(std::move(geom));
+  }
+
+  // Drop degenerate geometries.
+  routes.erase(std::remove_if(routes.begin(), routes.end(),
+                              [](const RouteGeometry& r) {
+                                return r.stops.size() < 2;
+                              }),
+               routes.end());
+  return routes;
+}
+
+/// Whether a departure time falls in a commuter peak.
+bool IsPeak(gtfs::TimeOfDay t) {
+  return (t >= gtfs::MakeTime(7, 0) && t < gtfs::MakeTime(9, 30)) ||
+         (t >= gtfs::MakeTime(16, 0) && t < gtfs::MakeTime(18, 30));
+}
+
+util::Result<gtfs::Feed> BuildFeed(const CitySpec& spec,
+                                   const std::vector<RouteGeometry>& geoms,
+                                   Rng* rng) {
+  gtfs::FeedBuilder builder;
+  StopPool pool(/*merge_radius=*/80.0);
+
+  // Intern stops first so routes crossing each other share ids.
+  std::vector<std::vector<uint32_t>> route_stop_ids(geoms.size());
+  for (size_t r = 0; r < geoms.size(); ++r) {
+    for (const Point& p : geoms[r].stops) {
+      uint32_t id = pool.Intern(p);
+      // Skip consecutive duplicates produced by merging.
+      if (!route_stop_ids[r].empty() && route_stop_ids[r].back() == id) {
+        continue;
+      }
+      route_stop_ids[r].push_back(id);
+    }
+  }
+  for (size_t i = 0; i < pool.points().size(); ++i) {
+    builder.AddStop(util::Format("stop-%zu", i), pool.points()[i]);
+  }
+
+  gtfs::TimeOfDay service_start = gtfs::MakeTime(spec.service_start_hour, 0);
+  gtfs::TimeOfDay service_end = gtfs::MakeTime(spec.service_end_hour, 0);
+
+  for (size_t r = 0; r < geoms.size(); ++r) {
+    if (route_stop_ids[r].size() < 2) continue;
+    double fare = spec.flat_fare * rng->Uniform(0.8, 1.2);
+    gtfs::RouteId route = builder.AddRoute(geoms[r].name, fare);
+    double headway_factor =
+        rng->Uniform(1.0 - spec.route_headway_jitter,
+                     1.0 + spec.route_headway_jitter);
+
+    // Leg travel times along the stop sequence.
+    std::vector<double> leg_s;
+    const auto& ids = route_stop_ids[r];
+    for (size_t i = 0; i + 1 < ids.size(); ++i) {
+      double d = geo::Distance(pool.points()[ids[i]], pool.points()[ids[i + 1]]);
+      leg_s.push_back(d / spec.bus_speed_mps + spec.dwell_s);
+    }
+
+    struct ServicePattern {
+      gtfs::DayMask days;
+      double headway_multiplier;
+    };
+    const ServicePattern patterns[] = {
+        {gtfs::kWeekdays, 1.0},
+        {gtfs::kWeekend, spec.weekend_headway_multiplier},
+    };
+
+    for (const ServicePattern& pattern : patterns) {
+      for (int direction = 0; direction < 2; ++direction) {
+        std::vector<uint32_t> order = ids;
+        std::vector<double> legs = leg_s;
+        if (direction == 1) {
+          std::reverse(order.begin(), order.end());
+          std::reverse(legs.begin(), legs.end());
+        }
+        double t = service_start +
+                   rng->Uniform(0.0, spec.peak_headway_s * headway_factor);
+        while (t < service_end) {
+          gtfs::TimeOfDay dep = static_cast<gtfs::TimeOfDay>(std::lround(t));
+          builder.BeginTrip(route, pattern.days);
+          gtfs::TimeOfDay clock = dep;
+          STAQ_RETURN_NOT_OK(builder.AddCall(order[0], clock));
+          for (size_t i = 0; i + 1 < order.size(); ++i) {
+            clock += static_cast<gtfs::TimeOfDay>(std::lround(legs[i]));
+            STAQ_RETURN_NOT_OK(builder.AddCall(order[i + 1], clock));
+          }
+          double base = IsPeak(dep) ? spec.peak_headway_s
+                                    : spec.offpeak_headway_s;
+          t += base * headway_factor * pattern.headway_multiplier;
+        }
+      }
+    }
+  }
+  return builder.Build();
+}
+
+/// Weighted zone sampling by population.
+uint32_t SampleZoneByPopulation(const std::vector<Zone>& zones,
+                                const std::vector<double>& cumulative,
+                                Rng* rng) {
+  double pick = rng->UniformDouble() * cumulative.back();
+  auto it = std::upper_bound(cumulative.begin(), cumulative.end(), pick);
+  size_t idx = static_cast<size_t>(it - cumulative.begin());
+  return zones[std::min(idx, zones.size() - 1)].id;
+}
+
+std::vector<Poi> BuildPois(const CitySpec& spec, const std::vector<Zone>& zones,
+                           const Point& centre, Rng* rng) {
+  std::vector<Poi> pois;
+  std::vector<double> cumulative;
+  cumulative.reserve(zones.size());
+  double acc = 0.0;
+  for (const Zone& z : zones) {
+    acc += z.population;
+    cumulative.push_back(acc);
+  }
+  double w = spec.zones_x * spec.zone_spacing_m;
+  double h = spec.zones_y * spec.zone_spacing_m;
+
+  auto place_weighted = [&]() {
+    uint32_t zid = SampleZoneByPopulation(zones, cumulative, rng);
+    double jitter = 0.3 * spec.zone_spacing_m;
+    return Point{zones[zid].centroid.x + rng->Uniform(-jitter, jitter),
+                 zones[zid].centroid.y + rng->Uniform(-jitter, jitter)};
+  };
+  auto place_central = [&]() {
+    return Point{centre.x + rng->Normal(0.0, 0.13 * w),
+                 centre.y + rng->Normal(0.0, 0.13 * h)};
+  };
+
+  for (const PoiSpec& ps : spec.pois) {
+    size_t start = pois.size();
+    switch (ps.placement) {
+      case PoiPlacement::kPopulationWeighted:
+        for (int i = 0; i < ps.count; ++i) {
+          pois.push_back(Poi{0, ps.category, place_weighted()});
+        }
+        break;
+      case PoiPlacement::kCentral:
+        for (int i = 0; i < ps.count; ++i) {
+          pois.push_back(Poi{0, ps.category, place_central()});
+        }
+        break;
+      case PoiPlacement::kMixed:
+        for (int i = 0; i < ps.count; ++i) {
+          pois.push_back(Poi{0, ps.category,
+                             (i % 2 == 0) ? place_weighted() : place_central()});
+        }
+        break;
+      case PoiPlacement::kDispersed: {
+        // Greedy max-min over a random candidate pool.
+        std::vector<Point> candidates;
+        for (int c = 0; c < std::max(200, 10 * ps.count); ++c) {
+          candidates.push_back(Point{rng->Uniform(0.1 * w, 0.9 * w),
+                                     rng->Uniform(0.1 * h, 0.9 * h)});
+        }
+        std::vector<Point> chosen;
+        chosen.push_back(place_weighted());  // first near people
+        while (static_cast<int>(chosen.size()) < ps.count) {
+          double best_score = -1.0;
+          Point best = candidates[0];
+          for (const Point& cand : candidates) {
+            double nearest = std::numeric_limits<double>::infinity();
+            for (const Point& c : chosen) {
+              nearest = std::min(nearest, geo::Distance(cand, c));
+            }
+            if (nearest > best_score) {
+              best_score = nearest;
+              best = cand;
+            }
+          }
+          chosen.push_back(best);
+        }
+        for (const Point& p : chosen) {
+          pois.push_back(Poi{0, ps.category, p});
+        }
+        break;
+      }
+    }
+    (void)start;
+  }
+  for (size_t i = 0; i < pois.size(); ++i) {
+    pois[i].id = static_cast<uint32_t>(i);
+  }
+  return pois;
+}
+
+}  // namespace
+
+std::vector<Poi> City::PoisOf(PoiCategory category) const {
+  std::vector<Poi> out;
+  for (const Poi& p : pois) {
+    if (p.category == category) out.push_back(p);
+  }
+  return out;
+}
+
+double City::TotalPopulation() const {
+  double total = 0.0;
+  for (const Zone& z : zones) total += z.population;
+  return total;
+}
+
+util::Result<City> BuildCity(const CitySpec& spec) {
+  if (spec.zones_x < 2 || spec.zones_y < 2) {
+    return util::Status::InvalidArgument("city needs at least a 2x2 lattice");
+  }
+  if (spec.zone_spacing_m <= 0 || spec.stop_spacing_m <= 0 ||
+      spec.bus_speed_mps <= 0) {
+    return util::Status::InvalidArgument("non-positive spacing or speed");
+  }
+
+  Rng rng(spec.seed);
+  Rng zone_rng = rng.Fork(1);
+  Rng road_rng = rng.Fork(2);
+  Rng transit_rng = rng.Fork(3);
+  Rng poi_rng = rng.Fork(4);
+
+  City city;
+  city.spec = spec;
+  double w = spec.zones_x * spec.zone_spacing_m;
+  double h = spec.zones_y * spec.zone_spacing_m;
+  city.extent = geo::BBox{0, 0, w, h};
+  Point centre = city.Centre();
+
+  city.zones = BuildZones(spec, &zone_rng, centre);
+  city.road = BuildRoad(spec, &road_rng);
+
+  auto geoms = BuildRouteGeometries(spec, centre, &transit_rng);
+  auto feed = BuildFeed(spec, geoms, &transit_rng);
+  if (!feed.ok()) return feed.status();
+  city.feed = std::move(feed).value();
+
+  city.pois = BuildPois(spec, city.zones, centre, &poi_rng);
+
+  // Nearest road node per zone.
+  std::vector<geo::IndexedPoint> nodes;
+  nodes.reserve(city.road.num_nodes());
+  for (graph::NodeId n = 0; n < city.road.num_nodes(); ++n) {
+    nodes.push_back(geo::IndexedPoint{city.road.position(n), n});
+  }
+  geo::KdTree tree(std::move(nodes));
+  city.zone_node.reserve(city.zones.size());
+  for (const Zone& z : city.zones) {
+    city.zone_node.push_back(tree.Nearest(z.centroid).id);
+  }
+  return city;
+}
+
+}  // namespace staq::synth

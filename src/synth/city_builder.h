@@ -1,0 +1,70 @@
+// Synthetic city generation.
+//
+// Builds a complete, internally consistent city from a CitySpec:
+//  * census zones on a jittered lattice with a radial population-density
+//    profile plus a spatially correlated vulnerability score,
+//  * a road/footpath graph on a finer jittered lattice,
+//  * a bus network of radial / orbital / crosstown route families with
+//    per-route headway factors, peak/off-peak/weekend service, shared stops
+//    at crossings, and flat fares,
+//  * POI sets sited per category (population-weighted, dispersed, mixed,
+//    central).
+//
+// All randomness derives from CitySpec::seed, so a spec maps to exactly one
+// city.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/latlon.h"
+#include "graph/graph.h"
+#include "gtfs/feed.h"
+#include "synth/city_spec.h"
+#include "util/status.h"
+
+namespace staq::synth {
+
+/// A census zone z_i: its centroid plus demographic attributes used by the
+/// fairness analysis.
+struct Zone {
+  uint32_t id = 0;
+  geo::Point centroid;
+  double population = 0.0;
+  double vulnerability = 0.0;  // [0,1]; 1 = most deprived
+};
+
+/// A point of interest p_j.
+struct Poi {
+  uint32_t id = 0;  // dense within the city across all categories
+  PoiCategory category = PoiCategory::kSchool;
+  geo::Point position;
+};
+
+/// A fully built synthetic city. Move-only (holds the road graph and feed).
+struct City {
+  CitySpec spec;
+  std::vector<Zone> zones;
+  graph::Graph road;
+  std::vector<graph::NodeId> zone_node;  // nearest road node per zone
+  gtfs::Feed feed;
+  std::vector<Poi> pois;
+  geo::BBox extent;
+
+  geo::Point Centre() const {
+    return geo::Point{(extent.min_x + extent.max_x) / 2,
+                      (extent.min_y + extent.max_y) / 2};
+  }
+
+  /// POIs of one category, in id order.
+  std::vector<Poi> PoisOf(PoiCategory category) const;
+
+  /// Total resident population.
+  double TotalPopulation() const;
+};
+
+/// Builds the city described by `spec`. Fails only on degenerate specs
+/// (no zones, no POIs requested with zero counts, etc.).
+util::Result<City> BuildCity(const CitySpec& spec);
+
+}  // namespace staq::synth

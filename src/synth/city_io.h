@@ -1,0 +1,34 @@
+// City persistence.
+//
+// Saves and loads the non-timetable parts of a City as CSV files, so a
+// study area can be assembled from real data (census-tract centroids and
+// demographics, scraped POI locations, an exported road network) instead
+// of the synthetic generator:
+//
+//   zones.csv   zone_id, x_m, y_m, population, vulnerability
+//   pois.csv    poi_id, category, x_m, y_m
+//   roads.csv   node records ("N", node_id, x_m, y_m) and edge records
+//               ("E", tail, head, length_m)
+//
+// The timetable travels separately as GTFS (gtfs/gtfs_csv.h). LoadCity
+// reassembles a routable City: the road graph is finalised and zone->road
+// snapping recomputed.
+#pragma once
+
+#include <string>
+
+#include "synth/city_builder.h"
+
+namespace staq::synth {
+
+/// Writes zones.csv, pois.csv and roads.csv into `directory` (created if
+/// absent). The feed is NOT written — use gtfs::WriteFeedCsv.
+util::Status SaveCityCsv(const City& city, const std::string& directory);
+
+/// Loads a city saved by SaveCityCsv and attaches `feed` (moved in).
+/// Zone/POI ids must be dense and ascending; validation failures return
+/// InvalidArgument.
+util::Result<City> LoadCityCsv(const std::string& directory,
+                               gtfs::Feed feed);
+
+}  // namespace staq::synth

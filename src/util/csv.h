@@ -1,0 +1,56 @@
+// Minimal CSV table writer used by benches to emit the rows/series the
+// paper's tables and figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace staq::util {
+
+/// Parses RFC-4180 CSV text (quoted fields, embedded separators/quotes/
+/// newlines, CRLF endings) into rows of fields. The first row is NOT
+/// treated specially — callers interpret headers. Returns InvalidArgument
+/// on malformed quoting.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// Reads and parses a CSV file. IoError if unreadable.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// An in-memory rectangular table with a header row, serialisable to CSV.
+///
+/// Cells are stored as strings; numeric convenience setters format with
+/// fixed precision. Fields containing commas, quotes or newlines are quoted
+/// per RFC 4180 on output.
+class CsvTable {
+ public:
+  /// Creates a table with the given column names.
+  explicit CsvTable(std::vector<std::string> header);
+
+  size_t num_columns() const { return header_.size(); }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row; must have exactly num_columns() cells.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Serialises the header and all rows to RFC-4180 CSV text.
+  std::string ToCsv() const;
+
+  /// Writes ToCsv() to `path`, creating/truncating the file.
+  Status WriteFile(const std::string& path) const;
+
+  /// Formats a double with `precision` fractional digits.
+  static std::string Num(double v, int precision = 3);
+  static std::string Num(int64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace staq::util

@@ -1,0 +1,23 @@
+// Lightweight leveled logging to stderr. Benches use Info-level progress
+// lines; the library itself logs sparingly (warnings only).
+#pragma once
+
+#include <string>
+
+namespace staq::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits `message` to stderr with a level prefix if `level` is enabled.
+void Log(LogLevel level, const std::string& message);
+
+inline void LogDebug(const std::string& m) { Log(LogLevel::kDebug, m); }
+inline void LogInfo(const std::string& m) { Log(LogLevel::kInfo, m); }
+inline void LogWarning(const std::string& m) { Log(LogLevel::kWarning, m); }
+inline void LogError(const std::string& m) { Log(LogLevel::kError, m); }
+
+}  // namespace staq::util

@@ -1,0 +1,131 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace staq::util {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : state_) s = sm.Next();
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire (2019): multiply-shift with rejection to remove modulo bias.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  if (span == 0) return static_cast<int64_t>(NextU64());
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so the log is finite.
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = r * std::sin(kTwoPi * u2);
+  has_cached_normal_ = true;
+  return r * std::cos(kTwoPi * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0);
+  return -std::log(1.0 - UniformDouble()) / rate;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+int Rng::Poisson(double mean) {
+  assert(mean >= 0);
+  if (mean <= 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for the
+    // trip-count sampling this is used for.
+    double draw = Normal(mean, std::sqrt(mean));
+    return draw < 0 ? 0 : static_cast<int>(draw + 0.5);
+  }
+  double limit = std::exp(-mean);
+  double prod = UniformDouble();
+  int n = 0;
+  while (prod > limit) {
+    prod *= UniformDouble();
+    ++n;
+  }
+  return n;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  assert(k <= n);
+  std::vector<size_t> pool(n);
+  for (size_t i = 0; i < n; ++i) pool[i] = i;
+  // Partial Fisher–Yates: first k slots end up holding the sample.
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(UniformU64(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::Fork(uint64_t tag) {
+  // Mix the parent stream with the tag through SplitMix64 so forks with
+  // different tags diverge immediately.
+  SplitMix64 sm(NextU64() ^ (tag * 0x9e3779b97f4a7c15ULL + 0x165667b19e3779f9ULL));
+  return Rng(sm.Next());
+}
+
+}  // namespace staq::util

@@ -1,0 +1,98 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in staq (city synthesis, trip sampling, model
+// initialisation, data splits) takes an explicit seed and draws from these
+// generators, so that a whole experiment is reproducible bit-for-bit from a
+// single integer. We deliberately avoid std::mt19937 + std::*_distribution
+// because their outputs are not specified identically across standard
+// library implementations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace staq::util {
+
+/// SplitMix64: tiny, fast generator used for seeding and cheap hashing.
+/// Passes BigCrush when used as a 64-bit generator. (Steele et al., 2014.)
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256** — the project's main generator. Fast, 256-bit state,
+/// excellent statistical quality (Blackman & Vigna, 2018).
+class Rng {
+ public:
+  /// Seeds the 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method. `bound` must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached second variate).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  /// Exponential with the given rate (mean 1/rate). Requires rate > 0.
+  double Exponential(double rate);
+
+  /// Bernoulli draw with probability `p` of returning true.
+  bool Bernoulli(double p);
+
+  /// Poisson draw (Knuth's method for small means, normal approx above 64).
+  int Poisson(double mean);
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in selection order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; children with distinct tags are
+  /// statistically independent of each other and of the parent's stream.
+  Rng Fork(uint64_t tag);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace staq::util

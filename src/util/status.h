@@ -1,0 +1,127 @@
+// Status / Result error model for staq.
+//
+// Fallible library operations return Status (or Result<T> when they also
+// produce a value) rather than throwing. This mirrors the Arrow / RocksDB
+// convention: errors are explicit values the caller must consume, and the
+// hot path (routing, feature extraction) stays exception-free.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace staq::util {
+
+/// Error categories for Status. Kept deliberately small; the message string
+/// carries the specifics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Status is cheap to copy when OK (no allocation) and cheap to move always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error union. `ok()` implies `value()` is valid; accessing the
+/// value of a failed Result is a programming error (asserts in debug).
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;  // Engaged iff status_ is OK.
+};
+
+}  // namespace staq::util
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define STAQ_RETURN_NOT_OK(expr)                   \
+  do {                                             \
+    ::staq::util::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                     \
+  } while (0)

@@ -1,0 +1,44 @@
+// Wall-clock timing helpers used by the Table-II cost accounting.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace staq::util {
+
+/// Monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop windows; used to attribute
+/// wall-clock to pipeline stages (feature extraction vs labeling vs training).
+class StageTimer {
+ public:
+  void Start() { watch_.Reset(); }
+  void Stop() { total_seconds_ += watch_.ElapsedSeconds(); }
+  void Add(double seconds) { total_seconds_ += seconds; }
+  double TotalSeconds() const { return total_seconds_; }
+
+ private:
+  Stopwatch watch_;
+  double total_seconds_ = 0.0;
+};
+
+}  // namespace staq::util

@@ -1,0 +1,152 @@
+#include "core/features.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/gravity.h"
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  FeaturesTest()
+      : city_(testing::TinyCity()),
+        isochrones_(city_, IsochroneConfig{}),
+        trees_(city_, isochrones_, gtfs::WeekdayAmPeak()),
+        extractor_(&city_, &isochrones_, &trees_) {}
+
+  synth::City city_;
+  IsochroneSet isochrones_;
+  HopTreeSet trees_;
+  FeatureExtractor extractor_;
+};
+
+TEST_F(FeaturesTest, FeatureNamesCoverAllDimensions) {
+  for (size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_STRNE(FeatureName(i), "invalid");
+  }
+  EXPECT_STREQ(FeatureName(kNumFeatures), "invalid");
+  EXPECT_STREQ(FeatureName(0), "od_distance_m");
+}
+
+TEST_F(FeaturesTest, PoiZoneIsNearestCentroid) {
+  synth::Poi poi{0, synth::PoiCategory::kSchool, city_.zones[7].centroid};
+  EXPECT_EQ(extractor_.PoiZone(poi), 7u);
+}
+
+TEST_F(FeaturesTest, OdVectorBasicGeometry) {
+  synth::Poi poi{0, synth::PoiCategory::kSchool,
+                 city_.zones[12].centroid};
+  double out[kNumFeatures];
+  extractor_.ExtractOd(3, poi, out);
+  double od = geo::Distance(city_.zones[3].centroid, poi.position);
+  EXPECT_NEAR(out[0], od, 1e-9);
+  // Flags are boolean.
+  for (int flag : {1, 2, 3}) {
+    EXPECT_TRUE(out[flag] == 0.0 || out[flag] == 1.0);
+  }
+  // 2-hop reachability implies at least 1-hop consistency.
+  EXPECT_GE(out[3], out[2]);
+}
+
+TEST_F(FeaturesTest, WalkableFlagSetForCoLocatedPoi) {
+  synth::Poi here{0, synth::PoiCategory::kSchool, city_.zones[5].centroid};
+  double out[kNumFeatures];
+  extractor_.ExtractOd(5, here, out);
+  EXPECT_EQ(out[0], 0.0);
+  EXPECT_EQ(out[1], 1.0);
+}
+
+TEST_F(FeaturesTest, DistanceFeaturesNeverExceedDirectDistance) {
+  // Leaf/interchange proximity features fall back to the OD distance, so
+  // they can never exceed it.
+  double out[kNumFeatures];
+  for (uint32_t z = 0; z < 20; ++z) {
+    for (const synth::Poi& poi : city_.pois) {
+      extractor_.ExtractOd(z, poi, out);
+      for (int f : {4, 7, 11, 12, 14}) {
+        EXPECT_LE(out[f], out[0] + 1e-9) << "feature " << f;
+      }
+    }
+  }
+}
+
+TEST_F(FeaturesTest, NonNegativeAndFinite) {
+  double out[kNumFeatures];
+  for (uint32_t z = 0; z < city_.zones.size(); z += 7) {
+    for (size_t p = 0; p < city_.pois.size(); p += 3) {
+      extractor_.ExtractOd(z, city_.pois[p], out);
+      for (size_t f = 0; f < kNumFeatures; ++f) {
+        EXPECT_TRUE(std::isfinite(out[f])) << FeatureName(f);
+        EXPECT_GE(out[f], 0.0) << FeatureName(f);
+      }
+    }
+  }
+}
+
+TEST_F(FeaturesTest, Reach2FractionIsAFraction) {
+  double out[kNumFeatures];
+  extractor_.ExtractOd(0, city_.pois[0], out);
+  EXPECT_GE(out[18], 0.0);
+  EXPECT_LE(out[18], 1.0);
+}
+
+TEST_F(FeaturesTest, ZoneMatrixShapeAndWeighting) {
+  auto pois = city_.PoisOf(synth::PoiCategory::kSchool);
+  auto alpha = AttractivenessMatrix(city_.zones, pois, 3000);
+  ml::Matrix features = extractor_.ExtractZoneMatrix(pois, alpha);
+  ASSERT_EQ(features.rows(), city_.zones.size());
+  ASSERT_EQ(features.cols(), kNumFeatures);
+  for (size_t i = 0; i < features.rows(); ++i) {
+    for (size_t c = 0; c < features.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(features(i, c)));
+    }
+  }
+}
+
+TEST_F(FeaturesTest, ZoneMatrixIsAlphaWeightedMeanOfOdVectors) {
+  // With a single POI, the aggregated row equals the OD vector exactly.
+  auto pois = std::vector<synth::Poi>{city_.pois[0]};
+  std::vector<std::vector<double>> alpha(city_.zones.size(),
+                                         std::vector<double>{1.0});
+  ml::Matrix features = extractor_.ExtractZoneMatrix(pois, alpha);
+  double od[kNumFeatures];
+  extractor_.ExtractOd(4, pois[0], od);
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    EXPECT_NEAR(features(4, f), od[f], 1e-9) << FeatureName(f);
+  }
+}
+
+TEST_F(FeaturesTest, ZeroAlphaZoneGetsZeroRow) {
+  auto pois = std::vector<synth::Poi>{city_.pois[0]};
+  std::vector<std::vector<double>> alpha(city_.zones.size(),
+                                         std::vector<double>{1.0});
+  alpha[2][0] = 0.0;  // zone 2 never travels
+  ml::Matrix features = extractor_.ExtractZoneMatrix(pois, alpha);
+  for (size_t f = 0; f < kNumFeatures; ++f) {
+    EXPECT_EQ(features(2, f), 0.0);
+  }
+}
+
+TEST_F(FeaturesTest, WeightsSkewTowardHighAlphaPoi) {
+  // Two POIs at different distances: weighting entirely to one of them
+  // reproduces that POI's OD distance.
+  std::vector<synth::Poi> pois{
+      {0, synth::PoiCategory::kSchool, city_.zones[1].centroid},
+      {1, synth::PoiCategory::kSchool,
+       city_.zones[city_.zones.size() - 1].centroid},
+  };
+  std::vector<std::vector<double>> near_alpha(
+      city_.zones.size(), std::vector<double>{1.0, 0.0});
+  std::vector<std::vector<double>> far_alpha(
+      city_.zones.size(), std::vector<double>{0.0, 1.0});
+  ml::Matrix near_f = extractor_.ExtractZoneMatrix(pois, near_alpha);
+  ml::Matrix far_f = extractor_.ExtractZoneMatrix(pois, far_alpha);
+  EXPECT_LT(near_f(0, 0), far_f(0, 0));  // od_distance_m from zone 0
+}
+
+}  // namespace
+}  // namespace staq::core

@@ -1,0 +1,80 @@
+#include "core/gravity.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+TEST(DistanceDecayTest, MonotoneDecreasing) {
+  EXPECT_DOUBLE_EQ(DistanceDecay(0, 1000), 1.0);
+  EXPECT_GT(DistanceDecay(100, 1000), DistanceDecay(200, 1000));
+  EXPECT_NEAR(DistanceDecay(1000, 1000), std::exp(-1.0), 1e-12);
+}
+
+TEST(DistanceDecayTest, ScaleStretchesDecay) {
+  // Larger scale -> flatter decay at the same distance.
+  EXPECT_GT(DistanceDecay(2000, 5000), DistanceDecay(2000, 1000));
+}
+
+TEST(AttractivenessTest, RowIsNormalized) {
+  std::vector<synth::Poi> pois{
+      {0, synth::PoiCategory::kSchool, {100, 0}},
+      {1, synth::PoiCategory::kSchool, {2000, 0}},
+      {2, synth::PoiCategory::kSchool, {8000, 0}},
+  };
+  auto row = AttractivenessRow({0, 0}, pois, 3000);
+  ASSERT_EQ(row.size(), 3u);
+  double sum = row[0] + row[1] + row[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  // Closer POI is more attractive.
+  EXPECT_GT(row[0], row[1]);
+  EXPECT_GT(row[1], row[2]);
+  for (double a : row) EXPECT_GT(a, 0.0);
+}
+
+TEST(AttractivenessTest, EmptyPoiSetYieldsEmptyRow) {
+  auto row = AttractivenessRow({0, 0}, {}, 3000);
+  EXPECT_TRUE(row.empty());
+}
+
+TEST(AttractivenessTest, EquidistantPoisShareEqually) {
+  std::vector<synth::Poi> pois{
+      {0, synth::PoiCategory::kSchool, {1000, 0}},
+      {1, synth::PoiCategory::kSchool, {-1000, 0}},
+      {2, synth::PoiCategory::kSchool, {0, 1000}},
+  };
+  auto row = AttractivenessRow({0, 0}, pois, 3000);
+  EXPECT_NEAR(row[0], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(row[1], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(row[2], 1.0 / 3, 1e-12);
+}
+
+TEST(AttractivenessTest, MatrixHasRowPerZone) {
+  synth::City city = testing::TinyCity();
+  auto pois = city.PoisOf(synth::PoiCategory::kSchool);
+  auto alpha = AttractivenessMatrix(city.zones, pois, 3000);
+  ASSERT_EQ(alpha.size(), city.zones.size());
+  for (const auto& row : alpha) {
+    ASSERT_EQ(row.size(), pois.size());
+    double sum = 0;
+    for (double a : row) sum += a;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(CalibratedGravityTest, KeepScaleTracksSpecScale) {
+  synth::CitySpec full = synth::CitySpec::Brindale(1.0);
+  synth::CitySpec quarter = synth::CitySpec::Brindale(0.25);
+  GravityConfig gc_full = CalibratedGravityConfig(full);
+  GravityConfig gc_quarter = CalibratedGravityConfig(quarter);
+  EXPECT_DOUBLE_EQ(gc_full.keep_scale, 25.0);
+  EXPECT_DOUBLE_EQ(gc_quarter.keep_scale, 25.0 * 0.25);
+  // Sampling rate and decay are scale-invariant.
+  EXPECT_EQ(gc_full.sample_rate_per_hour, gc_quarter.sample_rate_per_hour);
+  EXPECT_DOUBLE_EQ(gc_full.decay_scale_m, gc_quarter.decay_scale_m);
+}
+
+}  // namespace
+}  // namespace staq::core

@@ -1,0 +1,171 @@
+#include "core/hoptree.h"
+
+#include <gtest/gtest.h>
+
+#include "gtfs/feed_builder.h"
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+/// Hand-built 4-zone corridor city:
+///   zones/stops/road nodes at x = 0, 1000, 2000, 3000 (y = 0);
+///   one bus line with 12 trips (07:00..08:50, every 10 min), 200 s/leg.
+synth::City CorridorCity() {
+  synth::City city;
+  city.spec = synth::CitySpec::Covely(0.06, 1);  // spec values unused here
+  for (uint32_t i = 0; i < 4; ++i) {
+    synth::Zone z;
+    z.id = i;
+    z.centroid = {1000.0 * i, 0};
+    z.population = 100;
+    city.zones.push_back(z);
+    city.zone_node.push_back(city.road.AddNode(z.centroid));
+  }
+  for (uint32_t i = 0; i + 1 < 4; ++i) {
+    (void)city.road.AddEdge(i, i + 1, 1000.0);
+  }
+  city.road.Finalize();
+  city.extent = geo::BBox{0, 0, 3000, 0};
+
+  gtfs::FeedBuilder builder;
+  for (uint32_t i = 0; i < 4; ++i) {
+    builder.AddStop("s", {1000.0 * i, 0});
+  }
+  gtfs::RouteId route = builder.AddRoute("line", 2.0);
+  for (int k = 0; k < 12; ++k) {
+    gtfs::TimeOfDay dep = gtfs::MakeTime(7, 0) + k * 600;
+    builder.BeginTrip(route, gtfs::kEveryDay);
+    for (uint32_t i = 0; i < 4; ++i) {
+      (void)builder.AddCall(i, dep + 200 * static_cast<int>(i));
+    }
+  }
+  city.feed = std::move(builder.Build()).value();
+  return city;
+}
+
+class HopTreeTest : public ::testing::Test {
+ protected:
+  HopTreeTest()
+      : city_(CorridorCity()),
+        isochrones_(city_, IsochroneConfig{}),
+        trees_(city_, isochrones_, gtfs::WeekdayAmPeak()) {}
+
+  synth::City city_;
+  IsochroneSet isochrones_;
+  HopTreeSet trees_;
+};
+
+TEST_F(HopTreeTest, StopsAssignedToNearestZone) {
+  const auto& stop_zone = trees_.stop_zone();
+  ASSERT_EQ(stop_zone.size(), 4u);
+  for (uint32_t s = 0; s < 4; ++s) EXPECT_EQ(stop_zone[s], s);
+}
+
+TEST_F(HopTreeTest, OutboundLeavesOfFirstZone) {
+  const HopTree& ob = trees_.Outbound(0);
+  EXPECT_EQ(ob.root(), 0u);
+  ASSERT_EQ(ob.size(), 3u);  // zones 1, 2, 3
+
+  const HopLeaf* leaf1 = ob.Find(1);
+  const HopLeaf* leaf3 = ob.Find(3);
+  ASSERT_NE(leaf1, nullptr);
+  ASSERT_NE(leaf3, nullptr);
+  // All 12 AM-peak departures reach each downstream zone on 1 route.
+  EXPECT_EQ(leaf1->service_count, 12u);
+  EXPECT_EQ(leaf1->route_count, 1u);
+  EXPECT_NEAR(leaf1->mean_journey_s, 200.0, 1e-9);
+  EXPECT_NEAR(leaf3->mean_journey_s, 600.0, 1e-9);
+  EXPECT_EQ(ob.Find(0), nullptr);  // root is not its own leaf
+}
+
+TEST_F(HopTreeTest, TerminusHasEmptyOutboundTree) {
+  EXPECT_EQ(trees_.Outbound(3).size(), 0u);
+}
+
+TEST_F(HopTreeTest, InboundLeavesOfLastZone) {
+  const HopTree& ib = trees_.Inbound(3);
+  ASSERT_EQ(ib.size(), 3u);  // zones 0, 1, 2 feed into 3
+  const HopLeaf* leaf0 = ib.Find(0);
+  ASSERT_NE(leaf0, nullptr);
+  // Trips arriving at s3 within the window: departures 07:00..08:40
+  // arrive 07:10..08:50 (the 08:50 trip arrives exactly 09:00, outside).
+  EXPECT_EQ(leaf0->service_count, 11u);
+  EXPECT_NEAR(leaf0->mean_journey_s, 600.0, 1e-9);
+  EXPECT_NEAR(ib.Find(2)->mean_journey_s, 200.0, 1e-9);
+}
+
+TEST_F(HopTreeTest, OriginHasEmptyInboundTree) {
+  EXPECT_EQ(trees_.Inbound(0).size(), 0u);
+}
+
+TEST_F(HopTreeTest, LeavesSortedByZoneAndFindWorks) {
+  const HopTree& ob = trees_.Outbound(0);
+  for (size_t i = 1; i < ob.leaves().size(); ++i) {
+    EXPECT_LT(ob.leaves()[i - 1].zone, ob.leaves()[i].zone);
+  }
+  EXPECT_EQ(ob.Find(99), nullptr);
+}
+
+TEST_F(HopTreeTest, LeafIndexProvidesNearestLeaf) {
+  const HopTree& ob = trees_.Outbound(0);
+  const geo::KdTree* index = ob.LeafIndex();
+  ASSERT_NE(index, nullptr);
+  auto nearest = index->Nearest({2900, 0});
+  EXPECT_EQ(ob.leaves()[nearest.id].zone, 3u);
+  // Empty tree has no index.
+  EXPECT_EQ(trees_.Outbound(3).LeafIndex(), nullptr);
+}
+
+TEST_F(HopTreeTest, ReachableZonesOneHop) {
+  auto reachable = trees_.ReachableZones(0, 1);
+  EXPECT_EQ(reachable, (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(trees_.ReachableZones(3, 1).empty());
+}
+
+TEST_F(HopTreeTest, ReachableZonesMoreHopsNeverShrink) {
+  auto one = trees_.ReachableZones(1, 1);
+  auto two = trees_.ReachableZones(1, 2);
+  EXPECT_GE(two.size(), one.size());
+}
+
+TEST_F(HopTreeTest, MaxRideCapTruncatesLeaves) {
+  HopTreeOptions options;
+  options.max_ride_s = 300;  // only one leg (200 s) fits
+  HopTreeSet capped(city_, isochrones_, gtfs::WeekdayAmPeak(), options);
+  EXPECT_EQ(capped.Outbound(0).size(), 1u);
+  EXPECT_NE(capped.Outbound(0).Find(1), nullptr);
+}
+
+TEST_F(HopTreeTest, IntervalFiltersService) {
+  // Sunday morning: the corridor's kEveryDay trips still run, but a window
+  // before service starts is empty.
+  gtfs::TimeInterval before{gtfs::MakeTime(4, 0), gtfs::MakeTime(5, 0),
+                            gtfs::Day::kTuesday, "pre-dawn"};
+  HopTreeSet empty_trees(city_, isochrones_, before);
+  EXPECT_EQ(empty_trees.Outbound(0).size(), 0u);
+}
+
+TEST(HopTreeSyntheticTest, BuildsOnGeneratedCity) {
+  synth::City city = testing::TinyCity();
+  IsochroneSet isochrones(city, IsochroneConfig{});
+  HopTreeSet trees(city, isochrones, gtfs::WeekdayAmPeak());
+  EXPECT_EQ(trees.num_zones(), city.zones.size());
+  // Most zones in a transit-served city reach something in one hop.
+  size_t with_leaves = 0;
+  for (uint32_t z = 0; z < city.zones.size(); ++z) {
+    if (trees.Outbound(z).size() > 0) ++with_leaves;
+    // Connectivity data is internally consistent on every leaf.
+    for (const HopLeaf& leaf : trees.Outbound(z).leaves()) {
+      EXPECT_GT(leaf.service_count, 0u);
+      EXPECT_GT(leaf.route_count, 0u);
+      EXPECT_LE(leaf.route_count, leaf.service_count);
+      EXPECT_GT(leaf.mean_journey_s, 0.0);
+      EXPECT_LT(leaf.zone, city.zones.size());
+    }
+  }
+  EXPECT_GT(with_leaves, city.zones.size() / 2);
+}
+
+}  // namespace
+}  // namespace staq::core

@@ -1,0 +1,110 @@
+#include "core/interchange.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+/// Builds a HopTree with the given leaf zones/positions directly.
+HopTree MakeTree(uint32_t root,
+                 std::vector<std::pair<uint32_t, geo::Point>> leaves,
+                 uint32_t service_count = 5) {
+  std::vector<HopLeaf> hop_leaves;
+  for (auto& [zone, pos] : leaves) {
+    HopLeaf leaf;
+    leaf.zone = zone;
+    leaf.position = pos;
+    leaf.service_count = service_count;
+    leaf.route_count = 1;
+    leaf.mean_journey_s = 300;
+    hop_leaves.push_back(leaf);
+  }
+  return HopTree(root, std::move(hop_leaves));
+}
+
+class InterchangeTest : public ::testing::Test {
+ protected:
+  InterchangeTest()
+      : city_(testing::TinyCity()),
+        isochrones_(city_, IsochroneConfig{}) {}
+
+  synth::City city_;
+  IsochroneSet isochrones_;
+};
+
+TEST_F(InterchangeTest, SharedZoneAlwaysInterchanges) {
+  geo::Point p = city_.zones[10].centroid;
+  HopTree ob = MakeTree(0, {{10, p}});
+  HopTree ib = MakeTree(20, {{10, p}});
+  auto ics = FindInterchanges(ob, ib, isochrones_);
+  ASSERT_EQ(ics.size(), 1u);
+  EXPECT_EQ(ics[0].ob_zone, 10u);
+  EXPECT_EQ(ics[0].ib_zone, 10u);
+  EXPECT_DOUBLE_EQ(ics[0].gap_m, 0.0);
+}
+
+TEST_F(InterchangeTest, AdjacentZonesInterchangeViaIsochroneOverlap) {
+  // Lattice neighbours' isochrones overlap (see isochrone tests).
+  HopTree ob = MakeTree(0, {{0, city_.zones[0].centroid}});
+  HopTree ib = MakeTree(30, {{1, city_.zones[1].centroid}});
+  auto ics = FindInterchanges(ob, ib, isochrones_);
+  ASSERT_EQ(ics.size(), 1u);
+  EXPECT_EQ(ics[0].ob_zone, 0u);
+  EXPECT_EQ(ics[0].ib_zone, 1u);
+  EXPECT_GT(ics[0].gap_m, 0.0);
+}
+
+TEST_F(InterchangeTest, DistantLeavesDoNotInterchange) {
+  uint32_t far = static_cast<uint32_t>(city_.zones.size() - 1);
+  HopTree ob = MakeTree(0, {{0, city_.zones[0].centroid}});
+  HopTree ib = MakeTree(30, {{far, city_.zones[far].centroid}});
+  EXPECT_TRUE(FindInterchanges(ob, ib, isochrones_).empty());
+}
+
+TEST_F(InterchangeTest, EmptyTreesYieldNoInterchanges) {
+  HopTree empty;
+  HopTree ob = MakeTree(0, {{0, city_.zones[0].centroid}});
+  EXPECT_TRUE(FindInterchanges(ob, empty, isochrones_).empty());
+  EXPECT_TRUE(FindInterchanges(empty, ob, isochrones_).empty());
+}
+
+TEST_F(InterchangeTest, StrengthIsMinOfServiceCounts) {
+  geo::Point p = city_.zones[10].centroid;
+  std::vector<HopLeaf> ob_leaves(1), ib_leaves(1);
+  ob_leaves[0] = HopLeaf{10, 12, 2, 300, p};
+  ib_leaves[0] = HopLeaf{10, 4, 1, 200, p};
+  auto ics = FindInterchanges(HopTree(0, std::move(ob_leaves)),
+                              HopTree(1, std::move(ib_leaves)), isochrones_);
+  ASSERT_EQ(ics.size(), 1u);
+  EXPECT_EQ(ics[0].strength, 4u);
+}
+
+TEST_F(InterchangeTest, PositionIsMidpoint) {
+  geo::Point a = city_.zones[0].centroid;
+  geo::Point b = city_.zones[1].centroid;
+  HopTree ob = MakeTree(5, {{0, a}});
+  HopTree ib = MakeTree(6, {{1, b}});
+  auto ics = FindInterchanges(ob, ib, isochrones_);
+  ASSERT_EQ(ics.size(), 1u);
+  EXPECT_NEAR(ics[0].position.x, (a.x + b.x) / 2, 1e-9);
+  EXPECT_NEAR(ics[0].position.y, (a.y + b.y) / 2, 1e-9);
+}
+
+TEST_F(InterchangeTest, OneInterchangeCandidatePerOutboundLeaf) {
+  // k-NN with k = 1: each OB leaf nominates at most one interchange.
+  std::vector<std::pair<uint32_t, geo::Point>> ob_leaves;
+  for (uint32_t z = 0; z < 6; ++z) {
+    ob_leaves.push_back({z, city_.zones[z].centroid});
+  }
+  HopTree ob = MakeTree(50, ob_leaves);
+  HopTree ib = MakeTree(51, {{0, city_.zones[0].centroid},
+                             {3, city_.zones[3].centroid}});
+  auto ics = FindInterchanges(ob, ib, isochrones_);
+  EXPECT_LE(ics.size(), 6u);
+  EXPECT_GE(ics.size(), 2u);  // the exact-zone matches at least
+}
+
+}  // namespace
+}  // namespace staq::core

@@ -1,0 +1,91 @@
+#include "core/isochrone.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.h"
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+TEST(IsochroneConfigTest, ReachMatchesPaperParameters) {
+  IsochroneConfig config;  // τ = 600 s, ω = 4.5 km/h
+  EXPECT_NEAR(config.ReachMeters(), 750.0, 1e-9);
+}
+
+TEST(IsochroneTest, ContainsSourceNode) {
+  synth::City city = testing::TinyCity();
+  IsochroneConfig config;
+  for (uint32_t z = 0; z < 10 && z < city.zones.size(); ++z) {
+    geo::Polygon iso =
+        WalkingIsochrone(city.road, city.zone_node[z], config);
+    ASSERT_GE(iso.size(), 3u);
+    EXPECT_TRUE(iso.Contains(city.road.position(city.zone_node[z])));
+  }
+}
+
+TEST(IsochroneTest, CoversExactlyTheReachableNodes) {
+  synth::City city = testing::TinyCity();
+  IsochroneConfig config;
+  graph::NodeId source = city.zone_node[0];
+  geo::Polygon iso = WalkingIsochrone(city.road, source, config);
+  // Every node within the walk budget lies inside the hull by definition.
+  auto reached =
+      graph::BoundedShortestPaths(city.road, source, config.ReachMeters());
+  for (const auto& r : reached) {
+    EXPECT_TRUE(iso.Contains(city.road.position(r.node)));
+  }
+}
+
+TEST(IsochroneTest, LargerBudgetLargerArea) {
+  synth::City city = testing::TinyCity();
+  IsochroneConfig small{300, 4.5};
+  IsochroneConfig large{900, 4.5};
+  geo::Polygon a = WalkingIsochrone(city.road, city.zone_node[5], small);
+  geo::Polygon b = WalkingIsochrone(city.road, city.zone_node[5], large);
+  EXPECT_LT(a.Area(), b.Area());
+}
+
+TEST(IsochroneTest, FasterWalkerLargerArea) {
+  synth::City city = testing::TinyCity();
+  IsochroneConfig slow{600, 3.0};
+  IsochroneConfig fast{600, 6.0};
+  geo::Polygon a = WalkingIsochrone(city.road, city.zone_node[5], slow);
+  geo::Polygon b = WalkingIsochrone(city.road, city.zone_node[5], fast);
+  EXPECT_LT(a.Area(), b.Area());
+}
+
+TEST(IsochroneTest, IsolatedNodeGetsDegenerateBox) {
+  graph::Graph g;
+  graph::NodeId lone = g.AddNode({100, 100});
+  g.Finalize();
+  geo::Polygon iso = WalkingIsochrone(g, lone, IsochroneConfig{});
+  ASSERT_EQ(iso.size(), 4u);
+  EXPECT_TRUE(iso.Contains({100, 100}));
+  EXPECT_GT(iso.Area(), 0.0);
+}
+
+TEST(IsochroneSetTest, OnePolygonPerZone) {
+  synth::City city = testing::TinyCity();
+  IsochroneSet set(city, IsochroneConfig{});
+  EXPECT_EQ(set.size(), city.zones.size());
+  for (uint32_t z = 0; z < city.zones.size(); ++z) {
+    EXPECT_GT(set.For(z).Area(), 0.0);
+  }
+}
+
+TEST(IsochroneSetTest, AdjacentZonesOverlapDistantDont) {
+  synth::City city = testing::TinyCity();
+  IsochroneSet set(city, IsochroneConfig{});
+  // Zones 0 and 1 are lattice neighbours (~400 m apart, reach 750 m).
+  EXPECT_TRUE(set.Overlap(0, 1));
+  // Opposite corners of the city cannot overlap.
+  uint32_t far = static_cast<uint32_t>(city.zones.size() - 1);
+  EXPECT_FALSE(set.Overlap(0, far));
+  // Overlap is symmetric and reflexive.
+  EXPECT_EQ(set.Overlap(0, 1), set.Overlap(1, 0));
+  EXPECT_TRUE(set.Overlap(3, 3));
+}
+
+}  // namespace
+}  // namespace staq::core

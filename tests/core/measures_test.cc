@@ -1,0 +1,93 @@
+#include "core/measures.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::core {
+namespace {
+
+TEST(ClassifyTest, FourQuadrantsOfThePaperRuleSet) {
+  // Means: MAC = 25, ACSD = 5.
+  std::vector<double> mac{10, 40, 10, 40};
+  std::vector<double> acsd{2, 2, 8, 8};
+  auto classes = ClassifyAccessibility(mac, acsd);
+  EXPECT_EQ(classes[0], static_cast<int>(AccessClass::kBest));
+  EXPECT_EQ(classes[1], static_cast<int>(AccessClass::kWorst));
+  EXPECT_EQ(classes[2], static_cast<int>(AccessClass::kMostlyGood));
+  EXPECT_EQ(classes[3], static_cast<int>(AccessClass::kMostlyBad));
+}
+
+TEST(ClassifyTest, ExactMeanCountsAsLow) {
+  std::vector<double> mac{10, 10};
+  std::vector<double> acsd{5, 5};
+  auto classes = ClassifyAccessibility(mac, acsd);
+  for (int c : classes) {
+    EXPECT_EQ(c, static_cast<int>(AccessClass::kBest));
+  }
+}
+
+TEST(ClassifyTest, NamesAreStable) {
+  EXPECT_STREQ(AccessClassName(AccessClass::kBest), "best");
+  EXPECT_STREQ(AccessClassName(AccessClass::kWorst), "worst");
+  EXPECT_STREQ(AccessClassName(AccessClass::kMostlyGood), "mostly_good");
+  EXPECT_STREQ(AccessClassName(AccessClass::kMostlyBad), "mostly_bad");
+}
+
+TEST(JainTest, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(JainIndex({5, 5, 5, 5}), 1.0);
+}
+
+TEST(JainTest, SingleUserDominanceApproaches1OverN) {
+  // One zone has all the (bad) access cost: J = 1/n.
+  EXPECT_NEAR(JainIndex({100, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainTest, KnownIntermediateValue) {
+  // J = (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  EXPECT_NEAR(JainIndex({1, 2, 3}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainTest, ScaleInvariant) {
+  std::vector<double> x{3, 7, 2, 9};
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(10 * v);
+  EXPECT_NEAR(JainIndex(x), JainIndex(scaled), 1e-12);
+}
+
+TEST(JainTest, AllZerosTriviallyFair) {
+  EXPECT_DOUBLE_EQ(JainIndex({0, 0, 0}), 1.0);
+}
+
+TEST(WeightedJainTest, EqualWeightsReduceToPlainJain) {
+  std::vector<double> x{1, 4, 2, 8};
+  std::vector<double> w(4, 2.5);
+  EXPECT_NEAR(WeightedJainIndex(x, w), JainIndex(x), 1e-12);
+}
+
+TEST(WeightedJainTest, WeightsShiftTheIndex) {
+  std::vector<double> x{1, 10};
+  // Weighting the unequal zone more exposes more unfairness than weighting
+  // it less.
+  double skew_to_bad = WeightedJainIndex(x, {0.1, 10});
+  double skew_to_good = WeightedJainIndex(x, {10, 0.1});
+  EXPECT_GT(skew_to_bad, 0);
+  EXPECT_GT(skew_to_good, 0);
+  EXPECT_NE(skew_to_bad, skew_to_good);
+  // Putting ~all weight on one zone approaches perfect (degenerate)
+  // fairness.
+  EXPECT_NEAR(WeightedJainIndex(x, {1e9, 1e-9}), 1.0, 1e-6);
+}
+
+TEST(FieTest, ZeroForIdenticalDistributions) {
+  std::vector<double> mac{1, 5, 3};
+  EXPECT_DOUBLE_EQ(FairnessIndexError(mac, mac), 0.0);
+}
+
+TEST(FieTest, AbsoluteDifferenceOfIndices) {
+  std::vector<double> truth{5, 5, 5};       // J = 1
+  std::vector<double> pred{100, 0, 0};      // J = 1/3
+  EXPECT_NEAR(FairnessIndexError(truth, pred), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(FairnessIndexError(pred, truth), 2.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace staq::core

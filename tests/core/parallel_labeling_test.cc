@@ -1,0 +1,110 @@
+#include "core/parallel_labeling.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+class ParallelLabelingTest : public ::testing::Test {
+ protected:
+  ParallelLabelingTest() : city_(testing::SmallCity()) {
+    pois_ = city_.PoisOf(synth::PoiCategory::kSchool);
+    GravityConfig gravity;
+    gravity.sample_rate_per_hour = 4;
+    gravity.keep_scale = 2.0;
+    TodamBuilder builder(city_.zones, pois_, gtfs::WeekdayAmPeak(), gravity);
+    todam_ = builder.BuildGravity(1);
+    for (uint32_t z = 0; z < city_.zones.size(); ++z) {
+      all_zones_.push_back(z);
+    }
+  }
+
+  synth::City city_;
+  std::vector<synth::Poi> pois_;
+  Todam todam_;
+  std::vector<uint32_t> all_zones_;
+};
+
+TEST_F(ParallelLabelingTest, MatchesSerialExactly) {
+  uint64_t serial_spqs = 0, parallel_spqs = 0;
+  auto serial = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                   CostKind::kJourneyTime,
+                                   gtfs::Day::kTuesday, /*num_threads=*/1,
+                                   {}, {}, &serial_spqs);
+  auto parallel = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                     CostKind::kJourneyTime,
+                                     gtfs::Day::kTuesday, /*num_threads=*/4,
+                                     {}, {}, &parallel_spqs);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_EQ(serial_spqs, parallel_spqs);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].mac, parallel[i].mac) << "zone " << i;
+    EXPECT_DOUBLE_EQ(serial[i].acsd, parallel[i].acsd);
+    EXPECT_EQ(serial[i].num_trips, parallel[i].num_trips);
+    EXPECT_EQ(serial[i].num_walk_only, parallel[i].num_walk_only);
+  }
+}
+
+TEST_F(ParallelLabelingTest, GacCostKindMatchesToo) {
+  auto serial = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                   CostKind::kGeneralizedCost,
+                                   gtfs::Day::kTuesday, 1);
+  auto parallel = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                     CostKind::kGeneralizedCost,
+                                     gtfs::Day::kTuesday, 3);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].mac, parallel[i].mac);
+  }
+}
+
+TEST_F(ParallelLabelingTest, MoreThreadsThanZones) {
+  std::vector<uint32_t> few{0, 1, 2};
+  auto labels = LabelZonesParallel(city_, todam_, few, pois_,
+                                   CostKind::kJourneyTime,
+                                   gtfs::Day::kTuesday, /*num_threads=*/16);
+  ASSERT_EQ(labels.size(), 3u);
+  for (const ZoneLabel& label : labels) {
+    EXPECT_GT(label.num_trips, 0u);
+  }
+}
+
+TEST_F(ParallelLabelingTest, EmptyZoneList) {
+  auto labels = LabelZonesParallel(city_, todam_, {}, pois_,
+                                   CostKind::kJourneyTime,
+                                   gtfs::Day::kTuesday, 4);
+  EXPECT_TRUE(labels.empty());
+}
+
+TEST_F(ParallelLabelingTest, PipelineParallelMatchesSerialPredictions) {
+  SsrPipeline pipeline(&city_, gtfs::WeekdayAmPeak());
+  PipelineConfig config;
+  config.beta = 0.2;
+  config.model = ml::ModelKind::kOls;
+  config.seed = 3;
+
+  auto serial = pipeline.Run(pois_, todam_, config);
+  config.labeling_threads = 4;
+  auto parallel = pipeline.Run(pois_, todam_, config);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  EXPECT_EQ(serial.value().mac, parallel.value().mac);
+  EXPECT_EQ(serial.value().acsd, parallel.value().acsd);
+  EXPECT_EQ(serial.value().spqs, parallel.value().spqs);
+}
+
+TEST_F(ParallelLabelingTest, ParallelGroundTruthMatches) {
+  SsrPipeline pipeline(&city_, gtfs::WeekdayAmPeak());
+  GroundTruth serial = pipeline.ComputeGroundTruth(
+      pois_, todam_, CostKind::kJourneyTime);
+  GroundTruth parallel = pipeline.ComputeGroundTruth(
+      pois_, todam_, CostKind::kJourneyTime, {}, /*num_threads=*/4);
+  EXPECT_EQ(serial.mac, parallel.mac);
+  EXPECT_EQ(serial.acsd, parallel.acsd);
+  EXPECT_EQ(serial.spqs, parallel.spqs);
+  EXPECT_DOUBLE_EQ(serial.walk_only_fraction, parallel.walk_only_fraction);
+}
+
+}  // namespace
+}  // namespace staq::core

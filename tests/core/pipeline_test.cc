@@ -1,0 +1,179 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : city_(testing::SmallCity()),
+        pipeline_(&city_, gtfs::WeekdayAmPeak()) {
+    pois_ = city_.PoisOf(synth::PoiCategory::kVaxCenter);
+    GravityConfig gravity = CalibratedGravityConfig(city_.spec);
+    gravity.sample_rate_per_hour = 4;  // keep the test fast
+    todam_ = pipeline_.BuildGravityTodam(pois_, gravity, 1);
+  }
+
+  PipelineConfig FastConfig(ml::ModelKind model, double beta) {
+    PipelineConfig config;
+    config.beta = beta;
+    config.model = model;
+    config.seed = 3;
+    return config;
+  }
+
+  synth::City city_;
+  SsrPipeline pipeline_;
+  std::vector<synth::Poi> pois_;
+  Todam todam_;
+};
+
+TEST_F(PipelineTest, OfflinePhaseRecorded) {
+  EXPECT_GT(pipeline_.offline_seconds(), 0.0);
+  EXPECT_EQ(pipeline_.isochrones().size(), city_.zones.size());
+  EXPECT_EQ(pipeline_.hop_trees().num_zones(), city_.zones.size());
+}
+
+TEST_F(PipelineTest, RunProducesFullCoverage) {
+  auto run = pipeline_.Run(pois_, todam_, FastConfig(ml::ModelKind::kOls, 0.2));
+  ASSERT_TRUE(run.ok()) << run.status();
+  const PipelineResult& result = run.value();
+  EXPECT_EQ(result.mac.size(), city_.zones.size());
+  EXPECT_EQ(result.acsd.size(), city_.zones.size());
+  EXPECT_EQ(result.labeled.size(),
+            static_cast<size_t>(std::ceil(0.2 * city_.zones.size())));
+  for (size_t z = 0; z < result.mac.size(); ++z) {
+    EXPECT_GE(result.mac[z], 0.0);
+    EXPECT_GE(result.acsd[z], 0.0);
+    EXPECT_TRUE(std::isfinite(result.mac[z]));
+  }
+  EXPECT_GT(result.spqs, 0u);
+  EXPECT_GT(result.timings.labeling_s, 0.0);
+  EXPECT_GT(result.timings.TotalSeconds(), 0.0);
+}
+
+TEST_F(PipelineTest, LabeledZonesCarryExactValues) {
+  auto run = pipeline_.Run(pois_, todam_, FastConfig(ml::ModelKind::kOls, 0.2));
+  ASSERT_TRUE(run.ok());
+  GroundTruth truth =
+      pipeline_.ComputeGroundTruth(pois_, todam_, CostKind::kJourneyTime);
+  for (uint32_t z : run.value().labeled) {
+    EXPECT_NEAR(run.value().mac[z], truth.mac[z], 1e-9);
+    EXPECT_NEAR(run.value().acsd[z], truth.acsd[z], 1e-9);
+  }
+}
+
+TEST_F(PipelineTest, SpqCountProportionalToBeta) {
+  auto small = pipeline_.Run(pois_, todam_, FastConfig(ml::ModelKind::kOls, 0.05));
+  auto large = pipeline_.Run(pois_, todam_, FastConfig(ml::ModelKind::kOls, 0.5));
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small.value().spqs, large.value().spqs);
+  GroundTruth truth =
+      pipeline_.ComputeGroundTruth(pois_, todam_, CostKind::kJourneyTime);
+  EXPECT_LT(large.value().spqs, truth.spqs);
+  EXPECT_EQ(truth.spqs, todam_.num_trips());
+}
+
+TEST_F(PipelineTest, PrecomputedFeaturesReproduceRun) {
+  ml::Matrix features = pipeline_.feature_extractor().ExtractZoneMatrix(
+      pois_, todam_.alpha());
+  PipelineConfig config = FastConfig(ml::ModelKind::kOls, 0.2);
+  auto with = pipeline_.Run(pois_, todam_, config, &features, 0.123);
+  auto without = pipeline_.Run(pois_, todam_, config);
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_EQ(with.value().mac, without.value().mac);
+  EXPECT_DOUBLE_EQ(with.value().timings.features_s, 0.123);
+}
+
+TEST_F(PipelineTest, GroundTruthCoversAllZones) {
+  GroundTruth truth =
+      pipeline_.ComputeGroundTruth(pois_, todam_, CostKind::kJourneyTime);
+  EXPECT_EQ(truth.mac.size(), city_.zones.size());
+  EXPECT_EQ(truth.spqs, todam_.num_trips());
+  EXPECT_GE(truth.walk_only_fraction, 0.0);
+  EXPECT_LE(truth.walk_only_fraction, 1.0);
+  EXPECT_GT(truth.labeling_s, 0.0);
+}
+
+TEST_F(PipelineTest, EvaluationMetricsSensible) {
+  GroundTruth truth =
+      pipeline_.ComputeGroundTruth(pois_, todam_, CostKind::kJourneyTime);
+  auto run = pipeline_.Run(pois_, todam_, FastConfig(ml::ModelKind::kMlp, 0.3));
+  ASSERT_TRUE(run.ok());
+  EvaluationMetrics metrics = Evaluate(truth, run.value());
+  EXPECT_GE(metrics.mac_mae, 0.0);
+  EXPECT_GE(metrics.mac_corr, -1.0);
+  EXPECT_LE(metrics.mac_corr, 1.0);
+  EXPECT_GE(metrics.class_accuracy, 0.0);
+  EXPECT_LE(metrics.class_accuracy, 1.0);
+  EXPECT_GE(metrics.fie, 0.0);
+  // With 30% labels on a small city the MLP should be clearly informative.
+  EXPECT_GT(metrics.mac_corr, 0.3);
+}
+
+TEST_F(PipelineTest, PerfectPredictionGivesZeroErrors) {
+  GroundTruth truth =
+      pipeline_.ComputeGroundTruth(pois_, todam_, CostKind::kJourneyTime);
+  PipelineResult perfect;
+  perfect.mac = truth.mac;
+  perfect.acsd = truth.acsd;
+  perfect.labeled = {0, 1};
+  EvaluationMetrics metrics = Evaluate(truth, perfect);
+  EXPECT_DOUBLE_EQ(metrics.mac_mae, 0.0);
+  EXPECT_NEAR(metrics.mac_corr, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(metrics.class_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.fie, 0.0);
+}
+
+TEST_F(PipelineTest, RejectsInvalidBeta) {
+  auto run = pipeline_.Run(pois_, todam_, FastConfig(ml::ModelKind::kOls, 0.0));
+  EXPECT_FALSE(run.ok());
+}
+
+TEST_F(PipelineTest, RejectsInvalidGacWeights) {
+  PipelineConfig config = FastConfig(ml::ModelKind::kOls, 0.2);
+  config.cost = CostKind::kGeneralizedCost;
+  config.gac.value_of_time = 0.0;  // division by zero in Eq. 1
+  EXPECT_FALSE(pipeline_.Run(pois_, todam_, config).ok());
+  config.gac = router::GacWeights{};
+  config.gac.lambda_wt = -1.0;
+  EXPECT_FALSE(pipeline_.Run(pois_, todam_, config).ok());
+  // JT runs ignore GAC weights entirely.
+  config.cost = CostKind::kJourneyTime;
+  EXPECT_TRUE(pipeline_.Run(pois_, todam_, config).ok());
+}
+
+TEST_F(PipelineTest, DeterministicForSameConfig) {
+  PipelineConfig config = FastConfig(ml::ModelKind::kMlp, 0.2);
+  auto a = pipeline_.Run(pois_, todam_, config);
+  auto b = pipeline_.Run(pois_, todam_, config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value().mac, b.value().mac);
+  EXPECT_EQ(a.value().acsd, b.value().acsd);
+  EXPECT_EQ(a.value().labeled, b.value().labeled);
+}
+
+TEST_F(PipelineTest, GacCostKindRunsEndToEnd) {
+  PipelineConfig config = FastConfig(ml::ModelKind::kOls, 0.2);
+  config.cost = CostKind::kGeneralizedCost;
+  auto run = pipeline_.Run(pois_, todam_, config);
+  ASSERT_TRUE(run.ok());
+  GroundTruth jt_truth =
+      pipeline_.ComputeGroundTruth(pois_, todam_, CostKind::kJourneyTime);
+  GroundTruth gac_truth = pipeline_.ComputeGroundTruth(
+      pois_, todam_, CostKind::kGeneralizedCost);
+  // Generalized costs dominate raw journey times on average.
+  double jt_mean = 0, gac_mean = 0;
+  for (size_t z = 0; z < jt_truth.mac.size(); ++z) {
+    jt_mean += jt_truth.mac[z];
+    gac_mean += gac_truth.mac[z];
+  }
+  EXPECT_GT(gac_mean, jt_mean);
+}
+
+}  // namespace
+}  // namespace staq::core

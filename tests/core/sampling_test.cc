@@ -1,0 +1,74 @@
+#include "core/sampling.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace staq::core {
+namespace {
+
+TEST(SamplingTest, SizeFollowsBudget) {
+  auto sample = SampleLabeledZones(1000, 0.05, 1);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().size(), 50u);
+}
+
+TEST(SamplingTest, CeilingOnFractionalCounts) {
+  auto sample = SampleLabeledZones(100, 0.031, 1);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().size(), 4u);  // ceil(3.1)
+}
+
+TEST(SamplingTest, AtLeastTwoZones) {
+  auto sample = SampleLabeledZones(1000, 0.0001, 1);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().size(), 2u);
+}
+
+TEST(SamplingTest, FullBudgetTakesEverything) {
+  auto sample = SampleLabeledZones(10, 1.0, 1);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_EQ(sample.value().size(), 10u);
+}
+
+TEST(SamplingTest, DistinctSortedInRange) {
+  auto sample = SampleLabeledZones(500, 0.2, 7);
+  ASSERT_TRUE(sample.ok());
+  const auto& zones = sample.value();
+  std::set<uint32_t> unique(zones.begin(), zones.end());
+  EXPECT_EQ(unique.size(), zones.size());
+  for (size_t i = 1; i < zones.size(); ++i) {
+    EXPECT_LT(zones[i - 1], zones[i]);
+  }
+  EXPECT_LT(zones.back(), 500u);
+}
+
+TEST(SamplingTest, DeterministicPerSeedDifferentAcrossSeeds) {
+  auto a = SampleLabeledZones(200, 0.1, 3);
+  auto b = SampleLabeledZones(200, 0.1, 3);
+  auto c = SampleLabeledZones(200, 0.1, 4);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());
+}
+
+TEST(SamplingTest, RejectsInvalidInputs) {
+  EXPECT_FALSE(SampleLabeledZones(1, 0.5, 1).ok());
+  EXPECT_FALSE(SampleLabeledZones(100, 0.0, 1).ok());
+  EXPECT_FALSE(SampleLabeledZones(100, -0.1, 1).ok());
+  EXPECT_FALSE(SampleLabeledZones(100, 1.1, 1).ok());
+}
+
+TEST(SamplingTest, CoverageAcrossSeeds) {
+  // Over many seeds every zone should get sampled sometimes: no dead spots.
+  std::vector<int> hits(50, 0);
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    auto sample = SampleLabeledZones(50, 0.1, seed);
+    ASSERT_TRUE(sample.ok());
+    for (uint32_t z : sample.value()) ++hits[z];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+}  // namespace
+}  // namespace staq::core

@@ -1,0 +1,106 @@
+#include "core/temporal.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::core {
+namespace {
+
+AccessQueryOptions ExactOptions() {
+  AccessQueryOptions options;
+  options.exact = true;
+  options.gravity.sample_rate_per_hour = 4;
+  options.gravity.keep_scale = 2.0;
+  return options;
+}
+
+class TemporalTest : public ::testing::Test {
+ protected:
+  TemporalTest() : engine_(testing::SmallCity(), gtfs::WeekdayAmPeak()) {}
+
+  AccessQueryEngine engine_;
+};
+
+TEST_F(TemporalTest, CompareIntervalsReturnsOnePerInterval) {
+  auto results = CompareIntervals(
+      &engine_, synth::PoiCategory::kSchool, ExactOptions(),
+      {gtfs::WeekdayAmPeak(), gtfs::SundayMorning()});
+  ASSERT_TRUE(results.ok()) << results.status();
+  ASSERT_EQ(results.value().size(), 2u);
+  EXPECT_EQ(results.value()[0].interval.label, "weekday-am-peak");
+  EXPECT_EQ(results.value()[1].interval.label, "sunday-morning");
+  EXPECT_EQ(results.value()[0].result.mac.size(),
+            engine_.city().zones.size());
+}
+
+TEST_F(TemporalTest, EmptyIntervalListRejected) {
+  auto results = CompareIntervals(&engine_, synth::PoiCategory::kSchool,
+                                  ExactOptions(), {});
+  EXPECT_FALSE(results.ok());
+}
+
+TEST_F(TemporalTest, SundayAccessNoBetterThanWeekday) {
+  auto results = CompareIntervals(
+      &engine_, synth::PoiCategory::kSchool, ExactOptions(),
+      {gtfs::WeekdayAmPeak(), gtfs::SundayMorning()});
+  ASSERT_TRUE(results.ok());
+  // Weekend headways are doubled in the generator, so mean access cannot
+  // meaningfully improve.
+  EXPECT_GE(results.value()[1].result.mean_mac,
+            0.95 * results.value()[0].result.mean_mac);
+}
+
+TEST_F(TemporalTest, TemporalSpreadNonNegativeAndZeroForSingleInterval) {
+  auto one = CompareIntervals(&engine_, synth::PoiCategory::kSchool,
+                              ExactOptions(), {gtfs::WeekdayAmPeak()});
+  ASSERT_TRUE(one.ok());
+  for (double s : TemporalSpread(one.value())) {
+    EXPECT_DOUBLE_EQ(s, 0.0);
+  }
+
+  auto two = CompareIntervals(
+      &engine_, synth::PoiCategory::kSchool, ExactOptions(),
+      {gtfs::WeekdayAmPeak(), gtfs::SundayMorning()});
+  ASSERT_TRUE(two.ok());
+  auto spread = TemporalSpread(two.value());
+  ASSERT_EQ(spread.size(), engine_.city().zones.size());
+  double total = 0;
+  for (double s : spread) {
+    EXPECT_GE(s, 0.0);
+    total += s;
+  }
+  EXPECT_GT(total, 0.0);  // schedules differ, so something must move
+}
+
+TEST_F(TemporalTest, SpreadMatchesManualComputation) {
+  auto results = CompareIntervals(
+      &engine_, synth::PoiCategory::kVaxCenter, ExactOptions(),
+      {gtfs::WeekdayAmPeak(), gtfs::WeekdayOffPeak()});
+  ASSERT_TRUE(results.ok());
+  auto spread = TemporalSpread(results.value());
+  for (size_t z = 0; z < spread.size(); ++z) {
+    double a = results.value()[0].result.mac[z];
+    double b = results.value()[1].result.mac[z];
+    EXPECT_NEAR(spread[z], std::abs(a - b), 1e-9);
+  }
+}
+
+TEST_F(TemporalTest, AccessDesertsDetectedAtHugeFactorOnlyWhenReal) {
+  auto results = CompareIntervals(
+      &engine_, synth::PoiCategory::kSchool, ExactOptions(),
+      {gtfs::WeekdayAmPeak(), gtfs::SundayMorning()});
+  ASSERT_TRUE(results.ok());
+  // factor 1.0: any zone that worsens at all is flagged.
+  auto any_worse = TemporalAccessDeserts(results.value(), 1.0);
+  // factor 100: nothing degrades by 100x in this city.
+  auto extreme = TemporalAccessDeserts(results.value(), 100.0);
+  EXPECT_GE(any_worse.size(), extreme.size());
+  EXPECT_TRUE(extreme.empty());
+  for (uint32_t z : any_worse) {
+    EXPECT_LT(z, engine_.city().zones.size());
+  }
+}
+
+}  // namespace
+}  // namespace staq::core

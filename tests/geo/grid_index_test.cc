@@ -1,0 +1,112 @@
+#include "geo/grid_index.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace staq::geo {
+namespace {
+
+std::vector<IndexedPoint> RandomPoints(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<IndexedPoint> points;
+  for (uint32_t i = 0; i < n; ++i) {
+    points.push_back(
+        IndexedPoint{{rng.Uniform(0, 5000), rng.Uniform(0, 5000)}, i});
+  }
+  return points;
+}
+
+TEST(GridIndexTest, EmptyIndex) {
+  GridIndex grid({}, 100);
+  EXPECT_TRUE(grid.empty());
+  EXPECT_TRUE(grid.WithinRadius({0, 0}, 1000).empty());
+}
+
+TEST(GridIndexTest, SinglePoint) {
+  GridIndex grid({IndexedPoint{{10, 20}, 7}}, 100);
+  auto hits = grid.WithinRadius({0, 0}, 100);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 7u);
+  EXPECT_EQ(grid.Nearest({500, 500}).id, 7u);
+}
+
+TEST(GridIndexTest, RadiusBoundaryInclusive) {
+  GridIndex grid({IndexedPoint{{100, 0}, 0}}, 50);
+  EXPECT_EQ(grid.WithinRadius({0, 0}, 100).size(), 1u);
+  EXPECT_EQ(grid.WithinRadius({0, 0}, 99.999).size(), 0u);
+}
+
+TEST(GridIndexTest, QueryOutsideExtent) {
+  auto points = RandomPoints(100, 1);
+  GridIndex grid(points, 200);
+  // Query far outside the indexed area must still find points within the
+  // (large) radius.
+  auto hits = grid.WithinRadius({-5000, -5000}, 20000);
+  EXPECT_EQ(hits.size(), 100u);
+}
+
+TEST(GridIndexTest, ResultsSortedByDistance) {
+  auto points = RandomPoints(200, 2);
+  GridIndex grid(points, 300);
+  auto hits = grid.WithinRadius({2500, 2500}, 1500);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+  }
+}
+
+TEST(GridIndexTest, NearestOnClusteredData) {
+  std::vector<IndexedPoint> points;
+  points.push_back(IndexedPoint{{0, 0}, 0});
+  points.push_back(IndexedPoint{{1, 1}, 1});
+  points.push_back(IndexedPoint{{4000, 4000}, 2});
+  GridIndex grid(points, 100);
+  EXPECT_EQ(grid.Nearest({3500, 3500}).id, 2u);
+  EXPECT_EQ(grid.Nearest({2, 2}).id, 1u);
+}
+
+class GridIndexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridIndexPropertyTest, MatchesBruteForceRadius) {
+  util::Rng rng(GetParam() * 17 + 3);
+  size_t n = 1 + rng.UniformU64(300);
+  auto points = RandomPoints(n, GetParam());
+  double cell = rng.Uniform(20, 800);
+  GridIndex grid(points, cell);
+
+  for (int q = 0; q < 10; ++q) {
+    Point query{rng.Uniform(-1000, 6000), rng.Uniform(-1000, 6000)};
+    double radius = rng.Uniform(0, 2000);
+    auto hits = grid.WithinRadius(query, radius);
+
+    size_t brute = 0;
+    for (const auto& ip : points) {
+      if (Distance(ip.point, query) <= radius) ++brute;
+    }
+    EXPECT_EQ(hits.size(), brute);
+  }
+}
+
+TEST_P(GridIndexPropertyTest, NearestMatchesBruteForce) {
+  util::Rng rng(GetParam() * 29 + 11);
+  size_t n = 1 + rng.UniformU64(200);
+  auto points = RandomPoints(n, GetParam() + 500);
+  GridIndex grid(points, rng.Uniform(50, 500));
+
+  for (int q = 0; q < 10; ++q) {
+    Point query{rng.Uniform(-500, 5500), rng.Uniform(-500, 5500)};
+    Neighbor fast = grid.Nearest(query);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& ip : points) {
+      best = std::min(best, Distance(ip.point, query));
+    }
+    EXPECT_NEAR(fast.distance, best, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridIndexPropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace staq::geo

@@ -1,0 +1,153 @@
+#include "geo/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace staq::geo {
+namespace {
+
+std::vector<IndexedPoint> RandomPoints(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<IndexedPoint> points;
+  points.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    points.push_back(
+        IndexedPoint{{rng.Uniform(0, 10000), rng.Uniform(0, 10000)}, i});
+  }
+  return points;
+}
+
+/// Brute-force reference for nearest neighbour.
+Neighbor BruteNearest(const std::vector<IndexedPoint>& points,
+                      const Point& q) {
+  Neighbor best{0, std::numeric_limits<double>::infinity()};
+  for (const auto& ip : points) {
+    double d = Distance(ip.point, q);
+    if (d < best.distance) best = Neighbor{ip.id, d};
+  }
+  return best;
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  KdTree tree({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.KNearest({0, 0}, 3).empty());
+  EXPECT_TRUE(tree.WithinRadius({0, 0}, 100).empty());
+}
+
+TEST(KdTreeTest, SinglePoint) {
+  KdTree tree({IndexedPoint{{5, 5}, 42}});
+  Neighbor n = tree.Nearest({0, 0});
+  EXPECT_EQ(n.id, 42u);
+  EXPECT_NEAR(n.distance, std::sqrt(50.0), 1e-12);
+}
+
+TEST(KdTreeTest, NearestExactPointHasZeroDistance) {
+  auto points = RandomPoints(50, 1);
+  KdTree tree(points);
+  for (const auto& ip : points) {
+    Neighbor n = tree.Nearest(ip.point);
+    EXPECT_EQ(n.distance, 0.0);
+  }
+}
+
+TEST(KdTreeTest, KNearestOrderedAndCorrectSize) {
+  auto points = RandomPoints(100, 2);
+  KdTree tree(points);
+  auto result = tree.KNearest({5000, 5000}, 10);
+  ASSERT_EQ(result.size(), 10u);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST(KdTreeTest, KNearestKLargerThanTree) {
+  auto points = RandomPoints(5, 3);
+  KdTree tree(points);
+  EXPECT_EQ(tree.KNearest({0, 0}, 10).size(), 5u);
+}
+
+TEST(KdTreeTest, KNearestZero) {
+  auto points = RandomPoints(5, 4);
+  KdTree tree(points);
+  EXPECT_TRUE(tree.KNearest({0, 0}, 0).empty());
+}
+
+TEST(KdTreeTest, WithinRadiusMatchesBruteForce) {
+  auto points = RandomPoints(300, 5);
+  KdTree tree(points);
+  Point q{4000, 6000};
+  double radius = 1500;
+  auto result = tree.WithinRadius(q, radius);
+
+  size_t brute_count = 0;
+  for (const auto& ip : points) {
+    if (Distance(ip.point, q) <= radius) ++brute_count;
+  }
+  EXPECT_EQ(result.size(), brute_count);
+  for (const auto& n : result) EXPECT_LE(n.distance, radius);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST(KdTreeTest, WithinRadiusNegativeIsEmpty) {
+  auto points = RandomPoints(10, 6);
+  KdTree tree(points);
+  EXPECT_TRUE(tree.WithinRadius({0, 0}, -1).empty());
+}
+
+TEST(KdTreeTest, DuplicatePointsAllReturned) {
+  std::vector<IndexedPoint> points;
+  for (uint32_t i = 0; i < 5; ++i) {
+    points.push_back(IndexedPoint{{100, 100}, i});
+  }
+  KdTree tree(points);
+  EXPECT_EQ(tree.WithinRadius({100, 100}, 1).size(), 5u);
+}
+
+// Property sweep: the tree agrees with brute force on nearest and k-NN for
+// many random configurations.
+class KdTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KdTreePropertyTest, NearestMatchesBruteForce) {
+  util::Rng rng(GetParam() * 977 + 13);
+  size_t n = 1 + rng.UniformU64(400);
+  auto points = RandomPoints(n, GetParam());
+  KdTree tree(points);
+  for (int q = 0; q < 25; ++q) {
+    Point query{rng.Uniform(-2000, 12000), rng.Uniform(-2000, 12000)};
+    Neighbor fast = tree.Nearest(query);
+    Neighbor brute = BruteNearest(points, query);
+    EXPECT_NEAR(fast.distance, brute.distance, 1e-9);
+  }
+}
+
+TEST_P(KdTreePropertyTest, KNearestMatchesBruteForce) {
+  util::Rng rng(GetParam() * 331 + 7);
+  size_t n = 10 + rng.UniformU64(200);
+  auto points = RandomPoints(n, GetParam() + 1000);
+  KdTree tree(points);
+  size_t k = 1 + rng.UniformU64(15);
+
+  Point query{rng.Uniform(0, 10000), rng.Uniform(0, 10000)};
+  auto fast = tree.KNearest(query, k);
+
+  std::vector<double> brute;
+  for (const auto& ip : points) brute.push_back(Distance(ip.point, query));
+  std::sort(brute.begin(), brute.end());
+  ASSERT_EQ(fast.size(), std::min(k, n));
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i].distance, brute[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTreePropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace staq::geo

@@ -1,0 +1,79 @@
+#include "geo/latlon.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::geo {
+namespace {
+
+TEST(HaversineTest, ZeroForIdenticalPoints) {
+  LatLon p{52.48, -1.90};
+  EXPECT_DOUBLE_EQ(HaversineMeters(p, p), 0.0);
+}
+
+TEST(HaversineTest, OneDegreeLatitudeIsAbout111km) {
+  LatLon a{52.0, 0.0}, b{53.0, 0.0};
+  EXPECT_NEAR(HaversineMeters(a, b), 111195, 200);
+}
+
+TEST(HaversineTest, LongitudeShrinksWithLatitude) {
+  LatLon eq_a{0.0, 0.0}, eq_b{0.0, 1.0};
+  LatLon mid_a{52.0, 0.0}, mid_b{52.0, 1.0};
+  double at_equator = HaversineMeters(eq_a, eq_b);
+  double at_52 = HaversineMeters(mid_a, mid_b);
+  EXPECT_NEAR(at_52 / at_equator, std::cos(52.0 * 0.0174532925), 1e-3);
+}
+
+TEST(HaversineTest, Symmetric) {
+  LatLon a{52.48, -1.90}, b{52.41, -1.51};  // Birmingham -> Coventry-ish
+  EXPECT_DOUBLE_EQ(HaversineMeters(a, b), HaversineMeters(b, a));
+  // Roughly 27-28 km apart.
+  EXPECT_NEAR(HaversineMeters(a, b), 27500, 1500);
+}
+
+TEST(LocalProjectionTest, OriginMapsToZero) {
+  LatLon origin{52.48, -1.90};
+  LocalProjection proj(origin);
+  Point p = proj.Project(origin);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+}
+
+TEST(LocalProjectionTest, RoundTrip) {
+  LocalProjection proj({52.48, -1.90});
+  LatLon c{52.51, -1.85};
+  LatLon back = proj.Unproject(proj.Project(c));
+  EXPECT_NEAR(back.lat, c.lat, 1e-9);
+  EXPECT_NEAR(back.lon, c.lon, 1e-9);
+}
+
+TEST(LocalProjectionTest, DistancesMatchHaversineAtCityScale) {
+  LocalProjection proj({52.48, -1.90});
+  LatLon a{52.50, -1.95}, b{52.44, -1.82};
+  double planar = Distance(proj.Project(a), proj.Project(b));
+  double sphere = HaversineMeters(a, b);
+  EXPECT_NEAR(planar / sphere, 1.0, 1e-3);  // < 0.1% at ~10 km
+}
+
+TEST(PointTest, DistanceAndSquare) {
+  Point a{0, 0}, b{3, 4};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared(a, b), 25.0);
+}
+
+TEST(BBoxTest, ContainsAndIntersects) {
+  BBox box{0, 0, 10, 10};
+  EXPECT_TRUE(box.Contains({5, 5}));
+  EXPECT_TRUE(box.Contains({0, 0}));   // boundary inclusive
+  EXPECT_TRUE(box.Contains({10, 10}));
+  EXPECT_FALSE(box.Contains({11, 5}));
+  EXPECT_FALSE(box.Contains({5, -0.1}));
+
+  EXPECT_TRUE(box.Intersects(BBox{9, 9, 20, 20}));
+  EXPECT_TRUE(box.Intersects(BBox{10, 10, 20, 20}));  // touching corners
+  EXPECT_FALSE(box.Intersects(BBox{10.1, 0, 20, 10}));
+  EXPECT_EQ(box.Width(), 10.0);
+  EXPECT_EQ(box.Height(), 10.0);
+}
+
+}  // namespace
+}  // namespace staq::geo

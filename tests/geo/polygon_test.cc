@@ -1,0 +1,181 @@
+#include "geo/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace staq::geo {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PolygonTest, SignedAreaCcwPositive) {
+  EXPECT_DOUBLE_EQ(UnitSquare().SignedArea(), 1.0);
+}
+
+TEST(PolygonTest, SignedAreaCwNegative) {
+  Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -1.0);
+  EXPECT_DOUBLE_EQ(cw.Area(), 1.0);
+}
+
+TEST(PolygonTest, DegenerateAreaIsZero) {
+  EXPECT_DOUBLE_EQ(Polygon().SignedArea(), 0.0);
+  EXPECT_DOUBLE_EQ(Polygon({{0, 0}, {1, 1}}).SignedArea(), 0.0);
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  Point c = UnitSquare().Centroid();
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 0.5, 1e-12);
+}
+
+TEST(PolygonTest, CentroidDegenerateFallsBackToMean) {
+  Polygon seg({{0, 0}, {2, 0}});
+  Point c = seg.Centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 0.0, 1e-12);
+}
+
+TEST(PolygonTest, ContainsInterior) {
+  EXPECT_TRUE(UnitSquare().Contains({0.5, 0.5}));
+  EXPECT_FALSE(UnitSquare().Contains({1.5, 0.5}));
+  EXPECT_FALSE(UnitSquare().Contains({-0.1, 0.5}));
+}
+
+TEST(PolygonTest, ContainsBoundary) {
+  EXPECT_TRUE(UnitSquare().Contains({0.0, 0.5}));  // edge
+  EXPECT_TRUE(UnitSquare().Contains({0.0, 0.0}));  // vertex
+  EXPECT_TRUE(UnitSquare().Contains({0.5, 1.0}));
+}
+
+TEST(PolygonTest, ContainsConcaveShape) {
+  // An L-shape: the notch must be outside.
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l.Contains({0.5, 1.5}));
+  EXPECT_TRUE(l.Contains({1.5, 0.5}));
+  EXPECT_FALSE(l.Contains({1.5, 1.5}));  // the notch
+}
+
+TEST(PolygonTest, EmptyNeverContains) {
+  EXPECT_FALSE(Polygon().Contains({0, 0}));
+  EXPECT_FALSE(Polygon({{0, 0}, {1, 1}}).Contains({0.5, 0.5}));
+}
+
+TEST(PolygonTest, BoundsAreTight) {
+  BBox box = UnitSquare().Bounds();
+  EXPECT_EQ(box.min_x, 0.0);
+  EXPECT_EQ(box.max_x, 1.0);
+  EXPECT_EQ(box.min_y, 0.0);
+  EXPECT_EQ(box.max_y, 1.0);
+}
+
+TEST(PolygonTest, IntersectsOverlapping) {
+  Polygon other({{0.5, 0.5}, {1.5, 0.5}, {1.5, 1.5}, {0.5, 1.5}});
+  EXPECT_TRUE(UnitSquare().Intersects(other));
+  EXPECT_TRUE(other.Intersects(UnitSquare()));
+}
+
+TEST(PolygonTest, IntersectsContainment) {
+  Polygon inner({{0.25, 0.25}, {0.75, 0.25}, {0.75, 0.75}, {0.25, 0.75}});
+  EXPECT_TRUE(UnitSquare().Intersects(inner));
+  EXPECT_TRUE(inner.Intersects(UnitSquare()));
+}
+
+TEST(PolygonTest, IntersectsDisjoint) {
+  Polygon far({{5, 5}, {6, 5}, {6, 6}, {5, 6}});
+  EXPECT_FALSE(UnitSquare().Intersects(far));
+}
+
+TEST(PolygonTest, IntersectsCrossWithNoContainedVertex) {
+  // A plus-sign configuration: tall thin and wide flat rectangles cross
+  // but neither contains a vertex of the other.
+  Polygon tall({{0.4, -1}, {0.6, -1}, {0.6, 2}, {0.4, 2}});
+  Polygon wide({{-1, 0.4}, {2, 0.4}, {2, 0.6}, {-1, 0.6}});
+  EXPECT_TRUE(tall.Intersects(wide));
+  EXPECT_TRUE(wide.Intersects(tall));
+}
+
+TEST(PolygonTest, EmptyNeverIntersects) {
+  EXPECT_FALSE(Polygon().Intersects(UnitSquare()));
+  EXPECT_FALSE(UnitSquare().Intersects(Polygon()));
+}
+
+TEST(SegmentsIntersectTest, CrossingAndParallel) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {0, 1}, {1, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+  // Touching at endpoint counts.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 0}, {1, 0}, {2, 5}));
+  // Collinear overlapping.
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+  // Collinear disjoint.
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(ConvexHullTest, SquareWithInteriorPoint) {
+  Polygon hull = ConvexHull({{0, 0}, {1, 0}, {1, 1}, {0, 1}, {0.5, 0.5}});
+  EXPECT_EQ(hull.size(), 4u);
+  EXPECT_DOUBLE_EQ(hull.Area(), 1.0);
+  EXPECT_TRUE(hull.Contains({0.5, 0.5}));
+}
+
+TEST(ConvexHullTest, DuplicatesRemoved) {
+  Polygon hull = ConvexHull({{0, 0}, {0, 0}, {1, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(hull.size(), 3u);
+}
+
+TEST(ConvexHullTest, CollinearDegeneratesToSegment) {
+  Polygon hull = ConvexHull({{0, 0}, {1, 1}, {2, 2}, {3, 3}});
+  EXPECT_EQ(hull.size(), 2u);
+}
+
+TEST(ConvexHullTest, FewerThanThreePoints) {
+  EXPECT_EQ(ConvexHull({}).size(), 0u);
+  EXPECT_EQ(ConvexHull({{1, 2}}).size(), 1u);
+  EXPECT_EQ(ConvexHull({{1, 2}, {3, 4}}).size(), 2u);
+}
+
+TEST(ConvexHullTest, HullContainsAllInputPoints) {
+  util::Rng rng(321);
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) {
+    points.push_back({rng.Uniform(-100, 100), rng.Uniform(-100, 100)});
+  }
+  Polygon hull = ConvexHull(points);
+  ASSERT_GE(hull.size(), 3u);
+  EXPECT_GT(hull.SignedArea(), 0.0);  // counter-clockwise
+  for (const Point& p : points) {
+    EXPECT_TRUE(hull.Contains(p)) << p.x << "," << p.y;
+  }
+}
+
+// Property sweep: hulls of random clouds are convex (every vertex triple
+// turns the same way) across many seeds.
+class ConvexHullPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvexHullPropertyTest, HullIsConvex) {
+  util::Rng rng(GetParam());
+  std::vector<Point> points;
+  int n = 5 + static_cast<int>(rng.UniformU64(100));
+  for (int i = 0; i < n; ++i) {
+    points.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  Polygon hull = ConvexHull(points);
+  if (hull.size() < 3) return;  // collinear degenerate, allowed
+  const auto& v = hull.vertices();
+  for (size_t i = 0; i < v.size(); ++i) {
+    const Point& a = v[i];
+    const Point& b = v[(i + 1) % v.size()];
+    const Point& c = v[(i + 2) % v.size()];
+    double cross = (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+    EXPECT_GT(cross, 0.0);  // strict left turns everywhere
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvexHullPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace staq::geo

@@ -1,0 +1,193 @@
+#include "graph/dijkstra.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace staq::graph {
+namespace {
+
+/// A 1-D chain 0 - 1 - 2 - ... - (n-1) with unit edges.
+Graph Chain(size_t n) {
+  Graph g;
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode({static_cast<double>(i), 0});
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    (void)g.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1), 1.0);
+  }
+  g.Finalize();
+  return g;
+}
+
+/// Grid graph with unit edges, rows x cols.
+Graph GridGraph(int rows, int cols) {
+  Graph g;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.AddNode({static_cast<double>(c), static_cast<double>(r)});
+    }
+  }
+  auto id = [cols](int r, int c) { return static_cast<NodeId>(r * cols + c); };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) (void)g.AddEdge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) (void)g.AddEdge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+TEST(DijkstraTest, ChainDistances) {
+  Graph g = Chain(5);
+  auto dist = ShortestPaths(g, 0);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(dist[i], static_cast<double>(i));
+  }
+}
+
+TEST(DijkstraTest, UnreachableNodesAreInfinite) {
+  Graph g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  g.Finalize();
+  auto dist = ShortestPaths(g, 0);
+  EXPECT_EQ(dist[0], 0.0);
+  EXPECT_EQ(dist[1], kUnreachable);
+}
+
+TEST(DijkstraTest, PrefersShorterOfTwoPaths) {
+  // Triangle: 0-1 direct length 10; 0-2-1 total 3.
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  NodeId c = g.AddNode({0, 1});
+  (void)g.AddEdge(a, b, 10.0);
+  (void)g.AddEdge(a, c, 1.0);
+  (void)g.AddEdge(c, b, 2.0);
+  g.Finalize();
+  auto dist = ShortestPaths(g, a);
+  EXPECT_DOUBLE_EQ(dist[b], 3.0);
+}
+
+TEST(DijkstraTest, GridManhattanDistances) {
+  Graph g = GridGraph(4, 5);
+  auto dist = ShortestPaths(g, 0);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(dist[r * 5 + c], static_cast<double>(r + c));
+    }
+  }
+}
+
+TEST(BoundedDijkstraTest, RespectsBound) {
+  Graph g = Chain(10);
+  auto reached = BoundedShortestPaths(g, 0, 3.0);
+  ASSERT_EQ(reached.size(), 4u);  // nodes 0..3
+  for (size_t i = 0; i < reached.size(); ++i) {
+    EXPECT_EQ(reached[i].node, i);
+    EXPECT_DOUBLE_EQ(reached[i].distance, static_cast<double>(i));
+  }
+}
+
+TEST(BoundedDijkstraTest, NonDecreasingOrder) {
+  Graph g = GridGraph(6, 6);
+  auto reached = BoundedShortestPaths(g, 14, 4.0);
+  for (size_t i = 1; i < reached.size(); ++i) {
+    EXPECT_LE(reached[i - 1].distance, reached[i].distance);
+  }
+}
+
+TEST(BoundedDijkstraTest, ZeroBudgetOnlySource) {
+  Graph g = Chain(5);
+  auto reached = BoundedShortestPaths(g, 2, 0.0);
+  ASSERT_EQ(reached.size(), 1u);
+  EXPECT_EQ(reached[0].node, 2u);
+}
+
+TEST(PointToPointTest, MatchesFullSearch) {
+  Graph g = GridGraph(8, 8);
+  auto dist = ShortestPaths(g, 0);
+  for (NodeId target : {1u, 9u, 63u, 32u}) {
+    EXPECT_DOUBLE_EQ(ShortestPathDistance(g, 0, target), dist[target]);
+  }
+}
+
+TEST(PointToPointTest, SourceEqualsTarget) {
+  Graph g = Chain(3);
+  EXPECT_DOUBLE_EQ(ShortestPathDistance(g, 1, 1), 0.0);
+}
+
+TEST(PointToPointTest, Unreachable) {
+  Graph g;
+  g.AddNode({0, 0});
+  g.AddNode({1, 0});
+  g.Finalize();
+  EXPECT_EQ(ShortestPathDistance(g, 0, 1), kUnreachable);
+}
+
+TEST(MultiSourceTest, TakesMinimumOverSources) {
+  Graph g = Chain(10);
+  std::vector<ReachedNode> sources{{0, 0.0}, {9, 0.0}};
+  auto dist = MultiSourceShortestPaths(g, sources);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[9], 0.0);
+  EXPECT_DOUBLE_EQ(dist[4], 4.0);
+  EXPECT_DOUBLE_EQ(dist[5], 4.0);  // closer to node 9
+}
+
+TEST(MultiSourceTest, InitialDistancesRespected) {
+  Graph g = Chain(5);
+  std::vector<ReachedNode> sources{{0, 10.0}, {4, 0.0}};
+  auto dist = MultiSourceShortestPaths(g, sources);
+  // Node 1: via node 0 costs 11, via node 4 costs 3.
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+  EXPECT_DOUBLE_EQ(dist[0], 4.0);  // reached cheaper through the chain!
+}
+
+TEST(MultiSourceTest, EmptySources) {
+  Graph g = Chain(3);
+  auto dist = MultiSourceShortestPaths(g, {});
+  for (double d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+// Property: bounded search results equal the full search restricted to the
+// bound, on random graphs.
+class DijkstraPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DijkstraPropertyTest, BoundedEqualsFilteredFull) {
+  util::Rng rng(GetParam());
+  Graph g;
+  size_t n = 20 + rng.UniformU64(80);
+  for (size_t i = 0; i < n; ++i) {
+    g.AddNode({rng.Uniform(0, 100), rng.Uniform(0, 100)});
+  }
+  size_t edges = n * 2;
+  for (size_t e = 0; e < edges; ++e) {
+    NodeId a = static_cast<NodeId>(rng.UniformU64(n));
+    NodeId b = static_cast<NodeId>(rng.UniformU64(n));
+    if (a == b) continue;
+    (void)g.AddEdge(a, b, rng.Uniform(0.1, 10.0));
+  }
+  g.Finalize();
+
+  NodeId src = static_cast<NodeId>(rng.UniformU64(n));
+  double bound = rng.Uniform(1.0, 20.0);
+  auto full = ShortestPaths(g, src);
+  auto bounded = BoundedShortestPaths(g, src, bound);
+
+  size_t expect = 0;
+  for (double d : full) {
+    if (d <= bound) ++expect;
+  }
+  EXPECT_EQ(bounded.size(), expect);
+  for (const auto& r : bounded) {
+    EXPECT_DOUBLE_EQ(r.distance, full[r.node]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraPropertyTest, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace staq::graph

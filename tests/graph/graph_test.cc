@@ -1,0 +1,117 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::graph {
+namespace {
+
+TEST(GraphTest, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode({0, 0}), 0u);
+  EXPECT_EQ(g.AddNode({1, 0}), 1u);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.position(1).x, 1.0);
+}
+
+TEST(GraphTest, BidirectionalEdgeCreatesTwoArcs) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  ASSERT_TRUE(g.AddEdge(a, b, 5.0).ok());
+  g.Finalize();
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_EQ(g.degree(a), 1u);
+  EXPECT_EQ(g.degree(b), 1u);
+  EXPECT_EQ(g.arcs_begin(a)->head, b);
+  EXPECT_DOUBLE_EQ(g.arcs_begin(a)->length_m, 5.0);
+}
+
+TEST(GraphTest, DirectedEdgeCreatesOneArc) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  ASSERT_TRUE(g.AddEdge(a, b, 5.0, /*bidirectional=*/false).ok());
+  g.Finalize();
+  EXPECT_EQ(g.num_arcs(), 1u);
+  EXPECT_EQ(g.degree(a), 1u);
+  EXPECT_EQ(g.degree(b), 0u);
+}
+
+TEST(GraphTest, AddEdgeRejectsUnknownNode) {
+  Graph g;
+  g.AddNode({0, 0});
+  EXPECT_EQ(g.AddEdge(0, 5, 1.0).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, AddEdgeRejectsNegativeLength) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  EXPECT_EQ(g.AddEdge(a, b, -1.0).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, AddEdgeAfterFinalizeFails) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  g.Finalize();
+  EXPECT_EQ(g.AddEdge(a, b, 1.0).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(GraphTest, FinalizeIdempotent) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  ASSERT_TRUE(g.AddEdge(a, b, 1.0).ok());
+  g.Finalize();
+  g.Finalize();
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(GraphTest, MultipleArcsGroupedByTail) {
+  Graph g;
+  NodeId n0 = g.AddNode({0, 0});
+  NodeId n1 = g.AddNode({1, 0});
+  NodeId n2 = g.AddNode({2, 0});
+  ASSERT_TRUE(g.AddEdge(n0, n1, 1.0, false).ok());
+  ASSERT_TRUE(g.AddEdge(n0, n2, 2.0, false).ok());
+  ASSERT_TRUE(g.AddEdge(n1, n2, 3.0, false).ok());
+  g.Finalize();
+  EXPECT_EQ(g.degree(n0), 2u);
+  EXPECT_EQ(g.degree(n1), 1u);
+  EXPECT_EQ(g.degree(n2), 0u);
+}
+
+TEST(GraphTest, ConnectedComponentsSingle) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  NodeId c = g.AddNode({2, 0});
+  ASSERT_TRUE(g.AddEdge(a, b, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(b, c, 1.0).ok());
+  g.Finalize();
+  std::vector<uint32_t> labels;
+  EXPECT_EQ(g.ConnectedComponents(&labels), 1u);
+  EXPECT_EQ(labels[a], labels[c]);
+}
+
+TEST(GraphTest, ConnectedComponentsMultiple) {
+  Graph g;
+  NodeId a = g.AddNode({0, 0});
+  NodeId b = g.AddNode({1, 0});
+  NodeId c = g.AddNode({10, 0});
+  NodeId d = g.AddNode({11, 0});
+  g.AddNode({20, 0});  // isolated
+  ASSERT_TRUE(g.AddEdge(a, b, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(c, d, 1.0).ok());
+  g.Finalize();
+  std::vector<uint32_t> labels;
+  EXPECT_EQ(g.ConnectedComponents(&labels), 3u);
+  EXPECT_EQ(labels[a], labels[b]);
+  EXPECT_EQ(labels[c], labels[d]);
+  EXPECT_NE(labels[a], labels[c]);
+}
+
+}  // namespace
+}  // namespace staq::graph

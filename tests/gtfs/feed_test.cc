@@ -1,0 +1,163 @@
+#include "gtfs/feed.h"
+
+#include <gtest/gtest.h>
+
+#include "gtfs/feed_builder.h"
+#include "testing/test_city.h"
+
+namespace staq::gtfs {
+namespace {
+
+TEST(FeedBuilderTest, BuildsLineFeed) {
+  Feed feed = testing::LineFeed(600);
+  EXPECT_EQ(feed.num_stops(), 3u);
+  EXPECT_EQ(feed.num_routes(), 1u);
+  EXPECT_EQ(feed.num_trips(), 12u);  // every 10 min, 07:00..08:50
+  EXPECT_EQ(feed.num_stop_times(), 36u);
+  EXPECT_TRUE(feed.Validate().ok());
+}
+
+TEST(FeedBuilderTest, AddCallBeforeTripFails) {
+  FeedBuilder builder;
+  StopId s = builder.AddStop("s", {0, 0});
+  EXPECT_EQ(builder.AddCall(s, MakeTime(7, 0)).code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+TEST(FeedBuilderTest, AddCallUnknownStopFails) {
+  FeedBuilder builder;
+  RouteId r = builder.AddRoute("r");
+  builder.BeginTrip(r, kEveryDay);
+  EXPECT_EQ(builder.AddCall(99, MakeTime(7, 0)).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(FeedBuilderTest, DepartureBeforeArrivalFails) {
+  FeedBuilder builder;
+  StopId s = builder.AddStop("s", {0, 0});
+  RouteId r = builder.AddRoute("r");
+  builder.BeginTrip(r, kEveryDay);
+  EXPECT_EQ(builder.AddCall(s, MakeTime(7, 0), MakeTime(6, 59)).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(FeedBuilderTest, SingleCallTripFailsValidation) {
+  FeedBuilder builder;
+  StopId s = builder.AddStop("s", {0, 0});
+  RouteId r = builder.AddRoute("r");
+  builder.BeginTrip(r, kEveryDay);
+  ASSERT_TRUE(builder.AddCall(s, MakeTime(7, 0)).ok());
+  auto feed = builder.Build();
+  EXPECT_FALSE(feed.ok());
+}
+
+TEST(FeedBuilderTest, TimeTravelFailsValidation) {
+  FeedBuilder builder;
+  StopId s0 = builder.AddStop("s0", {0, 0});
+  StopId s1 = builder.AddStop("s1", {100, 0});
+  RouteId r = builder.AddRoute("r");
+  builder.BeginTrip(r, kEveryDay);
+  ASSERT_TRUE(builder.AddCall(s0, MakeTime(8, 0)).ok());
+  ASSERT_TRUE(builder.AddCall(s1, MakeTime(7, 0)).ok());  // goes backwards
+  auto feed = builder.Build();
+  EXPECT_FALSE(feed.ok());
+}
+
+TEST(FeedBuilderTest, BuildTwiceFails) {
+  Feed unused = testing::LineFeed();
+  FeedBuilder builder;
+  StopId s0 = builder.AddStop("s0", {0, 0});
+  StopId s1 = builder.AddStop("s1", {100, 0});
+  RouteId r = builder.AddRoute("r");
+  builder.BeginTrip(r, kEveryDay);
+  ASSERT_TRUE(builder.AddCall(s0, MakeTime(7, 0)).ok());
+  ASSERT_TRUE(builder.AddCall(s1, MakeTime(7, 5)).ok());
+  ASSERT_TRUE(builder.Build().ok());
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(FeedTest, TripRangeOrdered) {
+  Feed feed = testing::LineFeed(600);
+  for (TripId t = 0; t < feed.num_trips(); ++t) {
+    const StopTime* begin = feed.trip_begin(t);
+    const StopTime* end = feed.trip_end(t);
+    ASSERT_EQ(end - begin, 3);
+    EXPECT_LT(begin[0].departure, begin[1].arrival);
+    EXPECT_LT(begin[1].departure, begin[2].arrival);
+  }
+}
+
+TEST(FeedTest, DeparturesSortedPerStop) {
+  Feed feed = testing::LineFeed(600);
+  for (StopId s = 0; s < feed.num_stops(); ++s) {
+    const auto& deps = feed.departures(s);
+    EXPECT_EQ(deps.size(), 12u);
+    for (size_t i = 1; i < deps.size(); ++i) {
+      EXPECT_LE(deps[i - 1].time, deps[i].time);
+    }
+  }
+}
+
+TEST(FeedTest, DeparturesInWindowFiltersTimeAndDay) {
+  Feed feed = testing::LineFeed(600);
+  auto window = feed.DeparturesInWindow(0, Day::kTuesday, MakeTime(7, 0),
+                                        MakeTime(8, 0));
+  EXPECT_EQ(window.size(), 6u);  // 07:00..07:50
+  // Weekday-only service: Sunday is empty.
+  EXPECT_TRUE(feed.DeparturesInWindow(0, Day::kSunday, MakeTime(7, 0),
+                                      MakeTime(9, 0))
+                  .empty());
+}
+
+TEST(FeedTest, DeparturesInWindowHalfOpen) {
+  Feed feed = testing::LineFeed(600);
+  auto window = feed.DeparturesInWindow(0, Day::kMonday, MakeTime(7, 0),
+                                        MakeTime(7, 10));
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].time, MakeTime(7, 0));
+}
+
+TEST(FeedTest, NextDepartureSkipsFinalCall) {
+  Feed feed = testing::LineFeed(600);
+  Departure dep;
+  // Stop 2 is the terminus: every call there is final, so nothing to ride.
+  EXPECT_FALSE(feed.NextDeparture(2, Day::kTuesday, MakeTime(7, 0), &dep));
+  // Stop 1 is mid-line: next departure at or after 07:06 is the 07:00
+  // trip's call (07:05 departure already gone) -> the 07:10 trip at 07:15.
+  ASSERT_TRUE(feed.NextDeparture(1, Day::kTuesday, MakeTime(7, 6), &dep));
+  EXPECT_EQ(dep.time, MakeTime(7, 15));
+}
+
+TEST(FeedTest, NextDepartureNoneAfterLastService) {
+  Feed feed = testing::LineFeed(600);
+  Departure dep;
+  EXPECT_FALSE(feed.NextDeparture(0, Day::kTuesday, MakeTime(9, 1), &dep));
+}
+
+TEST(FeedTest, RoutesThroughStop) {
+  Feed feed = testing::TransferFeed();
+  auto routes_a1 = feed.RoutesThrough(1, Day::kMonday, MakeTime(7, 0),
+                                      MakeTime(9, 0));
+  ASSERT_EQ(routes_a1.size(), 1u);
+  EXPECT_EQ(routes_a1[0], 0u);
+}
+
+TEST(FeedTest, ServiceStats) {
+  Feed feed = testing::LineFeed(600);
+  TimeInterval v{MakeTime(7, 0), MakeTime(9, 0), Day::kTuesday, "am"};
+  StopServiceStats stats = feed.ServiceStats(0, v);
+  EXPECT_EQ(stats.num_departures, 12u);
+  EXPECT_EQ(stats.num_routes, 1u);
+  EXPECT_NEAR(stats.mean_headway_s, 600.0, 1.0);
+}
+
+TEST(FeedTest, ServiceStatsSingleDepartureNoHeadway) {
+  Feed feed = testing::LineFeed(600);
+  TimeInterval v{MakeTime(7, 0), MakeTime(7, 5), Day::kTuesday, "tiny"};
+  StopServiceStats stats = feed.ServiceStats(0, v);
+  EXPECT_EQ(stats.num_departures, 1u);
+  EXPECT_EQ(stats.mean_headway_s, 0.0);
+}
+
+}  // namespace
+}  // namespace staq::gtfs

@@ -1,0 +1,275 @@
+#include "gtfs/gtfs_csv.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace staq::gtfs {
+namespace {
+
+namespace fs = std::filesystem;
+
+geo::LocalProjection TestProjection() {
+  return geo::LocalProjection(geo::LatLon{52.48, -1.90});
+}
+
+std::string FreshDir(const char* name) {
+  std::string dir = ::testing::TempDir() + "/staq_gtfs_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+void ExpectFeedsEquivalent(const Feed& a, const Feed& b) {
+  ASSERT_EQ(a.num_stops(), b.num_stops());
+  ASSERT_EQ(a.num_routes(), b.num_routes());
+  ASSERT_EQ(a.num_trips(), b.num_trips());
+  ASSERT_EQ(a.num_stop_times(), b.num_stop_times());
+  for (StopId s = 0; s < a.num_stops(); ++s) {
+    // Projection round trip costs < 1 m at city scale.
+    EXPECT_NEAR(a.stop(s).position.x, b.stop(s).position.x, 1.0);
+    EXPECT_NEAR(a.stop(s).position.y, b.stop(s).position.y, 1.0);
+  }
+  for (RouteId r = 0; r < a.num_routes(); ++r) {
+    EXPECT_NEAR(a.route(r).flat_fare, b.route(r).flat_fare, 0.01);
+  }
+  for (TripId t = 0; t < a.num_trips(); ++t) {
+    EXPECT_EQ(a.trip(t).route, b.trip(t).route);
+    EXPECT_EQ(a.trip(t).days, b.trip(t).days);
+    ASSERT_EQ(a.trip(t).num_stop_times, b.trip(t).num_stop_times);
+    const StopTime* sa = a.trip_begin(t);
+    const StopTime* sb = b.trip_begin(t);
+    for (uint32_t i = 0; i < a.trip(t).num_stop_times; ++i) {
+      EXPECT_EQ(sa[i].stop, sb[i].stop);
+      EXPECT_EQ(sa[i].arrival, sb[i].arrival);
+      EXPECT_EQ(sa[i].departure, sb[i].departure);
+    }
+  }
+}
+
+TEST(GtfsCsvTest, RoundTripLineFeed) {
+  Feed original = testing::LineFeed(600);
+  std::string dir = FreshDir("line");
+  geo::LocalProjection projection = TestProjection();
+  ASSERT_TRUE(WriteFeedCsv(original, projection, dir).ok());
+
+  // All standard files written.
+  for (const char* file : {"stops.txt", "routes.txt", "calendar.txt",
+                           "trips.txt", "stop_times.txt",
+                           "fare_attributes.txt", "fare_rules.txt"}) {
+    EXPECT_TRUE(fs::exists(dir + "/" + file)) << file;
+  }
+
+  auto loaded = ReadFeedCsv(dir, projection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectFeedsEquivalent(original, loaded.value());
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, RoundTripSyntheticCityFeed) {
+  synth::City city = testing::TinyCity();
+  std::string dir = FreshDir("city");
+  geo::LocalProjection projection = TestProjection();
+  ASSERT_TRUE(WriteFeedCsv(city.feed, projection, dir).ok());
+  auto loaded = ReadFeedCsv(dir, projection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ExpectFeedsEquivalent(city.feed, loaded.value());
+  EXPECT_TRUE(loaded.value().Validate().ok());
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, MissingFileFails) {
+  auto loaded = ReadFeedCsv("/nonexistent-gtfs-dir", TestProjection());
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(GtfsCsvTest, MissingRequiredColumnFails) {
+  std::string dir = FreshDir("badcol");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/stops.txt") << "stop_id,stop_name\nS0,zero\n";
+  auto loaded = ReadFeedCsv(dir, TestProjection());
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("stop_lat"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, ExtraColumnsIgnored) {
+  Feed original = testing::LineFeed(1200);
+  std::string dir = FreshDir("extra");
+  geo::LocalProjection projection = TestProjection();
+  ASSERT_TRUE(WriteFeedCsv(original, projection, dir).ok());
+  // Append an extra column to stops.txt.
+  {
+    auto rows = util::ReadCsvFile(dir + "/stops.txt");
+    ASSERT_TRUE(rows.ok());
+    std::ofstream out(dir + "/stops.txt");
+    for (size_t r = 0; r < rows.value().size(); ++r) {
+      out << util::Join(rows.value()[r], ",")
+          << (r == 0 ? ",wheelchair_boarding" : ",1") << "\n";
+    }
+  }
+  auto loaded = ReadFeedCsv(dir, projection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().num_stops(), original.num_stops());
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, UnknownStopInStopTimesFails) {
+  Feed original = testing::LineFeed(1200);
+  std::string dir = FreshDir("badstop");
+  geo::LocalProjection projection = TestProjection();
+  ASSERT_TRUE(WriteFeedCsv(original, projection, dir).ok());
+  std::ofstream(dir + "/stop_times.txt", std::ios::app)
+      << "T0,07:00:00,07:00:00,S999,99\n";
+  auto loaded = ReadFeedCsv(dir, projection);
+  EXPECT_FALSE(loaded.ok());
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, FaresOptional) {
+  Feed original = testing::LineFeed(1200);
+  std::string dir = FreshDir("nofares");
+  geo::LocalProjection projection = TestProjection();
+  ASSERT_TRUE(WriteFeedCsv(original, projection, dir).ok());
+  fs::remove(dir + "/fare_attributes.txt");
+  fs::remove(dir + "/fare_rules.txt");
+  auto loaded = ReadFeedCsv(dir, projection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_DOUBLE_EQ(loaded.value().route(0).flat_fare, 0.0);
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, StopTimesOutOfOrderAreSortedBySequence) {
+  // Hand-write a feed whose stop_times rows are shuffled; stop_sequence
+  // must drive ordering.
+  std::string dir = FreshDir("shuffled");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/stops.txt")
+      << "stop_id,stop_name,stop_lat,stop_lon\n"
+      << "A,a,52.4800,-1.9000\nB,b,52.4900,-1.9000\nC,c,52.5000,-1.9000\n";
+  std::ofstream(dir + "/routes.txt")
+      << "route_id,route_short_name,route_type\nR1,one,3\n";
+  std::ofstream(dir + "/calendar.txt")
+      << "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+         "sunday,start_date,end_date\n"
+      << "WK,1,1,1,1,1,0,0,20240101,20991231\n";
+  std::ofstream(dir + "/trips.txt")
+      << "route_id,service_id,trip_id\nR1,WK,trip-1\n";
+  std::ofstream(dir + "/stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+      << "trip-1,07:20:00,07:20:00,C,3\n"
+      << "trip-1,07:00:00,07:00:00,A,1\n"
+      << "trip-1,07:10:00,07:10:00,B,2\n";
+
+  auto loaded = ReadFeedCsv(dir, TestProjection());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Feed& feed = loaded.value();
+  ASSERT_EQ(feed.num_trips(), 1u);
+  const StopTime* calls = feed.trip_begin(0);
+  EXPECT_EQ(calls[0].arrival, MakeTime(7, 0));
+  EXPECT_EQ(calls[1].arrival, MakeTime(7, 10));
+  EXPECT_EQ(calls[2].arrival, MakeTime(7, 20));
+  EXPECT_TRUE(feed.Validate().ok());
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, FrequenciesExpandTripTemplates) {
+  std::string dir = FreshDir("frequencies");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/stops.txt")
+      << "stop_id,stop_name,stop_lat,stop_lon\n"
+      << "A,a,52.4800,-1.9000\nB,b,52.4900,-1.9000\n";
+  std::ofstream(dir + "/routes.txt")
+      << "route_id,route_short_name,route_type\nR1,one,3\n";
+  std::ofstream(dir + "/calendar.txt")
+      << "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+         "sunday,start_date,end_date\n"
+      << "WK,1,1,1,1,1,0,0,20240101,20991231\n";
+  std::ofstream(dir + "/trips.txt")
+      << "route_id,service_id,trip_id\nR1,WK,template\n";
+  // Template: 5-minute run from A to B; offsets matter, absolute times
+  // don't.
+  std::ofstream(dir + "/stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+      << "template,06:00:00,06:00:00,A,1\n"
+      << "template,06:05:00,06:05:00,B,2\n";
+  // Every 10 minutes from 07:00 to 08:00 -> 6 concrete trips.
+  std::ofstream(dir + "/frequencies.txt")
+      << "trip_id,start_time,end_time,headway_secs\n"
+      << "template,07:00:00,08:00:00,600\n";
+
+  auto loaded = ReadFeedCsv(dir, TestProjection());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const Feed& feed = loaded.value();
+  EXPECT_EQ(feed.num_trips(), 6u);
+  EXPECT_TRUE(feed.Validate().ok());
+  // First expansion departs 07:00 and preserves the 5-minute offset.
+  const StopTime* calls = feed.trip_begin(0);
+  EXPECT_EQ(calls[0].departure, MakeTime(7, 0));
+  EXPECT_EQ(calls[1].arrival, MakeTime(7, 5));
+  // Departure index at stop A sees all six headway copies.
+  auto deps = feed.DeparturesInWindow(0, Day::kMonday, MakeTime(7, 0),
+                                      MakeTime(8, 0));
+  EXPECT_EQ(deps.size(), 6u);
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, FrequenciesRejectNonPositiveHeadway) {
+  std::string dir = FreshDir("badfreq");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/stops.txt")
+      << "stop_id,stop_name,stop_lat,stop_lon\nA,a,52.48,-1.9\nB,b,52.49,-1.9\n";
+  std::ofstream(dir + "/routes.txt")
+      << "route_id,route_short_name,route_type\nR1,one,3\n";
+  std::ofstream(dir + "/calendar.txt")
+      << "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+         "sunday,start_date,end_date\nWK,1,1,1,1,1,0,0,20240101,20991231\n";
+  std::ofstream(dir + "/trips.txt")
+      << "route_id,service_id,trip_id\nR1,WK,t\n";
+  std::ofstream(dir + "/stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+      << "t,06:00:00,06:00:00,A,1\nt,06:05:00,06:05:00,B,2\n";
+  std::ofstream(dir + "/frequencies.txt")
+      << "trip_id,start_time,end_time,headway_secs\nt,07:00:00,08:00:00,0\n";
+  EXPECT_FALSE(ReadFeedCsv(dir, TestProjection()).ok());
+  fs::remove_all(dir);
+}
+
+TEST(ParseCsvTest, HandlesQuotingAndCrlf) {
+  auto rows = util::ParseCsv("a,\"b,с\",c\r\n\"x\"\"y\",,z\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][1], "b,с");
+  EXPECT_EQ(rows.value()[1][0], "x\"y");
+  EXPECT_EQ(rows.value()[1][1], "");
+}
+
+TEST(ParseCsvTest, EmbeddedNewlineInQuotes) {
+  auto rows = util::ParseCsv("\"line1\nline2\",b\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 1u);
+  EXPECT_EQ(rows.value()[0][0], "line1\nline2");
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(util::ParseCsv("\"abc").ok());
+}
+
+TEST(ParseCsvTest, RoundTripWithCsvTable) {
+  util::CsvTable table({"h1", "h2"});
+  ASSERT_TRUE(table.AddRow({"plain", "with,comma"}).ok());
+  ASSERT_TRUE(table.AddRow({"with\"quote", "with\nnewline"}).ok());
+  auto rows = util::ParseCsv(table.ToCsv());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[1][1], "with,comma");
+  EXPECT_EQ(rows.value()[2][0], "with\"quote");
+  EXPECT_EQ(rows.value()[2][1], "with\nnewline");
+}
+
+}  // namespace
+}  // namespace staq::gtfs

@@ -1,0 +1,91 @@
+#include "gtfs/time.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::gtfs {
+namespace {
+
+TEST(TimeTest, MakeTime) {
+  EXPECT_EQ(MakeTime(0, 0), 0);
+  EXPECT_EQ(MakeTime(7, 30), 27000);
+  EXPECT_EQ(MakeTime(23, 59, 59), 86399);
+}
+
+TEST(TimeTest, ParseValid) {
+  auto r = ParseTime("07:30:15");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), MakeTime(7, 30, 15));
+
+  auto short_form = ParseTime("9:05");
+  ASSERT_TRUE(short_form.ok());
+  EXPECT_EQ(short_form.value(), MakeTime(9, 5));
+}
+
+TEST(TimeTest, ParseAllowsPostMidnight) {
+  auto r = ParseTime("25:10:00");  // GTFS late-night service
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 25 * 3600 + 600);
+}
+
+TEST(TimeTest, ParseTrimsWhitespace) {
+  auto r = ParseTime("  08:00  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), MakeTime(8, 0));
+}
+
+TEST(TimeTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseTime("").ok());
+  EXPECT_FALSE(ParseTime("7").ok());
+  EXPECT_FALSE(ParseTime("aa:bb").ok());
+  EXPECT_FALSE(ParseTime("7:60").ok());
+  EXPECT_FALSE(ParseTime("48:00").ok());
+  EXPECT_FALSE(ParseTime("1:2:3:4").ok());
+  EXPECT_FALSE(ParseTime("123:00").ok());
+}
+
+TEST(TimeTest, FormatRoundTrip) {
+  EXPECT_EQ(FormatTime(MakeTime(7, 5, 3)), "07:05:03");
+  EXPECT_EQ(FormatTime(0), "00:00:00");
+  auto parsed = ParseTime(FormatTime(MakeTime(16, 45)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), MakeTime(16, 45));
+}
+
+TEST(DayMaskTest, WeekdayAndWeekend) {
+  EXPECT_TRUE(RunsOn(kWeekdays, Day::kMonday));
+  EXPECT_TRUE(RunsOn(kWeekdays, Day::kFriday));
+  EXPECT_FALSE(RunsOn(kWeekdays, Day::kSaturday));
+  EXPECT_TRUE(RunsOn(kWeekend, Day::kSunday));
+  EXPECT_FALSE(RunsOn(kWeekend, Day::kTuesday));
+  for (int d = 0; d < 7; ++d) {
+    EXPECT_TRUE(RunsOn(kEveryDay, static_cast<Day>(d)));
+  }
+}
+
+TEST(DayMaskTest, MaskOfSingleDay) {
+  DayMask tue = MaskOf(Day::kTuesday);
+  EXPECT_TRUE(RunsOn(tue, Day::kTuesday));
+  EXPECT_FALSE(RunsOn(tue, Day::kWednesday));
+}
+
+TEST(TimeIntervalTest, ContainsHalfOpen) {
+  TimeInterval v{MakeTime(7, 0), MakeTime(9, 0), Day::kTuesday, "am"};
+  EXPECT_TRUE(v.Contains(MakeTime(7, 0)));
+  EXPECT_TRUE(v.Contains(MakeTime(8, 59, 59)));
+  EXPECT_FALSE(v.Contains(MakeTime(9, 0)));
+  EXPECT_FALSE(v.Contains(MakeTime(6, 59, 59)));
+}
+
+TEST(TimeIntervalTest, DurationHours) {
+  EXPECT_DOUBLE_EQ(WeekdayAmPeak().DurationHours(), 2.0);
+  EXPECT_DOUBLE_EQ(WeekdayPmPeak().DurationHours(), 2.0);
+}
+
+TEST(TimeIntervalTest, PresetsAreDistinctAndLabeled) {
+  EXPECT_EQ(WeekdayAmPeak().label, "weekday-am-peak");
+  EXPECT_EQ(SundayMorning().day, Day::kSunday);
+  EXPECT_NE(WeekdayAmPeak().start, WeekdayPmPeak().start);
+}
+
+}  // namespace
+}  // namespace staq::gtfs

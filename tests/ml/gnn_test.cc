@@ -1,0 +1,110 @@
+#include "ml/gnn.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace staq::ml {
+namespace {
+
+GnnConfig FastGnn(uint64_t seed) {
+  GnnConfig config;
+  config.epochs = 200;
+  config.hidden = 16;
+  config.seed = seed;
+  return config;
+}
+
+TEST(AdjacencyTest, SymmetricWithSelfLoops) {
+  std::vector<geo::Point> positions{{0, 0}, {100, 0}, {5000, 5000}};
+  Matrix a = BuildNormalizedAdjacency(positions, 0.25, 0.05);
+  ASSERT_EQ(a.rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_GT(a(i, i), 0.0);  // self-loop survives normalisation
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(a(i, j), a(j, i), 1e-12);
+      EXPECT_GE(a(i, j), 0.0);
+    }
+  }
+}
+
+TEST(AdjacencyTest, ThresholdCutsDistantPairs) {
+  std::vector<geo::Point> positions{{0, 0}, {50, 0}, {100000, 0}};
+  Matrix a = BuildNormalizedAdjacency(positions, 0.05, 0.05);
+  EXPECT_GT(a(0, 1), 0.0);   // near pair connected
+  EXPECT_EQ(a(0, 2), 0.0);   // distant pair cut
+}
+
+TEST(AdjacencyTest, RowsOfNormalizedMatrixBounded) {
+  util::Rng rng(5);
+  std::vector<geo::Point> positions;
+  for (int i = 0; i < 50; ++i) {
+    positions.push_back({rng.Uniform(0, 1000), rng.Uniform(0, 1000)});
+  }
+  Matrix a = BuildNormalizedAdjacency(positions, 0.25, 0.05);
+  // Symmetric normalisation keeps the spectral radius <= 1, and in
+  // particular every entry is in [0, 1].
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_GE(a(i, j), 0.0);
+      EXPECT_LE(a(i, j), 1.0);
+    }
+  }
+}
+
+TEST(GnnTest, LearnsSpatiallySmoothTarget) {
+  // Target varies smoothly with position: exactly the GNN's inductive bias.
+  util::Rng rng(51);
+  Dataset data;
+  size_t n = 200;
+  data.x = Matrix(n, 3);
+  data.y.resize(n);
+  data.positions.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double px = rng.Uniform(0, 1000), py = rng.Uniform(0, 1000);
+    data.positions[i] = geo::Point{px, py};
+    for (size_t c = 0; c < 3; ++c) {
+      data.x(i, c) = px / 1000.0 + rng.Normal(0, 0.1);
+    }
+    data.y[i] = px / 100.0 + py / 200.0;
+  }
+  auto sample = rng.SampleWithoutReplacement(n, 60);
+  data.labeled.assign(sample.begin(), sample.end());
+
+  GnnRegressor model(FastGnn(1));
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto pred = model.Predict();
+  ASSERT_EQ(pred.size(), n);
+
+  double mean = 0;
+  for (double y : data.y) mean += y;
+  mean /= data.y.size();
+  std::vector<double> mean_pred(n, mean);
+  EXPECT_LT(testing::UnlabeledMae(data, pred),
+            0.7 * testing::UnlabeledMae(data, mean_pred));
+}
+
+TEST(GnnTest, RequiresPositions) {
+  auto data = testing::LinearDataset(50, 2, 20, 0.1, 52);
+  data.positions.clear();
+  GnnRegressor model(FastGnn(2));
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+TEST(GnnTest, DeterministicForSameSeed) {
+  auto data = testing::LinearDataset(80, 3, 30, 0.2, 53);
+  GnnRegressor a(FastGnn(7)), b(FastGnn(7));
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_EQ(a.Predict(), b.Predict());
+}
+
+TEST(GnnTest, RejectsInvalidDataset) {
+  GnnRegressor model;
+  EXPECT_FALSE(model.Fit(Dataset{}).ok());
+}
+
+TEST(GnnTest, NameIsStable) { EXPECT_STREQ(GnnRegressor().name(), "GNN"); }
+
+}  // namespace
+}  // namespace staq::ml

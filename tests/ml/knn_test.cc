@@ -1,0 +1,112 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace staq::ml {
+namespace {
+
+TEST(KnnCoreTest, SingleExamplePredictsItsTarget) {
+  KnnCore core(KnnConfig{3, 2.0, true});
+  core.Add({0.0, 0.0}, 5.0);
+  double row[2] = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(core.PredictOne(row, 2), 5.0);
+}
+
+TEST(KnnCoreTest, ExactMatchDominatesWeighting) {
+  KnnCore core(KnnConfig{2, 2.0, true});
+  core.Add({0.0, 0.0}, 1.0);
+  core.Add({10.0, 0.0}, 100.0);
+  double at_first[2] = {0.0, 0.0};
+  // Inverse-distance weighting: a near-zero distance overwhelms.
+  EXPECT_NEAR(core.PredictOne(at_first, 2), 1.0, 1e-3);
+}
+
+TEST(KnnCoreTest, UnweightedMeanOfKNearest) {
+  KnnCore core(KnnConfig{2, 2.0, /*distance_weighted=*/false});
+  core.Add({0.0}, 10.0);
+  core.Add({1.0}, 20.0);
+  core.Add({100.0}, 999.0);
+  double q[1] = {0.5};
+  EXPECT_DOUBLE_EQ(core.PredictOne(q, 1), 15.0);
+}
+
+TEST(KnnCoreTest, MinkowskiOrderChangesNeighbors) {
+  // With p=2 the diagonal point is closer; with very high p (Chebyshev-ish)
+  // the axis point wins.
+  KnnConfig euclid{1, 2.0, false};
+  KnnConfig high_p{1, 8.0, false};
+  KnnCore a(euclid), b(high_p);
+  for (KnnCore* core : {&a, &b}) {
+    core->Add({3.0, 3.0}, 1.0);   // euclid dist 4.24, p8 ~3.0+
+    core->Add({4.1, 0.0}, 2.0);   // euclid dist 4.1, p8 4.1
+  }
+  double q[2] = {0.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.PredictOne(q, 2), 2.0);
+  EXPECT_DOUBLE_EQ(b.PredictOne(q, 2), 1.0);
+}
+
+TEST(KnnCoreTest, NeighborsExcludeIndex) {
+  KnnCore core(KnnConfig{2, 2.0, true});
+  core.Add({0.0}, 1.0);
+  core.Add({0.1}, 2.0);
+  core.Add({5.0}, 3.0);
+  double q[1] = {0.0};
+  auto with = core.Neighbors(q, 1);
+  auto without = core.Neighbors(q, 1, /*exclude=*/0);
+  EXPECT_EQ(with[0], 0u);
+  for (uint32_t idx : without) EXPECT_NE(idx, 0u);
+}
+
+TEST(KnnCoreTest, PredictExcludingIgnoresSelf) {
+  KnnCore core(KnnConfig{1, 2.0, true});
+  core.Add({0.0}, 100.0);
+  core.Add({1.0}, 7.0);
+  double q[1] = {0.0};
+  EXPECT_NEAR(core.PredictOneExcluding(q, 1, 0), 7.0, 1e-9);
+}
+
+TEST(KnnCoreTest, RemoveLastUndoesAdd) {
+  KnnCore core(KnnConfig{1, 2.0, true});
+  core.Add({0.0}, 1.0);
+  core.Add({0.01}, 50.0);
+  core.RemoveLast();
+  EXPECT_EQ(core.size(), 1u);
+  double q[1] = {0.0};
+  EXPECT_DOUBLE_EQ(core.PredictOne(q, 1), 1.0);
+}
+
+TEST(KnnRegressorTest, FitsSmoothFunction) {
+  auto data = testing::LinearDataset(300, 3, 150, 0.1, 11);
+  KnnRegressor model(KnnConfig{5, 2.0, true});
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto pred = model.Predict();
+  ASSERT_EQ(pred.size(), 300u);
+  // kNN won't be exact but must clearly beat predicting the mean.
+  double mean = 0;
+  for (double y : data.y) mean += y;
+  mean /= data.y.size();
+  std::vector<double> mean_pred(300, mean);
+  EXPECT_LT(testing::UnlabeledMae(data, pred),
+            0.8 * testing::UnlabeledMae(data, mean_pred));
+}
+
+TEST(KnnRegressorTest, LabeledRowsPredictNearTheirTargets) {
+  auto data = testing::LinearDataset(100, 2, 40, 0.0, 12);
+  KnnRegressor model(KnnConfig{3, 2.0, true});
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto pred = model.Predict();
+  for (uint32_t idx : data.labeled) {
+    // The row itself is in the training set at distance 0.
+    EXPECT_NEAR(pred[idx], data.y[idx], 1e-3);
+  }
+}
+
+TEST(KnnRegressorTest, RejectsInvalidDataset) {
+  KnnRegressor model;
+  EXPECT_FALSE(model.Fit(Dataset{}).ok());
+}
+
+}  // namespace
+}  // namespace staq::ml

@@ -1,0 +1,175 @@
+#include "ml/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace staq::ml {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_FALSE(m.empty());
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix eye = Matrix::Identity(3);
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, SelectRows) {
+  Matrix m(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    m(i, 0) = static_cast<double>(i);
+    m(i, 1) = static_cast<double>(10 * i);
+  }
+  Matrix sel = m.SelectRows({2, 0});
+  ASSERT_EQ(sel.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel(0, 1), 20.0);
+  EXPECT_DOUBLE_EQ(sel(1, 0), 0.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 5;
+  m(1, 1) = 7;
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(1, 1), 7.0);
+}
+
+TEST(MatMulTest, KnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatMulTest, IdentityIsNeutral) {
+  util::Rng rng(1);
+  Matrix m(4, 4);
+  for (auto& v : m.data()) v = rng.Uniform(-1, 1);
+  Matrix prod = MatMul(m, Matrix::Identity(4));
+  EXPECT_EQ(prod, m);
+}
+
+TEST(MatVecTest, KnownProduct) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  auto y = MatVec(a, {1, 1, 1});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 6);
+  EXPECT_DOUBLE_EQ(y[1], 15);
+}
+
+TEST(GramTest, MatchesExplicitTransposeProduct) {
+  util::Rng rng(2);
+  Matrix a(7, 4);
+  for (auto& v : a.data()) v = rng.Uniform(-2, 2);
+  Matrix g = Gram(a);
+  Matrix expected = MatMul(a.Transposed(), a);
+  ASSERT_EQ(g.rows(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(TransposeVecTest, MatchesExplicit) {
+  util::Rng rng(3);
+  Matrix a(5, 3);
+  std::vector<double> y(5);
+  for (auto& v : a.data()) v = rng.Uniform(-2, 2);
+  for (auto& v : y) v = rng.Uniform(-2, 2);
+  auto atv = TransposeVec(a, y);
+  auto expected = MatVec(a.Transposed(), y);
+  ASSERT_EQ(atv.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(atv[i], expected[i], 1e-12);
+}
+
+TEST(SolveTest, DiagonalSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2;
+  a(1, 1) = 4;
+  auto x = SolveLinearSystem(a, {6, 8});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.value()[0], 3);
+  EXPECT_DOUBLE_EQ(x.value()[1], 2);
+}
+
+TEST(SolveTest, SpdSystemViaCholesky) {
+  // A = B^T B + I is SPD.
+  util::Rng rng(4);
+  Matrix b(6, 6);
+  for (auto& v : b.data()) v = rng.Uniform(-1, 1);
+  Matrix a = Gram(b);
+  for (size_t i = 0; i < 6; ++i) a(i, i) += 1.0;
+  std::vector<double> truth(6);
+  for (auto& v : truth) v = rng.Uniform(-3, 3);
+  auto rhs = MatVec(a, truth);
+  auto solved = SolveLinearSystem(a, rhs);
+  ASSERT_TRUE(solved.ok());
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(solved.value()[i], truth[i], 1e-8);
+  }
+}
+
+TEST(SolveTest, NonSymmetricFallsBackToGaussian) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;  // zero pivot forces pivoting
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {3, 5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ(x.value()[0], 5);
+  EXPECT_DOUBLE_EQ(x.value()[1], 3);
+}
+
+TEST(SolveTest, SingularFails) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;  // rank 1
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+}
+
+TEST(SolveTest, DimensionMismatchRejected) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+  Matrix sq(2, 2);
+  EXPECT_FALSE(SolveLinearSystem(sq, {1, 2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace staq::ml

@@ -1,0 +1,65 @@
+#include "ml/mean_teacher.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace staq::ml {
+namespace {
+
+MeanTeacherConfig FastConfig(uint64_t seed) {
+  MeanTeacherConfig config;
+  config.epochs = 120;
+  config.hidden = {32, 16};
+  config.seed = seed;
+  return config;
+}
+
+TEST(MeanTeacherTest, LearnsLinearFunction) {
+  auto data = testing::LinearDataset(250, 3, 80, 0.1, 31);
+  MeanTeacher model(FastConfig(1));
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto pred = model.Predict();
+  ASSERT_EQ(pred.size(), 250u);
+  double mean = 0;
+  for (double y : data.y) mean += y;
+  mean /= data.y.size();
+  std::vector<double> mean_pred(250, mean);
+  EXPECT_LT(testing::UnlabeledMae(data, pred),
+            0.6 * testing::UnlabeledMae(data, mean_pred));
+}
+
+TEST(MeanTeacherTest, DeterministicForSameSeed) {
+  auto data = testing::LinearDataset(120, 3, 40, 0.2, 32);
+  MeanTeacher a(FastConfig(9)), b(FastConfig(9));
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_EQ(a.Predict(), b.Predict());
+}
+
+TEST(MeanTeacherTest, SeedChangesResult) {
+  auto data = testing::LinearDataset(120, 3, 40, 0.2, 33);
+  MeanTeacher a(FastConfig(1)), b(FastConfig(2));
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_NE(a.Predict(), b.Predict());
+}
+
+TEST(MeanTeacherTest, AllLabeledStillTrains) {
+  auto data = testing::LinearDataset(80, 2, 80, 0.1, 34);
+  MeanTeacher model(FastConfig(3));
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(model.Predict().size(), 80u);
+}
+
+TEST(MeanTeacherTest, RejectsInvalidDataset) {
+  MeanTeacher model;
+  EXPECT_FALSE(model.Fit(Dataset{}).ok());
+}
+
+TEST(MeanTeacherTest, NameIsStable) {
+  EXPECT_STREQ(MeanTeacher().name(), "MT");
+}
+
+}  // namespace
+}  // namespace staq::ml

@@ -1,0 +1,64 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace staq::ml {
+namespace {
+
+TEST(MaeTest, ZeroForIdentical) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(MaeTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({0, 0, 0}, {1, -2, 3}), 2.0);
+}
+
+TEST(RmseTest, KnownValue) {
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError({0, 0}, {3, 4}),
+                   std::sqrt(12.5));
+}
+
+TEST(RmseTest, AtLeastMae) {
+  std::vector<double> a{1, 5, 2, 8}, b{2, 2, 2, 2};
+  EXPECT_GE(RootMeanSquaredError(a, b), MeanAbsoluteError(a, b));
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, InvariantToAffineTransform) {
+  std::vector<double> a{1, 4, 2, 8, 5};
+  std::vector<double> b{2, 3, 7, 1, 9};
+  double base = PearsonCorrelation(a, b);
+  std::vector<double> scaled(b.size());
+  for (size_t i = 0; i < b.size(); ++i) scaled[i] = 3 * b[i] - 100;
+  EXPECT_NEAR(PearsonCorrelation(a, scaled), base, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceReturnsZero) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(PearsonTest, UncorrelatedNearZero) {
+  // Symmetric design: x and x^2 over symmetric range are uncorrelated.
+  std::vector<double> x{-2, -1, 0, 1, 2};
+  std::vector<double> x2{4, 1, 0, 1, 4};
+  EXPECT_NEAR(PearsonCorrelation(x, x2), 0.0, 1e-12);
+}
+
+TEST(AccuracyTest, Basics) {
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy({0, 1, 2, 3}, {0, 1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy({0, 1, 2, 3}, {1, 1, 1, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(ClassificationAccuracy({0}, {1}), 0.0);
+}
+
+}  // namespace
+}  // namespace staq::ml

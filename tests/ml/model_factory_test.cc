@@ -1,0 +1,60 @@
+#include "ml/model_factory.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace staq::ml {
+namespace {
+
+TEST(ModelFactoryTest, AllKindsConstruct) {
+  for (ModelKind kind : AllModelKinds()) {
+    auto model = CreateModel(kind, 1);
+    ASSERT_NE(model, nullptr) << ModelKindName(kind);
+    EXPECT_STREQ(model->name(), ModelKindName(kind));
+  }
+}
+
+TEST(ModelFactoryTest, NamesMatchPaper) {
+  EXPECT_STREQ(ModelKindName(ModelKind::kOls), "OLS");
+  EXPECT_STREQ(ModelKindName(ModelKind::kMlp), "MLP");
+  EXPECT_STREQ(ModelKindName(ModelKind::kCoreg), "COREG");
+  EXPECT_STREQ(ModelKindName(ModelKind::kMeanTeacher), "MT");
+  EXPECT_STREQ(ModelKindName(ModelKind::kGnn), "GNN");
+}
+
+TEST(ModelFactoryTest, FiveKindsInPaperOrder) {
+  auto kinds = AllModelKinds();
+  ASSERT_EQ(kinds.size(), static_cast<size_t>(kNumModelKinds));
+  EXPECT_EQ(kinds.front(), ModelKind::kOls);
+  EXPECT_EQ(kinds.back(), ModelKind::kGnn);
+}
+
+// Every factory-made model must run the full fit/predict contract on the
+// same dataset.
+class FactoryModelContractTest : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(FactoryModelContractTest, FitPredictContract) {
+  auto data = testing::LinearDataset(100, 3, 40, 0.2, 61);
+  auto model = CreateModel(GetParam(), 123);
+  ASSERT_TRUE(model->Fit(data).ok()) << model->name();
+  auto pred = model->Predict();
+  ASSERT_EQ(pred.size(), data.num_instances());
+  for (double p : pred) {
+    EXPECT_TRUE(std::isfinite(p)) << model->name();
+  }
+}
+
+TEST_P(FactoryModelContractTest, RejectsEmptyDataset) {
+  auto model = CreateModel(GetParam(), 123);
+  EXPECT_FALSE(model->Fit(Dataset{}).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FactoryModelContractTest,
+                         ::testing::ValuesIn(AllModelKinds()),
+                         [](const auto& info) {
+                           return ModelKindName(info.param);
+                         });
+
+}  // namespace
+}  // namespace staq::ml

@@ -1,0 +1,82 @@
+#include "ml/ols.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_data.h"
+
+namespace staq::ml {
+namespace {
+
+TEST(OlsTest, RecoversNoiselessLinearFunction) {
+  auto data = testing::LinearDataset(200, 4, 50, /*noise=*/0.0, /*seed=*/1);
+  OlsConfig config;
+  config.ridge = 0.0;  // exact recovery needs the unbiased estimator
+  OlsRegressor model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  auto pred = model.Predict();
+  ASSERT_EQ(pred.size(), 200u);
+  EXPECT_LT(testing::UnlabeledMae(data, pred), 1e-6);
+}
+
+TEST(OlsTest, HandlesNoise) {
+  auto data = testing::LinearDataset(300, 4, 150, /*noise=*/0.5, /*seed=*/2);
+  OlsRegressor model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  // OLS should estimate within ~the noise level.
+  EXPECT_LT(testing::UnlabeledMae(data, model.Predict()), 1.0);
+}
+
+TEST(OlsTest, InterceptOnlyData) {
+  // Constant target: prediction must be that constant everywhere.
+  ml::Dataset data = testing::LinearDataset(50, 2, 20, 0.0, 3);
+  for (double& y : data.y) y = 42.0;
+  OlsRegressor model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  for (double p : model.Predict()) EXPECT_NEAR(p, 42.0, 1e-6);
+}
+
+TEST(OlsTest, RidgeStabilizesRankDeficiency) {
+  // More features than labeled examples: pure OLS normal equations are
+  // singular; ridge makes it solvable.
+  auto data = testing::LinearDataset(100, 10, 5, 0.0, 4);
+  OlsConfig config;
+  config.ridge = 1e-3;
+  OlsRegressor model(config);
+  EXPECT_TRUE(model.Fit(data).ok());
+}
+
+TEST(OlsTest, RejectsInvalidDataset) {
+  Dataset empty;
+  OlsRegressor model;
+  EXPECT_FALSE(model.Fit(empty).ok());
+
+  auto data = testing::LinearDataset(20, 2, 5, 0.0, 5);
+  data.labeled = {0};  // one label is not enough
+  EXPECT_FALSE(model.Fit(data).ok());
+
+  data = testing::LinearDataset(20, 2, 5, 0.0, 6);
+  data.labeled.push_back(99);  // out of range
+  EXPECT_FALSE(model.Fit(data).ok());
+}
+
+TEST(OlsTest, CoefficientsExposedAfterFit) {
+  auto data = testing::LinearDataset(100, 3, 50, 0.0, 7);
+  OlsRegressor model;
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(model.coefficients().size(), 4u);  // 3 weights + intercept
+}
+
+TEST(OlsTest, DeterministicAcrossRuns) {
+  auto data = testing::LinearDataset(100, 3, 30, 0.2, 8);
+  OlsRegressor a, b;
+  ASSERT_TRUE(a.Fit(data).ok());
+  ASSERT_TRUE(b.Fit(data).ok());
+  EXPECT_EQ(a.Predict(), b.Predict());
+}
+
+TEST(OlsTest, NameIsStable) {
+  EXPECT_STREQ(OlsRegressor().name(), "OLS");
+}
+
+}  // namespace
+}  // namespace staq::ml

@@ -1,0 +1,85 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace staq::ml {
+namespace {
+
+TEST(StandardScalerTest, TransformsToZeroMeanUnitVar) {
+  util::Rng rng(1);
+  Matrix x(100, 3);
+  for (size_t i = 0; i < 100; ++i) {
+    x(i, 0) = rng.Normal(5, 2);
+    x(i, 1) = rng.Normal(-10, 0.5);
+    x(i, 2) = rng.Uniform(0, 100);
+  }
+  StandardScaler scaler;
+  Matrix scaled = scaler.FitTransform(x);
+  for (size_t c = 0; c < 3; ++c) {
+    double mean = 0, var = 0;
+    for (size_t i = 0; i < 100; ++i) mean += scaled(i, c);
+    mean /= 100;
+    for (size_t i = 0; i < 100; ++i) {
+      var += (scaled(i, c) - mean) * (scaled(i, c) - mean);
+    }
+    var /= 100;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(StandardScalerTest, ConstantColumnMapsToZero) {
+  Matrix x(10, 1, 7.0);
+  StandardScaler scaler;
+  Matrix scaled = scaler.FitTransform(x);
+  for (size_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(scaled(i, 0), 0.0);
+}
+
+TEST(StandardScalerTest, TransformUsesFittedStats) {
+  Matrix train(2, 1);
+  train(0, 0) = 0;
+  train(1, 0) = 2;  // mean 1, std 1
+  StandardScaler scaler;
+  scaler.Fit(train);
+  Matrix test(1, 1);
+  test(0, 0) = 5;
+  EXPECT_DOUBLE_EQ(scaler.Transform(test)(0, 0), 4.0);
+}
+
+TEST(StandardScalerTest, EmptyFitIsIdentitySafe) {
+  StandardScaler scaler;
+  scaler.Fit(Matrix(0, 2));
+  Matrix out = scaler.Transform(Matrix(0, 2));
+  EXPECT_EQ(out.rows(), 0u);
+}
+
+TEST(TargetScalerTest, RoundTrip) {
+  TargetScaler scaler;
+  std::vector<double> y{10, 20, 30, 40};
+  scaler.Fit(y);
+  auto z = scaler.Transform(y);
+  auto back = scaler.InverseTransform(z);
+  for (size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(back[i], y[i], 1e-9);
+  EXPECT_DOUBLE_EQ(scaler.mean(), 25.0);
+}
+
+TEST(TargetScalerTest, ScalarInverse) {
+  TargetScaler scaler;
+  scaler.Fit({0, 10});
+  EXPECT_DOUBLE_EQ(scaler.InverseTransform(0.0), 5.0);
+}
+
+TEST(TargetScalerTest, ConstantTargetSafe) {
+  TargetScaler scaler;
+  scaler.Fit({3, 3, 3});
+  auto z = scaler.Transform({3});
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(scaler.InverseTransform(0.0), 3.0);
+}
+
+}  // namespace
+}  // namespace staq::ml

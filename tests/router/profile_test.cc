@@ -1,0 +1,104 @@
+#include "router/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::router {
+namespace {
+
+TEST(ProfileTest, SampleCountFollowsStep) {
+  gtfs::Feed feed = testing::LineFeed(600);
+  Router router(&feed, RouterOptions{});
+  gtfs::TimeInterval v{gtfs::MakeTime(7, 0), gtfs::MakeTime(8, 0),
+                       gtfs::Day::kTuesday, "am"};
+  auto profile = SampleProfile(&router, {0, 100}, {4000, 100}, v, 300);
+  EXPECT_EQ(profile.size(), 12u);  // 3600 / 300
+  for (size_t i = 0; i < profile.size(); ++i) {
+    EXPECT_EQ(profile[i].depart,
+              v.start + static_cast<gtfs::TimeOfDay>(i) * 300);
+  }
+}
+
+TEST(ProfileTest, ArrivalsMatchIndividualRoutes) {
+  gtfs::Feed feed = testing::LineFeed(600);
+  Router router(&feed, RouterOptions{});
+  gtfs::TimeInterval v{gtfs::MakeTime(7, 0), gtfs::MakeTime(7, 30),
+                       gtfs::Day::kTuesday, "am"};
+  auto profile = SampleProfile(&router, {0, 100}, {4000, 100}, v, 600);
+  for (const ProfilePoint& point : profile) {
+    Journey check = router.Route({0, 100}, {4000, 100}, v.day, point.depart);
+    ASSERT_EQ(point.feasible, check.feasible);
+    EXPECT_EQ(point.arrive, check.arrive);
+  }
+}
+
+TEST(ProfileTest, ArrivalNonDecreasingInDeparture) {
+  // FIFO timetables: leaving later can never get you there earlier.
+  gtfs::Feed feed = testing::TransferFeed();
+  Router router(&feed, RouterOptions{});
+  gtfs::TimeInterval v{gtfs::MakeTime(7, 0), gtfs::MakeTime(8, 30),
+                       gtfs::Day::kMonday, "am"};
+  auto profile = SampleProfile(&router, {0, 50}, {6000, 100}, v, 120);
+  for (size_t i = 1; i < profile.size(); ++i) {
+    if (profile[i - 1].feasible && profile[i].feasible) {
+      EXPECT_GE(profile[i].arrive, profile[i - 1].arrive);
+    }
+  }
+}
+
+TEST(ProfileTest, SawtoothJourneyTimes) {
+  // Just after a departure, JT jumps by ~the headway; just before it, JT is
+  // minimal. The profile's max-min JT spread therefore approaches the
+  // headway for a transit-bound pair.
+  gtfs::Feed feed = testing::LineFeed(600);
+  Router router(&feed, RouterOptions{});
+  gtfs::TimeInterval v{gtfs::MakeTime(7, 0), gtfs::MakeTime(8, 30),
+                       gtfs::Day::kTuesday, "am"};
+  auto profile = SampleProfile(&router, {0, 0}, {4000, 0}, v, 60);
+  ProfileStats stats = SummarizeProfile(profile);
+  ASSERT_GT(stats.num_feasible, 0u);
+  EXPECT_NEAR(stats.max_jt_s - stats.min_jt_s, 540, 70);  // headway - step
+  EXPECT_GT(stats.stddev_jt_s, 0.0);
+}
+
+TEST(ProfileTest, StatsMatchManualAggregation) {
+  gtfs::Feed feed = testing::LineFeed(600);
+  Router router(&feed, RouterOptions{});
+  gtfs::TimeInterval v = gtfs::WeekdayAmPeak();
+  auto profile = SampleProfile(&router, {0, 100}, {4000, 100}, v, 300);
+  ProfileStats stats = SummarizeProfile(profile);
+
+  double sum = 0;
+  uint32_t n = 0;
+  for (const ProfilePoint& p : profile) {
+    if (!p.feasible) continue;
+    sum += p.JourneyTimeSeconds();
+    ++n;
+  }
+  ASSERT_EQ(stats.num_feasible, n);
+  EXPECT_NEAR(stats.mean_jt_s, sum / n, 1e-9);
+  EXPECT_EQ(stats.num_points, profile.size());
+}
+
+TEST(ProfileTest, WalkOnlyPairHasFlatProfile) {
+  gtfs::Feed feed = testing::LineFeed(600);
+  Router router(&feed, RouterOptions{});
+  gtfs::TimeInterval v = gtfs::WeekdayAmPeak();
+  // 200 m apart: walking always wins, so JT is departure-invariant.
+  auto profile = SampleProfile(&router, {0, 0}, {200, 0}, v, 300);
+  ProfileStats stats = SummarizeProfile(profile);
+  EXPECT_EQ(stats.num_feasible, stats.num_points);
+  EXPECT_DOUBLE_EQ(stats.stddev_jt_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min_jt_s, stats.max_jt_s);
+}
+
+TEST(ProfileTest, EmptyProfileStats) {
+  ProfileStats stats = SummarizeProfile({});
+  EXPECT_EQ(stats.num_points, 0u);
+  EXPECT_EQ(stats.num_feasible, 0u);
+  EXPECT_DOUBLE_EQ(stats.mean_jt_s, 0.0);
+}
+
+}  // namespace
+}  // namespace staq::router

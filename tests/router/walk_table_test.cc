@@ -1,0 +1,86 @@
+#include "router/walk_table.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::router {
+namespace {
+
+TEST(WalkParamsTest, DefaultsMatchPaper) {
+  WalkParams p;
+  EXPECT_NEAR(p.speed_mps, 1.25, 1e-9);        // ω = 4.5 km/h
+  EXPECT_DOUBLE_EQ(p.max_access_walk_s, 600);  // τ
+}
+
+TEST(WalkParamsTest, WalkSecondsAndReachAreInverse) {
+  WalkParams p;
+  double reach = p.ReachMeters(600);
+  EXPECT_NEAR(p.WalkSeconds(reach), 600, 1e-9);
+  // 600 s at 1.25 m/s with 1.3 detour: ~577 m of straight line.
+  EXPECT_NEAR(reach, 600 * 1.25 / 1.3, 1e-9);
+}
+
+TEST(WalkTableTest, AccessStopsWithinBudget) {
+  gtfs::Feed feed = testing::LineFeed();
+  WalkTable table(&feed, WalkParams{});
+  // Origin 100 m from stop 0; stops 1 and 2 are 2 km+ away.
+  auto access = table.AccessStops({0, 100});
+  ASSERT_EQ(access.size(), 1u);
+  EXPECT_EQ(access[0].stop, 0u);
+  EXPECT_NEAR(access[0].walk_s, 100 * 1.3 / 1.25, 1e-9);
+}
+
+TEST(WalkTableTest, AccessStopsSortedByWalkTime) {
+  gtfs::Feed feed = testing::TransferFeed();
+  WalkTable table(&feed, WalkParams{});
+  // Near a1 (3000,0) and b0 (3000,150): both within budget.
+  auto access = table.AccessStops({3000, 50});
+  ASSERT_EQ(access.size(), 2u);
+  EXPECT_EQ(access[0].stop, 1u);  // a1, 50 m
+  EXPECT_EQ(access[1].stop, 2u);  // b0, 100 m
+  EXPECT_LT(access[0].walk_s, access[1].walk_s);
+}
+
+TEST(WalkTableTest, NoStopsInRange) {
+  gtfs::Feed feed = testing::LineFeed();
+  WalkTable table(&feed, WalkParams{});
+  EXPECT_TRUE(table.AccessStops({0, 5000}).empty());
+}
+
+TEST(WalkTableTest, TransfersExcludeSelfAndRespectBudget) {
+  gtfs::Feed feed = testing::TransferFeed();
+  WalkTable table(&feed, WalkParams{});
+  // a1 (3000,0) and b0 (3000,150) are 150 m apart: transferable.
+  const auto& from_a1 = table.Transfers(1);
+  ASSERT_EQ(from_a1.size(), 1u);
+  EXPECT_EQ(from_a1[0].stop, 2u);
+  // a0 has nothing within 288 m.
+  EXPECT_TRUE(table.Transfers(0).empty());
+}
+
+TEST(WalkTableTest, TransfersSymmetric) {
+  gtfs::Feed feed = testing::TransferFeed();
+  WalkTable table(&feed, WalkParams{});
+  const auto& from_b0 = table.Transfers(2);
+  ASSERT_EQ(from_b0.size(), 1u);
+  EXPECT_EQ(from_b0[0].stop, 1u);
+}
+
+TEST(WalkTableTest, EmptyFeed) {
+  gtfs::FeedBuilder builder;
+  auto feed = builder.Build();
+  ASSERT_TRUE(feed.ok());
+  WalkTable table(&feed.value(), WalkParams{});
+  EXPECT_TRUE(table.AccessStops({0, 0}).empty());
+}
+
+TEST(WalkTableTest, WalkSecondsBetweenUsesDetour) {
+  gtfs::Feed feed = testing::LineFeed();
+  WalkTable table(&feed, WalkParams{});
+  EXPECT_NEAR(table.WalkSecondsBetween({0, 0}, {1000, 0}), 1000 * 1.3 / 1.25,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace staq::router

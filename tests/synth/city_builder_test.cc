@@ -1,0 +1,199 @@
+#include "synth/city_builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "geo/latlon.h"
+#include "testing/test_city.h"
+
+namespace staq::synth {
+namespace {
+
+TEST(CityBuilderTest, RejectsDegenerateSpecs) {
+  CitySpec spec = CitySpec::Covely(0.06);
+  spec.zones_x = 1;
+  EXPECT_FALSE(BuildCity(spec).ok());
+  spec = CitySpec::Covely(0.06);
+  spec.zone_spacing_m = 0;
+  EXPECT_FALSE(BuildCity(spec).ok());
+  spec = CitySpec::Covely(0.06);
+  spec.bus_speed_mps = -1;
+  EXPECT_FALSE(BuildCity(spec).ok());
+}
+
+TEST(CityBuilderTest, DeterministicForSameSeed) {
+  City a = testing::TinyCity(5);
+  City b = testing::TinyCity(5);
+  ASSERT_EQ(a.zones.size(), b.zones.size());
+  for (size_t i = 0; i < a.zones.size(); ++i) {
+    EXPECT_EQ(a.zones[i].centroid, b.zones[i].centroid);
+    EXPECT_DOUBLE_EQ(a.zones[i].population, b.zones[i].population);
+  }
+  EXPECT_EQ(a.feed.num_trips(), b.feed.num_trips());
+  ASSERT_EQ(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois[i].position, b.pois[i].position);
+  }
+}
+
+TEST(CityBuilderTest, DifferentSeedsProduceDifferentCities) {
+  City a = testing::TinyCity(5);
+  City b = testing::TinyCity(6);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.zones.size() && !any_diff; ++i) {
+    any_diff = !(a.zones[i].centroid == b.zones[i].centroid);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CityBuilderTest, ZonesInsideExtentWithPositivePopulation) {
+  City city = testing::TinyCity();
+  EXPECT_EQ(city.zones.size(),
+            static_cast<size_t>(city.spec.num_zones()));
+  for (const Zone& z : city.zones) {
+    EXPECT_TRUE(city.extent.Contains(z.centroid))
+        << z.centroid.x << "," << z.centroid.y;
+    EXPECT_GT(z.population, 0.0);
+    EXPECT_GE(z.vulnerability, 0.0);
+    EXPECT_LE(z.vulnerability, 1.0);
+  }
+}
+
+TEST(CityBuilderTest, CentralZonesDenserOnAverage) {
+  City city = std::move(BuildCity(CitySpec::Brindale(0.1, 3))).value();
+  geo::Point centre = city.Centre();
+  double extent = std::min(city.extent.Width(), city.extent.Height());
+  double inner_sum = 0, outer_sum = 0;
+  int inner_n = 0, outer_n = 0;
+  for (const Zone& z : city.zones) {
+    double r = geo::Distance(z.centroid, centre);
+    if (r < 0.2 * extent) {
+      inner_sum += z.population;
+      ++inner_n;
+    } else if (r > 0.4 * extent) {
+      outer_sum += z.population;
+      ++outer_n;
+    }
+  }
+  ASSERT_GT(inner_n, 0);
+  ASSERT_GT(outer_n, 0);
+  EXPECT_GT(inner_sum / inner_n, outer_sum / outer_n);
+}
+
+TEST(CityBuilderTest, RoadGraphIsFinalizedAndMostlyConnected) {
+  City city = testing::TinyCity();
+  EXPECT_TRUE(city.road.finalized());
+  EXPECT_GT(city.road.num_nodes(), city.zones.size());
+  std::vector<uint32_t> labels;
+  size_t components = city.road.ConnectedComponents(&labels);
+  EXPECT_EQ(components, 1u);  // lattice with full 4-neighbour edges
+}
+
+TEST(CityBuilderTest, ZoneNodesAreValidRoadNodes) {
+  City city = testing::TinyCity();
+  ASSERT_EQ(city.zone_node.size(), city.zones.size());
+  for (size_t z = 0; z < city.zones.size(); ++z) {
+    ASSERT_LT(city.zone_node[z], city.road.num_nodes());
+    // The snapped node should be near the centroid (within one zone pitch).
+    double d = geo::Distance(city.road.position(city.zone_node[z]),
+                             city.zones[z].centroid);
+    EXPECT_LT(d, city.spec.zone_spacing_m);
+  }
+}
+
+TEST(CityBuilderTest, FeedValidatesAndServesTheAmPeak) {
+  City city = testing::TinyCity();
+  EXPECT_TRUE(city.feed.Validate().ok());
+  EXPECT_GT(city.feed.num_routes(), 0u);
+  EXPECT_GT(city.feed.num_trips(), 0u);
+  // Some stop must have weekday AM-peak departures.
+  gtfs::TimeInterval am = gtfs::WeekdayAmPeak();
+  bool any = false;
+  for (gtfs::StopId s = 0; s < city.feed.num_stops() && !any; ++s) {
+    any = !city.feed.DeparturesInWindow(s, am.day, am.start, am.end).empty();
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(CityBuilderTest, WeekendServiceSparserThanWeekday) {
+  City city = testing::TinyCity();
+  gtfs::TimeInterval am = gtfs::WeekdayAmPeak();
+  size_t weekday = 0, weekend = 0;
+  for (gtfs::StopId s = 0; s < city.feed.num_stops(); ++s) {
+    weekday +=
+        city.feed.DeparturesInWindow(s, gtfs::Day::kTuesday, am.start, am.end)
+            .size();
+    weekend +=
+        city.feed.DeparturesInWindow(s, gtfs::Day::kSunday, am.start, am.end)
+            .size();
+  }
+  EXPECT_GT(weekday, 0u);
+  EXPECT_LT(weekend, weekday);
+}
+
+TEST(CityBuilderTest, PoiCountsMatchSpecAndSitInExtent) {
+  City city = testing::TinyCity();
+  for (const PoiSpec& ps : city.spec.pois) {
+    auto pois = city.PoisOf(ps.category);
+    EXPECT_EQ(pois.size(), static_cast<size_t>(ps.count))
+        << PoiCategoryName(ps.category);
+  }
+  // POIs may jitter slightly outside the zone lattice but not far.
+  double margin = 3 * city.spec.zone_spacing_m;
+  for (const Poi& p : city.pois) {
+    EXPECT_GT(p.position.x, city.extent.min_x - margin);
+    EXPECT_LT(p.position.x, city.extent.max_x + margin);
+  }
+}
+
+TEST(CityBuilderTest, PoiIdsAreDense) {
+  City city = testing::TinyCity();
+  for (size_t i = 0; i < city.pois.size(); ++i) {
+    EXPECT_EQ(city.pois[i].id, i);
+  }
+}
+
+TEST(CityBuilderTest, DispersedPoisSpreadOut) {
+  // Hospitals (dispersed placement) should have a larger mean pairwise
+  // distance than job centres (central placement) relative to counts.
+  City city = std::move(BuildCity(CitySpec::Brindale(0.1, 3))).value();
+  auto hospitals = city.PoisOf(PoiCategory::kHospital);
+  ASSERT_GE(hospitals.size(), 2u);
+  double min_pair = 1e18;
+  for (size_t i = 0; i < hospitals.size(); ++i) {
+    for (size_t j = i + 1; j < hospitals.size(); ++j) {
+      min_pair = std::min(min_pair, geo::Distance(hospitals[i].position,
+                                                  hospitals[j].position));
+    }
+  }
+  // Max-min placement: even the closest pair is well separated.
+  EXPECT_GT(min_pair, city.spec.zone_spacing_m);
+}
+
+TEST(CityBuilderTest, SharedStopsExistAtRouteCrossings) {
+  City city = testing::TinyCity();
+  // At least one stop should serve more than one route (the interchange
+  // prerequisite).
+  gtfs::TimeInterval all_day{gtfs::MakeTime(5, 0), gtfs::MakeTime(23, 0),
+                             gtfs::Day::kTuesday, "day"};
+  bool shared = false;
+  for (gtfs::StopId s = 0; s < city.feed.num_stops() && !shared; ++s) {
+    shared = city.feed
+                 .RoutesThrough(s, all_day.day, all_day.start, all_day.end)
+                 .size() > 1;
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(CityTest, TotalPopulationIsSumOfZones) {
+  City city = testing::TinyCity();
+  double sum = 0;
+  for (const Zone& z : city.zones) sum += z.population;
+  EXPECT_DOUBLE_EQ(city.TotalPopulation(), sum);
+  EXPECT_GT(sum, 0.0);
+}
+
+}  // namespace
+}  // namespace staq::synth

@@ -1,0 +1,75 @@
+#include "synth/city_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::synth {
+namespace {
+
+TEST(CitySpecTest, BrindaleFullScaleMatchesPaperCounts) {
+  CitySpec spec = CitySpec::Brindale(1.0);
+  // Birmingham: 3217 zones; lattice is the nearest square.
+  EXPECT_NEAR(spec.num_zones(), 3217, 120);
+  ASSERT_EQ(spec.pois.size(), 4u);
+  EXPECT_EQ(spec.pois[0].category, PoiCategory::kSchool);
+  EXPECT_EQ(spec.pois[0].count, 874);
+  EXPECT_EQ(spec.pois[1].count, 56);  // hospitals
+  EXPECT_EQ(spec.pois[2].count, 82);  // vax centres
+  EXPECT_EQ(spec.pois[3].count, 20);  // job centres
+  EXPECT_DOUBLE_EQ(spec.scale, 1.0);
+}
+
+TEST(CitySpecTest, CovelyFullScaleMatchesPaperCounts) {
+  CitySpec spec = CitySpec::Covely(1.0);
+  EXPECT_NEAR(spec.num_zones(), 1014, 60);
+  EXPECT_EQ(spec.pois[0].count, 230);
+  EXPECT_EQ(spec.pois[1].count, 6);
+  EXPECT_EQ(spec.pois[2].count, 22);
+  EXPECT_EQ(spec.pois[3].count, 2);
+}
+
+TEST(CitySpecTest, ScalingShrinksZonesAndPois) {
+  CitySpec full = CitySpec::Brindale(1.0);
+  CitySpec quarter = CitySpec::Brindale(0.25);
+  EXPECT_LT(quarter.num_zones(), full.num_zones() / 3);
+  EXPECT_NEAR(quarter.pois[0].count, 874 / 4, 5);
+  EXPECT_DOUBLE_EQ(quarter.scale, 0.25);
+}
+
+TEST(CitySpecTest, SmallPoiCategoriesAreFloored) {
+  CitySpec spec = CitySpec::Covely(0.1);
+  // 6 hospitals scaled to 0.6 would destroy the category; floored at 4.
+  EXPECT_GE(spec.pois[1].count, 4);
+  // 2 job centres can never exceed the paper's count.
+  EXPECT_EQ(spec.pois[3].count, 2);
+}
+
+TEST(CitySpecTest, BrindaleHasDenserTransitThanCovely) {
+  CitySpec b = CitySpec::Brindale(0.25);
+  CitySpec c = CitySpec::Covely(0.25);
+  EXPECT_GT(b.num_radial_routes, c.num_radial_routes);
+  EXPECT_LT(b.peak_headway_s, c.peak_headway_s);
+}
+
+TEST(CitySpecTest, TinyScaleStillValid) {
+  CitySpec spec = CitySpec::Covely(0.01);
+  EXPECT_GE(spec.zones_x, 4);
+  EXPECT_GE(spec.zones_y, 4);
+  for (const PoiSpec& p : spec.pois) EXPECT_GE(p.count, 1);
+}
+
+TEST(CitySpecTest, UpscalingBeyondPaperWorks) {
+  CitySpec spec = CitySpec::Brindale(1.5);
+  EXPECT_GT(spec.num_zones(), 4000);
+  EXPECT_GT(spec.pois[0].count, 874);
+  EXPECT_DOUBLE_EQ(spec.scale, 1.5);
+}
+
+TEST(PoiCategoryTest, NamesAreStable) {
+  EXPECT_STREQ(PoiCategoryName(PoiCategory::kSchool), "school");
+  EXPECT_STREQ(PoiCategoryName(PoiCategory::kHospital), "hospital");
+  EXPECT_STREQ(PoiCategoryName(PoiCategory::kVaxCenter), "vax_center");
+  EXPECT_STREQ(PoiCategoryName(PoiCategory::kJobCenter), "job_center");
+}
+
+}  // namespace
+}  // namespace staq::synth

@@ -1,0 +1,89 @@
+// Shared fixtures: tiny deterministic cities and hand-built feeds whose
+// optimal journeys are known in closed form.
+#pragma once
+
+#include <cstdlib>
+
+#include "gtfs/feed.h"
+#include "gtfs/feed_builder.h"
+#include "synth/city_builder.h"
+#include "synth/city_spec.h"
+
+namespace staq::testing {
+
+/// A tiny synthetic city (~64 zones) that builds in milliseconds. Seeded,
+/// so every test sees the identical city.
+inline synth::City TinyCity(uint64_t seed = 5) {
+  synth::CitySpec spec = synth::CitySpec::Covely(0.06, seed);
+  auto result = synth::BuildCity(spec);
+  if (!result.ok()) {
+    // Tests depend on this never failing; abort loudly if it does.
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// A slightly larger city for pipeline-level tests (~100 zones).
+inline synth::City SmallCity(uint64_t seed = 9) {
+  synth::CitySpec spec = synth::CitySpec::Covely(0.1, seed);
+  auto result = synth::BuildCity(spec);
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+/// A hand-built single-line feed:
+///
+///   stop0 (0,0) --- stop1 (2000,0) --- stop2 (4000,0)
+///
+/// One route, trips every `headway_s` seconds from 07:00 to 09:00 on
+/// weekdays, 300 s per leg, zero dwell, fare 2.0.
+inline gtfs::Feed LineFeed(int headway_s = 600) {
+  gtfs::FeedBuilder builder;
+  gtfs::StopId s0 = builder.AddStop("s0", {0, 0});
+  gtfs::StopId s1 = builder.AddStop("s1", {2000, 0});
+  gtfs::StopId s2 = builder.AddStop("s2", {4000, 0});
+  gtfs::RouteId route = builder.AddRoute("line", 2.0);
+  for (gtfs::TimeOfDay dep = gtfs::MakeTime(7, 0);
+       dep < gtfs::MakeTime(9, 0); dep += headway_s) {
+    builder.BeginTrip(route, gtfs::kWeekdays);
+    (void)builder.AddCall(s0, dep);
+    (void)builder.AddCall(s1, dep + 300);
+    (void)builder.AddCall(s2, dep + 600);
+  }
+  auto feed = builder.Build();
+  if (!feed.ok()) std::abort();
+  return std::move(feed).value();
+}
+
+/// Two parallel lines that require a walk transfer in the middle:
+///
+///   A: a0 (0,0)    -> a1 (3000,0)
+///   B: b0 (3000,150) -> b1 (6000,150)
+///
+/// A departs 07:00/07:10/...; B departs 07:12/07:22/... Legs 300 s.
+inline gtfs::Feed TransferFeed() {
+  gtfs::FeedBuilder builder;
+  gtfs::StopId a0 = builder.AddStop("a0", {0, 0});
+  gtfs::StopId a1 = builder.AddStop("a1", {3000, 0});
+  gtfs::StopId b0 = builder.AddStop("b0", {3000, 150});
+  gtfs::StopId b1 = builder.AddStop("b1", {6000, 150});
+  gtfs::RouteId ra = builder.AddRoute("A", 2.0);
+  gtfs::RouteId rb = builder.AddRoute("B", 2.5);
+  for (int k = 0; k < 12; ++k) {
+    gtfs::TimeOfDay dep = gtfs::MakeTime(7, 0) + k * 600;
+    builder.BeginTrip(ra, gtfs::kEveryDay);
+    (void)builder.AddCall(a0, dep);
+    (void)builder.AddCall(a1, dep + 300);
+  }
+  for (int k = 0; k < 12; ++k) {
+    gtfs::TimeOfDay dep = gtfs::MakeTime(7, 12) + k * 600;
+    builder.BeginTrip(rb, gtfs::kEveryDay);
+    (void)builder.AddCall(b0, dep);
+    (void)builder.AddCall(b1, dep + 300);
+  }
+  auto feed = builder.Build();
+  if (!feed.ok()) std::abort();
+  return std::move(feed).value();
+}
+
+}  // namespace staq::testing

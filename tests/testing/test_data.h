@@ -1,0 +1,58 @@
+// Synthetic regression datasets for the ML model tests.
+#pragma once
+
+#include <cmath>
+
+#include "ml/model.h"
+#include "util/rng.h"
+
+namespace staq::testing {
+
+/// A transductive dataset where y = w.x + b + noise, with `n` rows, `d`
+/// features and the first `num_labeled` rows labeled. Positions are laid
+/// out so that feature values vary smoothly in space (GNN-friendly).
+inline ml::Dataset LinearDataset(size_t n, size_t d, size_t num_labeled,
+                                 double noise, uint64_t seed) {
+  util::Rng rng(seed);
+  ml::Dataset data;
+  data.x = ml::Matrix(n, d);
+  data.y.resize(n);
+  data.positions.resize(n);
+
+  std::vector<double> w(d);
+  for (size_t c = 0; c < d; ++c) w[c] = rng.Uniform(-2, 2);
+  double b = rng.Uniform(-5, 5);
+
+  for (size_t i = 0; i < n; ++i) {
+    // Smooth spatial layout: features depend on position.
+    double px = rng.Uniform(0, 1000);
+    double py = rng.Uniform(0, 1000);
+    data.positions[i] = geo::Point{px, py};
+    for (size_t c = 0; c < d; ++c) {
+      data.x(i, c) = std::sin(px / 200.0 + static_cast<double>(c)) +
+                     py / 500.0 + rng.Normal(0, 0.3);
+    }
+    double y = b;
+    for (size_t c = 0; c < d; ++c) y += w[c] * data.x(i, c);
+    data.y[i] = y + rng.Normal(0, noise);
+  }
+
+  // Label a random subset.
+  auto sample = rng.SampleWithoutReplacement(n, num_labeled);
+  data.labeled.assign(sample.begin(), sample.end());
+  return data;
+}
+
+/// Mean absolute error on the unlabeled rows only.
+inline double UnlabeledMae(const ml::Dataset& data,
+                           const std::vector<double>& predictions) {
+  double acc = 0.0;
+  size_t count = 0;
+  for (uint32_t idx : data.UnlabeledIndices()) {
+    acc += std::abs(predictions[idx] - data.y[idx]);
+    ++count;
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace staq::testing

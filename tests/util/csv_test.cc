@@ -1,0 +1,68 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace staq::util {
+namespace {
+
+TEST(CsvTableTest, HeaderOnly) {
+  CsvTable table({"a", "b"});
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_EQ(table.ToCsv(), "a,b\n");
+}
+
+TEST(CsvTableTest, AddRowAndSerialize) {
+  CsvTable table({"city", "zones"});
+  ASSERT_TRUE(table.AddRow({"brindale", "784"}).ok());
+  ASSERT_TRUE(table.AddRow({"covely", "256"}).ok());
+  EXPECT_EQ(table.ToCsv(), "city,zones\nbrindale,784\ncovely,256\n");
+  EXPECT_EQ(table.row(1)[0], "covely");
+}
+
+TEST(CsvTableTest, RejectsWrongArity) {
+  CsvTable table({"a", "b"});
+  Status s = table.AddRow({"only-one"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST(CsvTableTest, QuotesSpecialCharacters) {
+  CsvTable table({"x"});
+  ASSERT_TRUE(table.AddRow({"has,comma"}).ok());
+  ASSERT_TRUE(table.AddRow({"has\"quote"}).ok());
+  ASSERT_TRUE(table.AddRow({"has\nnewline"}).ok());
+  EXPECT_EQ(table.ToCsv(),
+            "x\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvTableTest, NumFormatting) {
+  EXPECT_EQ(CsvTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(CsvTable::Num(3.14159, 0), "3");
+  EXPECT_EQ(CsvTable::Num(static_cast<int64_t>(-42)), "-42");
+  EXPECT_EQ(CsvTable::Num(0.5, 3), "0.500");
+}
+
+TEST(CsvTableTest, WriteFileRoundTrip) {
+  CsvTable table({"k", "v"});
+  ASSERT_TRUE(table.AddRow({"one", "1"}).ok());
+  std::string path = ::testing::TempDir() + "/staq_csv_test.csv";
+  ASSERT_TRUE(table.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\none,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTableTest, WriteFileFailsForBadPath) {
+  CsvTable table({"a"});
+  Status s = table.WriteFile("/nonexistent-dir-xyz/out.csv");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace staq::util

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace staq::util {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmitBelowThresholdIsSilentButSafe) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // Must not crash or emit; there is no output capture here, the contract
+  // is purely "safe to call at any level".
+  LogDebug("suppressed");
+  LogInfo("suppressed");
+  LogWarning("suppressed");
+  LogError("visible-in-stderr");
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, ElapsedIncreasesMonotonically) {
+  Stopwatch watch;
+  double first = watch.ElapsedSeconds();
+  double second = watch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1000, 50.0);
+}
+
+TEST(StopwatchTest, ResetRestartsFromZero) {
+  Stopwatch watch;
+  // Burn a little time.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  double before = watch.ElapsedSeconds();
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(StageTimerTest, AccumulatesAcrossWindows) {
+  StageTimer timer;
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 0.0);
+  timer.Add(1.5);
+  timer.Add(0.5);
+  EXPECT_DOUBLE_EQ(timer.TotalSeconds(), 2.0);
+  timer.Start();
+  timer.Stop();
+  EXPECT_GE(timer.TotalSeconds(), 2.0);
+  EXPECT_LT(timer.TotalSeconds(), 2.1);
+}
+
+}  // namespace
+}  // namespace staq::util

@@ -1,0 +1,62 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::util {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, EmptyFieldsPreserved) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(SplitTest, EmptyInput) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, ";"), ';'), parts);
+}
+
+TEST(JoinTest, EmptyAndSingle) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim("nochange"), "nochange");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("a b"), "a b");  // interior spaces kept
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("weekday-am-peak", "weekday"));
+  EXPECT_FALSE(StartsWith("am", "am-peak"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(FormatTest, PrintfSemantics) {
+  EXPECT_EQ(Format("%d-%s", 7, "ok"), "7-ok");
+  EXPECT_EQ(Format("%.2f", 1.005), "1.00");
+  EXPECT_EQ(Format("plain"), "plain");
+}
+
+TEST(FormatTest, LongOutput) {
+  std::string long_arg(500, 'x');
+  std::string out = Format("%s!", long_arg.c_str());
+  EXPECT_EQ(out.size(), 501u);
+  EXPECT_EQ(out.back(), '!');
+}
+
+}  // namespace
+}  // namespace staq::util

@@ -1,0 +1,302 @@
+// staq command-line tool.
+//
+//   staq_cli synth --city brindale --scale 0.25 --seed 42 --out DIR
+//       Generate a synthetic city and save it (zones/pois/roads CSV +
+//       GTFS timetable) for later queries.
+//
+//   staq_cli info --city-dir DIR
+//       Summarise a saved city.
+//
+//   staq_cli query --city-dir DIR --poi school --interval am
+//             [--beta 0.05] [--model MLP|OLS|COREG|MT|GNN] [--cost jt|gac]
+//             [--exact] [--threads N] [--zones-out FILE]
+//       Answer an access query; optionally dump per-zone measures as CSV.
+//
+// Queries can also run directly on a synthetic spec without saving:
+//   staq_cli query --synth covely --scale 0.1 --poi hospital
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/access_query.h"
+#include "core/export.h"
+#include "core/parallel_labeling.h"
+#include "gtfs/gtfs_csv.h"
+#include "synth/city_builder.h"
+#include "synth/city_io.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace staq {
+namespace {
+
+/// Minimal --flag value parser; flags without a following value get "".
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: staq_cli <synth|info|query> [flags]\n"
+               "  synth --city brindale|covely [--scale S] [--seed N] --out DIR\n"
+               "  info  --city-dir DIR\n"
+               "  query (--city-dir DIR | --synth brindale|covely [--scale S])\n"
+               "        --poi school|hospital|vax_center|job_center\n"
+               "        [--interval am|offpeak|pm|sunday] [--beta B]\n"
+               "        [--model MLP|OLS|COREG|MT|GNN] [--cost jt|gac]\n"
+               "        [--exact] [--threads N] [--zones-out FILE]\n"
+               "        [--geojson FILE] [--report FILE]\n");
+  return 2;
+}
+
+util::Result<synth::CitySpec> SpecFor(const std::string& name, double scale,
+                                      uint64_t seed) {
+  if (name == "brindale") return synth::CitySpec::Brindale(scale, seed);
+  if (name == "covely") return synth::CitySpec::Covely(scale, seed);
+  return util::Status::InvalidArgument("unknown city: " + name);
+}
+
+util::Result<synth::PoiCategory> CategoryFor(const std::string& name) {
+  for (int c = 0; c < synth::kNumPoiCategories; ++c) {
+    auto category = static_cast<synth::PoiCategory>(c);
+    if (name == synth::PoiCategoryName(category)) return category;
+  }
+  return util::Status::InvalidArgument("unknown poi category: " + name);
+}
+
+util::Result<gtfs::TimeInterval> IntervalFor(const std::string& name) {
+  if (name == "am") return gtfs::WeekdayAmPeak();
+  if (name == "offpeak") return gtfs::WeekdayOffPeak();
+  if (name == "pm") return gtfs::WeekdayPmPeak();
+  if (name == "sunday") return gtfs::SundayMorning();
+  return util::Status::InvalidArgument("unknown interval: " + name);
+}
+
+util::Result<ml::ModelKind> ModelFor(const std::string& name) {
+  for (ml::ModelKind kind : ml::AllModelKinds()) {
+    if (name == ml::ModelKindName(kind)) return kind;
+  }
+  return util::Status::InvalidArgument("unknown model: " + name);
+}
+
+/// The projection used for GTFS export/import of saved cities.
+geo::LocalProjection CliProjection() {
+  return geo::LocalProjection(geo::LatLon{52.45, -1.7});
+}
+
+util::Result<synth::City> LoadOrSynth(const Args& args) {
+  if (args.Has("city-dir")) {
+    std::string dir = args.Get("city-dir", "");
+    auto feed = gtfs::ReadFeedCsv(dir, CliProjection());
+    if (!feed.ok()) return feed.status();
+    return synth::LoadCityCsv(dir, std::move(feed).value());
+  }
+  if (args.Has("synth")) {
+    auto spec = SpecFor(args.Get("synth", ""), args.GetDouble("scale", 0.1),
+                        static_cast<uint64_t>(args.GetInt("seed", 42)));
+    if (!spec.ok()) return spec.status();
+    return synth::BuildCity(spec.value());
+  }
+  return util::Status::InvalidArgument("need --city-dir or --synth");
+}
+
+int RunSynth(const Args& args) {
+  if (!args.Has("out")) {
+    std::fprintf(stderr, "synth: --out DIR is required\n");
+    return 2;
+  }
+  auto spec = SpecFor(args.Get("city", "covely"), args.GetDouble("scale", 0.1),
+                      static_cast<uint64_t>(args.GetInt("seed", 42)));
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+    return 1;
+  }
+  auto city = synth::BuildCity(spec.value());
+  if (!city.ok()) {
+    std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = args.Get("out", "");
+  if (auto st = synth::SaveCityCsv(city.value(), out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (auto st = gtfs::WriteFeedCsv(city.value().feed, CliProjection(), out);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %zu zones, %zu stops, %zu trips, %zu pois\n",
+              out.c_str(), city.value().zones.size(),
+              city.value().feed.num_stops(), city.value().feed.num_trips(),
+              city.value().pois.size());
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  auto city = LoadOrSynth(args);
+  if (!city.ok()) {
+    std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
+    return 1;
+  }
+  const synth::City& c = city.value();
+  std::printf("zones        : %zu\n", c.zones.size());
+  std::printf("population   : %.0f\n", c.TotalPopulation());
+  std::printf("road nodes   : %zu (%zu arcs)\n", c.road.num_nodes(),
+              c.road.num_arcs());
+  std::printf("stops        : %zu\n", c.feed.num_stops());
+  std::printf("routes       : %zu\n", c.feed.num_routes());
+  std::printf("trips        : %zu\n", c.feed.num_trips());
+  for (int cat = 0; cat < synth::kNumPoiCategories; ++cat) {
+    auto category = static_cast<synth::PoiCategory>(cat);
+    std::printf("%-13s: %zu\n", synth::PoiCategoryName(category),
+                c.PoisOf(category).size());
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  auto city = LoadOrSynth(args);
+  if (!city.ok()) {
+    std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
+    return 1;
+  }
+  auto category = CategoryFor(args.Get("poi", "school"));
+  auto interval = IntervalFor(args.Get("interval", "am"));
+  auto model = ModelFor(args.Get("model", "MLP"));
+  if (!category.ok() || !interval.ok() || !model.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!category.ok()   ? category.status()
+                  : !interval.ok() ? interval.status()
+                                   : model.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+
+  core::AccessQueryEngine engine(std::move(city).value(), interval.value());
+  core::AccessQueryOptions options;
+  options.exact = args.Has("exact");
+  options.beta = args.GetDouble("beta", 0.05);
+  options.model = model.value();
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  std::string cost = args.Get("cost", "jt");
+  if (cost == "gac") {
+    options.cost = core::CostKind::kGeneralizedCost;
+  } else if (cost != "jt") {
+    std::fprintf(stderr, "unknown cost: %s\n", cost.c_str());
+    return 1;
+  }
+
+  auto result = engine.Query(category.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const core::AccessQueryResult& r = result.value();
+  std::printf("poi=%s interval=%s cost=%s %s\n",
+              synth::PoiCategoryName(category.value()),
+              interval.value().label.c_str(), cost.c_str(),
+              options.exact
+                  ? "(exact)"
+                  : util::Format("(SSR beta=%.0f%% model=%s)",
+                                 options.beta * 100,
+                                 ml::ModelKindName(options.model))
+                        .c_str());
+  std::printf("mean MAC          : %.1f min\n", r.mean_mac / 60);
+  std::printf("mean ACSD         : %.1f min\n", r.mean_acsd / 60);
+  std::printf("fairness (Jain)   : %.3f\n", r.fairness);
+  std::printf("pop fairness      : %.3f\n", r.population_fairness);
+  std::printf("vulnerable        : %.3f\n", r.vulnerable_fairness);
+  std::printf("SPQs / M_g trips  : %llu / %llu\n",
+              static_cast<unsigned long long>(r.spqs),
+              static_cast<unsigned long long>(r.gravity_trips));
+  std::printf("answered in       : %.2f s\n", r.elapsed_s);
+
+  if (args.Has("geojson")) {
+    std::string path = args.Get("geojson", "access.geojson");
+    auto pois = engine.city().PoisOf(category.value());
+    if (auto st = core::ExportAccessGeoJson(engine.city(), CliProjection(),
+                                            r, pois, path);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("GeoJSON           : %s\n", path.c_str());
+  }
+
+  if (args.Has("report")) {
+    std::string path = args.Get("report", "access_report.md");
+    std::string title = util::Format(
+        "Access to %s (%s)", synth::PoiCategoryName(category.value()),
+        interval.value().label.c_str());
+    if (auto st = core::WriteAccessReport(engine.city(), r, title, path);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("report            : %s\n", path.c_str());
+  }
+
+  if (args.Has("zones-out")) {
+    util::CsvTable table({"zone", "mac_s", "acsd_s", "class"});
+    for (size_t z = 0; z < r.mac.size(); ++z) {
+      (void)table.AddRow(
+          {util::CsvTable::Num(static_cast<int64_t>(z)),
+           util::CsvTable::Num(r.mac[z], 1), util::CsvTable::Num(r.acsd[z], 1),
+           core::AccessClassName(static_cast<core::AccessClass>(r.classes[z]))});
+    }
+    std::string path = args.Get("zones-out", "zones_out.csv");
+    if (auto st = table.WriteFile(path); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("per-zone CSV      : %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "synth") return RunSynth(args);
+  if (command == "info") return RunInfo(args);
+  if (command == "query") return RunQuery(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace staq
+
+int main(int argc, char** argv) { return staq::Main(argc, argv); }

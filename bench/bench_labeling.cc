@@ -1,0 +1,185 @@
+// Zone-labeling throughput: per-trip vs batched SPQ execution.
+//
+// Labeling is the dominant cost of the whole solution (paper §IV-E), so
+// this bench measures exactly that hot path in three result-identical
+// configurations:
+//   per-trip (seed)     — one Route per TODAM trip on the original engine:
+//                         binary heap, full-window boarding scans, unbounded
+//                         relaxation (the speedup baseline)
+//   per-trip+pruning    — one Route per trip with the optimized search
+//                         (bucket queue, route-break scans, bound-aware
+//                         pruning)
+//   batched             — RouteMany per departure group on the optimized
+//                         search + cached access stops (the production
+//                         configuration)
+// plus the thread-pooled variant of the batched engine. Labels are checked
+// bit-identical across configurations before any number is reported.
+//
+// Output: paper-style table on stdout and a machine-readable
+// BENCH_labeling.json in STAQ_BENCH_OUT.
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/labeling.h"
+#include "core/parallel_labeling.h"
+#include "core/todam.h"
+#include "router/router.h"
+#include "util/stopwatch.h"
+
+namespace staq::bench {
+namespace {
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0.0;
+  uint64_t spqs = 0;
+  uint64_t expansions = 0;
+  std::vector<core::ZoneLabel> labels;
+};
+
+bool SameLabels(const std::vector<core::ZoneLabel>& a,
+                const std::vector<core::ZoneLabel>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].mac != b[i].mac || a[i].acsd != b[i].acsd ||
+        a[i].num_trips != b[i].num_trips ||
+        a[i].num_infeasible != b[i].num_infeasible ||
+        a[i].num_walk_only != b[i].num_walk_only) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run() {
+  PrintHeader("Zone-labeling throughput: per-trip vs batched SPQ engine");
+
+  BenchCity bc =
+      MakeBenchCity(synth::CitySpec::Brindale(BenchScale(), BenchSeed()));
+  const synth::City& city = *bc.city;
+  auto pois = city.PoisOf(synth::PoiCategory::kSchool);
+  core::TodamBuilder builder(city.zones, pois, gtfs::WeekdayAmPeak(),
+                             bc.gravity);
+  core::Todam todam = builder.BuildGravity(BenchSeed());
+
+  std::vector<uint32_t> zones(city.zones.size());
+  for (uint32_t z = 0; z < zones.size(); ++z) zones[z] = z;
+  std::printf("  city=%s  zones=%zu  pois=%zu  trips=%llu\n", bc.name.c_str(),
+              zones.size(), pois.size(),
+              static_cast<unsigned long long>(todam.num_trips()));
+
+  auto run_serial = [&](const char* name, router::RouterOptions opts,
+                        core::LabelingMode mode) {
+    router::Router router(&city.feed, opts);
+    core::LabelingEngine engine(&city, &router, {}, mode);
+    ModeResult r;
+    r.name = name;
+    util::Stopwatch watch;
+    r.labels = engine.LabelZones(todam, zones, pois,
+                                 core::CostKind::kJourneyTime,
+                                 gtfs::Day::kTuesday);
+    r.seconds = watch.ElapsedSeconds();
+    r.spqs = engine.spq_count();
+    r.expansions = engine.expansion_count();
+    return r;
+  };
+
+  // The baseline runs the original engine: binary heap, full-window
+  // boarding scans, unbounded relaxation.
+  router::RouterOptions seed_opts;
+  seed_opts.bounded_relaxation = false;
+  seed_opts.boarding_route_break = false;
+  seed_opts.bucket_queue = false;
+
+  std::vector<ModeResult> results;
+  results.push_back(
+      run_serial("per-trip (seed)", seed_opts, core::LabelingMode::kPerTrip));
+  results.push_back(run_serial("per-trip+pruning", {},
+                               core::LabelingMode::kPerTrip));
+  results.push_back(run_serial("batched", {}, core::LabelingMode::kBatched));
+
+  {
+    // Thread-pooled batched engine (worker count = hardware concurrency).
+    int threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    ModeResult r;
+    r.name = "batched+pool(" + std::to_string(threads) + ")";
+    util::Stopwatch watch;
+    r.labels = core::LabelZonesParallel(
+        city, todam, zones, pois, core::CostKind::kJourneyTime,
+        gtfs::Day::kTuesday, threads, {}, {}, &r.spqs,
+        core::LabelingMode::kBatched);
+    r.seconds = watch.ElapsedSeconds();
+    results.push_back(std::move(r));
+  }
+
+  // Equivalence gate: a throughput number for a mode that changes results
+  // would be meaningless.
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (!SameLabels(results[0].labels, results[i].labels)) {
+      std::fprintf(stderr, "FATAL: %s labels differ from %s\n",
+                   results[i].name.c_str(), results[0].name.c_str());
+      return 1;
+    }
+  }
+  std::printf("  all modes bit-identical to '%s'\n\n",
+              results[0].name.c_str());
+
+  std::printf("  %-20s %9s %10s %10s %12s %8s\n", "mode", "seconds",
+              "zones/s", "SPQs/s", "expansions", "speedup");
+  for (const ModeResult& r : results) {
+    double zps = static_cast<double>(zones.size()) / r.seconds;
+    double sps = static_cast<double>(r.spqs) / r.seconds;
+    double speedup = results[0].seconds / r.seconds;
+    std::printf("  %-20s %9.3f %10.1f %10.0f %12llu %7.2fx\n",
+                r.name.c_str(), r.seconds, zps, sps,
+                static_cast<unsigned long long>(r.expansions), speedup);
+  }
+
+  std::string path = OutDir() + "/BENCH_labeling.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"labeling\",\n");
+  std::fprintf(f, "  \"city\": \"%s\",\n", bc.name.c_str());
+  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
+  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"zones\": %zu,\n", zones.size());
+  std::fprintf(f, "  \"trips\": %llu,\n",
+               static_cast<unsigned long long>(todam.num_trips()));
+  std::fprintf(f, "  \"modes\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "\"zones_per_s\": %.3f, \"spqs_per_s\": %.1f, "
+                 "\"spqs\": %llu, \"expansions\": %llu, "
+                 "\"speedup_vs_baseline\": %.4f}%s\n",
+                 r.name.c_str(), r.seconds,
+                 static_cast<double>(zones.size()) / r.seconds,
+                 static_cast<double>(r.spqs) / r.seconds,
+                 static_cast<unsigned long long>(r.spqs),
+                 static_cast<unsigned long long>(r.expansions),
+                 results[0].seconds / r.seconds,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"bit_identical\": true\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  -> wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Run(); }

@@ -1,5 +1,6 @@
 #include "core/labeling.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace staq::core {
@@ -16,12 +17,21 @@ const char* CostKindName(CostKind kind) {
 
 LabelingEngine::LabelingEngine(const synth::City* city,
                                router::Router* router,
-                               router::GacWeights gac_weights)
-    : city_(city), router_(router), gac_weights_(gac_weights) {}
+                               router::GacWeights gac_weights,
+                               LabelingMode mode)
+    : city_(city), router_(router), gac_weights_(gac_weights), mode_(mode) {}
 
 ZoneLabel LabelingEngine::LabelZone(const Todam& todam, uint32_t zone,
                                     const std::vector<synth::Poi>& pois,
                                     CostKind kind, gtfs::Day day) {
+  return mode_ == LabelingMode::kBatched
+             ? LabelZoneBatched(todam, zone, pois, kind, day)
+             : LabelZonePerTrip(todam, zone, pois, kind, day);
+}
+
+ZoneLabel LabelingEngine::LabelZonePerTrip(const Todam& todam, uint32_t zone,
+                                           const std::vector<synth::Poi>& pois,
+                                           CostKind kind, gtfs::Day day) {
   ZoneLabel label;
   const geo::Point& origin = city_->zones[zone].centroid;
   double sum = 0.0, sum_sq = 0.0;
@@ -31,6 +41,7 @@ ZoneLabel LabelingEngine::LabelZone(const Todam& todam, uint32_t zone,
     router::Journey journey = router_->Route(origin, pois[trip.poi].position,
                                              day, trip.depart);
     ++spq_count_;
+    ++expansion_count_;
     ++label.num_trips;
     if (!journey.feasible) {
       ++label.num_infeasible;
@@ -40,6 +51,100 @@ ZoneLabel LabelingEngine::LabelZone(const Todam& todam, uint32_t zone,
     double cost = kind == CostKind::kJourneyTime
                       ? journey.JourneyTimeSeconds()
                       : router::GeneralizedAccessCost(journey, gac_weights_);
+    sum += cost;
+    sum_sq += cost * cost;
+    ++feasible;
+  }
+
+  if (feasible > 0) {
+    double n = static_cast<double>(feasible);
+    label.mac = sum / n;
+    double var = sum_sq / n - label.mac * label.mac;
+    label.acsd = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  return label;
+}
+
+ZoneLabel LabelingEngine::LabelZoneBatched(const Todam& todam, uint32_t zone,
+                                           const std::vector<synth::Poi>& pois,
+                                           CostKind kind, gtfs::Day day) {
+  ZoneLabel label;
+  const std::vector<TripEntry>& trips = todam.TripsFor(zone);
+  label.num_trips = static_cast<uint32_t>(trips.size());
+  spq_count_ += trips.size();
+  if (trips.empty()) return label;
+
+  const geo::Point& origin = city_->zones[zone].centroid;
+  router_->walk_table().AccessStops(origin, &origin_access_,
+                                    &neighbor_scratch_);
+
+  order_.resize(trips.size());
+  for (uint32_t i = 0; i < trips.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+    return trips[a].depart < trips[b].depart;
+  });
+
+  if (poi_stamp_.size() < pois.size()) {
+    poi_stamp_.resize(pois.size(), 0);
+    poi_slot_.resize(pois.size(), 0);
+  }
+  trip_cost_.resize(trips.size());
+  trip_flags_.resize(trips.size());
+
+  // One RouteMany per departure group, with repeated POIs inside a group
+  // collapsed to a single target.
+  size_t g = 0;
+  while (g < order_.size()) {
+    gtfs::TimeOfDay depart = trips[order_[g]].depart;
+    size_t g_end = g;
+    ++group_stamp_;
+    group_points_.clear();
+    group_slots_.clear();
+    while (g_end < order_.size() && trips[order_[g_end]].depart == depart) {
+      uint32_t poi = trips[order_[g_end]].poi;
+      if (poi_stamp_[poi] != group_stamp_) {
+        poi_stamp_[poi] = group_stamp_;
+        poi_slot_[poi] = static_cast<uint32_t>(group_points_.size());
+        group_points_.push_back(pois[poi].position);
+      }
+      group_slots_.push_back(poi_slot_[poi]);
+      ++g_end;
+    }
+
+    group_journeys_.resize(group_points_.size());
+    router_->RouteMany(origin, group_points_.data(), group_points_.size(),
+                       day, depart, group_journeys_.data(), &origin_access_);
+    ++expansion_count_;
+
+    for (size_t k = g; k < g_end; ++k) {
+      const router::Journey& journey = group_journeys_[group_slots_[k - g]];
+      uint32_t idx = order_[k];
+      uint8_t flags = 0;
+      double cost = 0.0;
+      if (journey.feasible) {
+        flags |= 1;
+        if (journey.IsWalkOnly()) flags |= 2;
+        cost = kind == CostKind::kJourneyTime
+                   ? journey.JourneyTimeSeconds()
+                   : router::GeneralizedAccessCost(journey, gac_weights_);
+      }
+      trip_cost_[idx] = cost;
+      trip_flags_[idx] = flags;
+    }
+    g = g_end;
+  }
+
+  // Accumulate in ORIGINAL trip order so the floating-point sums match the
+  // per-trip path bit for bit.
+  double sum = 0.0, sum_sq = 0.0;
+  uint32_t feasible = 0;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    if (!(trip_flags_[i] & 1)) {
+      ++label.num_infeasible;
+      continue;
+    }
+    if (trip_flags_[i] & 2) ++label.num_walk_only;
+    double cost = trip_cost_[i];
     sum += cost;
     sum_sq += cost * cost;
     ++feasible;

@@ -7,6 +7,15 @@
 // which form the SSR target vector. This is by far the dominant cost of
 // the whole solution and is proportional to β — the scalability lever of
 // §IV-E.
+//
+// Two execution strategies produce bit-identical labels:
+//  * kPerTrip issues one Router::Route call per TODAM trip (the original
+//    formulation, kept as the equivalence baseline);
+//  * kBatched groups a zone's trips by departure time and answers each
+//    group with one Router::RouteMany expansion, deduplicating repeated
+//    POIs within a group and reusing the zone's access-stop lookup across
+//    all groups. Costs are still accumulated in original trip order, so
+//    the floating-point aggregates match the per-trip path exactly.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,14 @@ enum class CostKind {
 
 const char* CostKindName(CostKind kind);
 
+/// How the engine dispatches a zone's SPQs to the router. Both modes give
+/// bit-identical ZoneLabels; kBatched shares one expansion per departure
+/// group.
+enum class LabelingMode {
+  kBatched,
+  kPerTrip,
+};
+
 /// Zone-level label: the access measures of §III-D restricted to one zone.
 struct ZoneLabel {
   double mac = 0.0;   // mean access cost
@@ -41,7 +58,8 @@ class LabelingEngine {
  public:
   /// `city` and `router` must outlive the engine.
   LabelingEngine(const synth::City* city, router::Router* router,
-                 router::GacWeights gac_weights = {});
+                 router::GacWeights gac_weights = {},
+                 LabelingMode mode = LabelingMode::kBatched);
 
   /// Labels one zone: resolves every trip of `zone` in `todam` against the
   /// given POI set and aggregates `kind` costs. Infeasible trips are
@@ -56,14 +74,42 @@ class LabelingEngine {
                                     const std::vector<synth::Poi>& pois,
                                     CostKind kind, gtfs::Day day);
 
-  /// Total SPQs issued since construction (for cost accounting).
+  /// Total SPQs answered since construction (for cost accounting). One per
+  /// TODAM trip regardless of mode — batching changes how queries are
+  /// executed, not how many are asked.
   uint64_t spq_count() const { return spq_count_; }
 
+  /// Router expansions actually dispatched. Equals spq_count() in kPerTrip
+  /// mode; in kBatched mode each departure group costs one expansion.
+  uint64_t expansion_count() const { return expansion_count_; }
+
  private:
+  ZoneLabel LabelZonePerTrip(const Todam& todam, uint32_t zone,
+                             const std::vector<synth::Poi>& pois,
+                             CostKind kind, gtfs::Day day);
+  ZoneLabel LabelZoneBatched(const Todam& todam, uint32_t zone,
+                             const std::vector<synth::Poi>& pois,
+                             CostKind kind, gtfs::Day day);
+
   const synth::City* city_;
   router::Router* router_;
   router::GacWeights gac_weights_;
+  LabelingMode mode_;
   uint64_t spq_count_ = 0;
+  uint64_t expansion_count_ = 0;
+
+  // Batched-mode scratch (capacity persists across zones).
+  std::vector<uint32_t> order_;          // trip indices sorted by departure
+  std::vector<uint64_t> poi_stamp_;      // per-POI: last group it appeared in
+  std::vector<uint32_t> poi_slot_;       // per-POI: its slot in that group
+  uint64_t group_stamp_ = 0;
+  std::vector<geo::Point> group_points_;        // deduped targets of a group
+  std::vector<router::Journey> group_journeys_;
+  std::vector<uint32_t> group_slots_;    // slot per grouped trip
+  std::vector<double> trip_cost_;        // per original trip index
+  std::vector<uint8_t> trip_flags_;      // bit0 feasible, bit1 walk-only
+  std::vector<router::WalkHop> origin_access_;
+  std::vector<geo::Neighbor> neighbor_scratch_;
 };
 
 }  // namespace staq::core

@@ -1,7 +1,10 @@
 #include "core/parallel_labeling.h"
 
+#include <algorithm>
 #include <atomic>
-#include <thread>
+#include <future>
+
+#include "util/thread_pool.h"
 
 namespace staq::core {
 
@@ -10,10 +13,10 @@ std::vector<ZoneLabel> LabelZonesParallel(
     const std::vector<uint32_t>& zones, const std::vector<synth::Poi>& pois,
     CostKind kind, gtfs::Day day, int num_threads,
     const router::RouterOptions& router_options,
-    router::GacWeights gac_weights, uint64_t* total_spqs) {
+    router::GacWeights gac_weights, uint64_t* total_spqs, LabelingMode mode) {
   if (num_threads <= 1 || zones.size() <= 1) {
     router::Router router(&city.feed, router_options);
-    LabelingEngine engine(&city, &router, gac_weights);
+    LabelingEngine engine(&city, &router, gac_weights, mode);
     auto labels = engine.LabelZones(todam, zones, pois, kind, day);
     if (total_spqs != nullptr) *total_spqs = engine.spq_count();
     return labels;
@@ -28,7 +31,7 @@ std::vector<ZoneLabel> LabelZonesParallel(
   auto work = [&]() {
     // Per-worker router: scratch space is instance-local.
     router::Router router(&city.feed, router_options);
-    LabelingEngine engine(&city, &router, gac_weights);
+    LabelingEngine engine(&city, &router, gac_weights, mode);
     while (true) {
       size_t i = next_index.fetch_add(1);
       if (i >= zones.size()) break;
@@ -37,10 +40,22 @@ std::vector<ZoneLabel> LabelZonesParallel(
     spqs.fetch_add(engine.spq_count());
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) threads.emplace_back(work);
-  for (std::thread& t : threads) t.join();
+  // Persistent workers instead of spawn-and-join threads; futures carry any
+  // worker exception, and all workers are drained before rethrowing (the
+  // tasks reference this frame).
+  util::ThreadPool& pool = util::ThreadPool::Shared();
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) futures.push_back(pool.Submit(work));
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 
   if (total_spqs != nullptr) *total_spqs = spqs.load();
   return labels;

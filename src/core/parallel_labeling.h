@@ -3,9 +3,10 @@
 // Labeling dominates the solution's run time (paper §IV-E) and the related
 // work notes that "parallelization can benefit an SSR approach too, as the
 // majority of the runtime is in labeling" (§II). This module shards the
-// zone list across worker threads, each with its own Router instance (the
-// router's scratch space is not shareable), and returns labels in the same
-// order as the input zones — bit-identical to the serial path.
+// zone list across the shared util::ThreadPool, each worker with its own
+// Router instance (the router's scratch space is not shareable), and
+// returns labels in the same order as the input zones — bit-identical to
+// the serial path.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +27,7 @@ std::vector<ZoneLabel> LabelZonesParallel(
     const std::vector<uint32_t>& zones, const std::vector<synth::Poi>& pois,
     CostKind kind, gtfs::Day day, int num_threads,
     const router::RouterOptions& router_options = {},
-    router::GacWeights gac_weights = {}, uint64_t* total_spqs = nullptr);
+    router::GacWeights gac_weights = {}, uint64_t* total_spqs = nullptr,
+    LabelingMode mode = LabelingMode::kBatched);
 
 }  // namespace staq::core

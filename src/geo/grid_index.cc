@@ -68,7 +68,15 @@ void GridIndex::ScanCell(int64_t cx, int64_t cy, const Point& query,
 std::vector<Neighbor> GridIndex::WithinRadius(const Point& query,
                                               double radius) const {
   std::vector<Neighbor> out;
-  if (points_.empty() || radius < 0) return out;
+  WithinRadius(query, radius, &out);
+  return out;
+}
+
+void GridIndex::WithinRadius(const Point& query, double radius,
+                             std::vector<Neighbor>* result) const {
+  std::vector<Neighbor>& out = *result;
+  out.clear();
+  if (points_.empty() || radius < 0) return;
   // Cell coordinates here are unclamped so the loop covers the query disc
   // even when the query point lies outside the indexed extent.
   int64_t cx0 = static_cast<int64_t>(std::floor((query.x - radius - min_x_) / cell_size_));
@@ -85,7 +93,6 @@ std::vector<Neighbor> GridIndex::WithinRadius(const Point& query,
             [](const Neighbor& a, const Neighbor& b) {
               return a.distance < b.distance;
             });
-  return out;
 }
 
 Neighbor GridIndex::Nearest(const Point& query) const {

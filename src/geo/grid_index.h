@@ -27,6 +27,12 @@ class GridIndex {
   /// All points within `radius` metres of `query`, ascending by distance.
   std::vector<Neighbor> WithinRadius(const Point& query, double radius) const;
 
+  /// Reuse-buffer variant: fills `*out` (cleared first) with the same
+  /// result. `out` keeps its capacity across calls, so repeated queries
+  /// through a warmed buffer allocate nothing.
+  void WithinRadius(const Point& query, double radius,
+                    std::vector<Neighbor>* out) const;
+
   /// Nearest point, searched by expanding rings of cells. Requires a
   /// non-empty index.
   Neighbor Nearest(const Point& query) const;

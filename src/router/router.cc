@@ -9,7 +9,11 @@ namespace staq::router {
 
 namespace {
 constexpr gtfs::TimeOfDay kNever = INT32_MAX;
-}
+// Coarse departure-index cell width (power of two, seconds). One cell holds
+// ~a headway's worth of departures, so the residual forward scan after the
+// index lookup is a step or two.
+constexpr int kDepCellShift = 6;
+}  // namespace
 
 Router::Router(const gtfs::Feed* feed, RouterOptions options)
     : feed_(feed), options_(options), walk_table_(feed, options.walk) {
@@ -17,7 +21,67 @@ Router::Router(const gtfs::Feed* feed, RouterOptions options)
   labels_.resize(feed_->num_stops());
   trip_epoch_.assign(feed_->num_trips(), 0);
   trip_board_index_.assign(feed_->num_trips(), 0);
+  egress_epoch_.assign(feed_->num_stops(), 0);
+  egress_head_.assign(feed_->num_stops(), -1);
   epoch_ = 0;
+
+  size_t num_buckets = static_cast<size_t>(options_.horizon_s) + 2;
+  buckets_.resize(num_buckets);
+  bucket_epoch_.assign(num_buckets, 0);
+
+  // Distinct routes per stop. The boarding scan needs at most one departure
+  // per route (FIFO timetables), so it can stop as soon as every route
+  // serving the stop has been claimed — on typical feeds most stops serve
+  // a single route, which turns an hour-long departure scan into one hit.
+  stop_route_count_.assign(feed_->num_stops(), 0);
+  gtfs::TimeOfDay last_dep = 0;
+  std::vector<gtfs::RouteId> routes;
+  for (uint32_t s = 0; s < feed_->num_stops(); ++s) {
+    routes.clear();
+    for (const gtfs::Departure& d : feed_->departures(s)) {
+      gtfs::RouteId r = feed_->trip(d.trip).route;
+      if (std::find(routes.begin(), routes.end(), r) == routes.end()) {
+        routes.push_back(r);
+      }
+      last_dep = std::max(last_dep, d.time);
+    }
+    stop_route_count_[s] = static_cast<uint32_t>(routes.size());
+  }
+
+  // Coarse per-stop departure index: cell c of stop s holds the index of
+  // the first departure at or after time c << kDepCellShift. Turns the
+  // per-settle binary search over the day's departures into one array read
+  // plus a short in-cell scan.
+  dep_cells_ = (static_cast<size_t>(last_dep) >> kDepCellShift) + 2;
+  dep_index_.assign(feed_->num_stops() * dep_cells_, 0);
+  for (uint32_t s = 0; s < feed_->num_stops(); ++s) {
+    const auto& deps = feed_->departures(s);
+    size_t j = deps.size();
+    for (size_t c = dep_cells_; c-- > 0;) {
+      gtfs::TimeOfDay cell_start =
+          static_cast<gtfs::TimeOfDay>(c << kDepCellShift);
+      while (j > 0 && deps[j - 1].time >= cell_start) --j;
+      dep_index_[s * dep_cells_ + c] = static_cast<uint32_t>(j);
+      if (j == 0 && cell_start == 0) break;  // remaining cells stay 0
+    }
+  }
+}
+
+void Router::PushQueue(gtfs::TimeOfDay at, uint32_t stop) {
+  if (!options_.bucket_queue) {
+    queue_storage_.push_back(QueueEntry{at, stop});
+    std::push_heap(queue_storage_.begin(), queue_storage_.end(),
+                   std::greater<>());
+    return;
+  }
+  size_t idx = static_cast<size_t>(at - query_depart_);
+  if (bucket_epoch_[idx] != epoch_) {
+    bucket_epoch_[idx] = epoch_;
+    buckets_[idx].clear();
+  }
+  buckets_[idx].push_back(stop);
+  max_bucket_ = std::max(max_bucket_, idx);
+  ++queue_pending_;
 }
 
 Router::Label& Router::Touch(uint32_t stop) {
@@ -29,6 +93,20 @@ Router::Label& Router::Touch(uint32_t stop) {
   return labels_[stop];
 }
 
+gtfs::TimeOfDay Router::RelaxLimit(double worst_total, gtfs::TimeOfDay depart,
+                                   gtfs::TimeOfDay latest_arrival) const {
+  if (!options_.bounded_relaxation || !std::isfinite(worst_total)) {
+    return latest_arrival;
+  }
+  // Keep labels with arrival - depart < worst_total; for integer arrivals
+  // the latest such value is depart + ceil(worst_total) - 1.
+  double cutoff = std::ceil(worst_total);
+  if (cutoff >= static_cast<double>(latest_arrival - depart)) {
+    return latest_arrival;
+  }
+  return depart + static_cast<gtfs::TimeOfDay>(cutoff) - 1;
+}
+
 void Router::RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
                       uint32_t board_stop, gtfs::TimeOfDay board_time,
                       gtfs::TimeOfDay latest_arrival) {
@@ -37,6 +115,9 @@ void Router::RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
 
   // If this trip was already ridden from an earlier (or equal) call, the
   // earlier ride already relaxed everything downstream at least as well.
+  // (With bounded relaxation the earlier ride may have pruned more, but
+  // only labels past the — monotonically shrinking — relax limit, which
+  // stay prunable now.)
   if (trip_epoch_[trip] == epoch_ &&
       trip_board_index_[trip] <= from_stop_time_index) {
     return;
@@ -56,141 +137,234 @@ void Router::RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
       label.trip = trip;
       label.board_time = board_time;
       label.walk_s = 0;
-      queue_storage_.push_back(QueueEntry{call.arrival, call.stop});
-      std::push_heap(queue_storage_.begin(), queue_storage_.end(),
-                     std::greater<>());
+      PushQueue(call.arrival, call.stop);
+    }
+  }
+}
+
+void Router::SettleStop(uint32_t stop, gtfs::TimeOfDay now, gtfs::Day day,
+                        gtfs::TimeOfDay depart,
+                        gtfs::TimeOfDay latest_arrival, double& worst,
+                        gtfs::TimeOfDay& relax_limit) {
+  // Egress relaxation across every target wanting this stop.
+  if (egress_epoch_[stop] == epoch_) {
+    bool improved = false;
+    for (int32_t e = egress_head_[stop]; e >= 0; e = egress_pool_[e].next) {
+      const EgressEntry& eg = egress_pool_[e];
+      double total = static_cast<double>(now - depart) + eg.walk_s;
+      if (total < tgt_best_total_[eg.target]) {
+        tgt_best_total_[eg.target] = total;
+        tgt_best_stop_[eg.target] = stop;
+        tgt_best_walk_[eg.target] = eg.walk_s;
+        improved = true;
+      }
+    }
+    if (improved) {
+      worst =
+          *std::max_element(tgt_best_total_.begin(), tgt_best_total_.end());
+      relax_limit = RelaxLimit(worst, depart, latest_arrival);
+    }
+  }
+
+  // Boarding scan: first departure per distinct route at or after `now`.
+  seen_routes_scratch_.clear();
+  const auto& deps = feed_->departures(stop);
+  size_t cell = static_cast<size_t>(now) >> kDepCellShift;
+  size_t i = cell < dep_cells_ ? dep_index_[stop * dep_cells_ + cell]
+                               : deps.size();
+  while (i < deps.size() && deps[i].time < now) ++i;
+  gtfs::TimeOfDay scan_limit =
+      now + static_cast<gtfs::TimeOfDay>(options_.max_boarding_wait_s);
+  const size_t route_count =
+      options_.boarding_route_break ? stop_route_count_[stop] : SIZE_MAX;
+  for (; i < deps.size() && deps[i].time <= scan_limit; ++i) {
+    if (seen_routes_scratch_.size() >= route_count) break;
+    const gtfs::Departure& dep = deps[i];
+    const gtfs::Trip& trip = feed_->trip(dep.trip);
+    if (!gtfs::RunsOn(trip.days, day)) continue;
+    if (dep.stop_time_index + 1 >= trip.first_stop_time + trip.num_stop_times)
+      continue;  // final call
+    if (std::find(seen_routes_scratch_.begin(), seen_routes_scratch_.end(),
+                  trip.route) != seen_routes_scratch_.end()) {
+      continue;  // a FIFO-earlier trip of this route was already boarded
+    }
+    seen_routes_scratch_.push_back(trip.route);
+    RideTrip(dep.trip, dep.stop_time_index, stop, dep.time, relax_limit);
+  }
+
+  // Foot transfers.
+  for (const WalkHop& hop : walk_table_.Transfers(stop)) {
+    gtfs::TimeOfDay at =
+        now + static_cast<gtfs::TimeOfDay>(std::lround(hop.walk_s));
+    if (at > relax_limit) continue;
+    Label& next = Touch(hop.stop);
+    if (at < next.arrival) {
+      next.arrival = at;
+      next.kind = Label::Kind::kTransfer;
+      next.pred_stop = stop;
+      next.trip = gtfs::kInvalidId;
+      next.walk_s = static_cast<float>(hop.walk_s);
+      PushQueue(at, hop.stop);
     }
   }
 }
 
 Journey Router::Route(const geo::Point& origin, const geo::Point& dest,
                       gtfs::Day day, gtfs::TimeOfDay depart) {
+  Journey out;
+  RouteMany(origin, &dest, 1, day, depart, &out);
+  return out;
+}
+
+std::vector<Journey> Router::RouteMany(const geo::Point& origin,
+                                       const std::vector<geo::Point>& targets,
+                                       gtfs::Day day, gtfs::TimeOfDay depart) {
+  std::vector<Journey> out(targets.size());
+  RouteMany(origin, targets.data(), targets.size(), day, depart, out.data());
+  return out;
+}
+
+void Router::RouteMany(const geo::Point& origin, const geo::Point* targets,
+                       size_t num_targets, gtfs::Day day,
+                       gtfs::TimeOfDay depart, Journey* out,
+                       const std::vector<WalkHop>* origin_access) {
+  if (num_targets == 0) return;
   ++epoch_;
+  query_depart_ = depart;
+  queue_pending_ = 0;
+  max_bucket_ = 0;
   queue_storage_.clear();
+  egress_pool_.clear();
 
   gtfs::TimeOfDay latest_arrival =
       depart + static_cast<gtfs::TimeOfDay>(options_.horizon_s);
 
-  // Walk-only baseline.
-  double direct_walk_s = walk_table_.WalkSecondsBetween(origin, dest);
-  double best_total = direct_walk_s <= options_.horizon_s
-                          ? direct_walk_s
-                          : std::numeric_limits<double>::infinity();
+  // Per-target walk-only baselines. `worst` is the slackest still-improvable
+  // target total; it bounds both the settle loop and (via RelaxLimit) every
+  // label write.
+  tgt_direct_walk_.resize(num_targets);
+  tgt_best_total_.resize(num_targets);
+  tgt_best_walk_.resize(num_targets);
+  tgt_best_stop_.resize(num_targets);
+  double worst = 0.0;
+  for (size_t t = 0; t < num_targets; ++t) {
+    double direct_walk_s = walk_table_.WalkSecondsBetween(origin, targets[t]);
+    tgt_direct_walk_[t] = direct_walk_s;
+    tgt_best_total_[t] = direct_walk_s <= options_.horizon_s
+                             ? direct_walk_s
+                             : std::numeric_limits<double>::infinity();
+    tgt_best_walk_[t] = 0.0;
+    tgt_best_stop_[t] = gtfs::kInvalidId;
+    worst = std::max(worst, tgt_best_total_[t]);
+  }
+  gtfs::TimeOfDay relax_limit = RelaxLimit(worst, depart, latest_arrival);
 
-  // Seed access stops.
-  for (const WalkHop& hop : walk_table_.AccessStops(origin)) {
+  // Merge every target's egress candidates into one epoch-stamped map:
+  // per-stop singly-linked lists threaded through the pooled entries.
+  for (size_t t = 0; t < num_targets; ++t) {
+    walk_table_.AccessStops(targets[t], &egress_scratch_, &neighbor_scratch_);
+    for (const WalkHop& hop : egress_scratch_) {
+      if (egress_epoch_[hop.stop] != epoch_) {
+        egress_epoch_[hop.stop] = epoch_;
+        egress_head_[hop.stop] = -1;
+      }
+      egress_pool_.push_back(EgressEntry{hop.walk_s, static_cast<uint32_t>(t),
+                                         egress_head_[hop.stop]});
+      egress_head_[hop.stop] = static_cast<int32_t>(egress_pool_.size()) - 1;
+    }
+  }
+
+  // Seed access stops (shared by every target).
+  if (origin_access == nullptr) {
+    walk_table_.AccessStops(origin, &access_scratch_, &neighbor_scratch_);
+    origin_access = &access_scratch_;
+  }
+  for (const WalkHop& hop : *origin_access) {
     gtfs::TimeOfDay at =
         depart + static_cast<gtfs::TimeOfDay>(std::lround(hop.walk_s));
-    if (at > latest_arrival) continue;
+    if (at > relax_limit) continue;
     Label& label = Touch(hop.stop);
     if (at < label.arrival) {
       label.arrival = at;
       label.kind = Label::Kind::kAccess;
       label.pred_stop = gtfs::kInvalidId;
       label.walk_s = static_cast<float>(hop.walk_s);
-      queue_storage_.push_back(QueueEntry{at, hop.stop});
-      std::push_heap(queue_storage_.begin(), queue_storage_.end(),
-                     std::greater<>());
+      PushQueue(at, hop.stop);
     }
   }
 
-  // Egress candidates, checked as stops settle.
-  std::vector<WalkHop> egress = walk_table_.AccessStops(dest);
-  std::vector<double> egress_walk(feed_->num_stops(),
-                                  std::numeric_limits<double>::infinity());
-  for (const WalkHop& hop : egress) egress_walk[hop.stop] = hop.walk_s;
-
-  uint32_t best_egress_stop = gtfs::kInvalidId;
-  double best_egress_walk = 0.0;
-
-  while (!queue_storage_.empty()) {
-    std::pop_heap(queue_storage_.begin(), queue_storage_.end(),
-                  std::greater<>());
-    QueueEntry entry = queue_storage_.back();
-    queue_storage_.pop_back();
-
-    Label& label = Touch(entry.stop);
-    if (entry.time > label.arrival) continue;  // stale
-    gtfs::TimeOfDay now = entry.time;
-
-    // Once the earliest settled time alone exceeds the best known total
-    // arrival, nothing can improve (egress walk is non-negative).
-    if (static_cast<double>(now - depart) >= best_total) break;
-
-    // Egress relaxation.
-    double ew = egress_walk[entry.stop];
-    if (ew != std::numeric_limits<double>::infinity()) {
-      double total = static_cast<double>(now - depart) + ew;
-      if (total < best_total) {
-        best_total = total;
-        best_egress_stop = entry.stop;
-        best_egress_walk = ew;
+  // Settle loop. Once the earliest unsettled time alone reaches every
+  // target's best known total, nothing can improve (egress walk is
+  // non-negative), so the search breaks.
+  if (options_.bucket_queue) {
+    // Bucket cursor walk. Within one bucket new entries may be appended
+    // mid-iteration (zero-second relaxations), so the inner loop re-reads
+    // size(). Pushes are never behind the cursor: every relaxation from
+    // `now` arrives at or after `now`.
+    bool done = false;
+    for (size_t b = 0; !done && queue_pending_ > 0 && b <= max_bucket_;
+         ++b) {
+      if (static_cast<double>(b) >= worst) break;
+      if (bucket_epoch_[b] != epoch_) continue;
+      gtfs::TimeOfDay now = depart + static_cast<gtfs::TimeOfDay>(b);
+      std::vector<uint32_t>& bucket = buckets_[b];
+      for (size_t k = 0; k < bucket.size(); ++k) {
+        uint32_t stop = bucket[k];
+        --queue_pending_;
+        if (now > Touch(stop).arrival) continue;  // stale
+        if (static_cast<double>(now - depart) >= worst) {
+          done = true;
+          break;
+        }
+        SettleStop(stop, now, day, depart, latest_arrival, worst,
+                   relax_limit);
       }
     }
-
-    // Boarding scan: first departure per distinct route at or after `now`.
-    seen_routes_scratch_.clear();
-    const auto& deps = feed_->departures(entry.stop);
-    auto it = std::lower_bound(
-        deps.begin(), deps.end(), now,
-        [](const gtfs::Departure& d, gtfs::TimeOfDay t) { return d.time < t; });
-    gtfs::TimeOfDay scan_limit =
-        now + static_cast<gtfs::TimeOfDay>(options_.max_boarding_wait_s);
-    for (; it != deps.end() && it->time <= scan_limit; ++it) {
-      const gtfs::Trip& trip = feed_->trip(it->trip);
-      if (!gtfs::RunsOn(trip.days, day)) continue;
-      if (it->stop_time_index + 1 >= trip.first_stop_time + trip.num_stop_times)
-        continue;  // final call
-      if (std::find(seen_routes_scratch_.begin(), seen_routes_scratch_.end(),
-                    trip.route) != seen_routes_scratch_.end()) {
-        continue;  // a FIFO-earlier trip of this route was already boarded
-      }
-      seen_routes_scratch_.push_back(trip.route);
-      RideTrip(it->trip, it->stop_time_index, entry.stop, it->time,
-               latest_arrival);
-    }
-
-    // Foot transfers.
-    for (const WalkHop& hop : walk_table_.Transfers(entry.stop)) {
-      gtfs::TimeOfDay at =
-          now + static_cast<gtfs::TimeOfDay>(std::lround(hop.walk_s));
-      if (at > latest_arrival) continue;
-      Label& next = Touch(hop.stop);
-      if (at < next.arrival) {
-        next.arrival = at;
-        next.kind = Label::Kind::kTransfer;
-        next.pred_stop = entry.stop;
-        next.trip = gtfs::kInvalidId;
-        next.walk_s = static_cast<float>(hop.walk_s);
-        queue_storage_.push_back(QueueEntry{at, hop.stop});
-        std::push_heap(queue_storage_.begin(), queue_storage_.end(),
-                       std::greater<>());
-      }
+  } else {
+    // Binary-heap discipline (the original engine). Equal arrival times pop
+    // in heap order rather than insertion order, so tie-broken path
+    // decompositions may differ from the bucket queue; arrival times and
+    // journey times are identical either way.
+    while (!queue_storage_.empty()) {
+      std::pop_heap(queue_storage_.begin(), queue_storage_.end(),
+                    std::greater<>());
+      QueueEntry entry = queue_storage_.back();
+      queue_storage_.pop_back();
+      if (entry.time > Touch(entry.stop).arrival) continue;  // stale
+      if (static_cast<double>(entry.time - depart) >= worst) break;
+      SettleStop(entry.stop, entry.time, day, depart, latest_arrival, worst,
+                 relax_limit);
     }
   }
 
-  if (best_total == std::numeric_limits<double>::infinity()) {
-    Journey none;
-    none.depart = depart;
-    return none;  // infeasible
+  // Read each target's answer out of the shared search. Labels along any
+  // reconstructed path arrive strictly before the settle loop's stopping
+  // bound, so they are final here.
+  for (size_t t = 0; t < num_targets; ++t) {
+    Journey& j = out[t];
+    if (tgt_best_total_[t] == std::numeric_limits<double>::infinity()) {
+      j = Journey{};
+      j.depart = depart;  // infeasible
+      continue;
+    }
+    if (tgt_best_stop_[t] == gtfs::kInvalidId) {
+      // Pure walk wins.
+      j = Journey{};
+      j.feasible = true;
+      j.depart = depart;
+      j.arrive = depart + static_cast<gtfs::TimeOfDay>(
+                              std::lround(tgt_direct_walk_[t]));
+      j.access_walk_s = tgt_direct_walk_[t];
+      JourneyLeg leg;
+      leg.type = JourneyLeg::Type::kWalk;
+      leg.start = depart;
+      leg.end = j.arrive;
+      j.legs.push_back(leg);
+      continue;
+    }
+    j = Reconstruct(origin, targets[t], depart, tgt_best_stop_[t],
+                    tgt_best_walk_[t]);
   }
-
-  if (best_egress_stop == gtfs::kInvalidId) {
-    // Pure walk wins.
-    Journey j;
-    j.feasible = true;
-    j.depart = depart;
-    j.arrive = depart + static_cast<gtfs::TimeOfDay>(std::lround(direct_walk_s));
-    j.access_walk_s = direct_walk_s;
-    JourneyLeg leg;
-    leg.type = JourneyLeg::Type::kWalk;
-    leg.start = depart;
-    leg.end = j.arrive;
-    j.legs.push_back(leg);
-    return j;
-  }
-
-  return Reconstruct(origin, dest, depart, best_egress_stop, best_egress_walk);
 }
 
 Journey Router::Reconstruct(const geo::Point& /*origin*/,

@@ -11,6 +11,19 @@
 // then relaxes precomputed foot transfers. Access and egress legs connect
 // arbitrary points to stops within the walking budget; a pure-walk journey
 // is always considered.
+//
+// Two batching levers keep the zone-labeling hot path fast without changing
+// a single output bit:
+//  * RouteMany answers all SPQs that share an origin and departure with ONE
+//    expansion — the expansion itself never depends on the destination, so
+//    each target reads its answer out of the shared search (per-target
+//    egress candidates live in an epoch-stamped pooled map, replacing the
+//    per-query O(num_stops) egress table).
+//  * Bounded relaxation prunes every label write that would arrive at or
+//    after depart + (worst best-known total across targets). Such entries
+//    would pop only after the search has already stopped improving, and
+//    can never appear on a reconstructed path, so results are bit-identical
+//    to the unpruned search (see RouterOptions::bounded_relaxation).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +45,26 @@ struct RouterOptions {
   double horizon_s = 3 * 3600;
   /// Maximum wait for any single boarding.
   double max_boarding_wait_s = 3600;
+  /// Prune relaxations that provably cannot improve any target: a label
+  /// arriving at or after depart + best-known-total would be popped only
+  /// after the search breaks, so skipping it is result-preserving (the
+  /// equivalence is asserted by tests). Off reproduces the pre-batching
+  /// search frontier exactly — kept as the benchmark baseline and as a
+  /// verification foil.
+  bool bounded_relaxation = true;
+  /// Stop the boarding scan once every distinct route serving the stop has
+  /// claimed its earliest departure (FIFO timetables make later departures
+  /// of a claimed route irrelevant). Skipped iterations can never board, so
+  /// results are unchanged; off reproduces the original scan, which walks
+  /// the full max_boarding_wait_s window — kept for the benchmark baseline.
+  bool boarding_route_break = true;
+  /// Queue discipline. true (default): Dial-style bucket queue — O(1) push,
+  /// cursor-scan pop, lazily epoch-reset. false: the original binary heap.
+  /// Arrival times (hence journey times, feasibility, MAC/ACSD) are
+  /// identical under both disciplines; only the tie-break among equal-time
+  /// relaxations — and therefore the decomposition of some equal-cost
+  /// journeys into legs — can differ. Kept for the benchmark baseline.
+  bool bucket_queue = true;
 };
 
 /// Earliest-arrival router over one Feed. Reuses internal scratch space
@@ -50,6 +83,22 @@ class Router {
   Journey Route(const geo::Point& origin, const geo::Point& dest,
                 gtfs::Day day, gtfs::TimeOfDay depart);
 
+  /// One-to-many SPQ batch: answers (origin, targets[t], depart) for every
+  /// t with a single shared expansion, writing `num_targets` journeys into
+  /// `out`. Each journey is bit-identical to the corresponding Route call.
+  /// `origin_access`, when non-null, must equal AccessStops(origin) — pass
+  /// a cached copy so repeated batches from one origin skip the seeding
+  /// lookup.
+  void RouteMany(const geo::Point& origin, const geo::Point* targets,
+                 size_t num_targets, gtfs::Day day, gtfs::TimeOfDay depart,
+                 Journey* out,
+                 const std::vector<WalkHop>* origin_access = nullptr);
+
+  /// Convenience overload returning the batch by value.
+  std::vector<Journey> RouteMany(const geo::Point& origin,
+                                 const std::vector<geo::Point>& targets,
+                                 gtfs::Day day, gtfs::TimeOfDay depart);
+
  private:
   struct Label {
     enum class Kind : uint8_t { kNone, kAccess, kRide, kTransfer };
@@ -61,13 +110,33 @@ class Router {
     float walk_s = 0;                       // kAccess / kTransfer walk time
   };
 
+  /// One merged egress candidate: stop -> (target, walk) pairs chained
+  /// through `next` into per-stop lists headed by egress_head_.
+  struct EgressEntry {
+    double walk_s = 0.0;
+    uint32_t target = 0;
+    int32_t next = -1;
+  };
+
   /// Resets per-query scratch lazily via the epoch counter.
   bool Fresh(uint32_t stop) const { return stop_epoch_[stop] == epoch_; }
   Label& Touch(uint32_t stop);
 
+  /// Latest arrival still worth labeling: relaxations past this bound can
+  /// never improve any target (see bounded_relaxation).
+  gtfs::TimeOfDay RelaxLimit(double worst_total, gtfs::TimeOfDay depart,
+                             gtfs::TimeOfDay latest_arrival) const;
+
   void RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
                 uint32_t board_stop, gtfs::TimeOfDay board_time,
                 gtfs::TimeOfDay latest_arrival);
+
+  /// Settles one queue entry: relaxes egress candidates, boards departures,
+  /// and walks foot transfers. `worst` / `relax_limit` shrink as targets
+  /// improve.
+  void SettleStop(uint32_t stop, gtfs::TimeOfDay now, gtfs::Day day,
+                  gtfs::TimeOfDay depart, gtfs::TimeOfDay latest_arrival,
+                  double& worst, gtfs::TimeOfDay& relax_limit);
   Journey Reconstruct(const geo::Point& origin, const geo::Point& dest,
                       gtfs::TimeOfDay depart, uint32_t egress_stop,
                       double egress_walk_s) const;
@@ -76,20 +145,69 @@ class Router {
   RouterOptions options_;
   WalkTable walk_table_;
 
-  // Scratch: labels + priority queue, versioned by epoch_ so a new query
-  // needs no O(n) clear.
+  // Distinct routes serving each stop; lets the boarding scan terminate as
+  // soon as every route has claimed its earliest departure.
+  std::vector<uint32_t> stop_route_count_;
+
+  // Coarse per-stop departure index: dep_index_[stop * dep_cells_ + c] is
+  // the index of the stop's first departure at or after time
+  // c << kDepCellShift. Replaces the per-settle binary search over the
+  // day's departures with one read plus a short in-cell scan.
+  size_t dep_cells_ = 0;
+  std::vector<uint32_t> dep_index_;
+
+  /// Enqueues `stop` at arrival time `at` under the configured queue
+  /// discipline.
+  void PushQueue(gtfs::TimeOfDay at, uint32_t stop);
+
+  // Scratch: labels + queue, versioned by epoch_ so a new query needs no
+  // O(n) clear.
   uint32_t epoch_ = 0;
   std::vector<uint32_t> stop_epoch_;
   std::vector<Label> labels_;
   std::vector<uint32_t> trip_epoch_;
   std::vector<uint32_t> trip_board_index_;  // earliest stop_time index boarded
+  std::vector<gtfs::RouteId> seen_routes_scratch_;
+
+  // Dial-style bucket queue: arrivals are integer seconds in
+  // [depart, depart + horizon], so bucket b holds stops reachable at
+  // depart + b. Push is O(1); popping scans the cursor forward, which costs
+  // at most one pass over the horizon per query and in practice far less
+  // (the settle loop breaks at the best-known total). Buckets are lazily
+  // reset via bucket_epoch_; queue_pending_ lets the scan stop as soon as
+  // the queue drains.
+  gtfs::TimeOfDay query_depart_ = 0;
+  std::vector<std::vector<uint32_t>> buckets_;
+  std::vector<uint32_t> bucket_epoch_;
+  uint32_t queue_pending_ = 0;
+  size_t max_bucket_ = 0;
+
+  // Binary-heap fallback (RouterOptions::bucket_queue == false).
   struct QueueEntry {
     gtfs::TimeOfDay time;
     uint32_t stop;
-    bool operator>(const QueueEntry& o) const { return time > o.time; }
+    friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+      return a.time > b.time;
+    }
   };
   std::vector<QueueEntry> queue_storage_;
-  std::vector<gtfs::RouteId> seen_routes_scratch_;
+
+  // Merged egress map, versioned by the same epoch (replaces the per-query
+  // O(num_stops) egress table).
+  std::vector<uint32_t> egress_epoch_;
+  std::vector<int32_t> egress_head_;
+  std::vector<EgressEntry> egress_pool_;
+
+  // Walk-lookup reuse buffers (retain capacity across queries).
+  std::vector<WalkHop> access_scratch_;
+  std::vector<WalkHop> egress_scratch_;
+  std::vector<geo::Neighbor> neighbor_scratch_;
+
+  // Per-target search state, resized per RouteMany call.
+  std::vector<double> tgt_direct_walk_;
+  std::vector<double> tgt_best_total_;
+  std::vector<double> tgt_best_walk_;
+  std::vector<uint32_t> tgt_best_stop_;
 };
 
 }  // namespace staq::router

@@ -34,12 +34,21 @@ WalkTable::WalkTable(const gtfs::Feed* feed, WalkParams params)
 
 std::vector<WalkHop> WalkTable::AccessStops(const geo::Point& p) const {
   std::vector<WalkHop> out;
-  if (!stop_index_) return out;
-  double reach = params_.ReachMeters(params_.max_access_walk_s);
-  for (const geo::Neighbor& n : stop_index_->WithinRadius(p, reach)) {
-    out.push_back(WalkHop{n.id, params_.WalkSeconds(n.distance)});
-  }
+  std::vector<geo::Neighbor> scratch;
+  AccessStops(p, &out, &scratch);
   return out;
+}
+
+void WalkTable::AccessStops(const geo::Point& p, std::vector<WalkHop>* out,
+                            std::vector<geo::Neighbor>* scratch) const {
+  out->clear();
+  if (!stop_index_) return;
+  double reach = params_.ReachMeters(params_.max_access_walk_s);
+  stop_index_->WithinRadius(p, reach, scratch);
+  out->reserve(scratch->size());
+  for (const geo::Neighbor& n : *scratch) {
+    out->push_back(WalkHop{n.id, params_.WalkSeconds(n.distance)});
+  }
 }
 
 }  // namespace staq::router

@@ -49,6 +49,13 @@ class WalkTable {
   /// by walk time.
   std::vector<WalkHop> AccessStops(const geo::Point& p) const;
 
+  /// Reuse-buffer variant of AccessStops for the router hot path: fills
+  /// `*out` (cleared first) using `*scratch` for the underlying index
+  /// query. Both buffers retain their capacity across calls, so a warmed-up
+  /// caller allocates nothing. Results are identical to AccessStops(p).
+  void AccessStops(const geo::Point& p, std::vector<WalkHop>* out,
+                   std::vector<geo::Neighbor>* scratch) const;
+
   /// Precomputed foot transfers from `stop` (excluding the stop itself),
   /// ascending by walk time.
   const std::vector<WalkHop>& Transfers(gtfs::StopId stop) const {

@@ -1,0 +1,61 @@
+// Persistent worker-thread pool.
+//
+// Labeling dominates the solution's run time (paper §IV-E); sharding it
+// used to spawn-and-join fresh std::threads per call. This pool keeps a
+// fixed set of workers alive for the process and feeds them from a single
+// mutex-guarded queue — no work stealing, because the tasks it carries
+// (zone shards, bench repetitions) are coarse enough that one queue never
+// becomes the bottleneck. Used by parallel labeling and the benches.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace staq::util {
+
+/// Fixed-size pool of persistent workers. Submit is safe from any thread;
+/// a task's exception is captured into its future (the worker survives).
+/// The destructor finishes already-queued tasks before joining.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Enqueues `task`. The returned future resolves when the task finishes
+  /// and rethrows anything the task threw.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs body(i) for every i in [0, n), handing dynamically sized chunks
+  /// to the workers; blocks until all indices are done. Rethrows the first
+  /// task exception after every chunk has finished. Runs inline on the
+  /// caller when the pool has a single worker (or n is tiny), so it is
+  /// safe at any machine size.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Process-wide pool sized to the hardware concurrency, created on first
+  /// use and joined at exit. Callers needing deterministic sizing (tests)
+  /// construct their own pool instead.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace staq::util

@@ -132,6 +132,50 @@ TEST_F(LabelingTest, ZoneWithNoTripsGetsZeroLabel) {
   EXPECT_TRUE(found_empty);
 }
 
+TEST_F(LabelingTest, BatchedModeBitIdenticalToPerTrip) {
+  // The tentpole invariant: the one-to-many batched scheduler (with bounded
+  // relaxation on) must reproduce the per-trip per-query path EXACTLY —
+  // same floating-point aggregates, not merely close ones.
+  router::Router batched_router(&city_.feed, router::RouterOptions{});
+  router::RouterOptions unpruned;
+  unpruned.bounded_relaxation = false;
+  router::Router per_trip_router(&city_.feed, unpruned);
+
+  for (CostKind kind : {CostKind::kJourneyTime, CostKind::kGeneralizedCost}) {
+    LabelingEngine batched(&city_, &batched_router, {},
+                           LabelingMode::kBatched);
+    LabelingEngine per_trip(&city_, &per_trip_router, {},
+                            LabelingMode::kPerTrip);
+    for (uint32_t zone = 0; zone < todam_.num_zones(); ++zone) {
+      ZoneLabel a = batched.LabelZone(todam_, zone, pois_, kind,
+                                      gtfs::Day::kTuesday);
+      ZoneLabel b = per_trip.LabelZone(todam_, zone, pois_, kind,
+                                       gtfs::Day::kTuesday);
+      EXPECT_EQ(a.mac, b.mac) << "zone " << zone;
+      EXPECT_EQ(a.acsd, b.acsd) << "zone " << zone;
+      EXPECT_EQ(a.num_trips, b.num_trips) << "zone " << zone;
+      EXPECT_EQ(a.num_infeasible, b.num_infeasible) << "zone " << zone;
+      EXPECT_EQ(a.num_walk_only, b.num_walk_only) << "zone " << zone;
+    }
+    EXPECT_EQ(batched.spq_count(), per_trip.spq_count());
+  }
+}
+
+TEST_F(LabelingTest, BatchedModeDispatchesFewerExpansions) {
+  LabelingEngine batched(&city_, &router_, {}, LabelingMode::kBatched);
+  uint64_t trips = 0;
+  for (uint32_t zone = 0; zone < todam_.num_zones(); ++zone) {
+    batched.LabelZone(todam_, zone, pois_, CostKind::kJourneyTime,
+                      gtfs::Day::kTuesday);
+    trips += todam_.TripsFor(zone).size();
+  }
+  EXPECT_EQ(batched.spq_count(), trips);
+  // Every departure group costs one expansion, so the dispatch count can
+  // never exceed the trip count (and shrinks whenever departures collide).
+  EXPECT_LE(batched.expansion_count(), batched.spq_count());
+  EXPECT_GT(batched.expansion_count(), 0u);
+}
+
 TEST_F(LabelingTest, DeterministicAcrossEngines) {
   LabelingEngine a(&city_, &router_);
   ZoneLabel la = a.LabelZone(todam_, 4, pois_, CostKind::kGeneralizedCost,

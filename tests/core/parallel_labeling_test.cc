@@ -78,6 +78,28 @@ TEST_F(ParallelLabelingTest, EmptyZoneList) {
   EXPECT_TRUE(labels.empty());
 }
 
+TEST_F(ParallelLabelingTest, BatchedAndPerTripModesAgreeAcrossThreads) {
+  uint64_t batched_spqs = 0, per_trip_spqs = 0;
+  auto batched = LabelZonesParallel(
+      city_, todam_, all_zones_, pois_, CostKind::kJourneyTime,
+      gtfs::Day::kTuesday, /*num_threads=*/4, {}, {}, &batched_spqs,
+      LabelingMode::kBatched);
+  router::RouterOptions unpruned;
+  unpruned.bounded_relaxation = false;
+  auto per_trip = LabelZonesParallel(
+      city_, todam_, all_zones_, pois_, CostKind::kJourneyTime,
+      gtfs::Day::kTuesday, /*num_threads=*/4, unpruned, {}, &per_trip_spqs,
+      LabelingMode::kPerTrip);
+  ASSERT_EQ(batched.size(), per_trip.size());
+  EXPECT_EQ(batched_spqs, per_trip_spqs);
+  for (size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched[i].mac, per_trip[i].mac) << "zone " << i;
+    EXPECT_EQ(batched[i].acsd, per_trip[i].acsd) << "zone " << i;
+    EXPECT_EQ(batched[i].num_infeasible, per_trip[i].num_infeasible);
+    EXPECT_EQ(batched[i].num_walk_only, per_trip[i].num_walk_only);
+  }
+}
+
 TEST_F(ParallelLabelingTest, PipelineParallelMatchesSerialPredictions) {
   SsrPipeline pipeline(&city_, gtfs::WeekdayAmPeak());
   PipelineConfig config;

@@ -1,0 +1,131 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace staq::util {
+namespace {
+
+TEST(ThreadPoolTest, SpawnsAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  ThreadPool pool4(4);
+  EXPECT_EQ(pool4.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTaskAndFutureCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto future = pool.Submit([&] { value.store(42); });
+  future.get();
+  EXPECT_EQ(value.load(), 42);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossSubmitWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 20; ++i) {
+      futures.push_back(pool.Submit([&] { count.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+    EXPECT_EQ(count.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, TaskExceptionReachesFutureAndPoolSurvives) {
+  ThreadPool pool(2);
+  auto bad = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still accept work.
+  std::atomic<int> value{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] { value.fetch_add(1); }).get();
+  }
+  EXPECT_EQ(value.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForResultIndependentOfWorkerCount) {
+  constexpr size_t kN = 257;
+  auto run = [&](size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<double> out(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      out[i] = static_cast<double>(i) * 1.5 + 1.0;
+    });
+    return out;
+  };
+  std::vector<double> serial = run(1);
+  std::vector<double> parallel = run(5);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOneElement) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsAfterAllChunksFinish) {
+  ThreadPool pool(3);
+  std::atomic<size_t> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(64,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 7) throw std::logic_error("bad index");
+                       }),
+      std::logic_error);
+  // Every index either ran or was skipped as part of the throwing chunk;
+  // the pool is intact afterwards.
+  std::atomic<int> value{0};
+  pool.ParallelFor(16, [&](size_t) { value.fetch_add(1); });
+  EXPECT_EQ(value.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&] { done.fetch_add(1); });
+    }
+    // Destructor must run all 32 queued tasks before joining.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<int> value{0};
+  a.Submit([&] { value.store(7); }).get();
+  EXPECT_EQ(value.load(), 7);
+}
+
+}  // namespace
+}  // namespace staq::util

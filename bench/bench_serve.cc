@@ -1,0 +1,367 @@
+// Serving throughput and latency of the staq::serve subsystem.
+//
+// The serve bench drives one AqServer through the three request mixes a
+// deployed endpoint sees:
+//   cold         — first query per distinct request on a fresh scenario:
+//                  pays the full exact labeling (or SSR pipeline) once
+//   cached       — concurrent clients repeating the same analytical
+//                  queries: one sharded-LRU probe per request
+//   incremental  — a POI edit lands between queries: the mutation patches
+//                  the materialised label states (O(affected zones) SPQs)
+//                  and the next query answers from the patched state
+// plus the mutations themselves (latency, affected-zone counts, SPQ cost).
+//
+// Correctness gates run before any number is reported: every cached and
+// every incremental answer is compared field-by-field against
+// AqServer::QueryUncached(), which recomputes from scratch on the caller's
+// thread bypassing the result cache, the label-state memo, and the
+// incremental patches. Any mismatch aborts the bench with exit code 1.
+//
+// Output: paper-style tables on stdout and a machine-readable
+// BENCH_serve.json in STAQ_BENCH_OUT.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/server.h"
+#include "util/stopwatch.h"
+
+namespace staq::bench {
+namespace {
+
+/// Payload equality between two answers — everything except the cost
+/// accounting fields (spqs/elapsed differ between cached, incremental, and
+/// from-scratch paths by design).
+bool SameAnswer(const core::AccessQueryResult& a,
+                const core::AccessQueryResult& b) {
+  return a.mac == b.mac && a.acsd == b.acsd && a.classes == b.classes &&
+         a.mean_mac == b.mean_mac && a.mean_acsd == b.mean_acsd &&
+         a.fairness == b.fairness &&
+         a.population_fairness == b.population_fairness &&
+         a.vulnerable_fairness == b.vulnerable_fairness &&
+         a.gravity_trips == b.gravity_trips;
+}
+
+/// Hard gate: `result` must be OK and bit-identical to the from-scratch
+/// golden for the same request on the current scenario.
+bool GateAgainstGolden(serve::AqServer& server, const serve::AqRequest& request,
+                       const util::Result<core::AccessQueryResult>& result,
+                       const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "GATE FAILED (%s): query error: %s\n", what,
+                 result.status().ToString().c_str());
+    return false;
+  }
+  auto golden = server.QueryUncached(request);
+  if (!golden.ok()) {
+    std::fprintf(stderr, "GATE FAILED (%s): golden error: %s\n", what,
+                 golden.status().ToString().c_str());
+    return false;
+  }
+  if (!SameAnswer(result.value(), golden.value())) {
+    std::fprintf(stderr,
+                 "GATE FAILED (%s): answer differs from uncached golden\n",
+                 what);
+    return false;
+  }
+  return true;
+}
+
+struct LatencySummary {
+  size_t count = 0;
+  double seconds = 0.0;  // wall-clock of the whole phase
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LatencySummary Summarise(std::vector<double> latencies_ms,
+                         double phase_seconds) {
+  LatencySummary s;
+  s.count = latencies_ms.size();
+  s.seconds = phase_seconds;
+  if (latencies_ms.empty()) return s;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  double sum = 0.0;
+  for (double ms : latencies_ms) sum += ms;
+  s.mean_ms = sum / static_cast<double>(s.count);
+  auto pct = [&](double q) {
+    size_t index = static_cast<size_t>(q * static_cast<double>(s.count - 1));
+    return latencies_ms[index];
+  };
+  s.p50_ms = pct(0.50);
+  s.p95_ms = pct(0.95);
+  s.p99_ms = pct(0.99);
+  s.qps = static_cast<double>(s.count) / phase_seconds;
+  return s;
+}
+
+void PrintPhase(const char* name, const LatencySummary& s) {
+  std::printf("  %-12s %6zu req %9.3f s %8.1f q/s   p50 %8.2f  p95 %8.2f  "
+              "p99 %8.2f ms\n",
+              name, s.count, s.seconds, s.qps, s.p50_ms, s.p95_ms, s.p99_ms);
+}
+
+int Run() {
+  PrintHeader("staq::serve — concurrent AQ serving (cold/cached/incremental)");
+
+  const synth::CitySpec spec = synth::CitySpec::Brindale(BenchScale(), BenchSeed());
+  auto built = synth::BuildCity(spec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "city build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  synth::City city = std::move(built).value();
+  const size_t num_zones = city.zones.size();
+
+  core::GravityConfig gravity = core::CalibratedGravityConfig(spec);
+  gravity.sample_rate_per_hour = BenchRate();
+
+  serve::AqServer::Options options;
+  options.num_threads = std::max(2u, std::thread::hardware_concurrency());
+  serve::AqServer server(std::move(city), gtfs::WeekdayAmPeak(), options);
+  std::printf("  city=%s  zones=%zu  pois=%zu  workers=%zu\n", spec.name.c_str(),
+              num_zones, server.base_city().pois.size(), server.num_threads());
+
+  // The request mix: one exact query per category plus one SSR query —
+  // the analytical dashboard workload the cache is built for.
+  std::vector<serve::AqRequest> mix;
+  for (synth::PoiCategory category : PaperCategories()) {
+    serve::AqRequest request;
+    request.category = category;
+    request.options.exact = true;
+    request.options.gravity = gravity;
+    request.options.seed = BenchSeed();
+    mix.push_back(request);
+  }
+  {
+    serve::AqRequest ssr = mix.front();
+    ssr.options.exact = false;
+    ssr.options.beta = 0.07;
+    ssr.options.model = ml::ModelKind::kOls;
+    mix.push_back(ssr);
+  }
+
+  // --- cold: first query per distinct request ---------------------------
+  std::vector<double> cold_ms;
+  std::vector<core::AccessQueryResult> cold_answers;
+  util::Stopwatch cold_watch;
+  for (const serve::AqRequest& request : mix) {
+    util::Stopwatch watch;
+    auto result = server.Query(request);
+    cold_ms.push_back(watch.ElapsedMillis());
+    if (!result.ok()) {
+      std::fprintf(stderr, "cold query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    cold_answers.push_back(std::move(result).value());
+  }
+  LatencySummary cold = Summarise(cold_ms, cold_watch.ElapsedSeconds());
+
+  // Gate the cold answers (they seed the cache every later phase reads).
+  for (size_t i = 0; i < mix.size(); ++i) {
+    util::Result<core::AccessQueryResult> answer = cold_answers[i];
+    if (!GateAgainstGolden(server, mix[i], answer, "cold")) return 1;
+  }
+
+  // --- cached: concurrent clients over a stable scenario ----------------
+  const size_t kClients = server.num_threads();
+  const size_t kQueriesPerClient = 40;
+  std::vector<std::vector<double>> client_ms(kClients);
+  std::atomic<bool> cached_ok{true};
+  util::Stopwatch cached_watch;
+  {
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        client_ms[c].reserve(kQueriesPerClient);
+        for (size_t q = 0; q < kQueriesPerClient; ++q) {
+          const serve::AqRequest& request = mix[(c + q) % mix.size()];
+          util::Stopwatch watch;
+          auto result = server.Query(request);
+          client_ms[c].push_back(watch.ElapsedMillis());
+          if (!result.ok() ||
+              !SameAnswer(result.value(), cold_answers[(c + q) % mix.size()])) {
+            cached_ok.store(false);
+          }
+        }
+      });
+    }
+    for (auto& client : clients) client.join();
+  }
+  double cached_seconds = cached_watch.ElapsedSeconds();
+  if (!cached_ok.load()) {
+    std::fprintf(stderr,
+                 "GATE FAILED (cached): a concurrent answer differed from "
+                 "the gated cold answer\n");
+    return 1;
+  }
+  std::vector<double> cached_ms;
+  for (const auto& ms : client_ms) {
+    cached_ms.insert(cached_ms.end(), ms.begin(), ms.end());
+  }
+  LatencySummary cached = Summarise(std::move(cached_ms), cached_seconds);
+
+  // --- incremental: POI edits between queries ---------------------------
+  // Each mutation patches every materialised label state of its category
+  // (here: all five mix entries' states exist), then the follow-up query
+  // answers from the patched state and is gated against a from-scratch
+  // rebuild of the mutated scenario.
+  const geo::BBox& extent = server.base_city().extent;
+  const geo::Point corner{extent.min_x, extent.min_y};
+  const serve::AqRequest& mutated_request = mix.front();  // kSchool, exact
+  const int kEdits = 3;  // add/remove round-trips
+
+  std::vector<serve::ScenarioStore::MutationReport> reports;
+  std::vector<double> incremental_ms;
+  double incremental_query_seconds = 0.0;
+  for (int edit = 0; edit < kEdits; ++edit) {
+    auto add = server.AddPoi(synth::PoiCategory::kSchool, corner);
+    reports.push_back(add);
+    {
+      util::Stopwatch watch;
+      auto result = server.Query(mutated_request);
+      incremental_ms.push_back(watch.ElapsedMillis());
+      incremental_query_seconds += watch.ElapsedSeconds();
+      if (!GateAgainstGolden(server, mutated_request, result,
+                             "incremental/add")) {
+        return 1;
+      }
+    }
+    auto removed = server.RemovePoi(add.poi_id);
+    if (!removed.ok()) {
+      std::fprintf(stderr, "remove failed: %s\n",
+                   removed.status().ToString().c_str());
+      return 1;
+    }
+    reports.push_back(removed.value());
+    {
+      util::Stopwatch watch;
+      auto result = server.Query(mutated_request);
+      incremental_ms.push_back(watch.ElapsedMillis());
+      incremental_query_seconds += watch.ElapsedSeconds();
+      if (!GateAgainstGolden(server, mutated_request, result,
+                             "incremental/remove")) {
+        return 1;
+      }
+    }
+  }
+  LatencySummary incremental =
+      Summarise(incremental_ms, incremental_query_seconds);
+
+  // After the add/remove round-trips the whole mix must still equal its
+  // from-scratch golden on the final scenario (history independence).
+  for (const serve::AqRequest& request : mix) {
+    if (!GateAgainstGolden(server, request, server.Query(request), "final")) {
+      return 1;
+    }
+  }
+
+  // Mutation cost summary. full-build SPQs = SPQs of one from-scratch
+  // exact labeling, read off the cold exact answer.
+  double mutation_mean_ms = 0.0, mutation_max_ms = 0.0;
+  double mean_zones = 0.0;
+  uint64_t mutation_spqs = 0;
+  for (const auto& report : reports) {
+    mutation_mean_ms += report.seconds * 1e3;
+    mutation_max_ms = std::max(mutation_max_ms, report.seconds * 1e3);
+    mean_zones += report.zones_relabeled;
+    mutation_spqs += report.spqs;
+  }
+  mutation_mean_ms /= static_cast<double>(reports.size());
+  mean_zones /= static_cast<double>(reports.size());
+  const uint64_t full_build_spqs = cold_answers.front().spqs;
+  const double mean_spqs =
+      static_cast<double>(mutation_spqs) / static_cast<double>(reports.size());
+
+  serve::ServerStats stats = server.stats();
+
+  std::printf("\n  all cached and incremental answers bit-identical to "
+              "QueryUncached goldens\n\n");
+  PrintPhase("cold", cold);
+  PrintPhase("cached", cached);
+  PrintPhase("incremental", incremental);
+  std::printf("\n  mutations: %zu edits  mean %.2f ms (max %.2f)  "
+              "zones relabeled %.1f/%zu  SPQs %.0f vs %llu full build "
+              "(%.1fx cheaper)\n",
+              reports.size(), mutation_mean_ms, mutation_max_ms, mean_zones,
+              num_zones, mean_spqs,
+              static_cast<unsigned long long>(full_build_spqs),
+              mean_spqs > 0.0 ? static_cast<double>(full_build_spqs) / mean_spqs
+                              : 0.0);
+  std::printf("  server: %llu submitted, %llu cache hits / %llu misses, "
+              "%llu exact state builds, %llu states patched across %llu "
+              "mutations\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.exact_state_builds),
+              static_cast<unsigned long long>(stats.states_patched),
+              static_cast<unsigned long long>(stats.mutations));
+
+  std::string path = OutDir() + "/BENCH_serve.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
+    return 1;
+  }
+  auto phase_json = [&](const char* name, const LatencySummary& s,
+                        const char* tail) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"requests\": %zu, "
+                 "\"seconds\": %.6f, \"qps\": %.2f, \"mean_ms\": %.4f, "
+                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 name, s.count, s.seconds, s.qps, s.mean_ms, s.p50_ms,
+                 s.p95_ms, s.p99_ms, tail);
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"serve\",\n");
+  std::fprintf(f, "  \"city\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
+  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
+  std::fprintf(f, "  \"workers\": %zu,\n", server.num_threads());
+  std::fprintf(f, "  \"clients\": %zu,\n", kClients);
+  std::fprintf(f, "  \"bit_identical\": true,\n");
+  std::fprintf(f, "  \"phases\": [\n");
+  phase_json("cold", cold, ",");
+  phase_json("cached", cached, ",");
+  phase_json("incremental", incremental, "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"mutations\": {\"count\": %zu, \"mean_ms\": %.4f, "
+               "\"max_ms\": %.4f, \"mean_zones_relabeled\": %.2f, "
+               "\"zones_total\": %zu, \"mean_spqs\": %.1f, "
+               "\"full_build_spqs\": %llu},\n",
+               reports.size(), mutation_mean_ms, mutation_max_ms, mean_zones,
+               num_zones, mean_spqs,
+               static_cast<unsigned long long>(full_build_spqs));
+  std::fprintf(f, "  \"server_stats\": {\"submitted\": %llu, "
+               "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+               "\"exact_state_builds\": %llu, \"states_patched\": %llu, "
+               "\"mutations\": %llu}\n",
+               static_cast<unsigned long long>(stats.submitted),
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_misses),
+               static_cast<unsigned long long>(stats.exact_state_builds),
+               static_cast<unsigned long long>(stats.states_patched),
+               static_cast<unsigned long long>(stats.mutations));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  -> wrote %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Run(); }

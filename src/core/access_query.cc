@@ -6,6 +6,31 @@
 
 namespace staq::core {
 
+void FinalizeAccessQueryResult(const std::vector<synth::Zone>& zones,
+                               AccessQueryResult* result) {
+  result->classes = ClassifyAccessibility(result->mac, result->acsd);
+  result->mean_mac = 0.0;
+  result->mean_acsd = 0.0;
+  for (size_t z = 0; z < result->mac.size(); ++z) {
+    result->mean_mac += result->mac[z];
+    result->mean_acsd += result->acsd[z];
+  }
+  result->mean_mac /= static_cast<double>(result->mac.size());
+  result->mean_acsd /= static_cast<double>(result->acsd.size());
+
+  result->fairness = JainIndex(result->mac);
+  std::vector<double> pop_weights, vulnerable_weights;
+  pop_weights.reserve(zones.size());
+  vulnerable_weights.reserve(zones.size());
+  for (const synth::Zone& z : zones) {
+    pop_weights.push_back(z.population);
+    vulnerable_weights.push_back(z.population * z.vulnerability);
+  }
+  result->population_fairness = WeightedJainIndex(result->mac, pop_weights);
+  result->vulnerable_fairness =
+      WeightedJainIndex(result->mac, vulnerable_weights);
+}
+
 AccessQueryEngine::AccessQueryEngine(synth::City city,
                                      gtfs::TimeInterval interval)
     : city_(std::move(city)), interval_(interval) {
@@ -46,25 +71,7 @@ util::Result<AccessQueryResult> AccessQueryEngine::Query(
     result.spqs = run.value().spqs;
   }
 
-  result.classes = ClassifyAccessibility(result.mac, result.acsd);
-  for (size_t z = 0; z < result.mac.size(); ++z) {
-    result.mean_mac += result.mac[z];
-    result.mean_acsd += result.acsd[z];
-  }
-  result.mean_mac /= static_cast<double>(result.mac.size());
-  result.mean_acsd /= static_cast<double>(result.acsd.size());
-
-  result.fairness = JainIndex(result.mac);
-  std::vector<double> pop_weights, vulnerable_weights;
-  pop_weights.reserve(city_.zones.size());
-  vulnerable_weights.reserve(city_.zones.size());
-  for (const synth::Zone& z : city_.zones) {
-    pop_weights.push_back(z.population);
-    vulnerable_weights.push_back(z.population * z.vulnerability);
-  }
-  result.population_fairness = WeightedJainIndex(result.mac, pop_weights);
-  result.vulnerable_fairness =
-      WeightedJainIndex(result.mac, vulnerable_weights);
+  FinalizeAccessQueryResult(city_.zones, &result);
 
   result.elapsed_s = watch.ElapsedSeconds();
   return result;
@@ -74,6 +81,7 @@ uint32_t AccessQueryEngine::AddPoi(synth::PoiCategory category,
                                    const geo::Point& position) {
   uint32_t id = city_.pois.empty() ? 0 : city_.pois.back().id + 1;
   city_.pois.push_back(synth::Poi{id, category, position});
+  ++scenario_version_;
   return id;
 }
 
@@ -86,12 +94,14 @@ util::Status AccessQueryEngine::RemovePoi(uint32_t poi_id) {
     return util::Status::NotFound("no POI with id " + std::to_string(poi_id));
   }
   city_.pois.erase(it);
+  ++scenario_version_;
   return util::Status::OK();
 }
 
 void AccessQueryEngine::SetInterval(const gtfs::TimeInterval& interval) {
   interval_ = interval;
   pipeline_ = std::make_unique<SsrPipeline>(&city_, interval_);
+  ++scenario_version_;
 }
 
 }  // namespace staq::core

@@ -48,6 +48,13 @@ struct AccessQueryResult {
   uint64_t gravity_trips = 0;
 };
 
+/// Assembles the user-facing answer from zone-level measures: classes,
+/// summary means, and the three fairness indices. Shared by the single
+/// client engine below and the concurrent serve subsystem (serve/server.h);
+/// `result.mac`/`result.acsd` must already be populated.
+void FinalizeAccessQueryResult(const std::vector<synth::Zone>& zones,
+                               AccessQueryResult* result);
+
 /// Owns a city and serves access queries against it.
 class AccessQueryEngine {
  public:
@@ -74,10 +81,16 @@ class AccessQueryEngine {
   /// trees are interval-specific).
   void SetInterval(const gtfs::TimeInterval& interval);
 
+  /// Monotonic counter bumped by every scenario mutation (POI add/remove,
+  /// interval switch). External caches keyed on it observe staleness
+  /// without inspecting the scenario itself.
+  uint64_t scenario_version() const { return scenario_version_; }
+
  private:
   synth::City city_;
   gtfs::TimeInterval interval_;
   std::unique_ptr<SsrPipeline> pipeline_;
+  uint64_t scenario_version_ = 0;
 };
 
 }  // namespace staq::core

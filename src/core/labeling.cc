@@ -21,6 +21,29 @@ LabelingEngine::LabelingEngine(const synth::City* city,
                                LabelingMode mode)
     : city_(city), router_(router), gac_weights_(gac_weights), mode_(mode) {}
 
+void LabelingEngine::SetRouter(router::Router* router) {
+  router_ = router;
+  InvalidateAccessStopCache();
+}
+
+void LabelingEngine::InvalidateAccessStopCache() {
+  std::fill(zone_access_valid_.begin(), zone_access_valid_.end(), 0);
+}
+
+const std::vector<router::WalkHop>& LabelingEngine::CachedAccessStops(
+    uint32_t zone) {
+  if (zone_access_valid_.size() <= zone) {
+    zone_access_valid_.resize(city_->zones.size(), 0);
+    zone_access_.resize(city_->zones.size());
+  }
+  if (!zone_access_valid_[zone]) {
+    router_->walk_table().AccessStops(city_->zones[zone].centroid,
+                                      &zone_access_[zone], &neighbor_scratch_);
+    zone_access_valid_[zone] = 1;
+  }
+  return zone_access_[zone];
+}
+
 ZoneLabel LabelingEngine::LabelZone(const Todam& todam, uint32_t zone,
                                     const std::vector<synth::Poi>& pois,
                                     CostKind kind, gtfs::Day day) {
@@ -75,8 +98,7 @@ ZoneLabel LabelingEngine::LabelZoneBatched(const Todam& todam, uint32_t zone,
   if (trips.empty()) return label;
 
   const geo::Point& origin = city_->zones[zone].centroid;
-  router_->walk_table().AccessStops(origin, &origin_access_,
-                                    &neighbor_scratch_);
+  const std::vector<router::WalkHop>& origin_access = CachedAccessStops(zone);
 
   order_.resize(trips.size());
   for (uint32_t i = 0; i < trips.size(); ++i) order_[i] = i;
@@ -113,7 +135,7 @@ ZoneLabel LabelingEngine::LabelZoneBatched(const Todam& todam, uint32_t zone,
 
     group_journeys_.resize(group_points_.size());
     router_->RouteMany(origin, group_points_.data(), group_points_.size(),
-                       day, depart, group_journeys_.data(), &origin_access_);
+                       day, depart, group_journeys_.data(), &origin_access);
     ++expansion_count_;
 
     for (size_t k = g; k < g_end; ++k) {
@@ -168,6 +190,16 @@ std::vector<ZoneLabel> LabelingEngine::LabelZones(
     out.push_back(LabelZone(todam, z, pois, kind, day));
   }
   return out;
+}
+
+void LabelingEngine::RelabelZones(const Todam& todam,
+                                  const std::vector<uint32_t>& zones,
+                                  const std::vector<synth::Poi>& pois,
+                                  CostKind kind, gtfs::Day day,
+                                  std::vector<ZoneLabel>* labels) {
+  for (uint32_t z : zones) {
+    (*labels)[z] = LabelZone(todam, z, pois, kind, day);
+  }
 }
 
 }  // namespace staq::core

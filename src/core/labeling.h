@@ -74,6 +74,30 @@ class LabelingEngine {
                                     const std::vector<synth::Poi>& pois,
                                     CostKind kind, gtfs::Day day);
 
+  /// Delta-labeling hook (serve subsystem): relabels exactly `zones` and
+  /// patches the full-size label vector `labels` (indexed by zone id) in
+  /// place. Each patched entry is bit-identical to what a fresh LabelZone
+  /// call would produce, so patching after a scenario edit equals a full
+  /// recompute on the zones that changed.
+  void RelabelZones(const Todam& todam, const std::vector<uint32_t>& zones,
+                    const std::vector<synth::Poi>& pois, CostKind kind,
+                    gtfs::Day day, std::vector<ZoneLabel>* labels);
+
+  /// Rebinds the engine to a different router (e.g. after a scenario swap
+  /// that replaced the walk table). Invalidates the access-stop cache —
+  /// cached hops reference the previous router's stop set.
+  void SetRouter(router::Router* router);
+
+  /// Scenario mutation hook: drops every cached per-zone AccessStops list.
+  /// Must be called whenever the stop set or walk parameters behind the
+  /// bound router change; zone centroids are immutable, so POI-only edits
+  /// do not require it.
+  void InvalidateAccessStopCache();
+
+  /// Swaps the GAC weights used by subsequent kGeneralizedCost labeling.
+  /// Serve workers share one engine across requests with differing weights.
+  void set_gac_weights(router::GacWeights weights) { gac_weights_ = weights; }
+
   /// Total SPQs answered since construction (for cost accounting). One per
   /// TODAM trip regardless of mode — batching changes how queries are
   /// executed, not how many are asked.
@@ -98,6 +122,16 @@ class LabelingEngine {
   uint64_t spq_count_ = 0;
   uint64_t expansion_count_ = 0;
 
+  /// The zone's access stops, from the per-zone cache when warm. Batched
+  /// mode only; the serve hot path relabels the same zones over and over,
+  /// which makes the walk-table lookup worth caching across calls.
+  const std::vector<router::WalkHop>& CachedAccessStops(uint32_t zone);
+
+  // Per-zone AccessStops cache (batched mode). zone_access_valid_[z] gates
+  // zone_access_[z]; InvalidateAccessStopCache / SetRouter reset it.
+  std::vector<std::vector<router::WalkHop>> zone_access_;
+  std::vector<uint8_t> zone_access_valid_;
+
   // Batched-mode scratch (capacity persists across zones).
   std::vector<uint32_t> order_;          // trip indices sorted by departure
   std::vector<uint64_t> poi_stamp_;      // per-POI: last group it appeared in
@@ -108,7 +142,6 @@ class LabelingEngine {
   std::vector<uint32_t> group_slots_;    // slot per grouped trip
   std::vector<double> trip_cost_;        // per original trip index
   std::vector<uint8_t> trip_flags_;      // bit0 feasible, bit1 walk-only
-  std::vector<router::WalkHop> origin_access_;
   std::vector<geo::Neighbor> neighbor_scratch_;
 };
 

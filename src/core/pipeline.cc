@@ -92,10 +92,11 @@ Todam SsrPipeline::BuildGravityTodam(const std::vector<synth::Poi>& pois,
   return builder.BuildGravity(seed);
 }
 
-util::Result<PipelineResult> SsrPipeline::Run(
-    const std::vector<synth::Poi>& pois, const Todam& todam,
-    const PipelineConfig& config, const ml::Matrix* precomputed_features,
-    double precomputed_features_s) {
+util::Result<PipelineResult> RunSsr(
+    const synth::City& city, const FeatureExtractor& features_extractor,
+    router::Router* router, const std::vector<synth::Poi>& pois,
+    const Todam& todam, gtfs::Day day, const PipelineConfig& config,
+    const ml::Matrix* precomputed_features, double precomputed_features_s) {
   if (config.cost == CostKind::kGeneralizedCost && !config.gac.Valid()) {
     return util::Status::InvalidArgument(
         "invalid GAC weights (negative λ or non-positive value of time)");
@@ -111,18 +112,18 @@ util::Result<PipelineResult> SsrPipeline::Run(
     features = *precomputed_features;
     result.timings.features_s = precomputed_features_s;
   } else {
-    features = features_->ExtractZoneMatrix(pois, todam.alpha());
+    features = features_extractor.ExtractZoneMatrix(pois, todam.alpha());
     result.timings.features_s = watch.ElapsedSeconds();
   }
 
   // --- sampling -----------------------------------------------------------
   std::vector<geo::Point> zone_positions;
-  zone_positions.reserve(city_->zones.size());
-  for (const synth::Zone& z : city_->zones) {
+  zone_positions.reserve(city.zones.size());
+  for (const synth::Zone& z : city.zones) {
     zone_positions.push_back(z.centroid);
   }
   auto labeled =
-      SelectLabeledZones(config.sampling, city_->zones.size(), config.beta,
+      SelectLabeledZones(config.sampling, city.zones.size(), config.beta,
                          config.seed, &zone_positions, &features);
   if (!labeled.ok()) return labeled.status();
   result.labeled = std::move(labeled).value();
@@ -131,14 +132,13 @@ util::Result<PipelineResult> SsrPipeline::Run(
   watch.Reset();
   std::vector<ZoneLabel> labels;
   if (config.labeling_threads > 1) {
-    labels = LabelZonesParallel(*city_, todam, result.labeled, pois,
-                                config.cost, interval_.day,
-                                config.labeling_threads, /*router_options=*/{},
-                                config.gac, &result.spqs);
+    labels = LabelZonesParallel(city, todam, result.labeled, pois,
+                                config.cost, day, config.labeling_threads,
+                                /*router_options=*/{}, config.gac,
+                                &result.spqs);
   } else {
-    LabelingEngine labeler(city_, router_.get(), config.gac);
-    labels = labeler.LabelZones(todam, result.labeled, pois, config.cost,
-                                interval_.day);
+    LabelingEngine labeler(&city, router, config.gac);
+    labels = labeler.LabelZones(todam, result.labeled, pois, config.cost, day);
     result.spqs = labeler.spq_count();
   }
   result.timings.labeling_s = watch.ElapsedSeconds();
@@ -156,7 +156,7 @@ util::Result<PipelineResult> SsrPipeline::Run(
   dataset.labeled = result.labeled;
   dataset.positions = std::move(zone_positions);
 
-  dataset.y.assign(city_->zones.size(), 0.0);
+  dataset.y.assign(city.zones.size(), 0.0);
   for (size_t i = 0; i < result.labeled.size(); ++i) {
     dataset.y[result.labeled[i]] = mac_labels[i];
   }
@@ -177,6 +177,15 @@ util::Result<PipelineResult> SsrPipeline::Run(
   result.mac = Blend(mac_pred, result.labeled, mac_labels);
   result.acsd = Blend(acsd_pred, result.labeled, acsd_labels);
   return result;
+}
+
+util::Result<PipelineResult> SsrPipeline::Run(
+    const std::vector<synth::Poi>& pois, const Todam& todam,
+    const PipelineConfig& config, const ml::Matrix* precomputed_features,
+    double precomputed_features_s) {
+  return RunSsr(*city_, *features_, router_.get(), pois, todam,
+                interval_.day, config, precomputed_features,
+                precomputed_features_s);
 }
 
 GroundTruth SsrPipeline::ComputeGroundTruth(

@@ -80,6 +80,19 @@ struct EvaluationMetrics {
 EvaluationMetrics Evaluate(const GroundTruth& truth,
                            const PipelineResult& result);
 
+/// One SSR run against explicit collaborators: feature extraction, β-budget
+/// sampling, labeling through `router`, SSR training, and transductive
+/// inference. This is the body of SsrPipeline::Run, exposed so callers that
+/// share one set of offline structures across many threads (the serve
+/// subsystem) can pass a per-thread router — Router scratch is not
+/// shareable. `pois` may differ from `city.pois` (scenario edits).
+util::Result<PipelineResult> RunSsr(
+    const synth::City& city, const FeatureExtractor& features,
+    router::Router* router, const std::vector<synth::Poi>& pois,
+    const Todam& todam, gtfs::Day day, const PipelineConfig& config,
+    const ml::Matrix* precomputed_features = nullptr,
+    double precomputed_features_s = 0.0);
+
 /// Orchestrates the full solution over one city and time interval. The
 /// constructor performs the offline phase (isochrones + hop trees + router
 /// tables) and records its cost separately.

@@ -1,5 +1,6 @@
 #include "core/todam.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -18,7 +19,98 @@ util::Rng PairRng(uint64_t seed, uint32_t zone, uint32_t poi,
   return util::Rng(mixer.Next());
 }
 
+/// Independent per-(zone, poi-id) generator for the edit-stable mode: the
+/// key ignores the POI's index and the POI count, so a pair's stream
+/// survives any edit to the rest of the POI set.
+util::Rng StablePairRng(uint64_t seed, uint32_t zone, uint32_t poi_id) {
+  uint64_t pair_key =
+      (static_cast<uint64_t>(zone) << 32) | static_cast<uint64_t>(poi_id);
+  util::SplitMix64 mixer(seed ^ (pair_key * 0x9e3779b97f4a7c15ULL +
+                                 0x94d049bb133111ebULL));
+  return util::Rng(mixer.Next());
+}
+
 }  // namespace
+
+uint32_t TodamSamplesPerPair(const GravityConfig& config,
+                             const gtfs::TimeInterval& interval) {
+  double samples = config.sample_rate_per_hour * interval.DurationHours();
+  return static_cast<uint32_t>(std::lround(std::max(1.0, samples)));
+}
+
+std::vector<double> StableGravityNorms(const std::vector<synth::Zone>& zones,
+                                       const std::vector<synth::Poi>& pois,
+                                       double decay_scale_m) {
+  std::vector<double> norms(zones.size(), 0.0);
+  for (size_t z = 0; z < zones.size(); ++z) {
+    for (const synth::Poi& poi : pois) {
+      norms[z] += DistanceDecay(geo::Distance(zones[z].centroid, poi.position),
+                                decay_scale_m);
+    }
+  }
+  return norms;
+}
+
+void SampleStablePairTrips(uint64_t seed, uint32_t zone, uint32_t poi_id,
+                           uint32_t poi_index, double keep_probability,
+                           const gtfs::TimeInterval& interval,
+                           uint32_t samples, std::vector<TripEntry>* out) {
+  double keep = keep_probability > 1.0 ? 1.0 : keep_probability;
+  if (keep <= 0.0) return;  // α = 0: no trips for this pair
+  util::Rng rng = StablePairRng(seed, zone, poi_id);
+  double span = static_cast<double>(interval.end - interval.start);
+  for (uint32_t r = 0; r < samples; ++r) {
+    // Same draw discipline as BuildGravity: one Bernoulli + one time draw
+    // per candidate, so a pair's trips depend only on its own stream.
+    bool kept = rng.Bernoulli(keep);
+    gtfs::TimeOfDay t =
+        interval.start + static_cast<gtfs::TimeOfDay>(rng.UniformDouble() * span);
+    if (kept) out->push_back(TripEntry{poi_index, t});
+  }
+}
+
+void Todam::RemovePoiColumn(uint32_t poi_index,
+                            std::vector<uint32_t>* affected) {
+  if (affected != nullptr) affected->clear();
+  for (uint32_t z = 0; z < trips_.size(); ++z) {
+    auto& zone_trips = trips_[z];
+    size_t before = zone_trips.size();
+    size_t w = 0;
+    for (size_t i = 0; i < zone_trips.size(); ++i) {
+      TripEntry t = zone_trips[i];
+      if (t.poi == poi_index) continue;
+      if (t.poi > poi_index) --t.poi;
+      zone_trips[w++] = t;
+    }
+    zone_trips.resize(w);
+    num_trips_ -= before - w;
+    if (w != before && affected != nullptr) affected->push_back(z);
+  }
+  if (!alpha_.empty()) {
+    for (auto& row : alpha_) {
+      if (poi_index < row.size()) row.erase(row.begin() + poi_index);
+    }
+  }
+}
+
+void Todam::AppendPoiColumn(
+    const std::vector<std::vector<TripEntry>>& per_zone_trips,
+    const std::vector<double>& alpha_column, std::vector<uint32_t>* affected) {
+  if (affected != nullptr) affected->clear();
+  for (uint32_t z = 0; z < trips_.size(); ++z) {
+    const auto& added = per_zone_trips[z];
+    if (!added.empty()) {
+      trips_[z].insert(trips_[z].end(), added.begin(), added.end());
+      num_trips_ += added.size();
+      if (affected != nullptr) affected->push_back(z);
+    }
+  }
+  if (!alpha_.empty() && !alpha_column.empty()) {
+    for (size_t z = 0; z < alpha_.size(); ++z) {
+      alpha_[z].push_back(alpha_column[z]);
+    }
+  }
+}
 
 double Todam::WalkOnlyFraction(const std::vector<synth::Zone>& zones,
                                const std::vector<synth::Poi>& pois,
@@ -45,8 +137,7 @@ TodamBuilder::TodamBuilder(const std::vector<synth::Zone>& zones,
 }
 
 uint32_t TodamBuilder::SamplesPerPair() const {
-  double samples = config_.sample_rate_per_hour * interval_.DurationHours();
-  return static_cast<uint32_t>(std::lround(std::max(1.0, samples)));
+  return TodamSamplesPerPair(config_, interval_);
 }
 
 uint64_t TodamBuilder::FullTripCount() const {
@@ -101,6 +192,31 @@ Todam TodamBuilder::BuildGravity(uint64_t seed) const {
                             static_cast<gtfs::TimeOfDay>(rng.UniformDouble() * span);
         if (kept) zone_trips.push_back(TripEntry{p, t});
       }
+    }
+    todam.num_trips_ += zone_trips.size();
+  }
+  return todam;
+}
+
+Todam TodamBuilder::BuildGravityStable(
+    uint64_t seed, const std::vector<double>& zone_norm) const {
+  Todam todam;
+  todam.trips_.resize(zones_.size());
+  todam.alpha_.resize(zones_.size());
+  uint32_t samples = SamplesPerPair();
+  for (uint32_t z = 0; z < zones_.size(); ++z) {
+    auto& zone_trips = todam.trips_[z];
+    auto& alpha_row = todam.alpha_[z];
+    alpha_row.reserve(pois_.size());
+    for (uint32_t p = 0; p < pois_.size(); ++p) {
+      double decay =
+          DistanceDecay(geo::Distance(zones_[z].centroid, pois_[p].position),
+                        config_.decay_scale_m);
+      alpha_row.push_back(StableAlphaValue(decay, zone_norm[z]));
+      double keep =
+          StableKeepProbability(decay, zone_norm[z], config_.keep_scale);
+      SampleStablePairTrips(seed, z, pois_[p].id, p, keep, interval_, samples,
+                            &zone_trips);
     }
     todam.num_trips_ += zone_trips.size();
   }

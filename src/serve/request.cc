@@ -1,0 +1,66 @@
+#include "serve/request.h"
+
+#include <cstdio>
+
+namespace staq::serve {
+
+namespace {
+
+/// Appends "|name=<v>" with enough digits that distinct doubles produce
+/// distinct strings (round-trip precision).
+void AppendField(std::string* out, const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "|%s=%.17g", name, v);
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* name, uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "|%s=%llu", name,
+                static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string LabelKey::Canonical() const {
+  std::string out = "cat=" + std::to_string(static_cast<int>(category));
+  out += "|cost=";
+  out += core::CostKindName(cost);
+  AppendField(&out, "decay", gravity.decay_scale_m);
+  AppendField(&out, "keep", gravity.keep_scale);
+  AppendField(&out, "rate", static_cast<uint64_t>(gravity.sample_rate_per_hour));
+  AppendField(&out, "seed", seed);
+  if (cost == core::CostKind::kGeneralizedCost) {
+    AppendField(&out, "ltan", gac.lambda_tan);
+    AppendField(&out, "lwt", gac.lambda_wt);
+    AppendField(&out, "livt", gac.lambda_ivt);
+    AppendField(&out, "let", gac.lambda_et);
+    AppendField(&out, "tp", gac.transfer_penalty_s);
+    AppendField(&out, "vot", gac.value_of_time);
+  }
+  return out;
+}
+
+LabelKey LabelKeyFor(const AqRequest& request) {
+  LabelKey key;
+  key.category = request.category;
+  key.cost = request.options.cost;
+  key.gac = request.options.gac;
+  key.gravity = request.options.gravity;
+  key.seed = request.options.seed;
+  return key;
+}
+
+std::string CanonicalRequestKey(const AqRequest& request) {
+  std::string out = LabelKeyFor(request).Canonical();
+  if (request.options.exact) {
+    out += "|exact";
+  } else {
+    AppendField(&out, "beta", request.options.beta);
+    out += "|model=" + std::to_string(static_cast<int>(request.options.model));
+  }
+  return out;
+}
+
+}  // namespace staq::serve

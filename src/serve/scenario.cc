@@ -1,0 +1,300 @@
+#include "serve/scenario.h"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "core/gravity.h"
+#include "util/stopwatch.h"
+
+namespace staq::serve {
+
+OfflineState::OfflineState(const synth::City& city,
+                           const gtfs::TimeInterval& interval_in,
+                           core::IsochroneConfig iso_config)
+    : interval(interval_in) {
+  util::Stopwatch watch;
+  isochrones = std::make_unique<core::IsochroneSet>(city, iso_config);
+  hop_trees = std::make_unique<core::HopTreeSet>(city, *isochrones, interval);
+  features = std::make_unique<core::FeatureExtractor>(&city, isochrones.get(),
+                                                      hop_trees.get());
+  build_seconds = watch.ElapsedSeconds();
+}
+
+Scenario::Scenario(uint64_t epoch, std::shared_ptr<const synth::City> base,
+                   std::vector<synth::Poi> pois,
+                   std::shared_ptr<const OfflineState> offline)
+    : epoch_(epoch),
+      base_(std::move(base)),
+      pois_(std::move(pois)),
+      offline_(std::move(offline)) {}
+
+std::vector<synth::Poi> Scenario::PoisOf(synth::PoiCategory category) const {
+  std::vector<synth::Poi> out;
+  for (const synth::Poi& poi : pois_) {
+    if (poi.category == category) out.push_back(poi);
+  }
+  return out;
+}
+
+std::shared_ptr<const ExactLabelState> Scenario::BuildLabelState(
+    const LabelKey& key, core::LabelingEngine* engine) const {
+  auto state = std::make_shared<ExactLabelState>();
+  state->pois = PoisOf(key.category);
+  // Normalisers are frozen over the *base* city's category POIs so that
+  // every epoch — and every patch — sees the same keep probabilities.
+  state->zone_norm = core::StableGravityNorms(
+      base_->zones, base_->PoisOf(key.category), key.gravity.decay_scale_m);
+  core::TodamBuilder builder(base_->zones, state->pois, interval(),
+                             key.gravity);
+  state->todam = builder.BuildGravityStable(key.seed, state->zone_norm);
+
+  engine->set_gac_weights(key.gac);
+  std::vector<uint32_t> all(base_->zones.size());
+  std::iota(all.begin(), all.end(), 0u);
+  uint64_t spq_before = engine->spq_count();
+  state->labels =
+      engine->LabelZones(state->todam, all, state->pois, key.cost,
+                         interval().day);
+  state->build_spqs = engine->spq_count() - spq_before;
+  state->relabeled_zones = static_cast<uint32_t>(all.size());
+  return state;
+}
+
+std::shared_ptr<const ExactLabelState> Scenario::GetOrBuildLabelState(
+    const LabelKey& key, core::LabelingEngine* engine,
+    bool* built_fresh) const {
+  if (built_fresh != nullptr) *built_fresh = false;
+  const std::string canonical = key.Canonical();
+  std::promise<std::shared_ptr<const ExactLabelState>> promise;
+  std::shared_future<std::shared_ptr<const ExactLabelState>> future;
+  bool is_builder = false;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    auto it = states_.find(canonical);
+    if (it != states_.end()) {
+      future = it->second.future;
+    } else {
+      future = promise.get_future().share();
+      states_.emplace(canonical, StateEntry{key, future});
+      is_builder = true;
+    }
+  }
+  if (!is_builder) return future.get();
+
+  auto state = BuildLabelState(key, engine);
+  promise.set_value(state);
+  if (built_fresh != nullptr) *built_fresh = true;
+  return state;
+}
+
+std::vector<std::pair<LabelKey, std::shared_ptr<const ExactLabelState>>>
+Scenario::MaterializedStates() const {
+  std::vector<std::pair<LabelKey, std::shared_ptr<const ExactLabelState>>> out;
+  std::lock_guard<std::mutex> lock(states_mu_);
+  out.reserve(states_.size());
+  for (const auto& [canonical, entry] : states_) {
+    if (entry.future.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      out.emplace_back(entry.key, entry.future.get());
+    }
+  }
+  return out;
+}
+
+void Scenario::SeedLabelState(const LabelKey& key,
+                              std::shared_ptr<const ExactLabelState> state) {
+  std::promise<std::shared_ptr<const ExactLabelState>> promise;
+  promise.set_value(std::move(state));
+  std::lock_guard<std::mutex> lock(states_mu_);
+  states_.emplace(key.Canonical(),
+                  StateEntry{key, promise.get_future().share()});
+}
+
+ScenarioStore::ScenarioStore(synth::City city,
+                             const gtfs::TimeInterval& interval,
+                             Options options)
+    : base_(std::make_shared<const synth::City>(std::move(city))),
+      options_(options),
+      relabel_router_(&base_->feed, options.router),
+      relabel_engine_(base_.get(), &relabel_router_) {
+  auto offline =
+      std::make_shared<const OfflineState>(*base_, interval, options_.iso);
+  current_ = std::make_shared<const Scenario>(/*epoch=*/0, base_, base_->pois,
+                                              std::move(offline));
+  for (const synth::Poi& poi : base_->pois) {
+    if (poi.id >= next_poi_id_) next_poi_id_ = poi.id + 1;
+  }
+}
+
+std::shared_ptr<const Scenario> ScenarioStore::Acquire() const {
+  std::lock_guard<std::mutex> lock(current_mu_);
+  return current_;
+}
+
+void ScenarioStore::Install(std::shared_ptr<const Scenario> next) {
+  std::lock_guard<std::mutex> lock(current_mu_);
+  current_ = std::move(next);
+}
+
+std::shared_ptr<const ExactLabelState> ScenarioStore::PatchAdd(
+    const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
+    const synth::Poi& poi) {
+  auto state = std::make_shared<ExactLabelState>(parent);
+  state->pois.push_back(poi);
+  const uint32_t new_index = static_cast<uint32_t>(state->pois.size() - 1);
+
+  // Sample only the new POI's column. Every other pair's RNG stream is
+  // keyed by its own stable id, so the rest of the TODAM is untouched.
+  const uint32_t samples = core::TodamSamplesPerPair(key.gravity, next.interval());
+  const size_t num_zones = base_->zones.size();
+  std::vector<std::vector<core::TripEntry>> per_zone(num_zones);
+  std::vector<double> alpha_column(num_zones);
+  for (uint32_t z = 0; z < num_zones; ++z) {
+    double decay = core::DistanceDecay(
+        geo::Distance(base_->zones[z].centroid, poi.position),
+        key.gravity.decay_scale_m);
+    alpha_column[z] = core::StableAlphaValue(decay, state->zone_norm[z]);
+    double keep = core::StableKeepProbability(decay, state->zone_norm[z],
+                                              key.gravity.keep_scale);
+    core::SampleStablePairTrips(key.seed, z, poi.id, new_index, keep,
+                                next.interval(), samples, &per_zone[z]);
+  }
+  std::vector<uint32_t> affected;
+  state->todam.AppendPoiColumn(per_zone, alpha_column, &affected);
+
+  relabel_engine_.set_gac_weights(key.gac);
+  uint64_t spq_before = relabel_engine_.spq_count();
+  relabel_engine_.RelabelZones(state->todam, affected, state->pois, key.cost,
+                               next.interval().day, &state->labels);
+  state->build_spqs = relabel_engine_.spq_count() - spq_before;
+  state->relabeled_zones = static_cast<uint32_t>(affected.size());
+  return state;
+}
+
+std::shared_ptr<const ExactLabelState> ScenarioStore::PatchRemove(
+    const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
+    uint32_t poi_id) {
+  auto state = std::make_shared<ExactLabelState>(parent);
+  auto it = std::find_if(
+      state->pois.begin(), state->pois.end(),
+      [poi_id](const synth::Poi& p) { return p.id == poi_id; });
+  const uint32_t index = static_cast<uint32_t>(it - state->pois.begin());
+  state->pois.erase(it);
+
+  std::vector<uint32_t> affected;
+  state->todam.RemovePoiColumn(index, &affected);
+
+  relabel_engine_.set_gac_weights(key.gac);
+  uint64_t spq_before = relabel_engine_.spq_count();
+  relabel_engine_.RelabelZones(state->todam, affected, state->pois, key.cost,
+                               next.interval().day, &state->labels);
+  state->build_spqs = relabel_engine_.spq_count() - spq_before;
+  state->relabeled_zones = static_cast<uint32_t>(affected.size());
+  return state;
+}
+
+ScenarioStore::MutationReport ScenarioStore::AddPoi(
+    synth::PoiCategory category, const geo::Point& position) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto current = Acquire();
+
+  synth::Poi poi;
+  poi.id = next_poi_id_++;
+  poi.category = category;
+  poi.position = position;
+
+  std::vector<synth::Poi> pois = current->pois();
+  pois.push_back(poi);
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, base_,
+                                         std::move(pois),
+                                         current->offline_ptr());
+
+  MutationReport report;
+  report.epoch = next->epoch();
+  report.poi_id = poi.id;
+  report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  for (const auto& [key, state] : current->MaterializedStates()) {
+    if (key.category != category) {
+      next->SeedLabelState(key, state);
+      ++report.states_shared;
+      continue;
+    }
+    auto patched = PatchAdd(*next, key, *state, poi);
+    report.spqs += patched->build_spqs;
+    report.zones_relabeled += patched->relabeled_zones;
+    ++report.states_patched;
+    next->SeedLabelState(key, std::move(patched));
+  }
+  Install(std::move(next));
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::RemovePoi(
+    uint32_t poi_id) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto current = Acquire();
+
+  auto it = std::find_if(
+      current->pois().begin(), current->pois().end(),
+      [poi_id](const synth::Poi& p) { return p.id == poi_id; });
+  if (it == current->pois().end()) {
+    return util::Status::NotFound("no POI with id " + std::to_string(poi_id));
+  }
+  const synth::PoiCategory category = it->category;
+
+  std::vector<synth::Poi> pois = current->pois();
+  pois.erase(pois.begin() + (it - current->pois().begin()));
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, base_,
+                                         std::move(pois),
+                                         current->offline_ptr());
+
+  MutationReport report;
+  report.epoch = next->epoch();
+  report.poi_id = poi_id;
+  report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  for (const auto& [key, state] : current->MaterializedStates()) {
+    if (key.category != category) {
+      next->SeedLabelState(key, state);
+      ++report.states_shared;
+      continue;
+    }
+    auto patched = PatchRemove(*next, key, *state, poi_id);
+    report.spqs += patched->build_spqs;
+    report.zones_relabeled += patched->relabeled_zones;
+    ++report.states_patched;
+    next->SeedLabelState(key, std::move(patched));
+  }
+  Install(std::move(next));
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+ScenarioStore::MutationReport ScenarioStore::SetInterval(
+    const gtfs::TimeInterval& interval) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto current = Acquire();
+
+  auto offline =
+      std::make_shared<const OfflineState>(*base_, interval, options_.iso);
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, base_,
+                                         current->pois(), std::move(offline));
+  // Mutation discipline: any swap of offline structures drops the writer
+  // engine's cached access stops. Today the walk table is feed-derived and
+  // survives interval switches, but the invalidation keeps the cache from
+  // outliving any future mutation that does touch stop geometry.
+  relabel_engine_.InvalidateAccessStopCache();
+
+  MutationReport report;
+  report.epoch = next->epoch();
+  report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  Install(std::move(next));
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace staq::serve

@@ -1,0 +1,216 @@
+// Epoch-versioned city scenarios with incremental relabeling.
+//
+// A Scenario is an immutable snapshot of one city configuration: the POI
+// set, the analysis interval, and the interval's offline structures
+// (isochrones, hop trees, feature extractor). Scenarios are published
+// RCU-style by a ScenarioStore: readers Acquire() a shared_ptr to the
+// current snapshot and keep using it for as long as they like; a mutation
+// (POI add/remove, interval switch) builds the *next* snapshot off to the
+// side and installs it with one pointer swap. In-flight queries never
+// observe a half-mutated scenario and never block writers.
+//
+// Incremental relabeling (the reason mutations are cheap): exact answers
+// are derived from an ExactLabelState — the edit-stable TODAM plus every
+// zone's exact label. The edit-stable construction (core/todam.h) keys
+// each (zone, POI) RNG stream by the POI's *stable id* and freezes the
+// gravity normaliser over the base city's POI set, which makes the TODAM
+// history-independent: editing one POI perturbs only that POI's trips.
+// A mutation therefore patches the parent epoch's materialised states —
+// sample the one new/removed POI column, splice it in, and relabel only
+// the zones whose trip sequence changed (= zones with at least one sampled
+// trip to the edited POI; exact, not a conservative superset). The patched
+// state is bit-identical to a from-scratch build over the edited POI set,
+// which the golden tests assert, and a scenario edit costs O(affected
+// zones) SPQs instead of O(all zones).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/features.h"
+#include "core/hoptree.h"
+#include "core/isochrone.h"
+#include "core/labeling.h"
+#include "core/todam.h"
+#include "router/router.h"
+#include "serve/request.h"
+#include "synth/city_builder.h"
+#include "util/status.h"
+
+namespace staq::serve {
+
+/// Offline structures of one analysis interval. They depend only on zones,
+/// the road graph, and the GTFS feed — never on POIs — so every POI-edit
+/// epoch shares its parent's OfflineState; only an interval switch builds
+/// a new one.
+struct OfflineState {
+  OfflineState(const synth::City& city, const gtfs::TimeInterval& interval,
+               core::IsochroneConfig iso_config = {});
+
+  gtfs::TimeInterval interval;
+  std::unique_ptr<core::IsochroneSet> isochrones;
+  std::unique_ptr<core::HopTreeSet> hop_trees;
+  std::unique_ptr<core::FeatureExtractor> features;
+  double build_seconds = 0.0;
+};
+
+/// One exact labeling of one scenario under one LabelKey: the edit-stable
+/// TODAM over the key's category POIs and the exact label of every zone.
+/// Immutable once published; patches copy-then-modify.
+struct ExactLabelState {
+  /// The category's POIs in scenario order (stable-id ascending).
+  std::vector<synth::Poi> pois;
+  /// Frozen gravity normalisers (StableGravityNorms over the *base* city's
+  /// category POIs) — shared verbatim by every epoch so keep probabilities
+  /// never shift under edits.
+  std::vector<double> zone_norm;
+  core::Todam todam;
+  std::vector<core::ZoneLabel> labels;  // indexed by zone
+
+  /// SPQs spent producing this state from its predecessor: a full build
+  /// charges every zone, a patch only the affected ones.
+  uint64_t build_spqs = 0;
+  /// Zones labeled in that step (== all zones for a full build).
+  uint32_t relabeled_zones = 0;
+};
+
+/// Immutable scenario snapshot. Thread-safe: all mutable state is the
+/// internal label-state memo, which is guarded and memoised per key.
+class Scenario {
+ public:
+  Scenario(uint64_t epoch, std::shared_ptr<const synth::City> base,
+           std::vector<synth::Poi> pois,
+           std::shared_ptr<const OfflineState> offline);
+
+  uint64_t epoch() const { return epoch_; }
+  const synth::City& base_city() const { return *base_; }
+  const std::vector<synth::Poi>& pois() const { return pois_; }
+  const OfflineState& offline() const { return *offline_; }
+  /// The shared offline handle, for deriving POI-edit epochs that reuse it
+  /// (sharing the handle, not aliasing the scenario, so dead epochs free).
+  std::shared_ptr<const OfflineState> offline_ptr() const { return offline_; }
+  const gtfs::TimeInterval& interval() const { return offline_->interval; }
+
+  /// The scenario's POIs of one category, in stable-id order.
+  std::vector<synth::Poi> PoisOf(synth::PoiCategory category) const;
+
+  /// Memoised exact label state: the first caller for a key builds it with
+  /// `engine` (and sets *built_fresh when non-null); concurrent callers
+  /// for the same key block until that build is published. `engine` is only
+  /// used by the caller that actually builds.
+  std::shared_ptr<const ExactLabelState> GetOrBuildLabelState(
+      const LabelKey& key, core::LabelingEngine* engine,
+      bool* built_fresh = nullptr) const;
+
+  /// From-scratch build, bypassing the memo. This is the golden reference
+  /// the incremental path is checked against (tests, bench gates).
+  std::shared_ptr<const ExactLabelState> BuildLabelState(
+      const LabelKey& key, core::LabelingEngine* engine) const;
+
+  /// Label states the scenario currently holds materialised (ready, not
+  /// in-flight). Mutations patch these into the next epoch; a state still
+  /// being built during a mutation is simply not carried over — the next
+  /// epoch rebuilds it on demand, and history-independence guarantees the
+  /// rebuild equals the patch it missed.
+  std::vector<std::pair<LabelKey, std::shared_ptr<const ExactLabelState>>>
+  MaterializedStates() const;
+
+  /// Pre-publishes a label state (mutation derivation). Must only be
+  /// called before the scenario is installed.
+  void SeedLabelState(const LabelKey& key,
+                      std::shared_ptr<const ExactLabelState> state);
+
+ private:
+  struct StateEntry {
+    LabelKey key;
+    std::shared_future<std::shared_ptr<const ExactLabelState>> future;
+  };
+
+  uint64_t epoch_;
+  std::shared_ptr<const synth::City> base_;
+  std::vector<synth::Poi> pois_;
+  std::shared_ptr<const OfflineState> offline_;
+
+  mutable std::mutex states_mu_;
+  mutable std::unordered_map<std::string, StateEntry> states_;
+};
+
+/// Owns the current scenario and serialises mutations. Readers are
+/// wait-free with respect to writers apart from one pointer-load mutex.
+class ScenarioStore {
+ public:
+  struct Options {
+    core::IsochroneConfig iso;
+    router::RouterOptions router;
+  };
+
+  /// Takes ownership of the city; builds the offline state for `interval`
+  /// and installs epoch 0 over the city's own POIs.
+  ScenarioStore(synth::City city, const gtfs::TimeInterval& interval,
+                Options options = {});
+
+  /// The current snapshot. The returned scenario stays fully usable after
+  /// any number of subsequent mutations.
+  std::shared_ptr<const Scenario> Acquire() const;
+
+  uint64_t epoch() const { return Acquire()->epoch(); }
+  const synth::City& base_city() const { return *base_; }
+
+  /// What one mutation did and what it cost.
+  struct MutationReport {
+    uint64_t epoch = 0;           // the epoch the mutation installed
+    uint32_t poi_id = 0;          // AddPoi: id of the new POI
+    uint32_t states_patched = 0;  // label states carried over by patching
+    uint32_t states_shared = 0;   // carried over untouched (other category)
+    uint32_t zones_relabeled = 0;
+    uint32_t zones_total = 0;     // per patched state
+    uint64_t spqs = 0;            // SPQs spent on relabeling
+    double seconds = 0.0;
+  };
+
+  /// Adds a POI and installs the next epoch. Every materialised label
+  /// state of the POI's category is patched incrementally.
+  MutationReport AddPoi(synth::PoiCategory category,
+                        const geo::Point& position);
+
+  /// Removes a POI by id. NotFound when absent.
+  util::Result<MutationReport> RemovePoi(uint32_t poi_id);
+
+  /// Switches the analysis interval: rebuilds the offline structures and
+  /// installs a fresh epoch. Label states are interval-dependent and are
+  /// not carried over.
+  MutationReport SetInterval(const gtfs::TimeInterval& interval);
+
+ private:
+  std::shared_ptr<const ExactLabelState> PatchAdd(
+      const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
+      const synth::Poi& poi);
+  std::shared_ptr<const ExactLabelState> PatchRemove(
+      const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
+      uint32_t poi_id);
+  void Install(std::shared_ptr<const Scenario> next);
+
+  std::shared_ptr<const synth::City> base_;
+  Options options_;
+
+  /// Writer-side labeling context, used only under mutation_mu_.
+  router::Router relabel_router_;
+  core::LabelingEngine relabel_engine_;
+
+  /// Serialises mutations; never held while readers run queries.
+  std::mutex mutation_mu_;
+  /// Next stable POI id (monotonic, never reused: a reused id would splice
+  /// a new POI onto a removed POI's RNG stream). Guarded by mutation_mu_.
+  uint32_t next_poi_id_ = 0;
+
+  mutable std::mutex current_mu_;
+  std::shared_ptr<const Scenario> current_;
+};
+
+}  // namespace staq::serve

@@ -1,0 +1,280 @@
+#include "serve/server.h"
+
+#include <thread>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "util/stopwatch.h"
+
+namespace staq::serve {
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 2;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+util::Result<core::AccessQueryResult> AqTicket::Get() {
+  return future_.get();
+}
+
+bool AqTicket::TryCancel() {
+  if (!valid() || !handle_.valid()) return false;
+  if (!handle_.Cancel()) return false;
+  // Cancel succeeded: the worker will never touch this request, so the
+  // ticket owns the promise exclusively.
+  promise_->set_value(util::Status::Cancelled("request withdrawn by client"));
+  server_->cancelled_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+AqServer::AqServer(synth::City city, const gtfs::TimeInterval& interval,
+                   Options options)
+    : options_(options),
+      store_(std::move(city), interval, options.scenario),
+      cache_(options.cache),
+      pool_(ResolveThreads(options.num_threads)) {}
+
+AqServer::AqServer(synth::City city, const gtfs::TimeInterval& interval)
+    : AqServer(std::move(city), interval, Options()) {}
+
+AqServer::~AqServer() = default;
+
+ScenarioStore::MutationReport AqServer::AddPoi(synth::PoiCategory category,
+                                               const geo::Point& position) {
+  auto report = store_.AddPoi(category, position);
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  states_patched_.fetch_add(report.states_patched, std::memory_order_relaxed);
+  zones_relabeled_.fetch_add(report.zones_relabeled,
+                             std::memory_order_relaxed);
+  patch_spqs_.fetch_add(report.spqs, std::memory_order_relaxed);
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> AqServer::RemovePoi(
+    uint32_t poi_id) {
+  auto report = store_.RemovePoi(poi_id);
+  if (!report.ok()) return report;
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  states_patched_.fetch_add(report.value().states_patched,
+                            std::memory_order_relaxed);
+  zones_relabeled_.fetch_add(report.value().zones_relabeled,
+                             std::memory_order_relaxed);
+  patch_spqs_.fetch_add(report.value().spqs, std::memory_order_relaxed);
+  return report;
+}
+
+ScenarioStore::MutationReport AqServer::SetInterval(
+    const gtfs::TimeInterval& interval) {
+  auto report = store_.SetInterval(interval);
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  // Mutation discipline (see LabelingEngine::InvalidateAccessStopCache):
+  // idle worker engines drop their cached access stops alongside the
+  // store's writer engine. Leased contexts are executing against the old
+  // snapshot's walk table, which their own router still owns.
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    for (auto& context : free_contexts_) {
+      context->engine.InvalidateAccessStopCache();
+    }
+  }
+  return report;
+}
+
+std::unique_ptr<AqServer::WorkerContext> AqServer::AcquireContext() {
+  {
+    std::lock_guard<std::mutex> lock(context_mu_);
+    if (!free_contexts_.empty()) {
+      auto context = std::move(free_contexts_.back());
+      free_contexts_.pop_back();
+      return context;
+    }
+  }
+  return std::make_unique<WorkerContext>(&store_.base_city(),
+                                         options_.scenario.router);
+}
+
+void AqServer::ReleaseContext(std::unique_ptr<WorkerContext> context) {
+  std::lock_guard<std::mutex> lock(context_mu_);
+  free_contexts_.push_back(std::move(context));
+}
+
+AqTicket AqServer::Submit(const AqRequest& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  AqTicket ticket;
+  ticket.server_ = this;
+  ticket.promise_ = std::make_shared<AqTicket::Promise>();
+  ticket.future_ = ticket.promise_->get_future();
+
+  if (pool_.PendingTasks() >= options_.max_pending) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    ticket.promise_->set_value(util::Status::ResourceExhausted(
+        "serve queue full (" + std::to_string(options_.max_pending) +
+        " pending)"));
+    return ticket;
+  }
+
+  // The snapshot is captured at admission: the request answers against the
+  // epoch it was accepted under, whatever mutations land meanwhile.
+  auto snapshot = store_.Acquire();
+  auto submitted_at = std::chrono::steady_clock::now();
+  auto promise = ticket.promise_;
+  ticket.handle_ = pool_.SubmitHandle(
+      [this, request, submitted_at, snapshot = std::move(snapshot),
+       promise]() { RunRequest(request, submitted_at, snapshot, promise); });
+  return ticket;
+}
+
+util::Result<core::AccessQueryResult> AqServer::Query(
+    const AqRequest& request) {
+  return Submit(request).Get();
+}
+
+util::Result<core::AccessQueryResult> AqServer::QueryUncached(
+    const AqRequest& request) {
+  auto snapshot = store_.Acquire();
+  auto context = AcquireContext();
+  auto result = Execute(request, *snapshot, context.get(),
+                        /*use_caches=*/false);
+  ReleaseContext(std::move(context));
+  return result;
+}
+
+void AqServer::RunRequest(const AqRequest& request,
+                          std::chrono::steady_clock::time_point submitted_at,
+                          std::shared_ptr<const Scenario> snapshot,
+                          const std::shared_ptr<AqTicket::Promise>& promise) {
+  if (request.deadline_s > 0.0 &&
+      SecondsSince(submitted_at) > request.deadline_s) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(util::Status::DeadlineExceeded(
+        "deadline expired before execution started"));
+    return;
+  }
+
+  auto context = AcquireContext();
+  auto result = Execute(request, *snapshot, context.get(),
+                        /*use_caches=*/true);
+  ReleaseContext(std::move(context));
+
+  if (result.ok()) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  promise->set_value(std::move(result));
+}
+
+util::Result<core::AccessQueryResult> AqServer::Execute(
+    const AqRequest& request, const Scenario& scenario, WorkerContext* context,
+    bool use_caches) {
+  util::Stopwatch watch;
+
+  std::string cache_key;
+  if (use_caches) {
+    cache_key = "e=" + std::to_string(scenario.epoch()) + '|' +
+                CanonicalRequestKey(request);
+    if (auto cached = cache_.Get(cache_key)) {
+      core::AccessQueryResult result = *cached;
+      result.elapsed_s = watch.ElapsedSeconds();
+      return result;
+    }
+  }
+
+  std::vector<synth::Poi> pois = scenario.PoisOf(request.category);
+  if (pois.empty()) {
+    return util::Status::NotFound("no POIs of requested category in scenario");
+  }
+
+  const synth::City& city = scenario.base_city();
+  core::AccessQueryResult result;
+  if (request.options.exact) {
+    LabelKey key = LabelKeyFor(request);
+    std::shared_ptr<const ExactLabelState> state;
+    if (use_caches) {
+      bool built = false;
+      state = scenario.GetOrBuildLabelState(key, &context->engine, &built);
+      if (built) exact_state_builds_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      state = scenario.BuildLabelState(key, &context->engine);
+      exact_state_builds_.fetch_add(1, std::memory_order_relaxed);
+    }
+    result.gravity_trips = state->todam.num_trips();
+    result.spqs = state->build_spqs;
+    result.mac.resize(state->labels.size());
+    result.acsd.resize(state->labels.size());
+    for (size_t z = 0; z < state->labels.size(); ++z) {
+      result.mac[z] = state->labels[z].mac;
+      result.acsd[z] = state->labels[z].acsd;
+    }
+  } else {
+    // SSR path: the TODAM uses the same edit-stable construction as the
+    // exact path, so SSR answers are deterministic functions of the
+    // scenario (cacheable per epoch) and comparable across epochs.
+    std::vector<double> zone_norm = core::StableGravityNorms(
+        city.zones, city.PoisOf(request.category),
+        request.options.gravity.decay_scale_m);
+    core::TodamBuilder builder(city.zones, pois, scenario.interval(),
+                               request.options.gravity);
+    core::Todam todam =
+        builder.BuildGravityStable(request.options.seed, zone_norm);
+    result.gravity_trips = todam.num_trips();
+
+    core::PipelineConfig config;
+    config.beta = request.options.beta;
+    config.model = request.options.model;
+    config.cost = request.options.cost;
+    config.gac = request.options.gac;
+    config.seed = request.options.seed;
+    auto run = core::RunSsr(city, *scenario.offline().features,
+                            &context->router, pois, todam,
+                            scenario.interval().day, config);
+    if (!run.ok()) return run.status();
+    result.mac = std::move(run.value().mac);
+    result.acsd = std::move(run.value().acsd);
+    result.spqs = run.value().spqs;
+  }
+
+  core::FinalizeAccessQueryResult(city.zones, &result);
+  result.elapsed_s = watch.ElapsedSeconds();
+
+  if (use_caches) {
+    cache_.Put(cache_key,
+               std::make_shared<const core::AccessQueryResult>(result));
+  }
+  return result;
+}
+
+ServerStats AqServer::stats() const {
+  ServerStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.cache_evictions = cache_.evictions();
+  stats.exact_state_builds =
+      exact_state_builds_.load(std::memory_order_relaxed);
+  stats.mutations = mutations_.load(std::memory_order_relaxed);
+  stats.states_patched = states_patched_.load(std::memory_order_relaxed);
+  stats.zones_relabeled = zones_relabeled_.load(std::memory_order_relaxed);
+  stats.patch_spqs = patch_spqs_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace staq::serve

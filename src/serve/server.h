@@ -1,0 +1,159 @@
+// staq::serve — concurrent access-query server.
+//
+// An AqServer owns a ScenarioStore (epoch-versioned scenarios, incremental
+// relabeling) and a worker pool, and answers AqRequests concurrently:
+//
+//   * Admission: Submit() refuses new work with kResourceExhausted once the
+//     queue holds max_pending tasks, so a burst degrades into fast
+//     rejections instead of unbounded latency.
+//   * Snapshots: each request captures the current scenario at submission.
+//     Mutations arriving while it waits or runs do not affect it — it
+//     answers against the epoch it was admitted under (RCU discipline).
+//   * Deadlines: a request whose budget expired before a worker picked it
+//     up fails with kDeadlineExceeded without doing any work; a ticket can
+//     also be withdrawn explicitly while still queued.
+//   * Caching: results are memoised in a sharded LRU keyed by (epoch,
+//     canonical request), and exact label states are memoised per scenario,
+//     so repeated analytical queries against a stable scenario cost one
+//     cache probe.
+//
+// QueryUncached() recomputes from scratch, bypassing every cache — it is
+// the golden reference that tests and the serve bench compare cached and
+// incremental answers against.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/access_query.h"
+#include "serve/request.h"
+#include "serve/result_cache.h"
+#include "serve/scenario.h"
+#include "util/thread_pool.h"
+
+namespace staq::serve {
+
+class AqServer;
+
+/// Handle to one submitted request. Get() blocks for the answer; TryCancel
+/// withdraws the request if no worker has started it. The issuing AqServer
+/// must outlive the ticket.
+class AqTicket {
+ public:
+  AqTicket() = default;
+
+  bool valid() const { return promise_ != nullptr; }
+
+  /// Blocks until the request resolves and returns its result. Consumes
+  /// the ticket's future — call once.
+  util::Result<core::AccessQueryResult> Get();
+
+  /// Withdraws the request while it is still queued. On success the ticket
+  /// resolves to kCancelled and no worker ever sees the request.
+  bool TryCancel();
+
+ private:
+  friend class AqServer;
+  using Promise = std::promise<util::Result<core::AccessQueryResult>>;
+
+  AqServer* server_ = nullptr;
+  std::shared_ptr<Promise> promise_;
+  std::future<util::Result<core::AccessQueryResult>> future_;
+  util::TaskHandle handle_;
+};
+
+class AqServer {
+ public:
+  struct Options {
+    /// Worker threads; 0 = hardware concurrency.
+    size_t num_threads = 0;
+    /// Admission bound: Submit() rejects once this many tasks are pending.
+    size_t max_pending = 256;
+    ResultCache::Options cache;
+    ScenarioStore::Options scenario;
+  };
+
+  /// Takes ownership of the city and runs the offline phase for `interval`.
+  AqServer(synth::City city, const gtfs::TimeInterval& interval,
+           Options options);
+  AqServer(synth::City city, const gtfs::TimeInterval& interval);
+  ~AqServer();
+
+  AqServer(const AqServer&) = delete;
+  AqServer& operator=(const AqServer&) = delete;
+
+  // --- scenario API ------------------------------------------------------
+  uint64_t epoch() const { return store_.epoch(); }
+  std::shared_ptr<const Scenario> Snapshot() const { return store_.Acquire(); }
+  const synth::City& base_city() const { return store_.base_city(); }
+
+  ScenarioStore::MutationReport AddPoi(synth::PoiCategory category,
+                                       const geo::Point& position);
+  util::Result<ScenarioStore::MutationReport> RemovePoi(uint32_t poi_id);
+  ScenarioStore::MutationReport SetInterval(const gtfs::TimeInterval& interval);
+
+  // --- query API ---------------------------------------------------------
+  /// Asynchronous submission. Never blocks on query work; returns a
+  /// rejected ticket (kResourceExhausted) when the queue is full.
+  AqTicket Submit(const AqRequest& request);
+
+  /// Synchronous convenience: Submit + Get.
+  util::Result<core::AccessQueryResult> Query(const AqRequest& request);
+
+  /// Golden reference: recomputes the answer from scratch on the caller's
+  /// thread, bypassing the result cache and the label-state memo.
+  util::Result<core::AccessQueryResult> QueryUncached(const AqRequest& request);
+
+  ServerStats stats() const;
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  friend class AqTicket;
+
+  /// Per-worker routing context: Router scratch is not shareable across
+  /// threads, so each concurrently running request leases one of these.
+  struct WorkerContext {
+    explicit WorkerContext(const synth::City* city,
+                           const router::RouterOptions& options)
+        : router(&city->feed, options), engine(city, &router) {}
+    router::Router router;
+    core::LabelingEngine engine;
+  };
+
+  std::unique_ptr<WorkerContext> AcquireContext();
+  void ReleaseContext(std::unique_ptr<WorkerContext> context);
+
+  util::Result<core::AccessQueryResult> Execute(
+      const AqRequest& request, const Scenario& scenario,
+      WorkerContext* context, bool use_caches);
+  void RunRequest(const AqRequest& request,
+                  std::chrono::steady_clock::time_point submitted_at,
+                  std::shared_ptr<const Scenario> snapshot,
+                  const std::shared_ptr<AqTicket::Promise>& promise);
+
+  Options options_;
+  ScenarioStore store_;
+  ResultCache cache_;
+  util::ThreadPool pool_;
+
+  std::mutex context_mu_;
+  std::vector<std::unique_ptr<WorkerContext>> free_contexts_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> exact_state_builds_{0};
+  std::atomic<uint64_t> mutations_{0};
+  std::atomic<uint64_t> states_patched_{0};
+  std::atomic<uint64_t> zones_relabeled_{0};
+  std::atomic<uint64_t> patch_spqs_{0};
+};
+
+}  // namespace staq::serve

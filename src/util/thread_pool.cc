@@ -6,6 +6,45 @@
 
 namespace staq::util {
 
+/// Shared state behind a TaskHandle: a tiny monitor so Wait/Cancel need no
+/// future plumbing (a cancelled packaged_task would surface as
+/// broken_promise rather than a clean "never ran").
+struct TaskHandle::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  TaskState state = TaskState::kQueued;
+  std::exception_ptr error;
+};
+
+TaskState TaskHandle::state() const {
+  if (shared_ == nullptr) return TaskState::kDone;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->state;
+}
+
+bool TaskHandle::Cancel() {
+  if (shared_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  if (shared_->state != TaskState::kQueued) return false;
+  shared_->state = TaskState::kCancelled;
+  shared_->cv.notify_all();
+  return true;
+}
+
+void TaskHandle::Wait() {
+  if (shared_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(shared_->mu);
+  shared_->cv.wait(lock, [this] {
+    return shared_->state == TaskState::kDone ||
+           shared_->state == TaskState::kCancelled;
+  });
+  if (shared_->error) {
+    std::exception_ptr error = shared_->error;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
   threads_.reserve(n);
@@ -25,16 +64,49 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::packaged_task<void()> task;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and queue drained
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task routes exceptions into the future
+    RunJob(job);
   }
+}
+
+void ThreadPool::RunJob(Job& job) {
+  if (job.handle == nullptr) {
+    job.task();  // packaged_task routes exceptions into the future
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.handle->mu);
+    if (job.handle->state == TaskState::kCancelled) return;  // withdrawn
+    job.handle->state = TaskState::kRunning;
+  }
+  try {
+    job.task();
+  } catch (...) {
+    // packaged_task never throws here; keep the belt anyway.
+  }
+  // The packaged_task captured any exception; surface it through the handle
+  // so Wait() can rethrow without a future.
+  std::exception_ptr error;
+  try {
+    job.task.get_future().get();
+  } catch (const std::future_error&) {
+    // future already consumed elsewhere; nothing to propagate
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(job.handle->mu);
+    job.handle->error = error;
+    job.handle->state = TaskState::kDone;
+  }
+  job.handle->cv.notify_all();
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -42,10 +114,27 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::future<void> future = wrapped.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(wrapped));
+    queue_.push_back(Job{std::move(wrapped), nullptr});
   }
   cv_.notify_one();
   return future;
+}
+
+TaskHandle ThreadPool::SubmitHandle(std::function<void()> task) {
+  TaskHandle handle;
+  handle.shared_ = std::make_shared<TaskHandle::Shared>();
+  std::packaged_task<void()> wrapped(std::move(task));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Job{std::move(wrapped), handle.shared_});
+  }
+  cv_.notify_one();
+  return handle;
+}
+
+size_t ThreadPool::PendingTasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::ParallelFor(size_t n,

@@ -13,11 +13,45 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace staq::util {
+
+/// Lifecycle of a handle-tracked task (see ThreadPool::SubmitHandle).
+enum class TaskState : uint8_t {
+  kQueued,     // accepted, not yet picked up by a worker
+  kRunning,    // a worker is executing it
+  kDone,       // finished (possibly with a captured exception)
+  kCancelled,  // withdrawn before any worker started it
+};
+
+/// Handle to one submitted task: observe its state, wait for completion, or
+/// cancel it while it is still queued. Copyable; all copies share state. A
+/// default-constructed handle is empty (valid() == false).
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+
+  bool valid() const { return shared_ != nullptr; }
+  TaskState state() const;
+
+  /// Withdraws the task if no worker has started it yet. Returns true on
+  /// success (the task will never run); false when it is already running,
+  /// done, or cancelled.
+  bool Cancel();
+
+  /// Blocks until the task is done or cancelled, then rethrows anything the
+  /// task threw. Returns immediately on an empty handle.
+  void Wait();
+
+ private:
+  friend class ThreadPool;
+  struct Shared;
+  std::shared_ptr<Shared> shared_;
+};
 
 /// Fixed-size pool of persistent workers. Submit is safe from any thread;
 /// a task's exception is captured into its future (the worker survives).
@@ -36,6 +70,17 @@ class ThreadPool {
   /// and rethrows anything the task threw.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Enqueues `task` and returns a cancellable handle to it. Used by
+  /// serving-style callers that need admission control (PendingTasks) and
+  /// the ability to withdraw work whose deadline has already passed while
+  /// it is still queued.
+  TaskHandle SubmitHandle(std::function<void()> task);
+
+  /// Tasks accepted but not yet started. Cancelled-but-unpopped entries are
+  /// included until a worker discards them, so this is an upper bound —
+  /// exactly the conservative reading admission control wants.
+  size_t PendingTasks() const;
+
   /// Runs body(i) for every i in [0, n), handing dynamically sized chunks
   /// to the workers; blocks until all indices are done. Rethrows the first
   /// task exception after every chunk has finished. Runs inline on the
@@ -49,11 +94,19 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
-  void WorkerLoop();
+  /// One queue entry: the work plus an optional handle state (null for
+  /// plain Submit tasks).
+  struct Job {
+    std::packaged_task<void()> task;
+    std::shared_ptr<TaskHandle::Shared> handle;
+  };
 
-  std::mutex mu_;
+  void WorkerLoop();
+  void RunJob(Job& job);
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<Job> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
 };

@@ -1,0 +1,159 @@
+// Golden tests of the tentpole guarantee: after any POI mutation, the
+// incrementally patched ExactLabelState is bit-identical to a from-scratch
+// build over the edited POI set — across cities, seeds, and cost kinds.
+#include <gtest/gtest.h>
+
+#include "serve/scenario.h"
+#include "testing/test_city.h"
+
+namespace staq::serve {
+namespace {
+
+LabelKey FastKey(uint64_t seed,
+                 core::CostKind cost = core::CostKind::kJourneyTime) {
+  LabelKey key;
+  key.category = synth::PoiCategory::kSchool;
+  key.cost = cost;
+  key.gravity.sample_rate_per_hour = 4;
+  key.gravity.keep_scale = 2.0;
+  key.seed = seed;
+  return key;
+}
+
+/// Full bit-level equality: POIs, per-zone trip sequences, α rows, labels.
+void ExpectStatesIdentical(const ExactLabelState& patched,
+                           const ExactLabelState& fresh) {
+  ASSERT_EQ(patched.pois.size(), fresh.pois.size());
+  for (size_t p = 0; p < fresh.pois.size(); ++p) {
+    EXPECT_EQ(patched.pois[p].id, fresh.pois[p].id);
+  }
+  ASSERT_EQ(patched.todam.num_zones(), fresh.todam.num_zones());
+  EXPECT_EQ(patched.todam.num_trips(), fresh.todam.num_trips());
+  for (uint32_t z = 0; z < fresh.todam.num_zones(); ++z) {
+    EXPECT_EQ(patched.todam.TripsFor(z), fresh.todam.TripsFor(z))
+        << "trip sequence differs in zone " << z;
+  }
+  ASSERT_EQ(patched.todam.alpha().size(), fresh.todam.alpha().size());
+  for (size_t z = 0; z < fresh.todam.alpha().size(); ++z) {
+    EXPECT_EQ(patched.todam.alpha()[z], fresh.todam.alpha()[z])
+        << "alpha row differs in zone " << z;
+  }
+  ASSERT_EQ(patched.labels.size(), fresh.labels.size());
+  for (size_t z = 0; z < fresh.labels.size(); ++z) {
+    // EXPECT_EQ on doubles on purpose: the claim is bit-identity, not
+    // tolerance-level agreement.
+    EXPECT_EQ(patched.labels[z].mac, fresh.labels[z].mac) << "zone " << z;
+    EXPECT_EQ(patched.labels[z].acsd, fresh.labels[z].acsd) << "zone " << z;
+    EXPECT_EQ(patched.labels[z].num_trips, fresh.labels[z].num_trips);
+    EXPECT_EQ(patched.labels[z].num_infeasible,
+              fresh.labels[z].num_infeasible);
+    EXPECT_EQ(patched.labels[z].num_walk_only,
+              fresh.labels[z].num_walk_only);
+  }
+}
+
+/// Primes a label state, applies add + remove mutations, and asserts every
+/// patched state equals its from-scratch golden rebuild.
+void RunGoldenScenario(synth::City city, const LabelKey& key) {
+  ScenarioStore store(std::move(city), gtfs::WeekdayAmPeak());
+  router::Router router(&store.base_city().feed, {});
+  core::LabelingEngine engine(&store.base_city(), &router);
+
+  // Materialise the state so the mutation has something to patch.
+  auto base_state = store.Acquire()->GetOrBuildLabelState(key, &engine);
+  const uint64_t full_build_spqs = base_state->build_spqs;
+
+  // --- add a POI near the extent corner (local perturbation) -------------
+  const geo::BBox& extent = store.base_city().extent;
+  geo::Point corner{extent.min_x, extent.min_y};
+  auto add_report = store.AddPoi(key.category, corner);
+  EXPECT_EQ(add_report.states_patched, 1u);
+
+  auto after_add = store.Acquire();
+  bool built = false;
+  auto patched = after_add->GetOrBuildLabelState(key, &engine, &built);
+  EXPECT_FALSE(built) << "mutation must carry the state over, not drop it";
+  auto fresh = after_add->BuildLabelState(key, &engine);
+  ExpectStatesIdentical(*patched, *fresh);
+
+  // The patch only pays for the zones the new POI actually touched.
+  EXPECT_EQ(add_report.zones_relabeled, patched->relabeled_zones);
+  EXPECT_LT(add_report.zones_relabeled, add_report.zones_total);
+  EXPECT_LT(add_report.spqs, full_build_spqs);
+
+  // --- remove an original POI (non-tail column) --------------------------
+  uint32_t victim = base_state->pois.front().id;
+  auto remove_report = store.RemovePoi(victim);
+  ASSERT_TRUE(remove_report.ok());
+  EXPECT_EQ(remove_report.value().states_patched, 1u);
+
+  auto after_remove = store.Acquire();
+  auto patched2 = after_remove->GetOrBuildLabelState(key, &engine, &built);
+  EXPECT_FALSE(built);
+  auto fresh2 = after_remove->BuildLabelState(key, &engine);
+  ExpectStatesIdentical(*patched2, *fresh2);
+
+  // --- history independence: remove the added POI again ------------------
+  // After add(corner) + remove(front) + remove(corner), the state must be
+  // bit-identical to a fresh build over the surviving POI set — the chain
+  // of patches leaves no residue.
+  ASSERT_TRUE(store.RemovePoi(add_report.poi_id).ok());
+  auto final_scenario = store.Acquire();
+  auto chained = final_scenario->GetOrBuildLabelState(key, &engine, &built);
+  EXPECT_FALSE(built);
+  auto golden = final_scenario->BuildLabelState(key, &engine);
+  ExpectStatesIdentical(*chained, *golden);
+}
+
+TEST(IncrementalRelabelGoldenTest, CovelyJourneyTimeAcrossSeeds) {
+  for (uint64_t seed : {3u, 11u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunGoldenScenario(testing::TinyCity(), FastKey(seed));
+  }
+}
+
+TEST(IncrementalRelabelGoldenTest, BrindaleJourneyTime) {
+  synth::CitySpec spec = synth::CitySpec::Brindale(0.05, 7);
+  auto city = synth::BuildCity(spec);
+  ASSERT_TRUE(city.ok());
+  RunGoldenScenario(std::move(city).value(), FastKey(5));
+}
+
+TEST(IncrementalRelabelGoldenTest, GeneralizedCostPatchesExactly) {
+  LabelKey key = FastKey(3, core::CostKind::kGeneralizedCost);
+  key.gac.lambda_wt = 2.0;  // non-default weights must flow into patches
+  RunGoldenScenario(testing::TinyCity(), key);
+}
+
+TEST(IncrementalRelabelGoldenTest,
+     StatesOfOtherCategoriesAreSharedNotRebuilt) {
+  ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
+  router::Router router(&store.base_city().feed, {});
+  core::LabelingEngine engine(&store.base_city(), &router);
+
+  LabelKey school = FastKey(3);
+  LabelKey hospital = FastKey(3);
+  hospital.category = synth::PoiCategory::kHospital;
+  auto scenario = store.Acquire();
+  auto school_state = scenario->GetOrBuildLabelState(school, &engine);
+  auto hospital_state = scenario->GetOrBuildLabelState(hospital, &engine);
+
+  auto report = store.AddPoi(synth::PoiCategory::kHospital,
+                             store.base_city().Centre());
+  EXPECT_EQ(report.states_patched, 1u);
+  EXPECT_EQ(report.states_shared, 1u);
+
+  auto next = store.Acquire();
+  bool built = false;
+  auto school_after = next->GetOrBuildLabelState(school, &engine, &built);
+  EXPECT_FALSE(built);
+  // The school state is byte-for-byte the same object — zero copy, zero
+  // recompute for categories the mutation cannot affect.
+  EXPECT_EQ(school_after.get(), school_state.get());
+  auto hospital_after = next->GetOrBuildLabelState(hospital, &engine, &built);
+  EXPECT_FALSE(built);
+  EXPECT_NE(hospital_after.get(), hospital_state.get());
+}
+
+}  // namespace
+}  // namespace staq::serve

@@ -1,0 +1,262 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+
+namespace staq::serve {
+namespace {
+
+AqRequest FastExactRequest(
+    synth::PoiCategory category = synth::PoiCategory::kSchool) {
+  AqRequest request;
+  request.category = category;
+  request.options.exact = true;
+  request.options.gravity.sample_rate_per_hour = 4;
+  request.options.gravity.keep_scale = 2.0;
+  request.options.seed = 3;
+  return request;
+}
+
+AqRequest FastSsrRequest() {
+  AqRequest request = FastExactRequest();
+  request.options.exact = false;
+  request.options.beta = 0.2;
+  request.options.model = ml::ModelKind::kOls;
+  return request;
+}
+
+/// Payload equality between two answers — everything except the cost
+/// accounting fields (spqs/elapsed differ between cached, incremental, and
+/// from-scratch paths by design).
+void ExpectSameAnswer(const core::AccessQueryResult& a,
+                      const core::AccessQueryResult& b) {
+  ASSERT_EQ(a.mac.size(), b.mac.size());
+  for (size_t z = 0; z < a.mac.size(); ++z) {
+    EXPECT_EQ(a.mac[z], b.mac[z]) << "zone " << z;
+    EXPECT_EQ(a.acsd[z], b.acsd[z]) << "zone " << z;
+  }
+  EXPECT_EQ(a.classes, b.classes);
+  EXPECT_EQ(a.mean_mac, b.mean_mac);
+  EXPECT_EQ(a.mean_acsd, b.mean_acsd);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.population_fairness, b.population_fairness);
+  EXPECT_EQ(a.vulnerable_fairness, b.vulnerable_fairness);
+  EXPECT_EQ(a.gravity_trips, b.gravity_trips);
+}
+
+class AqServerTest : public ::testing::Test {
+ protected:
+  AqServerTest() {
+    AqServer::Options options;
+    options.num_threads = 4;
+    server_ = std::make_unique<AqServer>(testing::TinyCity(),
+                                         gtfs::WeekdayAmPeak(), options);
+  }
+
+  std::unique_ptr<AqServer> server_;
+};
+
+TEST_F(AqServerTest, ExactQueryMatchesUncachedGolden) {
+  auto served = server_->Query(FastExactRequest());
+  ASSERT_TRUE(served.ok()) << served.status();
+  auto golden = server_->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  ExpectSameAnswer(served.value(), golden.value());
+  EXPECT_EQ(served.value().spqs,
+            served.value().gravity_trips);  // full build labels every trip
+}
+
+TEST_F(AqServerTest, SsrQueryMatchesUncachedGolden) {
+  auto served = server_->Query(FastSsrRequest());
+  ASSERT_TRUE(served.ok()) << served.status();
+  auto golden = server_->QueryUncached(FastSsrRequest());
+  ASSERT_TRUE(golden.ok());
+  ExpectSameAnswer(served.value(), golden.value());
+}
+
+TEST_F(AqServerTest, RepeatQueriesHitTheResultCache) {
+  ASSERT_TRUE(server_->Query(FastExactRequest()).ok());
+  uint64_t hits_before = server_->stats().cache_hits;
+  auto repeat = server_->Query(FastExactRequest());
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_EQ(server_->stats().cache_hits, hits_before + 1);
+  auto golden = server_->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  ExpectSameAnswer(repeat.value(), golden.value());
+}
+
+TEST_F(AqServerTest, MutationInvalidatesByEpochNotByFlush) {
+  auto before = server_->Query(FastExactRequest());
+  ASSERT_TRUE(before.ok());
+
+  // Corner placement keeps the perturbation local: only zones that sample
+  // a trip to the new POI are relabeled.
+  const geo::BBox& extent = server_->base_city().extent;
+  auto report = server_->AddPoi(synth::PoiCategory::kSchool,
+                                geo::Point{extent.min_x, extent.min_y});
+  EXPECT_EQ(report.epoch, 1u);
+
+  // Same request, new epoch: must miss the cache and see the new POI.
+  auto after = server_->Query(FastExactRequest());
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(after.value().gravity_trips, before.value().gravity_trips);
+
+  // Incremental answer equals the uncached golden on the mutated scenario.
+  auto golden = server_->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  ExpectSameAnswer(after.value(), golden.value());
+  // ...at a fraction of the SPQ cost (only affected zones were relabeled).
+  EXPECT_LT(report.spqs, golden.value().spqs);
+}
+
+TEST_F(AqServerTest, RemoveLastCategoryPoiYieldsNotFound) {
+  std::vector<uint32_t> vax_ids;
+  for (const synth::Poi& poi : server_->Snapshot()->pois()) {
+    if (poi.category == synth::PoiCategory::kVaxCenter)
+      vax_ids.push_back(poi.id);
+  }
+  ASSERT_FALSE(vax_ids.empty());
+  for (uint32_t id : vax_ids) ASSERT_TRUE(server_->RemovePoi(id).ok());
+
+  auto result = server_->Query(FastExactRequest(synth::PoiCategory::kVaxCenter));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(AqServerTest, ConcurrentClientsAllGetTheGoldenAnswer) {
+  auto golden = server_->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 4;
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  std::vector<core::AccessQueryResult> answers(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        auto result = server_->Query(FastExactRequest());
+        if (result.ok()) {
+          answers[c] = std::move(result).value();
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(ok_count.load(), kClients * kQueriesPerClient);
+  for (int c = 0; c < kClients; ++c) {
+    ExpectSameAnswer(answers[c], golden.value());
+  }
+  // The exact label state was built at most once per epoch.
+  EXPECT_LE(server_->stats().exact_state_builds, 2u);
+}
+
+TEST_F(AqServerTest, ConcurrentQueriesAndMutationsStaySelfConsistent) {
+  // Materialise the epoch-0 label state so mutations have patch work to do
+  // while the clients hammer the query path.
+  ASSERT_TRUE(server_->Query(FastExactRequest()).ok());
+
+  std::atomic<int> answered{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      for (int q = 0; q < 6; ++q) {
+        auto result = server_->Query(FastExactRequest());
+        // Every answer is a complete result for *some* epoch's scenario —
+        // never a torn mix of two epochs.
+        if (result.ok()) {
+          EXPECT_EQ(result.value().mac.size(),
+                    server_->base_city().zones.size());
+          answered.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<uint32_t> added;
+  for (int m = 0; m < 4; ++m) {
+    auto report = server_->AddPoi(synth::PoiCategory::kSchool,
+                                  server_->base_city().Centre());
+    added.push_back(report.poi_id);
+  }
+  for (uint32_t id : added) ASSERT_TRUE(server_->RemovePoi(id).ok());
+  for (auto& client : clients) client.join();
+  EXPECT_EQ(answered.load(), 18);
+  EXPECT_EQ(server_->stats().mutations, 8u);
+
+  // After the add/remove round-trip the scenario's answer equals epoch 0's
+  // (history independence), even though the epoch advanced.
+  EXPECT_EQ(server_->epoch(), 8u);
+  auto final_result = server_->Query(FastExactRequest());
+  auto golden = server_->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(final_result.ok() && golden.ok());
+  ExpectSameAnswer(final_result.value(), golden.value());
+}
+
+TEST_F(AqServerTest, AdmissionRejectsWhenQueueIsFull) {
+  AqServer::Options options;
+  options.num_threads = 1;
+  options.max_pending = 0;  // admit nothing
+  AqServer tiny(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+  auto ticket = tiny.Submit(FastExactRequest());
+  auto result = ticket.Get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(tiny.stats().rejected, 1u);
+}
+
+TEST_F(AqServerTest, QueuedRequestCanBeCancelled) {
+  AqServer::Options options;
+  options.num_threads = 1;
+  AqServer single(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+  // Occupy the only worker, then cancel a request stuck behind it.
+  AqTicket busy = single.Submit(FastExactRequest());
+  AqTicket queued = single.Submit(FastSsrRequest());
+  if (queued.TryCancel()) {
+    auto result = queued.Get();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), util::StatusCode::kCancelled);
+    EXPECT_EQ(single.stats().cancelled, 1u);
+  } else {
+    // Lost the race: the worker already picked it up, so it must resolve
+    // normally.
+    EXPECT_TRUE(queued.Get().ok());
+  }
+  EXPECT_TRUE(busy.Get().ok());
+}
+
+TEST_F(AqServerTest, ExpiredDeadlineFailsWithoutRunning) {
+  AqServer::Options options;
+  options.num_threads = 1;
+  AqServer single(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+  AqTicket busy = single.Submit(FastExactRequest());
+
+  AqRequest doomed = FastSsrRequest();
+  doomed.deadline_s = 1e-9;  // expires while queued behind `busy`
+  AqTicket ticket = single.Submit(doomed);
+  auto result = ticket.Get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(single.stats().deadline_exceeded, 1u);
+  EXPECT_TRUE(busy.Get().ok());
+}
+
+TEST_F(AqServerTest, StatsAccumulateAcrossTheLifetime) {
+  ASSERT_TRUE(server_->Query(FastExactRequest()).ok());
+  ASSERT_TRUE(server_->Query(FastExactRequest()).ok());
+  auto stats = server_->stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_GE(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.exact_state_builds, 1u);
+  EXPECT_EQ(stats.rejected, 0u);
+}
+
+}  // namespace
+}  // namespace staq::serve

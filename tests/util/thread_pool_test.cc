@@ -1,6 +1,8 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -115,6 +117,79 @@ TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
     // Destructor must run all 32 queued tasks before joining.
   }
   EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, HandleReportsLifecycleAndWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  TaskHandle handle = pool.SubmitHandle([&] { value.store(11); });
+  ASSERT_TRUE(handle.valid());
+  handle.Wait();
+  EXPECT_EQ(handle.state(), TaskState::kDone);
+  EXPECT_EQ(value.load(), 11);
+
+  TaskHandle empty;
+  EXPECT_FALSE(empty.valid());
+  empty.Wait();  // no-op, must not block
+}
+
+TEST(ThreadPoolTest, HandleWaitRethrowsTaskException) {
+  ThreadPool pool(1);
+  TaskHandle handle =
+      pool.SubmitHandle([] { throw std::runtime_error("handled boom"); });
+  EXPECT_THROW(handle.Wait(), std::runtime_error);
+  EXPECT_EQ(handle.state(), TaskState::kDone);
+  // Pool survives, as with plain Submit.
+  std::atomic<int> value{0};
+  pool.Submit([&] { value.store(1); }).get();
+  EXPECT_EQ(value.load(), 1);
+}
+
+TEST(ThreadPoolTest, CancelWithdrawsQueuedTaskBeforeItRuns) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  // Occupy the only worker so the second task is provably still queued.
+  auto blocker = pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::atomic<bool> ran{false};
+  TaskHandle handle = pool.SubmitHandle([&] { ran.store(true); });
+  EXPECT_EQ(handle.state(), TaskState::kQueued);
+  EXPECT_GE(pool.PendingTasks(), 1u);
+  EXPECT_TRUE(handle.Cancel());
+  EXPECT_EQ(handle.state(), TaskState::kCancelled);
+  EXPECT_FALSE(handle.Cancel());  // idempotent: already withdrawn
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  blocker.get();
+  handle.Wait();  // resolves immediately for a cancelled task
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPoolTest, CancelFailsOnceTaskIsDone) {
+  ThreadPool pool(2);
+  TaskHandle handle = pool.SubmitHandle([] {});
+  handle.Wait();
+  EXPECT_FALSE(handle.Cancel());
+  EXPECT_EQ(handle.state(), TaskState::kDone);
+}
+
+TEST(ThreadPoolTest, PendingTasksDrainsToZero) {
+  ThreadPool pool(2);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.Submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(pool.PendingTasks(), 0u);
 }
 
 TEST(ThreadPoolTest, SharedPoolIsASingleton) {

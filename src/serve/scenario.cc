@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
 
 #include "core/gravity.h"
@@ -82,7 +84,21 @@ std::shared_ptr<const ExactLabelState> Scenario::GetOrBuildLabelState(
   }
   if (!is_builder) return future.get();
 
-  auto state = BuildLabelState(key, engine);
+  std::shared_ptr<const ExactLabelState> state;
+  try {
+    state = BuildLabelState(key, engine);
+  } catch (...) {
+    // Unfulfilled promises hang every waiter on the shared future, and a
+    // dead entry would poison the key forever. Drop the entry first (so
+    // MaterializedStates and later callers never see the broken future),
+    // then propagate the failure to current waiters and the caller.
+    {
+      std::lock_guard<std::mutex> lock(states_mu_);
+      states_.erase(canonical);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
   promise.set_value(state);
   if (built_fresh != nullptr) *built_fresh = true;
   return state;
@@ -179,6 +195,14 @@ std::shared_ptr<const ExactLabelState> ScenarioStore::PatchRemove(
   auto it = std::find_if(
       state->pois.begin(), state->pois.end(),
       [poi_id](const synth::Poi& p) { return p.id == poi_id; });
+  if (it == state->pois.end()) {
+    // Carried-over states must contain every scenario POI of their
+    // category; proceeding would erase(end()) and corrupt the TODAM.
+    std::fprintf(stderr,
+                 "PatchRemove: POI %u absent from parent label state\n",
+                 poi_id);
+    std::abort();
+  }
   const uint32_t index = static_cast<uint32_t>(it - state->pois.begin());
   state->pois.erase(it);
 

@@ -25,6 +25,10 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 
 util::Result<core::AccessQueryResult> AqTicket::Get() {
+  if (!valid() || !future_.valid()) {
+    return util::Status::FailedPrecondition(
+        "ticket holds no pending result (empty or already consumed)");
+  }
   return future_.get();
 }
 
@@ -79,29 +83,32 @@ ScenarioStore::MutationReport AqServer::SetInterval(
   auto report = store_.SetInterval(interval);
   mutations_.fetch_add(1, std::memory_order_relaxed);
   // Mutation discipline (see LabelingEngine::InvalidateAccessStopCache):
-  // idle worker engines drop their cached access stops alongside the
-  // store's writer engine. Leased contexts are executing against the old
-  // snapshot's walk table, which their own router still owns.
-  {
-    std::lock_guard<std::mutex> lock(context_mu_);
-    for (auto& context : free_contexts_) {
-      context->engine.InvalidateAccessStopCache();
-    }
-  }
+  // worker engines drop their cached access stops alongside the store's
+  // writer engine. Bumping the epoch invalidates lazily on the next
+  // AcquireContext, which also covers contexts leased while this mutation
+  // runs — a free-list sweep would miss those.
+  stop_cache_epoch_.fetch_add(1, std::memory_order_release);
   return report;
 }
 
 std::unique_ptr<AqServer::WorkerContext> AqServer::AcquireContext() {
+  const uint64_t epoch = stop_cache_epoch_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(context_mu_);
     if (!free_contexts_.empty()) {
       auto context = std::move(free_contexts_.back());
       free_contexts_.pop_back();
+      if (context->stop_epoch != epoch) {
+        context->engine.InvalidateAccessStopCache();
+        context->stop_epoch = epoch;
+      }
       return context;
     }
   }
-  return std::make_unique<WorkerContext>(&store_.base_city(),
-                                         options_.scenario.router);
+  auto context = std::make_unique<WorkerContext>(&store_.base_city(),
+                                                 options_.scenario.router);
+  context->stop_epoch = epoch;
+  return context;
 }
 
 void AqServer::ReleaseContext(std::unique_ptr<WorkerContext> context) {

@@ -49,7 +49,8 @@ class AqTicket {
   bool valid() const { return promise_ != nullptr; }
 
   /// Blocks until the request resolves and returns its result. Consumes
-  /// the ticket's future — call once.
+  /// the ticket's future; a second call — or a call on an empty ticket —
+  /// returns kFailedPrecondition instead of touching an invalid future.
   util::Result<core::AccessQueryResult> Get();
 
   /// Withdraws the request while it is still queued. On success the ticket
@@ -122,6 +123,8 @@ class AqServer {
         : router(&city->feed, options), engine(city, &router) {}
     router::Router router;
     core::LabelingEngine engine;
+    /// stop_cache_epoch_ value this context's engine is known valid for.
+    uint64_t stop_epoch = 0;
   };
 
   std::unique_ptr<WorkerContext> AcquireContext();
@@ -138,10 +141,13 @@ class AqServer {
   Options options_;
   ScenarioStore store_;
   ResultCache cache_;
-  util::ThreadPool pool_;
 
   std::mutex context_mu_;
   std::vector<std::unique_ptr<WorkerContext>> free_contexts_;
+  /// Bumped by mutations that may stale a WorkerContext's cached access
+  /// stops; contexts are invalidated lazily on Acquire when their stamp
+  /// lags, so leased contexts are covered too (not just the free list).
+  std::atomic<uint64_t> stop_cache_epoch_{0};
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
@@ -154,6 +160,11 @@ class AqServer {
   std::atomic<uint64_t> states_patched_{0};
   std::atomic<uint64_t> zones_relabeled_{0};
   std::atomic<uint64_t> patch_spqs_{0};
+
+  /// Declared last so ~AqServer destroys it first: ~ThreadPool finishes
+  /// already-queued RunRequest tasks before joining, and those tasks touch
+  /// every member above (contexts, mutex, caches, counters).
+  util::ThreadPool pool_;
 };
 
 }  // namespace staq::serve

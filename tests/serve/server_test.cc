@@ -246,6 +246,38 @@ TEST_F(AqServerTest, ExpiredDeadlineFailsWithoutRunning) {
   EXPECT_TRUE(busy.Get().ok());
 }
 
+TEST_F(AqServerTest, DestructionWithOutstandingRequestsIsClean) {
+  // ~AqServer tears down the pool first, which finishes already-queued
+  // tasks before joining — those tasks lease worker contexts and bump the
+  // stats counters, so every other member must still be alive (regression:
+  // pool_ must be the last declared member).
+  AqServer::Options options;
+  options.num_threads = 2;
+  auto server = std::make_unique<AqServer>(testing::TinyCity(),
+                                           gtfs::WeekdayAmPeak(), options);
+  std::vector<AqTicket> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(server->Submit(FastExactRequest()));
+  }
+  server.reset();  // destroys with requests still queued / in flight
+  for (AqTicket& ticket : tickets) {
+    EXPECT_TRUE(ticket.Get().ok());
+  }
+}
+
+TEST_F(AqServerTest, GetGuardsEmptyAndConsumedTickets) {
+  AqTicket empty;
+  auto no_result = empty.Get();
+  EXPECT_FALSE(no_result.ok());
+  EXPECT_EQ(no_result.status().code(), util::StatusCode::kFailedPrecondition);
+
+  AqTicket ticket = server_->Submit(FastExactRequest());
+  EXPECT_TRUE(ticket.Get().ok());
+  auto again = ticket.Get();
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
 TEST_F(AqServerTest, StatsAccumulateAcrossTheLifetime) {
   ASSERT_TRUE(server_->Query(FastExactRequest()).ok());
   ASSERT_TRUE(server_->Query(FastExactRequest()).ok());

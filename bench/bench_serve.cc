@@ -225,7 +225,12 @@ int Run() {
   double incremental_query_seconds = 0.0;
   for (int edit = 0; edit < kEdits; ++edit) {
     auto add = server.AddPoi(synth::PoiCategory::kSchool, corner);
-    reports.push_back(add);
+    if (!add.ok()) {
+      std::fprintf(stderr, "add failed: %s\n",
+                   add.status().ToString().c_str());
+      return 1;
+    }
+    reports.push_back(add.value());
     {
       util::Stopwatch watch;
       auto result = server.Query(mutated_request);
@@ -236,7 +241,7 @@ int Run() {
         return 1;
       }
     }
-    auto removed = server.RemovePoi(add.poi_id);
+    auto removed = server.RemovePoi(add.value().poi_id);
     if (!removed.ok()) {
       std::fprintf(stderr, "remove failed: %s\n",
                    removed.status().ToString().c_str());

@@ -76,8 +76,10 @@ int main() {
   // 4. Scenario A: build a school in the desert. The mutation installs a
   //    new epoch and patches the school label state in place of a full
   //    rebuild: only zones that sample a trip to the new POI are relabeled.
-  auto report =
+  auto added =
       server.AddPoi(synth::PoiCategory::kSchool, city.zones[desert].centroid);
+  if (!added.ok()) return 1;
+  const auto& report = added.value();
   std::printf("\nscenario A — new school in the desert zone (epoch %llu):\n",
               static_cast<unsigned long long>(report.epoch));
   std::printf("  mutation: %.3f s, relabeled %u/%u zones, %llu SPQs "
@@ -107,7 +109,7 @@ int main() {
   // 6. Scenario B: the same question at Sunday morning service levels.
   //    An interval switch rebuilds the offline structures; label states
   //    are interval-dependent and start cold in the new epoch.
-  server.SetInterval(gtfs::SundayMorning());
+  if (!server.SetInterval(gtfs::SundayMorning()).ok()) return 1;
   auto scenario_b = server.Query(ssr);
   if (!scenario_b.ok()) return 1;
   std::printf("\nscenario B — Sunday morning instead of AM peak:\n");

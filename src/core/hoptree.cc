@@ -25,15 +25,15 @@ const HopLeaf* HopTree::Find(uint32_t zone) const {
 
 const geo::KdTree* HopTree::LeafIndex() const {
   if (leaves_.empty()) return nullptr;
-  if (!leaf_index_) {
+  std::call_once(leaf_index_->once, [this] {
     std::vector<geo::IndexedPoint> points;
     points.reserve(leaves_.size());
     for (uint32_t i = 0; i < leaves_.size(); ++i) {
       points.push_back(geo::IndexedPoint{leaves_[i].position, i});
     }
-    leaf_index_ = std::make_unique<geo::KdTree>(std::move(points));
-  }
-  return leaf_index_.get();
+    leaf_index_->tree = std::make_unique<geo::KdTree>(std::move(points));
+  });
+  return leaf_index_->tree.get();
 }
 
 namespace {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/isochrone.h"
@@ -53,13 +54,23 @@ class HopTree {
   const HopLeaf* Find(uint32_t zone) const;
 
   /// k-d tree over leaf centroids, built lazily on first use (used by the
-  /// interchange finder); nullptr when the tree has no leaves.
+  /// interchange finder); nullptr when the tree has no leaves. Thread-safe:
+  /// concurrent callers on a shared tree build the index exactly once.
   const geo::KdTree* LeafIndex() const;
 
  private:
+  // The once_flag lives behind a pointer so HopTree stays movable (trees are
+  // held in per-direction vectors); a moved-from tree has empty leaves_, so
+  // LeafIndex() never dereferences its nulled slot.
+  struct LeafIndexSlot {
+    std::once_flag once;
+    std::unique_ptr<geo::KdTree> tree;
+  };
+
   uint32_t root_ = 0;
   std::vector<HopLeaf> leaves_;
-  mutable std::unique_ptr<geo::KdTree> leaf_index_;
+  mutable std::unique_ptr<LeafIndexSlot> leaf_index_ =
+      std::make_unique<LeafIndexSlot>();
 };
 
 /// Build options.

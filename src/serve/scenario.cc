@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "core/gravity.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace staq::serve {
@@ -41,6 +42,10 @@ std::vector<synth::Poi> Scenario::PoisOf(synth::PoiCategory category) const {
 
 std::shared_ptr<const ExactLabelState> Scenario::BuildLabelState(
     const LabelKey& key, core::LabelingEngine* engine) const {
+  // Fault site: a from-scratch state build failing (models OOM / engine
+  // faults). GetOrBuildLabelState must propagate this to current waiters
+  // without poisoning the memo key; see the catch there.
+  STAQ_FAILPOINT("serve.scenario.build_label_state");
   auto state = std::make_shared<ExactLabelState>();
   state->pois = PoisOf(key.category);
   // Normalisers are frozen over the *base* city's category POIs so that
@@ -156,6 +161,9 @@ void ScenarioStore::Install(std::shared_ptr<const Scenario> next) {
 std::shared_ptr<const ExactLabelState> ScenarioStore::PatchAdd(
     const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
     const synth::Poi& poi) {
+  // Fault site: the TODAM column patch failing before the parent state is
+  // copied into. The parent is immutable, so an abort here is free.
+  STAQ_FAILPOINT("serve.scenario.patch_add");
   auto state = std::make_shared<ExactLabelState>(parent);
   state->pois.push_back(poi);
   const uint32_t new_index = static_cast<uint32_t>(state->pois.size() - 1);
@@ -179,6 +187,9 @@ std::shared_ptr<const ExactLabelState> ScenarioStore::PatchAdd(
   std::vector<uint32_t> affected;
   state->todam.AppendPoiColumn(per_zone, alpha_column, &affected);
 
+  // Fault site: relabeling the affected zones failing mid-mutation. Only
+  // the un-installed copy is damaged; the store never publishes it.
+  STAQ_FAILPOINT("serve.scenario.relabel");
   relabel_engine_.set_gac_weights(key.gac);
   uint64_t spq_before = relabel_engine_.spq_count();
   relabel_engine_.RelabelZones(state->todam, affected, state->pois, key.cost,
@@ -191,6 +202,8 @@ std::shared_ptr<const ExactLabelState> ScenarioStore::PatchAdd(
 std::shared_ptr<const ExactLabelState> ScenarioStore::PatchRemove(
     const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
     uint32_t poi_id) {
+  // Fault site: mirror of serve.scenario.patch_add for the remove path.
+  STAQ_FAILPOINT("serve.scenario.patch_remove");
   auto state = std::make_shared<ExactLabelState>(parent);
   auto it = std::find_if(
       state->pois.begin(), state->pois.end(),
@@ -209,6 +222,7 @@ std::shared_ptr<const ExactLabelState> ScenarioStore::PatchRemove(
   std::vector<uint32_t> affected;
   state->todam.RemovePoiColumn(index, &affected);
 
+  STAQ_FAILPOINT("serve.scenario.relabel");
   relabel_engine_.set_gac_weights(key.gac);
   uint64_t spq_before = relabel_engine_.spq_count();
   relabel_engine_.RelabelZones(state->todam, affected, state->pois, key.cost,

@@ -1,9 +1,11 @@
 #include "serve/server.h"
 
+#include <exception>
 #include <thread>
 #include <utility>
 
 #include "core/pipeline.h"
+#include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace staq::serve {
@@ -16,10 +18,18 @@ size_t ResolveThreads(size_t requested) {
   return hw > 0 ? hw : 2;
 }
 
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+/// Degrades an escaped exception into the clean Status the serve API
+/// promises (failpoint throws, bad_alloc, anything the core engines
+/// raise). The server must never hang a waiter or kill a worker over one.
+util::Status StatusFromException(const char* where) {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return util::Status::Internal(std::string(where) + " failed: " + e.what());
+  } catch (...) {
+    return util::Status::Internal(std::string(where) +
+                                  " failed: unknown exception");
+  }
 }
 
 }  // namespace
@@ -34,6 +44,14 @@ util::Result<core::AccessQueryResult> AqTicket::Get() {
 
 bool AqTicket::TryCancel() {
   if (!valid() || !handle_.valid()) return false;
+  // Fault site: cancellation failing *before* the handle state flips. A
+  // throw degrades into "lost the race" — the worker still owns the
+  // request and will fulfil the promise, so nobody hangs.
+  try {
+    STAQ_FAILPOINT("serve.ticket.cancel");
+  } catch (...) {
+    return false;
+  }
   if (!handle_.Cancel()) return false;
   // Cancel succeeded: the worker will never touch this request, so the
   // ticket owns the promise exclusively.
@@ -45,18 +63,36 @@ bool AqTicket::TryCancel() {
 AqServer::AqServer(synth::City city, const gtfs::TimeInterval& interval,
                    Options options)
     : options_(options),
+      clock_(options.clock != nullptr ? options.clock : util::Clock::Real()),
       store_(std::move(city), interval, options.scenario),
-      cache_(options.cache),
-      pool_(ResolveThreads(options.num_threads)) {}
+      cache_([&options, this] {
+        // The result cache ages on the server's clock unless the caller
+        // wired a dedicated one.
+        ResultCache::Options cache_options = options.cache;
+        if (cache_options.clock == nullptr) cache_options.clock = clock_;
+        return cache_options;
+      }()),
+      pool_(ResolveThreads(options.num_threads)) {
+  if (options_.perturb.has_value()) {
+    pool_.EnablePerturbation(*options_.perturb);
+  }
+}
 
 AqServer::AqServer(synth::City city, const gtfs::TimeInterval& interval)
     : AqServer(std::move(city), interval, Options()) {}
 
 AqServer::~AqServer() = default;
 
-ScenarioStore::MutationReport AqServer::AddPoi(synth::PoiCategory category,
-                                               const geo::Point& position) {
-  auto report = store_.AddPoi(category, position);
+util::Result<ScenarioStore::MutationReport> AqServer::AddPoi(
+    synth::PoiCategory category, const geo::Point& position) {
+  ScenarioStore::MutationReport report;
+  try {
+    report = store_.AddPoi(category, position);
+  } catch (...) {
+    // The store installs the next epoch only as its last step, so an
+    // aborted patch/relabel leaves the previous scenario fully intact.
+    return StatusFromException("AddPoi mutation");
+  }
   mutations_.fetch_add(1, std::memory_order_relaxed);
   states_patched_.fetch_add(report.states_patched, std::memory_order_relaxed);
   zones_relabeled_.fetch_add(report.zones_relabeled,
@@ -67,7 +103,13 @@ ScenarioStore::MutationReport AqServer::AddPoi(synth::PoiCategory category,
 
 util::Result<ScenarioStore::MutationReport> AqServer::RemovePoi(
     uint32_t poi_id) {
-  auto report = store_.RemovePoi(poi_id);
+  util::Result<ScenarioStore::MutationReport> report =
+      util::Status::Internal("unreachable");
+  try {
+    report = store_.RemovePoi(poi_id);
+  } catch (...) {
+    return StatusFromException("RemovePoi mutation");
+  }
   if (!report.ok()) return report;
   mutations_.fetch_add(1, std::memory_order_relaxed);
   states_patched_.fetch_add(report.value().states_patched,
@@ -78,9 +120,14 @@ util::Result<ScenarioStore::MutationReport> AqServer::RemovePoi(
   return report;
 }
 
-ScenarioStore::MutationReport AqServer::SetInterval(
+util::Result<ScenarioStore::MutationReport> AqServer::SetInterval(
     const gtfs::TimeInterval& interval) {
-  auto report = store_.SetInterval(interval);
+  ScenarioStore::MutationReport report;
+  try {
+    report = store_.SetInterval(interval);
+  } catch (...) {
+    return StatusFromException("SetInterval mutation");
+  }
   mutations_.fetch_add(1, std::memory_order_relaxed);
   // Mutation discipline (see LabelingEngine::InvalidateAccessStopCache):
   // worker engines drop their cached access stops alongside the store's
@@ -135,11 +182,19 @@ AqTicket AqServer::Submit(const AqRequest& request) {
   // The snapshot is captured at admission: the request answers against the
   // epoch it was accepted under, whatever mutations land meanwhile.
   auto snapshot = store_.Acquire();
-  auto submitted_at = std::chrono::steady_clock::now();
+  ticket.epoch_ = snapshot->epoch();
+  auto submitted_at = clock_->Now();
   auto promise = ticket.promise_;
-  ticket.handle_ = pool_.SubmitHandle(
-      [this, request, submitted_at, snapshot = std::move(snapshot),
-       promise]() { RunRequest(request, submitted_at, snapshot, promise); });
+  try {
+    ticket.handle_ = pool_.SubmitHandle(
+        [this, request, submitted_at, snapshot = std::move(snapshot),
+         promise]() { RunRequest(request, submitted_at, snapshot, promise); });
+  } catch (...) {
+    // Enqueue failed (injected fault): nothing reached the pool, so the
+    // ticket owns the promise — resolve it instead of hanging Get().
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(StatusFromException("submission"));
+  }
   return ticket;
 }
 
@@ -151,29 +206,55 @@ util::Result<core::AccessQueryResult> AqServer::Query(
 util::Result<core::AccessQueryResult> AqServer::QueryUncached(
     const AqRequest& request) {
   auto snapshot = store_.Acquire();
+  return QueryUncachedOn(*snapshot, request);
+}
+
+util::Result<core::AccessQueryResult> AqServer::QueryUncachedOn(
+    const Scenario& scenario, const AqRequest& request) {
   auto context = AcquireContext();
-  auto result = Execute(request, *snapshot, context.get(),
-                        /*use_caches=*/false);
+  util::Result<core::AccessQueryResult> result =
+      util::Status::Internal("unreachable");
+  try {
+    result = Execute(request, scenario, context.get(),
+                     /*use_caches=*/false);
+  } catch (...) {
+    // The context may hold a half-built engine state; drop it rather than
+    // returning it to the pool (a fresh one is built on demand).
+    return StatusFromException("uncached query");
+  }
   ReleaseContext(std::move(context));
   return result;
 }
 
 void AqServer::RunRequest(const AqRequest& request,
-                          std::chrono::steady_clock::time_point submitted_at,
+                          util::Clock::TimePoint submitted_at,
                           std::shared_ptr<const Scenario> snapshot,
                           const std::shared_ptr<AqTicket::Promise>& promise) {
-  if (request.deadline_s > 0.0 &&
-      SecondsSince(submitted_at) > request.deadline_s) {
-    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
-    promise->set_value(util::Status::DeadlineExceeded(
-        "deadline expired before execution started"));
-    return;
-  }
+  util::Result<core::AccessQueryResult> result =
+      util::Status::Internal("unreachable");
+  try {
+    if (request.deadline_s > 0.0 &&
+        clock_->SecondsSince(submitted_at) > request.deadline_s) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      promise->set_value(util::Status::DeadlineExceeded(
+          "deadline expired before execution started"));
+      return;
+    }
 
-  auto context = AcquireContext();
-  auto result = Execute(request, *snapshot, context.get(),
-                        /*use_caches=*/true);
-  ReleaseContext(std::move(context));
+    auto context = AcquireContext();
+    try {
+      result = Execute(request, *snapshot, context.get(),
+                       /*use_caches=*/true);
+      ReleaseContext(std::move(context));
+    } catch (...) {
+      // Leave `context` to die (possibly half-built engine state) and
+      // degrade into a clean status; the promise below must always be
+      // fulfilled or Get() would hang forever.
+      result = StatusFromException("query execution");
+    }
+  } catch (...) {
+    result = StatusFromException("query execution");
+  }
 
   if (result.ok()) {
     completed_.fetch_add(1, std::memory_order_relaxed);
@@ -186,7 +267,7 @@ void AqServer::RunRequest(const AqRequest& request,
 util::Result<core::AccessQueryResult> AqServer::Execute(
     const AqRequest& request, const Scenario& scenario, WorkerContext* context,
     bool use_caches) {
-  util::Stopwatch watch;
+  util::Stopwatch watch(clock_);
 
   std::string cache_key;
   if (use_caches) {
@@ -257,8 +338,13 @@ util::Result<core::AccessQueryResult> AqServer::Execute(
   result.elapsed_s = watch.ElapsedSeconds();
 
   if (use_caches) {
-    cache_.Put(cache_key,
-               std::make_shared<const core::AccessQueryResult>(result));
+    try {
+      cache_.Put(cache_key,
+                 std::make_shared<const core::AccessQueryResult>(result));
+    } catch (...) {
+      // A failed insert (injected fault) costs a future cache hit, never
+      // the already-computed answer.
+    }
   }
   return result;
 }
@@ -275,6 +361,7 @@ ServerStats AqServer::stats() const {
   stats.cache_hits = cache_.hits();
   stats.cache_misses = cache_.misses();
   stats.cache_evictions = cache_.evictions();
+  stats.cache_expired = cache_.expired();
   stats.exact_state_builds =
       exact_state_builds_.load(std::memory_order_relaxed);
   stats.mutations = mutations_.load(std::memory_order_relaxed);

@@ -27,12 +27,14 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/access_query.h"
 #include "serve/request.h"
 #include "serve/result_cache.h"
 #include "serve/scenario.h"
+#include "util/clock.h"
 #include "util/thread_pool.h"
 
 namespace staq::serve {
@@ -44,9 +46,18 @@ class AqServer;
 /// must outlive the ticket.
 class AqTicket {
  public:
+  /// epoch() value of a ticket that never resolved a snapshot (empty or
+  /// rejected at admission).
+  static constexpr uint64_t kNoEpoch = ~0ull;
+
   AqTicket() = default;
 
   bool valid() const { return promise_ != nullptr; }
+
+  /// The scenario epoch the request was admitted under — the pure snapshot
+  /// its answer must be bit-identical to. kNoEpoch for empty/rejected
+  /// tickets. Stress tests use this to check epoch consistency.
+  uint64_t epoch() const { return epoch_; }
 
   /// Blocks until the request resolves and returns its result. Consumes
   /// the ticket's future; a second call — or a call on an empty ticket —
@@ -65,6 +76,7 @@ class AqTicket {
   std::shared_ptr<Promise> promise_;
   std::future<util::Result<core::AccessQueryResult>> future_;
   util::TaskHandle handle_;
+  uint64_t epoch_ = kNoEpoch;
 };
 
 class AqServer {
@@ -76,6 +88,14 @@ class AqServer {
     size_t max_pending = 256;
     ResultCache::Options cache;
     ScenarioStore::Options scenario;
+    /// Time source for deadlines, cache aging, and latency accounting;
+    /// null = the real clock. Tests pass a VirtualClock and advance time
+    /// explicitly instead of sleeping. (When cache.clock is null it
+    /// inherits this clock.)
+    const util::Clock* clock = nullptr;
+    /// Schedule shaking for the worker pool (stress tests only): seeded
+    /// task reordering + jitter, see ThreadPool::PerturbOptions.
+    std::optional<util::ThreadPool::PerturbOptions> perturb;
   };
 
   /// Takes ownership of the city and runs the offline phase for `interval`.
@@ -92,10 +112,15 @@ class AqServer {
   std::shared_ptr<const Scenario> Snapshot() const { return store_.Acquire(); }
   const synth::City& base_city() const { return store_.base_city(); }
 
-  ScenarioStore::MutationReport AddPoi(synth::PoiCategory category,
-                                       const geo::Point& position);
+  // Mutations are transactional: a failure (NotFound, or an exception out
+  // of the patch/relabel machinery, e.g. an injected fault) leaves the
+  // store at the previous epoch with every label state intact, and is
+  // reported as a clean Status instead of escaping as an exception.
+  util::Result<ScenarioStore::MutationReport> AddPoi(
+      synth::PoiCategory category, const geo::Point& position);
   util::Result<ScenarioStore::MutationReport> RemovePoi(uint32_t poi_id);
-  ScenarioStore::MutationReport SetInterval(const gtfs::TimeInterval& interval);
+  util::Result<ScenarioStore::MutationReport> SetInterval(
+      const gtfs::TimeInterval& interval);
 
   // --- query API ---------------------------------------------------------
   /// Asynchronous submission. Never blocks on query work; returns a
@@ -108,6 +133,13 @@ class AqServer {
   /// Golden reference: recomputes the answer from scratch on the caller's
   /// thread, bypassing the result cache and the label-state memo.
   util::Result<core::AccessQueryResult> QueryUncached(const AqRequest& request);
+
+  /// Sequential reference against an explicit snapshot: like QueryUncached
+  /// but answers for `scenario` (any retained epoch) rather than the
+  /// current one. Stress tests retain per-epoch snapshots and check every
+  /// concurrent answer bit-identically against this.
+  util::Result<core::AccessQueryResult> QueryUncachedOn(
+      const Scenario& scenario, const AqRequest& request);
 
   ServerStats stats() const;
   size_t num_threads() const { return pool_.num_threads(); }
@@ -134,11 +166,13 @@ class AqServer {
       const AqRequest& request, const Scenario& scenario,
       WorkerContext* context, bool use_caches);
   void RunRequest(const AqRequest& request,
-                  std::chrono::steady_clock::time_point submitted_at,
+                  util::Clock::TimePoint submitted_at,
                   std::shared_ptr<const Scenario> snapshot,
                   const std::shared_ptr<AqTicket::Promise>& promise);
 
   Options options_;
+  /// Resolved time source (options_.clock or the real clock). Never null.
+  const util::Clock* clock_;
   ScenarioStore store_;
   ResultCache cache_;
 

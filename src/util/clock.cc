@@ -1,0 +1,19 @@
+#include "util/clock.h"
+
+namespace staq::util {
+
+namespace {
+
+class RealClock final : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const RealClock clock;
+  return &clock;
+}
+
+}  // namespace staq::util

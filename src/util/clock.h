@@ -1,0 +1,62 @@
+// Time source seam for deterministic tests.
+//
+// Production code that reasons about elapsed time — request deadlines,
+// cache aging, the Table-II stopwatches — reads a Clock instead of calling
+// std::chrono::steady_clock::now() directly. The default implementation
+// (Clock::Real()) is the real monotonic clock and costs one virtual call;
+// tests substitute a VirtualClock and *advance time explicitly*, so
+// deadline-expiry and age-out behaviour is exercised on demand rather than
+// by sleeping and hoping the scheduler cooperates.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace staq::util {
+
+/// Monotonic time source. Implementations must be safe to read from any
+/// thread.
+class Clock {
+ public:
+  using Duration = std::chrono::steady_clock::duration;
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+
+  /// Seconds elapsed since `start` on this clock.
+  double SecondsSince(TimePoint start) const {
+    return std::chrono::duration<double>(Now() - start).count();
+  }
+
+  /// The process-wide real monotonic clock (steady_clock). Never null.
+  static const Clock* Real();
+};
+
+/// Test clock: Now() returns a fixed origin plus an explicitly advanced
+/// offset. Advancing is atomic, so tests may move time forward while worker
+/// threads read it; time never goes backwards.
+class VirtualClock final : public Clock {
+ public:
+  VirtualClock() = default;
+  explicit VirtualClock(TimePoint origin) : origin_(origin) {}
+
+  TimePoint Now() const override {
+    return origin_ + Duration(offset_.load(std::memory_order_acquire));
+  }
+
+  void Advance(Duration d) {
+    offset_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+  void AdvanceSeconds(double seconds) {
+    Advance(std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(seconds)));
+  }
+
+ private:
+  TimePoint origin_{};  // steady_clock epoch by default
+  std::atomic<Duration::rep> offset_{0};
+};
+
+}  // namespace staq::util

@@ -1,0 +1,161 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace staq::util {
+
+namespace {
+
+/// One registered site. Heap-allocated once and never freed (the registry
+/// lives for the process), so Evaluate can block on a site's monitor after
+/// dropping the registry lock.
+struct Site {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool armed = false;
+  FailPointConfig config;
+  uint64_t hits_total = 0;      // every Evaluate() since process start
+  uint64_t hits_since_arm = 0;  // trip schedule runs against this
+  uint64_t trips = 0;           // actions fired since last Arm
+  uint64_t blocked = 0;         // threads parked in kBlock right now
+  /// Bumped by Arm/Disarm so a blocked thread wakes when *its* arming ends,
+  /// not when a later re-arm happens to be active.
+  uint64_t generation = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites;
+
+  static Registry& Instance() {
+    static Registry* registry = new Registry();  // immortal
+    return *registry;
+  }
+
+  Site* FindOrCreate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto& slot = sites[name];
+    if (slot == nullptr) slot = std::make_unique<Site>();
+    return slot.get();
+  }
+
+  Site* Find(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = sites.find(name);
+    return it == sites.end() ? nullptr : it->second.get();
+  }
+};
+
+}  // namespace
+
+void FailPoints::Arm(const std::string& site, FailPointConfig config) {
+  if (config.every == 0) config.every = 1;
+  Site* s = Registry::Instance().FindOrCreate(site);
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->armed = true;
+  s->config = std::move(config);
+  s->hits_since_arm = 0;
+  s->trips = 0;
+  ++s->generation;
+  s->cv.notify_all();  // re-arming releases waiters of the previous arming
+}
+
+void FailPoints::Disarm(const std::string& site) {
+  Site* s = Registry::Instance().Find(site);
+  if (s == nullptr) return;
+  std::lock_guard<std::mutex> lock(s->mu);
+  s->armed = false;
+  ++s->generation;
+  s->cv.notify_all();
+}
+
+void FailPoints::DisarmAll() {
+  Registry& registry = Registry::Instance();
+  std::vector<Site*> sites;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    sites.reserve(registry.sites.size());
+    for (auto& [name, site] : registry.sites) sites.push_back(site.get());
+  }
+  for (Site* s : sites) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    s->armed = false;
+    ++s->generation;
+    s->cv.notify_all();
+  }
+}
+
+uint64_t FailPoints::HitCount(const std::string& site) {
+  Site* s = Registry::Instance().Find(site);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->hits_total;
+}
+
+uint64_t FailPoints::TripCount(const std::string& site) {
+  Site* s = Registry::Instance().Find(site);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->trips;
+}
+
+uint64_t FailPoints::BlockedCount(const std::string& site) {
+  Site* s = Registry::Instance().Find(site);
+  if (s == nullptr) return 0;
+  std::lock_guard<std::mutex> lock(s->mu);
+  return s->blocked;
+}
+
+std::vector<std::string> FailPoints::Registered() {
+  Registry& registry = Registry::Instance();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    names.reserve(registry.sites.size());
+    for (const auto& [name, site] : registry.sites) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FailPoints::Evaluate(const char* site) {
+  Site* s = Registry::Instance().FindOrCreate(site);
+  std::unique_lock<std::mutex> lock(s->mu);
+  ++s->hits_total;
+  if (!s->armed) return;
+
+  const uint64_t hit = ++s->hits_since_arm;
+  const FailPointConfig& config = s->config;
+  if (hit <= config.skip) return;
+  if ((hit - config.skip - 1) % config.every != 0) return;
+  if (config.limit != 0 && s->trips >= config.limit) return;
+  ++s->trips;
+
+  switch (config.action) {
+    case FailPointConfig::Action::kThrow: {
+      std::string what = std::string(site) + ": " + config.message;
+      lock.unlock();
+      throw FailPointError(what);
+    }
+    case FailPointConfig::Action::kDelay: {
+      auto delay = config.delay;
+      lock.unlock();
+      std::this_thread::sleep_for(delay);
+      return;
+    }
+    case FailPointConfig::Action::kBlock: {
+      const uint64_t generation = s->generation;
+      ++s->blocked;
+      s->cv.wait(lock, [s, generation] { return s->generation != generation; });
+      --s->blocked;
+      return;
+    }
+  }
+}
+
+}  // namespace staq::util

@@ -1,0 +1,142 @@
+// Deterministic fault injection.
+//
+// Production code marks its interesting failure sites with
+// STAQ_FAILPOINT("dotted.site.name"). In a normal build the macro compiles
+// to nothing; with -DSTAQ_FAILPOINTS=1 (CMake option STAQ_FAILPOINTS,
+// default ON when tests are built) each site calls into a process-wide
+// registry that tests configure:
+//
+//   util::ScopedFailPoint fp("serve.cache.put",
+//                            util::FailPointConfig::Throw("disk full"));
+//   ... exercise the server; the Nth hit of the site throws ...
+//
+// Three actions are supported:
+//   * kThrow — throw FailPointError at the site (exception-path testing);
+//   * kDelay — sleep for a fixed duration (widen race windows);
+//   * kBlock — park the hitting thread until the site is disarmed
+//              (deterministic "worker is busy right now" fixtures).
+// A trip schedule (skip / every / limit) selects which hits fire, so a test
+// can fail only the third insert, or every insert, or exactly one.
+//
+// The registry is intentionally test-facing: sites are registered lazily on
+// first evaluation, arming an unknown site is fine (it fires when the code
+// path is reached), and everything is safe to call from any thread. The
+// catalog of shipped sites lives in DESIGN.md §8.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace staq::util {
+
+/// Exception thrown by a site armed with Action::kThrow.
+class FailPointError : public std::runtime_error {
+ public:
+  explicit FailPointError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// What an armed site does when a hit matches its trip schedule.
+struct FailPointConfig {
+  enum class Action : uint8_t {
+    kThrow,  // throw FailPointError("<site>: <message>")
+    kDelay,  // sleep for `delay`, then continue
+    kBlock,  // block until the site is disarmed, then continue
+  };
+
+  Action action = Action::kThrow;
+  std::string message = "injected failure";
+  std::chrono::milliseconds delay{0};
+
+  /// Trip schedule, evaluated over the hits since arming: ignore the first
+  /// `skip` hits, then fire on every `every`-th of the remainder, at most
+  /// `limit` times (0 = unlimited).
+  uint64_t skip = 0;
+  uint64_t every = 1;
+  uint64_t limit = 0;
+
+  static FailPointConfig Throw(std::string message = "injected failure") {
+    FailPointConfig config;
+    config.action = Action::kThrow;
+    config.message = std::move(message);
+    return config;
+  }
+  static FailPointConfig ThrowOnce(std::string message = "injected failure") {
+    FailPointConfig config = Throw(std::move(message));
+    config.limit = 1;
+    return config;
+  }
+  static FailPointConfig Delay(std::chrono::milliseconds delay) {
+    FailPointConfig config;
+    config.action = Action::kDelay;
+    config.delay = delay;
+    return config;
+  }
+  static FailPointConfig Block() {
+    FailPointConfig config;
+    config.action = Action::kBlock;
+    return config;
+  }
+};
+
+/// Process-wide failpoint registry. All members are static and thread-safe.
+class FailPoints {
+ public:
+  /// Arms `site` with `config`, replacing any previous arming (the hit
+  /// counter the trip schedule runs against restarts at zero).
+  static void Arm(const std::string& site, FailPointConfig config);
+
+  /// Disarms `site`: future hits pass through and threads parked in a
+  /// kBlock action are released. No-op when not armed.
+  static void Disarm(const std::string& site);
+
+  /// Disarms every site (test teardown belt-and-braces).
+  static void DisarmAll();
+
+  /// Total Evaluate() calls on `site` since process start (armed or not).
+  static uint64_t HitCount(const std::string& site);
+
+  /// Times `site`'s action actually fired since it was last armed.
+  static uint64_t TripCount(const std::string& site);
+
+  /// Threads currently parked inside `site`'s kBlock action. Lets a test
+  /// wait until a worker has provably reached the site before acting.
+  static uint64_t BlockedCount(const std::string& site);
+
+  /// Every site name Evaluate() has ever seen, sorted (the live catalog).
+  static std::vector<std::string> Registered();
+
+  /// Injection-site entry point — use the STAQ_FAILPOINT macro instead of
+  /// calling this directly so disabled builds compile the site away.
+  static void Evaluate(const char* site);
+};
+
+/// Arms a site for the current scope; disarms (and thereby releases any
+/// blocked threads) on destruction.
+class ScopedFailPoint {
+ public:
+  ScopedFailPoint(std::string site, FailPointConfig config)
+      : site_(std::move(site)) {
+    FailPoints::Arm(site_, std::move(config));
+  }
+  ~ScopedFailPoint() { FailPoints::Disarm(site_); }
+
+  ScopedFailPoint(const ScopedFailPoint&) = delete;
+  ScopedFailPoint& operator=(const ScopedFailPoint&) = delete;
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace staq::util
+
+#if defined(STAQ_FAILPOINTS) && STAQ_FAILPOINTS
+#define STAQ_FAILPOINT(site) ::staq::util::FailPoints::Evaluate(site)
+#else
+#define STAQ_FAILPOINT(site) ((void)0)
+#endif

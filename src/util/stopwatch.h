@@ -4,27 +4,32 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/clock.h"
+
 namespace staq::util {
 
-/// Monotonic stopwatch. Starts running on construction.
+/// Monotonic stopwatch. Starts running on construction. Reads the real
+/// clock by default; tests pass a VirtualClock so "elapsed" time advances
+/// only when the test says so.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : Stopwatch(nullptr) {}
+  explicit Stopwatch(const Clock* clock)
+      : clock_(clock != nullptr ? clock : Clock::Real()),
+        start_(clock_->Now()) {}
 
   /// Restarts the stopwatch from zero.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = clock_->Now(); }
 
   /// Elapsed time in seconds since construction / last Reset().
-  double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  double ElapsedSeconds() const { return clock_->SecondsSince(start_); }
 
   /// Elapsed time in milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  const Clock* clock_;
+  Clock::TimePoint start_;
 };
 
 /// Accumulates time across multiple start/stop windows; used to attribute

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+
+#include "util/failpoint.h"
 
 namespace staq::util {
 
@@ -62,15 +65,42 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void ThreadPool::EnablePerturbation(const PerturbOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  perturb_ = options;
+  perturb_rng_.seed(options.seed);
+}
+
+ThreadPool::Job ThreadPool::PopJob(uint32_t* delay_us) {
+  // Caller holds mu_ and guarantees !queue_.empty().
+  size_t index = 0;
+  *delay_us = 0;
+  if (perturb_.has_value()) {
+    if (perturb_->reorder && queue_.size() > 1) {
+      index = perturb_rng_() % queue_.size();
+    }
+    if (perturb_->max_delay_us > 0) {
+      *delay_us =
+          static_cast<uint32_t>(perturb_rng_() % (perturb_->max_delay_us + 1));
+    }
+  }
+  Job job = std::move(queue_[index]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(index));
+  return job;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     Job job;
+    uint32_t delay_us = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop requested and queue drained
-      job = std::move(queue_.front());
-      queue_.pop_front();
+      job = PopJob(&delay_us);
+    }
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     }
     RunJob(job);
   }
@@ -121,6 +151,9 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
 }
 
 TaskHandle ThreadPool::SubmitHandle(std::function<void()> task) {
+  // Fault site: a throw here models submission failing before the task is
+  // ever queued (caller still holds everything it handed in).
+  STAQ_FAILPOINT("util.thread_pool.submit");
   TaskHandle handle;
   handle.shared_ = std::make_shared<TaskHandle::Shared>();
   std::packaged_task<void()> wrapped(std::move(task));
@@ -172,6 +205,29 @@ void ThreadPool::ParallelFor(size_t n,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+PerturbingExecutor::PerturbingExecutor(size_t num_threads,
+                                       const Options& options)
+    : options_(options),
+      submit_rng_(options.perturb.seed ^ 0x9e3779b97f4a7c15ull),
+      pool_(num_threads) {
+  pool_.EnablePerturbation(options.perturb);
+}
+
+TaskHandle PerturbingExecutor::SubmitHandle(std::function<void()> task) {
+  if (options_.max_submit_delay_us > 0) {
+    uint32_t delay_us;
+    {
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      delay_us = static_cast<uint32_t>(submit_rng_() %
+                                       (options_.max_submit_delay_us + 1));
+    }
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+  return pool_.SubmitHandle(std::move(task));
 }
 
 ThreadPool& ThreadPool::Shared() {

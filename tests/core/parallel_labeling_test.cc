@@ -100,6 +100,82 @@ TEST_F(ParallelLabelingTest, BatchedAndPerTripModesAgreeAcrossThreads) {
   }
 }
 
+/// Bit-identity (not tolerance) between two labelings: the contract the
+/// serve snapshots and result cache rely on is that thread count is never
+/// observable in an answer.
+void ExpectBitIdentical(const std::vector<ZoneLabel>& a,
+                        const std::vector<ZoneLabel>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mac, b[i].mac) << "zone " << i;
+    EXPECT_EQ(a[i].acsd, b[i].acsd) << "zone " << i;
+    EXPECT_EQ(a[i].num_trips, b[i].num_trips) << "zone " << i;
+    EXPECT_EQ(a[i].num_infeasible, b[i].num_infeasible) << "zone " << i;
+    EXPECT_EQ(a[i].num_walk_only, b[i].num_walk_only) << "zone " << i;
+  }
+}
+
+TEST_F(ParallelLabelingTest, ThreadCountSweepIsBitIdentical) {
+  // Golden-seed determinism across the whole thread sweep, in both labeling
+  // modes: 1, 2, and 8 workers partition the zones differently, yet every
+  // label and the SPQ count must come out bit-identical.
+  for (LabelingMode mode : {LabelingMode::kBatched, LabelingMode::kPerTrip}) {
+    router::RouterOptions options;
+    if (mode == LabelingMode::kPerTrip) options.bounded_relaxation = false;
+    uint64_t baseline_spqs = 0;
+    auto baseline = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                       CostKind::kJourneyTime,
+                                       gtfs::Day::kTuesday, /*num_threads=*/1,
+                                       options, {}, &baseline_spqs, mode);
+    for (size_t threads : {2u, 8u}) {
+      uint64_t spqs = 0;
+      auto labels = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                       CostKind::kJourneyTime,
+                                       gtfs::Day::kTuesday, threads, options,
+                                       {}, &spqs, mode);
+      SCOPED_TRACE(::testing::Message()
+                   << "mode " << static_cast<int>(mode) << " threads "
+                   << threads);
+      EXPECT_EQ(spqs, baseline_spqs);
+      ExpectBitIdentical(baseline, labels);
+    }
+  }
+}
+
+TEST(ParallelLabelingCityTest, BrindaleSweepIsBitIdentical) {
+  // Second city family (the Covely fixture covers the first): Brindale's
+  // radial layout produces different zone geometry and trip mixes, so a
+  // scheduling-order dependence that Covely masks would surface here.
+  auto built = synth::BuildCity(synth::CitySpec::Brindale(0.1, 7));
+  ASSERT_TRUE(built.ok());
+  synth::City city = std::move(built).value();
+  std::vector<synth::Poi> pois = city.PoisOf(synth::PoiCategory::kSchool);
+  ASSERT_FALSE(pois.empty());
+  GravityConfig gravity;
+  gravity.sample_rate_per_hour = 4;
+  gravity.keep_scale = 2.0;
+  TodamBuilder builder(city.zones, pois, gtfs::WeekdayAmPeak(), gravity);
+  Todam todam = builder.BuildGravity(/*seed=*/3);
+  std::vector<uint32_t> zones;
+  for (uint32_t z = 0; z < city.zones.size(); ++z) zones.push_back(z);
+
+  uint64_t baseline_spqs = 0;
+  auto baseline = LabelZonesParallel(city, todam, zones, pois,
+                                     CostKind::kJourneyTime,
+                                     gtfs::Day::kTuesday, /*num_threads=*/1,
+                                     {}, {}, &baseline_spqs);
+  for (size_t threads : {2u, 8u}) {
+    uint64_t spqs = 0;
+    auto labels = LabelZonesParallel(city, todam, zones, pois,
+                                     CostKind::kJourneyTime,
+                                     gtfs::Day::kTuesday, threads, {}, {},
+                                     &spqs);
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    EXPECT_EQ(spqs, baseline_spqs);
+    ExpectBitIdentical(baseline, labels);
+  }
+}
+
 TEST_F(ParallelLabelingTest, PipelineParallelMatchesSerialPredictions) {
   SsrPipeline pipeline(&city_, gtfs::WeekdayAmPeak());
   PipelineConfig config;

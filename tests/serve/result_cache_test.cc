@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "util/clock.h"
+#include "util/failpoint.h"
+
 namespace staq::serve {
 namespace {
 
@@ -86,6 +89,95 @@ TEST(ResultCacheTest, ConcurrentReadersAndWritersStayConsistent) {
   EXPECT_EQ(cache.hits() + cache.misses(),
             static_cast<uint64_t>(kThreads) * ((kOps * 2) / 3));
 }
+
+TEST(ResultCacheTest, TtlAgesEntriesOutOnTheVirtualClock) {
+  util::VirtualClock clock;
+  ResultCache cache({.shards = 1, .entries_per_shard = 8, .ttl_s = 10.0,
+                     .clock = &clock});
+  cache.Put("k", MakeResult(1.0));
+  EXPECT_NE(cache.Get("k"), nullptr);
+
+  clock.AdvanceSeconds(11.0);
+  EXPECT_EQ(cache.Get("k"), nullptr);  // aged out, treated as a miss
+  EXPECT_EQ(cache.expired(), 1u);
+  EXPECT_EQ(cache.size(), 0u);  // lazily erased, not just hidden
+
+  cache.Put("k", MakeResult(2.0));  // a fresh insert is young again
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->mean_mac, 2.0);
+}
+
+TEST(ResultCacheTest, PutRefreshRestartsTheTtl) {
+  util::VirtualClock clock;
+  ResultCache cache({.shards = 1, .entries_per_shard = 8, .ttl_s = 10.0,
+                     .clock = &clock});
+  cache.Put("k", MakeResult(1.0));
+  clock.AdvanceSeconds(6.0);
+  cache.Put("k", MakeResult(2.0));  // refresh: age restarts at zero
+  clock.AdvanceSeconds(6.0);        // 12 s since first insert, 6 s since refresh
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_DOUBLE_EQ(hit->mean_mac, 2.0);
+  EXPECT_EQ(cache.expired(), 0u);
+}
+
+TEST(ResultCacheTest, ZeroTtlDisablesAging) {
+  util::VirtualClock clock;
+  ResultCache cache({.shards = 1, .entries_per_shard = 8, .ttl_s = 0.0,
+                     .clock = &clock});
+  cache.Put("k", MakeResult(1.0));
+  clock.AdvanceSeconds(1e9);
+  EXPECT_NE(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.expired(), 0u);
+}
+
+TEST(ResultCacheTest, EvictionRacingInsertOfTheSameKeyStaysConsistent) {
+  // One thread keeps re-inserting a hot key into a capacity-2 shard while
+  // another floods it with cold keys, so the hot key is continually evicted
+  // and re-inserted. Every Get must see nullptr or a fully-formed value,
+  // and the shard must end within capacity.
+  ResultCache cache({.shards = 1, .entries_per_shard = 2});
+  std::thread hot([&] {
+    for (int i = 0; i < 2000; ++i) {
+      cache.Put("hot", MakeResult(7.0));
+      if (auto hit = cache.Get("hot")) {
+        EXPECT_DOUBLE_EQ(hit->mean_mac, 7.0);
+      }
+    }
+  });
+  std::thread cold([&] {
+    for (int i = 0; i < 2000; ++i) {
+      cache.Put("cold" + std::to_string(i % 64), MakeResult(i));
+    }
+  });
+  hot.join();
+  cold.join();
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+#if defined(STAQ_FAILPOINTS) && STAQ_FAILPOINTS
+TEST(ResultCacheTest, FailedEvictionLeavesCacheUsableAndSelfHealing) {
+  // An exception out of the eviction step aborts that Put mid-way, leaving
+  // the shard over capacity. The next successful Put must drain the backlog
+  // (the eviction loop runs while over capacity, not once).
+  ResultCache cache({.shards = 1, .entries_per_shard = 2});
+  cache.Put("a", MakeResult(1.0));
+  cache.Put("b", MakeResult(2.0));
+  {
+    util::ScopedFailPoint fp("serve.cache.evict",
+                             util::FailPointConfig::Throw("evict failed"));
+    EXPECT_THROW(cache.Put("c", MakeResult(3.0)), util::FailPointError);
+  }
+  EXPECT_EQ(cache.size(), 3u);  // over capacity: the eviction never ran
+  // Entries inserted before the failure are still served.
+  EXPECT_NE(cache.Get("c"), nullptr);
+  cache.Put("d", MakeResult(4.0));  // drains the backlog down to capacity
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_GE(cache.evictions(), 2u);
+}
+#endif  // STAQ_FAILPOINTS
 
 }  // namespace
 }  // namespace staq::serve

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "testing/test_city.h"
+#include "util/clock.h"
 
 namespace staq::serve {
 namespace {
@@ -99,7 +100,8 @@ TEST_F(AqServerTest, MutationInvalidatesByEpochNotByFlush) {
   const geo::BBox& extent = server_->base_city().extent;
   auto report = server_->AddPoi(synth::PoiCategory::kSchool,
                                 geo::Point{extent.min_x, extent.min_y});
-  EXPECT_EQ(report.epoch, 1u);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().epoch, 1u);
 
   // Same request, new epoch: must miss the cache and see the new POI.
   auto after = server_->Query(FastExactRequest());
@@ -111,7 +113,7 @@ TEST_F(AqServerTest, MutationInvalidatesByEpochNotByFlush) {
   ASSERT_TRUE(golden.ok());
   ExpectSameAnswer(after.value(), golden.value());
   // ...at a fraction of the SPQ cost (only affected zones were relabeled).
-  EXPECT_LT(report.spqs, golden.value().spqs);
+  EXPECT_LT(report.value().spqs, golden.value().spqs);
 }
 
 TEST_F(AqServerTest, RemoveLastCategoryPoiYieldsNotFound) {
@@ -182,7 +184,8 @@ TEST_F(AqServerTest, ConcurrentQueriesAndMutationsStaySelfConsistent) {
   for (int m = 0; m < 4; ++m) {
     auto report = server_->AddPoi(synth::PoiCategory::kSchool,
                                   server_->base_city().Centre());
-    added.push_back(report.poi_id);
+    ASSERT_TRUE(report.ok()) << report.status();
+    added.push_back(report.value().poi_id);
   }
   for (uint32_t id : added) ASSERT_TRUE(server_->RemovePoi(id).ok());
   for (auto& client : clients) client.join();
@@ -231,19 +234,84 @@ TEST_F(AqServerTest, QueuedRequestCanBeCancelled) {
 }
 
 TEST_F(AqServerTest, ExpiredDeadlineFailsWithoutRunning) {
+  // Deadlines are read off the injected clock, so expiry is forced by
+  // advancing virtual time — no sleeps, no real-time sensitivity. (The
+  // fault-injection suite additionally pins the worker with a kBlock
+  // failpoint for a fully schedule-independent variant.)
+  util::VirtualClock clock;
   AqServer::Options options;
   options.num_threads = 1;
+  options.clock = &clock;
   AqServer single(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
-  AqTicket busy = single.Submit(FastExactRequest());
+  // Three distinct keys: each is a full label build, so the queue stays
+  // deep while the virtual clock jumps.
+  AqTicket busy1 = single.Submit(FastExactRequest());
+  AqTicket busy2 = single.Submit(FastExactRequest(synth::PoiCategory::kVaxCenter));
+  AqRequest reseeded = FastExactRequest();
+  reseeded.options.seed = 7;
+  AqTicket busy3 = single.Submit(reseeded);
 
   AqRequest doomed = FastSsrRequest();
-  doomed.deadline_s = 1e-9;  // expires while queued behind `busy`
+  doomed.deadline_s = 1000.0;  // only virtual time can expire this
   AqTicket ticket = single.Submit(doomed);
+  clock.AdvanceSeconds(2000.0);
+
   auto result = ticket.Get();
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
   EXPECT_EQ(single.stats().deadline_exceeded, 1u);
-  EXPECT_TRUE(busy.Get().ok());
+  EXPECT_TRUE(busy1.Get().ok());
+  EXPECT_TRUE(busy2.Get().ok());
+  EXPECT_TRUE(busy3.Get().ok());
+}
+
+TEST_F(AqServerTest, TicketRecordsItsAdmissionEpoch) {
+  AqTicket empty;
+  EXPECT_EQ(empty.epoch(), AqTicket::kNoEpoch);
+
+  AqTicket at_zero = server_->Submit(FastExactRequest());
+  EXPECT_EQ(at_zero.epoch(), 0u);
+  ASSERT_TRUE(at_zero.Get().ok());
+
+  auto report = server_->AddPoi(synth::PoiCategory::kSchool,
+                                server_->base_city().Centre());
+  ASSERT_TRUE(report.ok());
+  AqTicket at_one = server_->Submit(FastExactRequest());
+  EXPECT_EQ(at_one.epoch(), 1u);
+  ASSERT_TRUE(at_one.Get().ok());
+
+  AqServer::Options options;
+  options.num_threads = 1;
+  options.max_pending = 0;
+  AqServer full(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+  AqTicket rejected = full.Submit(FastExactRequest());
+  EXPECT_EQ(rejected.epoch(), AqTicket::kNoEpoch);  // never resolved a snapshot
+  EXPECT_FALSE(rejected.Get().ok());
+}
+
+TEST_F(AqServerTest, ResultCacheTtlAgesOnTheServerClock) {
+  // The cache inherits the server's (virtual) clock, so cached answers age
+  // out when virtual time passes the TTL — and only then.
+  util::VirtualClock clock;
+  AqServer::Options options;
+  options.num_threads = 2;
+  options.clock = &clock;
+  options.cache.ttl_s = 60.0;
+  AqServer server(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+
+  ASSERT_TRUE(server.Query(FastExactRequest()).ok());
+  ASSERT_TRUE(server.Query(FastExactRequest()).ok());
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+  EXPECT_EQ(server.stats().cache_expired, 0u);
+
+  clock.AdvanceSeconds(120.0);
+  auto refreshed = server.Query(FastExactRequest());  // aged out: recomputes
+  ASSERT_TRUE(refreshed.ok());
+  EXPECT_EQ(server.stats().cache_hits, 1u);
+  EXPECT_EQ(server.stats().cache_expired, 1u);
+  auto golden = server.QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  ExpectSameAnswer(refreshed.value(), golden.value());
 }
 
 TEST_F(AqServerTest, DestructionWithOutstandingRequestsIsClean) {

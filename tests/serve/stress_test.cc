@@ -1,0 +1,194 @@
+// Schedule-shaking stress suite for staq::serve.
+//
+// Each test instance runs one seed of a mixed query/mutate/cancel/destroy
+// workload against an AqServer whose worker pool is perturbed (seeded task
+// reordering + jitter, see ThreadPool::PerturbOptions), then model-checks
+// the invariant the serve design promises: every OK response is
+// bit-identical to the sequential answer on the scenario snapshot it was
+// admitted under (AqTicket::epoch). Mutations are serialised on the main
+// thread, which retains one snapshot per epoch as the oracle input.
+//
+// ctest materialises the whole ::testing::Range as independent tests, so
+// `ctest -R ServeStress` runs 50 seeds — under STAQ_TSAN via the
+// `concurrency` label — and a failing seed names itself in the test id.
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/server.h"
+#include "testing/test_city.h"
+
+namespace staq::serve {
+namespace {
+
+AqRequest ExactRequest(synth::PoiCategory category) {
+  AqRequest request;
+  request.category = category;
+  request.options.exact = true;
+  request.options.gravity.sample_rate_per_hour = 4;
+  request.options.gravity.keep_scale = 2.0;
+  request.options.seed = 3;
+  return request;
+}
+
+AqRequest SsrRequest() {
+  AqRequest request = ExactRequest(synth::PoiCategory::kSchool);
+  request.options.exact = false;
+  request.options.beta = 0.2;
+  request.options.model = ml::ModelKind::kOls;
+  return request;
+}
+
+void ExpectSameAnswer(const core::AccessQueryResult& a,
+                      const core::AccessQueryResult& b) {
+  ASSERT_EQ(a.mac.size(), b.mac.size());
+  for (size_t z = 0; z < a.mac.size(); ++z) {
+    EXPECT_EQ(a.mac[z], b.mac[z]) << "zone " << z;
+    EXPECT_EQ(a.acsd[z], b.acsd[z]) << "zone " << z;
+  }
+  EXPECT_EQ(a.mean_mac, b.mean_mac);
+  EXPECT_EQ(a.mean_acsd, b.mean_acsd);
+  EXPECT_EQ(a.gravity_trips, b.gravity_trips);
+}
+
+/// One submitted request plus everything the oracle needs afterwards.
+struct Issued {
+  AqTicket ticket;
+  AqRequest request;
+  bool cancelled = false;  // TryCancel succeeded: must resolve kCancelled
+};
+
+class ServeStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ServeStressTest, MixedWorkloadIsEpochConsistent) {
+  const uint64_t seed = GetParam();
+
+  AqServer::Options options;
+  options.num_threads = 3;
+  options.max_pending = 128;
+  // A deliberately tiny cache keeps the eviction path hot under load.
+  options.cache.shards = 2;
+  options.cache.entries_per_shard = 2;
+  options.perturb = util::ThreadPool::PerturbOptions{
+      .seed = seed, .max_delay_us = 200, .reorder = true};
+  auto server = std::make_unique<AqServer>(testing::TinyCity(),
+                                           gtfs::WeekdayAmPeak(), options);
+
+  const std::vector<AqRequest> mix = {
+      ExactRequest(synth::PoiCategory::kSchool),
+      ExactRequest(synth::PoiCategory::kVaxCenter),
+      SsrRequest(),
+  };
+
+  // snapshots[e] is the scenario installed as epoch e. Only the main thread
+  // mutates, so retaining the snapshot right after each mutation report
+  // gives the oracle exactly the epoch sequence the server published.
+  std::vector<std::shared_ptr<const Scenario>> snapshots;
+  snapshots.push_back(server->Snapshot());
+  ASSERT_EQ(snapshots[0]->epoch(), 0u);
+
+  constexpr int kClients = 2;
+  constexpr int kOpsPerClient = 8;
+  std::vector<std::vector<Issued>> issued(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Seeded per client: the workload (request choice, cancel choice) is
+      // replayable for a failing seed even though the schedule is not.
+      std::mt19937_64 rng(seed * 1000003 + c);
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        Issued entry;
+        entry.request = mix[rng() % mix.size()];
+        entry.ticket = server->Submit(entry.request);
+        if (rng() % 4 == 0) {
+          entry.cancelled = entry.ticket.TryCancel();
+        }
+        issued[c].push_back(std::move(entry));
+      }
+    });
+  }
+
+  // Mutations race the clients: add schools, remove some of them again.
+  std::mt19937_64 mutate_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<uint32_t> added;
+  for (int m = 0; m < 3; ++m) {
+    if (!added.empty() && mutate_rng() % 2 == 0) {
+      uint32_t id = added.back();
+      added.pop_back();
+      auto report = server->RemovePoi(id);
+      ASSERT_TRUE(report.ok()) << report.status();
+    } else {
+      const geo::BBox& extent = server->base_city().extent;
+      double fx = static_cast<double>(mutate_rng() % 1000) / 1000.0;
+      double fy = static_cast<double>(mutate_rng() % 1000) / 1000.0;
+      geo::Point position{extent.min_x + fx * (extent.max_x - extent.min_x),
+                          extent.min_y + fy * (extent.max_y - extent.min_y)};
+      auto report = server->AddPoi(synth::PoiCategory::kSchool, position);
+      ASSERT_TRUE(report.ok()) << report.status();
+      added.push_back(report.value().poi_id);
+    }
+    snapshots.push_back(server->Snapshot());
+    ASSERT_EQ(snapshots.back()->epoch(), snapshots.size() - 1);
+  }
+  for (auto& client : clients) client.join();
+
+  // Oracle pass: every response must match the sequential answer on the
+  // snapshot its ticket was admitted under. Goldens are memoised per
+  // (epoch, canonical key) — the canonicaliser says which requests must be
+  // answer-identical, so it is also the right oracle key.
+  std::map<std::string, core::AccessQueryResult> goldens;
+  int answered = 0, cancelled = 0;
+  for (auto& client_issued : issued) {
+    for (Issued& entry : client_issued) {
+      auto result = entry.ticket.Get();  // must always resolve
+      if (entry.cancelled) {
+        ASSERT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), util::StatusCode::kCancelled);
+        ++cancelled;
+        continue;
+      }
+      ASSERT_TRUE(result.ok()) << result.status();
+      const uint64_t epoch = entry.ticket.epoch();
+      ASSERT_LT(epoch, snapshots.size());
+      std::string oracle_key =
+          std::to_string(epoch) + "/" + CanonicalRequestKey(entry.request);
+      auto it = goldens.find(oracle_key);
+      if (it == goldens.end()) {
+        auto golden = server->QueryUncachedOn(*snapshots[epoch], entry.request);
+        ASSERT_TRUE(golden.ok()) << golden.status();
+        it = goldens.emplace(oracle_key, std::move(golden).value()).first;
+      }
+      ExpectSameAnswer(result.value(), it->second);
+      ++answered;
+    }
+  }
+  EXPECT_EQ(answered + cancelled, kClients * kOpsPerClient);
+
+  // Destroy phase: tear the server down with requests still outstanding.
+  // ~AqServer drains the queue, so every ticket must still resolve cleanly
+  // to a complete, well-formed answer — never a hang or a torn result.
+  const size_t zones = server->base_city().zones.size();
+  std::vector<AqTicket> outstanding;
+  for (int i = 0; i < 4; ++i) {
+    outstanding.push_back(server->Submit(mix[i % mix.size()]));
+  }
+  server.reset();
+  for (AqTicket& ticket : outstanding) {
+    auto result = ticket.Get();
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result.value().mac.size(), zones);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServeStressTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+}  // namespace
+}  // namespace staq::serve

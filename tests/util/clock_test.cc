@@ -1,0 +1,84 @@
+#include "util/clock.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace staq::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ClockTest, RealClockIsMonotonicAndSingleton) {
+  const Clock* clock = Clock::Real();
+  ASSERT_NE(clock, nullptr);
+  EXPECT_EQ(clock, Clock::Real());
+  Clock::TimePoint a = clock->Now();
+  Clock::TimePoint b = clock->Now();
+  EXPECT_LE(a, b);
+  EXPECT_GE(clock->SecondsSince(a), 0.0);
+}
+
+TEST(VirtualClockTest, AdvancesOnlyWhenTold) {
+  VirtualClock clock;
+  Clock::TimePoint start = clock.Now();
+  EXPECT_EQ(clock.Now(), start);  // no passage of real time leaks in
+  EXPECT_DOUBLE_EQ(clock.SecondsSince(start), 0.0);
+
+  clock.Advance(1500ms);
+  EXPECT_DOUBLE_EQ(clock.SecondsSince(start), 1.5);
+  clock.AdvanceSeconds(0.5);
+  EXPECT_DOUBLE_EQ(clock.SecondsSince(start), 2.0);
+}
+
+TEST(VirtualClockTest, HonoursExplicitOrigin) {
+  Clock::TimePoint origin = Clock::Real()->Now();
+  VirtualClock clock(origin);
+  EXPECT_EQ(clock.Now(), origin);
+  clock.Advance(2s);
+  EXPECT_EQ(clock.Now(), origin + 2s);
+}
+
+TEST(VirtualClockTest, ConcurrentReadersSeeMonotonicTime) {
+  VirtualClock clock;
+  Clock::TimePoint start = clock.Now();
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      double last = 0.0;
+      for (int i = 0; i < 2000; ++i) {
+        double now = clock.SecondsSince(start);
+        EXPECT_GE(now, last);  // time never goes backwards
+        last = now;
+      }
+    });
+  }
+  for (int i = 0; i < 1000; ++i) clock.Advance(1ms);
+  for (auto& reader : readers) reader.join();
+  EXPECT_DOUBLE_EQ(clock.SecondsSince(start), 1.0);
+}
+
+TEST(StopwatchTest, DefaultStopwatchReadsTheRealClock) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(StopwatchTest, VirtualStopwatchMeasuresExactlyWhatWasAdvanced) {
+  VirtualClock clock;
+  Stopwatch watch(&clock);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+  clock.AdvanceSeconds(3.25);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 3.25);
+  EXPECT_DOUBLE_EQ(watch.ElapsedMillis(), 3250.0);
+
+  watch.Reset();
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.0);
+  clock.AdvanceSeconds(0.75);
+  EXPECT_DOUBLE_EQ(watch.ElapsedSeconds(), 0.75);
+}
+
+}  // namespace
+}  // namespace staq::util

@@ -1,0 +1,195 @@
+// Unit tests for the failpoint registry itself. These call
+// FailPoints::Evaluate directly (the registry is always compiled); whether
+// the STAQ_FAILPOINT macro in production code expands to Evaluate is a
+// build-option concern covered by the serve fault-injection suite.
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace staq::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+class FailPointTest : public ::testing::Test {
+ protected:
+  ~FailPointTest() override { FailPoints::DisarmAll(); }
+};
+
+TEST_F(FailPointTest, UnarmedSiteIsANoopButCountsHits) {
+  uint64_t before = FailPoints::HitCount("test.fp.unarmed");
+  FailPoints::Evaluate("test.fp.unarmed");
+  FailPoints::Evaluate("test.fp.unarmed");
+  EXPECT_EQ(FailPoints::HitCount("test.fp.unarmed"), before + 2);
+  EXPECT_EQ(FailPoints::TripCount("test.fp.unarmed"), 0u);
+}
+
+TEST_F(FailPointTest, ThrowFiresWithSiteAndMessage) {
+  FailPoints::Arm("test.fp.throw", FailPointConfig::Throw("disk full"));
+  try {
+    FailPoints::Evaluate("test.fp.throw");
+    FAIL() << "armed site did not throw";
+  } catch (const FailPointError& error) {
+    EXPECT_NE(std::string(error.what()).find("test.fp.throw"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("disk full"), std::string::npos);
+  }
+  EXPECT_EQ(FailPoints::TripCount("test.fp.throw"), 1u);
+}
+
+TEST_F(FailPointTest, DisarmedSitePassesThrough) {
+  FailPoints::Arm("test.fp.disarm", FailPointConfig::Throw());
+  FailPoints::Disarm("test.fp.disarm");
+  FailPoints::Evaluate("test.fp.disarm");  // must not throw
+  EXPECT_EQ(FailPoints::TripCount("test.fp.disarm"), 0u);
+}
+
+TEST_F(FailPointTest, ThrowOnceFiresExactlyOnce) {
+  FailPoints::Arm("test.fp.once", FailPointConfig::ThrowOnce());
+  EXPECT_THROW(FailPoints::Evaluate("test.fp.once"), FailPointError);
+  FailPoints::Evaluate("test.fp.once");  // limit reached: passes
+  FailPoints::Evaluate("test.fp.once");
+  EXPECT_EQ(FailPoints::TripCount("test.fp.once"), 1u);
+}
+
+TEST_F(FailPointTest, SkipAndEveryScheduleSelectsHits) {
+  // Ignore the first 2 hits, then fire on every 3rd of the remainder:
+  // hits 3, 6, 9, ... fire.
+  FailPointConfig config = FailPointConfig::Throw();
+  config.skip = 2;
+  config.every = 3;
+  FailPoints::Arm("test.fp.schedule", config);
+  std::vector<int> fired;
+  for (int hit = 1; hit <= 12; ++hit) {
+    try {
+      FailPoints::Evaluate("test.fp.schedule");
+    } catch (const FailPointError&) {
+      fired.push_back(hit);
+    }
+  }
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9, 12}));
+  EXPECT_EQ(FailPoints::TripCount("test.fp.schedule"), 4u);
+}
+
+TEST_F(FailPointTest, ReArmingRestartsTheScheduleCounter) {
+  FailPointConfig third = FailPointConfig::Throw();
+  third.skip = 2;
+  FailPoints::Arm("test.fp.rearm", third);
+  FailPoints::Evaluate("test.fp.rearm");  // hit 1: skipped
+  FailPoints::Arm("test.fp.rearm", third);
+  // The two pre-rearm hits no longer count: two more skips are needed.
+  FailPoints::Evaluate("test.fp.rearm");
+  FailPoints::Evaluate("test.fp.rearm");
+  EXPECT_THROW(FailPoints::Evaluate("test.fp.rearm"), FailPointError);
+}
+
+TEST_F(FailPointTest, DelayPassesThroughAfterSleeping) {
+  FailPoints::Arm("test.fp.delay", FailPointConfig::Delay(1ms));
+  FailPoints::Evaluate("test.fp.delay");  // returns normally
+  EXPECT_EQ(FailPoints::TripCount("test.fp.delay"), 1u);
+}
+
+TEST_F(FailPointTest, BlockParksThreadsUntilDisarm) {
+  FailPoints::Arm("test.fp.block", FailPointConfig::Block());
+  std::atomic<int> released{0};
+  std::vector<std::thread> parked;
+  for (int t = 0; t < 3; ++t) {
+    parked.emplace_back([&] {
+      FailPoints::Evaluate("test.fp.block");
+      released.fetch_add(1);
+    });
+  }
+  // Wait until all three threads are provably inside the site.
+  while (FailPoints::BlockedCount("test.fp.block") < 3) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(released.load(), 0);
+  FailPoints::Disarm("test.fp.block");
+  for (auto& thread : parked) thread.join();
+  EXPECT_EQ(released.load(), 3);
+  EXPECT_EQ(FailPoints::BlockedCount("test.fp.block"), 0u);
+}
+
+TEST_F(FailPointTest, DisarmAllReleasesBlockedThreads) {
+  FailPoints::Arm("test.fp.blockall", FailPointConfig::Block());
+  std::thread parked([&] { FailPoints::Evaluate("test.fp.blockall"); });
+  while (FailPoints::BlockedCount("test.fp.blockall") == 0) {
+    std::this_thread::yield();
+  }
+  FailPoints::DisarmAll();
+  parked.join();
+}
+
+TEST_F(FailPointTest, ScopedFailPointDisarmsOnDestruction) {
+  {
+    ScopedFailPoint fp("test.fp.scoped", FailPointConfig::Throw());
+    EXPECT_EQ(fp.site(), "test.fp.scoped");
+    EXPECT_THROW(FailPoints::Evaluate("test.fp.scoped"), FailPointError);
+  }
+  FailPoints::Evaluate("test.fp.scoped");  // disarmed: passes
+}
+
+TEST_F(FailPointTest, ScopedFailPointReleasesBlockedThreadsOnDestruction) {
+  std::atomic<bool> released{false};
+  std::thread parked;
+  {
+    ScopedFailPoint fp("test.fp.scoped_block", FailPointConfig::Block());
+    parked = std::thread([&] {
+      FailPoints::Evaluate("test.fp.scoped_block");
+      released.store(true);
+    });
+    while (FailPoints::BlockedCount("test.fp.scoped_block") == 0) {
+      std::this_thread::yield();
+    }
+    EXPECT_FALSE(released.load());
+  }
+  parked.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST_F(FailPointTest, ArmingBeforeFirstEvaluateWorks) {
+  FailPoints::Arm("test.fp.fresh_site_never_seen", FailPointConfig::Throw());
+  EXPECT_THROW(FailPoints::Evaluate("test.fp.fresh_site_never_seen"),
+               FailPointError);
+}
+
+TEST_F(FailPointTest, RegisteredListsEverySiteSorted) {
+  FailPoints::Evaluate("test.fp.catalog_b");
+  FailPoints::Evaluate("test.fp.catalog_a");
+  std::vector<std::string> sites = FailPoints::Registered();
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.fp.catalog_a"),
+            sites.end());
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.fp.catalog_b"),
+            sites.end());
+}
+
+TEST_F(FailPointTest, EvaluateIsSafeFromManyThreads) {
+  FailPointConfig config = FailPointConfig::Throw();
+  config.every = 2;
+  FailPoints::Arm("test.fp.mt", config);
+  std::atomic<int> threw{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) {
+        try {
+          FailPoints::Evaluate("test.fp.mt");
+        } catch (const FailPointError&) {
+          threw.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(threw.load(), 200);  // every 2nd of 400 hits
+  EXPECT_EQ(FailPoints::TripCount("test.fp.mt"), 200u);
+}
+
+}  // namespace
+}  // namespace staq::util

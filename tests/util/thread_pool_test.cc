@@ -174,6 +174,43 @@ TEST(ThreadPoolTest, CancelWithdrawsQueuedTaskBeforeItRuns) {
   EXPECT_FALSE(ran.load());
 }
 
+TEST(ThreadPoolTest, CancelAfterStartFailsAndTaskResultSurvives) {
+  // The cancel/start race resolves under the handle state machine: once a
+  // worker has claimed the task (kQueued -> kRunning), Cancel() must lose
+  // and the caller gets the completed result, never a half-run task.
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false, release = false;
+  std::atomic<int> value{0};
+  TaskHandle handle = pool.SubmitHandle([&] {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      started = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    value.store(99);
+  });
+  {
+    // Wait until the worker has provably entered the task body.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return started; });
+  }
+  EXPECT_EQ(handle.state(), TaskState::kRunning);
+  EXPECT_FALSE(handle.Cancel());  // too late: the worker owns it now
+  EXPECT_EQ(handle.state(), TaskState::kRunning);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  handle.Wait();
+  EXPECT_EQ(handle.state(), TaskState::kDone);
+  EXPECT_EQ(value.load(), 99);  // the task ran to completion despite Cancel
+}
+
 TEST(ThreadPoolTest, CancelFailsOnceTaskIsDone) {
   ThreadPool pool(2);
   TaskHandle handle = pool.SubmitHandle([] {});
@@ -200,6 +237,120 @@ TEST(ThreadPoolTest, SharedPoolIsASingleton) {
   std::atomic<int> value{0};
   a.Submit([&] { value.store(7); }).get();
   EXPECT_EQ(value.load(), 7);
+}
+
+// --- schedule shaking ------------------------------------------------------
+
+TEST(PerturbedPoolTest, EveryTaskStillRunsExactlyOnce) {
+  ThreadPool pool(4);
+  pool.EnablePerturbation({.seed = 7, .max_delay_us = 50, .reorder = true});
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& r : runs) r.store(0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&runs, i] { runs[i].fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(PerturbedPoolTest, HandleSemanticsSurviveReordering) {
+  // Reordering must not break the handle state machine: a cancelled task
+  // never runs, everything else runs exactly once, whatever order the
+  // perturbation popped the queue in.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    ThreadPool pool(1);
+    pool.EnablePerturbation({.seed = seed, .max_delay_us = 20,
+                             .reorder = true});
+    std::mutex mu;
+    std::condition_variable cv;
+    bool started = false, release = false;
+    auto blocker = pool.Submit([&] {
+      std::unique_lock<std::mutex> lock(mu);
+      started = true;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    });
+    {
+      // The only worker must hold the blocker before anything else is
+      // queued, or the reordering pop could start a task we plan to cancel.
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return started; });
+    }
+
+    constexpr int kTasks = 16;
+    std::vector<std::atomic<int>> runs(kTasks);
+    for (auto& r : runs) r.store(0);
+    std::vector<TaskHandle> handles;
+    for (int i = 0; i < kTasks; ++i) {
+      handles.push_back(pool.SubmitHandle([&runs, i] { runs[i].fetch_add(1); }));
+    }
+    std::vector<bool> cancelled(kTasks, false);
+    for (int i = 0; i < kTasks; i += 3) {
+      cancelled[i] = handles[i].Cancel();  // all still queued: must succeed
+      EXPECT_TRUE(cancelled[i]);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      release = true;
+    }
+    cv.notify_all();
+    blocker.get();
+    for (int i = 0; i < kTasks; ++i) {
+      handles[i].Wait();
+      EXPECT_EQ(runs[i].load(), cancelled[i] ? 0 : 1)
+          << "task " << i << " seed " << seed;
+      EXPECT_EQ(handles[i].state(),
+                cancelled[i] ? TaskState::kCancelled : TaskState::kDone);
+    }
+  }
+}
+
+TEST(PerturbedPoolTest, ParallelForResultIsUnchanged) {
+  constexpr size_t kN = 257;
+  auto run = [&](std::optional<ThreadPool::PerturbOptions> perturb) {
+    ThreadPool pool(4);
+    if (perturb) pool.EnablePerturbation(*perturb);
+    std::vector<double> out(kN);
+    pool.ParallelFor(kN, [&](size_t i) {
+      out[i] = static_cast<double>(i) * 2.5 - 1.0;
+    });
+    return out;
+  };
+  std::vector<double> quiet = run(std::nullopt);
+  std::vector<double> shaken =
+      run(ThreadPool::PerturbOptions{.seed = 11, .max_delay_us = 30,
+                                     .reorder = true});
+  EXPECT_EQ(quiet, shaken);
+}
+
+TEST(PerturbingExecutorTest, SubmitsThroughJitterAndDrains) {
+  PerturbingExecutor::Options options;
+  options.perturb = {.seed = 3, .max_delay_us = 40, .reorder = true};
+  options.max_submit_delay_us = 40;
+  PerturbingExecutor executor(3, options);
+  EXPECT_EQ(executor.num_threads(), 3u);
+
+  constexpr int kTasks = 64;
+  std::vector<std::atomic<int>> runs(kTasks);
+  for (auto& r : runs) r.store(0);
+  std::vector<TaskHandle> handles;
+  for (int i = 0; i < kTasks; ++i) {
+    handles.push_back(executor.SubmitHandle([&runs, i] { runs[i].fetch_add(1); }));
+  }
+  for (auto& handle : handles) handle.Wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(executor.PendingTasks(), 0u);
+  // The wrapped pool stays usable directly.
+  std::atomic<int> value{0};
+  executor.pool().Submit([&] { value.store(5); }).get();
+  EXPECT_EQ(value.load(), 5);
 }
 
 }  // namespace

@@ -1,0 +1,244 @@
+// Snapshot store benchmark: cold build vs warm start.
+//
+// Measures the full warm-start story of the snapshot store on one Brindale
+// city:
+//   cold   — AqServer construction (offline isochrone/hop-tree build) plus
+//            the first exact query (full labeling sweep): the cost a
+//            process pays every restart without snapshots
+//   save   — SaveSnapshot of the materialised serving state, plus the
+//            resulting file size and a full checksum verification pass
+//   load   — LoadSnapshot alone, in both read modes (mmap zero-copy vs
+//            buffered), isolating deserialisation cost
+//   warm   — AqServer construction with Options::warm_start_path plus the
+//            same first query answered from the restored label state: the
+//            cost a restart pays with snapshots
+//
+// Correctness gates run before any number is reported: the warm server must
+// actually warm-start (no silent cold fallback) and its answers must be
+// bit-identical to the cold server's. The headline gate — warm start at
+// least 10x faster than the cold build — fails the bench with exit code 1,
+// so CI catches a regression that quietly turns the warm path cold.
+//
+// Output: a summary table on stdout and BENCH_store.json in STAQ_BENCH_OUT.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/server.h"
+#include "store/snapshot.h"
+#include "util/stopwatch.h"
+
+namespace staq::bench {
+namespace {
+
+serve::AqRequest ExactRequest(synth::PoiCategory category,
+                              const core::GravityConfig& gravity) {
+  serve::AqRequest request;
+  request.category = category;
+  request.options.exact = true;
+  request.options.gravity = gravity;
+  request.options.seed = BenchSeed();
+  return request;
+}
+
+bool BitIdentical(const core::AccessQueryResult& a,
+                  const core::AccessQueryResult& b) {
+  if (a.mac.size() != b.mac.size() || a.acsd.size() != b.acsd.size()) {
+    return false;
+  }
+  auto same_bits = [](double x, double y) {
+    uint64_t xb, yb;
+    std::memcpy(&xb, &x, 8);
+    std::memcpy(&yb, &y, 8);
+    return xb == yb;
+  };
+  for (size_t z = 0; z < a.mac.size(); ++z) {
+    if (!same_bits(a.mac[z], b.mac[z]) || !same_bits(a.acsd[z], b.acsd[z])) {
+      return false;
+    }
+  }
+  return same_bits(a.mean_mac, b.mean_mac) &&
+         same_bits(a.mean_acsd, b.mean_acsd) &&
+         a.gravity_trips == b.gravity_trips;
+}
+
+int Run() {
+  PrintHeader("staq snapshot store: cold build vs warm start");
+
+  const synth::CitySpec spec =
+      synth::CitySpec::Brindale(BenchScale(), BenchSeed());
+  core::GravityConfig gravity = core::CalibratedGravityConfig(spec);
+  gravity.sample_rate_per_hour = BenchRate();
+  const std::vector<serve::AqRequest> requests = {
+      ExactRequest(synth::PoiCategory::kSchool, gravity),
+      ExactRequest(synth::PoiCategory::kHospital, gravity),
+  };
+
+  auto build_city = [&]() {
+    auto built = synth::BuildCity(spec);
+    if (!built.ok()) {
+      std::fprintf(stderr, "city build failed: %s\n",
+                   built.status().ToString().c_str());
+      std::exit(1);
+    }
+    return std::move(built).value();
+  };
+  // City synthesis happens on both paths identically; build both up front
+  // so neither phase's timing includes it.
+  synth::City cold_city = build_city();
+  synth::City warm_city = build_city();
+
+  serve::AqServer::Options options;
+  options.num_threads = 2;
+
+  // --- cold: offline build + first exact answers ---------------------------
+  util::Stopwatch cold_watch;
+  serve::AqServer cold(std::move(cold_city), gtfs::WeekdayAmPeak(), options);
+  std::vector<core::AccessQueryResult> cold_answers;
+  for (const serve::AqRequest& request : requests) {
+    auto answer = cold.Query(request);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "cold query failed: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    cold_answers.push_back(std::move(answer).value());
+  }
+  const double cold_seconds = cold_watch.ElapsedSeconds();
+  const size_t num_zones = cold.base_city().zones.size();
+  std::printf("  cold build + first answers : %8.3f s  (%zu zones)\n",
+              cold_seconds, num_zones);
+
+  // --- save + verify --------------------------------------------------------
+  const std::string path = OutDir() + "/bench_store_snapshot.staq";
+  util::Stopwatch save_watch;
+  auto saved = cold.ExportSnapshot(path);
+  const double save_seconds = save_watch.ElapsedSeconds();
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  auto info = store::InspectSnapshot(path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "inspect failed: %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t file_bytes = info.value().file_size;
+  util::Stopwatch verify_watch;
+  auto verified = store::VerifySnapshot(path);
+  const double verify_seconds = verify_watch.ElapsedSeconds();
+  if (!verified.ok()) {
+    std::fprintf(stderr, "verify failed: %s\n", verified.ToString().c_str());
+    return 1;
+  }
+  std::printf("  save                       : %8.3f s  (%.2f MiB, "
+              "verify %.3f s)\n",
+              save_seconds, static_cast<double>(file_bytes) / (1 << 20),
+              verify_seconds);
+
+  // --- load alone, both read modes -----------------------------------------
+  double load_seconds[2] = {0, 0};
+  const char* mode_names[2] = {"mmap", "buffered"};
+  for (int m = 0; m < 2; ++m) {
+    store::Reader::Options read_options;
+    read_options.mode = m == 0 ? store::Reader::Mode::kMmap
+                               : store::Reader::Mode::kBuffered;
+    util::Stopwatch load_watch;
+    auto restored = store::LoadSnapshot(path, read_options);
+    load_seconds[m] = load_watch.ElapsedSeconds();
+    if (!restored.ok()) {
+      std::fprintf(stderr, "load (%s) failed: %s\n", mode_names[m],
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  load (%-8s)            : %8.3f s\n", mode_names[m],
+                load_seconds[m]);
+  }
+
+  // --- warm: load + publish + same first answers ---------------------------
+  serve::AqServer::Options warm_options = options;
+  warm_options.warm_start_path = path;
+  util::Stopwatch warm_watch;
+  serve::AqServer warm(std::move(warm_city), gtfs::WeekdayAmPeak(),
+                       warm_options);
+  std::vector<core::AccessQueryResult> warm_answers;
+  for (const serve::AqRequest& request : requests) {
+    auto answer = warm.Query(request);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "warm query failed: %s\n",
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    warm_answers.push_back(std::move(answer).value());
+  }
+  const double warm_seconds = warm_watch.ElapsedSeconds();
+  std::printf("  warm start + first answers : %8.3f s\n", warm_seconds);
+
+  // --- gates ----------------------------------------------------------------
+  if (!warm.warm_started()) {
+    std::fprintf(stderr,
+                 "GATE FAILED: server fell back to a cold build instead of "
+                 "warm-starting from %s\n",
+                 path.c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!BitIdentical(cold_answers[i], warm_answers[i])) {
+      std::fprintf(stderr,
+                   "GATE FAILED: warm answer %zu differs from cold build\n",
+                   i);
+      return 1;
+    }
+  }
+  const double speedup =
+      warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
+  std::printf("  speedup                    : %8.1fx (gate: >= 10x)\n",
+              speedup);
+  if (speedup < 10.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: warm start %.1fx faster than cold build, "
+                 "gate requires >= 10x\n",
+                 speedup);
+    return 1;
+  }
+
+  std::string json_path = OutDir() + "/BENCH_store.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (json write failed: %s)\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"store\",\n");
+  std::fprintf(f, "  \"city\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
+  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
+  std::fprintf(f, "  \"label_states\": %zu,\n", requests.size());
+  std::fprintf(f, "  \"cold_seconds\": %.6f,\n", cold_seconds);
+  std::fprintf(f, "  \"save_seconds\": %.6f,\n", save_seconds);
+  std::fprintf(f, "  \"verify_seconds\": %.6f,\n", verify_seconds);
+  std::fprintf(f, "  \"file_bytes\": %llu,\n",
+               static_cast<unsigned long long>(file_bytes));
+  std::fprintf(f, "  \"load_mmap_seconds\": %.6f,\n", load_seconds[0]);
+  std::fprintf(f, "  \"load_buffered_seconds\": %.6f,\n", load_seconds[1]);
+  std::fprintf(f, "  \"warm_seconds\": %.6f,\n", warm_seconds);
+  std::fprintf(f, "  \"speedup\": %.2f,\n", speedup);
+  std::fprintf(f, "  \"speedup_gate\": 10.0,\n");
+  std::fprintf(f, "  \"bit_identical\": true\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  -> wrote %s\n", json_path.c_str());
+  std::remove(path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Run(); }

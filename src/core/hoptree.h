@@ -87,6 +87,16 @@ class HopTreeSet {
   HopTreeSet(const synth::City& city, const IsochroneSet& isochrones,
              const gtfs::TimeInterval& interval, HopTreeOptions options = {});
 
+  /// Reassembles a set from persisted trees (snapshot restore). Leaf data
+  /// is stored verbatim; the lazy per-tree k-d leaf indexes rebuild on
+  /// demand exactly as after an offline build.
+  HopTreeSet(const gtfs::TimeInterval& interval, std::vector<HopTree> outbound,
+             std::vector<HopTree> inbound, std::vector<uint32_t> stop_zone)
+      : interval_(interval),
+        outbound_(std::move(outbound)),
+        inbound_(std::move(inbound)),
+        stop_zone_(std::move(stop_zone)) {}
+
   const gtfs::TimeInterval& interval() const { return interval_; }
   size_t num_zones() const { return outbound_.size(); }
 

@@ -39,6 +39,12 @@ class IsochroneSet {
   /// offline). O(|Z| x bounded-Dijkstra).
   IsochroneSet(const synth::City& city, IsochroneConfig config);
 
+  /// Reassembles a set from persisted polygons (snapshot restore); the
+  /// polygons are stored verbatim, so the restored set is bit-identical to
+  /// the computed one.
+  IsochroneSet(IsochroneConfig config, std::vector<geo::Polygon> isochrones)
+      : config_(config), isochrones_(std::move(isochrones)) {}
+
   const IsochroneConfig& config() const { return config_; }
   size_t size() const { return isochrones_.size(); }
   const geo::Polygon& For(uint32_t zone) const { return isochrones_[zone]; }

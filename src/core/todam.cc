@@ -150,6 +150,18 @@ double TodamBuilder::KeepProbability(double alpha_ij) const {
   return p > 1.0 ? 1.0 : p;
 }
 
+Todam Todam::FromParts(std::vector<std::vector<TripEntry>> trips,
+                       std::vector<std::vector<double>> alpha) {
+  Todam todam;
+  todam.trips_ = std::move(trips);
+  todam.alpha_ = std::move(alpha);
+  todam.num_trips_ = 0;
+  for (const auto& zone_trips : todam.trips_) {
+    todam.num_trips_ += zone_trips.size();
+  }
+  return todam;
+}
+
 Todam TodamBuilder::BuildFull(uint64_t seed) const {
   Todam todam;
   todam.alpha_ = alpha_;

@@ -117,6 +117,13 @@ class Todam {
                        const std::vector<double>& alpha_column,
                        std::vector<uint32_t>* affected);
 
+  /// Reassembles a TODAM from persisted columns (snapshot restore).
+  /// `trips[z]` / `alpha[z]` become zone z's rows verbatim, so the
+  /// restored matrix is bit-identical to the built one (the property the
+  /// snapshot golden tests assert end to end).
+  static Todam FromParts(std::vector<std::vector<TripEntry>> trips,
+                         std::vector<std::vector<double>> alpha);
+
  private:
   friend class TodamBuilder;
   std::vector<std::vector<TripEntry>> trips_;

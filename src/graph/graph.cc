@@ -42,6 +42,31 @@ void Graph::Finalize() {
   finalized_ = true;
 }
 
+util::Result<Graph> Graph::FromParts(std::vector<geo::Point> positions,
+                                     std::vector<uint32_t> offsets,
+                                     std::vector<Arc> arcs) {
+  if (offsets.size() != positions.size() + 1 || offsets.front() != 0 ||
+      offsets.back() != arcs.size()) {
+    return util::Status::InvalidArgument("graph CSR offsets inconsistent");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return util::Status::InvalidArgument("graph CSR offsets not monotone");
+    }
+  }
+  for (const Arc& arc : arcs) {
+    if (arc.head >= positions.size()) {
+      return util::Status::InvalidArgument("graph arc head out of range");
+    }
+  }
+  Graph graph;
+  graph.positions_ = std::move(positions);
+  graph.offsets_ = std::move(offsets);
+  graph.arcs_ = std::move(arcs);
+  graph.finalized_ = true;
+  return graph;
+}
+
 size_t Graph::ConnectedComponents(std::vector<uint32_t>* labels) const {
   assert(finalized_);
   constexpr uint32_t kUnlabeled = static_cast<uint32_t>(-1);

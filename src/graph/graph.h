@@ -58,6 +58,20 @@ class Graph {
   /// undirected); returns the number of components. Requires finalized().
   size_t ConnectedComponents(std::vector<uint32_t>* labels) const;
 
+  /// The CSR row offsets (size num_nodes()+1). Requires finalized().
+  /// Exposed for the snapshot store, which persists the finalised layout
+  /// verbatim so a restored graph is bit-identical to the built one.
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Reassembles a finalised graph from its persisted CSR parts
+  /// (snapshot restore). Validates structural consistency — offsets
+  /// monotone and spanning `arcs`, arc heads in range — and returns
+  /// InvalidArgument rather than constructing an unusable graph.
+  static util::Result<Graph> FromParts(std::vector<geo::Point> positions,
+                                       std::vector<uint32_t> offsets,
+                                       std::vector<Arc> arcs);
+
  private:
   struct PendingEdge {
     NodeId tail, head;

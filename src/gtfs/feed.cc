@@ -66,6 +66,58 @@ StopServiceStats Feed::ServiceStats(StopId s, const TimeInterval& v) const {
   return stats;
 }
 
+void Feed::BuildDepartureIndex() {
+  stop_departures_.assign(stops_.size(), {});
+  for (uint32_t i = 0; i < stop_times_.size(); ++i) {
+    const StopTime& st_row = stop_times_[i];
+    stop_departures_[st_row.stop].push_back(
+        Departure{st_row.departure, st_row.trip, i});
+  }
+  for (auto& deps : stop_departures_) {
+    std::sort(deps.begin(), deps.end(),
+              [](const Departure& a, const Departure& b) {
+                return a.time < b.time || (a.time == b.time && a.trip < b.trip);
+              });
+  }
+}
+
+util::Result<Feed> Feed::FromParts(std::vector<Stop> stops,
+                                   std::vector<Route> routes,
+                                   std::vector<Trip> trips,
+                                   std::vector<StopTime> stop_times) {
+  Feed feed;
+  feed.stops_ = std::move(stops);
+  feed.routes_ = std::move(routes);
+  feed.trips_ = std::move(trips);
+  feed.stop_times_ = std::move(stop_times);
+  // Validate() range-checks trip/stop references but assumes dense ids
+  // elsewhere in the pipeline; check those too before accepting the parts.
+  for (size_t i = 0; i < feed.stops_.size(); ++i) {
+    if (feed.stops_[i].id != i) {
+      return util::Status::InvalidArgument("feed stop ids not dense");
+    }
+  }
+  for (size_t i = 0; i < feed.routes_.size(); ++i) {
+    if (feed.routes_[i].id != i) {
+      return util::Status::InvalidArgument("feed route ids not dense");
+    }
+  }
+  for (size_t i = 0; i < feed.trips_.size(); ++i) {
+    if (feed.trips_[i].id != i) {
+      return util::Status::InvalidArgument("feed trip ids not dense");
+    }
+  }
+  for (size_t i = 0; i < feed.stop_times_.size(); ++i) {
+    if (feed.stop_times_[i].trip >= feed.trips_.size()) {
+      return util::Status::InvalidArgument("stop_time trip out of range");
+    }
+  }
+  util::Status st = feed.Validate();
+  if (!st.ok()) return st;
+  feed.BuildDepartureIndex();
+  return feed;
+}
+
 util::Status Feed::Validate() const {
   for (const Trip& t : trips_) {
     if (t.route >= routes_.size()) {

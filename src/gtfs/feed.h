@@ -121,8 +121,21 @@ class Feed {
   /// departures >= arrivals, at least two calls per trip.
   util::Status Validate() const;
 
+  /// Reassembles a feed from its persisted entity tables (snapshot
+  /// restore). Validates exactly like FeedBuilder::Build and rebuilds the
+  /// per-stop departure index with the identical deterministic ordering,
+  /// so a restored feed is bit-identical to the built one.
+  static util::Result<Feed> FromParts(std::vector<Stop> stops,
+                                      std::vector<Route> routes,
+                                      std::vector<Trip> trips,
+                                      std::vector<StopTime> stop_times);
+
  private:
   friend class FeedBuilder;
+
+  /// (Re)builds stop_departures_ from stop_times_: per stop, sorted by
+  /// (time, trip). Shared by FeedBuilder::Build and FromParts.
+  void BuildDepartureIndex();
 
   std::vector<Stop> stops_;
   std::vector<Route> routes_;

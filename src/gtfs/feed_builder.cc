@@ -57,18 +57,7 @@ util::Result<Feed> FeedBuilder::Build() {
   // Per-stop departure index, sorted by time. The final call of each trip
   // is included (hop-tree construction wants arrivals too via stop_times);
   // the router skips final calls via NextDeparture.
-  feed_.stop_departures_.assign(feed_.stops_.size(), {});
-  for (uint32_t i = 0; i < feed_.stop_times_.size(); ++i) {
-    const StopTime& st_row = feed_.stop_times_[i];
-    feed_.stop_departures_[st_row.stop].push_back(
-        Departure{st_row.departure, st_row.trip, i});
-  }
-  for (auto& deps : feed_.stop_departures_) {
-    std::sort(deps.begin(), deps.end(),
-              [](const Departure& a, const Departure& b) {
-                return a.time < b.time || (a.time == b.time && a.trip < b.trip);
-              });
-  }
+  feed_.BuildDepartureIndex();
   return std::move(feed_);
 }
 

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "core/gravity.h"
+#include "store/snapshot.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
 
@@ -22,6 +23,17 @@ OfflineState::OfflineState(const synth::City& city,
   features = std::make_unique<core::FeatureExtractor>(&city, isochrones.get(),
                                                       hop_trees.get());
   build_seconds = watch.ElapsedSeconds();
+}
+
+OfflineState::OfflineState(const synth::City& city,
+                           const gtfs::TimeInterval& interval_in,
+                           std::unique_ptr<core::IsochroneSet> isochrones_in,
+                           std::unique_ptr<core::HopTreeSet> hop_trees_in)
+    : interval(interval_in),
+      isochrones(std::move(isochrones_in)),
+      hop_trees(std::move(hop_trees_in)) {
+  features = std::make_unique<core::FeatureExtractor>(&city, isochrones.get(),
+                                                      hop_trees.get());
 }
 
 Scenario::Scenario(uint64_t epoch, std::shared_ptr<const synth::City> base,
@@ -146,6 +158,32 @@ ScenarioStore::ScenarioStore(synth::City city,
   for (const synth::Poi& poi : base_->pois) {
     if (poi.id >= next_poi_id_) next_poi_id_ = poi.id + 1;
   }
+}
+
+ScenarioStore::ScenarioStore(RestoredScenario restored, Options options)
+    : base_(std::move(restored.city)),
+      options_(options),
+      relabel_router_(&base_->feed, options.router),
+      relabel_engine_(base_.get(), &relabel_router_) {
+  auto scenario = std::make_shared<Scenario>(/*epoch=*/0, base_,
+                                             std::move(restored.pois),
+                                             std::move(restored.offline));
+  for (auto& [key, state] : restored.label_states) {
+    scenario->SeedLabelState(key, std::move(state));
+  }
+  // The persisted cursor is authoritative (removed POIs must stay retired),
+  // but never hand out an id a live POI already holds.
+  uint32_t next_id = restored.next_poi_id;
+  for (const synth::Poi& poi : scenario->pois()) {
+    if (poi.id >= next_id) next_id = poi.id + 1;
+  }
+  next_poi_id_ = next_id;
+  current_ = std::move(scenario);
+}
+
+util::Status ScenarioStore::ExportSnapshot(const Scenario& scenario,
+                                           const std::string& path) const {
+  return store::SaveSnapshot(scenario, next_poi_id_.load(), path);
 }
 
 std::shared_ptr<const Scenario> ScenarioStore::Acquire() const {

@@ -24,6 +24,7 @@
 // zones) SPQs instead of O(all zones).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -52,6 +53,13 @@ namespace staq::serve {
 struct OfflineState {
   OfflineState(const synth::City& city, const gtfs::TimeInterval& interval,
                core::IsochroneConfig iso_config = {});
+
+  /// Snapshot restore: adopts persisted isochrones and hop trees verbatim
+  /// and rebuilds the (cheap, deterministic) feature extractor against
+  /// `city`, which must outlive the state exactly as for the building ctor.
+  OfflineState(const synth::City& city, const gtfs::TimeInterval& interval,
+               std::unique_ptr<core::IsochroneSet> isochrones,
+               std::unique_ptr<core::HopTreeSet> hop_trees);
 
   gtfs::TimeInterval interval;
   std::unique_ptr<core::IsochroneSet> isochrones;
@@ -141,6 +149,26 @@ class Scenario {
   mutable std::unordered_map<std::string, StateEntry> states_;
 };
 
+/// Everything store::LoadSnapshot recovers from disk: the ingredients of a
+/// ScenarioStore that skips the offline cold build. The city is already in
+/// its final shared_ptr home because the offline state's feature extractor
+/// points into it — moving the city after building the extractor would
+/// dangle that pointer.
+struct RestoredScenario {
+  std::shared_ptr<const synth::City> city;
+  std::vector<synth::Poi> pois;
+  std::shared_ptr<const OfflineState> offline;
+  std::vector<std::pair<LabelKey, std::shared_ptr<const ExactLabelState>>>
+      label_states;
+  /// Epoch the snapshot was exported from (diagnostic only: a restored
+  /// store republishes as epoch 0).
+  uint64_t source_epoch = 0;
+  /// POI id cursor at export time. Persisted — not recomputed from the live
+  /// POIs — because removed POIs leave no trace, and reusing their ids
+  /// would splice new POIs onto dead RNG streams.
+  uint32_t next_poi_id = 0;
+};
+
 /// Owns the current scenario and serialises mutations. Readers are
 /// wait-free with respect to writers apart from one pointer-load mutex.
 class ScenarioStore {
@@ -154,6 +182,11 @@ class ScenarioStore {
   /// and installs epoch 0 over the city's own POIs.
   ScenarioStore(synth::City city, const gtfs::TimeInterval& interval,
                 Options options = {});
+
+  /// Warm start from a loaded snapshot (store/snapshot.h): installs the
+  /// restored scenario as epoch 0 with its label states pre-seeded,
+  /// skipping the offline cold build entirely.
+  ScenarioStore(RestoredScenario restored, Options options = {});
 
   /// The current snapshot. The returned scenario stays fully usable after
   /// any number of subsequent mutations.
@@ -187,6 +220,18 @@ class ScenarioStore {
   /// not carried over.
   MutationReport SetInterval(const gtfs::TimeInterval& interval);
 
+  /// Serialises `scenario` — any epoch a caller still retains — plus the
+  /// store's POI id cursor to `path` (store/snapshot.h format). Safe under
+  /// concurrent queries and mutations: the scenario is immutable and the
+  /// cursor is read atomically, so the export never takes mutation_mu_.
+  util::Status ExportSnapshot(const Scenario& scenario,
+                              const std::string& path) const;
+
+  /// Convenience: exports the current epoch.
+  util::Status ExportSnapshot(const std::string& path) const {
+    return ExportSnapshot(*Acquire(), path);
+  }
+
  private:
   std::shared_ptr<const ExactLabelState> PatchAdd(
       const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
@@ -206,8 +251,9 @@ class ScenarioStore {
   /// Serialises mutations; never held while readers run queries.
   std::mutex mutation_mu_;
   /// Next stable POI id (monotonic, never reused: a reused id would splice
-  /// a new POI onto a removed POI's RNG stream). Guarded by mutation_mu_.
-  uint32_t next_poi_id_ = 0;
+  /// a new POI onto a removed POI's RNG stream). Written under mutation_mu_;
+  /// atomic so ExportSnapshot can read it without joining the writer queue.
+  std::atomic<uint32_t> next_poi_id_{0};
 
   mutable std::mutex current_mu_;
   std::shared_ptr<const Scenario> current_;

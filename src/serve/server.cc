@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "core/pipeline.h"
+#include "store/snapshot.h"
 #include "util/failpoint.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace staq::serve {
@@ -30,6 +32,24 @@ util::Status StatusFromException(const char* where) {
     return util::Status::Internal(std::string(where) +
                                   " failed: unknown exception");
   }
+}
+
+/// Builds the server's ScenarioStore, preferring a snapshot warm start.
+/// Both branches return a prvalue, so guaranteed copy elision constructs
+/// the non-movable store directly in AqServer::store_ — no move happens.
+ScenarioStore MakeStore(synth::City&& city, const gtfs::TimeInterval& interval,
+                        const AqServer::Options& options, bool* warm_started) {
+  if (!options.warm_start_path.empty()) {
+    auto restored = store::LoadSnapshot(options.warm_start_path);
+    if (restored.ok()) {
+      *warm_started = true;
+      return ScenarioStore(std::move(restored).value(), options.scenario);
+    }
+    util::LogWarning("warm start from '" + options.warm_start_path +
+                     "' failed (" + restored.status().ToString() +
+                     "); falling back to cold build");
+  }
+  return ScenarioStore(std::move(city), interval, options.scenario);
 }
 
 }  // namespace
@@ -64,7 +84,7 @@ AqServer::AqServer(synth::City city, const gtfs::TimeInterval& interval,
                    Options options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock : util::Clock::Real()),
-      store_(std::move(city), interval, options.scenario),
+      store_(MakeStore(std::move(city), interval, options, &warm_started_)),
       cache_([&options, this] {
         // The result cache ages on the server's clock unless the caller
         // wired a dedicated one.

@@ -96,6 +96,13 @@ class AqServer {
     /// Schedule shaking for the worker pool (stress tests only): seeded
     /// task reordering + jitter, see ThreadPool::PerturbOptions.
     std::optional<util::ThreadPool::PerturbOptions> perturb;
+    /// When non-empty, warm-start from this snapshot file
+    /// (store/snapshot.h): the loaded serving state — city, offline
+    /// structures, materialised label states — is published as epoch 0 and
+    /// the offline cold build is skipped. A snapshot that fails to open,
+    /// verify, or decode degrades to the cold build over the passed city
+    /// with a logged warning; a bad file never stops the server coming up.
+    std::string warm_start_path;
   };
 
   /// Takes ownership of the city and runs the offline phase for `interval`.
@@ -111,6 +118,20 @@ class AqServer {
   uint64_t epoch() const { return store_.epoch(); }
   std::shared_ptr<const Scenario> Snapshot() const { return store_.Acquire(); }
   const synth::City& base_city() const { return store_.base_city(); }
+  /// True when the serving state came from Options::warm_start_path rather
+  /// than a cold build.
+  bool warm_started() const { return warm_started_; }
+
+  /// Persists the current serving state — or any retained scenario — to
+  /// `path` in the store/snapshot.h format. Safe under concurrent queries
+  /// and mutations (scenarios are immutable snapshots).
+  util::Status ExportSnapshot(const std::string& path) const {
+    return store_.ExportSnapshot(path);
+  }
+  util::Status ExportSnapshot(const Scenario& scenario,
+                              const std::string& path) const {
+    return store_.ExportSnapshot(scenario, path);
+  }
 
   // Mutations are transactional: a failure (NotFound, or an exception out
   // of the patch/relabel machinery, e.g. an injected fault) leaves the
@@ -173,6 +194,8 @@ class AqServer {
   Options options_;
   /// Resolved time source (options_.clock or the real clock). Never null.
   const util::Clock* clock_;
+  /// Set while store_ initialises (declared first so it exists by then).
+  bool warm_started_ = false;
   ScenarioStore store_;
   ResultCache cache_;
 

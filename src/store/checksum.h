@@ -1,0 +1,20 @@
+// Block checksums for the snapshot store.
+//
+// Every payload block and the footer of a snapshot file carry a 64-bit
+// XXH64 digest (Yann Collet's xxHash, reimplemented here from the public
+// specification — the container must stay dependency-free). XXH64 is the
+// same family ClickHouse and LZ4 frame use for on-disk block integrity:
+// non-cryptographic, ~word-at-a-time fast, and strong enough that a torn
+// write, a truncated tail, or a flipped bit is detected with probability
+// 1 - 2^-64 per block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace staq::store {
+
+/// XXH64 digest of `data[0..size)` with the given seed.
+uint64_t XxHash64(const void* data, size_t size, uint64_t seed = 0);
+
+}  // namespace staq::store

@@ -27,6 +27,8 @@ enum class StatusCode {
   kResourceExhausted,  // admission control: queue full, capacity reached
   kDeadlineExceeded,   // request deadline elapsed before completion
   kCancelled,          // request withdrawn before it started
+  kDataLoss,           // persisted data unreadable: checksum mismatch,
+                       // truncation, torn write (snapshot store)
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -68,6 +70,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,6 +11,8 @@
 // ctest materialises the whole ::testing::Range as independent tests, so
 // `ctest -R ServeStress` runs 50 seeds — under STAQ_TSAN via the
 // `concurrency` label — and a failing seed names itself in the test id.
+#include <atomic>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <random>
@@ -188,6 +190,99 @@ TEST_P(ServeStressTest, MixedWorkloadIsEpochConsistent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ServeStressTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+// Save-under-load: exporting a snapshot of a live epoch races the same
+// query/mutation workload, and the file must capture that epoch exactly —
+// a server warm-started from it answers bit-identically to the sequential
+// oracle on the retained snapshot. Scenarios are immutable and the POI id
+// cursor is read atomically, so the export never blocks and never tears.
+class SaveUnderLoadTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SaveUnderLoadTest, LiveEpochSnapshotMatchesSequentialOracle) {
+  const uint64_t seed = GetParam();
+  const std::string path = ::testing::TempDir() + "staq_save_under_load_" +
+                           std::to_string(seed) + ".staq";
+
+  AqServer::Options options;
+  options.num_threads = 3;
+  options.max_pending = 128;
+  options.cache.shards = 2;
+  options.cache.entries_per_shard = 2;
+  options.perturb = util::ThreadPool::PerturbOptions{
+      .seed = seed, .max_delay_us = 200, .reorder = true};
+  AqServer server(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+
+  const std::vector<AqRequest> mix = {
+      ExactRequest(synth::PoiCategory::kSchool),
+      ExactRequest(synth::PoiCategory::kVaxCenter),
+      SsrRequest(),
+  };
+
+  // Client threads keep the workers busy for the whole export window.
+  std::atomic<bool> stop{false};
+  constexpr int kClients = 2;
+  std::vector<std::vector<AqTicket>> tickets(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(seed * 7919 + c);
+      while (!stop.load(std::memory_order_relaxed)) {
+        tickets[c].push_back(server.Submit(mix[rng() % mix.size()]));
+        if (tickets[c].size() >= 24) break;  // bounded work per seed
+      }
+    });
+  }
+
+  // Mutations race the clients; each installed epoch's snapshot is
+  // retained, and each is exported while the workload is still running.
+  std::vector<std::shared_ptr<const Scenario>> snapshots;
+  snapshots.push_back(server.Snapshot());
+  std::mt19937_64 mutate_rng(seed ^ 0xD1B54A32D192ED03ull);
+  for (int m = 0; m < 2; ++m) {
+    const geo::BBox& extent = server.base_city().extent;
+    double fx = static_cast<double>(mutate_rng() % 1000) / 1000.0;
+    double fy = static_cast<double>(mutate_rng() % 1000) / 1000.0;
+    auto report = server.AddPoi(
+        synth::PoiCategory::kSchool,
+        geo::Point{extent.min_x + fx * (extent.max_x - extent.min_x),
+                   extent.min_y + fy * (extent.max_y - extent.min_y)});
+    ASSERT_TRUE(report.ok()) << report.status();
+    snapshots.push_back(server.Snapshot());
+  }
+
+  // Export one retained (usually no longer current) epoch mid-flight.
+  const size_t exported = seed % snapshots.size();
+  auto save = server.ExportSnapshot(*snapshots[exported], path);
+  ASSERT_TRUE(save.ok()) << save.ToString();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& client : clients) client.join();
+  for (auto& per_client : tickets) {
+    for (AqTicket& ticket : per_client) (void)ticket.Get();
+  }
+
+  // Model check: a server warm-started from the mid-flight file answers
+  // exactly like the sequential oracle on the epoch that was exported.
+  AqServer::Options warm_options;
+  warm_options.num_threads = 2;
+  warm_options.warm_start_path = path;
+  AqServer warm(testing::TinyCity(), gtfs::WeekdayAmPeak(), warm_options);
+  ASSERT_TRUE(warm.warm_started());
+  EXPECT_EQ(warm.base_city().pois.size(),
+            server.base_city().pois.size());
+  for (const AqRequest& request : mix) {
+    auto oracle = server.QueryUncachedOn(*snapshots[exported], request);
+    auto answer = warm.QueryUncached(request);
+    ASSERT_TRUE(oracle.ok()) << oracle.status();
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    ExpectSameAnswer(answer.value(), oracle.value());
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaveUnderLoadTest,
                          ::testing::Range<uint64_t>(0, 50));
 
 }  // namespace

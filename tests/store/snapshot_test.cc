@@ -1,0 +1,392 @@
+// Golden round-trip tests of SaveSnapshot/LoadSnapshot: a loaded scenario
+// must be bit-identical to the one that was saved — same label bits, same
+// TODAM trips, same answers — across both city families, both read modes,
+// and chains of POI-edit epochs. The byte-identity re-export check
+// (save -> load -> save produces the same file) covers every stored field
+// at once; the semantic checks pin the parts queries actually consume.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/labeling.h"
+#include "router/router.h"
+#include "serve/scenario.h"
+#include "serve/server.h"
+#include "store/snapshot.h"
+#include "testing/test_city.h"
+
+namespace staq::store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "staq_snapshot_" + name;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+serve::LabelKey SchoolKey() {
+  serve::LabelKey key;
+  key.category = synth::PoiCategory::kSchool;
+  key.gravity.sample_rate_per_hour = 4;
+  key.gravity.keep_scale = 2.0;
+  key.seed = 3;
+  return key;
+}
+
+serve::LabelKey VaxGacKey() {
+  serve::LabelKey key = SchoolKey();
+  key.category = synth::PoiCategory::kVaxCenter;
+  key.cost = core::CostKind::kGeneralizedCost;
+  key.seed = 7;
+  return key;
+}
+
+/// Per-thread labeling context for materialising states in tests.
+struct Labeler {
+  explicit Labeler(const synth::City* city)
+      : router(&city->feed, {}), engine(city, &router) {}
+  router::Router router;
+  core::LabelingEngine engine;
+};
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+void ExpectBitIdenticalDoubles(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(Bits(a[i]), Bits(b[i])) << what << "[" << i << "]";
+  }
+}
+
+void ExpectSameState(const serve::ExactLabelState& a,
+                     const serve::ExactLabelState& b) {
+  ASSERT_EQ(a.pois.size(), b.pois.size());
+  for (size_t i = 0; i < a.pois.size(); ++i) {
+    EXPECT_EQ(a.pois[i].id, b.pois[i].id);
+    EXPECT_EQ(a.pois[i].category, b.pois[i].category);
+    EXPECT_EQ(Bits(a.pois[i].position.x), Bits(b.pois[i].position.x));
+    EXPECT_EQ(Bits(a.pois[i].position.y), Bits(b.pois[i].position.y));
+  }
+  ExpectBitIdenticalDoubles(a.zone_norm, b.zone_norm, "zone_norm");
+  ASSERT_EQ(a.todam.num_zones(), b.todam.num_zones());
+  EXPECT_EQ(a.todam.num_trips(), b.todam.num_trips());
+  for (size_t z = 0; z < a.todam.num_zones(); ++z) {
+    EXPECT_EQ(a.todam.TripsFor(static_cast<uint32_t>(z)),
+              b.todam.TripsFor(static_cast<uint32_t>(z)))
+        << "zone " << z;
+  }
+  ASSERT_EQ(a.todam.alpha().size(), b.todam.alpha().size());
+  for (size_t z = 0; z < a.todam.alpha().size(); ++z) {
+    ExpectBitIdenticalDoubles(a.todam.alpha()[z], b.todam.alpha()[z], "alpha");
+  }
+  ASSERT_EQ(a.labels.size(), b.labels.size());
+  for (size_t z = 0; z < a.labels.size(); ++z) {
+    EXPECT_EQ(Bits(a.labels[z].mac), Bits(b.labels[z].mac)) << "zone " << z;
+    EXPECT_EQ(Bits(a.labels[z].acsd), Bits(b.labels[z].acsd)) << "zone " << z;
+    EXPECT_EQ(a.labels[z].num_trips, b.labels[z].num_trips);
+    EXPECT_EQ(a.labels[z].num_infeasible, b.labels[z].num_infeasible);
+    EXPECT_EQ(a.labels[z].num_walk_only, b.labels[z].num_walk_only);
+  }
+  EXPECT_EQ(a.build_spqs, b.build_spqs);
+  EXPECT_EQ(a.relabeled_zones, b.relabeled_zones);
+}
+
+/// Finds `key`'s state in a MaterializedStates() listing.
+std::shared_ptr<const serve::ExactLabelState> StateFor(
+    const serve::Scenario& scenario, const serve::LabelKey& key) {
+  for (const auto& [k, state] : scenario.MaterializedStates()) {
+    if (k.Canonical() == key.Canonical()) return state;
+  }
+  return nullptr;
+}
+
+TEST(SnapshotRoundTrip, TinyCityBitIdentical) {
+  serve::ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
+  Labeler labeler(&store.base_city());
+  auto scenario = store.Acquire();
+  scenario->GetOrBuildLabelState(SchoolKey(), &labeler.engine);
+  scenario->GetOrBuildLabelState(VaxGacKey(), &labeler.engine);
+
+  const std::string path = TempPath("tiny.staq");
+  ASSERT_TRUE(store.ExportSnapshot(path).ok());
+  ASSERT_TRUE(VerifySnapshot(path).ok());
+
+  auto restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  const serve::RestoredScenario& r = restored.value();
+
+  // City and feed shape.
+  const synth::City& original = store.base_city();
+  EXPECT_EQ(r.city->spec.name, original.spec.name);
+  EXPECT_EQ(r.city->spec.seed, original.spec.seed);
+  EXPECT_EQ(r.city->zones.size(), original.zones.size());
+  EXPECT_EQ(r.city->pois.size(), original.pois.size());
+  EXPECT_EQ(r.city->feed.stops().size(), original.feed.stops().size());
+  EXPECT_EQ(r.city->feed.trips().size(), original.feed.trips().size());
+  EXPECT_EQ(r.city->feed.stop_times().size(),
+            original.feed.stop_times().size());
+  for (size_t z = 0; z < original.zones.size(); ++z) {
+    EXPECT_EQ(Bits(r.city->zones[z].population),
+              Bits(original.zones[z].population));
+    EXPECT_EQ(Bits(r.city->zones[z].vulnerability),
+              Bits(original.zones[z].vulnerability));
+  }
+
+  // Both label states came back bit-identically.
+  ASSERT_EQ(r.label_states.size(), 2u);
+  for (const serve::LabelKey& key : {SchoolKey(), VaxGacKey()}) {
+    auto original_state = StateFor(*scenario, key);
+    ASSERT_NE(original_state, nullptr);
+    std::shared_ptr<const serve::ExactLabelState> loaded;
+    for (const auto& [k, state] : r.label_states) {
+      if (k.Canonical() == key.Canonical()) loaded = state;
+    }
+    ASSERT_NE(loaded, nullptr) << key.Canonical();
+    ExpectSameState(*original_state, *loaded);
+  }
+
+  // Strongest check: standing the restored scenario up and re-exporting
+  // must reproduce the file byte for byte.
+  serve::ScenarioStore restored_store(std::move(restored).value());
+  const std::string path2 = TempPath("tiny_reexport.staq");
+  ASSERT_TRUE(restored_store.ExportSnapshot(path2).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(path2));
+
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(SnapshotRoundTrip, BrindaleFamilyBitIdentical) {
+  // The other city family: Brindale's generator exercises different route
+  // topology and POI densities than Covely, so its columns (and their
+  // delta patterns) are a genuinely different encode/decode workload.
+  auto built = synth::BuildCity(synth::CitySpec::Brindale(0.05, 11));
+  ASSERT_TRUE(built.ok()) << built.status();
+  serve::ScenarioStore store(std::move(built).value(), gtfs::WeekdayAmPeak());
+  Labeler labeler(&store.base_city());
+  auto scenario = store.Acquire();
+  scenario->GetOrBuildLabelState(SchoolKey(), &labeler.engine);
+
+  const std::string path = TempPath("brindale.staq");
+  ASSERT_TRUE(store.ExportSnapshot(path).ok());
+  auto restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  auto original_state = StateFor(*scenario, SchoolKey());
+  ASSERT_NE(original_state, nullptr);
+  ASSERT_EQ(restored.value().label_states.size(), 1u);
+  ExpectSameState(*original_state, *restored.value().label_states[0].second);
+
+  serve::ScenarioStore restored_store(std::move(restored).value());
+  const std::string path2 = TempPath("brindale_reexport.staq");
+  ASSERT_TRUE(restored_store.ExportSnapshot(path2).ok());
+  EXPECT_EQ(ReadFile(path), ReadFile(path2));
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(SnapshotRoundTrip, SaveIsDeterministic) {
+  serve::ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
+  Labeler labeler(&store.base_city());
+  store.Acquire()->GetOrBuildLabelState(SchoolKey(), &labeler.engine);
+
+  const std::string a = TempPath("det_a.staq");
+  const std::string b = TempPath("det_b.staq");
+  ASSERT_TRUE(store.ExportSnapshot(a).ok());
+  ASSERT_TRUE(store.ExportSnapshot(b).ok());
+  EXPECT_EQ(ReadFile(a), ReadFile(b));
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(SnapshotRoundTrip, SmallCityBothReadModesAgree) {
+  serve::ScenarioStore store(testing::SmallCity(), gtfs::SundayMorning());
+  Labeler labeler(&store.base_city());
+  store.Acquire()->GetOrBuildLabelState(SchoolKey(), &labeler.engine);
+
+  const std::string path = TempPath("small.staq");
+  ASSERT_TRUE(store.ExportSnapshot(path).ok());
+
+  Reader::Options buffered;
+  buffered.mode = Reader::Mode::kBuffered;
+  auto via_mmap = LoadSnapshot(path);
+  auto via_buffer = LoadSnapshot(path, buffered);
+  ASSERT_TRUE(via_mmap.ok()) << via_mmap.status();
+  ASSERT_TRUE(via_buffer.ok()) << via_buffer.status();
+  ASSERT_EQ(via_mmap.value().label_states.size(), 1u);
+  ASSERT_EQ(via_buffer.value().label_states.size(), 1u);
+  ExpectSameState(*via_mmap.value().label_states[0].second,
+                  *via_buffer.value().label_states[0].second);
+  EXPECT_EQ(via_mmap.value().next_poi_id, via_buffer.value().next_poi_id);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTrip, ChainedPoiEditEpochs) {
+  serve::ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
+  Labeler labeler(&store.base_city());
+  store.Acquire()->GetOrBuildLabelState(SchoolKey(), &labeler.engine);
+
+  // Drive a chain of edits so the exported state is a patched descendant,
+  // not a fresh build: add two schools, remove the first again.
+  const geo::BBox& extent = store.base_city().extent;
+  geo::Point p1{extent.min_x + 0.3 * (extent.max_x - extent.min_x),
+                extent.min_y + 0.4 * (extent.max_y - extent.min_y)};
+  geo::Point p2{extent.min_x + 0.7 * (extent.max_x - extent.min_x),
+                extent.min_y + 0.6 * (extent.max_y - extent.min_y)};
+  auto add1 = store.AddPoi(synth::PoiCategory::kSchool, p1);
+  auto add2 = store.AddPoi(synth::PoiCategory::kSchool, p2);
+  auto removed = store.RemovePoi(add1.poi_id);
+  ASSERT_TRUE(removed.ok()) << removed.status();
+  ASSERT_EQ(store.epoch(), 3u);
+
+  const std::string path = TempPath("chained.staq");
+  ASSERT_TRUE(store.ExportSnapshot(path).ok());
+  auto restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored.value().source_epoch, 3u);
+
+  auto live = store.Acquire();
+  {
+    auto original_state = StateFor(*live, SchoolKey());
+    ASSERT_NE(original_state, nullptr);
+    ASSERT_EQ(restored.value().label_states.size(), 1u);
+    ExpectSameState(*original_state,
+                    *restored.value().label_states[0].second);
+  }
+
+  // The POI id cursor must survive: the same follow-up edit on the live
+  // store and the restored store must assign the same stable id and patch
+  // to bit-identical states (stable-id-keyed RNG streams).
+  serve::ScenarioStore restored_store(std::move(restored).value());
+  EXPECT_EQ(restored_store.epoch(), 0u);
+  auto live_add = store.AddPoi(synth::PoiCategory::kSchool, p1);
+  auto restored_add = restored_store.AddPoi(synth::PoiCategory::kSchool, p1);
+  EXPECT_EQ(live_add.poi_id, restored_add.poi_id);
+  EXPECT_GT(restored_add.poi_id, add2.poi_id);
+
+  auto live_state = StateFor(*store.Acquire(), SchoolKey());
+  auto restored_state = StateFor(*restored_store.Acquire(), SchoolKey());
+  ASSERT_NE(live_state, nullptr);
+  ASSERT_NE(restored_state, nullptr);
+  ExpectSameState(*live_state, *restored_state);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRoundTrip, InspectReportsTheFile) {
+  serve::ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
+  Labeler labeler(&store.base_city());
+  store.Acquire()->GetOrBuildLabelState(SchoolKey(), &labeler.engine);
+
+  const std::string path = TempPath("inspect.staq");
+  ASSERT_TRUE(store.ExportSnapshot(path).ok());
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info.value().format_version, kFormatVersion);
+  EXPECT_EQ(info.value().city_name, store.base_city().spec.name);
+  EXPECT_EQ(info.value().interval_label, gtfs::WeekdayAmPeak().label);
+  EXPECT_EQ(info.value().num_zones, store.base_city().zones.size());
+  EXPECT_EQ(info.value().num_pois, store.base_city().pois.size());
+  EXPECT_EQ(info.value().num_label_states, 1u);
+  EXPECT_FALSE(info.value().sections.empty());
+  EXPECT_EQ(info.value().file_size, ReadFile(path).size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotWarmStart, ServerAnswersBitIdenticallyToColdBuild) {
+  serve::AqServer::Options cold_options;
+  cold_options.num_threads = 2;
+  serve::AqServer cold(testing::TinyCity(), gtfs::WeekdayAmPeak(),
+                       cold_options);
+
+  serve::AqRequest request;
+  request.category = synth::PoiCategory::kSchool;
+  request.options.exact = true;
+  request.options.gravity.sample_rate_per_hour = 4;
+  request.options.gravity.keep_scale = 2.0;
+  request.options.seed = 3;
+  auto cold_answer = cold.Query(request);
+  ASSERT_TRUE(cold_answer.ok()) << cold_answer.status();
+
+  const std::string path = TempPath("warm.staq");
+  ASSERT_TRUE(cold.ExportSnapshot(path).ok());
+
+  serve::AqServer::Options warm_options = cold_options;
+  warm_options.warm_start_path = path;
+  serve::AqServer warm(testing::TinyCity(), gtfs::WeekdayAmPeak(),
+                       warm_options);
+  ASSERT_TRUE(warm.warm_started());
+  EXPECT_EQ(warm.epoch(), 0u);
+
+  auto warm_answer = warm.Query(request);
+  ASSERT_TRUE(warm_answer.ok()) << warm_answer.status();
+  ASSERT_EQ(warm_answer.value().mac.size(), cold_answer.value().mac.size());
+  for (size_t z = 0; z < cold_answer.value().mac.size(); ++z) {
+    EXPECT_EQ(Bits(warm_answer.value().mac[z]),
+              Bits(cold_answer.value().mac[z]))
+        << "zone " << z;
+    EXPECT_EQ(Bits(warm_answer.value().acsd[z]),
+              Bits(cold_answer.value().acsd[z]))
+        << "zone " << z;
+  }
+  EXPECT_EQ(warm_answer.value().gravity_trips,
+            cold_answer.value().gravity_trips);
+
+  // The warm-started server is a full server: mutations and further
+  // queries keep working on top of the restored epoch.
+  const geo::BBox& extent = warm.base_city().extent;
+  auto report = warm.AddPoi(
+      synth::PoiCategory::kSchool,
+      geo::Point{extent.min_x + 0.5 * (extent.max_x - extent.min_x),
+                 extent.min_y + 0.5 * (extent.max_y - extent.min_y)});
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().epoch, 1u);
+  auto after = warm.Query(request);
+  ASSERT_TRUE(after.ok()) << after.status();
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotLoad, RejectsCorruptSnapshotsCleanly) {
+  serve::ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
+  const std::string path = TempPath("corrupt.staq");
+  ASSERT_TRUE(store.ExportSnapshot(path).ok());
+  std::vector<uint8_t> good = ReadFile(path);
+
+  const std::string bad = TempPath("corrupt_bad.staq");
+  // Truncations at coarse stride across the whole file: LoadSnapshot must
+  // fail with a clean status every time, never crash or half-build.
+  for (size_t keep = 0; keep < good.size(); keep += good.size() / 37 + 1) {
+    std::ofstream out(bad, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(good.data()),
+              static_cast<std::streamsize>(keep));
+    out.close();
+    auto restored = LoadSnapshot(bad);
+    ASSERT_FALSE(restored.ok()) << "kept " << keep;
+    auto code = restored.status().code();
+    EXPECT_TRUE(code == util::StatusCode::kInvalidArgument ||
+                code == util::StatusCode::kDataLoss ||
+                code == util::StatusCode::kIoError)
+        << restored.status();
+  }
+  std::remove(bad.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace staq::store

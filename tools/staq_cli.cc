@@ -12,17 +12,29 @@
 //             [--exact] [--threads N] [--zones-out FILE]
 //       Answer an access query; optionally dump per-zone measures as CSV.
 //
+//   staq_cli snapshot save|load|inspect|verify ...
+//       Persist a full serving snapshot (city + offline structures +
+//       exact label states) in the staq::store container format, reload
+//       it (warm start), or check a file's integrity.
+//
 // Queries can also run directly on a synthetic spec without saving:
 //   staq_cli query --synth covely --scale 0.1 --poi hospital
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <initializer_list>
 #include <map>
 #include <string>
 
 #include "core/access_query.h"
 #include "core/export.h"
+#include "core/labeling.h"
 #include "core/parallel_labeling.h"
 #include "gtfs/gtfs_csv.h"
+#include "router/router.h"
+#include "serve/request.h"
+#include "serve/scenario.h"
+#include "store/snapshot.h"
 #include "synth/city_builder.h"
 #include "synth/city_io.h"
 #include "util/csv.h"
@@ -61,22 +73,63 @@ class Args {
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
   }
 
+  const std::map<std::string, std::string>& values() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
 };
 
+constexpr char kSynthUsage[] =
+    "  synth --city brindale|covely [--scale S] [--seed N] --out DIR\n";
+constexpr char kInfoUsage[] =
+    "  info  (--city-dir DIR | --synth brindale|covely [--scale S] "
+    "[--seed N])\n";
+constexpr char kQueryUsage[] =
+    "  query (--city-dir DIR | --synth brindale|covely [--scale S] "
+    "[--seed N])\n"
+    "        --poi school|hospital|vax_center|job_center\n"
+    "        [--interval am|offpeak|pm|sunday] [--beta B]\n"
+    "        [--model MLP|OLS|COREG|MT|GNN] [--cost jt|gac]\n"
+    "        [--exact] [--threads N] [--zones-out FILE]\n"
+    "        [--geojson FILE] [--report FILE]\n";
+constexpr char kSnapshotUsage[] =
+    "  snapshot save (--city-dir DIR | --synth brindale|covely [--scale S] "
+    "[--seed N])\n"
+    "           [--interval am|offpeak|pm|sunday] [--poi CATEGORY]\n"
+    "           [--cost jt|gac] [--label-seed N] --out FILE\n"
+    "  snapshot load --in FILE [--buffered]\n"
+    "  snapshot inspect --in FILE\n"
+    "  snapshot verify --in FILE\n";
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: staq_cli <synth|info|query> [flags]\n"
-               "  synth --city brindale|covely [--scale S] [--seed N] --out DIR\n"
-               "  info  --city-dir DIR\n"
-               "  query (--city-dir DIR | --synth brindale|covely [--scale S])\n"
-               "        --poi school|hospital|vax_center|job_center\n"
-               "        [--interval am|offpeak|pm|sunday] [--beta B]\n"
-               "        [--model MLP|OLS|COREG|MT|GNN] [--cost jt|gac]\n"
-               "        [--exact] [--threads N] [--zones-out FILE]\n"
-               "        [--geojson FILE] [--report FILE]\n");
+  std::fprintf(stderr, "usage: staq_cli <synth|info|query|snapshot> [flags]\n%s%s%s%s",
+               kSynthUsage, kInfoUsage, kQueryUsage, kSnapshotUsage);
   return 2;
+}
+
+/// Per-subcommand usage, shown on bad flags or missing arguments.
+int UsageFor(const std::string& command, const char* block) {
+  std::fprintf(stderr, "usage: staq_cli %s [flags]\n%s", command.c_str(),
+               block);
+  return 2;
+}
+
+/// Rejects flags the subcommand does not understand. A silently ignored
+/// flag (historically: any typo) is worse than an error — the caller
+/// believes the flag took effect.
+bool CheckFlags(const Args& args, const std::string& command,
+                std::initializer_list<const char*> allowed) {
+  bool ok = true;
+  for (const auto& [key, value] : args.values()) {
+    bool known = std::any_of(allowed.begin(), allowed.end(),
+                             [&key](const char* a) { return key == a; });
+    if (!known) {
+      std::fprintf(stderr, "staq_cli %s: unknown flag --%s\n", command.c_str(),
+                   key.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 util::Result<synth::CitySpec> SpecFor(const std::string& name, double scale,
@@ -131,9 +184,12 @@ util::Result<synth::City> LoadOrSynth(const Args& args) {
 }
 
 int RunSynth(const Args& args) {
+  if (!CheckFlags(args, "synth", {"city", "scale", "seed", "out"})) {
+    return UsageFor("synth", kSynthUsage);
+  }
   if (!args.Has("out")) {
     std::fprintf(stderr, "synth: --out DIR is required\n");
-    return 2;
+    return UsageFor("synth", kSynthUsage);
   }
   auto spec = SpecFor(args.Get("city", "covely"), args.GetDouble("scale", 0.1),
                       static_cast<uint64_t>(args.GetInt("seed", 42)));
@@ -164,6 +220,9 @@ int RunSynth(const Args& args) {
 }
 
 int RunInfo(const Args& args) {
+  if (!CheckFlags(args, "info", {"city-dir", "synth", "scale", "seed"})) {
+    return UsageFor("info", kInfoUsage);
+  }
   auto city = LoadOrSynth(args);
   if (!city.ok()) {
     std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
@@ -186,6 +245,12 @@ int RunInfo(const Args& args) {
 }
 
 int RunQuery(const Args& args) {
+  if (!CheckFlags(args, "query",
+                  {"city-dir", "synth", "scale", "seed", "poi", "interval",
+                   "beta", "model", "cost", "exact", "threads", "zones-out",
+                   "geojson", "report"})) {
+    return UsageFor("query", kQueryUsage);
+  }
   auto city = LoadOrSynth(args);
   if (!city.ok()) {
     std::fprintf(stderr, "%s\n", city.status().ToString().c_str());
@@ -286,6 +351,171 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+int RunSnapshotSave(const Args& args) {
+  if (!CheckFlags(args, "snapshot save",
+                  {"city-dir", "synth", "scale", "seed", "interval", "poi",
+                   "cost", "label-seed", "out"})) {
+    return UsageFor("snapshot save", kSnapshotUsage);
+  }
+  if (!args.Has("out")) {
+    std::fprintf(stderr, "snapshot save: --out FILE is required\n");
+    return UsageFor("snapshot save", kSnapshotUsage);
+  }
+  auto city = LoadOrSynth(args);
+  auto interval = IntervalFor(args.Get("interval", "am"));
+  if (!city.ok() || !interval.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!city.ok() ? city.status() : interval.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  serve::ScenarioStore store(std::move(city).value(), interval.value());
+
+  // Optionally materialise one exact label state so the snapshot carries a
+  // warm labeling (the expensive part a warm start wants to skip).
+  if (args.Has("poi")) {
+    auto category = CategoryFor(args.Get("poi", "school"));
+    if (!category.ok()) {
+      std::fprintf(stderr, "%s\n", category.status().ToString().c_str());
+      return 1;
+    }
+    serve::LabelKey key;
+    key.category = category.value();
+    key.seed = static_cast<uint64_t>(args.GetInt("label-seed", 1));
+    std::string cost = args.Get("cost", "jt");
+    if (cost == "gac") {
+      key.cost = core::CostKind::kGeneralizedCost;
+    } else if (cost != "jt") {
+      std::fprintf(stderr, "unknown cost: %s\n", cost.c_str());
+      return 1;
+    }
+    router::Router router(&store.base_city().feed, {});
+    core::LabelingEngine engine(&store.base_city(), &router);
+    store.Acquire()->GetOrBuildLabelState(key, &engine);
+  }
+
+  std::string out = args.Get("out", "");
+  if (auto st = store.ExportSnapshot(out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto info = store::InspectSnapshot(out);
+  if (!info.ok()) {
+    std::fprintf(stderr, "wrote %s but it does not read back: %s\n",
+                 out.c_str(), info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %llu bytes, %zu sections, %llu label states\n",
+              out.c_str(),
+              static_cast<unsigned long long>(info.value().file_size),
+              info.value().sections.size(),
+              static_cast<unsigned long long>(info.value().num_label_states));
+  return 0;
+}
+
+int RunSnapshotLoad(const Args& args) {
+  if (!CheckFlags(args, "snapshot load", {"in", "buffered"})) {
+    return UsageFor("snapshot load", kSnapshotUsage);
+  }
+  if (!args.Has("in")) {
+    std::fprintf(stderr, "snapshot load: --in FILE is required\n");
+    return UsageFor("snapshot load", kSnapshotUsage);
+  }
+  store::Reader::Options options;
+  if (args.Has("buffered")) options.mode = store::Reader::Mode::kBuffered;
+  auto restored = store::LoadSnapshot(args.Get("in", ""), options);
+  if (!restored.ok()) {
+    std::fprintf(stderr, "%s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  // Stand the serving state up for real — the point of `load` is proving
+  // the file warm-starts, not just that it parses.
+  uint64_t source_epoch = restored.value().source_epoch;
+  serve::ScenarioStore store(std::move(restored).value());
+  auto scenario = store.Acquire();
+  std::printf("loaded %s (%s)\n", args.Get("in", "").c_str(),
+              args.Has("buffered") ? "buffered" : "mmap");
+  std::printf("city          : %s\n",
+              scenario->base_city().spec.name.c_str());
+  std::printf("zones         : %zu\n", scenario->base_city().zones.size());
+  std::printf("interval      : %s\n", scenario->interval().label.c_str());
+  std::printf("POIs          : %zu\n", scenario->pois().size());
+  std::printf("label states  : %zu\n", scenario->MaterializedStates().size());
+  std::printf("source epoch  : %llu (republished as 0)\n",
+              static_cast<unsigned long long>(source_epoch));
+  return 0;
+}
+
+int RunSnapshotInspect(const Args& args) {
+  if (!CheckFlags(args, "snapshot inspect", {"in"})) {
+    return UsageFor("snapshot inspect", kSnapshotUsage);
+  }
+  if (!args.Has("in")) {
+    std::fprintf(stderr, "snapshot inspect: --in FILE is required\n");
+    return UsageFor("snapshot inspect", kSnapshotUsage);
+  }
+  auto info = store::InspectSnapshot(args.Get("in", ""));
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  const store::SnapshotInfo& i = info.value();
+  std::printf("format        : v%u, %llu bytes\n", i.format_version,
+              static_cast<unsigned long long>(i.file_size));
+  std::printf("city          : %s (epoch %llu, next POI id %u)\n",
+              i.city_name.c_str(),
+              static_cast<unsigned long long>(i.source_epoch), i.next_poi_id);
+  std::printf("interval      : %s\n", i.interval_label.c_str());
+  std::printf("zones/POIs    : %llu / %llu\n",
+              static_cast<unsigned long long>(i.num_zones),
+              static_cast<unsigned long long>(i.num_pois));
+  std::printf("feed          : %llu stops, %llu trips, %llu stop_times\n",
+              static_cast<unsigned long long>(i.num_stops),
+              static_cast<unsigned long long>(i.num_trips),
+              static_cast<unsigned long long>(i.num_stop_times));
+  std::printf("label states  : %llu\n",
+              static_cast<unsigned long long>(i.num_label_states));
+  std::printf("%-20s %-8s %10s %10s %8s\n", "section", "encoding", "bytes",
+              "elements", "blocks");
+  for (const store::SectionEntry& s : i.sections) {
+    std::printf("%-20s %-8s %10llu %10llu %8zu\n", s.name.c_str(),
+                store::SectionEncodingName(s.encoding),
+                static_cast<unsigned long long>(s.size),
+                static_cast<unsigned long long>(s.element_count),
+                s.block_checksums.size());
+  }
+  return 0;
+}
+
+int RunSnapshotVerify(const Args& args) {
+  if (!CheckFlags(args, "snapshot verify", {"in"})) {
+    return UsageFor("snapshot verify", kSnapshotUsage);
+  }
+  if (!args.Has("in")) {
+    std::fprintf(stderr, "snapshot verify: --in FILE is required\n");
+    return UsageFor("snapshot verify", kSnapshotUsage);
+  }
+  std::string path = args.Get("in", "");
+  if (auto st = store::VerifySnapshot(path); !st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (all block checksums verified)\n", path.c_str());
+  return 0;
+}
+
+int RunSnapshot(int argc, char** argv, const Args& args) {
+  if (argc < 3) return UsageFor("snapshot", kSnapshotUsage);
+  std::string verb = argv[2];
+  if (verb == "save") return RunSnapshotSave(args);
+  if (verb == "load") return RunSnapshotLoad(args);
+  if (verb == "inspect") return RunSnapshotInspect(args);
+  if (verb == "verify") return RunSnapshotVerify(args);
+  std::fprintf(stderr, "staq_cli snapshot: unknown verb '%s'\n", verb.c_str());
+  return UsageFor("snapshot", kSnapshotUsage);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
@@ -293,6 +523,8 @@ int Main(int argc, char** argv) {
   if (command == "synth") return RunSynth(args);
   if (command == "info") return RunInfo(args);
   if (command == "query") return RunQuery(args);
+  if (command == "snapshot") return RunSnapshot(argc, argv, args);
+  std::fprintf(stderr, "staq_cli: unknown command '%s'\n", command.c_str());
   return Usage();
 }
 

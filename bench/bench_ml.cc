@@ -1,100 +1,248 @@
-// Micro-benchmarks for the SSR learning stage (the "training" component of
-// Table II): per-model fit + transductive-predict cost on a realistic
-// zone-level dataset, plus the shared numeric kernels.
-#include <benchmark/benchmark.h>
+// SSR training throughput: fast kernels vs the original implementations.
+//
+// Training is the third cost component of Table II, and PR "fast SSR
+// kernels" rebuilt it: blocked GEMM/GEMV under ml::Matrix, incremental
+// cached kNN screening under COREG, and mini-batch forward/backward for the
+// neural models. Every fast path is bit-identical to the implementation it
+// replaced, and the originals are kept behind config foils:
+//   COREG  use_seed_screening  — full-rescan tentative add/remove screening
+//   MLP    per_sample_updates  — one-sample-at-a-time forward/backward
+//   MT     per_sample_updates  — ditto, plus per-sample noise/teacher passes
+// This bench fits every model both ways on a Table-VI-like dataset
+// (3217·scale zones, 20 features, β = 0.05), checks the predictions (and
+// COREG's pseudo-label count) bit-identical before reporting, then prints
+// fit/predict timings and speedups.
+//
+// Gate: COREG fit speedup must be >= 3x (the PR's acceptance floor); the
+// binary exits non-zero otherwise, so CI can run it as a perf regression
+// test. Output: paper-style table on stdout and BENCH_ml.json in
+// STAQ_BENCH_OUT.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
-#include "ml/model_factory.h"
+#include "ml/coreg.h"
+#include "ml/gnn.h"
+#include "ml/mean_teacher.h"
+#include "ml/mlp.h"
+#include "ml/ols.h"
 #include "testing_dataset.h"
+#include "util/stopwatch.h"
 
 namespace staq::bench {
 namespace {
 
-/// Fit + predict once; the dataset mimics a city sweep cell (|Z| zones,
-/// 20 features, beta-sized labeled set).
-void RunModel(benchmark::State& state, ml::ModelKind kind) {
-  size_t zones = static_cast<size_t>(state.range(0));
-  double beta = 0.05;
-  ml::Dataset data = MakeZoneLikeDataset(zones, 20, beta, 7);
-  for (auto _ : state) {
-    auto model = ml::CreateModel(kind, 7);
-    auto status = model->Fit(data);
-    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
-    auto pred = model->Predict();
-    benchmark::DoNotOptimize(pred.data());
+constexpr double kCoregFitSpeedupGate = 3.0;
+
+struct Timed {
+  double fit_s = 0.0;
+  double predict_s = 0.0;
+  std::vector<double> predictions;
+  int coreg_pseudo_labels = -1;
+};
+
+Timed FitAndPredict(ml::SsrModel* model, const ml::Dataset& data) {
+  Timed t;
+  util::Stopwatch watch;
+  auto status = model->Fit(data);
+  t.fit_s = watch.ElapsedSeconds();
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL: %s Fit failed: %s\n", model->name(),
+                 status.ToString().c_str());
+    std::exit(1);
   }
-  state.counters["zones"] = static_cast<double>(zones);
+  watch.Reset();
+  t.predictions = model->Predict();
+  t.predict_s = watch.ElapsedSeconds();
+  if (auto* coreg = dynamic_cast<ml::Coreg*>(model)) {
+    t.coreg_pseudo_labels = coreg->pseudo_labels_added();
+  }
+  return t;
 }
 
-void BM_FitOls(benchmark::State& state) {
-  RunModel(state, ml::ModelKind::kOls);
-}
-void BM_FitMlp(benchmark::State& state) {
-  RunModel(state, ml::ModelKind::kMlp);
-}
-void BM_FitCoreg(benchmark::State& state) {
-  RunModel(state, ml::ModelKind::kCoreg);
-}
-void BM_FitMeanTeacher(benchmark::State& state) {
-  RunModel(state, ml::ModelKind::kMeanTeacher);
-}
-void BM_FitGnn(benchmark::State& state) {
-  RunModel(state, ml::ModelKind::kGnn);
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // memcmp-style equality: NaNs would differ, and they should.
+    if (a[i] != b[i]) return false;
+  }
+  return true;
 }
 
-BENCHMARK(BM_FitOls)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FitMlp)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FitCoreg)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FitMeanTeacher)
-    ->Arg(256)
-    ->Arg(1024)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FitGnn)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+struct ModelReport {
+  std::string name;
+  Timed fast;
+  bool has_foil = false;
+  Timed foil;
+  bool bit_identical = true;
+};
 
-void BM_MatMul(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(1);
-  ml::Matrix a(n, n), b(n, n);
-  for (auto& v : a.data()) v = rng.Uniform(-1, 1);
-  for (auto& v : b.data()) v = rng.Uniform(-1, 1);
-  for (auto _ : state) {
-    ml::Matrix c = ml::MatMul(a, b);
-    benchmark::DoNotOptimize(c.row(0));
-  }
-}
-BENCHMARK(BM_MatMul)->Arg(128)->Arg(512)->Unit(benchmark::kMillisecond);
+int Run() {
+  PrintHeader("SSR training throughput: fast kernels vs seed implementations");
 
-void BM_SolveSpd(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(2);
-  ml::Matrix b(n, n);
-  for (auto& v : b.data()) v = rng.Uniform(-1, 1);
-  ml::Matrix a = ml::Gram(b);
-  for (size_t i = 0; i < n; ++i) a(i, i) += 1.0;
-  std::vector<double> rhs(n);
-  for (auto& v : rhs) v = rng.Uniform(-1, 1);
-  for (auto _ : state) {
-    auto x = ml::SolveLinearSystem(a, rhs);
-    benchmark::DoNotOptimize(x.ok());
-  }
-}
-BENCHMARK(BM_SolveSpd)->Arg(32)->Arg(128)->Unit(benchmark::kMicrosecond);
+  const size_t zones = std::max<size_t>(
+      64, static_cast<size_t>(std::lround(3217.0 * BenchScale())));
+  const size_t features = 20;
+  const double beta = 0.05;
+  ml::Dataset data = MakeZoneLikeDataset(zones, features, beta, BenchSeed());
+  const int threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  std::printf("  zones=%zu  features=%zu  beta=%.2f  labeled=%zu  threads=%d\n",
+              zones, features, beta, data.labeled.size(), threads);
 
-void BM_AdjacencyBuild(benchmark::State& state) {
-  size_t n = static_cast<size_t>(state.range(0));
-  util::Rng rng(3);
-  std::vector<geo::Point> positions;
-  for (size_t i = 0; i < n; ++i) {
-    positions.push_back({rng.Uniform(0, 10000), rng.Uniform(0, 10000)});
+  std::vector<ModelReport> reports;
+
+  {
+    ModelReport r;
+    r.name = "OLS";
+    ml::OlsRegressor model;
+    r.fast = FitAndPredict(&model, data);
+    reports.push_back(std::move(r));
   }
-  for (auto _ : state) {
-    ml::Matrix a = ml::BuildNormalizedAdjacency(positions, 0.25, 0.05);
-    benchmark::DoNotOptimize(a.row(0));
+  {
+    ModelReport r;
+    r.name = "MLP";
+    ml::MlpConfig fast_cfg;
+    fast_cfg.threads = threads;
+    ml::MlpRegressor fast(fast_cfg);
+    r.fast = FitAndPredict(&fast, data);
+    ml::MlpConfig foil_cfg;
+    foil_cfg.per_sample_updates = true;
+    ml::MlpRegressor foil(foil_cfg);
+    r.foil = FitAndPredict(&foil, data);
+    r.has_foil = true;
+    r.bit_identical = BitIdentical(r.fast.predictions, r.foil.predictions);
+    reports.push_back(std::move(r));
   }
+  {
+    ModelReport r;
+    r.name = "COREG";
+    ml::CoregConfig fast_cfg;
+    fast_cfg.threads = threads;
+    ml::Coreg fast(fast_cfg);
+    r.fast = FitAndPredict(&fast, data);
+    ml::CoregConfig foil_cfg;
+    foil_cfg.use_seed_screening = true;
+    ml::Coreg foil(foil_cfg);
+    r.foil = FitAndPredict(&foil, data);
+    r.has_foil = true;
+    r.bit_identical =
+        BitIdentical(r.fast.predictions, r.foil.predictions) &&
+        r.fast.coreg_pseudo_labels == r.foil.coreg_pseudo_labels;
+    reports.push_back(std::move(r));
+  }
+  {
+    ModelReport r;
+    r.name = "MT";
+    ml::MeanTeacherConfig fast_cfg;
+    ml::MeanTeacher fast(fast_cfg);
+    r.fast = FitAndPredict(&fast, data);
+    ml::MeanTeacherConfig foil_cfg;
+    foil_cfg.per_sample_updates = true;
+    ml::MeanTeacher foil(foil_cfg);
+    r.foil = FitAndPredict(&foil, data);
+    r.has_foil = true;
+    r.bit_identical = BitIdentical(r.fast.predictions, r.foil.predictions);
+    reports.push_back(std::move(r));
+  }
+  {
+    ModelReport r;
+    r.name = "GNN";
+    ml::GnnRegressor model;
+    r.fast = FitAndPredict(&model, data);
+    reports.push_back(std::move(r));
+  }
+
+  // Equivalence gate first: a speedup for a path that changes results
+  // would be meaningless.
+  for (const ModelReport& r : reports) {
+    if (r.has_foil && !r.bit_identical) {
+      std::fprintf(stderr,
+                   "FATAL: %s fast path is not bit-identical to its foil\n",
+                   r.name.c_str());
+      return 1;
+    }
+  }
+  std::printf("  all fast paths bit-identical to their foils\n\n");
+
+  std::printf("  %-7s %10s %10s %12s %12s %9s %9s\n", "model", "fit_s",
+              "predict_s", "foil_fit_s", "zones/s", "fit_spd", "pred_spd");
+  for (const ModelReport& r : reports) {
+    double zps = static_cast<double>(zones) / r.fast.predict_s;
+    if (r.has_foil) {
+      std::printf("  %-7s %10.3f %10.4f %12.3f %12.0f %8.2fx %8.2fx\n",
+                  r.name.c_str(), r.fast.fit_s, r.fast.predict_s, r.foil.fit_s,
+                  zps, r.foil.fit_s / r.fast.fit_s,
+                  r.foil.predict_s / r.fast.predict_s);
+    } else {
+      std::printf("  %-7s %10.3f %10.4f %12s %12.0f %9s %9s\n", r.name.c_str(),
+                  r.fast.fit_s, r.fast.predict_s, "-", zps, "-", "-");
+    }
+  }
+
+  double coreg_speedup = 0.0;
+  for (const ModelReport& r : reports) {
+    if (r.name == "COREG") coreg_speedup = r.foil.fit_s / r.fast.fit_s;
+  }
+  bool gate_passed = coreg_speedup >= kCoregFitSpeedupGate;
+  std::printf("\n  COREG fit speedup %.2fx (gate >= %.1fx): %s\n",
+              coreg_speedup, kCoregFitSpeedupGate,
+              gate_passed ? "PASS" : "FAIL");
+
+  std::string path = OutDir() + "/BENCH_ml.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"ml\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"zones\": %zu,\n", zones);
+  std::fprintf(f, "  \"features\": %zu,\n", features);
+  std::fprintf(f, "  \"beta\": %.2f,\n", beta);
+  std::fprintf(f, "  \"labeled\": %zu,\n", data.labeled.size());
+  std::fprintf(f, "  \"threads\": %d,\n", threads);
+  std::fprintf(f, "  \"models\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ModelReport& r = reports[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"fit_s\": %.6f, "
+                 "\"predict_s\": %.6f, \"predict_zones_per_s\": %.1f",
+                 r.name.c_str(), r.fast.fit_s, r.fast.predict_s,
+                 static_cast<double>(zones) / r.fast.predict_s);
+    if (r.has_foil) {
+      std::fprintf(f,
+                   ", \"foil_fit_s\": %.6f, \"foil_predict_s\": %.6f, "
+                   "\"fit_speedup\": %.4f, \"predict_speedup\": %.4f, "
+                   "\"bit_identical\": true",
+                   r.foil.fit_s, r.foil.predict_s,
+                   r.foil.fit_s / r.fast.fit_s,
+                   r.foil.predict_s / r.fast.predict_s);
+    }
+    if (r.fast.coreg_pseudo_labels >= 0) {
+      std::fprintf(f, ", \"pseudo_labels\": %d", r.fast.coreg_pseudo_labels);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"coreg_fit_speedup\": %.4f,\n", coreg_speedup);
+  std::fprintf(f, "  \"coreg_fit_speedup_gate\": %.1f,\n",
+               kCoregFitSpeedupGate);
+  std::fprintf(f, "  \"gate_passed\": %s\n", gate_passed ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  -> wrote %s\n", path.c_str());
+  return gate_passed ? 0 : 1;
 }
-BENCHMARK(BM_AdjacencyBuild)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace staq::bench
 
-BENCHMARK_MAIN();
+int main() { return staq::bench::Run(); }

@@ -160,14 +160,16 @@ util::Result<PipelineResult> RunSsr(
   for (size_t i = 0; i < result.labeled.size(); ++i) {
     dataset.y[result.labeled[i]] = mac_labels[i];
   }
-  auto mac_model = ml::CreateModel(config.model, config.seed);
+  auto mac_model =
+      ml::CreateModel(config.model, config.seed, config.ml_threads);
   STAQ_RETURN_NOT_OK(mac_model->Fit(dataset));
   std::vector<double> mac_pred = mac_model->Predict();
 
   for (size_t i = 0; i < result.labeled.size(); ++i) {
     dataset.y[result.labeled[i]] = acsd_labels[i];
   }
-  auto acsd_model = ml::CreateModel(config.model, config.seed + 1);
+  auto acsd_model =
+      ml::CreateModel(config.model, config.seed + 1, config.ml_threads);
   STAQ_RETURN_NOT_OK(acsd_model->Fit(dataset));
   std::vector<double> acsd_pred = acsd_model->Predict();
   result.timings.training_s = watch.ElapsedSeconds();

@@ -34,6 +34,9 @@ struct PipelineConfig {
   SamplingStrategy sampling = SamplingStrategy::kRandom;
   /// Worker threads for the labeling stage (1 = serial, as the paper).
   int labeling_threads = 1;
+  /// Worker threads for SSR model training (COREG pool screening, MLP
+  /// gradient chunks). Training results are bit-identical for every value.
+  int ml_threads = 1;
 };
 
 /// Wall-clock attribution across the solution's stages (seconds).

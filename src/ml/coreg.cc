@@ -2,22 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/parallel.h"
 
 namespace staq::ml {
 
 namespace {
 
-/// Error reduction over `candidate`'s labeled neighbourhood when
-/// (candidate, pseudo_label) is tentatively added to `model`. Positive
-/// means the addition helps (Zhou & Li's confidence criterion).
-double ErrorReduction(KnnCore* model, const double* candidate, size_t dim,
-                      double pseudo_label) {
+/// Pool slots handed to one screening task at a time. Layout is fixed, so
+/// the thread count never changes which slot a candidate lands in.
+constexpr size_t kScreenChunkSlots = 8;
+
+/// Original screening criterion, kept as the benchmark foil: error
+/// reduction over `candidate`'s labeled neighbourhood when (candidate,
+/// pseudo_label) is tentatively added to `model`, recomputing every
+/// neighbourhood from scratch around a real add/remove. Positive means the
+/// addition helps (Zhou & Li's confidence criterion).
+double ErrorReductionSeed(KnnCore* model, const double* candidate, size_t dim,
+                          double pseudo_label) {
   auto neighborhood = model->Neighbors(candidate, dim);
   if (neighborhood.empty()) return 0.0;
 
   double before = 0.0;
   for (uint32_t i : neighborhood) {
-    double pred = model->PredictOneExcluding(model->features(i).data(), dim, i);
+    double pred = model->PredictOneExcluding(model->features(i), dim, i);
     double err = model->target(i) - pred;
     before += err * err;
   }
@@ -25,13 +35,122 @@ double ErrorReduction(KnnCore* model, const double* candidate, size_t dim,
   model->Add(std::vector<double>(candidate, candidate + dim), pseudo_label);
   double after = 0.0;
   for (uint32_t i : neighborhood) {
-    double pred = model->PredictOneExcluding(model->features(i).data(), dim, i);
+    double pred = model->PredictOneExcluding(model->features(i), dim, i);
     double err = model->target(i) - pred;
     after += err * err;
   }
   model->RemoveLast();
   return before - after;
 }
+
+/// Incremental screening state for one component regressor. Holds, for
+/// every stored example, its leave-one-out neighbour list and cached
+/// squared LOO error, and for every pool candidate its top-k list; all of
+/// them are brought up to date in O(k) per new stored example by
+/// SyncStore. Screening itself then reads this state without mutating the
+/// store: the "after" term of Zhou & Li's criterion only needs to know
+/// whether the tentative candidate would enter each neighbour's LOO list,
+/// which the cached symmetric distance d(candidate, i) == d(i, candidate)
+/// answers in O(1) per neighbour.
+///
+/// Thread safety: SyncStore/EnsureCandidates/EraseCandidate are called
+/// serially between screening passes. During a pass, Screen may run
+/// concurrently for different candidates — it reads loo_/err_ and the
+/// store, and writes only the candidate's own pre-created cache entry.
+class ScreeningState {
+ public:
+  explicit ScreeningState(const KnnCore* core) : core_(core) {}
+
+  /// Brings the per-stored-example LOO caches up to date with the store.
+  void SyncStore(NeighborScratch* scratch) {
+    const size_t n = core_->size();
+    if (synced_ == n) return;
+    loo_.resize(n);
+    err_.resize(n);
+    for (size_t i = 0; i < synced_; ++i) {
+      if (core_->UpdateNeighbors(core_->features(static_cast<uint32_t>(i)),
+                                 static_cast<uint32_t>(i), &loo_[i],
+                                 scratch)) {
+        err_[i] = LooError(i);
+      }
+    }
+    for (size_t i = synced_; i < n; ++i) {
+      core_->UpdateNeighbors(core_->features(static_cast<uint32_t>(i)),
+                             static_cast<uint32_t>(i), &loo_[i], scratch);
+      err_[i] = LooError(i);
+    }
+    synced_ = n;
+  }
+
+  /// Creates cache entries for every pool candidate so that concurrent
+  /// Screen calls never mutate the map structure.
+  void EnsureCandidates(const std::vector<uint32_t>& unlabeled,
+                        size_t pool_end) {
+    for (size_t p = 0; p < pool_end; ++p) {
+      candidates_.try_emplace(unlabeled[p]);
+    }
+  }
+
+  void EraseCandidate(uint32_t zone) { candidates_.erase(zone); }
+
+  /// Error reduction for one candidate; also reports its pseudo-label.
+  /// Bit-identical to ErrorReductionSeed (with the pseudo-label from
+  /// PredictOne) by construction: every sum below accumulates the same
+  /// terms in the same order the seed paths produced them.
+  double Screen(uint32_t zone, const double* row, NeighborScratch* scratch,
+                double* pseudo_out) {
+    CachedNeighbors& cache = candidates_.find(zone)->second;
+    core_->UpdateNeighbors(row, UINT32_MAX, &cache, scratch);
+    const auto& nb = cache.sorted;
+    *pseudo_out = 0.0;
+    if (nb.empty()) return 0.0;
+
+    const double pseudo = core_->PredictFromList(nb.data(), nb.size());
+    const uint32_t extra = static_cast<uint32_t>(core_->size());
+    const size_t k = static_cast<size_t>(core_->config().k);
+    double before = 0.0, after = 0.0;
+    for (const auto& [d_ci, i] : nb) {
+      const double base_err = err_[i];
+      before += base_err;
+      const auto& loo = loo_[i].sorted;
+      // d(i, candidate) == d(candidate, i) exactly (every distance path is
+      // sign-symmetric in the per-element differences).
+      const std::pair<double, uint32_t> cand(d_ci, extra);
+      if (loo.size() < k || (!loo.empty() && cand < loo.back())) {
+        // The candidate enters i's LOO top-k: evaluate the merged list.
+        auto& merged = scratch->merged;
+        merged.assign(loo.begin(), loo.end());
+        merged.insert(
+            std::upper_bound(merged.begin(), merged.end(), cand), cand);
+        if (merged.size() > k) merged.pop_back();
+        const double pred =
+            core_->PredictFromList(merged.data(), merged.size(), pseudo);
+        const double err = core_->target(i) - pred;
+        after += err * err;
+      } else {
+        // Top-k unchanged: the LOO prediction — and so the error term —
+        // is exactly the cached one.
+        after += base_err;
+      }
+    }
+    *pseudo_out = pseudo;
+    return before - after;
+  }
+
+ private:
+  double LooError(size_t i) const {
+    const auto& s = loo_[i].sorted;
+    const double pred = core_->PredictFromList(s.data(), s.size());
+    const double err = core_->target(static_cast<uint32_t>(i)) - pred;
+    return err * err;
+  }
+
+  const KnnCore* core_;
+  size_t synced_ = 0;
+  std::vector<CachedNeighbors> loo_;  // loo_[i]: neighbours of i, excluding i
+  std::vector<double> err_;           // err_[i]: squared LOO error of i
+  std::unordered_map<uint32_t, CachedNeighbors> candidates_;
+};
 
 }  // namespace
 
@@ -46,10 +165,8 @@ util::Status Coreg::Fit(const Dataset& data) {
   h1_ = std::make_unique<KnnCore>(config_.knn1);
   h2_ = std::make_unique<KnnCore>(config_.knn2);
   for (uint32_t idx : data.labeled) {
-    std::vector<double> row(x_all_scaled_.row(idx),
-                            x_all_scaled_.row(idx) + dim);
-    h1_->Add(row, data.y[idx]);
-    h2_->Add(std::move(row), data.y[idx]);
+    h1_->Add(x_all_scaled_.row(idx), dim, data.y[idx]);
+    h2_->Add(x_all_scaled_.row(idx), dim, data.y[idx]);
   }
 
   // Unlabeled pool; replenished from the remaining unlabeled set.
@@ -59,10 +176,15 @@ util::Status Coreg::Fit(const Dataset& data) {
   size_t pool_end = std::min(config_.pool_size, unlabeled.size());
   pseudo_labels_added_ = 0;
 
+  ScreeningState s1(h1_.get()), s2(h2_.get());
+  NeighborScratch scratch;
+  std::vector<double> deltas, pseudos;
+
   for (int iter = 0; iter < config_.max_iterations; ++iter) {
     bool any_added = false;
     // Each regressor nominates its best candidate for the OTHER one.
     KnnCore* models[2] = {h1_.get(), h2_.get()};
+    ScreeningState* states[2] = {&s1, &s2};
     for (int j = 0; j < 2; ++j) {
       KnnCore* self = models[j];
       KnnCore* other = models[1 - j];
@@ -70,21 +192,51 @@ util::Status Coreg::Fit(const Dataset& data) {
       double best_delta = 0.0;
       size_t best_pos = SIZE_MAX;
       double best_label = 0.0;
-      for (size_t p = 0; p < pool_end; ++p) {
-        const double* row = x_all_scaled_.row(unlabeled[p]);
-        double pseudo = self->PredictOne(row, dim);
-        double delta = ErrorReduction(self, row, dim, pseudo);
-        if (delta > best_delta) {
-          best_delta = delta;
-          best_pos = p;
-          best_label = pseudo;
+      if (config_.use_seed_screening) {
+        for (size_t p = 0; p < pool_end; ++p) {
+          const double* row = x_all_scaled_.row(unlabeled[p]);
+          double pseudo = self->PredictOne(row, dim);
+          double delta = ErrorReductionSeed(self, row, dim, pseudo);
+          if (delta > best_delta) {
+            best_delta = delta;
+            best_pos = p;
+            best_label = pseudo;
+          }
+        }
+      } else {
+        ScreeningState* state = states[j];
+        state->SyncStore(&scratch);
+        state->EnsureCandidates(unlabeled, pool_end);
+        deltas.assign(pool_end, 0.0);
+        pseudos.assign(pool_end, 0.0);
+        // Read-only screening over per-slot buffers: safe to fan out, and
+        // the serial ascending-slot argmax below keeps selection (and so
+        // the whole fit) bit-identical for any thread count.
+        ForEachChunk(config_.threads, pool_end, kScreenChunkSlots,
+                     [&](size_t, size_t begin, size_t end) {
+                       NeighborScratch local;
+                       for (size_t p = begin; p < end; ++p) {
+                         const uint32_t zone = unlabeled[p];
+                         deltas[p] = state->Screen(
+                             zone, x_all_scaled_.row(zone), &local,
+                             &pseudos[p]);
+                       }
+                     });
+        for (size_t p = 0; p < pool_end; ++p) {
+          if (deltas[p] > best_delta) {
+            best_delta = deltas[p];
+            best_pos = p;
+            best_label = pseudos[p];
+          }
         }
       }
       if (best_pos != SIZE_MAX) {
-        const double* row = x_all_scaled_.row(unlabeled[best_pos]);
-        other->Add(std::vector<double>(row, row + dim), best_label);
+        const uint32_t zone = unlabeled[best_pos];
+        other->Add(x_all_scaled_.row(zone), dim, best_label);
         ++pseudo_labels_added_;
         any_added = true;
+        s1.EraseCandidate(zone);
+        s2.EraseCandidate(zone);
         // Remove from pool; backfill from the unscreened remainder.
         std::swap(unlabeled[best_pos], unlabeled[pool_end - 1]);
         if (pool_end < unlabeled.size()) {
@@ -104,10 +256,15 @@ util::Status Coreg::Fit(const Dataset& data) {
 std::vector<double> Coreg::Predict() const {
   size_t dim = x_all_scaled_.cols();
   std::vector<double> out(x_all_scaled_.rows());
-  for (size_t i = 0; i < x_all_scaled_.rows(); ++i) {
-    const double* row = x_all_scaled_.row(i);
-    out[i] = 0.5 * (h1_->PredictOne(row, dim) + h2_->PredictOne(row, dim));
-  }
+  ForEachChunk(config_.threads, x_all_scaled_.rows(), 64,
+               [&](size_t, size_t begin, size_t end) {
+                 NeighborScratch scratch;
+                 for (size_t i = begin; i < end; ++i) {
+                   const double* row = x_all_scaled_.row(i);
+                   out[i] = 0.5 * (h1_->PredictOne(row, dim, &scratch) +
+                                   h2_->PredictOne(row, dim, &scratch));
+                 }
+               });
   return out;
 }
 

@@ -4,6 +4,14 @@
 // other's most confidently predicted unlabeled examples. Confidence of a
 // candidate is the reduction in squared error over its labeled neighbourhood
 // when the candidate (with its pseudo-label) is added to the training set.
+//
+// Pool screening runs on incremental caches (per-candidate top-k lists and
+// per-stored-example leave-one-out neighbourhoods, both updated in O(k) per
+// pseudo-label add) instead of rescanning the full store per candidate per
+// iteration; the resulting model is bit-identical to the original
+// rescanning implementation, which is kept behind `use_seed_screening` as a
+// benchmark foil. Screening fans out across util::ThreadPool with a
+// fixed-order argmax reduction, so `threads` never changes results.
 #pragma once
 
 #include <memory>
@@ -22,6 +30,14 @@ struct CoregConfig {
   /// Size of the random unlabeled pool screened per iteration.
   size_t pool_size = 100;
   uint64_t seed = 11;
+  /// Worker count for pool screening and batch prediction. Candidates are
+  /// screened into per-slot buffers and reduced by a serial fixed-order
+  /// argmax, so Fit and Predict are bit-identical for every value.
+  int threads = 1;
+  /// Benchmark foil: screen with the original full-rescan tentative
+  /// add/remove implementation instead of the incremental caches. Produces
+  /// an identical model, much more slowly.
+  bool use_seed_screening = false;
 };
 
 class Coreg : public SsrModel {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels.h"
 #include "util/rng.h"
 
 namespace staq::ml {
@@ -110,33 +111,40 @@ util::Status GnnRegressor::Fit(const Dataset& data) {
   Matrix dp(n, h);
   Matrix dh1(n, h);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    // ---- forward ----
+  // Forward pass shared by the epoch loop and the final-predictions block.
+  // Bias is preloaded FIRST and the Z W1 product accumulates on top of it
+  // (ascending feature order inside the GEMM), matching the scalar loop this
+  // replaces term for term; the scalar output sum is kept as-is because
+  // rewriting it as b2 + dot(p, w2) would regroup the additions.
+  auto forward = [&]() {
     const double* w1p = w1(params);
     const double* b1p = b1(params);
     const double* w2p = w2(params);
     double b2p = *b2(params);
     for (size_t i = 0; i < n; ++i) {
-      const double* zr = z.row(i);
       double* hr = h1.row(i);
       for (size_t j = 0; j < h; ++j) hr[j] = b1p[j];
-      for (size_t c = 0; c < d; ++c) {
-        double zc = zr[c];
-        if (zc == 0.0) continue;
-        const double* w_row = w1p + c * h;
-        for (size_t j = 0; j < h; ++j) hr[j] += zc * w_row[j];
-      }
+    }
+    kernels::GemmAccumulate(n, d, h, z.data().data(), d, w1p, h,
+                            h1.data().data(), h);
+    for (size_t i = 0; i < n; ++i) {
+      double* hr = h1.row(i);
       for (size_t j = 0; j < h; ++j) {
         if (hr[j] < 0.0) hr[j] = 0.0;
       }
     }
-    p_mat = MatMul(a_hat, h1);
+    MatMulInto(a_hat, h1, &p_mat);
     for (size_t i = 0; i < n; ++i) {
       const double* pr = p_mat.row(i);
       double acc = b2p;
       for (size_t j = 0; j < h; ++j) acc += pr[j] * w2p[j];
       out[i] = acc;
     }
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    forward();
+    const double* w2p = w2(params);
 
     // ---- backward ----
     std::fill(grad.begin(), grad.end(), 0.0);
@@ -161,53 +169,28 @@ util::Status GnnRegressor::Fit(const Dataset& data) {
       *gb2 += dout[i];
     }
     // dH1 = Â^T dP = Â dP (Â is symmetric).
-    dh1 = MatMul(a_hat, dp);
+    MatMulInto(a_hat, dp, &dh1);
+    // Gate and bias-gradient pass first (it mutates dh1 in place), then one
+    // Z^T dH1 product for the weight gradient — per element that product
+    // accumulates in ascending row order, the order of the loop it replaces.
     for (size_t i = 0; i < n; ++i) {
       double* dr = dh1.row(i);
       const double* hr = h1.row(i);
-      const double* zr = z.row(i);
       for (size_t j = 0; j < h; ++j) {
         if (hr[j] <= 0.0) dr[j] = 0.0;  // ReLU gate
         gb1[j] += dr[j];
       }
-      for (size_t c = 0; c < d; ++c) {
-        double zc = zr[c];
-        if (zc == 0.0) continue;
-        double* gw_row = gw1 + c * h;
-        for (size_t j = 0; j < h; ++j) gw_row[j] += zc * dr[j];
-      }
     }
+    kernels::GemmAtB(n, d, h, z.data().data(), d, dh1.data().data(), h, gw1,
+                     h);
     opt.Step(&params, grad);
   }
 
   // Final forward with trained parameters for the cached predictions.
-  {
-    const double* w1p = w1(params);
-    const double* b1p = b1(params);
-    const double* w2p = w2(params);
-    double b2p = *b2(params);
-    for (size_t i = 0; i < n; ++i) {
-      const double* zr = z.row(i);
-      double* hr = h1.row(i);
-      for (size_t j = 0; j < h; ++j) hr[j] = b1p[j];
-      for (size_t c = 0; c < d; ++c) {
-        double zc = zr[c];
-        if (zc == 0.0) continue;
-        const double* w_row = w1p + c * h;
-        for (size_t j = 0; j < h; ++j) hr[j] += zc * w_row[j];
-      }
-      for (size_t j = 0; j < h; ++j) {
-        if (hr[j] < 0.0) hr[j] = 0.0;
-      }
-    }
-    p_mat = MatMul(a_hat, h1);
-    predictions_.resize(n);
-    for (size_t i = 0; i < n; ++i) {
-      const double* pr = p_mat.row(i);
-      double acc = b2p;
-      for (size_t j = 0; j < h; ++j) acc += pr[j] * w2p[j];
-      predictions_[i] = target_scaler_.InverseTransform(acc);
-    }
+  forward();
+  predictions_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    predictions_[i] = target_scaler_.InverseTransform(out[i]);
   }
   return util::Status::OK();
 }

@@ -1,0 +1,171 @@
+#include "ml/kernels.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace staq::ml::kernels {
+
+namespace {
+
+// Blocking parameters. kKc bounds the B panel touched per pass so it stays
+// in L1/L2 across the m sweep; kMr is the register-tile height (independent
+// A rows sharing one streamed B row). Neither affects results: per-element
+// accumulation order stays ascending k (blocks ascend, k ascends within).
+constexpr size_t kKc = 64;
+constexpr size_t kMr = 4;
+
+}  // namespace
+
+void GemmAccumulate(size_t m, size_t k, size_t n, const double* a, size_t lda,
+                    const double* b, size_t ldb, double* c, size_t ldc) {
+  for (size_t k0 = 0; k0 < k; k0 += kKc) {
+    const size_t k1 = k0 + kKc < k ? k0 + kKc : k;
+    size_t i = 0;
+    for (; i + kMr <= m; i += kMr) {
+      const double* __restrict a0 = a + (i + 0) * lda;
+      const double* __restrict a1 = a + (i + 1) * lda;
+      const double* __restrict a2 = a + (i + 2) * lda;
+      const double* __restrict a3 = a + (i + 3) * lda;
+      double* __restrict c0 = c + (i + 0) * ldc;
+      double* __restrict c1 = c + (i + 1) * ldc;
+      double* __restrict c2 = c + (i + 2) * ldc;
+      double* __restrict c3 = c + (i + 3) * ldc;
+      for (size_t kk = k0; kk < k1; ++kk) {
+        const double av0 = a0[kk];
+        const double av1 = a1[kk];
+        const double av2 = a2[kk];
+        const double av3 = a3[kk];
+        const double* __restrict br = b + kk * ldb;
+        for (size_t j = 0; j < n; ++j) {
+          const double bv = br[j];
+          c0[j] += av0 * bv;
+          c1[j] += av1 * bv;
+          c2[j] += av2 * bv;
+          c3[j] += av3 * bv;
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      const double* __restrict ar = a + i * lda;
+      double* __restrict cr = c + i * ldc;
+      for (size_t kk = k0; kk < k1; ++kk) {
+        const double av = ar[kk];
+        const double* __restrict br = b + kk * ldb;
+        for (size_t j = 0; j < n; ++j) cr[j] += av * br[j];
+      }
+    }
+  }
+}
+
+void Gemm(size_t m, size_t k, size_t n, const double* a, size_t lda,
+          const double* b, size_t ldb, double* c, size_t ldc) {
+  if (m == 0 || n == 0) return;
+  if (ldc == n) {
+    std::memset(c, 0, m * n * sizeof(double));
+  } else {
+    for (size_t i = 0; i < m; ++i) std::memset(c + i * ldc, 0, n * sizeof(double));
+  }
+  GemmAccumulate(m, k, n, a, lda, b, ldb, c, ldc);
+}
+
+void GemmAtB(size_t l, size_t m, size_t n, const double* a, size_t lda,
+             const double* b, size_t ldb, double* c, size_t ldc) {
+  for (size_t ll = 0; ll < l; ++ll) {
+    const double* __restrict ar = a + ll * lda;
+    const double* __restrict br = b + ll * ldb;
+    for (size_t i = 0; i < m; ++i) {
+      const double av = ar[i];
+      double* __restrict cr = c + i * ldc;
+      for (size_t j = 0; j < n; ++j) cr[j] += av * br[j];
+    }
+  }
+}
+
+void Gemv(size_t m, size_t k, const double* a, size_t lda, const double* x,
+          double* y) {
+  size_t i = 0;
+  for (; i + kMr <= m; i += kMr) {
+    const double* __restrict a0 = a + (i + 0) * lda;
+    const double* __restrict a1 = a + (i + 1) * lda;
+    const double* __restrict a2 = a + (i + 2) * lda;
+    const double* __restrict a3 = a + (i + 3) * lda;
+    double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+    for (size_t j = 0; j < k; ++j) {
+      const double xj = x[j];
+      acc0 += a0[j] * xj;
+      acc1 += a1[j] * xj;
+      acc2 += a2[j] * xj;
+      acc3 += a3[j] * xj;
+    }
+    y[i + 0] = acc0;
+    y[i + 1] = acc1;
+    y[i + 2] = acc2;
+    y[i + 3] = acc3;
+  }
+  for (; i < m; ++i) {
+    const double* __restrict ar = a + i * lda;
+    double acc = 0.0;
+    for (size_t j = 0; j < k; ++j) acc += ar[j] * x[j];
+    y[i] = acc;
+  }
+}
+
+void Axpy(size_t n, double alpha, const double* x, double* y) {
+  const double* __restrict xs = x;
+  double* __restrict ys = y;
+  for (size_t i = 0; i < n; ++i) ys[i] += alpha * xs[i];
+}
+
+void Scale(size_t n, double alpha, double* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+double Dot(size_t n, const double* a, const double* b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double ReduceSum(size_t n, const double* x) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+double SquaredDistance(size_t n, const double* a, const double* b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double ManhattanDistance(size_t n, const double* a, const double* b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += std::abs(a[i] - b[i]);
+  return acc;
+}
+
+double PowDistanceInt(size_t n, const double* a, const double* b, int p) {
+  double acc = 0.0;
+  if ((p & 1) == 0) {
+    // Even power: |d|^p == d^p, skip the abs.
+    for (size_t i = 0; i < n; ++i) {
+      const double d = a[i] - b[i];
+      double term = d * d;
+      for (int e = 2; e < p; e += 2) term *= d * d;
+      acc += term;
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      const double d = std::abs(a[i] - b[i]);
+      double term = d;
+      for (int e = 1; e < p; ++e) term *= d;
+      acc += term;
+    }
+  }
+  return acc;
+}
+
+}  // namespace staq::ml::kernels

@@ -1,7 +1,9 @@
 #include "ml/matrix.h"
 
-#include <cassert>
 #include <cmath>
+#include <cstring>
+
+#include "ml/kernels.h"
 
 namespace staq::ml {
 
@@ -14,13 +16,17 @@ Matrix Matrix::Identity(size_t n) {
   return m;
 }
 
+void Matrix::Reset(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
 Matrix Matrix::SelectRows(const std::vector<uint32_t>& indices) const {
   Matrix out(indices.size(), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
-    assert(indices[i] < rows_);
-    const double* src = row(indices[i]);
-    double* dst = out.row(i);
-    for (size_t c = 0; c < cols_; ++c) dst[c] = src[c];
+    STAQ_CHECK(indices[i] < rows_, "SelectRows index out of range");
+    std::memcpy(out.row(i), row(indices[i]), cols_ * sizeof(double));
   }
   return out;
 }
@@ -28,68 +34,56 @@ Matrix Matrix::SelectRows(const std::vector<uint32_t>& indices) const {
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
   for (size_t r = 0; r < rows_; ++r) {
+    const double* src = data_.data() + r * cols_;
     for (size_t c = 0; c < cols_; ++c) {
-      out(c, r) = (*this)(r, c);
+      out.data_[c * rows_ + r] = src[c];
     }
   }
   return out;
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  assert(a.cols() == b.rows());
+  STAQ_CHECK(a.cols() == b.rows(), "MatMul: inner dimensions differ");
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (size_t i = 0; i < a.rows(); ++i) {
-    double* out_row = out.row(i);
-    const double* a_row = a.row(i);
-    for (size_t k = 0; k < a.cols(); ++k) {
-      double aik = a_row[k];
-      if (aik == 0.0) continue;
-      const double* b_row = b.row(k);
-      for (size_t j = 0; j < b.cols(); ++j) {
-        out_row[j] += aik * b_row[j];
-      }
-    }
-  }
+  kernels::GemmAccumulate(a.rows(), a.cols(), b.cols(), a.data().data(),
+                          a.cols(), b.data().data(), b.cols(),
+                          out.data().data(), out.cols());
   return out;
 }
 
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out) {
+  STAQ_CHECK(a.cols() == b.rows(), "MatMulInto: inner dimensions differ");
+  STAQ_CHECK(out != &a && out != &b, "MatMulInto: out aliases an input");
+  out->Reset(a.rows(), b.cols());
+  kernels::GemmAccumulate(a.rows(), a.cols(), b.cols(), a.data().data(),
+                          a.cols(), b.data().data(), b.cols(),
+                          out->data().data(), out->cols());
+}
+
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
-  assert(a.cols() == x.size());
+  STAQ_CHECK(a.cols() == x.size(), "MatVec: dimension mismatch");
   std::vector<double> y(a.rows(), 0.0);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.row(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) acc += a_row[j] * x[j];
-    y[i] = acc;
-  }
+  kernels::Gemv(a.rows(), a.cols(), a.data().data(), a.cols(), x.data(),
+                y.data());
   return y;
 }
 
 Matrix Gram(const Matrix& a) {
+  // Rank-1 updates in ascending-row order: each g element accumulates
+  // ascending i, the order the previous direct loop used (OLS depends on
+  // this staying bit-identical).
   Matrix g(a.cols(), a.cols());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    const double* r = a.row(i);
-    for (size_t p = 0; p < a.cols(); ++p) {
-      double rp = r[p];
-      if (rp == 0.0) continue;
-      double* g_row = g.row(p);
-      for (size_t q = 0; q < a.cols(); ++q) {
-        g_row[q] += rp * r[q];
-      }
-    }
-  }
+  kernels::GemmAtB(a.rows(), a.cols(), a.cols(), a.data().data(), a.cols(),
+                   a.data().data(), a.cols(), g.data().data(), g.cols());
   return g;
 }
 
 std::vector<double> TransposeVec(const Matrix& a,
                                  const std::vector<double>& y) {
-  assert(a.rows() == y.size());
+  STAQ_CHECK(a.rows() == y.size(), "TransposeVec: dimension mismatch");
   std::vector<double> out(a.cols(), 0.0);
   for (size_t i = 0; i < a.rows(); ++i) {
-    const double* r = a.row(i);
-    double yi = y[i];
-    for (size_t j = 0; j < a.cols(); ++j) out[j] += r[j] * yi;
+    kernels::Axpy(a.cols(), y[i], a.row(i), out.data());
   }
   return out;
 }

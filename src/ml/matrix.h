@@ -2,13 +2,17 @@
 // need: products, transposed products, and SPD solves (Cholesky with a
 // partial-pivot Gaussian fallback) for ridge-regularised normal equations.
 //
-// Sizes in this library are a few thousand rows by a few dozen columns, so
-// a straightforward cache-friendly implementation is ample.
+// Products run on the blocked kernels in ml/kernels.h; per-element
+// accumulation order is fixed (ascending k), so results are bit-identical
+// to the straightforward loops the kernels replaced. Shape mismatches are
+// hard errors (STAQ_CHECK) in every build type — these used to be
+// release-mode-UB asserts.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "util/check.h"
 #include "util/status.h"
 
 namespace staq::ml {
@@ -26,15 +30,31 @@ class Matrix {
   size_t cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }
 
-  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
-  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& operator()(size_t r, size_t c) {
+    STAQ_CHECK(r < rows_ && c < cols_, "Matrix element index out of range");
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    STAQ_CHECK(r < rows_ && c < cols_, "Matrix element index out of range");
+    return data_[r * cols_ + c];
+  }
 
   /// Raw pointer to row `r` (contiguous, cols() doubles).
-  double* row(size_t r) { return data_.data() + r * cols_; }
-  const double* row(size_t r) const { return data_.data() + r * cols_; }
+  double* row(size_t r) {
+    STAQ_CHECK(r < rows_, "Matrix row index out of range");
+    return data_.data() + r * cols_;
+  }
+  const double* row(size_t r) const {
+    STAQ_CHECK(r < rows_, "Matrix row index out of range");
+    return data_.data() + r * cols_;
+  }
 
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
+
+  /// Reshapes to rows x cols and zero-fills, reusing existing storage when
+  /// capacity allows (keeps per-epoch training loops allocation-free).
+  void Reset(size_t rows, size_t cols);
 
   /// A new matrix containing the given rows (in order).
   Matrix SelectRows(const std::vector<uint32_t>& indices) const;
@@ -51,6 +71,10 @@ class Matrix {
 
 /// C = A * B. Requires a.cols() == b.rows().
 Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B into an existing matrix (resized/zeroed in place, storage
+/// reused). `out` must not alias `a` or `b`.
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// y = A * x for a vector x of size a.cols().
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x);

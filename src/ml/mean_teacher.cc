@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 namespace staq::ml {
 
@@ -44,11 +45,71 @@ util::Status MeanTeacher::Fit(const Dataset& data) {
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
   std::vector<double> grad(student.num_params());
-  std::vector<std::vector<double>> acts;
-  std::vector<double> noisy(dim), noisy_teacher(dim);
 
   int rampup_epochs =
       std::max(1, static_cast<int>(config_.epochs * config_.rampup_fraction));
+
+  if (config_.per_sample_updates) {
+    // Foil: the original scalar path.
+    std::vector<std::vector<double>> acts;
+    std::vector<double> noisy(dim), noisy_teacher(dim);
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      double consistency =
+          config_.consistency_weight_max *
+          RampUp(static_cast<double>(epoch) / rampup_epochs);
+      rng.Shuffle(&order);
+      for (size_t start = 0; start < n; start += config_.batch_size) {
+        size_t end = std::min(n, start + config_.batch_size);
+        size_t batch = end - start;
+        std::fill(grad.begin(), grad.end(), 0.0);
+
+        // Supervised term.
+        for (size_t b = start; b < end; ++b) {
+          size_t i = order[b];
+          double pred = student.Forward(xs.row(i), &acts);
+          double dloss = (pred - ys[i]) / static_cast<double>(batch);
+          student.Backward(xs.row(i), acts, dloss, &grad);
+        }
+
+        // Consistency term on a same-sized sample of unlabeled zones.
+        if (!unlabeled.empty() && consistency > 0.0) {
+          for (size_t b = 0; b < batch; ++b) {
+            uint32_t u = unlabeled[static_cast<size_t>(
+                rng.UniformU64(unlabeled.size()))];
+            const double* row = x_all_scaled_.row(u);
+            for (size_t c = 0; c < dim; ++c) {
+              noisy[c] = row[c] + rng.Normal(0.0, config_.input_noise);
+              noisy_teacher[c] = row[c] + rng.Normal(0.0, config_.input_noise);
+            }
+            double target = teacher_->Forward(noisy_teacher.data());
+            double pred = student.Forward(noisy.data(), &acts);
+            double dloss =
+                consistency * (pred - target) / static_cast<double>(batch);
+            student.Backward(noisy.data(), acts, dloss, &grad);
+          }
+        }
+
+        opt.Step(&student.params(), grad);
+
+        // EMA teacher update.
+        auto& tp = teacher_->params();
+        const auto& sp = student.params();
+        for (size_t i = 0; i < tp.size(); ++i) {
+          tp[i] =
+              config_.ema_decay * tp[i] + (1.0 - config_.ema_decay) * sp[i];
+        }
+      }
+    }
+    return util::Status::OK();
+  }
+
+  // Batched path. RNG draws happen in exactly the order the per-sample
+  // loop made them (per consistency sample: the pool pick, then the
+  // student/teacher noise interleaved per feature), and gradient terms
+  // accumulate in the same sample order, so results match the foil.
+  DenseNetScratch scratch, teacher_scratch;
+  Matrix batch_x, noisy_x, noisy_teacher_x;
+  std::vector<double> dloss;
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     double consistency =
@@ -61,29 +122,49 @@ util::Status MeanTeacher::Fit(const Dataset& data) {
       std::fill(grad.begin(), grad.end(), 0.0);
 
       // Supervised term.
-      for (size_t b = start; b < end; ++b) {
-        size_t i = order[b];
-        double pred = student.Forward(xs.row(i), &acts);
-        double dloss = (pred - ys[i]) / static_cast<double>(batch);
-        student.Backward(xs.row(i), acts, dloss, &grad);
+      batch_x.Reset(batch, dim);
+      for (size_t b = 0; b < batch; ++b) {
+        std::memcpy(batch_x.row(b), xs.row(order[start + b]),
+                    dim * sizeof(double));
       }
+      student.ForwardBatch(batch_x.data().data(), batch, &scratch);
+      dloss.resize(batch);
+      {
+        const Matrix& preds = scratch.acts.back();
+        for (size_t b = 0; b < batch; ++b) {
+          dloss[b] = (preds(b, 0) - ys[order[start + b]]) /
+                     static_cast<double>(batch);
+        }
+      }
+      student.BackwardBatch(batch_x.data().data(), batch, dloss, &grad,
+                            &scratch);
 
       // Consistency term on a same-sized sample of unlabeled zones.
       if (!unlabeled.empty() && consistency > 0.0) {
+        noisy_x.Reset(batch, dim);
+        noisy_teacher_x.Reset(batch, dim);
         for (size_t b = 0; b < batch; ++b) {
           uint32_t u = unlabeled[static_cast<size_t>(
               rng.UniformU64(unlabeled.size()))];
           const double* row = x_all_scaled_.row(u);
+          double* sr = noisy_x.row(b);
+          double* tr = noisy_teacher_x.row(b);
           for (size_t c = 0; c < dim; ++c) {
-            noisy[c] = row[c] + rng.Normal(0.0, config_.input_noise);
-            noisy_teacher[c] = row[c] + rng.Normal(0.0, config_.input_noise);
+            sr[c] = row[c] + rng.Normal(0.0, config_.input_noise);
+            tr[c] = row[c] + rng.Normal(0.0, config_.input_noise);
           }
-          double target = teacher_->Forward(noisy_teacher.data());
-          double pred = student.Forward(noisy.data(), &acts);
-          double dloss =
-              consistency * (pred - target) / static_cast<double>(batch);
-          student.Backward(noisy.data(), acts, dloss, &grad);
         }
+        teacher_->ForwardBatch(noisy_teacher_x.data().data(), batch,
+                               &teacher_scratch);
+        student.ForwardBatch(noisy_x.data().data(), batch, &scratch);
+        const Matrix& teacher_preds = teacher_scratch.acts.back();
+        const Matrix& student_preds = scratch.acts.back();
+        for (size_t b = 0; b < batch; ++b) {
+          dloss[b] = consistency * (student_preds(b, 0) - teacher_preds(b, 0)) /
+                     static_cast<double>(batch);
+        }
+        student.BackwardBatch(noisy_x.data().data(), batch, dloss, &grad,
+                              &scratch);
       }
 
       opt.Step(&student.params(), grad);
@@ -100,10 +181,13 @@ util::Status MeanTeacher::Fit(const Dataset& data) {
 }
 
 std::vector<double> MeanTeacher::Predict() const {
-  std::vector<double> out(x_all_scaled_.rows());
-  for (size_t i = 0; i < x_all_scaled_.rows(); ++i) {
-    out[i] = target_scaler_.InverseTransform(
-        teacher_->Forward(x_all_scaled_.row(i)));
+  const size_t n = x_all_scaled_.rows();
+  std::vector<double> out(n);
+  DenseNetScratch scratch;
+  teacher_->ForwardBatch(x_all_scaled_.data().data(), n, &scratch);
+  const Matrix& preds = scratch.acts.back();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = target_scaler_.InverseTransform(preds(i, 0));
   }
   return out;
 }

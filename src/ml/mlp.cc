@@ -1,10 +1,25 @@
 #include "ml/mlp.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstring>
+
+#include "ml/kernels.h"
+#include "ml/parallel.h"
+#include "util/check.h"
 
 namespace staq::ml {
+
+namespace {
+
+/// Samples per gradient chunk. Fixed — never derived from the thread
+/// count — so the chunk layout, and with it the chunk-order gradient
+/// reduction, is identical for every MlpConfig::threads value. At the
+/// default batch size (16) a batch is a single chunk, which makes the
+/// batched path bit-identical to the per-sample foil as well.
+constexpr size_t kGradChunkSamples = 32;
+
+}  // namespace
 
 DenseNet::DenseNet(size_t input_dim, std::vector<size_t> hidden,
                    util::Rng* rng) {
@@ -57,10 +72,40 @@ double DenseNet::Forward(const double* x,
   return current[0];
 }
 
+void DenseNet::ForwardBatch(const double* x, size_t batch,
+                            DenseNetScratch* scratch) const {
+  const size_t num_layers = dims_.size() - 1;
+  scratch->acts.resize(num_layers);
+  const double* current = x;
+  size_t current_ld = dims_[0];
+  for (size_t l = 0; l < num_layers; ++l) {
+    const size_t in = dims_[l], out = dims_[l + 1];
+    const double* w = params_.data() + layer_offset_[l];
+    const double* b = w + in * out;
+    Matrix& a = scratch->acts[l];
+    a.Reset(batch, out);
+    // Accumulates ascending-k from zero, then bias, then ReLU — the same
+    // per-element order Forward() uses for one sample.
+    kernels::GemmAccumulate(batch, in, out, current, current_ld, w, out,
+                            a.data().data(), out);
+    const bool is_output = (l + 1 == num_layers);
+    for (size_t r = 0; r < batch; ++r) {
+      double* ar = a.row(r);
+      for (size_t j = 0; j < out; ++j) {
+        ar[j] += b[j];
+        if (!is_output && ar[j] < 0.0) ar[j] = 0.0;  // ReLU
+      }
+    }
+    current = a.data().data();
+    current_ld = out;
+  }
+}
+
 void DenseNet::Backward(const double* x,
                         const std::vector<std::vector<double>>& activations,
                         double dloss_dout, std::vector<double>* grad) const {
-  assert(grad->size() == params_.size());
+  STAQ_CHECK(grad->size() == params_.size(),
+             "DenseNet::Backward: gradient size differs from parameters");
   size_t num_layers = dims_.size() - 1;
   std::vector<double> delta{dloss_dout};  // gradient wrt layer output
 
@@ -98,6 +143,58 @@ void DenseNet::Backward(const double* x,
   }
 }
 
+void DenseNet::BackwardBatch(const double* x, size_t batch,
+                             const std::vector<double>& dloss,
+                             std::vector<double>* grad,
+                             DenseNetScratch* scratch) const {
+  STAQ_CHECK(grad->size() == params_.size(),
+             "DenseNet::BackwardBatch: gradient size differs from parameters");
+  STAQ_CHECK(dloss.size() >= batch,
+             "DenseNet::BackwardBatch: dloss shorter than batch");
+  const size_t num_layers = dims_.size() - 1;
+  scratch->delta.Reset(batch, 1);
+  for (size_t r = 0; r < batch; ++r) scratch->delta(r, 0) = dloss[r];
+
+  for (size_t l = num_layers; l-- > 0;) {
+    const size_t in = dims_[l], out = dims_[l + 1];
+    const double* input = (l == 0) ? x : scratch->acts[l - 1].data().data();
+    const double* w = params_.data() + layer_offset_[l];
+    double* gw = grad->data() + layer_offset_[l];
+    double* gb = gw + in * out;
+
+    Matrix& local = scratch->delta;  // masked in place
+    const bool is_output = (l + 1 == num_layers);
+    if (!is_output) {
+      for (size_t r = 0; r < batch; ++r) {
+        double* lr = local.row(r);
+        const double* ar = scratch->acts[l].row(r);
+        for (size_t j = 0; j < out; ++j) {
+          if (ar[j] <= 0.0) lr[j] = 0.0;  // ReLU gate
+        }
+      }
+    }
+
+    // gb[j] += sum over samples of local(r, j), ascending r.
+    for (size_t r = 0; r < batch; ++r) {
+      const double* lr = local.row(r);
+      for (size_t j = 0; j < out; ++j) gb[j] += lr[j];
+    }
+    // gW += X^T local: rank-1 updates in ascending sample order.
+    kernels::GemmAtB(batch, in, out, input, in, local.data().data(), out, gw,
+                     out);
+    if (l > 0) {
+      // next_delta(r, .) = W local(r, .): one Gemv per sample, each row
+      // accumulating ascending j as the per-sample loop did.
+      scratch->next_delta.Reset(batch, in);
+      for (size_t r = 0; r < batch; ++r) {
+        kernels::Gemv(in, out, w, out, local.row(r),
+                      scratch->next_delta.row(r));
+      }
+      std::swap(scratch->delta, scratch->next_delta);
+    }
+  }
+}
+
 AdamOptimizer::AdamOptimizer(size_t num_params, double lr, double weight_decay)
     : lr_(lr),
       weight_decay_(weight_decay),
@@ -106,7 +203,8 @@ AdamOptimizer::AdamOptimizer(size_t num_params, double lr, double weight_decay)
 
 void AdamOptimizer::Step(std::vector<double>* params,
                          const std::vector<double>& grad) {
-  assert(params->size() == m_.size() && grad.size() == m_.size());
+  STAQ_CHECK(params->size() == m_.size() && grad.size() == m_.size(),
+             "AdamOptimizer::Step: size mismatch");
   ++t_;
   double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
   double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
@@ -139,22 +237,86 @@ util::Status MlpRegressor::Fit(const Dataset& data) {
                     config_.weight_decay);
 
   size_t n = xs.rows();
+  size_t dim = xs.cols();
   std::vector<size_t> order(n);
   for (size_t i = 0; i < n; ++i) order[i] = i;
   std::vector<double> grad(net_->num_params());
-  std::vector<std::vector<double>> acts;
+
+  if (config_.per_sample_updates) {
+    // Foil: the original scalar path, one forward/backward per sample.
+    std::vector<std::vector<double>> acts;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      rng.Shuffle(&order);
+      for (size_t start = 0; start < n; start += config_.batch_size) {
+        size_t end = std::min(n, start + config_.batch_size);
+        std::fill(grad.begin(), grad.end(), 0.0);
+        for (size_t b = start; b < end; ++b) {
+          size_t i = order[b];
+          double pred = net_->Forward(xs.row(i), &acts);
+          // d(0.5 (pred - y)^2)/dpred, averaged over the batch.
+          double dloss = (pred - ys[i]) / static_cast<double>(end - start);
+          net_->Backward(xs.row(i), acts, dloss, &grad);
+        }
+        opt.Step(&net_->params(), grad);
+      }
+    }
+    x_all_scaled_ = scaler_.Transform(data.x);
+    return util::Status::OK();
+  }
+
+  // Batched path. Each batch is cut into fixed-size sample chunks; every
+  // chunk gathers its rows, runs one batched forward/backward, and (when
+  // there is more than one chunk) accumulates into its own buffer. The
+  // buffers reduce in chunk order, so the gradient — and the whole fit —
+  // is identical for any threads value.
+  struct ChunkSlot {
+    Matrix x;                   // gathered input rows
+    DenseNetScratch scratch;
+    std::vector<double> dloss;
+    std::vector<double> grad;   // partial gradient (multi-chunk only)
+  };
+  const size_t max_batch = std::min(n, std::max<size_t>(config_.batch_size, 1));
+  const size_t num_slots = (max_batch + kGradChunkSamples - 1) / kGradChunkSamples;
+  const bool multi_chunk = num_slots > 1;
+  std::vector<ChunkSlot> slots(num_slots);
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.Shuffle(&order);
     for (size_t start = 0; start < n; start += config_.batch_size) {
-      size_t end = std::min(n, start + config_.batch_size);
+      const size_t end = std::min(n, start + config_.batch_size);
+      const size_t batch = end - start;
       std::fill(grad.begin(), grad.end(), 0.0);
-      for (size_t b = start; b < end; ++b) {
-        size_t i = order[b];
-        double pred = net_->Forward(xs.row(i), &acts);
-        // d(0.5 (pred - y)^2)/dpred, averaged over the batch.
-        double dloss = (pred - ys[i]) / static_cast<double>(end - start);
-        net_->Backward(xs.row(i), acts, dloss, &grad);
+      const size_t chunks =
+          (batch + kGradChunkSamples - 1) / kGradChunkSamples;
+      ForEachChunk(
+          config_.threads, batch, kGradChunkSamples,
+          [&](size_t c, size_t cb, size_t ce) {
+            ChunkSlot& slot = slots[c];
+            const size_t m = ce - cb;
+            slot.x.Reset(m, dim);
+            for (size_t r = 0; r < m; ++r) {
+              std::memcpy(slot.x.row(r), xs.row(order[start + cb + r]),
+                          dim * sizeof(double));
+            }
+            net_->ForwardBatch(slot.x.data().data(), m, &slot.scratch);
+            const Matrix& out_act = slot.scratch.acts.back();
+            slot.dloss.resize(m);
+            for (size_t r = 0; r < m; ++r) {
+              slot.dloss[r] = (out_act(r, 0) - ys[order[start + cb + r]]) /
+                              static_cast<double>(batch);
+            }
+            std::vector<double>* g = &grad;
+            if (multi_chunk) {
+              slot.grad.assign(grad.size(), 0.0);
+              g = &slot.grad;
+            }
+            net_->BackwardBatch(slot.x.data().data(), m, slot.dloss, g,
+                                &slot.scratch);
+          });
+      if (multi_chunk) {
+        for (size_t c = 0; c < chunks; ++c) {
+          kernels::Axpy(grad.size(), 1.0, slots[c].grad.data(), grad.data());
+        }
       }
       opt.Step(&net_->params(), grad);
     }
@@ -165,10 +327,13 @@ util::Status MlpRegressor::Fit(const Dataset& data) {
 }
 
 std::vector<double> MlpRegressor::Predict() const {
-  std::vector<double> out(x_all_scaled_.rows());
-  for (size_t i = 0; i < x_all_scaled_.rows(); ++i) {
-    out[i] = target_scaler_.InverseTransform(
-        net_->Forward(x_all_scaled_.row(i)));
+  const size_t n = x_all_scaled_.rows();
+  std::vector<double> out(n);
+  DenseNetScratch scratch;
+  net_->ForwardBatch(x_all_scaled_.data().data(), n, &scratch);
+  const Matrix& preds = scratch.acts.back();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = target_scaler_.InverseTransform(preds(i, 0));
   }
   return out;
 }

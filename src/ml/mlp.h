@@ -4,16 +4,32 @@
 // output) plus an Adam optimiser, written without any autodiff framework —
 // this is the C++ substitute for the paper's PyTorch MLP, and the Mean
 // Teacher model reuses both.
+//
+// Training runs mini-batches through the blocked GEMM kernels
+// (ForwardBatch/BackwardBatch); per parameter, gradient terms accumulate in
+// ascending sample order — exactly the order the per-sample loops used —
+// so batched results match the original implementation and are
+// deterministic per (seed, batch size). The per-sample path is kept behind
+// MlpConfig::per_sample_updates as a benchmark foil.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "ml/matrix.h"
 #include "ml/model.h"
 #include "ml/scaler.h"
 #include "util/rng.h"
 
 namespace staq::ml {
+
+/// Reusable buffers for batched forward/backward passes. Owned by the
+/// caller, one per concurrently running chunk; contents are scratch.
+struct DenseNetScratch {
+  std::vector<Matrix> acts;  // per-layer activations, batch x width
+  Matrix delta;              // gradient wrt current layer output
+  Matrix next_delta;
+};
 
 /// Fully-connected scalar-output network. Parameters live in one flat
 /// vector (per layer: row-major W[in][out], then b[out]) so optimisers and
@@ -40,6 +56,22 @@ class DenseNet {
   void Backward(const double* x,
                 const std::vector<std::vector<double>>& activations,
                 double dloss_dout, std::vector<double>* grad) const;
+
+  /// Forward pass for `batch` samples in row-major `x` (batch x
+  /// input_dim()); activations land in scratch->acts, whose back() is the
+  /// batch x 1 output column. Per sample this computes exactly what
+  /// Forward() computes.
+  void ForwardBatch(const double* x, size_t batch,
+                    DenseNetScratch* scratch) const;
+
+  /// Accumulates dL/dparams into `grad` for a batch, given the per-sample
+  /// upstream gradients `dloss` (size batch). scratch->acts must come from
+  /// ForwardBatch on the same x. Per parameter, sample contributions
+  /// accumulate in ascending batch order — the per-sample Backward order.
+  void BackwardBatch(const double* x, size_t batch,
+                     const std::vector<double>& dloss,
+                     std::vector<double>* grad,
+                     DenseNetScratch* scratch) const;
 
  private:
   std::vector<size_t> dims_;          // [in, h1, ..., 1]
@@ -74,6 +106,14 @@ struct MlpConfig {
   double learning_rate = 1e-3;
   double weight_decay = 1e-4;
   uint64_t seed = 7;
+  /// Worker count for gradient computation. Batches are cut into
+  /// fixed-size sample chunks (layout independent of the thread count)
+  /// whose partial gradients reduce in chunk order, so Fit is bit-identical
+  /// for every value, including 1.
+  int threads = 1;
+  /// Benchmark foil: the original one-sample-at-a-time forward/backward.
+  /// Identical results at the default batch size, much more slowly.
+  bool per_sample_updates = false;
 };
 
 /// Supervised MLP on the labeled rows (the paper's strongest model).

@@ -28,6 +28,10 @@ const char* ModelKindName(ModelKind kind);
 std::vector<ModelKind> AllModelKinds();
 
 /// Instantiates a model with the library defaults and the given seed.
-std::unique_ptr<SsrModel> CreateModel(ModelKind kind, uint64_t seed);
+/// `threads` is the worker count for models with parallel training paths
+/// (COREG screening, MLP gradient chunks); every model produces
+/// bit-identical results for any value, so callers may tune it freely.
+std::unique_ptr<SsrModel> CreateModel(ModelKind kind, uint64_t seed,
+                                      int threads = 1);
 
 }  // namespace staq::ml

@@ -1,7 +1,8 @@
 #include "ml/scaler.h"
 
-#include <cassert>
 #include <cmath>
+
+#include "util/check.h"
 
 namespace staq::ml {
 
@@ -30,7 +31,8 @@ void StandardScaler::Fit(const Matrix& x) {
 }
 
 Matrix StandardScaler::Transform(const Matrix& x) const {
-  assert(x.cols() == means_.size());
+  STAQ_CHECK(x.cols() == means_.size(),
+             "StandardScaler::Transform: column count differs from Fit");
   Matrix out(x.rows(), x.cols());
   for (size_t i = 0; i < x.rows(); ++i) {
     const double* src = x.row(i);

@@ -345,6 +345,9 @@ util::Result<core::AccessQueryResult> AqServer::Execute(
     config.cost = request.options.cost;
     config.gac = request.options.gac;
     config.seed = request.options.seed;
+    // Training parallelism is a server tuning knob, not part of the query
+    // (results are bit-identical for any value, so it is not cache-keyed).
+    config.ml_threads = options_.ml_threads;
     auto run = core::RunSsr(city, *scenario.offline().features,
                             &context->router, pois, todam,
                             scenario.interval().day, config);

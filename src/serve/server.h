@@ -84,6 +84,11 @@ class AqServer {
   struct Options {
     /// Worker threads; 0 = hardware concurrency.
     size_t num_threads = 0;
+    /// Worker threads for SSR model training inside each access query
+    /// (COREG pool screening, MLP gradient chunks). Training is
+    /// bit-identical for every value, so this is deliberately NOT part of
+    /// the result-cache key — changing it never changes answers.
+    int ml_threads = 1;
     /// Admission bound: Submit() rejects once this many tasks are pending.
     size_t max_pending = 256;
     ResultCache::Options cache;

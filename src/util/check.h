@@ -1,0 +1,37 @@
+// Always-on invariant checks for contract violations that release builds
+// must not turn into undefined behaviour.
+//
+// The Status/Result model (util/status.h) covers *recoverable* failures the
+// caller is expected to handle. STAQ_CHECK covers programming errors —
+// indexing a Matrix row out of range, transforming with a scaler fitted to
+// a different column count — where continuing would read or write wild
+// memory. A plain assert() compiles away under NDEBUG (the default Release
+// build), leaving exactly the UB this macro exists to rule out, so these
+// checks stay on in every build type and abort loudly instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace staq::util::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const char* message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s — %s\n", file, line,
+               condition, message);
+  std::abort();
+}
+
+}  // namespace staq::util::internal
+
+/// Aborts with a message when `cond` is false, in every build type.
+/// `msg` is a string literal naming the violated contract. Keep this on
+/// per-call (not per-element) paths; the predictable branch costs nothing
+/// next to any real work the call does.
+#define STAQ_CHECK(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::staq::util::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                        \
+  } while (0)

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "testing/test_data.h"
 
 namespace staq::ml {
@@ -76,6 +78,69 @@ TEST(CoregTest, RejectsInvalidDataset) {
 }
 
 TEST(CoregTest, NameIsStable) { EXPECT_STREQ(Coreg().name(), "COREG"); }
+
+TEST(CoregTest, EmptyPoolTrainsSupervisedOnly) {
+  auto data = testing::LinearDataset(60, 2, 20, 0.1, 27);
+  CoregConfig config;
+  config.pool_size = 0;  // nothing to screen: degenerate co-training
+  Coreg model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_EQ(model.pseudo_labels_added(), 0);
+  auto pred = model.Predict();
+  ASSERT_EQ(pred.size(), 60u);
+  for (double p : pred) EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(CoregTest, ExhaustsReplenishedPool) {
+  // Pool smaller than the unlabeled set and more iterations than needed:
+  // backfill must keep the pool full until the unlabeled set runs dry, and
+  // Fit must terminate cleanly once it does.
+  auto data = testing::LinearDataset(40, 2, 28, 0.01, 28);  // 12 unlabeled
+  CoregConfig config;
+  config.pool_size = 3;
+  config.max_iterations = 1000;
+  Coreg model(config);
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_LE(model.pseudo_labels_added(), 12);
+  EXPECT_EQ(model.Predict().size(), 40u);
+}
+
+// The incremental-cache screening must reproduce the original full-rescan
+// screening bit for bit — same pseudo-label choices, same final model.
+TEST(CoregTest, FastScreeningMatchesSeedScreeningExactly) {
+  for (uint64_t seed : {29u, 30u, 31u}) {
+    auto data = testing::LinearDataset(160, 3, 24, 0.15, seed);
+    CoregConfig fast_config;
+    fast_config.max_iterations = 30;
+    CoregConfig seed_config = fast_config;
+    seed_config.use_seed_screening = true;
+    Coreg fast(fast_config), reference(seed_config);
+    ASSERT_TRUE(fast.Fit(data).ok());
+    ASSERT_TRUE(reference.Fit(data).ok());
+    EXPECT_EQ(fast.pseudo_labels_added(), reference.pseudo_labels_added());
+    EXPECT_EQ(fast.Predict(), reference.Predict()) << "seed " << seed;
+  }
+}
+
+TEST(CoregTest, ThreadCountDoesNotChangeFit) {
+  auto data = testing::LinearDataset(150, 3, 24, 0.15, 33);
+  std::vector<double> reference;
+  int reference_pseudo = 0;
+  for (int threads : {1, 2, 8}) {
+    CoregConfig config;
+    config.max_iterations = 25;
+    config.threads = threads;
+    Coreg model(config);
+    ASSERT_TRUE(model.Fit(data).ok());
+    if (threads == 1) {
+      reference = model.Predict();
+      reference_pseudo = model.pseudo_labels_added();
+    } else {
+      EXPECT_EQ(model.Predict(), reference) << "threads=" << threads;
+      EXPECT_EQ(model.pseudo_labels_added(), reference_pseudo);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace staq::ml

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "util/rng.h"
 
 namespace staq::ml {
@@ -169,6 +171,97 @@ TEST(SolveTest, DimensionMismatchRejected) {
   EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
   Matrix sq(2, 2);
   EXPECT_FALSE(SolveLinearSystem(sq, {1, 2, 3}).ok());
+}
+
+// ---- blocked kernels vs straightforward reference -------------------------
+// The GEMM is register-tiled and k-blocked, but per output element it must
+// accumulate in plain ascending-k order: results are compared EXPECT_EQ
+// against the naive triple loop, not within a tolerance.
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t k = 0; k < a.cols(); ++k) {
+      double av = a(i, k);
+      for (size_t j = 0; j < b.cols(); ++j) c(i, j) += av * b(k, j);
+    }
+  }
+  return c;
+}
+
+TEST(KernelTest, BlockedGemmBitIdenticalToNaive) {
+  util::Rng rng(5);
+  // Sizes straddling the register tile (4 rows) and the k panel (64).
+  for (auto [m, k, n] : {std::tuple<size_t, size_t, size_t>{1, 1, 1},
+                         {3, 5, 2},
+                         {4, 64, 8},
+                         {5, 65, 7},
+                         {17, 130, 33}}) {
+    Matrix a(m, k), b(k, n);
+    for (auto& v : a.data()) v = rng.Uniform(-1, 1);
+    for (auto& v : b.data()) v = rng.Uniform(-1, 1);
+    Matrix fast = MatMul(a, b);
+    Matrix naive = NaiveMatMul(a, b);
+    EXPECT_EQ(fast, naive) << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(KernelTest, MatMulIntoReusesStorageAndMatchesMatMul) {
+  util::Rng rng(6);
+  Matrix a(9, 6), b(6, 4);
+  for (auto& v : a.data()) v = rng.Uniform(-1, 1);
+  for (auto& v : b.data()) v = rng.Uniform(-1, 1);
+  Matrix out(9, 4, 123.0);  // stale contents must be overwritten
+  MatMulInto(a, b, &out);
+  EXPECT_EQ(out, MatMul(a, b));
+  // And again with a shape change.
+  Matrix a2(2, 6);
+  for (auto& v : a2.data()) v = rng.Uniform(-1, 1);
+  MatMulInto(a2, b, &out);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out, MatMul(a2, b));
+}
+
+TEST(MatrixTest, ResetReshapesAndZeroes) {
+  Matrix m(3, 3, 7.0);
+  m.Reset(2, 5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 5u);
+  for (double v : m.data()) EXPECT_EQ(v, 0.0);
+  m.Reset(0, 4);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatMulTest, EmptyOperandsProduceEmptyProduct) {
+  Matrix a(0, 3), b(3, 2);
+  Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 2u);
+}
+
+// ---- hard bounds/shape checks (formerly release-mode-UB asserts) ----------
+
+using MatrixDeathTest = ::testing::Test;
+
+TEST(MatrixDeathTest, ElementAccessOutOfRangeAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m(2, 0), "CHECK failed");
+  EXPECT_DEATH(m(0, 2), "CHECK failed");
+}
+
+TEST(MatrixDeathTest, RowAccessOutOfRangeAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m.row(5), "CHECK failed");
+}
+
+TEST(MatrixDeathTest, MatMulShapeMismatchAborts) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_DEATH(MatMul(a, b), "CHECK failed");
+}
+
+TEST(MatrixDeathTest, MatMulIntoRejectsAliasedOutput) {
+  Matrix a(2, 2), b(2, 2);
+  EXPECT_DEATH(MatMulInto(a, b, &a), "CHECK failed");
 }
 
 }  // namespace

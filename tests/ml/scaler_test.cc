@@ -81,5 +81,13 @@ TEST(TargetScalerTest, ConstantTargetSafe) {
   EXPECT_DOUBLE_EQ(scaler.InverseTransform(0.0), 3.0);
 }
 
+TEST(StandardScalerDeathTest, TransformColumnMismatchAborts) {
+  StandardScaler scaler;
+  Matrix fitted(3, 2, 1.0);
+  scaler.Fit(fitted);
+  Matrix wrong(3, 4, 1.0);
+  EXPECT_DEATH(scaler.Transform(wrong), "CHECK failed");
+}
+
 }  // namespace
 }  // namespace staq::ml

@@ -10,10 +10,18 @@
 //                         (bucket queue, route-break scans, bound-aware
 //                         pruning)
 //   batched             — RouteMany per departure group on the optimized
-//                         search + cached access stops (the production
-//                         configuration)
-// plus the thread-pooled variant of the batched engine. Labels are checked
-// bit-identical across configurations before any number is reported.
+//                         search + cached access stops
+//   csa batched         — RouteMany per departure group on the Connection
+//                         Scan engine over the shared connection array
+//   csa profile         — ONE window scan per zone: every departure group
+//                         is a lane of the same connection sweep (the
+//                         production configuration)
+// plus the thread-pooled variants of the batched and profile engines.
+// Labels are checked bit-identical across configurations before any number
+// is reported, and the binary exits non-zero unless the CSA profile engine
+// clears the speedup floor over the seed baseline — the regression gate
+// for the routing core. The issue's 10x design target is reported
+// alongside (see kCsaTargetSpeedup).
 //
 // Output: paper-style table on stdout and a machine-readable
 // BENCH_labeling.json in STAQ_BENCH_OUT.
@@ -26,14 +34,30 @@
 #include "core/labeling.h"
 #include "core/parallel_labeling.h"
 #include "core/todam.h"
+#include "router/connections.h"
 #include "router/router.h"
 #include "util/stopwatch.h"
 
 namespace staq::bench {
 namespace {
 
+/// Regression floor: the serial CSA profile engine must beat the seed
+/// per-trip baseline by at least this factor or the bench exits non-zero.
+/// Set below the ~4.3x the engine holds on the 1-core reference box (with
+/// headroom for machine noise) so a regression of the achieved win fails
+/// loudly; the design target below is reported separately.
+constexpr double kCsaSpeedupFloor = 3.0;
+
+/// The issue's design target for cold builds. Not met serially on the
+/// 1-core reference machine — the remaining scan is memory-bandwidth-bound
+/// at ~1 label write per (live lane, stop) — so it is reported in the JSON
+/// (`csa_target_speedup` / `target_met`) rather than enforced. The pooled
+/// profile configuration is expected to clear it on multicore hardware.
+constexpr double kCsaTargetSpeedup = 10.0;
+
 struct ModeResult {
   std::string name;
+  std::string engine;  // "label_correcting" | "csa"
   double seconds = 0.0;
   uint64_t spqs = 0;
   uint64_t expansions = 0;
@@ -71,12 +95,25 @@ int Run() {
               zones.size(), pois.size(),
               static_cast<unsigned long long>(todam.num_trips()));
 
+  // The connection array is timetable-derived and shared by every CSA mode
+  // below (and by every worker of the pooled runs), so its build is timed
+  // once here and reported separately from the scans.
+  auto connections =
+      router::ConnectionArray::EnsureFor(nullptr, &city.feed);
+  std::printf("  connection array: %zu connections, built in %.3fs\n",
+              connections->num_connections(), connections->build_seconds());
+  router::RouterOptions csa_opts;
+  csa_opts.engine = router::RoutingEngine::kCsa;
+  csa_opts.connections = connections;
+
   auto run_serial = [&](const char* name, router::RouterOptions opts,
                         core::LabelingMode mode) {
     router::Router router(&city.feed, opts);
     core::LabelingEngine engine(&city, &router, {}, mode);
     ModeResult r;
     r.name = name;
+    r.engine = opts.engine == router::RoutingEngine::kCsa ? "csa"
+                                                          : "label_correcting";
     util::Stopwatch watch;
     r.labels = engine.LabelZones(todam, zones, pois,
                                  core::CostKind::kJourneyTime,
@@ -100,21 +137,29 @@ int Run() {
   results.push_back(run_serial("per-trip+pruning", {},
                                core::LabelingMode::kPerTrip));
   results.push_back(run_serial("batched", {}, core::LabelingMode::kBatched));
+  results.push_back(
+      run_serial("csa batched", csa_opts, core::LabelingMode::kBatched));
+  results.push_back(
+      run_serial("csa profile", csa_opts, core::LabelingMode::kProfile));
 
-  {
-    // Thread-pooled batched engine (worker count = hardware concurrency).
-    int threads =
-        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  int threads =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  auto run_pooled = [&](const std::string& name, router::RouterOptions opts,
+                        core::LabelingMode mode) {
     ModeResult r;
-    r.name = "batched+pool(" + std::to_string(threads) + ")";
+    r.name = name + "+pool(" + std::to_string(threads) + ")";
+    r.engine = opts.engine == router::RoutingEngine::kCsa ? "csa"
+                                                          : "label_correcting";
     util::Stopwatch watch;
     r.labels = core::LabelZonesParallel(
         city, todam, zones, pois, core::CostKind::kJourneyTime,
-        gtfs::Day::kTuesday, threads, {}, {}, &r.spqs,
-        core::LabelingMode::kBatched);
+        gtfs::Day::kTuesday, threads, opts, {}, &r.spqs, mode);
     r.seconds = watch.ElapsedSeconds();
-    results.push_back(std::move(r));
-  }
+    return r;
+  };
+  results.push_back(run_pooled("batched", {}, core::LabelingMode::kBatched));
+  results.push_back(
+      run_pooled("csa profile", csa_opts, core::LabelingMode::kProfile));
 
   // Equivalence gate: a throughput number for a mode that changes results
   // would be meaningless.
@@ -128,16 +173,31 @@ int Run() {
   std::printf("  all modes bit-identical to '%s'\n\n",
               results[0].name.c_str());
 
-  std::printf("  %-20s %9s %10s %10s %12s %8s\n", "mode", "seconds",
-              "zones/s", "SPQs/s", "expansions", "speedup");
+  std::printf("  %-22s %-17s %9s %10s %10s %12s %8s\n", "mode", "engine",
+              "seconds", "zones/s", "SPQs/s", "expansions", "speedup");
   for (const ModeResult& r : results) {
     double zps = static_cast<double>(zones.size()) / r.seconds;
     double sps = static_cast<double>(r.spqs) / r.seconds;
     double speedup = results[0].seconds / r.seconds;
-    std::printf("  %-20s %9.3f %10.1f %10.0f %12llu %7.2fx\n",
-                r.name.c_str(), r.seconds, zps, sps,
+    std::printf("  %-22s %-17s %9.3f %10.1f %10.0f %12llu %7.2fx\n",
+                r.name.c_str(), r.engine.c_str(), r.seconds, zps, sps,
                 static_cast<unsigned long long>(r.expansions), speedup);
   }
+
+  // Regression gate: the serial window-scan engine (connection-array build
+  // time included — that is the true cold-build cost) must hold the floor.
+  double csa_total = connections->build_seconds();
+  for (const ModeResult& r : results) {
+    if (r.name == "csa profile") csa_total += r.seconds;
+  }
+  double csa_speedup = results[0].seconds / csa_total;
+  bool gate_passed = csa_speedup >= kCsaSpeedupFloor;
+  bool target_met = csa_speedup >= kCsaTargetSpeedup;
+  std::printf("\n  gate: csa profile %.2fx vs seed (incl. %.3fs array build, "
+              "floor %.0fx) -> %s  [design target %.0fx: %s]\n",
+              csa_speedup, connections->build_seconds(), kCsaSpeedupFloor,
+              gate_passed ? "PASS" : "FAIL", kCsaTargetSpeedup,
+              target_met ? "met" : "not met serially");
 
   std::string path = OutDir() + "/BENCH_labeling.json";
   FILE* f = std::fopen(path.c_str(), "w");
@@ -155,15 +215,19 @@ int Run() {
   std::fprintf(f, "  \"zones\": %zu,\n", zones.size());
   std::fprintf(f, "  \"trips\": %llu,\n",
                static_cast<unsigned long long>(todam.num_trips()));
+  std::fprintf(f, "  \"connections\": %zu,\n", connections->num_connections());
+  std::fprintf(f, "  \"connections_build_seconds\": %.6f,\n",
+               connections->build_seconds());
   std::fprintf(f, "  \"modes\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const ModeResult& r = results[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"seconds\": %.6f, "
+                 "    {\"name\": \"%s\", \"engine\": \"%s\", "
+                 "\"seconds\": %.6f, "
                  "\"zones_per_s\": %.3f, \"spqs_per_s\": %.1f, "
                  "\"spqs\": %llu, \"expansions\": %llu, "
                  "\"speedup_vs_baseline\": %.4f}%s\n",
-                 r.name.c_str(), r.seconds,
+                 r.name.c_str(), r.engine.c_str(), r.seconds,
                  static_cast<double>(zones.size()) / r.seconds,
                  static_cast<double>(r.spqs) / r.seconds,
                  static_cast<unsigned long long>(r.spqs),
@@ -172,11 +236,16 @@ int Run() {
                  i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"csa_speedup_floor\": %.1f,\n", kCsaSpeedupFloor);
+  std::fprintf(f, "  \"csa_target_speedup\": %.1f,\n", kCsaTargetSpeedup);
+  std::fprintf(f, "  \"csa_profile_speedup\": %.4f,\n", csa_speedup);
+  std::fprintf(f, "  \"gate_passed\": %s,\n", gate_passed ? "true" : "false");
+  std::fprintf(f, "  \"target_met\": %s,\n", target_met ? "true" : "false");
   std::fprintf(f, "  \"bit_identical\": true\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("  -> wrote %s\n", path.c_str());
-  return 0;
+  return gate_passed ? 0 : 1;
 }
 
 }  // namespace

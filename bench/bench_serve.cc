@@ -22,11 +22,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
+#include "router/connections.h"
 #include "serve/server.h"
 #include "util/stopwatch.h"
 
@@ -126,12 +128,35 @@ int Run() {
 
   serve::AqServer::Options options;
   options.num_threads = std::max(2u, std::thread::hardware_concurrency());
+  // STAQ_SERVE_ENGINE=label_correcting runs the identical workload on the
+  // pre-CSA engine — the apples-to-apples baseline for the cold/mutation
+  // means reported by the default (csa) run.
+  if (const char* env = std::getenv("STAQ_SERVE_ENGINE");
+      env != nullptr && std::string(env) == "label_correcting") {
+    options.scenario.router = router::RouterOptions{};
+  }
   serve::AqServer server(std::move(city), gtfs::WeekdayAmPeak(), options);
+  const router::RouterOptions& router_opts = server.router_options();
+  const char* engine_name =
+      router_opts.engine == router::RoutingEngine::kCsa ? "csa"
+                                                        : "label_correcting";
+  const double connections_build_s =
+      router_opts.connections ? router_opts.connections->build_seconds() : 0.0;
   std::printf("  city=%s  zones=%zu  pois=%zu  workers=%zu\n", spec.name.c_str(),
               num_zones, server.base_city().pois.size(), server.num_threads());
+  std::printf("  engine=%s", engine_name);
+  if (router_opts.connections) {
+    std::printf("  connection array: %zu connections, built in %.3fs",
+                router_opts.connections->num_connections(),
+                connections_build_s);
+  }
+  std::printf("\n");
 
-  // The request mix: one exact query per category plus one SSR query —
-  // the analytical dashboard workload the cache is built for.
+  // The request mix: one exact query per category, an exact re-sample of
+  // the first category under a different TODAM seed (a distinct label
+  // state, so cold pays a second full labeling), and two SSR queries at
+  // different budgets/models — the analytical dashboard workload the cache
+  // is built for.
   std::vector<serve::AqRequest> mix;
   for (synth::PoiCategory category : PaperCategories()) {
     serve::AqRequest request;
@@ -142,10 +167,18 @@ int Run() {
     mix.push_back(request);
   }
   {
+    serve::AqRequest reseed = mix.front();
+    reseed.options.seed = BenchSeed() + 1;
+    mix.push_back(reseed);
+  }
+  {
     serve::AqRequest ssr = mix.front();
     ssr.options.exact = false;
     ssr.options.beta = 0.07;
     ssr.options.model = ml::ModelKind::kOls;
+    mix.push_back(ssr);
+    ssr.options.beta = 0.10;
+    ssr.options.model = ml::ModelKind::kCoreg;
     mix.push_back(ssr);
   }
 
@@ -218,7 +251,7 @@ int Run() {
   const geo::BBox& extent = server.base_city().extent;
   const geo::Point corner{extent.min_x, extent.min_y};
   const serve::AqRequest& mutated_request = mix.front();  // kSchool, exact
-  const int kEdits = 3;  // add/remove round-trips
+  const int kEdits = 4;  // add/remove round-trips
 
   std::vector<serve::ScenarioStore::MutationReport> reports;
   std::vector<double> incremental_ms;
@@ -337,6 +370,13 @@ int Run() {
   std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
   std::fprintf(f, "  \"workers\": %zu,\n", server.num_threads());
   std::fprintf(f, "  \"clients\": %zu,\n", kClients);
+  std::fprintf(f, "  \"engine\": \"%s\",\n", engine_name);
+  std::fprintf(f, "  \"connections\": %zu,\n",
+               router_opts.connections
+                   ? router_opts.connections->num_connections()
+                   : 0);
+  std::fprintf(f, "  \"connections_build_seconds\": %.6f,\n",
+               connections_build_s);
   std::fprintf(f, "  \"bit_identical\": true,\n");
   std::fprintf(f, "  \"phases\": [\n");
   phase_json("cold", cold, ",");

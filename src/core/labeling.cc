@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace staq::core {
 
 const char* CostKindName(CostKind kind) {
@@ -47,9 +49,19 @@ const std::vector<router::WalkHop>& LabelingEngine::CachedAccessStops(
 ZoneLabel LabelingEngine::LabelZone(const Todam& todam, uint32_t zone,
                                     const std::vector<synth::Poi>& pois,
                                     CostKind kind, gtfs::Day day) {
-  return mode_ == LabelingMode::kBatched
-             ? LabelZoneBatched(todam, zone, pois, kind, day)
-             : LabelZonePerTrip(todam, zone, pois, kind, day);
+  LabelingMode mode = mode_;
+  if (mode == LabelingMode::kAuto) {
+    mode = router_->csa() != nullptr ? LabelingMode::kProfile
+                                     : LabelingMode::kBatched;
+  }
+  switch (mode) {
+    case LabelingMode::kPerTrip:
+      return LabelZonePerTrip(todam, zone, pois, kind, day);
+    case LabelingMode::kProfile:
+      return LabelZoneProfile(todam, zone, pois, kind, day);
+    default:
+      return LabelZoneBatched(todam, zone, pois, kind, day);
+  }
 }
 
 ZoneLabel LabelingEngine::LabelZonePerTrip(const Todam& todam, uint32_t zone,
@@ -154,6 +166,129 @@ ZoneLabel LabelingEngine::LabelZoneBatched(const Todam& todam, uint32_t zone,
       trip_flags_[idx] = flags;
     }
     g = g_end;
+  }
+
+  // Accumulate in ORIGINAL trip order so the floating-point sums match the
+  // per-trip path bit for bit.
+  double sum = 0.0, sum_sq = 0.0;
+  uint32_t feasible = 0;
+  for (size_t i = 0; i < trips.size(); ++i) {
+    if (!(trip_flags_[i] & 1)) {
+      ++label.num_infeasible;
+      continue;
+    }
+    if (trip_flags_[i] & 2) ++label.num_walk_only;
+    double cost = trip_cost_[i];
+    sum += cost;
+    sum_sq += cost * cost;
+    ++feasible;
+  }
+
+  if (feasible > 0) {
+    double n = static_cast<double>(feasible);
+    label.mac = sum / n;
+    double var = sum_sq / n - label.mac * label.mac;
+    label.acsd = var > 0 ? std::sqrt(var) : 0.0;
+  }
+  return label;
+}
+
+ZoneLabel LabelingEngine::LabelZoneProfile(const Todam& todam, uint32_t zone,
+                                           const std::vector<synth::Poi>& pois,
+                                           CostKind kind, gtfs::Day day) {
+  router::CsaEngine* csa = router_->csa();
+  STAQ_CHECK(csa != nullptr,
+             "LabelingMode::kProfile requires RoutingEngine::kCsa");
+
+  ZoneLabel label;
+  const std::vector<TripEntry>& trips = todam.TripsFor(zone);
+  label.num_trips = static_cast<uint32_t>(trips.size());
+  spq_count_ += trips.size();
+  if (trips.empty()) return label;
+
+  const geo::Point& origin = city_->zones[zone].centroid;
+  const std::vector<router::WalkHop>& origin_access = CachedAccessStops(zone);
+
+  order_.resize(trips.size());
+  for (uint32_t i = 0; i < trips.size(); ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](uint32_t a, uint32_t b) {
+    return trips[a].depart < trips[b].depart;
+  });
+
+  if (poi_stamp_.size() < pois.size()) {
+    poi_stamp_.resize(pois.size(), 0);
+    poi_slot_.resize(pois.size(), 0);
+  }
+  if (poi_zone_stamp_.size() < pois.size()) {
+    poi_zone_stamp_.resize(pois.size(), 0);
+    poi_zone_slot_.resize(pois.size(), 0);
+  }
+  trip_cost_.resize(trips.size());
+  trip_flags_.resize(trips.size());
+
+  // Every departure group becomes one lane of a single window scan. The
+  // zone's POIs are deduplicated twice: once zone-wide (the unique-target
+  // table every lane indexes into) and once per group (a lane must list
+  // each of its targets exactly once). Lane member/journey lists are flat
+  // slices of two shared arrays; group_slots_ records each trip's flat
+  // journey position.
+  ++zone_stamp_;
+  unique_points_.clear();
+  profile_members_.clear();
+  lane_offsets_.clear();
+  lanes_.clear();
+  group_slots_.clear();
+  size_t g = 0;
+  while (g < order_.size()) {
+    gtfs::TimeOfDay depart = trips[order_[g]].depart;
+    lane_offsets_.push_back(profile_members_.size());
+    router::WindowLane lane;
+    lane.depart = depart;
+    lanes_.push_back(lane);
+    ++group_stamp_;
+    while (g < order_.size() && trips[order_[g]].depart == depart) {
+      uint32_t poi = trips[order_[g]].poi;
+      if (poi_zone_stamp_[poi] != zone_stamp_) {
+        poi_zone_stamp_[poi] = zone_stamp_;
+        poi_zone_slot_[poi] =
+            static_cast<uint32_t>(unique_points_.size());
+        unique_points_.push_back(pois[poi].position);
+      }
+      if (poi_stamp_[poi] != group_stamp_) {
+        poi_stamp_[poi] = group_stamp_;
+        poi_slot_[poi] = static_cast<uint32_t>(profile_members_.size());
+        profile_members_.push_back(poi_zone_slot_[poi]);
+      }
+      group_slots_.push_back(poi_slot_[poi]);
+      ++g;
+    }
+  }
+  lane_offsets_.push_back(profile_members_.size());
+
+  profile_journeys_.resize(profile_members_.size());
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    lanes_[l].targets = profile_members_.data() + lane_offsets_[l];
+    lanes_[l].num_targets = lane_offsets_[l + 1] - lane_offsets_[l];
+    lanes_[l].out = profile_journeys_.data() + lane_offsets_[l];
+  }
+  csa->RouteWindow(origin, unique_points_.data(), unique_points_.size(),
+                   lanes_.data(), lanes_.size(), day, &origin_access);
+  ++expansion_count_;
+
+  for (size_t k = 0; k < order_.size(); ++k) {
+    const router::Journey& journey = profile_journeys_[group_slots_[k]];
+    uint32_t idx = order_[k];
+    uint8_t flags = 0;
+    double cost = 0.0;
+    if (journey.feasible) {
+      flags |= 1;
+      if (journey.IsWalkOnly()) flags |= 2;
+      cost = kind == CostKind::kJourneyTime
+                 ? journey.JourneyTimeSeconds()
+                 : router::GeneralizedAccessCost(journey, gac_weights_);
+    }
+    trip_cost_[idx] = cost;
+    trip_flags_[idx] = flags;
   }
 
   // Accumulate in ORIGINAL trip order so the floating-point sums match the

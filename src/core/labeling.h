@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/todam.h"
+#include "router/csa.h"
 #include "router/router.h"
 #include "synth/city_builder.h"
 
@@ -35,12 +36,20 @@ enum class CostKind {
 
 const char* CostKindName(CostKind kind);
 
-/// How the engine dispatches a zone's SPQs to the router. Both modes give
+/// How the engine dispatches a zone's SPQs to the router. All modes give
 /// bit-identical ZoneLabels; kBatched shares one expansion per departure
-/// group.
+/// group, kProfile shares ONE connection-scan sweep across every departure
+/// group of the zone.
 enum class LabelingMode {
   kBatched,
   kPerTrip,
+  /// One CsaEngine::RouteWindow per zone: every departure group becomes a
+  /// lane of a single profile scan. Requires the bound Router to run
+  /// RoutingEngine::kCsa (checked at labeling time).
+  kProfile,
+  /// Resolves per call: kProfile when the bound Router has a CSA engine,
+  /// kBatched otherwise. The default for the parallel pipeline and serve.
+  kAuto,
 };
 
 /// Zone-level label: the access measures of §III-D restricted to one zone.
@@ -56,10 +65,12 @@ struct ZoneLabel {
 /// engine per thread.
 class LabelingEngine {
  public:
-  /// `city` and `router` must outlive the engine.
+  /// `city` and `router` must outlive the engine. The default kAuto mode
+  /// follows the router's engine: window scans when it runs CSA, batched
+  /// expansions otherwise.
   LabelingEngine(const synth::City* city, router::Router* router,
                  router::GacWeights gac_weights = {},
-                 LabelingMode mode = LabelingMode::kBatched);
+                 LabelingMode mode = LabelingMode::kAuto);
 
   /// Labels one zone: resolves every trip of `zone` in `todam` against the
   /// given POI set and aggregates `kind` costs. Infeasible trips are
@@ -104,7 +115,8 @@ class LabelingEngine {
   uint64_t spq_count() const { return spq_count_; }
 
   /// Router expansions actually dispatched. Equals spq_count() in kPerTrip
-  /// mode; in kBatched mode each departure group costs one expansion.
+  /// mode; in kBatched mode each departure group costs one expansion; in
+  /// kProfile mode each zone costs one window scan.
   uint64_t expansion_count() const { return expansion_count_; }
 
  private:
@@ -112,6 +124,9 @@ class LabelingEngine {
                              const std::vector<synth::Poi>& pois,
                              CostKind kind, gtfs::Day day);
   ZoneLabel LabelZoneBatched(const Todam& todam, uint32_t zone,
+                             const std::vector<synth::Poi>& pois,
+                             CostKind kind, gtfs::Day day);
+  ZoneLabel LabelZoneProfile(const Todam& todam, uint32_t zone,
                              const std::vector<synth::Poi>& pois,
                              CostKind kind, gtfs::Day day);
 
@@ -143,6 +158,19 @@ class LabelingEngine {
   std::vector<double> trip_cost_;        // per original trip index
   std::vector<uint8_t> trip_flags_;      // bit0 feasible, bit1 walk-only
   std::vector<geo::Neighbor> neighbor_scratch_;
+
+  // Profile-mode scratch: the zone's POIs deduplicated once across every
+  // departure group (poi_zone_* stamps, like the per-group poi_* pair), one
+  // WindowLane per group, and the lanes' target/journey lists stored flat
+  // so lane pointers index into two shared arrays.
+  std::vector<uint64_t> poi_zone_stamp_;
+  std::vector<uint32_t> poi_zone_slot_;
+  uint64_t zone_stamp_ = 0;
+  std::vector<geo::Point> unique_points_;       // zone-unique POI positions
+  std::vector<uint32_t> profile_members_;       // per-lane unique-target ids
+  std::vector<router::Journey> profile_journeys_;
+  std::vector<size_t> lane_offsets_;            // lane -> profile_members_ pos
+  std::vector<router::WindowLane> lanes_;
 };
 
 }  // namespace staq::core

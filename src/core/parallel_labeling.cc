@@ -4,6 +4,7 @@
 #include <atomic>
 #include <future>
 
+#include "router/connections.h"
 #include "util/thread_pool.h"
 
 namespace staq::core {
@@ -14,8 +15,18 @@ std::vector<ZoneLabel> LabelZonesParallel(
     CostKind kind, gtfs::Day day, int num_threads,
     const router::RouterOptions& router_options,
     router::GacWeights gac_weights, uint64_t* total_spqs, LabelingMode mode) {
+  // Build (or adopt) the connection array once, outside the workers: each
+  // per-worker Router then shares the immutable array instead of rebuilding
+  // it num_threads times.
+  router::RouterOptions options = router_options;
+  if (options.engine == router::RoutingEngine::kCsa) {
+    options.connections =
+        router::ConnectionArray::EnsureFor(options.connections, &city.feed);
+  }
+  const router::RouterOptions& router_options_shared = options;
+
   if (num_threads <= 1 || zones.size() <= 1) {
-    router::Router router(&city.feed, router_options);
+    router::Router router(&city.feed, router_options_shared);
     LabelingEngine engine(&city, &router, gac_weights, mode);
     auto labels = engine.LabelZones(todam, zones, pois, kind, day);
     if (total_spqs != nullptr) *total_spqs = engine.spq_count();
@@ -30,7 +41,7 @@ std::vector<ZoneLabel> LabelZonesParallel(
 
   auto work = [&]() {
     // Per-worker router: scratch space is instance-local.
-    router::Router router(&city.feed, router_options);
+    router::Router router(&city.feed, router_options_shared);
     LabelingEngine engine(&city, &router, gac_weights, mode);
     while (true) {
       size_t i = next_index.fetch_add(1);

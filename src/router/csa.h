@@ -1,0 +1,264 @@
+// Connection Scan engine (CSA) over a preprocessed ConnectionArray.
+//
+// Answers the same one-to-many earliest-arrival queries as the
+// label-correcting Router, but by one linear sweep over the day's
+// time-sorted connections instead of a priority-queue search: a connection
+// (dep_stop, arr_stop, τ_dep, τ_arr, trip) relaxes arr_stop when its trip
+// was already boarded or when dep_stop was reached by τ_dep within the
+// boarding-wait budget. Footpaths are closed eagerly on every arrival
+// improvement and egress targets are settled at write time, which makes the
+// final per-target bests — journey times, feasibility, and therefore every
+// MAC/ACSD aggregate — exactly equal to the Router's (the golden
+// equivalence suite pins this). Equal-cost journeys may decompose into
+// different legs than the Router's, exactly like the Router's own
+// heap-vs-bucket tie-breaks; see DESIGN.md §11 for the equivalence
+// contract.
+//
+// The profile (window) entry point is what the labeling hot path uses: all
+// departure times of one TODAM rate window are answered with ONE sweep.
+// Each distinct departure is a *lane* — an independent replica of the
+// single-query scan state — and every connection is offered to the lanes
+// active at its departure time. Lanes activate when the sweep reaches their
+// earliest seeded arrival and retire (finalising their journeys) as soon as
+// no later connection can improve them, so the number of live lanes tracks
+// the spread of unfinished searches, not the window length. Per-lane
+// results are bit-identical to running that departure's scan alone — lanes
+// share only the connection decode, the origin's access stops, and the
+// zone-level egress table.
+//
+// Lane state is stored structure-of-arrays, lane-major per stop and per
+// trip: a connection's boarding test reads two contiguous rows
+// (trip_time_[trip][*] and arr_[dep_stop][*]) instead of chasing one
+// ~50KB private state block per lane, and a branch-free pre-filter walks
+// those rows to find the (rare) lanes that actually board or improve. The
+// slow path then replays the exact single-lane logic, so the layout is
+// invisible in the results.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "router/connections.h"
+#include "router/cost.h"
+#include "router/router.h"
+#include "router/walk_table.h"
+
+namespace staq::router {
+
+/// One departure of a window (profile) query: a departure time plus the
+/// subset of the call's unique targets it must answer. `targets` holds
+/// indices into the unique-target array passed alongside; `out` receives
+/// one journey per entry, in the same order.
+struct WindowLane {
+  gtfs::TimeOfDay depart = 0;
+  const uint32_t* targets = nullptr;
+  size_t num_targets = 0;
+  Journey* out = nullptr;
+};
+
+/// Connection Scan engine over one feed. Holds per-query scratch (epoch
+/// versioned, like Router), so one instance per thread; the ConnectionArray
+/// it scans is immutable and shared across threads. Construct via a Router
+/// with RoutingEngine::kCsa — the Router owns the engine and dispatches to
+/// it, keeping one walk table and one options set between the two.
+class CsaEngine {
+ public:
+  /// `feed`, `connections` (built from `feed`) and `walk_table` must
+  /// outlive the engine. Options are validated by the owning Router.
+  CsaEngine(const gtfs::Feed* feed, const RouterOptions& options,
+            std::shared_ptr<const ConnectionArray> connections,
+            const WalkTable* walk_table);
+
+  const ConnectionArray& connections() const { return *connections_; }
+
+  /// One-to-many earliest arrival; same contract as Router::RouteMany.
+  void RouteMany(const geo::Point& origin, const geo::Point* targets,
+                 size_t num_targets, gtfs::Day day, gtfs::TimeOfDay depart,
+                 Journey* out,
+                 const std::vector<WalkHop>* origin_access = nullptr);
+
+  /// Profile query: answers every lane of one rate window with a single
+  /// sweep. `unique_targets` is the deduplicated target table the lanes
+  /// index into; each lane's journeys are bit-identical to a RouteMany call
+  /// for (origin, its targets, its depart). `origin_access`, when non-null,
+  /// must equal AccessStops(origin).
+  void RouteWindow(const geo::Point& origin, const geo::Point* unique_targets,
+                   size_t num_unique, const WindowLane* lanes,
+                   size_t num_lanes, gtfs::Day day,
+                   const std::vector<WalkHop>* origin_access = nullptr);
+
+ private:
+  /// Per-stop search label; mirrors Router::Label field for field so the
+  /// reconstruction (and its tie behaviour) is the same code shape.
+  struct Label {
+    enum class Kind : uint8_t { kNone, kAccess, kRide, kTransfer };
+    gtfs::TimeOfDay arrival = 0;
+    Kind kind = Kind::kNone;
+    uint32_t pred_stop = gtfs::kInvalidId;
+    gtfs::TripId trip = gtfs::kInvalidId;
+    gtfs::TimeOfDay board_time = 0;
+    float walk_s = 0;
+  };
+
+  /// One merged egress candidate (stop -> (unique target, walk)), chained
+  /// through `next` into per-stop lists headed by egress_head_.
+  struct EgressEntry {
+    double walk_s = 0.0;
+    uint32_t target = 0;
+    int32_t next = -1;
+  };
+
+  /// One footpath/seed hop with the rounded-seconds integer the scan adds
+  /// and the float the journey leg records — both precomputed so the hot
+  /// closure loop never calls lround.
+  struct IntHop {
+    uint32_t stop = 0;
+    gtfs::TimeOfDay walk = 0;  // lround(walk_s)
+    float walk_f = 0.0f;
+  };
+
+  gtfs::TimeOfDay RelaxLimit(double worst_total, gtfs::TimeOfDay depart,
+                             gtfs::TimeOfDay latest_arrival) const;
+  /// Builds lb_to_, the admissible stop→stop lower-bound matrix behind
+  /// target-directed write pruning (see Prunable). Runs once per engine,
+  /// lazily on the first window call; skipped (pruning stays off) above a
+  /// stop-count cap where the cubic min-plus closure would not pay off.
+  void EnsureBounds();
+  /// True when a label write (stop, at) in lane `col` provably cannot
+  /// change any output: for every target of the lane, the write's journey
+  /// time plus the admissible remaining-time bound already reaches the
+  /// target's current best. Bit-exact: bests only decrease (the bound
+  /// only tightens), ties don't write (strict improvement), and every
+  /// prefix of an eventually-winning journey strictly beats the best of
+  /// its time, so winning chains are never pruned.
+  bool Prunable(size_t col, uint32_t stop, gtfs::TimeOfDay at) const;
+  /// Grows the lane-major arrays to hold `num_lanes` columns. Grow-only:
+  /// retired columns are wiped back to kNever, so rows stay clean across
+  /// calls as long as the stride never changes under them.
+  void EnsureLaneCapacity(size_t num_lanes);
+  /// Recomputes a lane's pruning state from its own targets' bests.
+  void UpdateWorst(size_t col);
+  /// Relaxes egress candidates and closes footpaths after `stop` improved
+  /// to `arrival` in lane `col`. Recursive over transfer chains (strict
+  /// improvement bounds the depth).
+  void Improve(size_t col, uint32_t stop, gtfs::TimeOfDay arrival);
+  /// Seeds a lane's access stops; called when the sweep reaches the lane's
+  /// first possible arrival. Returns false when the lane is already decided
+  /// at birth — every target provably transit-unreachable — and only needs
+  /// Finalize; it must then never join the live range.
+  bool Activate(size_t col);
+  /// Writes the lane's journeys (reconstruct / pure walk / infeasible).
+  void Finalize(size_t col);
+  /// Wipes the lane's stop/trip rows back to kNever (touched/boarded lists
+  /// record exactly what was written). Must follow Finalize.
+  void ClearColumn(size_t col);
+  Journey Reconstruct(size_t col, gtfs::TimeOfDay depart, uint32_t egress_stop,
+                      double egress_walk_s) const;
+
+  const gtfs::Feed* feed_;
+  const RouterOptions& options_;
+  std::shared_ptr<const ConnectionArray> connections_;
+  const WalkTable* walk_table_;
+  gtfs::TimeOfDay wait_cap_;  // max_boarding_wait_s, truncated like Router
+
+  // Shared per-call state (one window = one call epoch): merged egress map
+  // over unique targets + direct-walk baselines.
+  uint32_t call_epoch_ = 0;
+  std::vector<uint32_t> egress_epoch_;
+  std::vector<int32_t> egress_head_;
+  std::vector<EgressEntry> egress_pool_;
+  std::vector<double> direct_walk_;
+
+  // Transfer footpaths in CSR form with precomputed integer walk seconds
+  // (built once in the constructor from the walk table).
+  std::vector<IntHop> transfer_hops_;
+  std::vector<uint32_t> transfer_offset_;  // num_stops + 1 entries
+
+  // Origin access hops of the in-flight call (seeds for every lane),
+  // with the same precomputed integer/float walk pair.
+  std::vector<IntHop> access_int_;
+
+  // --- Lane-major scan state. Column = the lane's activation rank within
+  // the in-flight call; stride = lane_stride_ (grow-only). arr_ duplicates
+  // meta_'s arrival so the hot pre-filter touches 4-byte rows only; meta_
+  // entries are valid exactly where arr_ != kNever.
+  size_t lane_stride_ = 0;
+  std::vector<gtfs::TimeOfDay> arr_;        // [stop * stride + col]
+  std::vector<Label> meta_;                 // [stop * stride + col]
+  std::vector<gtfs::TimeOfDay> trip_time_;  // board time; kNever = not riding
+  std::vector<uint32_t> trip_stop_;         // board stop, valid while riding
+  std::vector<std::vector<uint32_t>> touched_;  // per col: stops written
+  std::vector<std::vector<uint32_t>> boarded_;  // per col: trips boarded
+
+  // Per-column lane scalars.
+  std::vector<const WindowLane*> col_def_;
+  std::vector<gtfs::TimeOfDay> col_latest_;
+  std::vector<double> col_worst_;
+  std::vector<gtfs::TimeOfDay> col_relax_;
+  std::vector<double> col_retire_;  // min(depart + worst, latest + 1)
+  std::vector<uint8_t> col_retired_;
+  /// Earliest col_retire_ among live lanes: the sweep only runs its
+  /// retirement pass when tau reaches it. Retiring late is result-neutral
+  /// (relax_limit already blocks every write past the bound).
+  double next_retire_ = 0.0;
+  size_t active_count_ = 0;
+
+  // Per-(col, unique target) bests, stride u_stride_ = the call's unique
+  // count. Foreign targets (not in the lane's subset) hold -inf so shared
+  // egress entries can never improve them.
+  size_t u_stride_ = 0;
+  std::vector<double> best_total_;
+  std::vector<double> best_walk_;
+  std::vector<uint32_t> best_stop_;
+
+  // Connection-skip summaries: a connection is offered to lanes only when
+  // some live lane could possibly use it. min_arr_[stop] lower-bounds every
+  // live lane's arrival at the stop (stale-low after retires — only ever
+  // conservative); riding_cnt_[trip] counts lanes currently riding;
+  // max_relax_ upper-bounds every live lane's relax limit.
+  std::vector<gtfs::TimeOfDay> min_arr_;
+  std::vector<uint16_t> riding_cnt_;
+  gtfs::TimeOfDay max_relax_ = 0;
+
+  // Target-directed write pruning (output-exact, A*-style). lb_to_[e*S+s]
+  // lower-bounds any in-network continuation s→e: min-plus closure over
+  // per-pair minimum ride times (waits and dwells dropped) and the exact
+  // integer footpath costs the scan itself adds. target_lb_[u*S+s] is the
+  // per-call refinement min over the target's egress stops e of
+  // lb_to_[e][s] + floor(egress walk) — a lower bound on the journey time
+  // still ahead of a label at s bound for unique target u.
+  bool bounds_built_ = false;
+  bool prune_ = false;  // this call has target_lb_ (lb_to_ built, non-empty)
+  std::vector<int32_t> lb_to_;      // [egress stop * num_stops + stop]
+  std::vector<int32_t> target_lb_;  // [unique target * num_stops + stop]
+  // Per-call derived bounds. min_tlb_[u] = min over stops of target_lb_:
+  // every journey settled from sweep time tau onward costs at least
+  // (tau - depart) + min_tlb_[u], which retires lanes earlier than the
+  // plain depart + best schedule. acc_lb_[u] >= kFar proves target u has
+  // no transit path from ANY of the origin's access stops — a lane whose
+  // targets are all such is finalised at activation (walk-only /
+  // infeasible) and never joins the live range at all.
+  std::vector<int32_t> min_tlb_;  // [unique target]
+  std::vector<int32_t> acc_lb_;   // [unique target]
+  // Retirement variant of col_worst_: max over the lane's targets of
+  // best[u] - min_tlb_[u]. Unreachable targets drop out entirely (their
+  // best can never change). col_worst_ itself must stay the plain max —
+  // it bounds which *writes* can still matter (relax limits), where the
+  // per-stop slack is already charged by Prunable.
+  std::vector<double> col_worst_ret_;
+
+  // Activation-order scratch, the pre-filter's byte flags and hit list,
+  // and the identity-target scratch for RouteMany.
+  std::vector<uint32_t> lane_order_;
+  std::vector<uint8_t> flags_;
+  std::vector<uint32_t> slow_cols_;
+  std::vector<uint32_t> identity_targets_;
+
+  // Walk-lookup reuse buffers.
+  std::vector<WalkHop> access_scratch_;
+  std::vector<WalkHop> egress_scratch_;
+  std::vector<geo::Neighbor> neighbor_scratch_;
+};
+
+}  // namespace staq::router

@@ -5,6 +5,10 @@
 #include <cmath>
 #include <limits>
 
+#include "router/connections.h"
+#include "router/csa.h"
+#include "util/check.h"
+
 namespace staq::router {
 
 namespace {
@@ -17,6 +21,26 @@ constexpr int kDepCellShift = 6;
 
 Router::Router(const gtfs::Feed* feed, RouterOptions options)
     : feed_(feed), options_(options), walk_table_(feed, options.walk) {
+  // A non-positive budget would not fail — it would make every search come
+  // back empty (no boarding window, no reachable stop), which reads as
+  // "nothing is accessible" instead of "the options are wrong".
+  STAQ_CHECK(options_.horizon_s > 0, "horizon_s must be positive");
+  STAQ_CHECK(options_.max_boarding_wait_s > 0,
+             "max_boarding_wait_s must be positive");
+  STAQ_CHECK(options_.walk.speed_mps > 0, "walk speed must be positive");
+  STAQ_CHECK(options_.walk.detour_factor > 0,
+             "walk detour factor must be positive");
+  STAQ_CHECK(options_.walk.max_access_walk_s > 0,
+             "access walk budget must be positive");
+  STAQ_CHECK(options_.walk.max_transfer_walk_s > 0,
+             "transfer walk budget must be positive");
+
+  if (options_.engine == RoutingEngine::kCsa) {
+    connections_ = ConnectionArray::EnsureFor(options_.connections, feed_);
+    csa_ = std::make_unique<CsaEngine>(feed_, options_, connections_,
+                                       &walk_table_);
+  }
+
   stop_epoch_.assign(feed_->num_stops(), 0);
   labels_.resize(feed_->num_stops());
   trip_epoch_.assign(feed_->num_trips(), 0);
@@ -29,23 +53,31 @@ Router::Router(const gtfs::Feed* feed, RouterOptions options)
   buckets_.resize(num_buckets);
   bucket_epoch_.assign(num_buckets, 0);
 
-  // Distinct routes per stop. The boarding scan needs at most one departure
-  // per route (FIFO timetables), so it can stop as soon as every route
-  // serving the stop has been claimed — on typical feeds most stops serve
-  // a single route, which turns an hour-long departure scan into one hit.
-  stop_route_count_.assign(feed_->num_stops(), 0);
+  // Distinct lines per stop, where a line is (route, next stop): the FIFO
+  // claim only holds among trips of one route heading the same way, and a
+  // route's two directions commonly share a RouteId, so keying on the route
+  // alone would let an already-ridden outbound trip block boarding the
+  // inbound one. The boarding scan needs at most one departure per line, so
+  // it can stop as soon as every line serving the stop has been claimed —
+  // on typical feeds most stops serve a single line per direction, which
+  // turns an hour-long departure scan into a handful of hits.
+  stop_line_count_.assign(feed_->num_stops(), 0);
   gtfs::TimeOfDay last_dep = 0;
-  std::vector<gtfs::RouteId> routes;
+  std::vector<uint64_t> lines;
   for (uint32_t s = 0; s < feed_->num_stops(); ++s) {
-    routes.clear();
+    lines.clear();
     for (const gtfs::Departure& d : feed_->departures(s)) {
-      gtfs::RouteId r = feed_->trip(d.trip).route;
-      if (std::find(routes.begin(), routes.end(), r) == routes.end()) {
-        routes.push_back(r);
-      }
       last_dep = std::max(last_dep, d.time);
+      const gtfs::Trip& t = feed_->trip(d.trip);
+      if (d.stop_time_index + 1 >= t.first_stop_time + t.num_stop_times) {
+        continue;  // final call: never boardable, claims no line
+      }
+      uint64_t line = LineKey(t.route, d.stop_time_index);
+      if (std::find(lines.begin(), lines.end(), line) == lines.end()) {
+        lines.push_back(line);
+      }
     }
-    stop_route_count_[s] = static_cast<uint32_t>(routes.size());
+    stop_line_count_[s] = static_cast<uint32_t>(lines.size());
   }
 
   // Coarse per-stop departure index: cell c of stop s holds the index of
@@ -66,6 +98,8 @@ Router::Router(const gtfs::Feed* feed, RouterOptions options)
     }
   }
 }
+
+Router::~Router() = default;
 
 void Router::PushQueue(gtfs::TimeOfDay at, uint32_t stop) {
   if (!options_.bucket_queue) {
@@ -166,8 +200,11 @@ void Router::SettleStop(uint32_t stop, gtfs::TimeOfDay now, gtfs::Day day,
     }
   }
 
-  // Boarding scan: first departure per distinct route at or after `now`.
-  seen_routes_scratch_.clear();
+  // Boarding scan: first departure per distinct line — (route, next stop),
+  // see the ctor — at or after `now`. Claiming per line rather than per
+  // route matters for correctness: a route's two directions usually share a
+  // RouteId, and only same-direction trips are FIFO-comparable.
+  seen_lines_scratch_.clear();
   const auto& deps = feed_->departures(stop);
   size_t cell = static_cast<size_t>(now) >> kDepCellShift;
   size_t i = cell < dep_cells_ ? dep_index_[stop * dep_cells_ + cell]
@@ -175,20 +212,21 @@ void Router::SettleStop(uint32_t stop, gtfs::TimeOfDay now, gtfs::Day day,
   while (i < deps.size() && deps[i].time < now) ++i;
   gtfs::TimeOfDay scan_limit =
       now + static_cast<gtfs::TimeOfDay>(options_.max_boarding_wait_s);
-  const size_t route_count =
-      options_.boarding_route_break ? stop_route_count_[stop] : SIZE_MAX;
+  const size_t line_count =
+      options_.boarding_route_break ? stop_line_count_[stop] : SIZE_MAX;
   for (; i < deps.size() && deps[i].time <= scan_limit; ++i) {
-    if (seen_routes_scratch_.size() >= route_count) break;
+    if (seen_lines_scratch_.size() >= line_count) break;
     const gtfs::Departure& dep = deps[i];
     const gtfs::Trip& trip = feed_->trip(dep.trip);
     if (!gtfs::RunsOn(trip.days, day)) continue;
     if (dep.stop_time_index + 1 >= trip.first_stop_time + trip.num_stop_times)
       continue;  // final call
-    if (std::find(seen_routes_scratch_.begin(), seen_routes_scratch_.end(),
-                  trip.route) != seen_routes_scratch_.end()) {
-      continue;  // a FIFO-earlier trip of this route was already boarded
+    uint64_t line = LineKey(trip.route, dep.stop_time_index);
+    if (std::find(seen_lines_scratch_.begin(), seen_lines_scratch_.end(),
+                  line) != seen_lines_scratch_.end()) {
+      continue;  // a FIFO-earlier same-direction trip was already boarded
     }
-    seen_routes_scratch_.push_back(trip.route);
+    seen_lines_scratch_.push_back(line);
     RideTrip(dep.trip, dep.stop_time_index, stop, dep.time, relax_limit);
   }
 
@@ -229,6 +267,11 @@ void Router::RouteMany(const geo::Point& origin, const geo::Point* targets,
                        gtfs::TimeOfDay depart, Journey* out,
                        const std::vector<WalkHop>* origin_access) {
   if (num_targets == 0) return;
+  if (csa_ != nullptr) {
+    csa_->RouteMany(origin, targets, num_targets, day, depart, out,
+                    origin_access);
+    return;
+  }
   ++epoch_;
   query_depart_ = depart;
   queue_pending_ = 0;

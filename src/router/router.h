@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "gtfs/feed.h"
@@ -34,6 +35,22 @@
 #include "router/walk_table.h"
 
 namespace staq::router {
+
+class ConnectionArray;
+class CsaEngine;
+
+/// Which engine answers SPQs (see router/csa.h for the contract between
+/// the two).
+enum class RoutingEngine : uint8_t {
+  /// Label-correcting Dijkstra (this file) — the oracle foil.
+  kLabelCorrecting,
+  /// Connection Scan over a preprocessed connection array. Journey times,
+  /// feasibility, and the MAC/ACSD aggregates built from them are
+  /// bit-identical to kLabelCorrecting; equal-cost journeys may decompose
+  /// into different legs (same bounded equivalence as the Router's own
+  /// heap-vs-bucket tie-breaks).
+  kCsa,
+};
 
 /// Router configuration.
 struct RouterOptions {
@@ -52,11 +69,13 @@ struct RouterOptions {
   /// search frontier exactly — kept as the benchmark baseline and as a
   /// verification foil.
   bool bounded_relaxation = true;
-  /// Stop the boarding scan once every distinct route serving the stop has
-  /// claimed its earliest departure (FIFO timetables make later departures
-  /// of a claimed route irrelevant). Skipped iterations can never board, so
-  /// results are unchanged; off reproduces the original scan, which walks
-  /// the full max_boarding_wait_s window — kept for the benchmark baseline.
+  /// Stop the boarding scan once every distinct line — (route, direction),
+  /// keyed by the trip's next stop — serving the stop has claimed its
+  /// earliest departure (FIFO timetables make later same-direction
+  /// departures of a claimed line irrelevant). Skipped iterations can never
+  /// board, so results are unchanged; off reproduces the original scan,
+  /// which walks the full max_boarding_wait_s window — kept for the
+  /// benchmark baseline.
   bool boarding_route_break = true;
   /// Queue discipline. true (default): Dial-style bucket queue — O(1) push,
   /// cursor-scan pop, lazily epoch-reset. false: the original binary heap.
@@ -65,6 +84,16 @@ struct RouterOptions {
   /// relaxations — and therefore the decomposition of some equal-cost
   /// journeys into legs — can differ. Kept for the benchmark baseline.
   bool bucket_queue = true;
+  /// Engine selection. kCsa answers every query via the Connection Scan
+  /// engine (router/csa.h), exposed through Router::csa() for the profile
+  /// (window) entry point the labeling hot path uses.
+  RoutingEngine engine = RoutingEngine::kLabelCorrecting;
+  /// Pre-built connection array to share (kCsa only; must be built from
+  /// the same feed the Router is given). Null = the Router builds its own.
+  /// Passing one array to every per-thread Router amortises the build —
+  /// the array is immutable, so sharing is free — and is how serve keeps
+  /// one array alive across scenario epochs.
+  std::shared_ptr<const ConnectionArray> connections;
 };
 
 /// Earliest-arrival router over one Feed. Reuses internal scratch space
@@ -72,10 +101,24 @@ struct RouterOptions {
 /// safe for concurrent queries — use one Router per thread.
 class Router {
  public:
+  /// Validates `options` with STAQ_CHECK: non-positive horizons, boarding
+  /// waits, or walk budgets would silently turn every query into an empty
+  /// search, so they abort instead.
   Router(const gtfs::Feed* feed, RouterOptions options);
+  ~Router();
+
+  // The CSA engine holds pointers into this Router (walk table, options),
+  // so the instance must stay put.
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
 
   const RouterOptions& options() const { return options_; }
   const WalkTable& walk_table() const { return walk_table_; }
+
+  /// The Connection Scan engine when options().engine == kCsa, else null.
+  /// The labeling hot path uses it directly for window (profile) queries.
+  CsaEngine* csa() { return csa_.get(); }
+  const CsaEngine* csa() const { return csa_.get(); }
 
   /// Answers the SPQ (o, d, t): earliest-arrival journey leaving `origin`
   /// at `depart` on `day`. Returns an infeasible Journey when `dest` cannot
@@ -127,6 +170,16 @@ class Router {
   gtfs::TimeOfDay RelaxLimit(double worst_total, gtfs::TimeOfDay depart,
                              gtfs::TimeOfDay latest_arrival) const;
 
+  /// Identity of a FIFO-comparable line through a stop: the route plus the
+  /// trip's next stop (the direction proxy). Two directions of one route
+  /// usually share a RouteId; only same-direction trips obey the FIFO
+  /// boarding dominance the scan relies on. `stop_time_index` must not be a
+  /// trip's final call.
+  uint64_t LineKey(gtfs::RouteId route, uint32_t stop_time_index) const {
+    return (static_cast<uint64_t>(route) << 32) |
+           feed_->stop_times()[stop_time_index + 1].stop;
+  }
+
   void RideTrip(gtfs::TripId trip, uint32_t from_stop_time_index,
                 uint32_t board_stop, gtfs::TimeOfDay board_time,
                 gtfs::TimeOfDay latest_arrival);
@@ -145,9 +198,16 @@ class Router {
   RouterOptions options_;
   WalkTable walk_table_;
 
-  // Distinct routes serving each stop; lets the boarding scan terminate as
-  // soon as every route has claimed its earliest departure.
-  std::vector<uint32_t> stop_route_count_;
+  // Connection Scan engine (options_.engine == kCsa): every RouteMany is
+  // dispatched to it, and the label-correcting machinery below sits idle as
+  // the equivalence oracle.
+  std::shared_ptr<const ConnectionArray> connections_;
+  std::unique_ptr<CsaEngine> csa_;
+
+  // Distinct lines (route, next stop) serving each stop; lets the boarding
+  // scan terminate as soon as every line has claimed its earliest
+  // departure.
+  std::vector<uint32_t> stop_line_count_;
 
   // Coarse per-stop departure index: dep_index_[stop * dep_cells_ + c] is
   // the index of the stop's first departure at or after time
@@ -167,7 +227,7 @@ class Router {
   std::vector<Label> labels_;
   std::vector<uint32_t> trip_epoch_;
   std::vector<uint32_t> trip_board_index_;  // earliest stop_time index boarded
-  std::vector<gtfs::RouteId> seen_routes_scratch_;
+  std::vector<uint64_t> seen_lines_scratch_;
 
   // Dial-style bucket queue: arrivals are integer seconds in
   // [depart, depart + horizon], so bucket b holds stops reachable at

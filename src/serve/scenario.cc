@@ -7,11 +7,28 @@
 #include <numeric>
 
 #include "core/gravity.h"
+#include "router/connections.h"
 #include "store/snapshot.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
 
 namespace staq::serve {
+
+namespace {
+
+/// Builds (or adopts) the shared connection array once per store, so the
+/// writer-side relabel router and every worker Router constructed from
+/// router_options() scan one immutable array.
+ScenarioStore::Options WithSharedConnections(ScenarioStore::Options options,
+                                             const gtfs::Feed* feed) {
+  if (options.router.engine == router::RoutingEngine::kCsa) {
+    options.router.connections = router::ConnectionArray::EnsureFor(
+        options.router.connections, feed);
+  }
+  return options;
+}
+
+}  // namespace
 
 OfflineState::OfflineState(const synth::City& city,
                            const gtfs::TimeInterval& interval_in,
@@ -148,8 +165,8 @@ ScenarioStore::ScenarioStore(synth::City city,
                              const gtfs::TimeInterval& interval,
                              Options options)
     : base_(std::make_shared<const synth::City>(std::move(city))),
-      options_(options),
-      relabel_router_(&base_->feed, options.router),
+      options_(WithSharedConnections(std::move(options), &base_->feed)),
+      relabel_router_(&base_->feed, options_.router),
       relabel_engine_(base_.get(), &relabel_router_) {
   auto offline =
       std::make_shared<const OfflineState>(*base_, interval, options_.iso);
@@ -162,8 +179,8 @@ ScenarioStore::ScenarioStore(synth::City city,
 
 ScenarioStore::ScenarioStore(RestoredScenario restored, Options options)
     : base_(std::move(restored.city)),
-      options_(options),
-      relabel_router_(&base_->feed, options.router),
+      options_(WithSharedConnections(std::move(options), &base_->feed)),
+      relabel_router_(&base_->feed, options_.router),
       relabel_engine_(base_.get(), &relabel_router_) {
   auto scenario = std::make_shared<Scenario>(/*epoch=*/0, base_,
                                              std::move(restored.pois),

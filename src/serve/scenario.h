@@ -169,11 +169,26 @@ struct RestoredScenario {
   uint32_t next_poi_id = 0;
 };
 
+/// Router configuration serve runs by default: the Connection Scan engine.
+/// Exact journey times, feasibility, and MAC/ACSD match the
+/// label-correcting engine (asserted by the golden equivalence suites);
+/// window scans make cold label builds and relabels far cheaper.
+inline router::RouterOptions DefaultServeRouterOptions() {
+  router::RouterOptions options;
+  options.engine = router::RoutingEngine::kCsa;
+  return options;
+}
+
 /// Owns the current scenario and serialises mutations. Readers are
 /// wait-free with respect to writers apart from one pointer-load mutex.
 class ScenarioStore {
  public:
   struct Options {
+    // Explicit constructor rather than a default member initializer: GCC
+    // defers nested-class member initializers to the end of the enclosing
+    // class, which would reject Options() in ScenarioStore's own defaulted
+    // arguments.
+    Options() : router(DefaultServeRouterOptions()) {}
     core::IsochroneConfig iso;
     router::RouterOptions router;
   };
@@ -181,12 +196,12 @@ class ScenarioStore {
   /// Takes ownership of the city; builds the offline state for `interval`
   /// and installs epoch 0 over the city's own POIs.
   ScenarioStore(synth::City city, const gtfs::TimeInterval& interval,
-                Options options = {});
+                Options options = Options());
 
   /// Warm start from a loaded snapshot (store/snapshot.h): installs the
   /// restored scenario as epoch 0 with its label states pre-seeded,
   /// skipping the offline cold build entirely.
-  ScenarioStore(RestoredScenario restored, Options options = {});
+  ScenarioStore(RestoredScenario restored, Options options = Options());
 
   /// The current snapshot. The returned scenario stays fully usable after
   /// any number of subsequent mutations.
@@ -194,6 +209,14 @@ class ScenarioStore {
 
   uint64_t epoch() const { return Acquire()->epoch(); }
   const synth::City& base_city() const { return *base_; }
+
+  /// The store's router options with the shared connection array injected
+  /// (kCsa only; built once in the constructor). Per-worker Routers built
+  /// from these share the array instead of rebuilding it — mutations never
+  /// edit the feed, so one array serves every scenario epoch.
+  const router::RouterOptions& router_options() const {
+    return options_.router;
+  }
 
   /// What one mutation did and what it cost.
   struct MutationReport {

@@ -173,7 +173,7 @@ std::unique_ptr<AqServer::WorkerContext> AqServer::AcquireContext() {
     }
   }
   auto context = std::make_unique<WorkerContext>(&store_.base_city(),
-                                                 options_.scenario.router);
+                                                 store_.router_options());
   context->stop_epoch = epoch;
   return context;
 }

@@ -123,6 +123,12 @@ class AqServer {
   uint64_t epoch() const { return store_.epoch(); }
   std::shared_ptr<const Scenario> Snapshot() const { return store_.Acquire(); }
   const synth::City& base_city() const { return store_.base_city(); }
+  /// The store's effective router configuration — engine selector plus the
+  /// shared connection array (kCsa) every worker router scans. Benches
+  /// report the engine and the array's one-time build cost from here.
+  const router::RouterOptions& router_options() const {
+    return store_.router_options();
+  }
   /// True when the serving state came from Options::warm_start_path rather
   /// than a cold build.
   bool warm_started() const { return warm_started_; }

@@ -142,6 +142,56 @@ TEST_F(ParallelLabelingTest, ThreadCountSweepIsBitIdentical) {
   }
 }
 
+TEST_F(ParallelLabelingTest, ProfileModeMatchesBatchedAcrossThreads) {
+  // Window-scan labeling (CSA engine, one sweep per zone) against the
+  // label-correcting batched baseline. JT labels are built from journey
+  // times only, which the engines produce bit-identically, so MAC/ACSD
+  // must agree exactly — at every thread count, with all workers sharing
+  // one connection array.
+  uint64_t batched_spqs = 0;
+  auto batched = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                    CostKind::kJourneyTime,
+                                    gtfs::Day::kTuesday, /*num_threads=*/1,
+                                    {}, {}, &batched_spqs,
+                                    LabelingMode::kBatched);
+  router::RouterOptions csa;
+  csa.engine = router::RoutingEngine::kCsa;
+  for (size_t threads : {1u, 4u, 8u}) {
+    uint64_t spqs = 0;
+    auto profile = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                      CostKind::kJourneyTime,
+                                      gtfs::Day::kTuesday, threads, csa, {},
+                                      &spqs, LabelingMode::kAuto);
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    EXPECT_EQ(spqs, batched_spqs);
+    ExpectBitIdentical(batched, profile);
+  }
+}
+
+TEST_F(ParallelLabelingTest, ProfileGacSweepIsBitIdentical) {
+  // GAC depends on leg decomposition, which may tie-differ BETWEEN engines,
+  // so the cross-thread contract is pinned within the CSA engine: the
+  // thread count must never be observable in a window-scan label.
+  router::RouterOptions csa;
+  csa.engine = router::RoutingEngine::kCsa;
+  uint64_t baseline_spqs = 0;
+  auto baseline = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                     CostKind::kGeneralizedCost,
+                                     gtfs::Day::kTuesday, /*num_threads=*/1,
+                                     csa, {}, &baseline_spqs,
+                                     LabelingMode::kProfile);
+  for (size_t threads : {2u, 8u}) {
+    uint64_t spqs = 0;
+    auto labels = LabelZonesParallel(city_, todam_, all_zones_, pois_,
+                                     CostKind::kGeneralizedCost,
+                                     gtfs::Day::kTuesday, threads, csa, {},
+                                     &spqs, LabelingMode::kProfile);
+    SCOPED_TRACE(::testing::Message() << "threads " << threads);
+    EXPECT_EQ(spqs, baseline_spqs);
+    ExpectBitIdentical(baseline, labels);
+  }
+}
+
 TEST(ParallelLabelingCityTest, BrindaleSweepIsBitIdentical) {
   // Second city family (the Covely fixture covers the first): Brindale's
   // radial layout produces different zone geometry and trip mixes, so a

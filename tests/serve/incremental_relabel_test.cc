@@ -56,7 +56,10 @@ void ExpectStatesIdentical(const ExactLabelState& patched,
 /// patched state equals its from-scratch golden rebuild.
 void RunGoldenScenario(synth::City city, const LabelKey& key) {
   ScenarioStore store(std::move(city), gtfs::WeekdayAmPeak());
-  router::Router router(&store.base_city().feed, {});
+  // The golden rebuild must run the same routing engine the store's
+  // incremental patches use: journey times agree across engines bit for
+  // bit, but equal-cost GAC journeys may decompose into different legs.
+  router::Router router(&store.base_city().feed, store.router_options());
   core::LabelingEngine engine(&store.base_city(), &router);
 
   // Materialise the state so the mutation has something to patch.
@@ -128,7 +131,7 @@ TEST(IncrementalRelabelGoldenTest, GeneralizedCostPatchesExactly) {
 TEST(IncrementalRelabelGoldenTest,
      StatesOfOtherCategoriesAreSharedNotRebuilt) {
   ScenarioStore store(testing::TinyCity(), gtfs::WeekdayAmPeak());
-  router::Router router(&store.base_city().feed, {});
+  router::Router router(&store.base_city().feed, store.router_options());
   core::LabelingEngine engine(&store.base_city(), &router);
 
   LabelKey school = FastKey(3);

@@ -23,6 +23,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/labeling.h"
+#include "router/router.h"
 #include "serve/server.h"
 #include "testing/test_city.h"
 
@@ -284,6 +286,132 @@ TEST_P(SaveUnderLoadTest, LiveEpochSnapshotMatchesSequentialOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SaveUnderLoadTest,
                          ::testing::Range<uint64_t>(0, 50));
+
+void ExpectSameLabels(const std::vector<core::ZoneLabel>& served,
+                      const std::vector<core::ZoneLabel>& oracle,
+                      const char* what) {
+  ASSERT_EQ(served.size(), oracle.size()) << what;
+  for (size_t z = 0; z < served.size(); ++z) {
+    EXPECT_EQ(served[z].mac, oracle[z].mac) << what << " zone " << z;
+    EXPECT_EQ(served[z].acsd, oracle[z].acsd) << what << " zone " << z;
+    EXPECT_EQ(served[z].num_trips, oracle[z].num_trips) << what << " zone "
+                                                        << z;
+    EXPECT_EQ(served[z].num_infeasible, oracle[z].num_infeasible)
+        << what << " zone " << z;
+    EXPECT_EQ(served[z].num_walk_only, oracle[z].num_walk_only)
+        << what << " zone " << z;
+  }
+}
+
+// Chained mutations over the shared connection array. The serve default is
+// the CSA engine scanning ONE ConnectionArray built at store construction
+// and shared by every worker router and every scenario epoch (mutations
+// edit POIs, never the feed). Each epoch's served label states — cold
+// builds and incremental patches alike, raced by queries under schedule
+// shaking — must be bit-identical to two sequential per-epoch oracles that
+// share nothing with the server: a CSA engine over a FRESH connection
+// array built for that check alone, and the label-correcting router. This
+// is the test that would catch the shared array going stale, torn, or
+// diverging from the oracle engine across a mutation chain.
+class SharedArrayMutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SharedArrayMutationTest, EpochStatesMatchFreshEngineOracles) {
+  const uint64_t seed = GetParam();
+
+  AqServer::Options options;
+  options.num_threads = 3;
+  options.max_pending = 128;
+  options.cache.shards = 2;
+  options.cache.entries_per_shard = 2;
+  options.perturb = util::ThreadPool::PerturbOptions{
+      .seed = seed, .max_delay_us = 200, .reorder = true};
+  AqServer server(testing::TinyCity(), gtfs::WeekdayAmPeak(), options);
+  ASSERT_NE(server.router_options().connections, nullptr)
+      << "serve default should share one connection array";
+
+  const std::vector<AqRequest> mix = {
+      ExactRequest(synth::PoiCategory::kSchool),
+      ExactRequest(synth::PoiCategory::kVaxCenter),
+  };
+  // Materialise both exact states on epoch 0 so every mutation has states
+  // to patch incrementally (the shared-array relabel path under test).
+  for (const AqRequest& request : mix) {
+    auto cold = server.Query(request);
+    ASSERT_TRUE(cold.ok()) << cold.status();
+  }
+
+  // Queries race the mutation chain so patches land while worker routers
+  // are scanning the same shared array.
+  constexpr int kClients = 2;
+  std::vector<std::vector<AqTicket>> tickets(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(seed * 6700417 + c);
+      for (int op = 0; op < 6; ++op) {
+        tickets[c].push_back(server.Submit(mix[rng() % mix.size()]));
+      }
+    });
+  }
+
+  std::vector<std::shared_ptr<const Scenario>> snapshots;
+  snapshots.push_back(server.Snapshot());
+  std::mt19937_64 mutate_rng(seed ^ 0xA24BAED4963EE407ull);
+  std::vector<uint32_t> added;
+  for (int m = 0; m < 4; ++m) {
+    if (!added.empty() && mutate_rng() % 2 == 0) {
+      uint32_t id = added.back();
+      added.pop_back();
+      auto report = server.RemovePoi(id);
+      ASSERT_TRUE(report.ok()) << report.status();
+    } else {
+      const geo::BBox& extent = server.base_city().extent;
+      double fx = static_cast<double>(mutate_rng() % 1000) / 1000.0;
+      double fy = static_cast<double>(mutate_rng() % 1000) / 1000.0;
+      auto report = server.AddPoi(
+          synth::PoiCategory::kSchool,
+          geo::Point{extent.min_x + fx * (extent.max_x - extent.min_x),
+                     extent.min_y + fy * (extent.max_y - extent.min_y)});
+      ASSERT_TRUE(report.ok()) << report.status();
+      added.push_back(report.value().poi_id);
+    }
+    snapshots.push_back(server.Snapshot());
+  }
+  for (auto& client : clients) client.join();
+  for (auto& per_client : tickets) {
+    for (AqTicket& ticket : per_client) {
+      auto result = ticket.Get();
+      ASSERT_TRUE(result.ok()) << result.status();
+    }
+  }
+
+  // Sequential oracle pass: every label state any epoch holds materialised
+  // (epoch 0's cold builds, later epochs' incremental patches) is rebuilt
+  // from scratch by engines owning nothing of the server's.
+  for (const auto& snapshot : snapshots) {
+    const synth::City& city = snapshot->base_city();
+    const auto states = snapshot->MaterializedStates();
+    ASSERT_FALSE(states.empty())
+        << "epoch 0 materialised both mix states; patches must carry them";
+    for (const auto& [key, state] : states) {
+      router::RouterOptions fresh_csa;
+      fresh_csa.engine = router::RoutingEngine::kCsa;  // builds its own array
+      router::Router csa_router(&city.feed, fresh_csa);
+      core::LabelingEngine csa_engine(&city, &csa_router);
+      auto csa_oracle = snapshot->BuildLabelState(key, &csa_engine);
+      ExpectSameLabels(state->labels, csa_oracle->labels, "fresh-array csa");
+
+      router::Router lc_router(&city.feed, router::RouterOptions{});
+      core::LabelingEngine lc_engine(&city, &lc_router);
+      auto lc_oracle = snapshot->BuildLabelState(key, &lc_engine);
+      ExpectSameLabels(state->labels, lc_oracle->labels, "label-correcting");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedArrayMutationTest,
+                         ::testing::Range<uint64_t>(0, 10));
 
 }  // namespace
 }  // namespace staq::serve

@@ -1,0 +1,476 @@
+// Distributed serving: the serve bench mix over real TCP.
+//
+// Topology: one primary AqServer (mutations logged to its WAL) plus three
+// snapshot+replay replicas, fronted by a QueryRouter — the "Distributed
+// serving" quickstart in README.md, driven as one process. The run:
+//
+//   cold    — first routed query per distinct mix request
+//   steady  — rounds over the mix with POI edits landing between rounds;
+//             one replica is killed mid-phase and restarted later
+//             (rebootstrapping from the snapshot, catching up from the
+//             WAL), so the phase includes real failover latency
+//
+// Correctness gates run on every single response: each routed answer is
+// compared field-by-field against AqServer::QueryUncached() on the
+// primary — the single in-process server the distributed tier must be
+// indistinguishable from. Any mismatch aborts with exit code 1.
+//
+// Alongside the networked latencies the bench measures the WAL itself:
+// per-append cost under the fsync-every-append durability contract, and
+// recovery (reopen + full read-back) cost, on a scratch log.
+//
+// Output: tables on stdout, BENCH_net.json in STAQ_BENCH_OUT.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/client.h"
+#include "net/replica.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "serve/server.h"
+#include "util/stopwatch.h"
+#include "wal/wal.h"
+
+namespace staq::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool SameAnswer(const core::AccessQueryResult& a,
+                const core::AccessQueryResult& b) {
+  return a.mac == b.mac && a.acsd == b.acsd && a.classes == b.classes &&
+         a.mean_mac == b.mean_mac && a.mean_acsd == b.mean_acsd &&
+         a.fairness == b.fairness &&
+         a.population_fairness == b.population_fairness &&
+         a.vulnerable_fairness == b.vulnerable_fairness &&
+         a.gravity_trips == b.gravity_trips;
+}
+
+struct LatencySummary {
+  size_t count = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+LatencySummary Summarise(std::vector<double> latencies_ms,
+                         double phase_seconds) {
+  LatencySummary s;
+  s.count = latencies_ms.size();
+  s.seconds = phase_seconds;
+  if (latencies_ms.empty()) return s;
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  double sum = 0.0;
+  for (double ms : latencies_ms) sum += ms;
+  s.mean_ms = sum / static_cast<double>(s.count);
+  auto pct = [&](double q) {
+    size_t index = static_cast<size_t>(q * static_cast<double>(s.count - 1));
+    return latencies_ms[index];
+  };
+  s.p50_ms = pct(0.50);
+  s.p95_ms = pct(0.95);
+  s.p99_ms = pct(0.99);
+  s.qps = static_cast<double>(s.count) / phase_seconds;
+  return s;
+}
+
+void PrintPhase(const char* name, const LatencySummary& s) {
+  std::printf("  %-8s %6zu req %9.3f s %8.1f q/s   p50 %8.2f  p95 %8.2f  "
+              "p99 %8.2f ms\n",
+              name, s.count, s.seconds, s.qps, s.p50_ms, s.p95_ms, s.p99_ms);
+}
+
+std::unique_ptr<net::Replica> StartReplica(const synth::City& city,
+                                           const std::string& snapshot,
+                                           const std::string& wal_dir,
+                                           uint16_t port = 0) {
+  net::Replica::Options options;
+  options.snapshot_path = snapshot;
+  options.wal_dir = wal_dir;
+  options.serve.num_threads = 2;
+  options.tcp.port = port;
+  auto replica = net::Replica::Start(city, gtfs::WeekdayAmPeak(), options);
+  if (!replica.ok()) {
+    std::fprintf(stderr, "replica start failed: %s\n",
+                 replica.status().ToString().c_str());
+    return nullptr;
+  }
+  return std::move(replica).value();
+}
+
+/// WAL microcosts on a scratch directory: per-append latency under the
+/// fsync-every-append contract, then recovery (reopen + full read-back).
+struct WalCosts {
+  LatencySummary append;
+  double recovery_open_ms = 0.0;
+  double recovery_read_ms = 0.0;
+  size_t records = 0;
+  uint64_t bytes = 0;
+};
+
+bool MeasureWal(const std::string& dir, WalCosts* costs) {
+  fs::remove_all(dir);
+  constexpr size_t kRecords = 256;
+  std::vector<double> append_ms;
+  append_ms.reserve(kRecords);
+  util::Stopwatch phase;
+  {
+    auto wal = wal::MutationWal::Open(dir);
+    if (!wal.ok()) {
+      std::fprintf(stderr, "wal open failed: %s\n",
+                   wal.status().ToString().c_str());
+      return false;
+    }
+    for (size_t i = 1; i <= kRecords; ++i) {
+      wal::MutationRecord record = wal::MutationRecord::AddPoi(
+          i, synth::PoiCategory::kSchool,
+          geo::Point{static_cast<double>(i), 0.0},
+          static_cast<uint32_t>(1000 + i));
+      util::Stopwatch watch;
+      auto appended = wal.value()->Append(record);
+      append_ms.push_back(watch.ElapsedMillis());
+      if (!appended.ok()) {
+        std::fprintf(stderr, "wal append failed: %s\n",
+                     appended.ToString().c_str());
+        return false;
+      }
+    }
+    costs->bytes = wal.value()->stats().bytes_appended;
+  }
+  costs->append = Summarise(std::move(append_ms), phase.ElapsedSeconds());
+  costs->records = kRecords;
+
+  util::Stopwatch open_watch;
+  auto reopened = wal::MutationWal::Open(dir);
+  costs->recovery_open_ms = open_watch.ElapsedMillis();
+  if (!reopened.ok() || reopened.value()->last_sequence() != kRecords) {
+    std::fprintf(stderr, "wal recovery failed\n");
+    return false;
+  }
+  util::Stopwatch read_watch;
+  auto contents = wal::ReadLog(dir);
+  costs->recovery_read_ms = read_watch.ElapsedMillis();
+  if (!contents.ok() || contents.value().records.size() != kRecords) {
+    std::fprintf(stderr, "wal read-back failed\n");
+    return false;
+  }
+  fs::remove_all(dir);
+  return true;
+}
+
+int Run() {
+  PrintHeader("staq::net — router + 3 replicas over TCP, kill-and-recover");
+
+  const synth::CitySpec spec =
+      synth::CitySpec::Brindale(BenchScale(), BenchSeed());
+  auto built = synth::BuildCity(spec);
+  if (!built.ok()) {
+    std::fprintf(stderr, "city build failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  synth::City city = std::move(built).value();
+  const size_t num_zones = city.zones.size();
+
+  core::GravityConfig gravity = core::CalibratedGravityConfig(spec);
+  gravity.sample_rate_per_hour = BenchRate();
+
+  // The primary: the single in-process AqServer every routed response is
+  // gated against, logging mutations to the WAL the replicas tail.
+  const std::string wal_dir = OutDir() + "/bench_net_wal";
+  const std::string snapshot = OutDir() + "/bench_net_snapshot.staq";
+  fs::remove_all(wal_dir);
+  serve::AqServer::Options primary_options;
+  primary_options.num_threads = 4;
+  serve::AqServer primary(std::move(city), gtfs::WeekdayAmPeak(),
+                          primary_options);
+  auto wal = wal::MutationWal::Open(wal_dir);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal open failed: %s\n",
+                 wal.status().ToString().c_str());
+    return 1;
+  }
+  if (auto attached = primary.AttachWal(wal.value().get()); !attached.ok()) {
+    std::fprintf(stderr, "attach failed: %s\n", attached.ToString().c_str());
+    return 1;
+  }
+  net::AqTcpServer primary_tcp(&primary, net::AqTcpServer::Options());
+  if (!primary_tcp.Start().ok()) {
+    std::fprintf(stderr, "primary tcp start failed\n");
+    return 1;
+  }
+
+  util::Stopwatch snapshot_watch;
+  if (auto exported = primary.ExportSnapshot(snapshot); !exported.ok()) {
+    std::fprintf(stderr, "snapshot export failed: %s\n",
+                 exported.ToString().c_str());
+    return 1;
+  }
+  const double snapshot_export_ms = snapshot_watch.ElapsedMillis();
+
+  std::vector<std::unique_ptr<net::Replica>> replicas;
+  std::vector<double> bootstrap_ms;
+  for (int i = 0; i < 3; ++i) {
+    util::Stopwatch watch;
+    replicas.push_back(
+        StartReplica(primary.base_city(), snapshot, wal_dir));
+    bootstrap_ms.push_back(watch.ElapsedMillis());
+    if (replicas.back() == nullptr) return 1;
+  }
+  std::printf("  city=%s  zones=%zu  primary + 3 replicas over loopback TCP\n",
+              spec.name.c_str(), num_zones);
+  std::printf("  snapshot export %.1f ms, replica bootstrap %.1f / %.1f / "
+              "%.1f ms\n",
+              snapshot_export_ms, bootstrap_ms[0], bootstrap_ms[1],
+              bootstrap_ms[2]);
+
+  std::vector<net::Backend> backends{{"127.0.0.1", primary_tcp.port()}};
+  for (const auto& replica : replicas) {
+    backends.push_back(net::Backend{"127.0.0.1", replica->port()});
+  }
+  net::QueryRouter::Options router_options;
+  router_options.max_attempts = static_cast<int>(backends.size());
+  net::QueryRouter router({backends}, router_options);
+  const net::ShardKey key{spec.name, "am-peak"};
+
+  // The serve bench mix: one exact query per category, a reseeded exact,
+  // and two SSR queries at different budgets/models.
+  std::vector<serve::AqRequest> mix;
+  for (synth::PoiCategory category : PaperCategories()) {
+    serve::AqRequest request;
+    request.category = category;
+    request.options.exact = true;
+    request.options.gravity = gravity;
+    request.options.seed = BenchSeed();
+    mix.push_back(request);
+  }
+  {
+    serve::AqRequest reseed = mix.front();
+    reseed.options.seed = BenchSeed() + 1;
+    mix.push_back(reseed);
+  }
+  {
+    serve::AqRequest ssr = mix.front();
+    ssr.options.exact = false;
+    ssr.options.beta = 0.07;
+    ssr.options.model = ml::ModelKind::kOls;
+    mix.push_back(ssr);
+    ssr.options.beta = 0.10;
+    ssr.options.model = ml::ModelKind::kCoreg;
+    mix.push_back(ssr);
+  }
+
+  // Gate: the routed answer vs the primary recomputing from scratch.
+  auto gate = [&](const serve::AqRequest& request,
+                  const util::Result<net::QueryResultMsg>& routed,
+                  const char* what) {
+    if (!routed.ok()) {
+      std::fprintf(stderr, "GATE FAILED (%s): routed query error: %s\n", what,
+                   routed.status().ToString().c_str());
+      return false;
+    }
+    auto golden = primary.QueryUncached(request);
+    if (!golden.ok()) {
+      std::fprintf(stderr, "GATE FAILED (%s): golden error: %s\n", what,
+                   golden.status().ToString().c_str());
+      return false;
+    }
+    if (!SameAnswer(routed.value().result, golden.value())) {
+      std::fprintf(stderr,
+                   "GATE FAILED (%s): routed answer differs from the "
+                   "in-process golden\n",
+                   what);
+      return false;
+    }
+    return true;
+  };
+
+  // --- cold: first routed query per distinct request --------------------
+  std::vector<double> cold_ms;
+  util::Stopwatch cold_watch;
+  for (const serve::AqRequest& request : mix) {
+    util::Stopwatch watch;
+    auto routed = router.Query(key, request);
+    cold_ms.push_back(watch.ElapsedMillis());
+    if (!gate(request, routed, "cold")) return 1;
+  }
+  LatencySummary cold = Summarise(std::move(cold_ms),
+                                  cold_watch.ElapsedSeconds());
+
+  // --- steady: rounds over the mix, edits landing in between, one
+  // replica killed and recovered mid-phase ------------------------------
+  const geo::BBox& extent = primary.base_city().extent;
+  const geo::Point corner{extent.min_x, extent.min_y};
+  const int kRounds = 8;
+  const int kill_round = 3, restart_round = 6;
+  const uint16_t killed_port = replicas[0]->port();
+  double replica_restart_ms = 0.0;
+  uint64_t expected_sequence = 0;
+  uint32_t pending_poi = 0;
+
+  std::vector<double> steady_ms;
+  util::Stopwatch steady_watch;
+  for (int round = 0; round < kRounds; ++round) {
+    if (round == kill_round) {
+      replicas[0]->Stop();
+      replicas[0].reset();
+      std::printf("  [round %d] replica 0 killed\n", round);
+    }
+    if (round == restart_round) {
+      util::Stopwatch watch;
+      replicas[0] = StartReplica(primary.base_city(), snapshot, wal_dir,
+                                 killed_port);
+      if (replicas[0] == nullptr) return 1;
+      if (!replicas[0]->CatchUp(expected_sequence, 60.0).ok()) {
+        std::fprintf(stderr, "restarted replica failed to catch up\n");
+        return 1;
+      }
+      replica_restart_ms = watch.ElapsedMillis();
+      std::printf("  [round %d] replica 0 restarted and caught up in "
+                  "%.1f ms\n",
+                  round, replica_restart_ms);
+    }
+
+    // One POI edit between rounds: add on even rounds, remove it on odd —
+    // each routed to the primary, logged, and replicated.
+    if (round % 2 == 0) {
+      auto added = router.AddPoi(key, synth::PoiCategory::kSchool, corner);
+      if (!added.ok()) {
+        std::fprintf(stderr, "routed add failed: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      pending_poi = added.value().report.poi_id;
+      expected_sequence = added.value().sequence;
+    } else {
+      auto removed = router.RemovePoi(key, pending_poi);
+      if (!removed.ok()) {
+        std::fprintf(stderr, "routed remove failed: %s\n",
+                     removed.status().ToString().c_str());
+        return 1;
+      }
+      expected_sequence = removed.value().sequence;
+    }
+
+    for (const serve::AqRequest& request : mix) {
+      util::Stopwatch watch;
+      auto routed = router.Query(key, request);
+      steady_ms.push_back(watch.ElapsedMillis());
+      if (!gate(request, routed, "steady")) return 1;
+      if (routed.value().sequence < expected_sequence) {
+        std::fprintf(stderr,
+                     "GATE FAILED (steady): answer at sequence %llu below "
+                     "the read-your-writes floor %llu\n",
+                     static_cast<unsigned long long>(routed.value().sequence),
+                     static_cast<unsigned long long>(expected_sequence));
+        return 1;
+      }
+    }
+  }
+  LatencySummary steady = Summarise(std::move(steady_ms),
+                                    steady_watch.ElapsedSeconds());
+
+  const net::QueryRouter::Stats router_stats = router.stats();
+  const wal::WalStats wal_stats = wal.value()->stats();
+
+  // --- WAL microcosts on a scratch log ----------------------------------
+  WalCosts wal_costs;
+  if (!MeasureWal(OutDir() + "/bench_net_scratch_wal", &wal_costs)) return 1;
+
+  std::printf("\n  every routed response bit-identical to the primary's "
+              "QueryUncached golden\n\n");
+  PrintPhase("cold", cold);
+  PrintPhase("steady", steady);
+  std::printf("\n  router: %llu queries, %llu mutations, %llu failovers, "
+              "%llu redials\n",
+              static_cast<unsigned long long>(router_stats.queries),
+              static_cast<unsigned long long>(router_stats.mutations),
+              static_cast<unsigned long long>(router_stats.failovers),
+              static_cast<unsigned long long>(router_stats.redials));
+  std::printf("  primary wal: %llu appends, %llu bytes, %llu fsyncs\n",
+              static_cast<unsigned long long>(wal_stats.appends),
+              static_cast<unsigned long long>(wal_stats.bytes_appended),
+              static_cast<unsigned long long>(wal_stats.syncs));
+  std::printf("  wal append (fsync each): mean %.3f ms  p50 %.3f  p95 %.3f "
+              "over %zu records\n",
+              wal_costs.append.mean_ms, wal_costs.append.p50_ms,
+              wal_costs.append.p95_ms, wal_costs.records);
+  std::printf("  wal recovery: reopen %.2f ms, read-back %.2f ms (%llu "
+              "bytes)\n",
+              wal_costs.recovery_open_ms, wal_costs.recovery_read_ms,
+              static_cast<unsigned long long>(wal_costs.bytes));
+  std::printf("  replica restart (snapshot + replay + catch-up): %.1f ms\n",
+              replica_restart_ms);
+
+  std::string path = OutDir() + "/BENCH_net.json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
+    return 1;
+  }
+  auto phase_json = [&](const char* name, const LatencySummary& s,
+                        const char* tail) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"requests\": %zu, "
+                 "\"seconds\": %.6f, \"qps\": %.2f, \"mean_ms\": %.4f, "
+                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 name, s.count, s.seconds, s.qps, s.mean_ms, s.p50_ms,
+                 s.p95_ms, s.p99_ms, tail);
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"net\",\n");
+  std::fprintf(f, "  \"city\": \"%s\",\n", spec.name.c_str());
+  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
+  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(BenchSeed()));
+  std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
+  std::fprintf(f, "  \"replicas\": %zu,\n", replicas.size());
+  std::fprintf(f, "  \"bit_identical\": true,\n");
+  std::fprintf(f, "  \"phases\": [\n");
+  phase_json("cold", cold, ",");
+  phase_json("steady", steady, "");
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"router\": {\"queries\": %llu, \"mutations\": %llu, "
+               "\"failovers\": %llu, \"redials\": %llu},\n",
+               static_cast<unsigned long long>(router_stats.queries),
+               static_cast<unsigned long long>(router_stats.mutations),
+               static_cast<unsigned long long>(router_stats.failovers),
+               static_cast<unsigned long long>(router_stats.redials));
+  std::fprintf(f, "  \"wal\": {\"append_mean_ms\": %.4f, "
+               "\"append_p50_ms\": %.4f, \"append_p95_ms\": %.4f, "
+               "\"append_records\": %zu, \"recovery_open_ms\": %.4f, "
+               "\"recovery_read_ms\": %.4f, \"bytes\": %llu},\n",
+               wal_costs.append.mean_ms, wal_costs.append.p50_ms,
+               wal_costs.append.p95_ms, wal_costs.records,
+               wal_costs.recovery_open_ms, wal_costs.recovery_read_ms,
+               static_cast<unsigned long long>(wal_costs.bytes));
+  std::fprintf(f, "  \"replication\": {\"snapshot_export_ms\": %.4f, "
+               "\"bootstrap_ms\": [%.4f, %.4f, %.4f], "
+               "\"restart_recover_ms\": %.4f}\n",
+               snapshot_export_ms, bootstrap_ms[0], bootstrap_ms[1],
+               bootstrap_ms[2], replica_restart_ms);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("  -> wrote %s\n", path.c_str());
+
+  for (auto& replica : replicas) replica->Stop();
+  primary_tcp.Stop();
+  fs::remove_all(wal_dir);
+  fs::remove(snapshot);
+  return 0;
+}
+
+}  // namespace
+}  // namespace staq::bench
+
+int main() { return staq::bench::Run(); }

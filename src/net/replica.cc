@@ -1,0 +1,111 @@
+#include "net/replica.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace staq::net {
+
+util::Status ReplayLog(serve::AqServer* server, const std::string& wal_dir) {
+  auto contents = wal::ReadLog(wal_dir);
+  if (!contents.ok()) return contents.status();
+  for (const wal::MutationRecord& record : contents.value().records) {
+    if (record.sequence <= server->sequence()) continue;
+    auto applied = server->ApplyMutation(record);
+    if (!applied.ok()) return applied.status();
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::unique_ptr<Replica>> Replica::Start(
+    synth::City city, const gtfs::TimeInterval& interval, Options options) {
+  if (options.snapshot_path.empty()) {
+    return util::Status::InvalidArgument(
+        "a replica needs a bootstrap snapshot");
+  }
+
+  std::unique_ptr<Replica> replica(new Replica());
+  replica->options_ = options;
+
+  serve::AqServer::Options serve_options = options.serve;
+  serve_options.warm_start_path = options.snapshot_path;
+  replica->server_ = std::make_unique<serve::AqServer>(
+      std::move(city), interval, serve_options);
+  if (!replica->server_->warm_started()) {
+    // The AqServer fell back to a cold build: its history has no relation
+    // to the primary's, and replaying the log into it would be nonsense.
+    return util::Status::FailedPrecondition(
+        "replica bootstrap snapshot '" + options.snapshot_path +
+        "' did not load; refusing to serve an unrelated cold build");
+  }
+
+  STAQ_RETURN_NOT_OK(ReplayLog(replica->server_.get(), options.wal_dir));
+
+  AqTcpServer::Options tcp_options = options.tcp;
+  tcp_options.allow_mutations = false;
+  replica->tcp_ =
+      std::make_unique<AqTcpServer>(replica->server_.get(), tcp_options);
+  STAQ_RETURN_NOT_OK(replica->tcp_->Start());
+
+  replica->tail_thread_ = std::thread([raw = replica.get()] {
+    raw->TailLoop();
+  });
+  return replica;
+}
+
+Replica::~Replica() { Stop(); }
+
+void Replica::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (tail_thread_.joinable()) tail_thread_.join();
+  if (tcp_ != nullptr) tcp_->Stop();
+}
+
+void Replica::TailLoop() {
+  wal::WalFollower follower(options_.wal_dir, server_->sequence());
+  std::vector<wal::MutationRecord> batch;
+  while (!stop_.load(std::memory_order_acquire)) {
+    batch.clear();
+    util::Status polled = follower.Poll(&batch);
+    if (!polled.ok()) {
+      // An unreadable log never self-heals; keep serving the last
+      // consistent state and let diverged()/sequence() show the stall.
+      util::LogError("replica tail stopped: " + polled.ToString());
+      diverged_.store(true, std::memory_order_release);
+      return;
+    }
+    for (const wal::MutationRecord& record : batch) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      auto applied = server_->ApplyMutation(record);
+      if (!applied.ok()) {
+        util::LogError("replica diverged at record #" +
+                       std::to_string(record.sequence) + ": " +
+                       applied.status().ToString());
+        diverged_.store(true, std::memory_order_release);
+        return;
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options_.poll_interval_s));
+  }
+}
+
+util::Status Replica::CatchUp(uint64_t target_sequence, double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (server_->sequence() < target_sequence) {
+    if (diverged_.load(std::memory_order_acquire)) {
+      return util::Status::Aborted("replica diverged; it will never catch up");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return util::Status::DeadlineExceeded(
+          "replica still at sequence " + std::to_string(server_->sequence()) +
+          ", waiting for " + std::to_string(target_sequence));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace staq::net

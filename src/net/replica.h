@@ -1,0 +1,104 @@
+// Replica — snapshot + WAL-replay replication for the serving tier.
+//
+// A replica is an AqServer bootstrapped into the primary's history plus a
+// tail thread that keeps it there:
+//
+//   1. Bootstrap: warm-start from the primary's exported snapshot (the
+//      snapshot's source sequence becomes the replica's base), then replay
+//      every WAL record past that sequence (ReplayLog).
+//   2. Tail: poll the log for newly durable records and apply each through
+//      AqServer::ApplyMutation. Replay is bit-identical (edit-stable
+//      TODAM keyed on the logged stable POI ids), so the replica's answers
+//      equal the primary's at every sequence — the distributed e2e asserts
+//      this byte for byte.
+//   3. Serve: a read-only AqTcpServer (mutations are refused; they belong
+//      to the primary). Epoch-consistent reads work via min_sequence: a
+//      replica that has not caught up to a query's floor answers
+//      kUnavailable and the router goes elsewhere.
+//
+// The log travels as shared storage (the replica reads the primary's WAL
+// directory — the file-log-store model): there is no bespoke streaming
+// protocol to trust, the WAL's own checksums and sequence chain are the
+// transfer integrity check, and a replica can bootstrap while the primary
+// keeps appending (torn tails are simply "not durable yet").
+//
+// Divergence (kAborted from ApplyMutation — a replayed AddPoi landed on a
+// different POI id, or a sequence gap) permanently stops the tail: the
+// replica keeps serving its last consistent state, reports diverged(), and
+// falls behind until an operator rebuilds it from a fresh snapshot.
+// Serving a fork would be silently wrong everywhere; stale-but-consistent
+// is visible and routable-around.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/server.h"
+#include "serve/server.h"
+#include "wal/wal.h"
+
+namespace staq::net {
+
+/// Replays every WAL record in `wal_dir` past `server->sequence()` into
+/// the server. Records at or below the server's sequence are skipped (the
+/// snapshot already contains them); a torn tail ends the replay cleanly.
+/// Returns the first replay error (kAborted = divergence, kDataLoss =
+/// unreadable log) — shared by replica bootstrap and primary restart.
+util::Status ReplayLog(serve::AqServer* server, const std::string& wal_dir);
+
+class Replica {
+ public:
+  struct Options {
+    /// Bootstrap snapshot (primary's ExportSnapshot output). Required: a
+    /// replica must start from the primary's history, not a cold build of
+    /// its own (cold builds have no sequence to chain the log onto).
+    std::string snapshot_path;
+    /// The primary's WAL directory to replay and tail.
+    std::string wal_dir;
+    /// Tail poll cadence. Mutations are rare next to queries; tens of
+    /// milliseconds keeps replicas fresh without hammering the directory.
+    double poll_interval_s = 0.05;
+    serve::AqServer::Options serve;
+    /// allow_mutations is forced to false whatever the caller sets.
+    AqTcpServer::Options tcp;
+  };
+
+  /// Builds the server (warm start), replays the log, starts the tail
+  /// thread and the TCP front end. `city`/`interval` are the cold-build
+  /// fallback inputs the AqServer constructor requires; a replica whose
+  /// snapshot fails to load refuses to start (kFailedPrecondition) instead
+  /// of silently serving an unrelated cold build.
+  static util::Result<std::unique_ptr<Replica>> Start(
+      synth::City city, const gtfs::TimeInterval& interval, Options options);
+
+  ~Replica();
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  /// Stops the TCP server and the tail thread. Idempotent.
+  void Stop();
+
+  serve::AqServer& server() { return *server_; }
+  uint16_t port() const { return tcp_->port(); }
+  uint64_t sequence() const { return server_->sequence(); }
+  bool diverged() const { return diverged_.load(std::memory_order_acquire); }
+
+  /// Blocks until the replica has applied at least `target_sequence`
+  /// (kDeadlineExceeded after `timeout_s`; kAborted once diverged).
+  util::Status CatchUp(uint64_t target_sequence, double timeout_s);
+
+ private:
+  Replica() = default;
+  void TailLoop();
+
+  Options options_;
+  std::unique_ptr<serve::AqServer> server_;
+  std::unique_ptr<AqTcpServer> tcp_;
+  std::thread tail_thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> diverged_{false};
+};
+
+}  // namespace staq::net

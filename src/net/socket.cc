@@ -1,0 +1,235 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "util/failpoint.h"
+
+namespace staq::net {
+
+namespace {
+
+util::Status Unavailable(const char* what) {
+  return util::Status::Unavailable(std::string(what) + ": " +
+                                   std::strerror(errno));
+}
+
+/// Evaluates a failpoint site and maps its throw onto the kUnavailable
+/// path the real syscall failure at that spot would take.
+util::Status HitFailPoint(const char* site) {
+  try {
+    STAQ_FAILPOINT(site);
+  } catch (const std::exception& e) {
+    return util::Status::Unavailable(std::string(site) + ": " + e.what());
+  }
+  return util::Status::OK();
+}
+
+timeval ToTimeval(double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec =
+      static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+  return tv;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status Socket::SetTimeout(double seconds) {
+  timeval tv = ToTimeval(seconds);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Unavailable("setsockopt(timeout)");
+  }
+  return util::Status::OK();
+}
+
+util::Status Socket::SendAll(const void* data, size_t size) {
+  STAQ_RETURN_NOT_OK(HitFailPoint("net.write"));
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that died mid-response must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("send");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Status Socket::RecvAll(void* data, size_t size) {
+  STAQ_RETURN_NOT_OK(HitFailPoint("net.read"));
+  uint8_t* p = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::recv(fd_, p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("recv");
+    }
+    if (n == 0) {
+      return util::Status::Unavailable("connection closed by peer");
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+util::Status Socket::SendFrame(MsgType type, uint64_t request_id,
+                               const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame;
+  EncodeFrame(type, request_id, payload, &frame);
+  return SendAll(frame.data(), frame.size());
+}
+
+util::Result<Frame> Socket::RecvFrame() {
+  uint8_t header[kFrameHeaderSize];
+  STAQ_RETURN_NOT_OK(RecvAll(header, sizeof(header)));
+  uint32_t body_len = 0;
+  uint64_t checksum = 0;
+  STAQ_RETURN_NOT_OK(ParseFrameHeader(header, &body_len, &checksum));
+  std::vector<uint8_t> body(body_len);
+  STAQ_RETURN_NOT_OK(RecvAll(body.data(), body.size()));
+  return ParseFrameBody(body.data(), body.size(), checksum);
+}
+
+util::Result<Socket> Connect(const std::string& host, uint16_t port,
+                             double timeout_s) {
+  STAQ_RETURN_NOT_OK(HitFailPoint("net.connect"));
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Unavailable("socket");
+  Socket socket(fd);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return util::Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  if (timeout_s > 0) STAQ_RETURN_NOT_OK(socket.SetTimeout(timeout_s));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Unavailable("connect");
+  }
+  // Responses are small and written whole; never batch them behind Nagle.
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+util::Result<Listener> Listener::Bind(uint16_t port) {
+  Listener listener;
+  listener.listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener.listen_fd_ < 0) return Unavailable("socket");
+
+  int one = 1;
+  (void)::setsockopt(listener.listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listener.listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Unavailable("bind");
+  }
+  if (::listen(listener.listen_fd_, 64) != 0) return Unavailable("listen");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener.listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    return Unavailable("getsockname");
+  }
+  listener.port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return Unavailable("pipe");
+  listener.wake_read_fd_ = pipe_fds[0];
+  listener.wake_write_fd_ = pipe_fds[1];
+  return listener;
+}
+
+Listener::~Listener() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : listen_fd_(std::exchange(other.listen_fd_, -1)),
+      wake_read_fd_(std::exchange(other.wake_read_fd_, -1)),
+      wake_write_fd_(std::exchange(other.wake_write_fd_, -1)),
+      port_(std::exchange(other.port_, 0)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    this->~Listener();
+    new (this) Listener(std::move(other));
+  }
+  return *this;
+}
+
+util::Result<Socket> Listener::Accept() {
+  STAQ_RETURN_NOT_OK(HitFailPoint("net.accept"));
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_read_fd_, POLLIN, 0}};
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Unavailable("poll");
+    }
+    if (fds[1].revents != 0) {
+      return util::Status::Cancelled("listener shut down");
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Unavailable("accept");
+    }
+    Socket socket(fd);
+    int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return socket;
+  }
+}
+
+void Listener::Shutdown() {
+  if (wake_write_fd_ >= 0) {
+    uint8_t byte = 1;
+    // Best effort; a full pipe already guarantees the wakeup is pending.
+    (void)!::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+}  // namespace staq::net

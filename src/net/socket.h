@@ -1,0 +1,106 @@
+// Blocking POSIX sockets for the staq serving tier.
+//
+// The TCP front end follows the classic one-thread-per-connection shape
+// (the ClickHouse TCPHandler model): a Listener accepts on a dedicated
+// thread, every accepted Socket is handed to its own handler thread, and
+// all I/O is plain blocking read/write with send/receive timeouts. staq
+// serves a handful of analytical clients, not ten thousand idle ones, so
+// the simplicity of blocking I/O beats an event loop here.
+//
+// Error mapping is the important contract: every transport-level failure —
+// connect refused, peer reset, timeout, short read at EOF — returns
+// kUnavailable, the one code the query router treats as "this backend is
+// gone, try another". Protocol-level failures keep their own codes
+// (kInvalidArgument for garbage frames, kDataLoss for checksum
+// mismatches) because retrying those elsewhere is pointless.
+//
+// Failure sites (util/failpoint.h): "net.connect", "net.accept",
+// "net.read", "net.write" — each degrades into the kUnavailable path the
+// real syscall failure would take.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace staq::net {
+
+/// Owning wrapper around one connected stream socket. Movable, not
+/// copyable; closes on destruction. Read and write halves may be used from
+/// two different threads, but each half from only one at a time.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Applies SO_RCVTIMEO/SO_SNDTIMEO so a dead peer cannot park a handler
+  /// thread forever. 0 disables (blocking without bound).
+  util::Status SetTimeout(double seconds);
+
+  /// Writes the whole buffer (kUnavailable on any failure).
+  util::Status SendAll(const void* data, size_t size);
+  /// Reads exactly `size` bytes (kUnavailable on EOF or failure).
+  util::Status RecvAll(void* data, size_t size);
+
+  /// Frames `payload` as one wire message and writes it.
+  util::Status SendFrame(MsgType type, uint64_t request_id,
+                         const std::vector<uint8_t>& payload);
+  /// Reads one complete frame: header, bounds check, body, checksum.
+  util::Result<Frame> RecvFrame();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to host:port. `timeout_s` bounds the connect itself and is
+/// then installed as the socket's I/O timeout.
+util::Result<Socket> Connect(const std::string& host, uint16_t port,
+                             double timeout_s = 5.0);
+
+/// Listening socket with a self-pipe wakeup so Stop() can interrupt a
+/// blocking Accept() deterministically (no polling, no signals).
+class Listener {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` with SO_REUSEADDR (a restarted
+  /// replica rebinds its old port immediately). Port 0 picks an ephemeral
+  /// port; read it back from port().
+  static util::Result<Listener> Bind(uint16_t port);
+
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return listen_fd_ >= 0; }
+
+  /// Blocks until a connection arrives (returns the accepted socket), the
+  /// listener is shut down (kCancelled), or accept fails (kUnavailable).
+  util::Result<Socket> Accept();
+
+  /// Wakes every blocked Accept() and makes all future ones return
+  /// kCancelled. Idempotent; callable from any thread.
+  void Shutdown();
+
+ private:
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   // self-pipe: Shutdown writes, Accept polls
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace staq::net

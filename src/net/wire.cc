@@ -1,0 +1,297 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "ml/model_factory.h"
+#include "util/hash.h"
+
+namespace staq::net {
+
+namespace {
+
+/// Codes a decoder accepts from the wire. Must track the StatusCode enum;
+/// the status test's round-trip suite keeps the two honest.
+inline constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(util::StatusCode::kAborted);
+
+bool DecodeDouble(store::ByteReader* in, double* out) {
+  return in->ReadFixed(out);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "Hello";
+    case MsgType::kHelloAck:
+      return "HelloAck";
+    case MsgType::kQuery:
+      return "Query";
+    case MsgType::kQueryResult:
+      return "QueryResult";
+    case MsgType::kMutate:
+      return "Mutate";
+    case MsgType::kMutateResult:
+      return "MutateResult";
+    case MsgType::kInfo:
+      return "Info";
+    case MsgType::kInfoResult:
+      return "InfoResult";
+    case MsgType::kError:
+      return "Error";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(MsgType type, uint64_t request_id,
+                 const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out) {
+  std::vector<uint8_t> body;
+  body.reserve(1 + 10 + payload.size());
+  body.push_back(static_cast<uint8_t>(type));
+  store::PutVarint64(&body, request_id);
+  body.insert(body.end(), payload.begin(), payload.end());
+
+  out->clear();
+  out->reserve(kFrameHeaderSize + body.size());
+  store::PutFixed(out, kFrameMagic);
+  store::PutFixed(out, static_cast<uint32_t>(body.size()));
+  store::PutFixed(out, util::XxHash64(body.data(), body.size()));
+  out->insert(out->end(), body.begin(), body.end());
+}
+
+util::Status ParseFrameHeader(const uint8_t header[kFrameHeaderSize],
+                              uint32_t* body_len, uint64_t* checksum) {
+  store::ByteReader in(header, kFrameHeaderSize);
+  uint32_t magic = 0;
+  (void)in.ReadFixed(&magic);
+  (void)in.ReadFixed(body_len);
+  (void)in.ReadFixed(checksum);
+  if (magic != kFrameMagic) {
+    return util::Status::InvalidArgument(
+        "peer is not speaking the staq wire protocol (bad frame magic)");
+  }
+  if (*body_len == 0 || *body_len > kMaxFrameBody) {
+    return util::Status::InvalidArgument("frame body length out of bounds");
+  }
+  return util::Status::OK();
+}
+
+util::Result<Frame> ParseFrameBody(const uint8_t* body, size_t size,
+                                   uint64_t checksum) {
+  if (util::XxHash64(body, size) != checksum) {
+    return util::Status::DataLoss("frame checksum mismatch");
+  }
+  store::ByteReader in(body, size);
+  uint8_t type = 0;
+  Frame frame;
+  if (!in.ReadFixed(&type) || !in.ReadVarint64(&frame.request_id)) {
+    return util::Status::InvalidArgument("truncated frame body");
+  }
+  if (type < static_cast<uint8_t>(MsgType::kHello) ||
+      type > static_cast<uint8_t>(MsgType::kError)) {
+    return util::Status::InvalidArgument("unknown message type");
+  }
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.assign(in.cursor(), in.cursor() + in.remaining());
+  return frame;
+}
+
+// --- handshake -------------------------------------------------------------
+
+void EncodeHello(const Hello& hello, std::vector<uint8_t>* out) {
+  store::PutVarint64(out, hello.protocol_version);
+}
+
+bool DecodeHello(store::ByteReader* in, Hello* out) {
+  uint64_t version = 0;
+  if (!in->ReadVarint64(&version) || version == 0 ||
+      version > std::numeric_limits<uint32_t>::max()) {
+    return false;
+  }
+  out->protocol_version = static_cast<uint32_t>(version);
+  return true;
+}
+
+void EncodeHelloAck(const HelloAck& ack, std::vector<uint8_t>* out) {
+  store::PutVarint64(out, ack.protocol_version);
+  store::PutVarint64(out, ack.sequence);
+}
+
+bool DecodeHelloAck(store::ByteReader* in, HelloAck* out) {
+  uint64_t version = 0;
+  if (!in->ReadVarint64(&version) || version == 0 ||
+      version > std::numeric_limits<uint32_t>::max() ||
+      !in->ReadVarint64(&out->sequence)) {
+    return false;
+  }
+  out->protocol_version = static_cast<uint32_t>(version);
+  return true;
+}
+
+// --- query -----------------------------------------------------------------
+
+void EncodeQueryMsg(const QueryMsg& msg, std::vector<uint8_t>* out) {
+  const serve::AqRequest& r = msg.request;
+  store::PutVarint64(out, msg.min_sequence);
+  out->push_back(static_cast<uint8_t>(r.category));
+  out->push_back(r.options.exact ? 1 : 0);
+  store::PutFixed(out, r.options.beta);
+  out->push_back(static_cast<uint8_t>(r.options.model));
+  out->push_back(static_cast<uint8_t>(r.options.cost));
+  store::PutFixed(out, r.options.gravity.decay_scale_m);
+  store::PutFixed(out, r.options.gravity.keep_scale);
+  store::PutVarint64(out,
+                     static_cast<uint64_t>(r.options.gravity.sample_rate_per_hour));
+  store::PutFixed(out, r.options.gac.lambda_tan);
+  store::PutFixed(out, r.options.gac.lambda_wt);
+  store::PutFixed(out, r.options.gac.lambda_ivt);
+  store::PutFixed(out, r.options.gac.lambda_et);
+  store::PutFixed(out, r.options.gac.transfer_penalty_s);
+  store::PutFixed(out, r.options.gac.value_of_time);
+  store::PutVarint64(out, r.options.seed);
+  store::PutFixed(out, r.deadline_s);
+}
+
+bool DecodeQueryMsg(store::ByteReader* in, QueryMsg* out) {
+  *out = QueryMsg();
+  serve::AqRequest& r = out->request;
+  uint8_t category = 0, exact = 0, model = 0, cost = 0;
+  uint64_t sample_rate = 0;
+  if (!in->ReadVarint64(&out->min_sequence) || !in->ReadFixed(&category) ||
+      category >= synth::kNumPoiCategories || !in->ReadFixed(&exact) ||
+      exact > 1 || !DecodeDouble(in, &r.options.beta) ||
+      !in->ReadFixed(&model) || model >= ml::kNumModelKinds ||
+      !in->ReadFixed(&cost) ||
+      cost > static_cast<uint8_t>(core::CostKind::kGeneralizedCost) ||
+      !DecodeDouble(in, &r.options.gravity.decay_scale_m) ||
+      !DecodeDouble(in, &r.options.gravity.keep_scale) ||
+      !in->ReadVarint64(&sample_rate) ||
+      sample_rate > std::numeric_limits<int>::max() ||
+      !DecodeDouble(in, &r.options.gac.lambda_tan) ||
+      !DecodeDouble(in, &r.options.gac.lambda_wt) ||
+      !DecodeDouble(in, &r.options.gac.lambda_ivt) ||
+      !DecodeDouble(in, &r.options.gac.lambda_et) ||
+      !DecodeDouble(in, &r.options.gac.transfer_penalty_s) ||
+      !DecodeDouble(in, &r.options.gac.value_of_time) ||
+      !in->ReadVarint64(&r.options.seed) || !DecodeDouble(in, &r.deadline_s)) {
+    return false;
+  }
+  r.category = static_cast<synth::PoiCategory>(category);
+  r.options.exact = exact == 1;
+  r.options.model = static_cast<ml::ModelKind>(model);
+  r.options.cost = static_cast<core::CostKind>(cost);
+  r.options.gravity.sample_rate_per_hour = static_cast<int>(sample_rate);
+  return true;
+}
+
+void EncodeQueryResultMsg(const QueryResultMsg& msg,
+                          std::vector<uint8_t>* out) {
+  const core::AccessQueryResult& r = msg.result;
+  store::PutVarint64(out, msg.sequence);
+  store::PutFixedColumn(out, r.mac);
+  store::PutFixedColumn(out, r.acsd);
+  store::PutDeltaColumn(out, r.classes);
+  store::PutFixed(out, r.mean_mac);
+  store::PutFixed(out, r.mean_acsd);
+  store::PutFixed(out, r.fairness);
+  store::PutFixed(out, r.population_fairness);
+  store::PutFixed(out, r.vulnerable_fairness);
+  store::PutVarint64(out, r.spqs);
+  store::PutFixed(out, r.elapsed_s);
+  store::PutVarint64(out, r.gravity_trips);
+}
+
+bool DecodeQueryResultMsg(store::ByteReader* in, QueryResultMsg* out) {
+  *out = QueryResultMsg();
+  core::AccessQueryResult& r = out->result;
+  return in->ReadVarint64(&out->sequence) &&
+         store::ReadFixedColumn(in, &r.mac) &&
+         store::ReadFixedColumn(in, &r.acsd) &&
+         store::ReadDeltaColumn(in, &r.classes) &&
+         DecodeDouble(in, &r.mean_mac) && DecodeDouble(in, &r.mean_acsd) &&
+         DecodeDouble(in, &r.fairness) &&
+         DecodeDouble(in, &r.population_fairness) &&
+         DecodeDouble(in, &r.vulnerable_fairness) &&
+         in->ReadVarint64(&r.spqs) && DecodeDouble(in, &r.elapsed_s) &&
+         in->ReadVarint64(&r.gravity_trips);
+}
+
+// --- mutation --------------------------------------------------------------
+
+void EncodeMutateResultMsg(const MutateResultMsg& msg,
+                           std::vector<uint8_t>* out) {
+  const serve::ScenarioStore::MutationReport& rep = msg.report;
+  store::PutVarint64(out, msg.sequence);
+  store::PutVarint64(out, rep.epoch);
+  store::PutVarint64(out, rep.poi_id);
+  store::PutVarint64(out, rep.states_patched);
+  store::PutVarint64(out, rep.states_shared);
+  store::PutVarint64(out, rep.zones_relabeled);
+  store::PutVarint64(out, rep.zones_total);
+  store::PutVarint64(out, rep.spqs);
+  store::PutFixed(out, rep.seconds);
+}
+
+bool DecodeMutateResultMsg(store::ByteReader* in, MutateResultMsg* out) {
+  *out = MutateResultMsg();
+  serve::ScenarioStore::MutationReport& rep = out->report;
+  uint64_t poi_id = 0, patched = 0, shared = 0, relabeled = 0, total = 0;
+  if (!in->ReadVarint64(&out->sequence) || !in->ReadVarint64(&rep.epoch) ||
+      !in->ReadVarint64(&poi_id) || !in->ReadVarint64(&patched) ||
+      !in->ReadVarint64(&shared) || !in->ReadVarint64(&relabeled) ||
+      !in->ReadVarint64(&total) || !in->ReadVarint64(&rep.spqs) ||
+      !DecodeDouble(in, &rep.seconds)) {
+    return false;
+  }
+  const uint64_t u32_max = std::numeric_limits<uint32_t>::max();
+  if (poi_id > u32_max || patched > u32_max || shared > u32_max ||
+      relabeled > u32_max || total > u32_max) {
+    return false;
+  }
+  rep.poi_id = static_cast<uint32_t>(poi_id);
+  rep.states_patched = static_cast<uint32_t>(patched);
+  rep.states_shared = static_cast<uint32_t>(shared);
+  rep.zones_relabeled = static_cast<uint32_t>(relabeled);
+  rep.zones_total = static_cast<uint32_t>(total);
+  return true;
+}
+
+// --- info ------------------------------------------------------------------
+
+void EncodeInfoResultMsg(const InfoResultMsg& msg, std::vector<uint8_t>* out) {
+  store::PutVarint64(out, msg.sequence);
+  store::PutVarint64(out, msg.epoch);
+}
+
+bool DecodeInfoResultMsg(store::ByteReader* in, InfoResultMsg* out) {
+  *out = InfoResultMsg();
+  return in->ReadVarint64(&out->sequence) && in->ReadVarint64(&out->epoch);
+}
+
+// --- errors ----------------------------------------------------------------
+
+void EncodeErrorMsg(const util::Status& status, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(status.code()));
+  store::PutLengthPrefixed(out, status.message());
+}
+
+bool DecodeErrorMsg(store::ByteReader* in, util::Status* out) {
+  uint8_t code = 0;
+  std::string message;
+  if (!in->ReadFixed(&code) || !in->ReadLengthPrefixed(&message)) {
+    return false;
+  }
+  if (code > kMaxStatusCode) {
+    // A newer peer's code we do not know: keep the message, degrade the
+    // category instead of rejecting the whole frame.
+    *out = util::Status::Internal("remote error (unknown code): " + message);
+    return true;
+  }
+  *out = util::Status::FromCode(static_cast<util::StatusCode>(code),
+                                std::move(message));
+  return true;
+}
+
+}  // namespace staq::net

@@ -1,0 +1,165 @@
+// staq wire protocol — versioned, checksummed, length-prefixed frames.
+//
+// Every message travels as one frame:
+//
+//   frame  = magic "STAQ" u32 | body_len u32 | xxh64(body) u64 | body
+//   body   = msg_type u8 | request_id varint | payload
+//
+// The 16-byte frame header is fixed-width so a reader can pull it with one
+// blocking read, validate magic and length bounds *before* allocating, and
+// then verify the body checksum before touching a single payload byte — a
+// corrupted or misdirected stream degrades into a clean kDataLoss, never
+// into parsing garbage. `request_id` is chosen by the client and echoed in
+// the response so one connection can be debugged from a packet dump; the
+// blocking client uses it as a monotonic counter.
+//
+// A conversation opens with Hello/HelloAck (protocol version exchange; the
+// server rejects versions it does not speak) and then runs request ->
+// response: Query, Mutate, and Info requests each answer with their result
+// message or with Error. Error carries a util::Status by value — code
+// enum + message — so a remote failure resurfaces in the caller exactly as
+// the in-process call would have returned it (the util::Status error model
+// *is* the wire error model). Transport-level failures (peer gone,
+// truncated stream) map to kUnavailable, the router's signal to fail over.
+//
+// Payload encodings reuse the snapshot store codecs (store/coding.h):
+// varints for ids and counts, raw IEEE bits for doubles — the bit-identity
+// contract extends over the wire, which the distributed e2e test asserts
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/access_query.h"
+#include "serve/request.h"
+#include "serve/scenario.h"
+#include "store/coding.h"
+#include "util/status.h"
+#include "wal/record.h"
+
+namespace staq::net {
+
+/// "STAQ" little-endian.
+inline constexpr uint32_t kFrameMagic = 0x51415453;
+inline constexpr uint32_t kProtocolVersion = 1;
+/// magic + body_len + checksum.
+inline constexpr size_t kFrameHeaderSize = 16;
+/// Query results carry two doubles per zone; the largest cities stay far
+/// below this. Anything bigger in a header is corruption, not a request.
+inline constexpr uint32_t kMaxFrameBody = 64u << 20;
+
+enum class MsgType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kQuery = 3,
+  kQueryResult = 4,
+  kMutate = 5,
+  kMutateResult = 6,
+  kInfo = 7,
+  kInfoResult = 8,
+  kError = 9,
+};
+
+const char* MsgTypeName(MsgType type);
+
+/// One decoded frame body. `payload` is owned (copied out of the stream
+/// buffer; frames are small next to the query work they trigger).
+struct Frame {
+  MsgType type = MsgType::kError;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Serialises a complete frame (header + body) ready for one write.
+void EncodeFrame(MsgType type, uint64_t request_id,
+                 const std::vector<uint8_t>& payload,
+                 std::vector<uint8_t>* out);
+
+/// Validates a frame header: magic, and body_len <= kMaxFrameBody.
+/// kInvalidArgument means the peer is not speaking this protocol.
+util::Status ParseFrameHeader(const uint8_t header[kFrameHeaderSize],
+                              uint32_t* body_len, uint64_t* checksum);
+
+/// Verifies `checksum` over the body bytes and decodes type + request_id.
+/// kDataLoss on checksum mismatch, kInvalidArgument on an unknown type.
+util::Result<Frame> ParseFrameBody(const uint8_t* body, size_t size,
+                                   uint64_t checksum);
+
+// --- handshake -------------------------------------------------------------
+
+struct Hello {
+  uint32_t protocol_version = kProtocolVersion;
+};
+struct HelloAck {
+  uint32_t protocol_version = kProtocolVersion;
+  /// The server's absolute scenario sequence at accept time, so a client
+  /// knows immediately how fresh this backend is.
+  uint64_t sequence = 0;
+};
+
+void EncodeHello(const Hello& hello, std::vector<uint8_t>* out);
+bool DecodeHello(store::ByteReader* in, Hello* out);
+void EncodeHelloAck(const HelloAck& ack, std::vector<uint8_t>* out);
+bool DecodeHelloAck(store::ByteReader* in, HelloAck* out);
+
+// --- query -----------------------------------------------------------------
+
+/// kQuery payload: the request plus the epoch-consistency floor. A server
+/// whose sequence() < min_sequence answers kUnavailable instead of serving
+/// stale state — the client retries elsewhere or waits (read-your-writes
+/// across replicas).
+struct QueryMsg {
+  serve::AqRequest request;
+  uint64_t min_sequence = 0;
+};
+/// kQueryResult payload: the answer plus the sequence it was admitted at.
+struct QueryResultMsg {
+  core::AccessQueryResult result;
+  uint64_t sequence = 0;
+};
+
+void EncodeQueryMsg(const QueryMsg& msg, std::vector<uint8_t>* out);
+bool DecodeQueryMsg(store::ByteReader* in, QueryMsg* out);
+void EncodeQueryResultMsg(const QueryResultMsg& msg, std::vector<uint8_t>* out);
+bool DecodeQueryResultMsg(store::ByteReader* in, QueryResultMsg* out);
+
+// --- mutation --------------------------------------------------------------
+
+/// kMutate payload is a wal::MutationRecord with sequence 0 (the primary,
+/// not the client, assigns history positions) and, for AddPoi, poi_id 0
+/// (ditto). Reusing the WAL codec keeps "what a client asks" and "what the
+/// log replays" the same bytes.
+/// kMutateResult payload: the sequence the mutation installed plus the
+/// server's cost report.
+struct MutateResultMsg {
+  uint64_t sequence = 0;
+  serve::ScenarioStore::MutationReport report;
+};
+
+void EncodeMutateResultMsg(const MutateResultMsg& msg,
+                           std::vector<uint8_t>* out);
+bool DecodeMutateResultMsg(store::ByteReader* in, MutateResultMsg* out);
+
+// --- info ------------------------------------------------------------------
+
+/// kInfo has an empty payload; kInfoResult answers with the server's
+/// replication position (router health probes, replica catch-up waits).
+struct InfoResultMsg {
+  uint64_t sequence = 0;
+  uint64_t epoch = 0;
+};
+
+void EncodeInfoResultMsg(const InfoResultMsg& msg, std::vector<uint8_t>* out);
+bool DecodeInfoResultMsg(store::ByteReader* in, InfoResultMsg* out);
+
+// --- errors ----------------------------------------------------------------
+
+/// kError payload: code u8 + message. DecodeErrorMsg reconstructs the
+/// status; an unknown code byte (a newer peer) degrades to kInternal with
+/// the message preserved rather than failing the decode.
+void EncodeErrorMsg(const util::Status& status, std::vector<uint8_t>* out);
+bool DecodeErrorMsg(store::ByteReader* in, util::Status* out);
+
+}  // namespace staq::net

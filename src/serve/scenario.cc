@@ -195,12 +195,16 @@ ScenarioStore::ScenarioStore(RestoredScenario restored, Options options)
     if (poi.id >= next_id) next_id = poi.id + 1;
   }
   next_poi_id_ = next_id;
+  base_sequence_ = restored.source_epoch;
   current_ = std::move(scenario);
 }
 
 util::Status ScenarioStore::ExportSnapshot(const Scenario& scenario,
                                            const std::string& path) const {
-  return store::SaveSnapshot(scenario, next_poi_id_.load(), path);
+  // The persisted sequence is absolute so a chain snapshot -> mutate ->
+  // snapshot keeps counting instead of restarting at the local epoch.
+  return store::SaveSnapshot(scenario, next_poi_id_.load(), path,
+                             base_sequence_);
 }
 
 std::shared_ptr<const Scenario> ScenarioStore::Acquire() const {

@@ -210,6 +210,13 @@ class ScenarioStore {
   uint64_t epoch() const { return Acquire()->epoch(); }
   const synth::City& base_city() const { return *base_; }
 
+  /// Sequence offset of epoch 0: a warm-started store restarts its local
+  /// epochs at 0, but the mutation history continues where the snapshot's
+  /// source left off. base_sequence() + epoch() is the store's absolute
+  /// scenario sequence — the number the WAL and replication speak
+  /// (wal/record.h). Cold-built stores sit at 0.
+  uint64_t base_sequence() const { return base_sequence_; }
+
   /// The store's router options with the shared connection array injected
   /// (kCsa only; built once in the constructor). Per-worker Routers built
   /// from these share the array instead of rebuilding it — mutations never
@@ -237,6 +244,13 @@ class ScenarioStore {
 
   /// Removes a POI by id. NotFound when absent.
   util::Result<MutationReport> RemovePoi(uint32_t poi_id);
+
+  /// The id the next AddPoi will assign. Replication validates a replayed
+  /// record against this *before* applying it, so an id mismatch leaves
+  /// the store untouched instead of installing a forked epoch.
+  uint32_t next_poi_id() const {
+    return next_poi_id_.load(std::memory_order_acquire);
+  }
 
   /// Switches the analysis interval: rebuilds the offline structures and
   /// installs a fresh epoch. Label states are interval-dependent and are
@@ -266,6 +280,9 @@ class ScenarioStore {
 
   std::shared_ptr<const synth::City> base_;
   Options options_;
+  /// Absolute sequence of epoch 0 (the snapshot's source sequence at warm
+  /// start, else 0). Immutable after construction.
+  uint64_t base_sequence_ = 0;
 
   /// Writer-side labeling context, used only under mutation_mu_.
   router::Router relabel_router_;

@@ -9,6 +9,8 @@
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
+#include "wal/wal.h"
 
 namespace staq::serve {
 
@@ -103,8 +105,35 @@ AqServer::AqServer(synth::City city, const gtfs::TimeInterval& interval)
 
 AqServer::~AqServer() = default;
 
+void AqServer::NoteMutation(const ScenarioStore::MutationReport& report) {
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  states_patched_.fetch_add(report.states_patched, std::memory_order_relaxed);
+  zones_relabeled_.fetch_add(report.zones_relabeled,
+                             std::memory_order_relaxed);
+  patch_spqs_.fetch_add(report.spqs, std::memory_order_relaxed);
+}
+
+util::Status AqServer::LogMutation(const wal::MutationRecord& record) {
+  if (wal_ == nullptr) return util::Status::OK();
+  return wal_->Append(record);
+}
+
+util::Status AqServer::AttachWal(wal::MutationWal* wal) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (wal != nullptr && wal->last_sequence() != sequence()) {
+    return util::Status::FailedPrecondition(util::Format(
+        "WAL is at sequence %llu but the server is at %llu; replay the log "
+        "before attaching",
+        static_cast<unsigned long long>(wal->last_sequence()),
+        static_cast<unsigned long long>(sequence())));
+  }
+  wal_ = wal;
+  return util::Status::OK();
+}
+
 util::Result<ScenarioStore::MutationReport> AqServer::AddPoi(
     synth::PoiCategory category, const geo::Point& position) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
   ScenarioStore::MutationReport report;
   try {
     report = store_.AddPoi(category, position);
@@ -113,16 +142,15 @@ util::Result<ScenarioStore::MutationReport> AqServer::AddPoi(
     // aborted patch/relabel leaves the previous scenario fully intact.
     return StatusFromException("AddPoi mutation");
   }
-  mutations_.fetch_add(1, std::memory_order_relaxed);
-  states_patched_.fetch_add(report.states_patched, std::memory_order_relaxed);
-  zones_relabeled_.fetch_add(report.zones_relabeled,
-                             std::memory_order_relaxed);
-  patch_spqs_.fetch_add(report.spqs, std::memory_order_relaxed);
+  NoteMutation(report);
+  STAQ_RETURN_NOT_OK(LogMutation(wal::MutationRecord::AddPoi(
+      sequence(), category, position, report.poi_id)));
   return report;
 }
 
 util::Result<ScenarioStore::MutationReport> AqServer::RemovePoi(
     uint32_t poi_id) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
   util::Result<ScenarioStore::MutationReport> report =
       util::Status::Internal("unreachable");
   try {
@@ -131,30 +159,78 @@ util::Result<ScenarioStore::MutationReport> AqServer::RemovePoi(
     return StatusFromException("RemovePoi mutation");
   }
   if (!report.ok()) return report;
-  mutations_.fetch_add(1, std::memory_order_relaxed);
-  states_patched_.fetch_add(report.value().states_patched,
-                            std::memory_order_relaxed);
-  zones_relabeled_.fetch_add(report.value().zones_relabeled,
-                             std::memory_order_relaxed);
-  patch_spqs_.fetch_add(report.value().spqs, std::memory_order_relaxed);
+  NoteMutation(report.value());
+  STAQ_RETURN_NOT_OK(
+      LogMutation(wal::MutationRecord::RemovePoi(sequence(), poi_id)));
   return report;
 }
 
 util::Result<ScenarioStore::MutationReport> AqServer::SetInterval(
     const gtfs::TimeInterval& interval) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
   ScenarioStore::MutationReport report;
   try {
     report = store_.SetInterval(interval);
   } catch (...) {
     return StatusFromException("SetInterval mutation");
   }
-  mutations_.fetch_add(1, std::memory_order_relaxed);
+  NoteMutation(report);
   // Mutation discipline (see LabelingEngine::InvalidateAccessStopCache):
   // worker engines drop their cached access stops alongside the store's
   // writer engine. Bumping the epoch invalidates lazily on the next
   // AcquireContext, which also covers contexts leased while this mutation
   // runs — a free-list sweep would miss those.
   stop_cache_epoch_.fetch_add(1, std::memory_order_release);
+  STAQ_RETURN_NOT_OK(
+      LogMutation(wal::MutationRecord::SetInterval(sequence(), interval)));
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> AqServer::ApplyMutation(
+    const wal::MutationRecord& record) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  if (record.sequence != sequence() + 1) {
+    return util::Status::Aborted(util::Format(
+        "cannot replay record #%llu at sequence %llu: history must stay "
+        "gap-free",
+        static_cast<unsigned long long>(record.sequence),
+        static_cast<unsigned long long>(sequence())));
+  }
+  ScenarioStore::MutationReport report;
+  try {
+    switch (record.type) {
+      case wal::MutationType::kAddPoi: {
+        // The id drives the POI's RNG streams: a different id means this
+        // replica's answers would diverge from the primary's. Checked
+        // against the store's cursor BEFORE applying, so the abort leaves
+        // the last consistent epoch serving instead of installing a fork.
+        const uint32_t local_id = store_.next_poi_id();
+        if (local_id != record.poi_id) {
+          return util::Status::Aborted(util::Format(
+              "replayed AddPoi #%llu would assign POI id %u where the log "
+              "records %u — replica diverged; nothing was applied",
+              static_cast<unsigned long long>(record.sequence), local_id,
+              record.poi_id));
+        }
+        report = store_.AddPoi(record.category, record.position);
+        break;
+      }
+      case wal::MutationType::kRemovePoi: {
+        auto result = store_.RemovePoi(record.poi_id);
+        if (!result.ok()) return result;
+        report = result.value();
+        break;
+      }
+      case wal::MutationType::kSetInterval: {
+        report = store_.SetInterval(record.interval);
+        stop_cache_epoch_.fetch_add(1, std::memory_order_release);
+        break;
+      }
+    }
+  } catch (...) {
+    return StatusFromException("mutation replay");
+  }
+  NoteMutation(report);
   return report;
 }
 

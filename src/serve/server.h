@@ -36,6 +36,11 @@
 #include "serve/scenario.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
+#include "wal/record.h"
+
+namespace staq::wal {
+class MutationWal;
+}  // namespace staq::wal
 
 namespace staq::serve {
 
@@ -121,6 +126,14 @@ class AqServer {
 
   // --- scenario API ------------------------------------------------------
   uint64_t epoch() const { return store_.epoch(); }
+  /// Absolute scenario sequence — the server's position in the mutation
+  /// history the WAL records: the warm-start snapshot's source sequence
+  /// plus the local epoch. This is the number replication compares across
+  /// primary and replicas (local epochs restart at 0 on every warm start
+  /// and are incomparable between processes).
+  uint64_t sequence() const { return store_.base_sequence() + store_.epoch(); }
+  /// Sequence offset of epoch 0 (immutable after construction).
+  uint64_t base_sequence() const { return store_.base_sequence(); }
   std::shared_ptr<const Scenario> Snapshot() const { return store_.Acquire(); }
   const synth::City& base_city() const { return store_.base_city(); }
   /// The store's effective router configuration — engine selector plus the
@@ -153,6 +166,29 @@ class AqServer {
   util::Result<ScenarioStore::MutationReport> RemovePoi(uint32_t poi_id);
   util::Result<ScenarioStore::MutationReport> SetInterval(
       const gtfs::TimeInterval& interval);
+
+  // --- replication API ---------------------------------------------------
+  /// Makes this server a logging primary: every accepted mutation appends
+  /// its record to `wal` (not owned; must outlive the server) before the
+  /// mutation is acknowledged. The WAL must be exactly caught up —
+  /// wal->last_sequence() == sequence() — or kFailedPrecondition; replay
+  /// the log into the server first (ApplyMutation), then attach.
+  ///
+  /// A failed append surfaces as the mutation's status: the new epoch is
+  /// serving locally but is NOT durable or replicated, and the WAL has
+  /// turned read-only, so further mutations fail until it is reopened and
+  /// reattached. Queries are never affected.
+  util::Status AttachWal(wal::MutationWal* wal);
+
+  /// Replays one logged mutation (the replica path; also WAL recovery on a
+  /// restarting primary *before* AttachWal). Validates that the record
+  /// extends this server's history — record.sequence == sequence() + 1,
+  /// and for AddPoi that the locally assigned POI id matches the record —
+  /// and returns kAborted on any mismatch: the replica has diverged and
+  /// must stop applying rather than serve silently different answers.
+  /// Records applied here are not re-logged to an attached WAL.
+  util::Result<ScenarioStore::MutationReport> ApplyMutation(
+      const wal::MutationRecord& record);
 
   // --- query API ---------------------------------------------------------
   /// Asynchronous submission. Never blocks on query work; returns a
@@ -194,6 +230,13 @@ class AqServer {
   std::unique_ptr<WorkerContext> AcquireContext();
   void ReleaseContext(std::unique_ptr<WorkerContext> context);
 
+  /// Folds one mutation report into the stats counters.
+  void NoteMutation(const ScenarioStore::MutationReport& report);
+  /// Appends `record` to the attached WAL (no-op when none is attached).
+  /// Must be called with wal_mu_ held, right after the store installed the
+  /// record's epoch.
+  util::Status LogMutation(const wal::MutationRecord& record);
+
   util::Result<core::AccessQueryResult> Execute(
       const AqRequest& request, const Scenario& scenario,
       WorkerContext* context, bool use_caches);
@@ -209,6 +252,12 @@ class AqServer {
   bool warm_started_ = false;
   ScenarioStore store_;
   ResultCache cache_;
+
+  /// Serialises the mutation+log critical section so WAL order always
+  /// equals epoch order (the store's own mutation_mu_ only covers the
+  /// store half). Never held while queries run.
+  std::mutex wal_mu_;
+  wal::MutationWal* wal_ = nullptr;  // attached log; not owned
 
   std::mutex context_mu_;
   std::vector<std::unique_ptr<WorkerContext>> free_contexts_;

@@ -9,7 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include "store/checksum.h"
+#include "util/hash.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -145,7 +145,7 @@ util::Status Reader::ParseFooter() {
   footer_offset_ = footer_offset;
   const uint8_t* footer = data_ + footer_offset;
   const size_t footer_size = file_size_ - kTrailerSize - footer_offset;
-  if (XxHash64(footer, footer_size) != footer_digest) {
+  if (util::XxHash64(footer, footer_size) != footer_digest) {
     return util::Status::DataLoss(path_ + ": footer checksum mismatch");
   }
 
@@ -207,7 +207,7 @@ util::Status Reader::VerifyBlocks(size_t index) {
   for (size_t b = 0; b < s.block_checksums.size(); ++b) {
     const size_t at = b * kBlockSize;
     const size_t n = std::min(kBlockSize, static_cast<size_t>(s.size) - at);
-    if (XxHash64(payload + at, n) != s.block_checksums[b]) {
+    if (util::XxHash64(payload + at, n) != s.block_checksums[b]) {
       return util::Status::DataLoss(
           util::Format("%s: checksum mismatch in section '%s' block %zu",
                        path_.c_str(), s.name.c_str(), b));

@@ -119,10 +119,11 @@ util::Status ReadPois(ByteReader* in, const std::string& section,
 // --- encoders --------------------------------------------------------------
 
 std::vector<uint8_t> EncodeMeta(const serve::Scenario& scenario,
-                                uint32_t next_poi_id, uint64_t num_states) {
+                                uint64_t base_sequence, uint32_t next_poi_id,
+                                uint64_t num_states) {
   const synth::City& city = scenario.base_city();
   std::vector<uint8_t> b;
-  PutVarint64(&b, scenario.epoch());
+  PutVarint64(&b, base_sequence + scenario.epoch());
   PutVarint64(&b, next_poi_id);
   PutVarint64(&b, num_states);
   PutLengthPrefixed(&b, city.spec.name);
@@ -1000,7 +1001,8 @@ util::Result<serve::RestoredScenario> LoadSnapshotImpl(
 }
 
 util::Status SaveSnapshotImpl(const serve::Scenario& scenario,
-                              uint32_t next_poi_id, const std::string& path) {
+                              uint32_t next_poi_id, const std::string& path,
+                              uint64_t base_sequence) {
   // Sort the materialised states by canonical key so the same serving
   // state always writes byte-identical snapshots (the memo map iterates in
   // hash order).
@@ -1021,7 +1023,7 @@ util::Status SaveSnapshotImpl(const serve::Scenario& scenario,
   };
 
   add(kMeta, SectionEncoding::kStruct,
-      EncodeMeta(scenario, next_poi_id, states.size()), 1);
+      EncodeMeta(scenario, base_sequence, next_poi_id, states.size()), 1);
   add(kCitySpec, SectionEncoding::kStruct, EncodeSpec(city), 1);
   add(kCityZones, SectionEncoding::kStruct, EncodeZones(city.zones),
       city.zones.size());
@@ -1078,9 +1080,10 @@ util::Status SaveSnapshotImpl(const serve::Scenario& scenario,
 }  // namespace
 
 util::Status SaveSnapshot(const serve::Scenario& scenario,
-                          uint32_t next_poi_id, const std::string& path) {
+                          uint32_t next_poi_id, const std::string& path,
+                          uint64_t base_sequence) {
   try {
-    return SaveSnapshotImpl(scenario, next_poi_id, path);
+    return SaveSnapshotImpl(scenario, next_poi_id, path, base_sequence);
   } catch (const std::exception& e) {
     // Injected faults (failpoints) and allocation failures surface as a
     // clean status; the torn file, if any, is unreadable by design.

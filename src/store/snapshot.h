@@ -37,8 +37,14 @@ namespace staq::store {
 /// The scenario is immutable, so this is safe while the store keeps
 /// serving queries and installing new epochs. Writes are atomic at the
 /// file level: a failed save leaves a torn file every reader rejects.
+///
+/// `base_sequence` is the owning store's sequence offset
+/// (ScenarioStore::base_sequence()): the persisted source epoch becomes
+/// base_sequence + scenario.epoch(), i.e. the *absolute* mutation sequence,
+/// so WAL replay chains across generations of snapshots.
 util::Status SaveSnapshot(const serve::Scenario& scenario,
-                          uint32_t next_poi_id, const std::string& path);
+                          uint32_t next_poi_id, const std::string& path,
+                          uint64_t base_sequence = 0);
 
 /// Loads a snapshot into the ingredients of a warm-started ScenarioStore.
 /// `options` selects the read mode (mmap zero-copy by default) and

@@ -9,7 +9,7 @@
 #endif
 #include <unistd.h>
 
-#include "store/checksum.h"
+#include "util/hash.h"
 #include "util/failpoint.h"
 
 namespace staq::store {
@@ -100,11 +100,11 @@ util::Status Writer::AddSection(const std::string& name,
   entry.element_count = element_count;
   for (size_t at = 0; at < payload.size(); at += kBlockSize) {
     size_t n = std::min(kBlockSize, payload.size() - at);
-    entry.block_checksums.push_back(XxHash64(payload.data() + at, n));
+    entry.block_checksums.push_back(util::XxHash64(payload.data() + at, n));
   }
   // Zero-length sections still carry one digest (of the empty block) so
   // "section exists" and "section verified" stay the same statement.
-  if (payload.empty()) entry.block_checksums.push_back(XxHash64(nullptr, 0));
+  if (payload.empty()) entry.block_checksums.push_back(util::XxHash64(nullptr, 0));
 
   STAQ_RETURN_NOT_OK(WriteAll(payload.data(), payload.size()));
   bytes_written_ += payload.size();
@@ -134,7 +134,7 @@ util::Status Writer::Finish() {
 
   uint8_t trailer[kTrailerSize];
   std::memcpy(trailer, &footer_offset, 8);
-  uint64_t footer_digest = XxHash64(footer.data(), footer.size());
+  uint64_t footer_digest = util::XxHash64(footer.data(), footer.size());
   std::memcpy(trailer + 8, &footer_digest, 8);
   std::memcpy(trailer + 16, &kTrailerMagic, 8);
   STAQ_RETURN_NOT_OK(WriteAll(trailer, sizeof(trailer)));

@@ -1,8 +1,8 @@
-#include "store/checksum.h"
+#include "util/hash.h"
 
 #include <cstring>
 
-namespace staq::store {
+namespace staq::util {
 
 namespace {
 
@@ -96,4 +96,4 @@ uint64_t XxHash64(const void* data, size_t size, uint64_t seed) {
   return h;
 }
 
-}  // namespace staq::store
+}  // namespace staq::util

@@ -1,0 +1,20 @@
+// XXH64 — the one hash staq uses for on-disk and on-wire integrity.
+//
+// Yann Collet's xxHash, reimplemented from the public specification (the
+// codebase must stay dependency-free). XXH64 is the family ClickHouse and
+// LZ4 frame use for block integrity: non-cryptographic, ~word-at-a-time
+// fast, and strong enough that a torn write, a truncated tail, or a
+// flipped bit is detected with probability 1 - 2^-64 per block. The
+// snapshot store, the mutation WAL, and the wire protocol all checksum
+// with it; the query router also uses it as its shard hash.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace staq::util {
+
+/// XXH64 digest of `data[0..size)` with the given seed.
+uint64_t XxHash64(const void* data, size_t size, uint64_t seed = 0);
+
+}  // namespace staq::util

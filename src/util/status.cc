@@ -26,6 +26,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

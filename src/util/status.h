@@ -29,6 +29,12 @@ enum class StatusCode {
   kCancelled,          // request withdrawn before it started
   kDataLoss,           // persisted data unreadable: checksum mismatch,
                        // truncation, torn write (snapshot store)
+  kUnavailable,        // transport: peer unreachable, connection lost,
+                       // replica behind the requested sequence — retryable
+                       // against another replica (net error mapping)
+  kAborted,            // operation gave up to preserve consistency: replayed
+                       // mutation diverged from its log record, WAL refused
+                       // an out-of-order append
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -73,6 +79,19 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  /// Builds a status with an explicit code — the wire-decode path, where a
+  /// remote error arrives as a code value plus message. kOk drops the
+  /// message (an OK status never carries one).
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,168 @@
+#include "wal/record.h"
+
+#include "util/strings.h"
+
+namespace staq::wal {
+
+const char* MutationTypeName(MutationType type) {
+  switch (type) {
+    case MutationType::kAddPoi:
+      return "add_poi";
+    case MutationType::kRemovePoi:
+      return "remove_poi";
+    case MutationType::kSetInterval:
+      return "set_interval";
+  }
+  return "unknown";
+}
+
+MutationRecord MutationRecord::AddPoi(uint64_t sequence,
+                                      synth::PoiCategory category,
+                                      const geo::Point& position,
+                                      uint32_t poi_id) {
+  MutationRecord record;
+  record.type = MutationType::kAddPoi;
+  record.sequence = sequence;
+  record.category = category;
+  record.position = position;
+  record.poi_id = poi_id;
+  return record;
+}
+
+MutationRecord MutationRecord::RemovePoi(uint64_t sequence, uint32_t poi_id) {
+  MutationRecord record;
+  record.type = MutationType::kRemovePoi;
+  record.sequence = sequence;
+  record.poi_id = poi_id;
+  return record;
+}
+
+MutationRecord MutationRecord::SetInterval(uint64_t sequence,
+                                           const gtfs::TimeInterval& interval) {
+  MutationRecord record;
+  record.type = MutationType::kSetInterval;
+  record.sequence = sequence;
+  record.interval = interval;
+  return record;
+}
+
+std::string MutationRecord::ToString() const {
+  switch (type) {
+    case MutationType::kAddPoi:
+      return util::Format("#%llu add_poi %s id=%u at (%.1f, %.1f)",
+                          static_cast<unsigned long long>(sequence),
+                          synth::PoiCategoryName(category), poi_id, position.x,
+                          position.y);
+    case MutationType::kRemovePoi:
+      return util::Format("#%llu remove_poi id=%u",
+                          static_cast<unsigned long long>(sequence), poi_id);
+    case MutationType::kSetInterval:
+      return util::Format("#%llu set_interval %s [%s, %s) day=%d",
+                          static_cast<unsigned long long>(sequence),
+                          interval.label.c_str(),
+                          gtfs::FormatTime(interval.start).c_str(),
+                          gtfs::FormatTime(interval.end).c_str(),
+                          static_cast<int>(interval.day));
+  }
+  return util::Format("#%llu unknown",
+                      static_cast<unsigned long long>(sequence));
+}
+
+bool MutationRecord::operator==(const MutationRecord& other) const {
+  if (type != other.type || sequence != other.sequence) return false;
+  switch (type) {
+    case MutationType::kAddPoi:
+      return category == other.category && position == other.position &&
+             poi_id == other.poi_id;
+    case MutationType::kRemovePoi:
+      return poi_id == other.poi_id;
+    case MutationType::kSetInterval:
+      return interval.start == other.interval.start &&
+             interval.end == other.interval.end &&
+             interval.day == other.interval.day &&
+             interval.label == other.interval.label;
+  }
+  return false;
+}
+
+void EncodeMutationRecord(const MutationRecord& record,
+                          std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(record.type));
+  store::PutVarint64(out, record.sequence);
+  switch (record.type) {
+    case MutationType::kAddPoi:
+      out->push_back(static_cast<uint8_t>(record.category));
+      // Raw IEEE bits: the replayed POI must land on the identical
+      // coordinates or the edit-stable RNG streams diverge.
+      store::PutFixed(out, record.position.x);
+      store::PutFixed(out, record.position.y);
+      store::PutVarint64(out, record.poi_id);
+      break;
+    case MutationType::kRemovePoi:
+      store::PutVarint64(out, record.poi_id);
+      break;
+    case MutationType::kSetInterval:
+      store::PutZigZag64(out, record.interval.start);
+      store::PutZigZag64(out, record.interval.end);
+      out->push_back(static_cast<uint8_t>(record.interval.day));
+      store::PutLengthPrefixed(out, record.interval.label);
+      break;
+  }
+}
+
+bool DecodeMutationRecord(store::ByteReader* in, MutationRecord* out) {
+  uint8_t type = 0;
+  if (!in->ReadFixed(&type)) return false;
+  if (type < static_cast<uint8_t>(MutationType::kAddPoi) ||
+      type > static_cast<uint8_t>(MutationType::kSetInterval)) {
+    return false;
+  }
+  *out = MutationRecord();
+  out->type = static_cast<MutationType>(type);
+  if (!in->ReadVarint64(&out->sequence)) return false;
+  switch (out->type) {
+    case MutationType::kAddPoi: {
+      uint8_t category = 0;
+      if (!in->ReadFixed(&category)) return false;
+      if (category >= synth::kNumPoiCategories) return false;
+      out->category = static_cast<synth::PoiCategory>(category);
+      uint64_t poi_id = 0;
+      if (!in->ReadFixed(&out->position.x) ||
+          !in->ReadFixed(&out->position.y) || !in->ReadVarint64(&poi_id) ||
+          poi_id > std::numeric_limits<uint32_t>::max()) {
+        return false;
+      }
+      out->poi_id = static_cast<uint32_t>(poi_id);
+      return true;
+    }
+    case MutationType::kRemovePoi: {
+      uint64_t poi_id = 0;
+      if (!in->ReadVarint64(&poi_id) ||
+          poi_id > std::numeric_limits<uint32_t>::max()) {
+        return false;
+      }
+      out->poi_id = static_cast<uint32_t>(poi_id);
+      return true;
+    }
+    case MutationType::kSetInterval: {
+      int64_t start = 0, end = 0;
+      uint8_t day = 0;
+      if (!in->ReadZigZag64(&start) || !in->ReadZigZag64(&end) ||
+          !in->ReadFixed(&day) || day > 6 ||
+          start < std::numeric_limits<gtfs::TimeOfDay>::min() ||
+          start > std::numeric_limits<gtfs::TimeOfDay>::max() ||
+          end < std::numeric_limits<gtfs::TimeOfDay>::min() ||
+          end > std::numeric_limits<gtfs::TimeOfDay>::max() ||
+          !in->ReadLengthPrefixed(&out->interval.label)) {
+        return false;
+      }
+      out->interval.start = static_cast<gtfs::TimeOfDay>(start);
+      out->interval.end = static_cast<gtfs::TimeOfDay>(end);
+      out->interval.day = static_cast<gtfs::Day>(day);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace staq::wal

@@ -1,0 +1,135 @@
+// Fault injection for staq::net: every socket failure site degrades into
+// a clean kUnavailable — a failed dial is retryable, a failed accept never
+// takes the server down, and a torn read/write costs one connection, not
+// the process. Sites covered (see DESIGN.md §8): net.connect, net.accept,
+// net.read, net.write.
+//
+// Failpoints are process-wide, so client and server threads evaluate the
+// same sites. Tests arm ThrowOnce and assert outcomes that hold whichever
+// thread consumes the trip.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "net_testing.h"
+#include "testing/test_city.h"
+#include "util/failpoint.h"
+
+namespace staq::net {
+namespace {
+
+using net_testing::FastExactRequest;
+
+class NetFailPointTest : public ::testing::Test {
+ protected:
+  NetFailPointTest() {
+    serve::AqServer::Options options;
+    options.num_threads = 2;
+    server_ = std::make_unique<serve::AqServer>(testing::TinyCity(),
+                                                gtfs::WeekdayAmPeak(), options);
+    tcp_ = std::make_unique<AqTcpServer>(server_.get(), AqTcpServer::Options());
+    auto started = tcp_->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  ~NetFailPointTest() override { util::FailPoints::DisarmAll(); }
+
+  std::unique_ptr<serve::AqServer> server_;
+  std::unique_ptr<AqTcpServer> tcp_;
+};
+
+TEST_F(NetFailPointTest, ConnectFailureIsUnavailableAndRetryable) {
+  {
+    util::ScopedFailPoint fp("net.connect",
+                             util::FailPointConfig::ThrowOnce());
+    auto client = AqClient::Connect("127.0.0.1", tcp_->port());
+    ASSERT_FALSE(client.ok());
+    EXPECT_EQ(client.status().code(), util::StatusCode::kUnavailable);
+  }
+  // The exact failure a dead backend produces — so the caller's retry
+  // logic (the router) needs no special case; a plain redial works.
+  auto retry = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_TRUE(retry.value().Info().ok());
+}
+
+TEST_F(NetFailPointTest, AcceptFailureNeverTakesTheServerDown) {
+  util::ScopedFailPoint fp("net.accept", util::FailPointConfig::ThrowOnce());
+  // The accept loop hits the site when it next enters Accept — either
+  // before this dial or right after serving it. Both dials must land:
+  // one bad accept is logged and skipped, never fatal.
+  auto first = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(first.ok()) << first.status();
+  auto second = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(first.value().Info().ok());
+  EXPECT_TRUE(second.value().Info().ok());
+  EXPECT_TRUE(tcp_->running());
+}
+
+TEST_F(NetFailPointTest, ReadFailureCostsAtMostOneConnection) {
+  auto client = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(client.ok());
+
+  {
+    util::ScopedFailPoint fp("net.read", util::FailPointConfig::ThrowOnce());
+    // Whoever consumes the trip — the client reading the reply, or the
+    // server's handler reading the next frame — the call either fails
+    // kUnavailable or completes against a connection the server then
+    // drops. Never a crash, never a wrong answer.
+    auto info = client.value().Info();
+    if (!info.ok()) {
+      EXPECT_EQ(info.status().code(), util::StatusCode::kUnavailable);
+    }
+  }
+
+  // The damage is confined to that one connection: a fresh dial works.
+  auto fresh = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_TRUE(fresh.value().Info().ok());
+  EXPECT_TRUE(tcp_->running());
+}
+
+TEST_F(NetFailPointTest, WriteFailureDropsTheConnectionCleanly) {
+  auto client = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(client.ok());
+
+  {
+    util::ScopedFailPoint fp("net.write",
+                             util::FailPointConfig::ThrowOnce());
+    // The client's send trips first (the server only writes in response
+    // to a frame it never receives). A half-written frame poisons the
+    // stream, so the client drops the connection rather than desync.
+    auto info = client.value().Info();
+    ASSERT_FALSE(info.ok());
+    EXPECT_EQ(info.status().code(), util::StatusCode::kUnavailable);
+  }
+  EXPECT_FALSE(client.value().connected());
+
+  auto fresh = AqClient::Connect("127.0.0.1", tcp_->port());
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_TRUE(fresh.value().Info().ok());
+}
+
+TEST_F(NetFailPointTest, RouterFailsOverAnInjectedConnectFault) {
+  // Two backend slots onto the same live server: the injected dial
+  // failure burns the first slot and failover lands on the second.
+  Backend address{"127.0.0.1", tcp_->port()};
+  QueryRouter router({{address, address}});
+  ShardKey key{"covely", "am"};
+
+  util::ScopedFailPoint fp("net.connect", util::FailPointConfig::ThrowOnce());
+  auto result = router.Query(key, FastExactRequest());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(router.stats().failovers, 1u);
+
+  auto golden = server_->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  net_testing::ExpectSameAnswer(result.value().result, golden.value());
+}
+
+}  // namespace
+}  // namespace staq::net

@@ -1,0 +1,52 @@
+// Shared fixtures for the net test suites: fast requests against the tiny
+// test city and the bit-identity comparator the distributed tests assert
+// with (same shape as the serve suite's).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/access_query.h"
+#include "serve/request.h"
+
+namespace staq::net_testing {
+
+inline serve::AqRequest FastExactRequest(
+    synth::PoiCategory category = synth::PoiCategory::kSchool) {
+  serve::AqRequest request;
+  request.category = category;
+  request.options.exact = true;
+  request.options.gravity.sample_rate_per_hour = 4;
+  request.options.gravity.keep_scale = 2.0;
+  request.options.seed = 3;
+  return request;
+}
+
+inline serve::AqRequest FastSsrRequest() {
+  serve::AqRequest request = FastExactRequest();
+  request.options.exact = false;
+  request.options.beta = 0.2;
+  request.options.model = ml::ModelKind::kOls;
+  return request;
+}
+
+/// Payload equality between two answers — everything except the cost
+/// accounting fields (spqs/elapsed differ between cached, incremental, and
+/// remote paths by design). Doubles compare bit-identically: the wire
+/// carries raw IEEE bits, so "same answer" means EXACTLY the same.
+inline void ExpectSameAnswer(const core::AccessQueryResult& a,
+                             const core::AccessQueryResult& b) {
+  ASSERT_EQ(a.mac.size(), b.mac.size());
+  for (size_t z = 0; z < a.mac.size(); ++z) {
+    EXPECT_EQ(a.mac[z], b.mac[z]) << "zone " << z;
+    EXPECT_EQ(a.acsd[z], b.acsd[z]) << "zone " << z;
+  }
+  EXPECT_EQ(a.classes, b.classes);
+  EXPECT_EQ(a.mean_mac, b.mean_mac);
+  EXPECT_EQ(a.mean_acsd, b.mean_acsd);
+  EXPECT_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.population_fairness, b.population_fairness);
+  EXPECT_EQ(a.vulnerable_fairness, b.vulnerable_fairness);
+  EXPECT_EQ(a.gravity_trips, b.gravity_trips);
+}
+
+}  // namespace staq::net_testing

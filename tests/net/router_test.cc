@@ -1,0 +1,166 @@
+// QueryRouter — stable placement, failover on kUnavailable, primary-only
+// mutations, and the read-your-writes floor across replicas.
+#include "net/router.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/server.h"
+#include "net_testing.h"
+#include "testing/test_city.h"
+
+namespace staq::net {
+namespace {
+
+using net_testing::ExpectSameAnswer;
+using net_testing::FastExactRequest;
+
+/// One in-process backend: an AqServer plus its TCP front end.
+struct TestBackend {
+  explicit TestBackend(bool allow_mutations = true) {
+    serve::AqServer::Options options;
+    options.num_threads = 2;
+    server = std::make_unique<serve::AqServer>(testing::TinyCity(),
+                                               gtfs::WeekdayAmPeak(), options);
+    AqTcpServer::Options tcp_options;
+    tcp_options.allow_mutations = allow_mutations;
+    tcp = std::make_unique<AqTcpServer>(server.get(), tcp_options);
+    auto started = tcp->Start();
+    EXPECT_TRUE(started.ok()) << started;
+  }
+
+  Backend Address() const { return Backend{"127.0.0.1", tcp->port()}; }
+
+  std::unique_ptr<serve::AqServer> server;
+  std::unique_ptr<AqTcpServer> tcp;
+};
+
+/// A loopback port with nothing listening on it (bound once, then freed).
+uint16_t DeadPort() {
+  auto listener = Listener::Bind(0);
+  EXPECT_TRUE(listener.ok());
+  return listener.value().port();  // freed when the listener dies
+}
+
+/// A key that lands on `want` out of `num_shards` (scans scenario names).
+ShardKey KeyForShard(size_t want, size_t num_shards) {
+  for (int i = 0; i < 1000; ++i) {
+    ShardKey key{"covely", "scenario-" + std::to_string(i)};
+    if (QueryRouter::ShardOf(key, num_shards) == want) return key;
+  }
+  ADD_FAILURE() << "no key found for shard " << want;
+  return ShardKey{};
+}
+
+TEST(ShardOfTest, PlacementIsStableAndInRange) {
+  ShardKey key{"brindale", "am-peak"};
+  const size_t first = QueryRouter::ShardOf(key, 7);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(QueryRouter::ShardOf(key, 7), first);  // no hidden state
+    EXPECT_LT(QueryRouter::ShardOf(key, 7), 7u);
+  }
+  // The canonical form distinguishes city from scenario.
+  EXPECT_EQ(key.Canonical(), "brindale/am-peak");
+  ShardKey other{"brindale", "pm-peak"};
+  EXPECT_NE(other.Canonical(), key.Canonical());
+}
+
+TEST(QueryRouterTest, RoutesEachKeyToItsOwnShard) {
+  TestBackend shard0;
+  TestBackend shard1;
+  QueryRouter router({{shard0.Address()}, {shard1.Address()}});
+
+  ShardKey key0 = KeyForShard(0, 2);
+  ShardKey key1 = KeyForShard(1, 2);
+
+  auto added = router.AddPoi(key0, synth::PoiCategory::kSchool,
+                             shard0.server->base_city().Centre());
+  ASSERT_TRUE(added.ok()) << added.status();
+  // The mutation landed on shard 0's backend and nowhere else.
+  EXPECT_EQ(shard0.server->epoch(), 1u);
+  EXPECT_EQ(shard1.server->epoch(), 0u);
+
+  auto result = router.Query(key1, FastExactRequest());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().sequence, 0u);  // shard 1 is unmutated
+  EXPECT_EQ(router.stats().queries, 1u);
+  EXPECT_EQ(router.stats().mutations, 1u);
+}
+
+TEST(QueryRouterTest, ReadsFailOverToALiveReplica) {
+  TestBackend live;
+  // Backend 0 (the "primary") is dead; reads must fail over to backend 1.
+  QueryRouter router({{Backend{"127.0.0.1", DeadPort()}, live.Address()}});
+  ShardKey key{"covely", "am"};
+
+  auto golden = live.server->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = router.Query(key, FastExactRequest());
+    ASSERT_TRUE(result.ok()) << result.status();
+    ExpectSameAnswer(result.value().result, golden.value());
+  }
+  EXPECT_GE(router.stats().failovers, 1u);
+}
+
+TEST(QueryRouterTest, NonRetryableErrorsSurfaceImmediately) {
+  TestBackend backend;
+  QueryRouter router({{backend.Address(), backend.Address()}});
+  ShardKey key{"covely", "am"};
+  serve::AqRequest bad = FastExactRequest();
+  bad.options.exact = false;   // SSR path so beta is actually consulted
+  bad.options.beta = -5.0;     // semantically invalid: retrying cannot help
+  auto result = router.Query(key, bad);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(router.stats().failovers, 0u);
+}
+
+TEST(QueryRouterTest, MutationsGoOnlyToThePrimary) {
+  TestBackend live;
+  // Primary (backend 0) dead, replica alive: a write must NOT fail over —
+  // it may or may not have landed, and silently retrying could fork
+  // history. It surfaces as kUnavailable instead.
+  QueryRouter router({{Backend{"127.0.0.1", DeadPort()}, live.Address()}});
+  ShardKey key{"covely", "am"};
+  auto result = router.AddPoi(key, synth::PoiCategory::kSchool,
+                              live.server->base_city().Centre());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kUnavailable);
+  EXPECT_EQ(live.server->epoch(), 0u);  // the replica never saw the write
+}
+
+TEST(QueryRouterTest, ReadYourWritesAcrossReplicas) {
+  // One shard, two backends over DIFFERENT servers: the primary takes the
+  // write, the stale backend never sees it (no replication wired here —
+  // that is replication_test's job). The router's floor must keep the
+  // stale backend from answering reads that require the write.
+  TestBackend primary;
+  TestBackend stale(/*allow_mutations=*/false);
+  QueryRouter router({{primary.Address(), stale.Address()}});
+  ShardKey key{"covely", "am"};
+
+  auto added = router.AddPoi(key, synth::PoiCategory::kSchool,
+                             primary.server->base_city().Centre());
+  ASSERT_TRUE(added.ok()) << added.status();
+  ASSERT_EQ(added.value().sequence, 1u);
+
+  auto golden = primary.server->QueryUncached(FastExactRequest());
+  ASSERT_TRUE(golden.ok());
+  // Round-robin alternates between primary and the stale replica; the
+  // stale one answers kUnavailable (behind the floor) and the router fails
+  // over, so EVERY answer reflects the write.
+  for (int i = 0; i < 4; ++i) {
+    auto result = router.Query(key, FastExactRequest());
+    ASSERT_TRUE(result.ok()) << "query " << i << ": " << result.status();
+    EXPECT_GE(result.value().sequence, 1u) << "query " << i;
+    ExpectSameAnswer(result.value().result, golden.value());
+  }
+  EXPECT_GE(router.stats().failovers, 1u);
+}
+
+}  // namespace
+}  // namespace staq::net

@@ -9,7 +9,7 @@
 
 #include <gtest/gtest.h>
 
-#include "store/checksum.h"
+#include "util/hash.h"
 #include "store/coding.h"
 
 namespace staq::store {
@@ -206,21 +206,21 @@ TEST(ByteReader, FixedReadsStopAtEnd) {
 
 TEST(XxHash64, MatchesReferenceVectors) {
   // Published xxHash test vectors (seed 0).
-  EXPECT_EQ(XxHash64(nullptr, 0), 0xEF46DB3751D8E999ull);
-  EXPECT_EQ(XxHash64("abc", 3), 0x44BC2CF5AD770999ull);
+  EXPECT_EQ(util::XxHash64(nullptr, 0), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(util::XxHash64("abc", 3), 0x44BC2CF5AD770999ull);
 }
 
 TEST(XxHash64, SeedAndContentChangeDigest) {
   const std::string data(1000, 'x');
-  const uint64_t base = XxHash64(data.data(), data.size());
-  EXPECT_NE(XxHash64(data.data(), data.size(), 1), base);
+  const uint64_t base = util::XxHash64(data.data(), data.size());
+  EXPECT_NE(util::XxHash64(data.data(), data.size(), 1), base);
 
   std::string flipped = data;
   flipped[500] ^= 0x01;
-  EXPECT_NE(XxHash64(flipped.data(), flipped.size()), base);
+  EXPECT_NE(util::XxHash64(flipped.data(), flipped.size()), base);
 
   // Stable across calls (no hidden state).
-  EXPECT_EQ(XxHash64(data.data(), data.size()), base);
+  EXPECT_EQ(util::XxHash64(data.data(), data.size()), base);
 }
 
 TEST(XxHash64, CoversAllStripeRemainders) {
@@ -230,7 +230,7 @@ TEST(XxHash64, CoversAllStripeRemainders) {
   for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<char>(i);
   std::vector<uint64_t> seen;
   for (size_t len : {0, 1, 3, 4, 7, 8, 15, 31, 32, 33, 63, 64, 65, 100}) {
-    uint64_t digest = XxHash64(data.data(), len);
+    uint64_t digest = util::XxHash64(data.data(), len);
     for (uint64_t prior : seen) EXPECT_NE(digest, prior) << "len " << len;
     seen.push_back(digest);
   }

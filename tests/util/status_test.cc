@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+#include <string>
+
 namespace staq::util {
 namespace {
 
@@ -29,6 +33,39 @@ TEST(StatusTest, AllCodesHaveNames) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+}
+
+TEST(StatusTest, TransportFactoriesCarryCode) {
+  Status unavailable = Status::Unavailable("replica behind");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "Unavailable: replica behind");
+  Status aborted = Status::Aborted("replay diverged");
+  EXPECT_EQ(aborted.code(), StatusCode::kAborted);
+  EXPECT_EQ(aborted.ToString(), "Aborted: replay diverged");
+}
+
+TEST(StatusTest, CodeNamesRoundTripUniquely) {
+  // The wire protocol ships codes by value and reports them by name; a
+  // duplicate or recycled name would make remote errors ambiguous. Walk
+  // every code (kOk..kAborted are contiguous) and require distinct names.
+  constexpr StatusCode kAllCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kInternal,
+      StatusCode::kIoError,      StatusCode::kResourceExhausted,
+      StatusCode::kDeadlineExceeded,   StatusCode::kCancelled,
+      StatusCode::kDataLoss,     StatusCode::kUnavailable,
+      StatusCode::kAborted,
+  };
+  std::set<std::string> names;
+  for (StatusCode code : kAllCodes) {
+    std::string name = StatusCodeName(code);
+    EXPECT_NE(name, "Unknown") << "unnamed code";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name: " << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllCodes));
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

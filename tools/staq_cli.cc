@@ -17,6 +17,10 @@
 //       exact label states) in the staq::store container format, reload
 //       it (warm start), or check a file's integrity.
 //
+//   staq_cli wal inspect|verify --dir DIR
+//       Walk a mutation WAL directory: list segments and records, or
+//       check every record checksum and the sequence chain.
+//
 // Queries can also run directly on a synthetic spec without saving:
 //   staq_cli query --synth covely --scale 0.1 --poi hospital
 #include <algorithm>
@@ -39,6 +43,7 @@
 #include "synth/city_io.h"
 #include "util/csv.h"
 #include "util/strings.h"
+#include "wal/wal.h"
 
 namespace staq {
 namespace {
@@ -100,10 +105,15 @@ constexpr char kSnapshotUsage[] =
     "  snapshot load --in FILE [--buffered]\n"
     "  snapshot inspect --in FILE\n"
     "  snapshot verify --in FILE\n";
+constexpr char kWalUsage[] =
+    "  wal inspect --dir DIR [--records]\n"
+    "  wal verify --dir DIR\n";
 
 int Usage() {
-  std::fprintf(stderr, "usage: staq_cli <synth|info|query|snapshot> [flags]\n%s%s%s%s",
-               kSynthUsage, kInfoUsage, kQueryUsage, kSnapshotUsage);
+  std::fprintf(stderr,
+               "usage: staq_cli <synth|info|query|snapshot|wal> [flags]\n"
+               "%s%s%s%s%s",
+               kSynthUsage, kInfoUsage, kQueryUsage, kSnapshotUsage, kWalUsage);
   return 2;
 }
 
@@ -130,6 +140,22 @@ bool CheckFlags(const Args& args, const std::string& command,
     }
   }
   return ok;
+}
+
+/// The positional analogue of CheckFlags: rejects a command or verb the
+/// tool does not understand, through the same complain-then-usage path a
+/// typoed flag takes. `scope` is "" for top-level commands, the command
+/// name for its verbs.
+bool CheckCommand(const std::string& scope, const std::string& name,
+                  std::initializer_list<const char*> allowed) {
+  bool known = std::any_of(allowed.begin(), allowed.end(),
+                           [&name](const char* a) { return name == a; });
+  if (!known) {
+    std::fprintf(stderr, "staq_cli%s%s: unknown %s '%s'\n",
+                 scope.empty() ? "" : " ", scope.c_str(),
+                 scope.empty() ? "command" : "verb", name.c_str());
+  }
+  return known;
 }
 
 util::Result<synth::CitySpec> SpecFor(const std::string& name, double scale,
@@ -508,24 +534,100 @@ int RunSnapshotVerify(const Args& args) {
 int RunSnapshot(int argc, char** argv, const Args& args) {
   if (argc < 3) return UsageFor("snapshot", kSnapshotUsage);
   std::string verb = argv[2];
+  if (!CheckCommand("snapshot", verb, {"save", "load", "inspect", "verify"})) {
+    return UsageFor("snapshot", kSnapshotUsage);
+  }
   if (verb == "save") return RunSnapshotSave(args);
   if (verb == "load") return RunSnapshotLoad(args);
   if (verb == "inspect") return RunSnapshotInspect(args);
-  if (verb == "verify") return RunSnapshotVerify(args);
-  std::fprintf(stderr, "staq_cli snapshot: unknown verb '%s'\n", verb.c_str());
-  return UsageFor("snapshot", kSnapshotUsage);
+  return RunSnapshotVerify(args);
+}
+
+int RunWalInspect(const Args& args) {
+  if (!CheckFlags(args, "wal inspect", {"dir", "records"})) {
+    return UsageFor("wal inspect", kWalUsage);
+  }
+  if (!args.Has("dir")) {
+    std::fprintf(stderr, "wal inspect: --dir DIR is required\n");
+    return UsageFor("wal inspect", kWalUsage);
+  }
+  std::string dir = args.Get("dir", "");
+  auto contents = wal::ReadLog(dir);
+  if (!contents.ok()) {
+    std::fprintf(stderr, "%s: %s\n", dir.c_str(),
+                 contents.status().ToString().c_str());
+    return 1;
+  }
+  const wal::WalContents& log = contents.value();
+  std::printf("segments      : %zu\n", log.segments.size());
+  std::printf("records       : %zu\n", log.records.size());
+  if (!log.records.empty()) {
+    std::printf("sequences     : %llu .. %llu\n",
+                static_cast<unsigned long long>(log.records.front().sequence),
+                static_cast<unsigned long long>(log.records.back().sequence));
+  }
+  std::printf("%-32s %20s %10s %12s\n", "segment", "start_seq", "records",
+              "bytes");
+  for (const wal::WalSegmentInfo& s : log.segments) {
+    std::printf("%-32s %20llu %10llu %12llu\n", s.path.c_str(),
+                static_cast<unsigned long long>(s.start_sequence),
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.bytes));
+  }
+  if (log.torn_tail) {
+    std::printf("torn tail     : %s at byte %llu (Open() will truncate)\n",
+                log.torn_path.c_str(),
+                static_cast<unsigned long long>(log.torn_offset));
+  }
+  if (args.Has("records")) {
+    for (const wal::MutationRecord& record : log.records) {
+      std::printf("%s\n", record.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int RunWalVerify(const Args& args) {
+  if (!CheckFlags(args, "wal verify", {"dir"})) {
+    return UsageFor("wal verify", kWalUsage);
+  }
+  if (!args.Has("dir")) {
+    std::fprintf(stderr, "wal verify: --dir DIR is required\n");
+    return UsageFor("wal verify", kWalUsage);
+  }
+  std::string dir = args.Get("dir", "");
+  if (auto st = wal::VerifyLog(dir); !st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", dir.c_str(), st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: OK (checksums valid, sequence chain gap-free)\n",
+              dir.c_str());
+  return 0;
+}
+
+int RunWal(int argc, char** argv, const Args& args) {
+  if (argc < 3) return UsageFor("wal", kWalUsage);
+  std::string verb = argv[2];
+  if (!CheckCommand("wal", verb, {"inspect", "verify"})) {
+    return UsageFor("wal", kWalUsage);
+  }
+  if (verb == "inspect") return RunWalInspect(args);
+  return RunWalVerify(args);
 }
 
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
+  if (!CheckCommand("", command, {"synth", "info", "query", "snapshot",
+                                  "wal"})) {
+    return Usage();
+  }
   Args args(argc, argv);
   if (command == "synth") return RunSynth(args);
   if (command == "info") return RunInfo(args);
   if (command == "query") return RunQuery(args);
   if (command == "snapshot") return RunSnapshot(argc, argv, args);
-  std::fprintf(stderr, "staq_cli: unknown command '%s'\n", command.c_str());
-  return Usage();
+  return RunWal(argc, argv, args);
 }
 
 }  // namespace

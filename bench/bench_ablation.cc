@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 
 namespace staq::bench {
 namespace {
@@ -193,7 +194,9 @@ void ParallelLabelingSpeedup(BenchCity& bc, util::CsvTable* csv) {
   }
 }
 
-int Main() {
+}  // namespace
+
+exp::RunResult RunAblationBench() {
   PrintHeader(
       "Ablations: decay scale, feature groups, keep scale, sampling "
       "strategies, parallel labeling");
@@ -215,10 +218,19 @@ int Main() {
       "sampling helps most at tiny budgets;\nlabeling parallelises near-"
       "linearly (paper §II).\n");
   EmitCsv(csv, "ablation.csv");
-  return 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "ablation");
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.String("csv", "ablation.csv");
+  w.Uint("csv_rows", csv.num_rows());
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("ablation", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Main(); }

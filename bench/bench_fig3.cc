@@ -8,11 +8,14 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 
 namespace staq::bench {
 namespace {
 
-int Main() {
+}  // namespace
+
+exp::RunResult RunFig3Bench() {
   PrintHeader("Fig. 3: JT mean-absolute error across models and budgets");
   util::CsvTable csv({"city", "poi", "model", "beta", "jt_mae_min",
                       "mac_corr", "spqs", "ground_truth_spqs"});
@@ -78,10 +81,19 @@ int Main() {
       "Birmingham tolerates lower\nbudgets than Coventry; at beta=3%% school"
       " JT error is ~3.3 minutes.\n");
   EmitCsv(csv, "fig3_jt_errors.csv");
-  return 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "fig3");
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.String("csv", "fig3_jt_errors.csv");
+  w.Uint("csv_rows", csv.num_rows());
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("fig3", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Main(); }

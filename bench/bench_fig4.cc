@@ -5,11 +5,14 @@
 #include <map>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 
 namespace staq::bench {
 namespace {
 
-int Main() {
+}  // namespace
+
+exp::RunResult RunFig4Bench() {
   PrintHeader(
       "Fig. 4: GAC metrics on vaccination centres (MAC corr / ACSD corr / "
       "AC accuracy / FIE)");
@@ -93,10 +96,19 @@ int Main() {
       "budgets, worse in the\nsmaller (more walk-only) city; accuracy > 60%%"
       " for MLP at beta=5%% in Birmingham;\nFIE small everywhere.\n");
   EmitCsv(csv, "fig4_gac_metrics.csv");
-  return 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "fig4");
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.String("csv", "fig4_gac_metrics.csv");
+  w.Uint("csv_rows", csv.num_rows());
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("fig4", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Main(); }

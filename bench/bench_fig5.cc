@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 
 namespace staq::bench {
 namespace {
@@ -43,7 +44,9 @@ void AsciiChoropleth(const synth::City& city, const std::vector<double>& mac,
   }
 }
 
-int Main() {
+}  // namespace
+
+exp::RunResult RunFig5Bench() {
   PrintHeader("Fig. 5: predicted GAC MAC maps for vaccination centres");
   util::CsvTable csv({"city", "beta", "zone", "x_m", "y_m", "truth_mac",
                       "predicted_mac", "labeled"});
@@ -74,7 +77,7 @@ int Main() {
     if (!run.ok()) {
       std::fprintf(stderr, "run failed: %s\n",
                    run.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
 
     core::EvaluationMetrics m = Evaluate(truth, run.value());
@@ -103,10 +106,19 @@ int Main() {
       "access\npattern (good centre / worse periphery structure) at low "
       "budgets.\n");
   EmitCsv(csv, "fig5_mac_maps.csv");
-  return 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "fig5");
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.String("csv", "fig5_mac_maps.csv");
+  w.Uint("csv_rows", csv.num_rows());
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("fig5", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Main(); }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 #include "core/labeling.h"
 #include "core/parallel_labeling.h"
 #include "core/todam.h"
@@ -78,7 +79,9 @@ bool SameLabels(const std::vector<core::ZoneLabel>& a,
   return true;
 }
 
-int Run() {
+}  // namespace
+
+exp::RunResult RunLabelingBench() {
   PrintHeader("Zone-labeling throughput: per-trip vs batched SPQ engine");
 
   BenchCity bc =
@@ -142,8 +145,10 @@ int Run() {
   results.push_back(
       run_serial("csa profile", csa_opts, core::LabelingMode::kProfile));
 
-  int threads =
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  int threads = Params().threads > 0
+                    ? Params().threads
+                    : static_cast<int>(
+                          std::max(1u, std::thread::hardware_concurrency()));
   auto run_pooled = [&](const std::string& name, router::RouterOptions opts,
                         core::LabelingMode mode) {
     ModeResult r;
@@ -167,7 +172,7 @@ int Run() {
     if (!SameLabels(results[0].labels, results[i].labels)) {
       std::fprintf(stderr, "FATAL: %s labels differ from %s\n",
                    results[i].name.c_str(), results[0].name.c_str());
-      return 1;
+      return {1, ""};
     }
   }
   std::printf("  all modes bit-identical to '%s'\n\n",
@@ -199,56 +204,48 @@ int Run() {
               gate_passed ? "PASS" : "FAIL", kCsaTargetSpeedup,
               target_met ? "met" : "not met serially");
 
-  std::string path = OutDir() + "/BENCH_labeling.json";
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
-    return 1;
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "labeling");
+  w.String("city", bc.name);
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.Uint("zones", zones.size());
+  w.Uint("trips", todam.num_trips());
+  w.Uint("connections", connections->num_connections());
+  w.Fixed("connections_build_seconds", connections->build_seconds(), 6);
+  w.BeginArray("modes");
+  for (const ModeResult& r : results) {
+    w.BeginObject();
+    w.String("name", r.name);
+    w.String("engine", r.engine);
+    w.Fixed("seconds", r.seconds, 6);
+    w.Fixed("zones_per_s", static_cast<double>(zones.size()) / r.seconds, 3);
+    w.Fixed("spqs_per_s", static_cast<double>(r.spqs) / r.seconds, 1);
+    w.Uint("spqs", r.spqs);
+    w.Uint("expansions", r.expansions);
+    w.Fixed("speedup_vs_baseline", results[0].seconds / r.seconds, 4);
+    w.EndObject();
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"labeling\",\n");
-  std::fprintf(f, "  \"city\": \"%s\",\n", bc.name.c_str());
-  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
-  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(BenchSeed()));
-  std::fprintf(f, "  \"zones\": %zu,\n", zones.size());
-  std::fprintf(f, "  \"trips\": %llu,\n",
-               static_cast<unsigned long long>(todam.num_trips()));
-  std::fprintf(f, "  \"connections\": %zu,\n", connections->num_connections());
-  std::fprintf(f, "  \"connections_build_seconds\": %.6f,\n",
-               connections->build_seconds());
-  std::fprintf(f, "  \"modes\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ModeResult& r = results[i];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"engine\": \"%s\", "
-                 "\"seconds\": %.6f, "
-                 "\"zones_per_s\": %.3f, \"spqs_per_s\": %.1f, "
-                 "\"spqs\": %llu, \"expansions\": %llu, "
-                 "\"speedup_vs_baseline\": %.4f}%s\n",
-                 r.name.c_str(), r.engine.c_str(), r.seconds,
-                 static_cast<double>(zones.size()) / r.seconds,
-                 static_cast<double>(r.spqs) / r.seconds,
-                 static_cast<unsigned long long>(r.spqs),
-                 static_cast<unsigned long long>(r.expansions),
-                 results[0].seconds / r.seconds,
-                 i + 1 < results.size() ? "," : "");
+  w.EndArray();
+  w.Fixed("csa_speedup_floor", kCsaSpeedupFloor, 1);
+  w.Fixed("csa_target_speedup", kCsaTargetSpeedup, 1);
+  w.Fixed("csa_profile_speedup", csa_speedup, 4);
+  w.Bool("gate_passed", gate_passed);
+  w.Bool("target_met", target_met);
+  w.Bool("bit_identical", true);
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("labeling", json);
+
+  int exit_code = gate_passed ? 0 : 1;
+  if (!gate_passed && Params().relax_gates) {
+    std::printf("  (gate relaxed: reporting only)\n");
+    exit_code = 0;
   }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"csa_speedup_floor\": %.1f,\n", kCsaSpeedupFloor);
-  std::fprintf(f, "  \"csa_target_speedup\": %.1f,\n", kCsaTargetSpeedup);
-  std::fprintf(f, "  \"csa_profile_speedup\": %.4f,\n", csa_speedup);
-  std::fprintf(f, "  \"gate_passed\": %s,\n", gate_passed ? "true" : "false");
-  std::fprintf(f, "  \"target_met\": %s,\n", target_met ? "true" : "false");
-  std::fprintf(f, "  \"bit_identical\": true\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("  -> wrote %s\n", path.c_str());
-  return gate_passed ? 0 : 1;
+  return {exit_code, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
 
-int main() { return staq::bench::Run(); }

@@ -1,0 +1,7 @@
+// Shared main for the per-bench executables: each binary is this stub
+// compiled with -DSTAQ_BENCH_NAME="<name>", dispatching into the bench
+// registry. The bench logic itself lives in a library so the experiment
+// runner and staq_cli can call it in-process.
+#include "bench_registry.h"
+
+int main() { return staq::bench::RunBenchMain(STAQ_BENCH_NAME); }

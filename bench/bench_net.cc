@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 #include "net/client.h"
 #include "net/replica.h"
 #include "net/router.h"
@@ -52,41 +53,12 @@ bool SameAnswer(const core::AccessQueryResult& a,
          a.gravity_trips == b.gravity_trips;
 }
 
-struct LatencySummary {
-  size_t count = 0;
-  double seconds = 0.0;
-  double qps = 0.0;
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
-};
-
-LatencySummary Summarise(std::vector<double> latencies_ms,
-                         double phase_seconds) {
-  LatencySummary s;
-  s.count = latencies_ms.size();
-  s.seconds = phase_seconds;
-  if (latencies_ms.empty()) return s;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  double sum = 0.0;
-  for (double ms : latencies_ms) sum += ms;
-  s.mean_ms = sum / static_cast<double>(s.count);
-  auto pct = [&](double q) {
-    size_t index = static_cast<size_t>(q * static_cast<double>(s.count - 1));
-    return latencies_ms[index];
-  };
-  s.p50_ms = pct(0.50);
-  s.p95_ms = pct(0.95);
-  s.p99_ms = pct(0.99);
-  s.qps = static_cast<double>(s.count) / phase_seconds;
-  return s;
-}
-
-void PrintPhase(const char* name, const LatencySummary& s) {
+void PrintPhase(const char* name, const LatencySummary& s, double seconds) {
   std::printf("  %-8s %6zu req %9.3f s %8.1f q/s   p50 %8.2f  p95 %8.2f  "
               "p99 %8.2f ms\n",
-              name, s.count, s.seconds, s.qps, s.p50_ms, s.p95_ms, s.p99_ms);
+              name, s.n, seconds,
+              seconds > 0 ? static_cast<double>(s.n) / seconds : 0.0, s.p50_ms,
+              s.p95_ms, s.p99_ms);
 }
 
 std::unique_ptr<net::Replica> StartReplica(const synth::City& city,
@@ -111,6 +83,7 @@ std::unique_ptr<net::Replica> StartReplica(const synth::City& city,
 /// fsync-every-append contract, then recovery (reopen + full read-back).
 struct WalCosts {
   LatencySummary append;
+  double append_seconds = 0.0;
   double recovery_open_ms = 0.0;
   double recovery_read_ms = 0.0;
   size_t records = 0;
@@ -146,7 +119,8 @@ bool MeasureWal(const std::string& dir, WalCosts* costs) {
     }
     costs->bytes = wal.value()->stats().bytes_appended;
   }
-  costs->append = Summarise(std::move(append_ms), phase.ElapsedSeconds());
+  costs->append = Summarise(std::move(append_ms));
+  costs->append_seconds = phase.ElapsedSeconds();
   costs->records = kRecords;
 
   util::Stopwatch open_watch;
@@ -167,7 +141,9 @@ bool MeasureWal(const std::string& dir, WalCosts* costs) {
   return true;
 }
 
-int Run() {
+}  // namespace
+
+exp::RunResult RunNetBench() {
   PrintHeader("staq::net — router + 3 replicas over TCP, kill-and-recover");
 
   const synth::CitySpec spec =
@@ -176,7 +152,7 @@ int Run() {
   if (!built.ok()) {
     std::fprintf(stderr, "city build failed: %s\n",
                  built.status().ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   synth::City city = std::move(built).value();
   const size_t num_zones = city.zones.size();
@@ -197,23 +173,23 @@ int Run() {
   if (!wal.ok()) {
     std::fprintf(stderr, "wal open failed: %s\n",
                  wal.status().ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   if (auto attached = primary.AttachWal(wal.value().get()); !attached.ok()) {
     std::fprintf(stderr, "attach failed: %s\n", attached.ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   net::AqTcpServer primary_tcp(&primary, net::AqTcpServer::Options());
   if (!primary_tcp.Start().ok()) {
     std::fprintf(stderr, "primary tcp start failed\n");
-    return 1;
+    return {1, ""};
   }
 
   util::Stopwatch snapshot_watch;
   if (auto exported = primary.ExportSnapshot(snapshot); !exported.ok()) {
     std::fprintf(stderr, "snapshot export failed: %s\n",
                  exported.ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   const double snapshot_export_ms = snapshot_watch.ElapsedMillis();
 
@@ -224,7 +200,7 @@ int Run() {
     replicas.push_back(
         StartReplica(primary.base_city(), snapshot, wal_dir));
     bootstrap_ms.push_back(watch.ElapsedMillis());
-    if (replicas.back() == nullptr) return 1;
+    if (replicas.back() == nullptr) return {1, ""};
   }
   std::printf("  city=%s  zones=%zu  primary + 3 replicas over loopback TCP\n",
               spec.name.c_str(), num_zones);
@@ -301,10 +277,10 @@ int Run() {
     util::Stopwatch watch;
     auto routed = router.Query(key, request);
     cold_ms.push_back(watch.ElapsedMillis());
-    if (!gate(request, routed, "cold")) return 1;
+    if (!gate(request, routed, "cold")) return {1, ""};
   }
-  LatencySummary cold = Summarise(std::move(cold_ms),
-                                  cold_watch.ElapsedSeconds());
+  const double cold_seconds = cold_watch.ElapsedSeconds();
+  LatencySummary cold = Summarise(std::move(cold_ms));
 
   // --- steady: rounds over the mix, edits landing in between, one
   // replica killed and recovered mid-phase ------------------------------
@@ -329,10 +305,10 @@ int Run() {
       util::Stopwatch watch;
       replicas[0] = StartReplica(primary.base_city(), snapshot, wal_dir,
                                  killed_port);
-      if (replicas[0] == nullptr) return 1;
+      if (replicas[0] == nullptr) return {1, ""};
       if (!replicas[0]->CatchUp(expected_sequence, 60.0).ok()) {
         std::fprintf(stderr, "restarted replica failed to catch up\n");
-        return 1;
+        return {1, ""};
       }
       replica_restart_ms = watch.ElapsedMillis();
       std::printf("  [round %d] replica 0 restarted and caught up in "
@@ -347,7 +323,7 @@ int Run() {
       if (!added.ok()) {
         std::fprintf(stderr, "routed add failed: %s\n",
                      added.status().ToString().c_str());
-        return 1;
+        return {1, ""};
       }
       pending_poi = added.value().report.poi_id;
       expected_sequence = added.value().sequence;
@@ -356,7 +332,7 @@ int Run() {
       if (!removed.ok()) {
         std::fprintf(stderr, "routed remove failed: %s\n",
                      removed.status().ToString().c_str());
-        return 1;
+        return {1, ""};
       }
       expected_sequence = removed.value().sequence;
     }
@@ -365,31 +341,31 @@ int Run() {
       util::Stopwatch watch;
       auto routed = router.Query(key, request);
       steady_ms.push_back(watch.ElapsedMillis());
-      if (!gate(request, routed, "steady")) return 1;
+      if (!gate(request, routed, "steady")) return {1, ""};
       if (routed.value().sequence < expected_sequence) {
         std::fprintf(stderr,
                      "GATE FAILED (steady): answer at sequence %llu below "
                      "the read-your-writes floor %llu\n",
                      static_cast<unsigned long long>(routed.value().sequence),
                      static_cast<unsigned long long>(expected_sequence));
-        return 1;
+        return {1, ""};
       }
     }
   }
-  LatencySummary steady = Summarise(std::move(steady_ms),
-                                    steady_watch.ElapsedSeconds());
+  const double steady_seconds = steady_watch.ElapsedSeconds();
+  LatencySummary steady = Summarise(std::move(steady_ms));
 
   const net::QueryRouter::Stats router_stats = router.stats();
   const wal::WalStats wal_stats = wal.value()->stats();
 
   // --- WAL microcosts on a scratch log ----------------------------------
   WalCosts wal_costs;
-  if (!MeasureWal(OutDir() + "/bench_net_scratch_wal", &wal_costs)) return 1;
+  if (!MeasureWal(OutDir() + "/bench_net_scratch_wal", &wal_costs)) return {1, ""};
 
   std::printf("\n  every routed response bit-identical to the primary's "
               "QueryUncached golden\n\n");
-  PrintPhase("cold", cold);
-  PrintPhase("steady", steady);
+  PrintPhase("cold", cold, cold_seconds);
+  PrintPhase("steady", steady, steady_seconds);
   std::printf("\n  router: %llu queries, %llu mutations, %llu failovers, "
               "%llu redials\n",
               static_cast<unsigned long long>(router_stats.queries),
@@ -411,66 +387,59 @@ int Run() {
   std::printf("  replica restart (snapshot + replay + catch-up): %.1f ms\n",
               replica_restart_ms);
 
-  std::string path = OutDir() + "/BENCH_net.json";
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
-    return 1;
-  }
-  auto phase_json = [&](const char* name, const LatencySummary& s,
-                        const char* tail) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"requests\": %zu, "
-                 "\"seconds\": %.6f, \"qps\": %.2f, \"mean_ms\": %.4f, "
-                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
-                 name, s.count, s.seconds, s.qps, s.mean_ms, s.p50_ms,
-                 s.p95_ms, s.p99_ms, tail);
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "net");
+  w.String("city", spec.name);
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.Uint("zones", num_zones);
+  w.Uint("replicas", replicas.size());
+  w.Bool("bit_identical", true);
+  w.BeginArray("phases");
+  auto phase_json = [&w](const char* name, const LatencySummary& s,
+                         double seconds) {
+    w.BeginObject();
+    w.String("name", name);
+    WriteLatency(w, s, seconds);
+    w.EndObject();
   };
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"net\",\n");
-  std::fprintf(f, "  \"city\": \"%s\",\n", spec.name.c_str());
-  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
-  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(BenchSeed()));
-  std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
-  std::fprintf(f, "  \"replicas\": %zu,\n", replicas.size());
-  std::fprintf(f, "  \"bit_identical\": true,\n");
-  std::fprintf(f, "  \"phases\": [\n");
-  phase_json("cold", cold, ",");
-  phase_json("steady", steady, "");
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"router\": {\"queries\": %llu, \"mutations\": %llu, "
-               "\"failovers\": %llu, \"redials\": %llu},\n",
-               static_cast<unsigned long long>(router_stats.queries),
-               static_cast<unsigned long long>(router_stats.mutations),
-               static_cast<unsigned long long>(router_stats.failovers),
-               static_cast<unsigned long long>(router_stats.redials));
-  std::fprintf(f, "  \"wal\": {\"append_mean_ms\": %.4f, "
-               "\"append_p50_ms\": %.4f, \"append_p95_ms\": %.4f, "
-               "\"append_records\": %zu, \"recovery_open_ms\": %.4f, "
-               "\"recovery_read_ms\": %.4f, \"bytes\": %llu},\n",
-               wal_costs.append.mean_ms, wal_costs.append.p50_ms,
-               wal_costs.append.p95_ms, wal_costs.records,
-               wal_costs.recovery_open_ms, wal_costs.recovery_read_ms,
-               static_cast<unsigned long long>(wal_costs.bytes));
-  std::fprintf(f, "  \"replication\": {\"snapshot_export_ms\": %.4f, "
-               "\"bootstrap_ms\": [%.4f, %.4f, %.4f], "
-               "\"restart_recover_ms\": %.4f}\n",
-               snapshot_export_ms, bootstrap_ms[0], bootstrap_ms[1],
-               bootstrap_ms[2], replica_restart_ms);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("  -> wrote %s\n", path.c_str());
+  phase_json("cold", cold, cold_seconds);
+  phase_json("steady", steady, steady_seconds);
+  w.EndArray();
+  w.BeginObject("router");
+  w.Uint("queries", router_stats.queries);
+  w.Uint("mutations", router_stats.mutations);
+  w.Uint("failovers", router_stats.failovers);
+  w.Uint("redials", router_stats.redials);
+  w.EndObject();
+  w.BeginObject("wal");
+  w.Fixed("append_mean_ms", wal_costs.append.mean_ms, 4);
+  w.Fixed("append_p50_ms", wal_costs.append.p50_ms, 4);
+  w.Fixed("append_p95_ms", wal_costs.append.p95_ms, 4);
+  w.Bool("append_p95_approx", wal_costs.append.p95_approx);
+  w.Uint("append_records", wal_costs.records);
+  w.Fixed("recovery_open_ms", wal_costs.recovery_open_ms, 4);
+  w.Fixed("recovery_read_ms", wal_costs.recovery_read_ms, 4);
+  w.Uint("bytes", wal_costs.bytes);
+  w.EndObject();
+  w.BeginObject("replication");
+  w.Fixed("snapshot_export_ms", snapshot_export_ms, 4);
+  w.BeginArray("bootstrap_ms");
+  for (double ms : bootstrap_ms) w.Fixed(nullptr, ms, 4);
+  w.EndArray();
+  w.Fixed("restart_recover_ms", replica_restart_ms, 4);
+  w.EndObject();
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("net", json);
 
   for (auto& replica : replicas) replica->Stop();
   primary_tcp.Stop();
   fs::remove_all(wal_dir);
   fs::remove(snapshot);
-  return 0;
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Run(); }

@@ -1,0 +1,62 @@
+// The bench registry: every experiment in the suite as a linkable entry
+// point with a uniform result record.
+//
+// Each bench_*.cc defines one Run<Name>Bench() returning exp::RunResult
+// (exit code + the machine-readable BENCH_*.json document). The table
+// below is the single source of truth for what exists; it feeds
+//   * the per-bench executables (bench_main.cc stub, one per entry),
+//   * `staq_cli bench list` / `bench run`,
+//   * the experiment runner (MakeBenchRegistry() adapts entries into an
+//     exp::BenchRegistry, overlaying cell parameters onto BenchParams).
+//
+// Micro benches (google-benchmark binaries) are listed for `bench list`
+// completeness but carry no entry point — they keep their own mains.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+
+namespace staq::bench {
+
+/// Kind of bench: "perf" emits a gated BENCH_*.json, "paper" reproduces a
+/// paper table/figure (CSV + summary JSON), "micro" is a google-benchmark
+/// binary with no linkable entry point.
+struct BenchInfo {
+  const char* name;
+  const char* kind;
+  const char* title;
+  exp::RunResult (*fn)();  // nullptr for micro benches
+};
+
+/// All benches, in suite order.
+const std::vector<BenchInfo>& BenchTable();
+
+/// The bench for `name`, or nullptr.
+const BenchInfo* FindBench(const std::string& name);
+
+/// Adapts every runnable entry into an exp::BenchRegistry. Each call
+/// rebuilds BenchParams from the environment, overlays the cell's
+/// parameters, and installs them for the bench's duration.
+exp::BenchRegistry MakeBenchRegistry();
+
+/// Entry point for the per-bench executables: runs `name` with
+/// environment parameters and returns its exit code.
+int RunBenchMain(const char* name);
+
+// One entry point per bench (defined in the matching bench_*.cc).
+exp::RunResult RunLabelingBench();
+exp::RunResult RunMlBench();
+exp::RunResult RunStoreBench();
+exp::RunResult RunServeBench();
+exp::RunResult RunNetBench();
+exp::RunResult RunQualityBench();
+exp::RunResult RunTable1Bench();
+exp::RunResult RunTable2Bench();
+exp::RunResult RunFig3Bench();
+exp::RunResult RunFig4Bench();
+exp::RunResult RunFig5Bench();
+exp::RunResult RunAblationBench();
+
+}  // namespace staq::bench

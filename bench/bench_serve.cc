@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 #include "router/connections.h"
 #include "serve/server.h"
 #include "util/stopwatch.h"
@@ -73,44 +74,17 @@ bool GateAgainstGolden(serve::AqServer& server, const serve::AqRequest& request,
   return true;
 }
 
-struct LatencySummary {
-  size_t count = 0;
-  double seconds = 0.0;  // wall-clock of the whole phase
-  double qps = 0.0;
-  double mean_ms = 0.0;
-  double p50_ms = 0.0;
-  double p95_ms = 0.0;
-  double p99_ms = 0.0;
-};
-
-LatencySummary Summarise(std::vector<double> latencies_ms,
-                         double phase_seconds) {
-  LatencySummary s;
-  s.count = latencies_ms.size();
-  s.seconds = phase_seconds;
-  if (latencies_ms.empty()) return s;
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  double sum = 0.0;
-  for (double ms : latencies_ms) sum += ms;
-  s.mean_ms = sum / static_cast<double>(s.count);
-  auto pct = [&](double q) {
-    size_t index = static_cast<size_t>(q * static_cast<double>(s.count - 1));
-    return latencies_ms[index];
-  };
-  s.p50_ms = pct(0.50);
-  s.p95_ms = pct(0.95);
-  s.p99_ms = pct(0.99);
-  s.qps = static_cast<double>(s.count) / phase_seconds;
-  return s;
-}
-
-void PrintPhase(const char* name, const LatencySummary& s) {
+void PrintPhase(const char* name, const LatencySummary& s, double seconds) {
   std::printf("  %-12s %6zu req %9.3f s %8.1f q/s   p50 %8.2f  p95 %8.2f  "
               "p99 %8.2f ms\n",
-              name, s.count, s.seconds, s.qps, s.p50_ms, s.p95_ms, s.p99_ms);
+              name, s.n, seconds,
+              seconds > 0 ? static_cast<double>(s.n) / seconds : 0.0, s.p50_ms,
+              s.p95_ms, s.p99_ms);
 }
 
-int Run() {
+}  // namespace
+
+exp::RunResult RunServeBench() {
   PrintHeader("staq::serve — concurrent AQ serving (cold/cached/incremental)");
 
   const synth::CitySpec spec = synth::CitySpec::Brindale(BenchScale(), BenchSeed());
@@ -118,7 +92,7 @@ int Run() {
   if (!built.ok()) {
     std::fprintf(stderr, "city build failed: %s\n",
                  built.status().ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   synth::City city = std::move(built).value();
   const size_t num_zones = city.zones.size();
@@ -127,12 +101,14 @@ int Run() {
   gravity.sample_rate_per_hour = BenchRate();
 
   serve::AqServer::Options options;
-  options.num_threads = std::max(2u, std::thread::hardware_concurrency());
+  options.num_threads =
+      Params().threads > 0
+          ? static_cast<unsigned>(Params().threads)
+          : std::max(2u, std::thread::hardware_concurrency());
   // STAQ_SERVE_ENGINE=label_correcting runs the identical workload on the
   // pre-CSA engine — the apples-to-apples baseline for the cold/mutation
   // means reported by the default (csa) run.
-  if (const char* env = std::getenv("STAQ_SERVE_ENGINE");
-      env != nullptr && std::string(env) == "label_correcting") {
+  if (Params().engine == "label_correcting") {
     options.scenario.router = router::RouterOptions{};
   }
   serve::AqServer server(std::move(city), gtfs::WeekdayAmPeak(), options);
@@ -193,16 +169,17 @@ int Run() {
     if (!result.ok()) {
       std::fprintf(stderr, "cold query failed: %s\n",
                    result.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
     cold_answers.push_back(std::move(result).value());
   }
-  LatencySummary cold = Summarise(cold_ms, cold_watch.ElapsedSeconds());
+  const double cold_seconds = cold_watch.ElapsedSeconds();
+  LatencySummary cold = Summarise(cold_ms);
 
   // Gate the cold answers (they seed the cache every later phase reads).
   for (size_t i = 0; i < mix.size(); ++i) {
     util::Result<core::AccessQueryResult> answer = cold_answers[i];
-    if (!GateAgainstGolden(server, mix[i], answer, "cold")) return 1;
+    if (!GateAgainstGolden(server, mix[i], answer, "cold")) return {1, ""};
   }
 
   // --- cached: concurrent clients over a stable scenario ----------------
@@ -235,13 +212,13 @@ int Run() {
     std::fprintf(stderr,
                  "GATE FAILED (cached): a concurrent answer differed from "
                  "the gated cold answer\n");
-    return 1;
+    return {1, ""};
   }
   std::vector<double> cached_ms;
   for (const auto& ms : client_ms) {
     cached_ms.insert(cached_ms.end(), ms.begin(), ms.end());
   }
-  LatencySummary cached = Summarise(std::move(cached_ms), cached_seconds);
+  LatencySummary cached = Summarise(std::move(cached_ms));
 
   // --- incremental: POI edits between queries ---------------------------
   // Each mutation patches every materialised label state of its category
@@ -261,7 +238,7 @@ int Run() {
     if (!add.ok()) {
       std::fprintf(stderr, "add failed: %s\n",
                    add.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
     reports.push_back(add.value());
     {
@@ -271,14 +248,14 @@ int Run() {
       incremental_query_seconds += watch.ElapsedSeconds();
       if (!GateAgainstGolden(server, mutated_request, result,
                              "incremental/add")) {
-        return 1;
+        return {1, ""};
       }
     }
     auto removed = server.RemovePoi(add.value().poi_id);
     if (!removed.ok()) {
       std::fprintf(stderr, "remove failed: %s\n",
                    removed.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
     reports.push_back(removed.value());
     {
@@ -288,18 +265,17 @@ int Run() {
       incremental_query_seconds += watch.ElapsedSeconds();
       if (!GateAgainstGolden(server, mutated_request, result,
                              "incremental/remove")) {
-        return 1;
+        return {1, ""};
       }
     }
   }
-  LatencySummary incremental =
-      Summarise(incremental_ms, incremental_query_seconds);
+  LatencySummary incremental = Summarise(incremental_ms);
 
   // After the add/remove round-trips the whole mix must still equal its
   // from-scratch golden on the final scenario (history independence).
   for (const serve::AqRequest& request : mix) {
     if (!GateAgainstGolden(server, request, server.Query(request), "final")) {
-      return 1;
+      return {1, ""};
     }
   }
 
@@ -324,9 +300,9 @@ int Run() {
 
   std::printf("\n  all cached and incremental answers bit-identical to "
               "QueryUncached goldens\n\n");
-  PrintPhase("cold", cold);
-  PrintPhase("cached", cached);
-  PrintPhase("incremental", incremental);
+  PrintPhase("cold", cold, cold_seconds);
+  PrintPhase("cached", cached, cached_seconds);
+  PrintPhase("incremental", incremental, incremental_query_seconds);
   std::printf("\n  mutations: %zu edits  mean %.2f ms (max %.2f)  "
               "zones relabeled %.1f/%zu  SPQs %.0f vs %llu full build "
               "(%.1fx cheaper)\n",
@@ -345,68 +321,55 @@ int Run() {
               static_cast<unsigned long long>(stats.states_patched),
               static_cast<unsigned long long>(stats.mutations));
 
-  std::string path = OutDir() + "/BENCH_serve.json";
-  FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "  (json write failed: %s)\n", path.c_str());
-    return 1;
-  }
-  auto phase_json = [&](const char* name, const LatencySummary& s,
-                        const char* tail) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"requests\": %zu, "
-                 "\"seconds\": %.6f, \"qps\": %.2f, \"mean_ms\": %.4f, "
-                 "\"p50_ms\": %.4f, \"p95_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
-                 name, s.count, s.seconds, s.qps, s.mean_ms, s.p50_ms,
-                 s.p95_ms, s.p99_ms, tail);
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "serve");
+  w.String("city", spec.name);
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.Uint("zones", num_zones);
+  w.Uint("workers", server.num_threads());
+  w.Uint("clients", kClients);
+  w.String("engine", engine_name);
+  w.Uint("connections", router_opts.connections
+                            ? router_opts.connections->num_connections()
+                            : 0);
+  w.Fixed("connections_build_seconds", connections_build_s, 6);
+  w.Bool("bit_identical", true);
+  w.BeginArray("phases");
+  auto phase_json = [&w](const char* name, const LatencySummary& s,
+                         double seconds) {
+    w.BeginObject();
+    w.String("name", name);
+    WriteLatency(w, s, seconds);
+    w.EndObject();
   };
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"serve\",\n");
-  std::fprintf(f, "  \"city\": \"%s\",\n", spec.name.c_str());
-  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
-  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(BenchSeed()));
-  std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
-  std::fprintf(f, "  \"workers\": %zu,\n", server.num_threads());
-  std::fprintf(f, "  \"clients\": %zu,\n", kClients);
-  std::fprintf(f, "  \"engine\": \"%s\",\n", engine_name);
-  std::fprintf(f, "  \"connections\": %zu,\n",
-               router_opts.connections
-                   ? router_opts.connections->num_connections()
-                   : 0);
-  std::fprintf(f, "  \"connections_build_seconds\": %.6f,\n",
-               connections_build_s);
-  std::fprintf(f, "  \"bit_identical\": true,\n");
-  std::fprintf(f, "  \"phases\": [\n");
-  phase_json("cold", cold, ",");
-  phase_json("cached", cached, ",");
-  phase_json("incremental", incremental, "");
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"mutations\": {\"count\": %zu, \"mean_ms\": %.4f, "
-               "\"max_ms\": %.4f, \"mean_zones_relabeled\": %.2f, "
-               "\"zones_total\": %zu, \"mean_spqs\": %.1f, "
-               "\"full_build_spqs\": %llu},\n",
-               reports.size(), mutation_mean_ms, mutation_max_ms, mean_zones,
-               num_zones, mean_spqs,
-               static_cast<unsigned long long>(full_build_spqs));
-  std::fprintf(f, "  \"server_stats\": {\"submitted\": %llu, "
-               "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-               "\"exact_state_builds\": %llu, \"states_patched\": %llu, "
-               "\"mutations\": %llu}\n",
-               static_cast<unsigned long long>(stats.submitted),
-               static_cast<unsigned long long>(stats.cache_hits),
-               static_cast<unsigned long long>(stats.cache_misses),
-               static_cast<unsigned long long>(stats.exact_state_builds),
-               static_cast<unsigned long long>(stats.states_patched),
-               static_cast<unsigned long long>(stats.mutations));
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("  -> wrote %s\n", path.c_str());
-  return 0;
+  phase_json("cold", cold, cold_seconds);
+  phase_json("cached", cached, cached_seconds);
+  phase_json("incremental", incremental, incremental_query_seconds);
+  w.EndArray();
+  w.BeginObject("mutations");
+  w.Uint("count", reports.size());
+  w.Fixed("mean_ms", mutation_mean_ms, 4);
+  w.Fixed("max_ms", mutation_max_ms, 4);
+  w.Fixed("mean_zones_relabeled", mean_zones, 2);
+  w.Uint("zones_total", num_zones);
+  w.Fixed("mean_spqs", mean_spqs, 1);
+  w.Uint("full_build_spqs", full_build_spqs);
+  w.EndObject();
+  w.BeginObject("server_stats");
+  w.Uint("submitted", stats.submitted);
+  w.Uint("cache_hits", stats.cache_hits);
+  w.Uint("cache_misses", stats.cache_misses);
+  w.Uint("exact_state_builds", stats.exact_state_builds);
+  w.Uint("states_patched", stats.states_patched);
+  w.Uint("mutations", stats.mutations);
+  w.EndObject();
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("serve", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Run(); }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 #include "serve/server.h"
 #include "store/snapshot.h"
 #include "util/stopwatch.h"
@@ -64,7 +65,9 @@ bool BitIdentical(const core::AccessQueryResult& a,
          a.gravity_trips == b.gravity_trips;
 }
 
-int Run() {
+}  // namespace
+
+exp::RunResult RunStoreBench() {
   PrintHeader("staq snapshot store: cold build vs warm start");
 
   const synth::CitySpec spec =
@@ -102,7 +105,7 @@ int Run() {
     if (!answer.ok()) {
       std::fprintf(stderr, "cold query failed: %s\n",
                    answer.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
     cold_answers.push_back(std::move(answer).value());
   }
@@ -118,13 +121,13 @@ int Run() {
   const double save_seconds = save_watch.ElapsedSeconds();
   if (!saved.ok()) {
     std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   auto info = store::InspectSnapshot(path);
   if (!info.ok()) {
     std::fprintf(stderr, "inspect failed: %s\n",
                  info.status().ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   const uint64_t file_bytes = info.value().file_size;
   util::Stopwatch verify_watch;
@@ -132,7 +135,7 @@ int Run() {
   const double verify_seconds = verify_watch.ElapsedSeconds();
   if (!verified.ok()) {
     std::fprintf(stderr, "verify failed: %s\n", verified.ToString().c_str());
-    return 1;
+    return {1, ""};
   }
   std::printf("  save                       : %8.3f s  (%.2f MiB, "
               "verify %.3f s)\n",
@@ -152,7 +155,7 @@ int Run() {
     if (!restored.ok()) {
       std::fprintf(stderr, "load (%s) failed: %s\n", mode_names[m],
                    restored.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
     std::printf("  load (%-8s)            : %8.3f s\n", mode_names[m],
                 load_seconds[m]);
@@ -170,7 +173,7 @@ int Run() {
     if (!answer.ok()) {
       std::fprintf(stderr, "warm query failed: %s\n",
                    answer.status().ToString().c_str());
-      return 1;
+      return {1, ""};
     }
     warm_answers.push_back(std::move(answer).value());
   }
@@ -183,62 +186,59 @@ int Run() {
                  "GATE FAILED: server fell back to a cold build instead of "
                  "warm-starting from %s\n",
                  path.c_str());
-    return 1;
+    return {1, ""};
   }
   for (size_t i = 0; i < requests.size(); ++i) {
     if (!BitIdentical(cold_answers[i], warm_answers[i])) {
       std::fprintf(stderr,
                    "GATE FAILED: warm answer %zu differs from cold build\n",
                    i);
-      return 1;
+      return {1, ""};
     }
   }
   const double speedup =
       warm_seconds > 0 ? cold_seconds / warm_seconds : 0.0;
   std::printf("  speedup                    : %8.1fx (gate: >= 10x)\n",
               speedup);
-  if (speedup < 10.0) {
+  bool gate_passed = speedup >= 10.0;
+  if (!gate_passed) {
     std::fprintf(stderr,
                  "GATE FAILED: warm start %.1fx faster than cold build, "
                  "gate requires >= 10x\n",
                  speedup);
-    return 1;
   }
 
-  std::string json_path = OutDir() + "/BENCH_store.json";
-  FILE* f = std::fopen(json_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "  (json write failed: %s)\n", json_path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"store\",\n");
-  std::fprintf(f, "  \"city\": \"%s\",\n", spec.name.c_str());
-  std::fprintf(f, "  \"scale\": %.4f,\n", BenchScale());
-  std::fprintf(f, "  \"rate_per_hour\": %d,\n", BenchRate());
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(BenchSeed()));
-  std::fprintf(f, "  \"zones\": %zu,\n", num_zones);
-  std::fprintf(f, "  \"label_states\": %zu,\n", requests.size());
-  std::fprintf(f, "  \"cold_seconds\": %.6f,\n", cold_seconds);
-  std::fprintf(f, "  \"save_seconds\": %.6f,\n", save_seconds);
-  std::fprintf(f, "  \"verify_seconds\": %.6f,\n", verify_seconds);
-  std::fprintf(f, "  \"file_bytes\": %llu,\n",
-               static_cast<unsigned long long>(file_bytes));
-  std::fprintf(f, "  \"load_mmap_seconds\": %.6f,\n", load_seconds[0]);
-  std::fprintf(f, "  \"load_buffered_seconds\": %.6f,\n", load_seconds[1]);
-  std::fprintf(f, "  \"warm_seconds\": %.6f,\n", warm_seconds);
-  std::fprintf(f, "  \"speedup\": %.2f,\n", speedup);
-  std::fprintf(f, "  \"speedup_gate\": 10.0,\n");
-  std::fprintf(f, "  \"bit_identical\": true\n");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("  -> wrote %s\n", json_path.c_str());
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "store");
+  w.String("city", spec.name);
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.Uint("zones", num_zones);
+  w.Uint("label_states", requests.size());
+  w.Fixed("cold_seconds", cold_seconds, 6);
+  w.Fixed("save_seconds", save_seconds, 6);
+  w.Fixed("verify_seconds", verify_seconds, 6);
+  w.Uint("file_bytes", file_bytes);
+  w.Fixed("load_mmap_seconds", load_seconds[0], 6);
+  w.Fixed("load_buffered_seconds", load_seconds[1], 6);
+  w.Fixed("warm_seconds", warm_seconds, 6);
+  w.Fixed("speedup", speedup, 2);
+  w.Fixed("speedup_gate", 10.0, 1);
+  w.Bool("gate_passed", gate_passed);
+  w.Bool("bit_identical", true);
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("store", json);
   std::remove(path.c_str());
-  return 0;
+
+  int exit_code = gate_passed ? 0 : 1;
+  if (!gate_passed && Params().relax_gates) {
+    std::printf("  (gate relaxed: reporting only)\n");
+    exit_code = 0;
+  }
+  return {exit_code, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Run(); }

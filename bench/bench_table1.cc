@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 #include "core/todam.h"
 
 namespace staq::bench {
@@ -69,7 +70,9 @@ void RunAtScale(double scale, bool materialize, util::CsvTable* csv) {
   }
 }
 
-int Main() {
+}  // namespace
+
+exp::RunResult RunTable1Bench() {
   PrintHeader("Table I: TODAM size, full vs gravity construction");
   util::CsvTable csv({"city", "poi", "num_pois", "full_trips", "gravity_trips",
                       "reduction_pct", "scale"});
@@ -86,10 +89,19 @@ int Main() {
       "Expected shape: larger POI sets reduce more; the 1-2 POI Covely job-"
       "centre set reduces ~0%%.\n");
   EmitCsv(csv, "table1_matrix_composition.csv");
-  return 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "table1");
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.String("csv", "table1_matrix_composition.csv");
+  w.Uint("csv_rows", csv.num_rows());
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("table1", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Main(); }

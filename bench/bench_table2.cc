@@ -21,16 +21,19 @@
 #include <cstdlib>
 
 #include "bench_common.h"
+#include "bench_registry.h"
 
 namespace staq::bench {
 namespace {
 
 double PaperSpqSeconds() {
-  const char* env = std::getenv("STAQ_BENCH_SPQ_MS");
-  return (env != nullptr ? std::atof(env) : 18.0) / 1000.0;
+  double ms = Params().spq_budget_ms;
+  return (ms >= 0 ? ms : 18.0) / 1000.0;
 }
 
-int Main() {
+}  // namespace
+
+exp::RunResult RunTable2Bench() {
   PrintHeader("Table II: naive labeling cost vs SSR end-to-end cost");
   double spq_s = PaperSpqSeconds();
   std::printf("projected-latency view uses %.1f ms per SPQ\n", spq_s * 1000);
@@ -117,10 +120,19 @@ int Main() {
       "answers an SPQ in ~20-60 us instead of\nOTP's 18 ms, so fixed "
       "feature/training overheads dominate at small scales.\n");
   EmitCsv(csv, "table2_runtime_savings.csv");
-  return 0;
+
+  JsonWriter w;
+  w.BeginObject();
+  w.String("bench", "table2");
+  w.Fixed("scale", BenchScale(), 4);
+  w.Int("rate_per_hour", BenchRate());
+  w.Uint("seed", BenchSeed());
+  w.String("csv", "table2_runtime_savings.csv");
+  w.Uint("csv_rows", csv.num_rows());
+  w.EndObject();
+  std::string json = w.Take();
+  EmitBenchJson("table2", json);
+  return {0, std::move(json)};
 }
 
-}  // namespace
 }  // namespace staq::bench
-
-int main() { return staq::bench::Main(); }

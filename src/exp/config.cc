@@ -1,0 +1,257 @@
+#include "exp/config.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace staq::exp {
+
+std::string Cell::CanonicalKey() const {
+  std::string key = "bench=" + bench + "\n";
+  for (const auto& [k, v] : params) {  // std::map iterates sorted
+    key += k + "=" + v + "\n";
+  }
+  return key;
+}
+
+uint64_t Cell::Hash() const {
+  std::string key = CanonicalKey();
+  return util::XxHash64(key.data(), key.size());
+}
+
+std::string Cell::HashHex() const {
+  return util::Format("%016llx", static_cast<unsigned long long>(Hash()));
+}
+
+std::string Cell::ParamSummary() const {
+  std::string out;
+  for (const auto& [k, v] : params) {
+    if (!out.empty()) out += " ";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+namespace {
+
+/// Line/column-tracking cursor over the config text.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  size_t line() const { return line_; }
+  size_t column() const { return pos_ - line_start_ + 1; }
+
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        util::Format("config parse error at line %zu, column %zu: %s", line_,
+                     column(), what.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+
+  /// Skips spaces, newlines and '#' comments.
+  void SkipWsAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Skips spaces/tabs only (stays on the current line).
+  void SkipInline() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\r')) {
+      Advance();
+    }
+  }
+
+  static bool IsWordChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == '+';
+  }
+
+  /// Reads a bare word ([A-Za-z0-9_.+-]+). Empty result means "no word
+  /// here" — the caller turns that into a positioned error.
+  std::string Word() {
+    std::string out;
+    while (!AtEnd() && IsWordChar(Peek())) {
+      out.push_back(Peek());
+      Advance();
+    }
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t line_start_ = 0;
+};
+
+util::Status ParseBlockBody(Lexer& lex, MatrixBlock* block) {
+  while (true) {
+    lex.SkipWsAndComments();
+    if (lex.AtEnd()) return lex.Error("unterminated matrix block (missing '}')");
+    if (lex.Peek() == '}') {
+      lex.Advance();
+      return util::Status::OK();
+    }
+    std::string key = lex.Word();
+    if (key.empty()) return lex.Error("expected a key or '}'");
+    for (const auto& [existing, values] : block->axes) {
+      (void)values;
+      if (existing == key) return lex.Error("duplicate key '" + key + "'");
+    }
+    lex.SkipInline();
+    if (lex.AtEnd() || lex.Peek() != '=') {
+      return lex.Error("expected '=' after key '" + key + "'");
+    }
+    lex.Advance();
+
+    std::vector<std::string> values;
+    while (true) {
+      lex.SkipInline();
+      std::string value = lex.Word();
+      if (value.empty()) {
+        return lex.Error("expected a value for key '" + key + "'");
+      }
+      values.push_back(std::move(value));
+      lex.SkipInline();
+      if (!lex.AtEnd() && lex.Peek() == ',') {
+        lex.Advance();
+        continue;
+      }
+      break;
+    }
+    if (!lex.AtEnd() && lex.Peek() != '\n' && lex.Peek() != '#' &&
+        lex.Peek() != '}') {
+      return lex.Error("unexpected trailing content after values of '" + key +
+                       "'");
+    }
+    block->axes.emplace_back(std::move(key), std::move(values));
+  }
+}
+
+}  // namespace
+
+util::Result<ExperimentConfig> ExperimentConfig::Parse(
+    const std::string& text) {
+  ExperimentConfig config;
+  Lexer lex(text);
+  while (true) {
+    lex.SkipWsAndComments();
+    if (lex.AtEnd()) break;
+    std::string keyword = lex.Word();
+    if (keyword != "matrix") {
+      return lex.Error("expected 'matrix', got '" + keyword + "'");
+    }
+    lex.SkipInline();
+    MatrixBlock block;
+    block.name = lex.Word();
+    if (block.name.empty()) return lex.Error("matrix block needs a name");
+    for (const MatrixBlock& existing : config.blocks_) {
+      if (existing.name == block.name) {
+        return lex.Error("duplicate matrix name '" + block.name + "'");
+      }
+    }
+    lex.SkipInline();
+    if (lex.AtEnd() || lex.Peek() != '{') {
+      return lex.Error("expected '{' after matrix name");
+    }
+    lex.Advance();
+    STAQ_RETURN_NOT_OK(ParseBlockBody(lex, &block));
+
+    bool has_bench = false;
+    for (const auto& [key, values] : block.axes) {
+      (void)values;
+      if (key == "bench") has_bench = true;
+    }
+    if (!has_bench) {
+      return lex.Error("matrix '" + block.name + "' has no 'bench' key");
+    }
+    config.blocks_.push_back(std::move(block));
+  }
+  if (config.blocks_.empty()) {
+    return util::Status::InvalidArgument(
+        "config parse error at line 1, column 1: no matrix blocks");
+  }
+  return config;
+}
+
+util::Result<ExperimentConfig> ExperimentConfig::Load(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open config: " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  auto parsed = Parse(text);
+  if (!parsed.ok()) {
+    return util::Status::InvalidArgument(path + ": " +
+                                         parsed.status().message());
+  }
+  return parsed;
+}
+
+std::vector<Cell> ExperimentConfig::Expand() const {
+  std::vector<Cell> cells;
+  for (const MatrixBlock& block : blocks_) {
+    // Odometer over the axes in declaration order, last key fastest.
+    const size_t num_axes = block.axes.size();
+    std::vector<size_t> index(num_axes, 0);
+    while (true) {
+      Cell cell;
+      cell.matrix = block.name;
+      for (size_t a = 0; a < num_axes; ++a) {
+        const auto& [key, values] = block.axes[a];
+        const std::string& value = values[index[a]];
+        if (key == "bench") {
+          cell.bench = value;
+        } else {
+          cell.params[key] = value;
+        }
+      }
+      cells.push_back(std::move(cell));
+
+      // Tick the odometer; a full wrap ends the block.
+      size_t a = num_axes;
+      bool wrapped = true;
+      while (a > 0) {
+        --a;
+        if (++index[a] < block.axes[a].second.size()) {
+          wrapped = false;
+          break;
+        }
+        index[a] = 0;
+      }
+      if (wrapped) break;
+    }
+  }
+  return cells;
+}
+
+}  // namespace staq::exp

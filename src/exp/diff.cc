@@ -1,0 +1,327 @@
+#include "exp/diff.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace staq::exp {
+
+const char* RuleKindName(RuleKind kind) {
+  switch (kind) {
+    case RuleKind::kMin: return "min";
+    case RuleKind::kCeiling: return "ceiling";
+    case RuleKind::kRatioFloor: return "ratio_floor";
+    case RuleKind::kExact: return "exact";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ParseRuleKind(const std::string& word, RuleKind* kind) {
+  for (RuleKind k : {RuleKind::kMin, RuleKind::kCeiling, RuleKind::kRatioFloor,
+                     RuleKind::kExact}) {
+    if (word == RuleKindName(k)) {
+      *kind = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Line/column-tracking cursor — same shape as the config lexer, with a
+/// wider word charset so metric paths ("modes[2].spqs_per_s") lex whole.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        util::Format("policy parse error at line %zu, column %zu: %s", line_,
+                     pos_ - line_start_ + 1, what.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+
+  void SkipWsAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void SkipInline() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\r')) {
+      Advance();
+    }
+  }
+
+  static bool IsWordChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == '+' || c == '[' || c == ']';
+  }
+
+  std::string Word() {
+    std::string out;
+    while (!AtEnd() && IsWordChar(Peek())) {
+      out.push_back(Peek());
+      Advance();
+    }
+    return out;
+  }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t line_start_ = 0;
+};
+
+util::Status ParseBenchBody(Lexer& lex, BenchPolicy* bench) {
+  while (true) {
+    lex.SkipWsAndComments();
+    if (lex.AtEnd()) return lex.Error("unterminated bench block (missing '}')");
+    if (lex.Peek() == '}') {
+      lex.Advance();
+      return util::Status::OK();
+    }
+    Rule rule;
+    std::string kind_word = lex.Word();
+    if (kind_word.empty()) return lex.Error("expected a rule kind or '}'");
+    if (!ParseRuleKind(kind_word, &rule.kind)) {
+      return lex.Error("unknown rule kind '" + kind_word +
+                       "' (want min/ceiling/ratio_floor/exact)");
+    }
+    lex.SkipInline();
+    rule.metric = lex.Word();
+    if (rule.metric.empty()) {
+      return lex.Error("rule '" + kind_word + "' needs a metric path");
+    }
+    if (rule.kind != RuleKind::kExact) {
+      lex.SkipInline();
+      std::string value_word = lex.Word();
+      if (value_word.empty()) {
+        return lex.Error("rule '" + kind_word + " " + rule.metric +
+                         "' needs a numeric threshold");
+      }
+      char* end = nullptr;
+      rule.value = std::strtod(value_word.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return lex.Error("bad threshold '" + value_word + "' for '" +
+                         rule.metric + "'");
+      }
+    }
+    lex.SkipInline();
+    if (!lex.AtEnd() && lex.Peek() != '\n' && lex.Peek() != '#' &&
+        lex.Peek() != '}') {
+      return lex.Error("unexpected trailing content after rule '" + kind_word +
+                       " " + rule.metric + "'");
+    }
+    bench->rules.push_back(std::move(rule));
+  }
+}
+
+/// "phases[0].p99_ms" -> "phases[0].p99_approx"; "" when the metric isn't
+/// a quantile-style *_ms path.
+std::string ApproxSibling(const std::string& metric) {
+  constexpr char kSuffix[] = "_ms";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (metric.size() < kSuffixLen ||
+      metric.compare(metric.size() - kSuffixLen, kSuffixLen, kSuffix) != 0) {
+    return "";
+  }
+  return metric.substr(0, metric.size() - kSuffixLen) + "_approx";
+}
+
+bool IsApprox(const JsonDoc& doc, const std::string& metric) {
+  std::string sibling = ApproxSibling(metric);
+  if (sibling.empty()) return false;
+  const JsonScalar* s = doc.Find(sibling);
+  return s != nullptr && s->kind == JsonKind::kBool && s->b;
+}
+
+}  // namespace
+
+util::Result<TolerancePolicy> TolerancePolicy::Parse(const std::string& text) {
+  TolerancePolicy policy;
+  Lexer lex(text);
+  while (true) {
+    lex.SkipWsAndComments();
+    if (lex.AtEnd()) break;
+    std::string keyword = lex.Word();
+    if (keyword != "bench") {
+      return lex.Error("expected 'bench', got '" + keyword + "'");
+    }
+    lex.SkipInline();
+    BenchPolicy bench;
+    bench.bench = lex.Word();
+    if (bench.bench.empty()) return lex.Error("bench block needs a name");
+    if (policy.Find(bench.bench) != nullptr) {
+      return lex.Error("duplicate bench block '" + bench.bench + "'");
+    }
+    lex.SkipInline();
+    if (lex.AtEnd() || lex.Peek() != '{') {
+      return lex.Error("expected '{' after bench name");
+    }
+    lex.Advance();
+    STAQ_RETURN_NOT_OK(ParseBenchBody(lex, &bench));
+    policy.benches_.push_back(std::move(bench));
+  }
+  if (policy.benches_.empty()) {
+    return util::Status::InvalidArgument(
+        "policy parse error at line 1, column 1: no bench blocks");
+  }
+  return policy;
+}
+
+util::Result<TolerancePolicy> TolerancePolicy::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open policy: " + path);
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  auto parsed = Parse(text);
+  if (!parsed.ok()) {
+    return util::Status::InvalidArgument(path + ": " +
+                                         parsed.status().message());
+  }
+  return parsed;
+}
+
+const BenchPolicy* TolerancePolicy::Find(const std::string& bench) const {
+  for (const BenchPolicy& b : benches_) {
+    if (b.bench == bench) return &b;
+  }
+  return nullptr;
+}
+
+std::string DiffReport::ToString() const {
+  std::string out;
+  for (const CheckResult& check : checks) {
+    const char* state = check.state == CheckState::kPass   ? "PASS"
+                        : check.state == CheckState::kFail ? "FAIL"
+                                                           : "SKIP";
+    out += util::Format("  %s %-11s %-32s %s\n", state,
+                        RuleKindName(check.rule.kind),
+                        check.rule.metric.c_str(), check.detail.c_str());
+  }
+  return out;
+}
+
+DiffReport DiffDocuments(const JsonDoc& run, const JsonDoc& baseline,
+                         const BenchPolicy& policy,
+                         const DiffOptions& options) {
+  DiffReport report;
+  for (const Rule& rule : policy.rules) {
+    CheckResult check;
+    check.rule = rule;
+
+    const bool perf_rule = rule.kind != RuleKind::kExact;
+    if (perf_rule && options.relax_perf) {
+      check.state = CheckState::kSkipped;
+      check.detail = "perf rule relaxed (sanitizer build)";
+      ++report.skipped;
+      report.checks.push_back(std::move(check));
+      continue;
+    }
+    if (perf_rule && (IsApprox(run, rule.metric) ||
+                      IsApprox(baseline, rule.metric))) {
+      check.state = CheckState::kSkipped;
+      check.detail = "quantile is approximate (fewer samples than rank)";
+      ++report.skipped;
+      report.checks.push_back(std::move(check));
+      continue;
+    }
+
+    const JsonScalar* run_value = run.Find(rule.metric);
+    if (run_value == nullptr) {
+      check.state = CheckState::kFail;
+      check.detail = "metric missing from run";
+      ++report.failed;
+      report.checks.push_back(std::move(check));
+      continue;
+    }
+
+    switch (rule.kind) {
+      case RuleKind::kMin: {
+        bool ok = run_value->kind == JsonKind::kNumber &&
+                  run_value->num >= rule.value;
+        check.state = ok ? CheckState::kPass : CheckState::kFail;
+        check.detail = util::Format("run=%s floor=%g", run_value->raw.c_str(),
+                                    rule.value);
+        break;
+      }
+      case RuleKind::kCeiling: {
+        bool ok = run_value->kind == JsonKind::kNumber &&
+                  run_value->num <= rule.value;
+        check.state = ok ? CheckState::kPass : CheckState::kFail;
+        check.detail = util::Format("run=%s ceiling=%g", run_value->raw.c_str(),
+                                    rule.value);
+        break;
+      }
+      case RuleKind::kRatioFloor: {
+        const JsonScalar* base_value = baseline.Find(rule.metric);
+        if (base_value == nullptr) {
+          check.state = CheckState::kFail;
+          check.detail = "metric missing from baseline";
+          break;
+        }
+        bool ok = run_value->kind == JsonKind::kNumber &&
+                  base_value->kind == JsonKind::kNumber &&
+                  run_value->num >= rule.value * base_value->num;
+        check.state = ok ? CheckState::kPass : CheckState::kFail;
+        check.detail =
+            util::Format("run=%s baseline=%s ratio_floor=%g",
+                         run_value->raw.c_str(), base_value->raw.c_str(),
+                         rule.value);
+        break;
+      }
+      case RuleKind::kExact: {
+        const JsonScalar* base_value = baseline.Find(rule.metric);
+        if (base_value == nullptr) {
+          check.state = CheckState::kFail;
+          check.detail = "metric missing from baseline";
+          break;
+        }
+        bool ok = run_value->SameAs(*base_value);
+        check.state = ok ? CheckState::kPass : CheckState::kFail;
+        check.detail =
+            util::Format("run=%s baseline=%s", run_value->ToString().c_str(),
+                         base_value->ToString().c_str());
+        break;
+      }
+    }
+    if (check.state == CheckState::kPass) {
+      ++report.passed;
+    } else {
+      ++report.failed;
+    }
+    report.checks.push_back(std::move(check));
+  }
+  return report;
+}
+
+}  // namespace staq::exp

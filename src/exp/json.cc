@@ -1,0 +1,283 @@
+#include "exp/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace staq::exp {
+
+const char* JsonKindName(JsonKind kind) {
+  switch (kind) {
+    case JsonKind::kNull: return "null";
+    case JsonKind::kBool: return "bool";
+    case JsonKind::kNumber: return "number";
+    case JsonKind::kString: return "string";
+  }
+  return "?";
+}
+
+bool JsonScalar::SameAs(const JsonScalar& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case JsonKind::kNull: return true;
+    case JsonKind::kBool: return b == other.b;
+    case JsonKind::kNumber: return raw == other.raw;
+    case JsonKind::kString: return str == other.str;
+  }
+  return false;
+}
+
+std::string JsonScalar::ToString() const {
+  switch (kind) {
+    case JsonKind::kNull: return "null";
+    case JsonKind::kBool: return b ? "true" : "false";
+    case JsonKind::kNumber: return raw;
+    case JsonKind::kString: return "\"" + str + "\"";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Recursive-descent parser over `text`, tracking line/column for errors
+/// and emitting flattened (path, scalar) pairs into the output map.
+class Parser {
+ public:
+  Parser(const std::string& text, std::map<std::string, JsonScalar>* out)
+      : text_(text), out_(out) {}
+
+  util::Status Run() {
+    SkipWs();
+    STAQ_RETURN_NOT_OK(Value(""));
+    SkipWs();
+    if (pos_ != text_.size()) return Error("trailing content after document");
+    return util::Status::OK();
+  }
+
+ private:
+  util::Status Error(const std::string& what) const {
+    return util::Status::InvalidArgument(
+        util::Format("json parse error at line %zu, column %zu: %s", line_,
+                     pos_ - line_start_ + 1, what.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      line_start_ = pos_ + 1;
+    }
+    ++pos_;
+  }
+
+  void SkipWs() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      Advance();
+    }
+  }
+
+  util::Status Expect(char c) {
+    if (AtEnd() || Peek() != c) {
+      return Error(util::Format("expected '%c'", c));
+    }
+    Advance();
+    return util::Status::OK();
+  }
+
+  util::Status Value(const std::string& path) {
+    if (AtEnd()) return Error("unexpected end of document");
+    char c = Peek();
+    if (c == '{') return Object(path);
+    if (c == '[') return Array(path);
+    if (c == '"') {
+      JsonScalar s;
+      s.kind = JsonKind::kString;
+      STAQ_RETURN_NOT_OK(StringToken(&s.str));
+      s.raw = s.str;
+      (*out_)[path] = std::move(s);
+      return util::Status::OK();
+    }
+    if (c == 't' || c == 'f' || c == 'n') return Literal(path);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return Number(path);
+    }
+    return Error("unexpected character");
+  }
+
+  util::Status Object(const std::string& path) {
+    STAQ_RETURN_NOT_OK(Expect('{'));
+    SkipWs();
+    if (!AtEnd() && Peek() == '}') {
+      Advance();
+      return util::Status::OK();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (AtEnd() || Peek() != '"') return Error("expected member name");
+      STAQ_RETURN_NOT_OK(StringToken(&key));
+      SkipWs();
+      STAQ_RETURN_NOT_OK(Expect(':'));
+      SkipWs();
+      STAQ_RETURN_NOT_OK(Value(path.empty() ? key : path + "." + key));
+      SkipWs();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      return Expect('}');
+    }
+  }
+
+  util::Status Array(const std::string& path) {
+    STAQ_RETURN_NOT_OK(Expect('['));
+    SkipWs();
+    if (!AtEnd() && Peek() == ']') {
+      Advance();
+      return util::Status::OK();
+    }
+    size_t index = 0;
+    while (true) {
+      SkipWs();
+      STAQ_RETURN_NOT_OK(Value(util::Format("%s[%zu]", path.c_str(), index)));
+      ++index;
+      SkipWs();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        Advance();
+        continue;
+      }
+      return Expect(']');
+    }
+  }
+
+  util::Status Literal(const std::string& path) {
+    static const struct {
+      const char* token;
+      JsonKind kind;
+      bool value;
+    } kLiterals[] = {{"true", JsonKind::kBool, true},
+                     {"false", JsonKind::kBool, false},
+                     {"null", JsonKind::kNull, false}};
+    for (const auto& lit : kLiterals) {
+      size_t len = std::string(lit.token).size();
+      if (text_.compare(pos_, len, lit.token) == 0) {
+        JsonScalar s;
+        s.kind = lit.kind;
+        s.b = lit.value;
+        s.raw = lit.token;
+        for (size_t i = 0; i < len; ++i) Advance();
+        (*out_)[path] = std::move(s);
+        return util::Status::OK();
+      }
+    }
+    return Error("unknown literal");
+  }
+
+  util::Status Number(const std::string& path) {
+    size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') Advance();
+    while (!AtEnd() &&
+           (std::isdigit(static_cast<unsigned char>(Peek())) || Peek() == '.' ||
+            Peek() == 'e' || Peek() == 'E' || Peek() == '+' || Peek() == '-')) {
+      Advance();
+    }
+    JsonScalar s;
+    s.kind = JsonKind::kNumber;
+    s.raw = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    s.num = std::strtod(s.raw.c_str(), &end);
+    if (end == nullptr || *end != '\0' || s.raw.empty()) {
+      return Error("malformed number '" + s.raw + "'");
+    }
+    (*out_)[path] = std::move(s);
+    return util::Status::OK();
+  }
+
+  util::Status StringToken(std::string* out) {
+    STAQ_RETURN_NOT_OK(Expect('"'));
+    out->clear();
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = Peek();
+      if (c == '"') {
+        Advance();
+        return util::Status::OK();
+      }
+      if (c == '\\') {
+        Advance();
+        if (AtEnd()) return Error("unterminated escape");
+        char e = Peek();
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            // \uXXXX: decode the code unit; non-ASCII re-encodes as UTF-8.
+            if (pos_ + 4 >= text_.size()) return Error("truncated \\u escape");
+            unsigned value = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + i];
+              value <<= 4;
+              if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+              else return Error("bad \\u escape digit");
+            }
+            if (value < 0x80) {
+              out->push_back(static_cast<char>(value));
+            } else if (value < 0x800) {
+              out->push_back(static_cast<char>(0xC0 | (value >> 6)));
+              out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
+            } else {
+              out->push_back(static_cast<char>(0xE0 | (value >> 12)));
+              out->push_back(static_cast<char>(0x80 | ((value >> 6) & 0x3F)));
+              out->push_back(static_cast<char>(0x80 | (value & 0x3F)));
+            }
+            for (int i = 0; i < 4; ++i) Advance();
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+        Advance();
+        continue;
+      }
+      out->push_back(c);
+      Advance();
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, JsonScalar>* out_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t line_start_ = 0;
+};
+
+}  // namespace
+
+util::Result<JsonDoc> JsonDoc::Parse(const std::string& text) {
+  JsonDoc doc;
+  Parser parser(text, &doc.entries_);
+  STAQ_RETURN_NOT_OK(parser.Run());
+  return doc;
+}
+
+const JsonScalar* JsonDoc::Find(const std::string& path) const {
+  auto it = entries_.find(path);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace staq::exp

@@ -1,0 +1,95 @@
+// The experiment runner: expands a config into cells, executes each cell
+// through a registered bench entry point, and assembles the sweep outputs.
+//
+// Benches are *callable* here, not subprocesses: the bench library
+// registers one BenchFn per bench (bench/bench_registry.h adapts the
+// linkable bench functions), and the runner drives them in-process, one
+// cell at a time, in deterministic order.
+//
+// Resume: when RunnerOptions::state_dir is set, every completed cell is
+// persisted as a staq::store snapshot named by the cell's hash
+// (cell_<hex16>.staq, sections: the canonical cell key, the result JSON,
+// the exit code). A later run of the same config finds the snapshot,
+// verifies its checksums and its embedded key, and reuses the stored
+// result bytes verbatim instead of re-executing — so an interrupted sweep
+// resumed over the same state dir assembles a final JSON byte-identical
+// to what the uninterrupted run would have produced from those cells.
+// Failed cells (non-zero exit) are never cached; a resume retries them.
+//
+// Outputs:
+//   * final_json — "<out>/sweep.json" superset record: config hash, every
+//     cell with parameters and its verbatim BENCH_* result document;
+//   * tables — the paper-style comparison tables (error vs budget, % SPQ
+//     reduction) pivoted from any cells that report quality metrics, plus
+//     a per-cell summary with headline metrics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "util/status.h"
+
+namespace staq::exp {
+
+/// What a bench entry point receives: its name plus the cell parameters.
+struct RunSpec {
+  std::string bench;
+  std::map<std::string, std::string> params;
+};
+
+/// The uniform record every linkable bench returns.
+struct RunResult {
+  int exit_code = 1;
+  std::string json;  // machine-readable BENCH_* document ("" if none)
+};
+
+using BenchFn = std::function<RunResult(const RunSpec&)>;
+using BenchRegistry = std::map<std::string, BenchFn>;
+
+struct RunnerOptions {
+  /// Directory for per-cell resume snapshots; "" disables persistence.
+  std::string state_dir;
+  /// Reuse valid snapshots from state_dir (turning this off re-executes
+  /// everything but still writes fresh snapshots).
+  bool resume = true;
+  /// Stop after executing this many *new* cells (0 = unlimited). This is
+  /// the interruption seam: tests use it to kill a sweep mid-flight and
+  /// prove the resumed final output is byte-identical.
+  size_t max_executed = 0;
+  /// Per-cell progress lines on stdout.
+  bool verbose = true;
+};
+
+struct CellOutcome {
+  Cell cell;
+  int exit_code = 1;
+  bool cached = false;  // reused from a resume snapshot
+  std::string json;
+};
+
+struct SweepReport {
+  std::vector<CellOutcome> outcomes;
+  size_t executed = 0;  // cells actually run this invocation
+  size_t cached = 0;    // cells reused from snapshots
+  size_t failures = 0;  // non-zero exit codes
+  bool complete = false;  // false when max_executed stopped the sweep
+  std::string final_json;  // assembled superset document ("" if !complete)
+  std::string tables;      // human-readable comparison tables
+};
+
+/// Hash of the expanded cell sequence — identifies the experiment an
+/// output belongs to independent of config formatting.
+uint64_t ConfigHash(const ExperimentConfig& config);
+
+/// Runs the sweep. Unknown bench names fail their cells (exit code 127)
+/// rather than aborting the sweep, so one typo doesn't discard a night of
+/// results. IO errors on the state dir are returned as a Status.
+util::Result<SweepReport> RunSweep(const ExperimentConfig& config,
+                                   const BenchRegistry& registry,
+                                   const RunnerOptions& options);
+
+}  // namespace staq::exp

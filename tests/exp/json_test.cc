@@ -1,0 +1,111 @@
+// The flattened JSON reader the diff layer runs on: every scalar of a
+// bench document addressable by path, raw number text preserved so
+// exact-match rules compare what was printed.
+#include "exp/json.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::exp {
+namespace {
+
+TEST(JsonDoc, FlattensNestedObjectsAndArrays) {
+  auto doc = JsonDoc::Parse(R"({
+    "bench": "labeling",
+    "zones": 324,
+    "modes": [
+      {"name": "seed", "seconds": 0.5},
+      {"name": "csa", "seconds": 0.1}
+    ],
+    "wal": {"append_mean_ms": 0.25, "fsyncs": 3}
+  })");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonDoc& d = doc.value();
+  ASSERT_TRUE(d.Has("bench"));
+  EXPECT_EQ(d.Find("bench")->kind, JsonKind::kString);
+  EXPECT_EQ(d.Find("bench")->str, "labeling");
+  EXPECT_EQ(d.Find("zones")->num, 324.0);
+  EXPECT_EQ(d.Find("modes[0].name")->str, "seed");
+  EXPECT_EQ(d.Find("modes[1].seconds")->num, 0.1);
+  EXPECT_EQ(d.Find("wal.fsyncs")->num, 3.0);
+  EXPECT_FALSE(d.Has("modes[2].name"));
+  EXPECT_FALSE(d.Has("wal"));  // containers are not leaves
+  EXPECT_EQ(d.entries().size(), 8u);
+}
+
+TEST(JsonDoc, RootScalarGetsEmptyPath) {
+  auto doc = JsonDoc::Parse("42");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_TRUE(doc.value().Has(""));
+  EXPECT_EQ(doc.value().Find("")->num, 42.0);
+}
+
+TEST(JsonDoc, PreservesRawNumberText) {
+  auto doc = JsonDoc::Parse(R"({"a": 3.0, "b": 3.00, "c": 1e3})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value().Find("a")->raw, "3.0");
+  EXPECT_EQ(doc.value().Find("b")->raw, "3.00");
+  EXPECT_EQ(doc.value().Find("c")->raw, "1e3");
+  EXPECT_EQ(doc.value().Find("c")->num, 1000.0);
+}
+
+TEST(JsonDoc, BoolsAndNull) {
+  auto doc = JsonDoc::Parse(R"({"t": true, "f": false, "n": null})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value().Find("t")->kind, JsonKind::kBool);
+  EXPECT_TRUE(doc.value().Find("t")->b);
+  EXPECT_FALSE(doc.value().Find("f")->b);
+  EXPECT_EQ(doc.value().Find("n")->kind, JsonKind::kNull);
+}
+
+TEST(JsonDoc, StringEscapes) {
+  auto doc = JsonDoc::Parse(R"({"s": "a\"b\\c\nd", "u": "A\u00df"})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value().Find("s")->str, "a\"b\\c\nd");
+  EXPECT_EQ(doc.value().Find("u")->str, "A\xc3\x9f");
+}
+
+TEST(JsonDoc, EmptyContainersContributeNoEntries) {
+  auto doc = JsonDoc::Parse(R"({"a": {}, "b": [], "c": 1})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc.value().entries().size(), 1u);
+}
+
+TEST(JsonScalar, SameAsComparesNumbersByRawText) {
+  auto doc = JsonDoc::Parse(R"({"a": 3.0, "b": 3.00, "c": 3.0})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonDoc& d = doc.value();
+  // 3.0 vs 3.00 is a formatting change a baseline diff should surface.
+  EXPECT_FALSE(d.Find("a")->SameAs(*d.Find("b")));
+  EXPECT_TRUE(d.Find("a")->SameAs(*d.Find("c")));
+}
+
+TEST(JsonDoc, ErrorsNamePosition) {
+  auto doc = JsonDoc::Parse("{\n  \"a\": 1,\n  \"b\": nope\n}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("json parse error at line 3"),
+            std::string::npos)
+      << doc.status();
+}
+
+TEST(JsonDoc, RejectsTrailingContent) {
+  auto doc = JsonDoc::Parse("{\"a\": 1} extra");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("trailing content"),
+            std::string::npos);
+}
+
+TEST(JsonDoc, RejectsUnterminatedString) {
+  auto doc = JsonDoc::Parse("{\"a\": \"oops");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("unterminated string"),
+            std::string::npos);
+}
+
+TEST(JsonDoc, RejectsMissingComma) {
+  auto doc = JsonDoc::Parse("{\"a\": 1 \"b\": 2}");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("line 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace staq::exp

@@ -1,0 +1,275 @@
+// The resumable sweep runner, driven by deterministic mock benches: cell
+// execution order, failure accounting, snapshot reuse, the interruption
+// seam (max_executed), and the headline resume contract — an interrupted
+// sweep resumed over the same state dir assembles a final JSON
+// byte-identical to the uninterrupted run's.
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "exp/config.h"
+#include "util/strings.h"
+
+namespace staq::exp {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "staq_exp_runner_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+ExperimentConfig ConfigOrDie(const std::string& text) {
+  auto config = ExperimentConfig::Parse(text);
+  EXPECT_TRUE(config.ok()) << config.status();
+  return std::move(config).value();
+}
+
+/// A deterministic mock bench: result JSON is a pure function of the cell
+/// parameters, and `calls` counts real executions (never cache hits).
+BenchFn MockBench(int* calls, int exit_code = 0) {
+  return [calls, exit_code](const RunSpec& spec) {
+    ++*calls;
+    std::string json = "{\n  \"bench\": \"" + spec.bench + "\"";
+    for (const auto& [k, v] : spec.params) {
+      json += ",\n  \"" + k + "\": \"" + v + "\"";
+    }
+    json += "\n}\n";
+    return RunResult{exit_code, std::move(json)};
+  };
+}
+
+constexpr char kConfig[] = R"(matrix sweep {
+  bench = mock
+  x = 1, 2, 3
+  y = a, b
+})";
+
+TEST(RunSweep, ExecutesEveryCellInOrder) {
+  int calls = 0;
+  BenchRegistry registry;
+  registry["mock"] = MockBench(&calls);
+  RunnerOptions options;
+  options.verbose = false;
+  auto report = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const SweepReport& r = report.value();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(r.executed, 6u);
+  EXPECT_EQ(r.cached, 0u);
+  EXPECT_EQ(r.failures, 0u);
+  ASSERT_EQ(r.outcomes.size(), 6u);
+  // Last-declared key ticks fastest: y varies first.
+  EXPECT_EQ(r.outcomes[0].cell.params.at("x"), "1");
+  EXPECT_EQ(r.outcomes[0].cell.params.at("y"), "a");
+  EXPECT_EQ(r.outcomes[1].cell.params.at("y"), "b");
+  EXPECT_EQ(r.outcomes[2].cell.params.at("x"), "2");
+  // The superset document embeds every cell verbatim.
+  EXPECT_NE(r.final_json.find(util::Format("\"config_hash\": \"%016llx\"",
+                                           static_cast<unsigned long long>(
+                                               ConfigHash(ConfigOrDie(
+                                                   kConfig))))),
+            std::string::npos);
+  EXPECT_NE(r.final_json.find("\"cells\": 6"), std::string::npos);
+  EXPECT_NE(r.final_json.find("\"x\": \"3\""), std::string::npos);
+  EXPECT_FALSE(r.tables.empty());
+}
+
+TEST(RunSweep, UnknownBenchFailsItsCellsWithoutAborting) {
+  int calls = 0;
+  BenchRegistry registry;
+  registry["mock"] = MockBench(&calls);
+  auto config = ConfigOrDie(R"(matrix a { bench = typo }
+matrix b { bench = mock })");
+  RunnerOptions options;
+  options.verbose = false;
+  auto report = RunSweep(config, registry, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report.value().complete);
+  EXPECT_EQ(report.value().failures, 1u);
+  EXPECT_EQ(report.value().outcomes[0].exit_code, 127);
+  EXPECT_EQ(report.value().outcomes[1].exit_code, 0);
+  EXPECT_EQ(calls, 1);
+  // A failed cell embeds a null result, and the sweep still assembles.
+  EXPECT_NE(report.value().final_json.find("\"result\": null"),
+            std::string::npos);
+  EXPECT_NE(report.value().final_json.find("\"failures\": 1"),
+            std::string::npos);
+}
+
+TEST(RunSweep, SecondRunOverSameStateDirIsAllCached) {
+  const std::string state = FreshDir("all_cached");
+  int calls = 0;
+  BenchRegistry registry;
+  registry["mock"] = MockBench(&calls);
+  RunnerOptions options;
+  options.verbose = false;
+  options.state_dir = state;
+
+  auto first = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(calls, 6);
+
+  auto second = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(calls, 6);  // nothing re-executed
+  EXPECT_EQ(second.value().cached, 6u);
+  EXPECT_EQ(second.value().executed, 0u);
+  EXPECT_EQ(second.value().final_json, first.value().final_json);
+
+  // resume=false re-executes everything even with snapshots present.
+  options.resume = false;
+  auto third = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ(calls, 12);
+  EXPECT_EQ(third.value().cached, 0u);
+  EXPECT_EQ(third.value().final_json, first.value().final_json);
+}
+
+TEST(RunSweep, InterruptedSweepResumesByteIdentical) {
+  const std::string state = FreshDir("resume");
+  BenchRegistry registry;
+  int calls = 0;
+  registry["mock"] = MockBench(&calls);
+  RunnerOptions options;
+  options.verbose = false;
+
+  // The reference: one uninterrupted run, no persistence.
+  auto reference = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  ASSERT_TRUE(reference.value().complete);
+
+  // Interrupt after 2 executed cells…
+  options.state_dir = state;
+  options.max_executed = 2;
+  auto interrupted = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(interrupted.ok()) << interrupted.status();
+  EXPECT_FALSE(interrupted.value().complete);
+  EXPECT_EQ(interrupted.value().executed, 2u);
+  EXPECT_EQ(interrupted.value().final_json, "");  // nothing assembled
+
+  // …interrupt again mid-way…
+  options.max_executed = 3;
+  auto partial = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_FALSE(partial.value().complete);
+  EXPECT_EQ(partial.value().cached, 2u);
+  EXPECT_EQ(partial.value().executed, 3u);
+
+  // …then finish. The assembled document is byte-identical to the
+  // uninterrupted run's.
+  options.max_executed = 0;
+  auto resumed = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed.value().complete);
+  EXPECT_EQ(resumed.value().cached, 5u);
+  EXPECT_EQ(resumed.value().executed, 1u);
+  // Byte-identical: the superset document carries no timestamps and no
+  // cached/executed provenance, only the verbatim per-cell results.
+  EXPECT_EQ(resumed.value().final_json, reference.value().final_json);
+}
+
+TEST(RunSweep, FailedCellsAreNeverCached) {
+  const std::string state = FreshDir("failed_not_cached");
+  // Fails on first execution of each cell, succeeds on retry.
+  int calls = 0;
+  BenchRegistry registry;
+  registry["mock"] = [&calls](const RunSpec& spec) {
+    ++calls;
+    if (calls <= 1) return RunResult{1, ""};
+    return MockBench(&calls)(spec);  // counts the call twice; see below
+  };
+  RunnerOptions options;
+  options.verbose = false;
+  options.state_dir = state;
+  auto config = ConfigOrDie("matrix one { bench = mock\n  x = 1 }");
+
+  auto first = RunSweep(config, registry, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first.value().failures, 1u);
+
+  // The failure was not snapshotted: the resume retries the cell and now
+  // caches the success.
+  auto second = RunSweep(config, registry, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().cached, 0u);
+  EXPECT_EQ(second.value().executed, 1u);
+  EXPECT_EQ(second.value().failures, 0u);
+
+  auto third = RunSweep(config, registry, options);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ(third.value().cached, 1u);
+  EXPECT_EQ(third.value().executed, 0u);
+}
+
+TEST(RunSweep, CorruptSnapshotIsReExecuted) {
+  const std::string state = FreshDir("corrupt");
+  int calls = 0;
+  BenchRegistry registry;
+  registry["mock"] = MockBench(&calls);
+  RunnerOptions options;
+  options.verbose = false;
+  options.state_dir = state;
+  auto config = ConfigOrDie("matrix one { bench = mock\n  x = 1 }");
+
+  auto first = RunSweep(config, registry, options);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(calls, 1);
+
+  // Flip a byte in the middle of the snapshot; the checksummed container
+  // rejects it and the runner re-executes rather than trusting it.
+  const std::string path =
+      state + "/cell_" + config.Expand()[0].HashHex() + ".staq";
+  ASSERT_TRUE(fs::exists(path));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, static_cast<long>(fs::file_size(path) / 2), SEEK_SET);
+    int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_CUR);
+    std::fputc(c ^ 0xff, f);
+    std::fclose(f);
+  }
+  auto second = RunSweep(config, registry, options);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_EQ(second.value().cached, 0u);
+  EXPECT_EQ(second.value().executed, 1u);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(second.value().final_json, first.value().final_json);
+
+  // The re-execution rewrote a valid snapshot.
+  auto third = RunSweep(config, registry, options);
+  ASSERT_TRUE(third.ok()) << third.status();
+  EXPECT_EQ(third.value().cached, 1u);
+}
+
+TEST(RunSweep, ConfigHashIgnoresFormattingButNotCells) {
+  auto a = ConfigOrDie("matrix m { bench = mock\n  x = 1, 2 }");
+  auto b = ConfigOrDie("# same cells, different formatting\nmatrix m {\n"
+                       "  x = 1, 2\n  bench = mock\n}");
+  auto c = ConfigOrDie("matrix m { bench = mock\n  x = 1, 2, 3 }");
+  EXPECT_EQ(ConfigHash(a), ConfigHash(b));
+  EXPECT_NE(ConfigHash(a), ConfigHash(c));
+}
+
+TEST(RunSweep, UnwritableStateDirIsAnError) {
+  BenchRegistry registry;
+  int calls = 0;
+  registry["mock"] = MockBench(&calls);
+  RunnerOptions options;
+  options.verbose = false;
+  options.state_dir = "/proc/does_not_exist/state";
+  auto report = RunSweep(ConfigOrDie(kConfig), registry, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace staq::exp

@@ -21,17 +21,30 @@
 //       Walk a mutation WAL directory: list segments and records, or
 //       check every record checksum and the sequence chain.
 //
+//   staq_cli bench list|run|diff ...
+//       The experiment harness: enumerate the linkable benches and their
+//       baseline coverage, run a declarative sweep config (with per-cell
+//       resume snapshots), or diff a run's BENCH_*.json documents against
+//       the checked-in golden baselines under the tolerance policy.
+//
 // Queries can also run directly on a synthetic spec without saving:
 //   staq_cli query --synth covely --scale 0.1 --poi hospital
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <initializer_list>
 #include <map>
 #include <string>
 
+#include "bench_registry.h"
 #include "core/access_query.h"
 #include "core/export.h"
+#include "exp/config.h"
+#include "exp/diff.h"
+#include "exp/json.h"
+#include "exp/runner.h"
 #include "core/labeling.h"
 #include "core/parallel_labeling.h"
 #include "gtfs/gtfs_csv.h"
@@ -108,12 +121,19 @@ constexpr char kSnapshotUsage[] =
 constexpr char kWalUsage[] =
     "  wal inspect --dir DIR [--records]\n"
     "  wal verify --dir DIR\n";
+constexpr char kBenchUsage[] =
+    "  bench list [--baselines DIR]\n"
+    "  bench run --config FILE --out DIR [--state DIR] [--no-resume]\n"
+    "        [--max-executed N] [--quiet]\n"
+    "  bench diff --run DIR [--baselines DIR] [--policy FILE] "
+    "[--relax-perf]\n";
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: staq_cli <synth|info|query|snapshot|wal> [flags]\n"
-               "%s%s%s%s%s",
-               kSynthUsage, kInfoUsage, kQueryUsage, kSnapshotUsage, kWalUsage);
+               "usage: staq_cli <synth|info|query|snapshot|wal|bench> "
+               "[flags]\n%s%s%s%s%s%s",
+               kSynthUsage, kInfoUsage, kQueryUsage, kSnapshotUsage, kWalUsage,
+               kBenchUsage);
   return 2;
 }
 
@@ -615,11 +635,222 @@ int RunWal(int argc, char** argv, const Args& args) {
   return RunWalVerify(args);
 }
 
+util::Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return util::Status::IoError("cannot open: " + path);
+  std::string text;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(f);
+  return text;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "short write: %s\n", path.c_str());
+  return ok;
+}
+
+std::string BaselinePath(const std::string& dir, const std::string& bench) {
+  return dir + "/BENCH_" + bench + ".json";
+}
+
+int RunBenchList(const Args& args) {
+  if (!CheckFlags(args, "bench list", {"baselines"})) {
+    return UsageFor("bench list", kBenchUsage);
+  }
+  std::string dir = args.Get("baselines", "bench/baselines");
+  // Policy coverage is advisory here: an unreadable policy file just means
+  // every bench shows "-" in the rules column.
+  std::map<std::string, size_t> rule_counts;
+  if (auto policy = exp::TolerancePolicy::Load(dir + "/policy.rules");
+      policy.ok()) {
+    for (const exp::BenchPolicy& b : policy.value().benches()) {
+      rule_counts[b.bench] = b.rules.size();
+    }
+  }
+  std::printf("%-10s %-6s %-9s %-6s %s\n", "bench", "kind", "baseline",
+              "rules", "title");
+  for (const bench::BenchInfo& info : bench::BenchTable()) {
+    std::error_code ec;
+    bool has_baseline =
+        std::filesystem::exists(BaselinePath(dir, info.name), ec);
+    auto it = rule_counts.find(info.name);
+    std::string rules =
+        it == rule_counts.end() ? "-" : std::to_string(it->second);
+    std::printf("%-10s %-6s %-9s %-6s %s\n", info.name, info.kind,
+                has_baseline ? "yes" : "-", rules.c_str(), info.title);
+  }
+  return 0;
+}
+
+int RunBenchRun(const Args& args) {
+  if (!CheckFlags(args, "bench run",
+                  {"config", "out", "state", "no-resume", "max-executed",
+                   "quiet"})) {
+    return UsageFor("bench run", kBenchUsage);
+  }
+  if (!args.Has("config") || !args.Has("out")) {
+    std::fprintf(stderr, "bench run: --config FILE and --out DIR are "
+                         "required\n");
+    return UsageFor("bench run", kBenchUsage);
+  }
+  auto config = exp::ExperimentConfig::Load(args.Get("config", ""));
+  if (!config.ok()) {
+    std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = args.Get("out", "");
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  // Benches write their BENCH_<name>.json into STAQ_BENCH_OUT; pointing it
+  // at the run directory is what makes the output diffable.
+  ::setenv("STAQ_BENCH_OUT", out.c_str(), 1);
+
+  exp::RunnerOptions options;
+  options.state_dir = args.Get("state", out + "/state");
+  options.resume = !args.Has("no-resume");
+  options.max_executed =
+      static_cast<size_t>(std::max(0, args.GetInt("max-executed", 0)));
+  options.verbose = !args.Has("quiet");
+
+  auto report = exp::RunSweep(config.value(), bench::MakeBenchRegistry(),
+                              options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  const exp::SweepReport& r = report.value();
+  std::printf("sweep %016llx: %zu cells (%zu executed, %zu cached, "
+              "%zu failed)\n",
+              static_cast<unsigned long long>(
+                  exp::ConfigHash(config.value())),
+              r.outcomes.size(), r.executed, r.cached, r.failures);
+  if (!r.complete) {
+    std::printf("interrupted after %zu executed cells; re-run with the same "
+                "--state to resume\n", r.executed);
+    return 3;
+  }
+  if (!WriteTextFile(out + "/sweep.json", r.final_json)) return 1;
+  if (!WriteTextFile(out + "/tables.txt", r.tables)) return 1;
+  if (!args.Has("quiet")) std::printf("%s", r.tables.c_str());
+  std::printf("wrote %s/sweep.json and %s/tables.txt\n", out.c_str(),
+              out.c_str());
+  return r.failures == 0 ? 0 : 1;
+}
+
+int RunBenchDiff(const Args& args) {
+  if (!CheckFlags(args, "bench diff",
+                  {"run", "baselines", "policy", "relax-perf"})) {
+    return UsageFor("bench diff", kBenchUsage);
+  }
+  if (!args.Has("run")) {
+    std::fprintf(stderr, "bench diff: --run DIR is required\n");
+    return UsageFor("bench diff", kBenchUsage);
+  }
+  std::string run_dir = args.Get("run", "");
+  std::string baselines = args.Get("baselines", "bench/baselines");
+  std::string policy_path = args.Get("policy", baselines + "/policy.rules");
+  auto policy = exp::TolerancePolicy::Load(policy_path);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+    return 1;
+  }
+  exp::DiffOptions options;
+  options.relax_perf = args.Has("relax-perf");
+
+  size_t passed = 0, failed = 0, skipped = 0;
+  bool ok = true;
+  for (const exp::BenchPolicy& bench_policy : policy.value().benches()) {
+    const std::string& name = bench_policy.bench;
+    std::printf("== bench %s ==\n", name.c_str());
+    auto LoadDoc = [&](const std::string& path, const char* what)
+        -> util::Result<exp::JsonDoc> {
+      auto text = ReadTextFile(path);
+      if (!text.ok()) {
+        return util::Status::IoError(std::string(what) + " document missing: " +
+                                     text.status().message());
+      }
+      auto doc = exp::JsonDoc::Parse(text.value());
+      if (!doc.ok()) {
+        return util::Status::InvalidArgument(path + ": " +
+                                             doc.status().message());
+      }
+      return doc;
+    };
+    auto run_doc = LoadDoc(BaselinePath(run_dir, name), "run");
+    auto base_doc = LoadDoc(BaselinePath(baselines, name), "baseline");
+    if (!run_doc.ok() || !base_doc.ok()) {
+      std::fprintf(stderr, "  FAIL %s\n",
+                   (!run_doc.ok() ? run_doc.status() : base_doc.status())
+                       .ToString()
+                       .c_str());
+      ok = false;
+      ++failed;
+      continue;
+    }
+    exp::DiffReport report = exp::DiffDocuments(
+        run_doc.value(), base_doc.value(), bench_policy, options);
+    std::printf("%s", report.ToString().c_str());
+    passed += report.passed;
+    failed += report.failed;
+    skipped += report.skipped;
+    if (!report.ok()) ok = false;
+  }
+
+  // Baselines nobody polices are stale weight in the tree — flag them (not
+  // fatally; deleting a policy block mid-investigation is legitimate).
+  std::error_code ec;
+  std::filesystem::directory_iterator it(baselines, ec);
+  if (!ec) {
+    for (const auto& entry : it) {
+      std::string file = entry.path().filename().string();
+      if (file.rfind("BENCH_", 0) != 0 || file.size() <= 11 ||
+          file.substr(file.size() - 5) != ".json") {
+        continue;
+      }
+      std::string name = file.substr(6, file.size() - 11);
+      if (policy.value().Find(name) == nullptr) {
+        std::printf("note: baseline %s has no policy block\n", file.c_str());
+      }
+    }
+  }
+
+  std::printf("%s: %zu passed, %zu failed, %zu skipped\n",
+              ok ? "PASS" : "FAIL", passed, failed, skipped);
+  return ok ? 0 : 1;
+}
+
+int RunBench(int argc, char** argv, const Args& args) {
+  if (argc < 3) return UsageFor("bench", kBenchUsage);
+  std::string verb = argv[2];
+  if (!CheckCommand("bench", verb, {"list", "run", "diff"})) {
+    return UsageFor("bench", kBenchUsage);
+  }
+  if (verb == "list") return RunBenchList(args);
+  if (verb == "run") return RunBenchRun(args);
+  return RunBenchDiff(args);
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (!CheckCommand("", command, {"synth", "info", "query", "snapshot",
-                                  "wal"})) {
+                                  "wal", "bench"})) {
     return Usage();
   }
   Args args(argc, argv);
@@ -627,7 +858,8 @@ int Main(int argc, char** argv) {
   if (command == "info") return RunInfo(args);
   if (command == "query") return RunQuery(args);
   if (command == "snapshot") return RunSnapshot(argc, argv, args);
-  return RunWal(argc, argv, args);
+  if (command == "wal") return RunWal(argc, argv, args);
+  return RunBench(argc, argv, args);
 }
 
 }  // namespace

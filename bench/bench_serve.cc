@@ -30,6 +30,7 @@
 #include "bench_common.h"
 #include "bench_registry.h"
 #include "router/connections.h"
+#include "scenario/disruption.h"
 #include "serve/server.h"
 #include "util/stopwatch.h"
 
@@ -279,6 +280,66 @@ exp::RunResult RunServeBench() {
     }
   }
 
+  // --- disruptions: the scenario-pack mutation mix ----------------------
+  // The same disruption grammar `staq_cli scenario run` executes, one of
+  // each timetable-rewriting kind, selectors resolved against the live
+  // feed just before each apply (client-side resolution, as the pack
+  // runner does). Every apply patches all materialised label states
+  // incrementally; the follow-up query is gated against a from-scratch
+  // rebuild over the disrupted network.
+  const char* const kDisruptionSpecs[] = {
+      "close_stop:busiest", "suspend_route:busiest", "scale_headway:all:2",
+      "set_fare:all:4.0",   "scale_walk:0.9",
+  };
+  std::vector<serve::ScenarioStore::MutationReport> disruption_reports;
+  double disruption_mean_ms = 0.0, disruption_max_ms = 0.0;
+  for (const char* spec_text : kDisruptionSpecs) {
+    auto spec = scenario::ParseDisruptionSpec(spec_text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "disruption spec '%s' failed: %s\n", spec_text,
+                   spec.status().ToString().c_str());
+      return {1, ""};
+    }
+    auto record = scenario::ResolveDisruption(
+        spec.value(), server.Snapshot()->base_city().feed);
+    if (!record.ok()) {
+      std::fprintf(stderr, "disruption '%s' did not resolve: %s\n", spec_text,
+                   record.status().ToString().c_str());
+      return {1, ""};
+    }
+    record.value().sequence = server.sequence() + 1;
+    auto applied = server.ApplyMutation(record.value());
+    if (!applied.ok()) {
+      std::fprintf(stderr, "disruption '%s' failed: %s\n", spec_text,
+                   applied.status().ToString().c_str());
+      return {1, ""};
+    }
+    disruption_reports.push_back(applied.value());
+    const double ms = applied.value().seconds * 1e3;
+    disruption_mean_ms += ms;
+    disruption_max_ms = std::max(disruption_max_ms, ms);
+    if (!GateAgainstGolden(server, mutated_request, server.Query(mutated_request),
+                           spec_text)) {
+      return {1, ""};
+    }
+  }
+  disruption_mean_ms /= static_cast<double>(disruption_reports.size());
+  uint64_t disruption_spqs = 0;
+  uint64_t disruption_zones = 0;
+  for (const auto& report : disruption_reports) {
+    disruption_spqs += report.spqs;
+    disruption_zones += report.zones_relabeled;
+  }
+
+  // Every request of the mix answers bit-identically on the fully
+  // disrupted network too.
+  for (const serve::AqRequest& request : mix) {
+    if (!GateAgainstGolden(server, request, server.Query(request),
+                           "disrupted/final")) {
+      return {1, ""};
+    }
+  }
+
   // Mutation cost summary. full-build SPQs = SPQs of one from-scratch
   // exact labeling, read off the cold exact answer.
   double mutation_mean_ms = 0.0, mutation_max_ms = 0.0;
@@ -311,6 +372,14 @@ exp::RunResult RunServeBench() {
               static_cast<unsigned long long>(full_build_spqs),
               mean_spqs > 0.0 ? static_cast<double>(full_build_spqs) / mean_spqs
                               : 0.0);
+  std::printf("  disruptions: %zu applied (network v%llu)  mean %.2f ms "
+              "(max %.2f)  %llu zones relabeled, %llu SPQs\n",
+              disruption_reports.size(),
+              static_cast<unsigned long long>(
+                  server.Snapshot()->network_version()),
+              disruption_mean_ms, disruption_max_ms,
+              static_cast<unsigned long long>(disruption_zones),
+              static_cast<unsigned long long>(disruption_spqs));
   std::printf("  server: %llu submitted, %llu cache hits / %llu misses, "
               "%llu exact state builds, %llu states patched across %llu "
               "mutations\n",
@@ -357,6 +426,14 @@ exp::RunResult RunServeBench() {
   w.Uint("zones_total", num_zones);
   w.Fixed("mean_spqs", mean_spqs, 1);
   w.Uint("full_build_spqs", full_build_spqs);
+  w.EndObject();
+  w.BeginObject("disruptions");
+  w.Uint("count", disruption_reports.size());
+  w.Uint("network_version", server.Snapshot()->network_version());
+  w.Fixed("mean_ms", disruption_mean_ms, 4);
+  w.Fixed("max_ms", disruption_max_ms, 4);
+  w.Uint("zones_relabeled", disruption_zones);
+  w.Uint("spqs", disruption_spqs);
   w.EndObject();
   w.BeginObject("server_stats");
   w.Uint("submitted", stats.submitted);

@@ -3,128 +3,90 @@
 // such as optimally locating a new school ... or introducing new bus stops
 // to avoid 'access deserts'".
 //
-// This example drives the serving subsystem (serve/server.h) through a
-// scenario loop:
-//   1. baseline AQ for schools (exact + SSR) against epoch 0,
-//   2. a repeat of the same question, answered from the result cache,
-//   3. find the worst "access desert" zone,
-//   4. scenario A: build a school there — the mutation patches the
-//      materialised label states incrementally (only the affected zones
-//      are relabeled) and the follow-up query answers from the patch,
-//   5. roll the edit back and verify the answer returns to baseline
-//      bit-for-bit (the edit-stable TODAM is history-independent),
-//   6. scenario B: switch to Sunday morning service levels instead.
+// This example drives the scenario-pack subsystem (scenario/runner.h): a
+// declarative pack names three disruption scenarios, the runner applies
+// each one to a fresh serving instance as incremental timetable mutations,
+// and every run comes back as a before/after equity report. The same packs
+// run unchanged from the command line:
+//
+//   staq_cli scenario run --pack scenarios/standard.pack --synth brindale
+//
 #include <cstdio>
 
-#include "serve/server.h"
+#include "scenario/pack.h"
+#include "scenario/runner.h"
 #include "synth/city_builder.h"
 
 using namespace staq;
 
 namespace {
 
-void PrintAnswer(const char* tag, const core::AccessQueryResult& r) {
-  std::printf("  %-22s mean %.1f min, %llu SPQs, %.3f s\n", tag,
-              r.mean_mac / 60, static_cast<unsigned long long>(r.spqs),
-              r.elapsed_s);
+// A pack is plain text — normally a checked-in file (see
+// scenarios/standard.pack), inlined here so the example is self-contained.
+// `busiest` and `all` selectors resolve against whichever feed the pack
+// runs on, so the same pack is portable across city families.
+constexpr const char* kPackText =
+    R"(# What happens to school access when service degrades?
+scenario trunk_outage {
+  disrupt = suspend_route:busiest
 }
+scenario snow_day {
+  disrupt = scale_walk:0.5, scale_headway:all:2
+}
+scenario fare_shock {
+  disrupt = set_fare:all:4.0
+}
+)";
 
 }  // namespace
 
 int main() {
-  auto built = synth::BuildCity(synth::CitySpec::Brindale(0.12, 19));
-  if (!built.ok()) return 1;
-
-  serve::AqServer server(std::move(built).value(), gtfs::WeekdayAmPeak());
-  const synth::City& city = server.base_city();
-
-  serve::AqRequest ssr;
-  ssr.category = synth::PoiCategory::kSchool;
-  ssr.options.beta = 0.07;
-  ssr.options.model = ml::ModelKind::kMlp;
-  ssr.options.gravity.sample_rate_per_hour = 8;
-  serve::AqRequest exact = ssr;
-  exact.options.exact = true;
-
-  // 1. Baseline, both ways, to show the cost gap on identical questions.
-  auto baseline_exact = server.Query(exact);
-  auto baseline_ssr = server.Query(ssr);
-  if (!baseline_exact.ok() || !baseline_ssr.ok()) return 1;
-  std::printf("baseline access to schools (weekday AM peak, epoch %llu)\n",
-              static_cast<unsigned long long>(server.epoch()));
-  PrintAnswer("exact:", baseline_exact.value());
-  PrintAnswer("SSR:", baseline_ssr.value());
-
-  // 2. Same question again: one probe of the sharded result cache.
-  auto repeat = server.Query(exact);
-  if (!repeat.ok()) return 1;
-  PrintAnswer("exact (cached):", repeat.value());
-  std::printf("  cache: %llu hits / %llu misses so far\n",
-              static_cast<unsigned long long>(server.stats().cache_hits),
-              static_cast<unsigned long long>(server.stats().cache_misses));
-
-  // 3. The worst-served zone is the candidate "access desert".
-  const auto& mac = baseline_exact.value().mac;
-  uint32_t desert = 0;
-  for (uint32_t z = 1; z < mac.size(); ++z) {
-    if (mac[z] > mac[desert]) desert = z;
+  // 1. Parse the pack. Every disruption spec is validated up front: a typo
+  //    fails here with the scenario's name attached, not mid-run.
+  auto pack = scenario::ScenarioPack::Parse(kPackText);
+  if (!pack.ok()) {
+    std::printf("pack error: %s\n", pack.status().ToString().c_str());
+    return 1;
   }
-  std::printf("\naccess desert: zone %u at (%.0f, %.0f), MAC %.1f min\n",
-              desert, city.zones[desert].centroid.x,
-              city.zones[desert].centroid.y, mac[desert] / 60);
+  std::printf("pack loaded: %zu scenarios\n", pack.value().scenarios.size());
 
-  // 4. Scenario A: build a school in the desert. The mutation installs a
-  //    new epoch and patches the school label state in place of a full
-  //    rebuild: only zones that sample a trip to the new POI are relabeled.
-  auto added =
-      server.AddPoi(synth::PoiCategory::kSchool, city.zones[desert].centroid);
-  if (!added.ok()) return 1;
-  const auto& report = added.value();
-  std::printf("\nscenario A — new school in the desert zone (epoch %llu):\n",
-              static_cast<unsigned long long>(report.epoch));
-  std::printf("  mutation: %.3f s, relabeled %u/%u zones, %llu SPQs "
-              "(full build: %llu)\n",
-              report.seconds, report.zones_relabeled, report.zones_total,
-              static_cast<unsigned long long>(report.spqs),
-              static_cast<unsigned long long>(baseline_exact.value().spqs));
-  auto scenario_a = server.Query(exact);
-  if (!scenario_a.ok()) return 1;
-  PrintAnswer("exact (incremental):", scenario_a.value());
-  std::printf("  desert zone MAC: %.1f -> %.1f min\n",
-              baseline_exact.value().mac[desert] / 60,
-              scenario_a.value().mac[desert] / 60);
+  // 2. The city factory. Each scenario runs against a *fresh* server built
+  //    from this factory — what-if branches, not a cumulative history — so
+  //    it must be deterministic for reports to be comparable.
+  scenario::CityFactory factory = [] {
+    return synth::BuildCity(synth::CitySpec::Brindale(0.12, 19));
+  };
 
-  // 5. Roll back. History independence makes the round-trip exact: the
-  //    answer after add+remove is bit-identical to the baseline.
-  if (!server.RemovePoi(report.poi_id).ok()) return 1;
-  auto rolled_back = server.Query(exact);
-  if (!rolled_back.ok()) return 1;
-  bool identical = rolled_back.value().mac == baseline_exact.value().mac &&
-                   rolled_back.value().acsd == baseline_exact.value().acsd;
-  std::printf("\nrollback (epoch %llu): answer %s the baseline\n",
-              static_cast<unsigned long long>(server.epoch()),
-              identical ? "bit-identical to" : "DIFFERS from");
-  if (!identical) return 1;
+  // 3. Run every scenario: exact "before" query, disruptions applied as
+  //    incremental epochs on the live server, exact "after" query, equity
+  //    comparison. Exact labeling keeps SSR sampling noise out of the
+  //    deltas — the report measures the disruption and nothing else.
+  scenario::RunOptions options;
+  options.category = synth::PoiCategory::kSchool;
+  options.cost = core::CostKind::kGeneralizedCost;
+  options.server.num_threads = 4;
 
-  // 6. Scenario B: the same question at Sunday morning service levels.
-  //    An interval switch rebuilds the offline structures; label states
-  //    are interval-dependent and start cold in the new epoch.
-  if (!server.SetInterval(gtfs::SundayMorning()).ok()) return 1;
-  auto scenario_b = server.Query(ssr);
-  if (!scenario_b.ok()) return 1;
-  std::printf("\nscenario B — Sunday morning instead of AM peak:\n");
-  std::printf("  citywide mean (SSR): %.1f min (weekday %.1f)\n",
-              scenario_b.value().mean_mac / 60,
-              baseline_ssr.value().mean_mac / 60);
+  auto reports = scenario::RunPack(factory, pack.value(), options);
+  if (!reports.ok()) {
+    std::printf("run error: %s\n", reports.status().ToString().c_str());
+    return 1;
+  }
 
-  // 7. Takeaway.
+  // 4. Print each report — per-zone MAC deltas summarised into fairness
+  //    indices, mean ACSD, the four-class migration matrix, and the single
+  //    worst-hit zone. The formatter is deterministic (fixed formats, zone
+  //    id order), which is what lets golden tests diff report text.
+  for (const scenario::EquityReport& report : reports.value()) {
+    std::printf("\n%s", scenario::FormatEquityReport(report).c_str());
+    std::printf("  applied in %.3f s of incremental relabeling (%llu SPQs)\n",
+                report.mutation_seconds,
+                static_cast<unsigned long long>(report.mutation_spqs));
+  }
+
   std::printf(
-      "\nA scenario edit costs O(affected zones): this one relabeled %u of "
-      "%u zones\n(%llu SPQs vs %llu for a from-scratch labeling), and "
-      "repeated questions on a\nstable scenario cost one cache probe — which "
-      "is what makes interactive\nwhat-if analysis practical.\n",
-      report.zones_relabeled, report.zones_total,
-      static_cast<unsigned long long>(report.spqs),
-      static_cast<unsigned long long>(baseline_exact.value().spqs));
+      "\nReading: each scenario is an independent branch off the same "
+      "baseline.\nA disruption costs O(affected zones) of relabeling, so a "
+      "pack of what-ifs\nruns interactively — which is the point of dynamic "
+      "access queries.\n");
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/access_query.h"
+#include "scenario/report.h"
 #include "synth/city_builder.h"
 
 using namespace staq;
@@ -90,5 +91,21 @@ int main() {
       " gap means\nthe more-deprived half of the city pays more to reach the"
       " service. Off-peak and\nSunday rows show how fairness erodes when "
       "service thins out.\n");
+
+  // The same peak-vs-Sunday question as a full equity report: exact
+  // queries on both sides through the scenario formatter — per-zone MAC
+  // deltas, class migration, the worst-hit zone — the identical rendering
+  // `staq_cli scenario run` produces for disruption packs.
+  core::AccessQueryOptions exact = options;
+  exact.exact = true;
+  engine.SetInterval(gtfs::WeekdayAmPeak());
+  auto peak = engine.Query(synth::PoiCategory::kSchool, exact);
+  engine.SetInterval(gtfs::SundayMorning());
+  auto sunday = engine.Query(synth::PoiCategory::kSchool, exact);
+  if (peak.ok() && sunday.ok()) {
+    scenario::EquityReport report = scenario::CompareAccess(
+        "sunday_service", "covely", city.zones, peak.value(), sunday.value());
+    std::printf("\n%s", scenario::FormatEquityReport(report).c_str());
+  }
   return 0;
 }

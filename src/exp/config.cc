@@ -83,9 +83,12 @@ class Lexer {
   }
 
   static bool IsWordChar(char c) {
+    // ':' joins the fields of scenario-pack disruption specs
+    // ("scale_headway:all:2"); existing experiment configs contain none,
+    // so admitting it is backward compatible.
     return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
            (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
-           c == '+';
+           c == '+' || c == ':';
   }
 
   /// Reads a bare word ([A-Za-z0-9_.+-]+). Empty result means "no word
@@ -106,10 +109,13 @@ class Lexer {
   size_t line_start_ = 0;
 };
 
-util::Status ParseBlockBody(Lexer& lex, MatrixBlock* block) {
+util::Status ParseBlockBody(Lexer& lex, const std::string& keyword,
+                            MatrixBlock* block) {
   while (true) {
     lex.SkipWsAndComments();
-    if (lex.AtEnd()) return lex.Error("unterminated matrix block (missing '}')");
+    if (lex.AtEnd()) {
+      return lex.Error("unterminated " + keyword + " block (missing '}')");
+    }
     if (lex.Peek() == '}') {
       lex.Advance();
       return util::Status::OK();
@@ -154,44 +160,57 @@ util::Status ParseBlockBody(Lexer& lex, MatrixBlock* block) {
 
 util::Result<ExperimentConfig> ExperimentConfig::Parse(
     const std::string& text) {
+  return Parse(text, ParseOptions());
+}
+
+util::Result<ExperimentConfig> ExperimentConfig::Parse(
+    const std::string& text, const ParseOptions& options) {
   ExperimentConfig config;
   Lexer lex(text);
   while (true) {
     lex.SkipWsAndComments();
     if (lex.AtEnd()) break;
     std::string keyword = lex.Word();
-    if (keyword != "matrix") {
-      return lex.Error("expected 'matrix', got '" + keyword + "'");
+    if (keyword != options.keyword) {
+      return lex.Error("expected '" + options.keyword + "', got '" + keyword +
+                       "'");
     }
     lex.SkipInline();
     MatrixBlock block;
     block.name = lex.Word();
-    if (block.name.empty()) return lex.Error("matrix block needs a name");
+    if (block.name.empty()) {
+      return lex.Error(options.keyword + " block needs a name");
+    }
     for (const MatrixBlock& existing : config.blocks_) {
       if (existing.name == block.name) {
-        return lex.Error("duplicate matrix name '" + block.name + "'");
+        return lex.Error("duplicate " + options.keyword + " name '" +
+                         block.name + "'");
       }
     }
     lex.SkipInline();
     if (lex.AtEnd() || lex.Peek() != '{') {
-      return lex.Error("expected '{' after matrix name");
+      return lex.Error("expected '{' after " + options.keyword + " name");
     }
     lex.Advance();
-    STAQ_RETURN_NOT_OK(ParseBlockBody(lex, &block));
+    STAQ_RETURN_NOT_OK(ParseBlockBody(lex, options.keyword, &block));
 
-    bool has_bench = false;
-    for (const auto& [key, values] : block.axes) {
-      (void)values;
-      if (key == "bench") has_bench = true;
-    }
-    if (!has_bench) {
-      return lex.Error("matrix '" + block.name + "' has no 'bench' key");
+    if (!options.required_key.empty()) {
+      bool has_required = false;
+      for (const auto& [key, values] : block.axes) {
+        (void)values;
+        if (key == options.required_key) has_required = true;
+      }
+      if (!has_required) {
+        return lex.Error(options.keyword + " '" + block.name + "' has no '" +
+                         options.required_key + "' key");
+      }
     }
     config.blocks_.push_back(std::move(block));
   }
   if (config.blocks_.empty()) {
     return util::Status::InvalidArgument(
-        "config parse error at line 1, column 1: no matrix blocks");
+        "config parse error at line 1, column 1: no " + options.keyword +
+        " blocks");
   }
   return config;
 }

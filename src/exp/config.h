@@ -68,8 +68,19 @@ struct Cell {
 
 class ExperimentConfig {
  public:
+  /// Dialect knobs: the same block grammar serves other declarative files
+  /// (the scenario-pack format uses `scenario <name> { disrupt = ... }`).
+  struct ParseOptions {
+    /// Block keyword ("matrix <name> { ... }").
+    std::string keyword = "matrix";
+    /// Key every block must declare ("" disables the requirement).
+    std::string required_key = "bench";
+  };
+
   /// Parses config text; errors carry "line L, column C".
   static util::Result<ExperimentConfig> Parse(const std::string& text);
+  static util::Result<ExperimentConfig> Parse(const std::string& text,
+                                              const ParseOptions& options);
 
   /// Reads and parses a config file.
   static util::Result<ExperimentConfig> Load(const std::string& path);

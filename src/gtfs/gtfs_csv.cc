@@ -73,9 +73,40 @@ std::string DayFlag(DayMask mask, Day day) {
 
 }  // namespace
 
+util::Result<Day> WeekdayOf(uint32_t date) {
+  const uint32_t y = date / 10000;
+  const uint32_t m = (date / 100) % 100;
+  const uint32_t d = date % 100;
+  static constexpr uint32_t kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  const bool leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+  if (y < 1000 || y > 9999 || m < 1 || m > 12 || d < 1 ||
+      d > kDaysInMonth[m - 1] + (m == 2 && leap ? 1u : 0u)) {
+    return util::Status::InvalidArgument(
+        util::Format("bad YYYYMMDD date %u", date));
+  }
+  // days_from_civil (Gregorian), then anchor on 1970-01-01 = Thursday and
+  // rotate to Monday = 0 to match the Day enum.
+  const int32_t yy = static_cast<int32_t>(y) - (m <= 2);
+  const int32_t era = (yy >= 0 ? yy : yy - 399) / 400;
+  const uint32_t yoe = static_cast<uint32_t>(yy - era * 400);
+  const uint32_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const uint32_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  const int64_t days =
+      static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) - 719468;
+  return static_cast<Day>(((days % 7) + 7 + 3) % 7);
+}
+
 util::Status WriteFeedCsv(const Feed& feed,
                           const geo::LocalProjection& projection,
                           const std::string& directory) {
+  return WriteFeedCsv(feed, projection, directory, {});
+}
+
+util::Status WriteFeedCsv(const Feed& feed,
+                          const geo::LocalProjection& projection,
+                          const std::string& directory,
+                          const std::vector<CalendarDateException>& exceptions) {
   std::error_code ec;
   fs::create_directories(directory, ec);
   if (ec) {
@@ -134,6 +165,23 @@ util::Status WriteFeedCsv(const Feed& feed,
            "20240101", "20991231"}));
     }
     STAQ_RETURN_NOT_OK(table.WriteFile(directory + "/calendar.txt"));
+  }
+
+  // calendar_dates.txt: explicit service exceptions, validated before any
+  // byte is written so a bad date never leaves a half-useful file behind.
+  if (!exceptions.empty()) {
+    util::CsvTable table({"service_id", "date", "exception_type"});
+    for (const CalendarDateException& e : exceptions) {
+      auto weekday = WeekdayOf(e.date);
+      if (!weekday.ok()) {
+        return util::Status::InvalidArgument("calendar_dates exception: " +
+                                             weekday.status().message());
+      }
+      STAQ_RETURN_NOT_OK(table.AddRow({e.service_id,
+                                       util::Format("%08u", e.date),
+                                       e.added ? "1" : "2"}));
+    }
+    STAQ_RETURN_NOT_OK(table.WriteFile(directory + "/calendar_dates.txt"));
   }
 
   // trips.txt
@@ -290,6 +338,63 @@ util::Result<Feed> ReadFeedCsv(const std::string& directory,
         }
       }
       service_days[util::Trim(row[id_col.value()])] = mask;
+    }
+  }
+
+  // --- calendar_dates (optional) ---------------------------------------------
+  // Exceptions fold into the weekly mask by weekday: type 1 (added) sets
+  // the date's weekday bit, type 2 (removed) clears it. A service that
+  // exists only through added dates is created here, mask 0 upward —
+  // GTFS permits calendar_dates-only services.
+  if (fs::exists(directory + "/calendar_dates.txt")) {
+    auto rows = LoadTable(directory, "calendar_dates.txt");
+    if (!rows.ok()) return rows.status();
+    Header header(rows.value()[0]);
+    auto id_col = header.Require("service_id");
+    auto date_col = header.Require("date");
+    auto type_col = header.Require("exception_type");
+    STAQ_RETURN_NOT_OK(id_col.status());
+    STAQ_RETURN_NOT_OK(date_col.status());
+    STAQ_RETURN_NOT_OK(type_col.status());
+    for (size_t r = 1; r < rows.value().size(); ++r) {
+      const auto& row = rows.value()[r];
+      if (row.size() <= std::max({id_col.value(), date_col.value(),
+                                  type_col.value()})) {
+        return util::Status::InvalidArgument(
+            util::Format("calendar_dates.txt row %zu too short", r));
+      }
+      const std::string date_text = util::Trim(row[date_col.value()]);
+      uint32_t date = 0;
+      bool digits = date_text.size() == 8;
+      for (char c : date_text) {
+        if (c < '0' || c > '9') digits = false;
+        if (digits) date = date * 10 + static_cast<uint32_t>(c - '0');
+      }
+      if (!digits) {
+        return util::Status::InvalidArgument(
+            util::Format("calendar_dates.txt row %zu: date must be "
+                         "YYYYMMDD, got '%s'",
+                         r, date_text.c_str()));
+      }
+      auto weekday = WeekdayOf(date);
+      if (!weekday.ok()) {
+        return util::Status::InvalidArgument(
+            util::Format("calendar_dates.txt row %zu: %s", r,
+                         weekday.status().message().c_str()));
+      }
+      const std::string type = util::Trim(row[type_col.value()]);
+      if (type != "1" && type != "2") {
+        return util::Status::InvalidArgument(
+            util::Format("calendar_dates.txt row %zu: exception_type must "
+                         "be 1 or 2, got '%s'",
+                         r, type.c_str()));
+      }
+      DayMask& mask = service_days[util::Trim(row[id_col.value()])];
+      if (type == "1") {
+        mask |= MaskOf(weekday.value());
+      } else {
+        mask &= static_cast<DayMask>(~MaskOf(weekday.value()));
+      }
     }
   }
 

@@ -5,34 +5,63 @@
 // feed) as well as synthetic ones. The subset implemented is the subset
 // the pipeline consumes:
 //
-//   stops.txt        stop_id, stop_name, stop_lat, stop_lon
-//   routes.txt       route_id, route_short_name, route_type
-//   calendar.txt     service_id, monday..sunday, start_date, end_date
-//   trips.txt        route_id, service_id, trip_id
-//   stop_times.txt   trip_id, arrival_time, departure_time, stop_id,
-//                    stop_sequence
+//   stops.txt           stop_id, stop_name, stop_lat, stop_lon
+//   routes.txt          route_id, route_short_name, route_type
+//   calendar.txt        service_id, monday..sunday, start_date, end_date
+//   calendar_dates.txt  service_id, date, exception_type (optional)
+//   trips.txt           route_id, service_id, trip_id
+//   stop_times.txt      trip_id, arrival_time, departure_time, stop_id,
+//                       stop_sequence
 //   fare_attributes.txt / fare_rules.txt   flat per-route fares
 //
 // Feeds store projected coordinates; a geo::LocalProjection converts to
 // and from the WGS-84 lat/lon GTFS requires. Extra columns in input files
 // are ignored; missing required columns fail with InvalidArgument.
+//
+// The Feed models service as a weekly DayMask, not a date range, so
+// calendar_dates exceptions fold into the mask by weekday: an added date
+// (exception_type 1) sets the date's weekday bit, a removed date (type 2)
+// clears it. That keeps one-off GTFS publications (bank-holiday patterns,
+// special-event service) loadable while preserving the weekly model the
+// pipeline analyses.
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "geo/latlon.h"
 #include "gtfs/feed.h"
 
 namespace staq::gtfs {
 
+/// One calendar_dates.txt row: service `service_id` gains (added=true) or
+/// loses (added=false) service on `date` (YYYYMMDD).
+struct CalendarDateException {
+  std::string service_id;
+  uint32_t date = 0;
+  bool added = true;
+};
+
+/// Weekday of a YYYYMMDD date. kInvalidArgument on a date that does not
+/// exist (bad month, day out of range for the month/leap year).
+util::Result<Day> WeekdayOf(uint32_t date);
+
 /// Writes the feed as GTFS CSV files into `directory` (created if absent).
 util::Status WriteFeedCsv(const Feed& feed,
                           const geo::LocalProjection& projection,
                           const std::string& directory);
 
+/// As above, plus a calendar_dates.txt carrying `exceptions` (omitted when
+/// empty). Service ids must match the exporter's naming ("C0", "C1", ... in
+/// day-mask order — see calendar.txt emission).
+util::Status WriteFeedCsv(const Feed& feed,
+                          const geo::LocalProjection& projection,
+                          const std::string& directory,
+                          const std::vector<CalendarDateException>& exceptions);
+
 /// Loads a feed from GTFS CSV files in `directory`. String ids are
 /// re-mapped to dense indices; the result passes Feed::Validate().
-/// fare files are optional (fares default to 0).
+/// fare files and calendar_dates.txt are optional (fares default to 0).
 util::Result<Feed> ReadFeedCsv(const std::string& directory,
                                const geo::LocalProjection& projection);
 

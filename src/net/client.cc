@@ -124,6 +124,27 @@ util::Result<MutateResultMsg> AqClient::SetInterval(
   return Mutate(wal::MutationRecord::SetInterval(0, interval));
 }
 
+util::Result<MutateResultMsg> AqClient::SuspendRoute(uint32_t route) {
+  return Mutate(wal::MutationRecord::SuspendRoute(0, route));
+}
+
+util::Result<MutateResultMsg> AqClient::CloseStop(uint32_t stop) {
+  return Mutate(wal::MutationRecord::CloseStop(0, stop));
+}
+
+util::Result<MutateResultMsg> AqClient::ScaleHeadway(uint32_t route,
+                                                     uint32_t factor) {
+  return Mutate(wal::MutationRecord::ScaleHeadway(0, route, factor));
+}
+
+util::Result<MutateResultMsg> AqClient::SetFare(uint32_t route, double fare) {
+  return Mutate(wal::MutationRecord::SetFare(0, route, fare));
+}
+
+util::Result<MutateResultMsg> AqClient::ScaleWalkSpeed(double factor) {
+  return Mutate(wal::MutationRecord::ScaleWalkSpeed(0, factor));
+}
+
 util::Result<InfoResultMsg> AqClient::Info() {
   auto frame = Call(MsgType::kInfo, {});
   if (!frame.ok()) return frame.status();

@@ -51,6 +51,15 @@ class AqClient {
   util::Result<MutateResultMsg> RemovePoi(uint32_t poi_id);
   util::Result<MutateResultMsg> SetInterval(const gtfs::TimeInterval& interval);
 
+  /// Timetable disruptions (scenario subsystem). Targets are resolved
+  /// route/stop ids in the backend's feed; wal::kAllTargets selects every
+  /// route where the mutation allows it.
+  util::Result<MutateResultMsg> SuspendRoute(uint32_t route);
+  util::Result<MutateResultMsg> CloseStop(uint32_t stop);
+  util::Result<MutateResultMsg> ScaleHeadway(uint32_t route, uint32_t factor);
+  util::Result<MutateResultMsg> SetFare(uint32_t route, double fare);
+  util::Result<MutateResultMsg> ScaleWalkSpeed(double factor);
+
   /// Replication position probe.
   util::Result<InfoResultMsg> Info();
 

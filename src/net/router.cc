@@ -106,6 +106,21 @@ util::Result<MutateResultMsg> QueryRouter::MutateOnPrimary(
     case wal::MutationType::kSetInterval:
       result = client.value()->SetInterval(record.interval);
       break;
+    case wal::MutationType::kSuspendRoute:
+      result = client.value()->SuspendRoute(record.target);
+      break;
+    case wal::MutationType::kCloseStop:
+      result = client.value()->CloseStop(record.target);
+      break;
+    case wal::MutationType::kScaleHeadway:
+      result = client.value()->ScaleHeadway(record.target, record.factor);
+      break;
+    case wal::MutationType::kSetFare:
+      result = client.value()->SetFare(record.target, record.value);
+      break;
+    case wal::MutationType::kScaleWalkSpeed:
+      result = client.value()->ScaleWalkSpeed(record.value);
+      break;
   }
   if (result.ok()) {
     // Read-your-writes: reads through this router now require the write's
@@ -131,6 +146,34 @@ util::Result<MutateResultMsg> QueryRouter::RemovePoi(const ShardKey& key,
 util::Result<MutateResultMsg> QueryRouter::SetInterval(
     const ShardKey& key, const gtfs::TimeInterval& interval) {
   return MutateOnPrimary(key, wal::MutationRecord::SetInterval(0, interval));
+}
+
+util::Result<MutateResultMsg> QueryRouter::SuspendRoute(const ShardKey& key,
+                                                        uint32_t route) {
+  return MutateOnPrimary(key, wal::MutationRecord::SuspendRoute(0, route));
+}
+
+util::Result<MutateResultMsg> QueryRouter::CloseStop(const ShardKey& key,
+                                                     uint32_t stop) {
+  return MutateOnPrimary(key, wal::MutationRecord::CloseStop(0, stop));
+}
+
+util::Result<MutateResultMsg> QueryRouter::ScaleHeadway(const ShardKey& key,
+                                                        uint32_t route,
+                                                        uint32_t factor) {
+  return MutateOnPrimary(key,
+                         wal::MutationRecord::ScaleHeadway(0, route, factor));
+}
+
+util::Result<MutateResultMsg> QueryRouter::SetFare(const ShardKey& key,
+                                                   uint32_t route,
+                                                   double fare) {
+  return MutateOnPrimary(key, wal::MutationRecord::SetFare(0, route, fare));
+}
+
+util::Result<MutateResultMsg> QueryRouter::ScaleWalkSpeed(const ShardKey& key,
+                                                          double factor) {
+  return MutateOnPrimary(key, wal::MutationRecord::ScaleWalkSpeed(0, factor));
 }
 
 }  // namespace staq::net

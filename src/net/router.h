@@ -97,6 +97,17 @@ class QueryRouter {
   util::Result<MutateResultMsg> SetInterval(const ShardKey& key,
                                             const gtfs::TimeInterval& interval);
 
+  /// Timetable disruptions — routed to the shard primary like every write.
+  util::Result<MutateResultMsg> SuspendRoute(const ShardKey& key,
+                                             uint32_t route);
+  util::Result<MutateResultMsg> CloseStop(const ShardKey& key, uint32_t stop);
+  util::Result<MutateResultMsg> ScaleHeadway(const ShardKey& key,
+                                             uint32_t route, uint32_t factor);
+  util::Result<MutateResultMsg> SetFare(const ShardKey& key, uint32_t route,
+                                        double fare);
+  util::Result<MutateResultMsg> ScaleWalkSpeed(const ShardKey& key,
+                                               double factor);
+
  private:
   struct Slot {
     Backend backend;

@@ -1,0 +1,69 @@
+// Disruption specs — the declarative form of a timetable mutation.
+//
+// A scenario pack names its disruptions in a compact colon-separated
+// grammar; this header parses those specs and resolves their selectors
+// against a concrete feed into the wal::MutationRecord the serving tier
+// replicates:
+//
+//   suspend_route:<sel>          sel = <route id> | busiest
+//   close_stop:<sel>             sel = <stop id>  | busiest
+//   scale_headway:<sel>:<K>      sel = <route id> | busiest | all; keep
+//                                every K-th trip per route (K >= 2)
+//   set_fare:<sel>:<fare>        sel = <route id> | busiest | all
+//   scale_walk:<factor>          walk-speed factor (snow day: 0.5)
+//
+// `busiest` makes packs portable across city families: it picks the route
+// with the most trips (ties: lowest id) or the stop with the most timetable
+// departure events (ties: lowest id) — both deterministic feed properties,
+// so the same pack file resolves to a definite target on any feed.
+// Resolution happens on the *client* side (pack runner, CLI): the record
+// shipped to a primary always carries a concrete id, and replicas replay
+// exactly what the primary logged.
+#pragma once
+
+#include <string>
+
+#include "gtfs/feed.h"
+#include "util/status.h"
+#include "wal/record.h"
+
+namespace staq::scenario {
+
+/// How a disruption names its route/stop target.
+enum class TargetSelector : uint8_t {
+  kId,       // explicit numeric id
+  kBusiest,  // resolved against the feed (see header comment)
+  kAll,      // every route (scale_headway / set_fare only)
+};
+
+/// One parsed disruption spec, before selector resolution.
+struct Disruption {
+  wal::MutationType kind = wal::MutationType::kSuspendRoute;
+  TargetSelector selector = TargetSelector::kId;
+  uint32_t id = 0;        // selector == kId
+  uint32_t factor = 0;    // kScaleHeadway divisor
+  double value = 0.0;     // kSetFare fare / kScaleWalkSpeed factor
+  std::string spec;       // the original spec text, kept for reports
+};
+
+/// Parses one spec word of the grammar above. kInvalidArgument on an
+/// unknown kind, a malformed selector, or an out-of-domain parameter
+/// (factor < 2, non-positive walk factor, negative fare).
+util::Result<Disruption> ParseDisruptionSpec(const std::string& spec);
+
+/// The route with the most trips in `feed` (ties: lowest id).
+/// kFailedPrecondition on a feed with no routes.
+util::Result<uint32_t> BusiestRoute(const gtfs::Feed& feed);
+
+/// The stop with the most timetable departure events (calls that are not a
+/// trip's final stop) in `feed` (ties: lowest id). kFailedPrecondition on a
+/// feed with no stops.
+util::Result<uint32_t> BusiestStop(const gtfs::Feed& feed);
+
+/// Resolves the disruption's selector against `feed` and returns the
+/// concrete sequence-0 mutation record to submit. Explicit ids are range
+/// checked (kNotFound); `all` maps to wal::kAllTargets.
+util::Result<wal::MutationRecord> ResolveDisruption(const Disruption& d,
+                                                    const gtfs::Feed& feed);
+
+}  // namespace staq::scenario

@@ -1,0 +1,120 @@
+#include "scenario/impact.h"
+
+#include <algorithm>
+
+namespace staq::scenario {
+
+namespace {
+
+constexpr double kUnreachable = -1e18;
+
+/// One elementary ride of the pre-mutation timetable on the screening day.
+struct Connection {
+  gtfs::TimeOfDay dep = 0;
+  gtfs::TimeOfDay arr = 0;
+  gtfs::StopId from = 0;
+  gtfs::StopId to = 0;
+};
+
+}  // namespace
+
+std::vector<uint32_t> AffectedZones(const ImpactInputs& inputs) {
+  const gtfs::Feed& feed = *inputs.feed;
+  const router::WalkTable& walk = *inputs.walk;
+  const gtfs::Day day = inputs.interval.day;
+
+  // L(s): latest arrival at s from which a removed departure event is still
+  // reachable. Raised by seeds, rides, and single walk transfers.
+  std::vector<double> latest(feed.num_stops(), kUnreachable);
+  auto raise = [&](gtfs::StopId s, double t) {
+    if (t <= latest[s]) return;
+    latest[s] = t;
+    for (const router::WalkHop& hop : walk.Transfers(s)) {
+      if (t - hop.walk_s > latest[hop.stop]) {
+        latest[hop.stop] = t - hop.walk_s;
+      }
+    }
+  };
+
+  // Seeds: every removed departure event. Boarding by the departure time is
+  // what makes the event usable, so the seed value is the departure itself.
+  bool any_seed = false;
+  for (gtfs::TripId t : inputs.removed_trips) {
+    const gtfs::Trip& trip = feed.trip(t);
+    if (!gtfs::RunsOn(trip.days, day)) continue;
+    const gtfs::StopTime* begin = feed.trip_begin(t);
+    for (uint32_t i = 0; i + 1 < trip.num_stop_times; ++i) {
+      raise(begin[i].stop, begin[i].departure);
+      any_seed = true;
+    }
+  }
+  if (inputs.closed_stop != gtfs::kInvalidId) {
+    // A stop closure removes boarding AND alighting there. Alighting is
+    // reached by boarding the same trip upstream, so seed the departure
+    // events at and before the stop's (last) call of every trip through it.
+    for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+      const gtfs::Trip& trip = feed.trip(t);
+      if (!gtfs::RunsOn(trip.days, day)) continue;
+      const gtfs::StopTime* begin = feed.trip_begin(t);
+      uint32_t last_call = gtfs::kInvalidId;
+      for (uint32_t i = 0; i < trip.num_stop_times; ++i) {
+        if (begin[i].stop == inputs.closed_stop) last_call = i;
+      }
+      if (last_call == gtfs::kInvalidId) continue;
+      const uint32_t limit = std::min(last_call, trip.num_stop_times - 2);
+      for (uint32_t i = 0; i <= limit; ++i) {
+        raise(begin[i].stop, begin[i].departure);
+        any_seed = true;
+      }
+    }
+  }
+  if (!any_seed) return {};
+
+  // The day's connections, scanned in decreasing departure order. One pass
+  // settles everything whose legs take positive time; re-scanning to a
+  // fixpoint also covers zero-length legs (arrival == departure), where a
+  // same-instant chain could otherwise be order-sensitive.
+  std::vector<Connection> connections;
+  for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+    const gtfs::Trip& trip = feed.trip(t);
+    if (!gtfs::RunsOn(trip.days, day)) continue;
+    const gtfs::StopTime* begin = feed.trip_begin(t);
+    for (uint32_t i = 0; i + 1 < trip.num_stop_times; ++i) {
+      connections.push_back(Connection{begin[i].departure,
+                                       begin[i + 1].arrival, begin[i].stop,
+                                       begin[i + 1].stop});
+    }
+  }
+  std::sort(connections.begin(), connections.end(),
+            [](const Connection& a, const Connection& b) {
+              return a.dep > b.dep;
+            });
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Connection& c : connections) {
+      if (static_cast<double>(c.arr) <= latest[c.to] &&
+          static_cast<double>(c.dep) > latest[c.from]) {
+        raise(c.from, c.dep);
+        changed = true;
+      }
+    }
+  }
+
+  // A zone is affected iff its earliest sampled departure can still make a
+  // removed event through some access stop.
+  std::vector<uint32_t> affected;
+  const double start = static_cast<double>(inputs.interval.start);
+  for (uint32_t z = 0; z < inputs.city->zones.size(); ++z) {
+    for (const router::WalkHop& hop :
+         walk.AccessStops(inputs.city->zones[z].centroid)) {
+      if (start + hop.walk_s <= latest[hop.stop]) {
+        affected.push_back(z);
+        break;
+      }
+    }
+  }
+  return affected;
+}
+
+}  // namespace staq::scenario

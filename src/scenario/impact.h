@@ -1,0 +1,59 @@
+// Affected-zone screening for timetable disruptions.
+//
+// A timetable mutation only changes the labels of zones that could have
+// *used* a removed connection; everything else keeps its exact label
+// bit-for-bit, so the serving tier relabels only the screened set (the
+// same cost model as POI-edit patches: O(affected zones) SPQs, not
+// O(all zones)).
+//
+// The screen runs one reverse sweep over the ORIGINAL day-filtered
+// timetable. Define L(s) = the latest arrival time at stop s from which
+// some removed departure event is still reachable via rides and single
+// walk transfers. Seeds are the removed departure events themselves (and,
+// for a stop closure, the departure events at and upstream of the closed
+// stop — boarding upstream is how a rider reaches the removed *arrival*).
+// Scanning all connections c = (u -> v, dep, arr) in decreasing departure
+// order, arr <= L(v) lets a rider boarding c at u still make a removed
+// event, so L(u) >= dep; walk transfers propagate L one hop outward after
+// every improvement. A single monotone pass suffices: any contribution to
+// L(v) with value >= arr comes from a connection departing at or after
+// arr >= dep, which the decreasing-departure order has already processed.
+//
+// A zone is affected iff some access stop s of its centroid satisfies
+// interval.start + walk(zone, s) <= L(s): the earliest trip the TODAM can
+// sample leaves at interval.start, so any sampled journey that could touch
+// a removed connection is caught. The set is conservative only through the
+// horizon and boarding-wait budgets it ignores — a superset is harmless
+// (relabeling an unaffected zone reproduces its label exactly); a miss
+// would break bit-identity, which the golden tests would catch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtfs/feed.h"
+#include "gtfs/time.h"
+#include "router/walk_table.h"
+#include "synth/city_builder.h"
+
+namespace staq::scenario {
+
+/// Inputs of one screening pass. Everything refers to the timetable BEFORE
+/// the disruption: `feed` and `walk` are the pre-mutation feed and its walk
+/// table (current walk parameters applied).
+struct ImpactInputs {
+  const synth::City* city = nullptr;          // zones (+ original feed owner)
+  const gtfs::Feed* feed = nullptr;           // pre-mutation timetable
+  const router::WalkTable* walk = nullptr;    // walk table over `feed`
+  gtfs::TimeInterval interval;                // analysis window (day + start)
+  /// Trips removed by the transform, in pre-mutation trip ids.
+  std::vector<gtfs::TripId> removed_trips;
+  /// Closed stop (kCloseStop), else kInvalidId.
+  gtfs::StopId closed_stop = gtfs::kInvalidId;
+};
+
+/// Zones whose labels may change, ascending. Deterministic: a pure
+/// function of the inputs, so primary and replicas screen identically.
+std::vector<uint32_t> AffectedZones(const ImpactInputs& inputs);
+
+}  // namespace staq::scenario

@@ -1,0 +1,79 @@
+// Before/after equity impact reports for disruption scenarios.
+//
+// A scenario run answers the planner's question "who loses access when
+// this happens?": the runner takes one exact access query before the
+// disruptions and one after, and this module turns the two answers into an
+// equity report — per-zone MAC deltas, the summary fairness indices
+// (Jain, population-weighted, vulnerability-weighted), mean ACSD, and the
+// four-class accessibility migration matrix of paper §III-D (how many
+// zones moved from class i to class j).
+//
+// Formatting is deterministic: fixed printf formats, zones in id order,
+// doubles emitted with %.6f — so golden tests and the CLI smoke fixture
+// can compare report text verbatim.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/access_query.h"
+#include "util/status.h"
+
+namespace staq::scenario {
+
+/// Summary of one side (before or after) of a scenario run.
+struct EquitySide {
+  double mean_mac = 0.0;
+  double mean_acsd = 0.0;
+  double fairness = 0.0;             // Jain over MAC
+  double population_fairness = 0.0;  // population-weighted
+  double vulnerable_fairness = 0.0;  // population x vulnerability weighted
+  /// Zones per AccessClass, indexed by the enum value.
+  std::array<uint32_t, 4> class_counts{};
+};
+
+/// The zone with the largest access loss.
+struct WorstZone {
+  uint32_t zone = 0;
+  double mac_delta_s = 0.0;  // after - before, seconds
+};
+
+/// One scenario's before/after comparison.
+struct EquityReport {
+  std::string scenario;                   // pack scenario name
+  std::string city;                       // city/spec name
+  std::vector<std::string> disruptions;   // resolved record one-liners
+  uint32_t zones = 0;
+  EquitySide before;
+  EquitySide after;
+  /// Per-zone MAC delta (after - before), seconds; zone id order.
+  std::vector<double> mac_delta_s;
+  /// migration[i][j] = zones classified i before and j after.
+  std::array<std::array<uint32_t, 4>, 4> migration{};
+  WorstZone worst;
+  double mutation_seconds = 0.0;  // total incremental-apply latency
+  uint64_t mutation_spqs = 0;     // SPQs spent patching label states
+};
+
+/// Builds the comparison from two exact query answers over the same city.
+/// `before`/`after` must carry per-zone mac/acsd/classes of equal size.
+EquityReport CompareAccess(const std::string& scenario_name,
+                           const std::string& city_name,
+                           const std::vector<synth::Zone>& zones,
+                           const core::AccessQueryResult& before,
+                           const core::AccessQueryResult& after);
+
+/// Human-readable report (fixed-width table + summary lines).
+std::string FormatEquityReport(const EquityReport& report);
+
+/// Deterministic JSON document for tooling (sorted keys, %.6f doubles).
+std::string EquityReportJson(const EquityReport& report);
+
+/// Parses a document produced by EquityReportJson back into a report —
+/// the `staq_cli scenario report` path re-rendering a saved run.
+/// kInvalidArgument on a malformed or incomplete document.
+util::Result<EquityReport> ParseEquityReportJson(const std::string& text);
+
+}  // namespace staq::scenario

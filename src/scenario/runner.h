@@ -1,0 +1,63 @@
+// Scenario-pack runner: applies disruption packs to a live AqServer and
+// measures their equity impact.
+//
+// Each scenario runs against a *fresh* server built from the caller's
+// CityFactory — scenarios are independent what-if branches, not a
+// cumulative history — and produces one EquityReport:
+//
+//   1. answer one exact access query (the "before" side),
+//   2. resolve and apply the scenario's disruptions in order, each an
+//      incremental epoch on the live server,
+//   3. answer the same query again (the "after" side),
+//   4. compare (scenario/report.h).
+//
+// Queries are exact (full labeling) so the report measures the disruption,
+// not SSR sampling noise, and the whole run is deterministic: the same
+// pack over the same factory yields byte-identical reports.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/pack.h"
+#include "scenario/report.h"
+#include "serve/server.h"
+
+namespace staq::scenario {
+
+/// Builds the city a scenario runs against. Called once per scenario (the
+/// runner needs a pristine copy each time); must be deterministic for
+/// reports to be comparable.
+using CityFactory = std::function<util::Result<synth::City>()>;
+
+/// Knobs of one pack run.
+struct RunOptions {
+  gtfs::TimeInterval interval = gtfs::WeekdayAmPeak();
+  synth::PoiCategory category = synth::PoiCategory::kSchool;
+  core::CostKind cost = core::CostKind::kJourneyTime;
+  uint64_t seed = 1;  // labeling seed (part of the label key)
+  /// Server options (worker threads etc.); answers are thread-count
+  /// independent, so this only affects wall clock.
+  serve::AqServer::Options server;
+};
+
+/// Runs one scenario against a fresh server. Errors from the factory, a
+/// disruption (e.g. an unresolvable selector), or a query propagate.
+util::Result<EquityReport> RunScenario(const CityFactory& factory,
+                                       const PackScenario& scenario,
+                                       const RunOptions& options);
+
+/// Runs every scenario of the pack in declaration order.
+util::Result<std::vector<EquityReport>> RunPack(const CityFactory& factory,
+                                                const ScenarioPack& pack,
+                                                const RunOptions& options);
+
+/// Writes `reports` under `dir`: one `report_<scenario>.json` each plus a
+/// human-readable `reports.txt`. A failed write (including an injected
+/// "scenario.pack.report_write" fault) returns a clean kIoError with the
+/// directory untouched beyond the files already written.
+util::Status WriteReports(const std::vector<EquityReport>& reports,
+                          const std::string& dir);
+
+}  // namespace staq::scenario

@@ -1,0 +1,191 @@
+#include "scenario/transform.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace staq::scenario {
+
+namespace {
+
+/// Rebuilds a feed keeping only the trips whose flag is set, renumbering
+/// the survivors densely in input order (monotonic, so every derived sort
+/// order — notably the connection array's (departure, trip, sequence) —
+/// is preserved on the kept subset).
+util::Result<TransformResult> KeepTrips(const gtfs::Feed& feed,
+                                        const std::vector<char>& keep) {
+  TransformResult result;
+  std::vector<gtfs::Trip> trips;
+  std::vector<gtfs::StopTime> stop_times;
+  trips.reserve(feed.num_trips());
+  stop_times.reserve(feed.num_stop_times());
+  for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+    if (!keep[t]) {
+      result.removed_trips.push_back(t);
+      continue;
+    }
+    gtfs::Trip trip = feed.trip(t);
+    trip.id = static_cast<gtfs::TripId>(trips.size());
+    trip.first_stop_time = static_cast<uint32_t>(stop_times.size());
+    for (const gtfs::StopTime* call = feed.trip_begin(t);
+         call != feed.trip_end(t); ++call) {
+      gtfs::StopTime st = *call;
+      st.trip = trip.id;
+      stop_times.push_back(st);
+    }
+    trips.push_back(trip);
+  }
+  if (trips.empty()) {
+    return util::Status::InvalidArgument(
+        "disruption would remove every trip of the timetable");
+  }
+  auto rebuilt = gtfs::Feed::FromParts(feed.stops(), feed.routes(),
+                                       std::move(trips),
+                                       std::move(stop_times));
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.feed = std::move(rebuilt).value();
+  return result;
+}
+
+}  // namespace
+
+util::Result<TransformResult> SuspendRoute(const gtfs::Feed& feed,
+                                           gtfs::RouteId route) {
+  if (route >= feed.num_routes()) {
+    return util::Status::InvalidArgument(
+        util::Format("no route with id %u", route));
+  }
+  std::vector<char> keep(feed.num_trips(), 1);
+  bool removed_any = false;
+  for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+    if (feed.trip(t).route == route) {
+      keep[t] = 0;
+      removed_any = true;
+    }
+  }
+  if (!removed_any) {
+    return util::Status::InvalidArgument(
+        util::Format("route %u has no trips to suspend", route));
+  }
+  return KeepTrips(feed, keep);
+}
+
+util::Result<TransformResult> CloseStop(const gtfs::Feed& feed,
+                                        gtfs::StopId stop) {
+  if (stop >= feed.num_stops()) {
+    return util::Status::InvalidArgument(
+        util::Format("no stop with id %u", stop));
+  }
+  std::vector<gtfs::Trip> trips;
+  std::vector<gtfs::StopTime> stop_times;
+  TransformResult result;
+  result.closed_stop = stop;
+  bool touched_any = false;
+  for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+    // Ride-through: copy the trip's calls minus the closed stop. The
+    // remaining calls keep their times, so the legs around the closed stop
+    // merge into one longer leg of the same trip.
+    uint32_t kept_calls = 0;
+    for (const gtfs::StopTime* call = feed.trip_begin(t);
+         call != feed.trip_end(t); ++call) {
+      if (call->stop != stop) ++kept_calls;
+    }
+    if (kept_calls != feed.trip(t).num_stop_times) touched_any = true;
+    if (kept_calls < 2) {
+      // A trip reduced to fewer than two calls serves nothing; drop it.
+      result.removed_trips.push_back(t);
+      continue;
+    }
+    gtfs::Trip trip = feed.trip(t);
+    trip.id = static_cast<gtfs::TripId>(trips.size());
+    trip.first_stop_time = static_cast<uint32_t>(stop_times.size());
+    trip.num_stop_times = kept_calls;
+    for (const gtfs::StopTime* call = feed.trip_begin(t);
+         call != feed.trip_end(t); ++call) {
+      if (call->stop == stop) continue;
+      gtfs::StopTime st = *call;
+      st.trip = trip.id;
+      stop_times.push_back(st);
+    }
+    trips.push_back(trip);
+  }
+  if (!touched_any) {
+    return util::Status::InvalidArgument(
+        util::Format("stop %u has no timetable calls to close", stop));
+  }
+  if (trips.empty()) {
+    return util::Status::InvalidArgument(
+        "disruption would remove every trip of the timetable");
+  }
+  auto rebuilt = gtfs::Feed::FromParts(feed.stops(), feed.routes(),
+                                       std::move(trips),
+                                       std::move(stop_times));
+  if (!rebuilt.ok()) return rebuilt.status();
+  result.feed = std::move(rebuilt).value();
+  return result;
+}
+
+util::Result<TransformResult> ScaleHeadway(const gtfs::Feed& feed,
+                                           gtfs::RouteId route,
+                                           uint32_t factor) {
+  if (factor < 2) {
+    return util::Status::InvalidArgument(
+        util::Format("headway factor must be >= 2, got %u", factor));
+  }
+  if (route != kAllRoutes && route >= feed.num_routes()) {
+    return util::Status::InvalidArgument(
+        util::Format("no route with id %u", route));
+  }
+  // Order each route's trips by (first departure, trip id) and keep every
+  // factor-th one — a deterministic function of the timetable alone.
+  std::vector<std::vector<std::pair<gtfs::TimeOfDay, gtfs::TripId>>> per_route(
+      feed.num_routes());
+  for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+    per_route[feed.trip(t).route].emplace_back(feed.trip_begin(t)->departure,
+                                               t);
+  }
+  std::vector<char> keep(feed.num_trips(), 1);
+  bool thinned_any = false;
+  for (gtfs::RouteId r = 0; r < feed.num_routes(); ++r) {
+    if (route != kAllRoutes && r != route) continue;
+    auto& order = per_route[r];
+    std::sort(order.begin(), order.end());
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i % factor != 0) {
+        keep[order[i].second] = 0;
+        thinned_any = true;
+      }
+    }
+  }
+  if (route != kAllRoutes && per_route[route].empty()) {
+    return util::Status::InvalidArgument(
+        util::Format("route %u has no trips to thin", route));
+  }
+  if (!thinned_any) {
+    // Nothing removed (factor exceeds every route's trip count is still a
+    // removal unless each route has <= 1 trip); treat a no-op as an error
+    // so replication never logs an epoch that changed nothing.
+    return util::Status::InvalidArgument(
+        "headway scaling removed no trips (routes too sparse)");
+  }
+  return KeepTrips(feed, keep);
+}
+
+util::Result<gtfs::Feed> SetFlatFare(const gtfs::Feed& feed,
+                                     gtfs::RouteId route, double fare) {
+  if (route != kAllRoutes && route >= feed.num_routes()) {
+    return util::Status::InvalidArgument(
+        util::Format("no route with id %u", route));
+  }
+  if (!(fare >= 0.0)) {
+    return util::Status::InvalidArgument("fare must be non-negative");
+  }
+  std::vector<gtfs::Route> routes = feed.routes();
+  for (gtfs::Route& r : routes) {
+    if (route == kAllRoutes || r.id == route) r.flat_fare = fare;
+  }
+  return gtfs::Feed::FromParts(feed.stops(), std::move(routes), feed.trips(),
+                               feed.stop_times());
+}
+
+}  // namespace staq::scenario

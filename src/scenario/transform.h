@@ -1,0 +1,73 @@
+// Pure timetable transforms — the semantic core of the disruption
+// subsystem.
+//
+// Each transform maps one immutable gtfs::Feed to the disrupted feed a
+// mutation installs, rebuilt through Feed::FromParts so the result carries
+// the same validation and the same deterministic departure index as a feed
+// loaded from the equivalently mutated GTFS files. That purity is what
+// makes disruptions replicable: a record replayed against the same input
+// feed produces the bit-identical output feed on every replica, and the
+// serving tier's incremental patches are provably equal to a full rebuild
+// from the transformed feed (the golden contract).
+//
+// Semantics:
+//   * SuspendRoute drops every trip of the route (the route entity stays,
+//     keeping ids dense and fares addressable for a later restore).
+//   * CloseStop removes the stop's calls with ride-through: a trip calling
+//     at the stop keeps running but skips it (the surrounding leg is merged,
+//     times at the remaining calls unchanged). Trips left with fewer than
+//     two calls are dropped. The Stop entity itself stays so stop ids keep
+//     their meaning across the mutation.
+//   * ScaleHeadway thins service: per selected route, trips are ordered by
+//     (first departure, trip id) and only every factor-th one is kept —
+//     factor 2 halves service, factor 3 keeps a third, and so on.
+//   * SetFlatFare replaces the flat per-boarding fare of one route (or all
+//     routes) — a pure fare shock; the timetable is untouched.
+//
+// Removed trips are reported by their *input* feed ids so the impact layer
+// can seed its affected-zone screening on the old timetable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtfs/feed.h"
+
+namespace staq::scenario {
+
+/// "Every route" selector for ScaleHeadway / SetFlatFare.
+inline constexpr uint32_t kAllRoutes = gtfs::kInvalidId;
+
+/// A transformed timetable plus what the transform removed (in input-feed
+/// ids, for the affected-zone screening).
+struct TransformResult {
+  gtfs::Feed feed;
+  /// Trips of the input feed that do not survive (suspended, thinned, or
+  /// left with fewer than two calls by a stop closure).
+  std::vector<gtfs::TripId> removed_trips;
+  /// kCloseStop: the closed stop, else kInvalidId.
+  gtfs::StopId closed_stop = gtfs::kInvalidId;
+};
+
+/// Drops every trip of `route`. InvalidArgument when the route does not
+/// exist or the result would have no trips at all.
+util::Result<TransformResult> SuspendRoute(const gtfs::Feed& feed,
+                                           gtfs::RouteId route);
+
+/// Removes `stop`'s calls with ride-through (see header comment).
+/// InvalidArgument when the stop does not exist or closing it would empty
+/// the timetable.
+util::Result<TransformResult> CloseStop(const gtfs::Feed& feed,
+                                        gtfs::StopId stop);
+
+/// Keeps every factor-th trip of `route` (kAllRoutes = every route),
+/// ordered per route by (first departure, trip id). factor must be >= 2.
+util::Result<TransformResult> ScaleHeadway(const gtfs::Feed& feed,
+                                           gtfs::RouteId route,
+                                           uint32_t factor);
+
+/// Sets the flat fare of `route` (kAllRoutes = every route) to `fare`.
+util::Result<gtfs::Feed> SetFlatFare(const gtfs::Feed& feed,
+                                     gtfs::RouteId route, double fare);
+
+}  // namespace staq::scenario

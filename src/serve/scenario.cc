@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
 
 #include "core/gravity.h"
 #include "router/connections.h"
+#include "scenario/impact.h"
 #include "store/snapshot.h"
 #include "util/failpoint.h"
 #include "util/stopwatch.h"
@@ -26,6 +28,43 @@ ScenarioStore::Options WithSharedConnections(ScenarioStore::Options options,
         options.router.connections, feed);
   }
   return options;
+}
+
+/// Rebinds router options to a (possibly new) feed: under kCsa the
+/// connection array is shared when the feed pointer matches and rebuilt
+/// deterministically when a disruption produced a new feed.
+router::RouterOptions RebindConnections(router::RouterOptions options,
+                                        const gtfs::Feed* feed) {
+  if (options.engine == router::RoutingEngine::kCsa) {
+    options.connections =
+        router::ConnectionArray::EnsureFor(options.connections, feed);
+  }
+  return options;
+}
+
+/// Offline state for a timetable/fare mutation: isochrones depend only on
+/// the road graph and walk config — never on the timetable — so the
+/// parent's polygons are adopted verbatim (bit-identical to recomputing
+/// them) while hop trees and features rebuild over the disrupted city.
+std::shared_ptr<const OfflineState> RebuildOfflineKeepingIsochrones(
+    const synth::City& city, const OfflineState& parent) {
+  std::vector<geo::Polygon> polygons;
+  polygons.reserve(parent.isochrones->size());
+  for (uint32_t z = 0; z < parent.isochrones->size(); ++z) {
+    polygons.push_back(parent.isochrones->For(z));
+  }
+  auto isochrones = std::make_unique<core::IsochroneSet>(
+      parent.isochrones->config(), std::move(polygons));
+  auto hop_trees =
+      std::make_unique<core::HopTreeSet>(city, *isochrones, parent.interval);
+  return std::make_shared<const OfflineState>(
+      city, parent.interval, std::move(isochrones), std::move(hop_trees));
+}
+
+std::vector<uint32_t> AllZones(size_t count) {
+  std::vector<uint32_t> all(count);
+  std::iota(all.begin(), all.end(), 0u);
+  return all;
 }
 
 }  // namespace
@@ -60,6 +99,12 @@ Scenario::Scenario(uint64_t epoch, std::shared_ptr<const synth::City> base,
       base_(std::move(base)),
       pois_(std::move(pois)),
       offline_(std::move(offline)) {}
+
+void Scenario::SetNetwork(uint64_t version,
+                          const router::RouterOptions& options) {
+  network_version_ = version;
+  router_options_ = options;
+}
 
 std::vector<synth::Poi> Scenario::PoisOf(synth::PoiCategory category) const {
   std::vector<synth::Poi> out;
@@ -166,12 +211,19 @@ ScenarioStore::ScenarioStore(synth::City city,
                              Options options)
     : base_(std::make_shared<const synth::City>(std::move(city))),
       options_(WithSharedConnections(std::move(options), &base_->feed)),
-      relabel_router_(&base_->feed, options_.router),
-      relabel_engine_(base_.get(), &relabel_router_) {
+      network_city_(base_),
+      network_router_(options_.router),
+      network_iso_(options_.iso),
+      relabel_router_(
+          std::make_unique<router::Router>(&base_->feed, network_router_)),
+      relabel_engine_(std::make_unique<core::LabelingEngine>(
+          base_.get(), relabel_router_.get())) {
   auto offline =
       std::make_shared<const OfflineState>(*base_, interval, options_.iso);
-  current_ = std::make_shared<const Scenario>(/*epoch=*/0, base_, base_->pois,
-                                              std::move(offline));
+  auto scenario = std::make_shared<Scenario>(/*epoch=*/0, base_, base_->pois,
+                                             std::move(offline));
+  scenario->SetNetwork(network_version_, network_router_);
+  current_ = std::move(scenario);
   for (const synth::Poi& poi : base_->pois) {
     if (poi.id >= next_poi_id_) next_poi_id_ = poi.id + 1;
   }
@@ -180,11 +232,17 @@ ScenarioStore::ScenarioStore(synth::City city,
 ScenarioStore::ScenarioStore(RestoredScenario restored, Options options)
     : base_(std::move(restored.city)),
       options_(WithSharedConnections(std::move(options), &base_->feed)),
-      relabel_router_(&base_->feed, options_.router),
-      relabel_engine_(base_.get(), &relabel_router_) {
+      network_city_(base_),
+      network_router_(options_.router),
+      network_iso_(options_.iso),
+      relabel_router_(
+          std::make_unique<router::Router>(&base_->feed, network_router_)),
+      relabel_engine_(std::make_unique<core::LabelingEngine>(
+          base_.get(), relabel_router_.get())) {
   auto scenario = std::make_shared<Scenario>(/*epoch=*/0, base_,
                                              std::move(restored.pois),
                                              std::move(restored.offline));
+  scenario->SetNetwork(network_version_, network_router_);
   for (auto& [key, state] : restored.label_states) {
     scenario->SeedLabelState(key, std::move(state));
   }
@@ -249,11 +307,11 @@ std::shared_ptr<const ExactLabelState> ScenarioStore::PatchAdd(
   // Fault site: relabeling the affected zones failing mid-mutation. Only
   // the un-installed copy is damaged; the store never publishes it.
   STAQ_FAILPOINT("serve.scenario.relabel");
-  relabel_engine_.set_gac_weights(key.gac);
-  uint64_t spq_before = relabel_engine_.spq_count();
-  relabel_engine_.RelabelZones(state->todam, affected, state->pois, key.cost,
+  relabel_engine_->set_gac_weights(key.gac);
+  uint64_t spq_before = relabel_engine_->spq_count();
+  relabel_engine_->RelabelZones(state->todam, affected, state->pois, key.cost,
                                next.interval().day, &state->labels);
-  state->build_spqs = relabel_engine_.spq_count() - spq_before;
+  state->build_spqs = relabel_engine_->spq_count() - spq_before;
   state->relabeled_zones = static_cast<uint32_t>(affected.size());
   return state;
 }
@@ -282,11 +340,11 @@ std::shared_ptr<const ExactLabelState> ScenarioStore::PatchRemove(
   state->todam.RemovePoiColumn(index, &affected);
 
   STAQ_FAILPOINT("serve.scenario.relabel");
-  relabel_engine_.set_gac_weights(key.gac);
-  uint64_t spq_before = relabel_engine_.spq_count();
-  relabel_engine_.RelabelZones(state->todam, affected, state->pois, key.cost,
+  relabel_engine_->set_gac_weights(key.gac);
+  uint64_t spq_before = relabel_engine_->spq_count();
+  relabel_engine_->RelabelZones(state->todam, affected, state->pois, key.cost,
                                next.interval().day, &state->labels);
-  state->build_spqs = relabel_engine_.spq_count() - spq_before;
+  state->build_spqs = relabel_engine_->spq_count() - spq_before;
   state->relabeled_zones = static_cast<uint32_t>(affected.size());
   return state;
 }
@@ -304,9 +362,10 @@ ScenarioStore::MutationReport ScenarioStore::AddPoi(
 
   std::vector<synth::Poi> pois = current->pois();
   pois.push_back(poi);
-  auto next = std::make_shared<Scenario>(current->epoch() + 1, base_,
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, network_city_,
                                          std::move(pois),
                                          current->offline_ptr());
+  next->SetNetwork(network_version_, network_router_);
 
   MutationReport report;
   report.epoch = next->epoch();
@@ -345,9 +404,10 @@ util::Result<ScenarioStore::MutationReport> ScenarioStore::RemovePoi(
 
   std::vector<synth::Poi> pois = current->pois();
   pois.erase(pois.begin() + (it - current->pois().begin()));
-  auto next = std::make_shared<Scenario>(current->epoch() + 1, base_,
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, network_city_,
                                          std::move(pois),
                                          current->offline_ptr());
+  next->SetNetwork(network_version_, network_router_);
 
   MutationReport report;
   report.epoch = next->epoch();
@@ -376,19 +436,240 @@ ScenarioStore::MutationReport ScenarioStore::SetInterval(
   util::Stopwatch watch;
   auto current = Acquire();
 
-  auto offline =
-      std::make_shared<const OfflineState>(*base_, interval, options_.iso);
-  auto next = std::make_shared<Scenario>(current->epoch() + 1, base_,
+  auto offline = std::make_shared<const OfflineState>(*network_city_, interval,
+                                                      network_iso_);
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, network_city_,
                                          current->pois(), std::move(offline));
+  next->SetNetwork(network_version_, network_router_);
   // Mutation discipline: any swap of offline structures drops the writer
   // engine's cached access stops. Today the walk table is feed-derived and
   // survives interval switches, but the invalidation keeps the cache from
   // outliving any future mutation that does touch stop geometry.
-  relabel_engine_.InvalidateAccessStopCache();
+  relabel_engine_->InvalidateAccessStopCache();
 
   MutationReport report;
   report.epoch = next->epoch();
   report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  Install(std::move(next));
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+std::shared_ptr<const ExactLabelState> ScenarioStore::PatchNetwork(
+    const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
+    const std::vector<uint32_t>& affected, core::LabelingEngine* engine) {
+  // The TODAM is demand-side (zones x POIs x interval) and carries over
+  // verbatim; only the screened zones resolve their trips again, against
+  // the engine built over the new network. Zones outside `affected` could
+  // never have used a removed connection, so their labels are already the
+  // exact labels of the mutated feed.
+  auto state = std::make_shared<ExactLabelState>(parent);
+  engine->set_gac_weights(key.gac);
+  uint64_t spq_before = engine->spq_count();
+  engine->RelabelZones(state->todam, affected, state->pois, key.cost,
+                       next.interval().day, &state->labels);
+  state->build_spqs = engine->spq_count() - spq_before;
+  state->relabeled_zones = static_cast<uint32_t>(affected.size());
+  return state;
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::ApplyTimetable(
+    scenario::TransformResult transformed, uint32_t target,
+    util::Stopwatch watch) {
+  auto current = Acquire();
+
+  // Screen on the OLD timetable: only zones that could have reached a
+  // removed departure event can change label.
+  scenario::ImpactInputs impact;
+  impact.city = network_city_.get();
+  impact.feed = &network_city_->feed;
+  impact.walk = &relabel_router_->walk_table();
+  impact.interval = current->interval();
+  impact.removed_trips = std::move(transformed.removed_trips);
+  impact.closed_stop = transformed.closed_stop;
+  const std::vector<uint32_t> affected = scenario::AffectedZones(impact);
+
+  // Fault site: the network patch failing before any member state changes.
+  // Everything below is built aside; an abort here (or in any patch) leaves
+  // the current epoch and network untouched.
+  STAQ_FAILPOINT("serve.scenario.patch_network");
+
+  synth::City disrupted = *network_city_;
+  disrupted.feed = std::move(transformed.feed);
+  auto city = std::make_shared<const synth::City>(std::move(disrupted));
+  router::RouterOptions router_opts =
+      RebindConnections(network_router_, &city->feed);
+  auto router = std::make_unique<router::Router>(&city->feed, router_opts);
+  auto engine =
+      std::make_unique<core::LabelingEngine>(city.get(), router.get());
+  auto offline = RebuildOfflineKeepingIsochrones(*city, current->offline());
+
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, city,
+                                         current->pois(), std::move(offline));
+  next->SetNetwork(network_version_ + 1, router_opts);
+
+  MutationReport report;
+  report.epoch = next->epoch();
+  report.poi_id = target;
+  report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  for (const auto& [key, state] : current->MaterializedStates()) {
+    auto patched = PatchNetwork(*next, key, *state, affected, engine.get());
+    report.spqs += patched->build_spqs;
+    report.zones_relabeled += patched->relabeled_zones;
+    ++report.states_patched;
+    next->SeedLabelState(key, std::move(patched));
+  }
+
+  // Commit: every patch succeeded, so the new network becomes the store's
+  // current one in the same breath as the epoch install.
+  network_city_ = std::move(city);
+  network_router_ = std::move(router_opts);
+  relabel_router_ = std::move(router);
+  relabel_engine_ = std::move(engine);
+  ++network_version_;
+  Install(std::move(next));
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::SuspendRoute(
+    uint32_t route) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto transformed = scenario::SuspendRoute(network_city_->feed, route);
+  if (!transformed.ok()) return transformed.status();
+  return ApplyTimetable(std::move(transformed).value(), route, watch);
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::CloseStop(
+    uint32_t stop) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto transformed = scenario::CloseStop(network_city_->feed, stop);
+  if (!transformed.ok()) return transformed.status();
+  return ApplyTimetable(std::move(transformed).value(), stop, watch);
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::ScaleHeadway(
+    uint32_t route, uint32_t factor) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto transformed =
+      scenario::ScaleHeadway(network_city_->feed, route, factor);
+  if (!transformed.ok()) return transformed.status();
+  return ApplyTimetable(std::move(transformed).value(), route, watch);
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::SetFare(
+    uint32_t route, double fare) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  auto transformed = scenario::SetFlatFare(network_city_->feed, route, fare);
+  if (!transformed.ok()) return transformed.status();
+  auto current = Acquire();
+
+  // Same fault site as the timetable path: nothing below mutates store
+  // state until the commit block.
+  STAQ_FAILPOINT("serve.scenario.patch_network");
+
+  synth::City disrupted = *network_city_;
+  disrupted.feed = std::move(transformed).value();
+  auto city = std::make_shared<const synth::City>(std::move(disrupted));
+  router::RouterOptions router_opts =
+      RebindConnections(network_router_, &city->feed);
+  auto router = std::make_unique<router::Router>(&city->feed, router_opts);
+  auto engine =
+      std::make_unique<core::LabelingEngine>(city.get(), router.get());
+  auto offline = RebuildOfflineKeepingIsochrones(*city, current->offline());
+
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, city,
+                                         current->pois(), std::move(offline));
+  next->SetNetwork(network_version_ + 1, router_opts);
+
+  // Fares enter GAC only: journey-time states are shared verbatim (their
+  // rebuild over the new feed would reproduce the same bits), while every
+  // generalized-cost state relabels all zones — any trip may board the
+  // repriced route mid-journey, so no cheaper screen is sound.
+  const std::vector<uint32_t> all = AllZones(base_->zones.size());
+  MutationReport report;
+  report.epoch = next->epoch();
+  report.poi_id = route;
+  report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  for (const auto& [key, state] : current->MaterializedStates()) {
+    if (key.cost != core::CostKind::kGeneralizedCost) {
+      next->SeedLabelState(key, state);
+      ++report.states_shared;
+      continue;
+    }
+    auto patched = PatchNetwork(*next, key, *state, all, engine.get());
+    report.spqs += patched->build_spqs;
+    report.zones_relabeled += patched->relabeled_zones;
+    ++report.states_patched;
+    next->SeedLabelState(key, std::move(patched));
+  }
+
+  network_city_ = std::move(city);
+  network_router_ = std::move(router_opts);
+  relabel_router_ = std::move(router);
+  relabel_engine_ = std::move(engine);
+  ++network_version_;
+  Install(std::move(next));
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> ScenarioStore::ScaleWalkSpeed(
+    double factor) {
+  std::lock_guard<std::mutex> mutation(mutation_mu_);
+  util::Stopwatch watch;
+  if (!(factor > 0.0) || !std::isfinite(factor)) {
+    return util::Status::InvalidArgument(
+        "walk-speed factor must be positive and finite");
+  }
+  auto current = Acquire();
+
+  STAQ_FAILPOINT("serve.scenario.patch_network");
+
+  // Same city and feed (the connection array is shared); only the walk
+  // parameters change — the router's walk table and the isochrone speed ω
+  // scale together so online routing and the offline reachability
+  // structures describe the same pedestrian.
+  router::RouterOptions router_opts = network_router_;
+  router_opts.walk.speed_mps *= factor;
+  core::IsochroneConfig iso = network_iso_;
+  iso.omega_kph *= factor;
+  auto router =
+      std::make_unique<router::Router>(&network_city_->feed, router_opts);
+  auto engine = std::make_unique<core::LabelingEngine>(network_city_.get(),
+                                                       router.get());
+  // The isochrone config changed, so this is a full offline build.
+  auto offline = std::make_shared<const OfflineState>(
+      *network_city_, current->interval(), iso);
+
+  auto next = std::make_shared<Scenario>(current->epoch() + 1, network_city_,
+                                         current->pois(), std::move(offline));
+  next->SetNetwork(network_version_ + 1, router_opts);
+
+  // Every journey has walk legs, so every zone of every state relabels.
+  const std::vector<uint32_t> all = AllZones(base_->zones.size());
+  MutationReport report;
+  report.epoch = next->epoch();
+  report.zones_total = static_cast<uint32_t>(base_->zones.size());
+  for (const auto& [key, state] : current->MaterializedStates()) {
+    auto patched = PatchNetwork(*next, key, *state, all, engine.get());
+    report.spqs += patched->build_spqs;
+    report.zones_relabeled += patched->relabeled_zones;
+    ++report.states_patched;
+    next->SeedLabelState(key, std::move(patched));
+  }
+
+  network_router_ = std::move(router_opts);
+  network_iso_ = iso;
+  walk_scale_.store(walk_scale_.load(std::memory_order_relaxed) * factor,
+                    std::memory_order_release);
+  relabel_router_ = std::move(router);
+  relabel_engine_ = std::move(engine);
+  ++network_version_;
   Install(std::move(next));
   report.seconds = watch.ElapsedSeconds();
   return report;

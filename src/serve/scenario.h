@@ -22,6 +22,22 @@
 // state is bit-identical to a from-scratch build over the edited POI set,
 // which the golden tests assert, and a scenario edit costs O(affected
 // zones) SPQs instead of O(all zones).
+//
+// Timetable disruptions (scenario subsystem) extend the same contract to
+// the supply side. SuspendRoute / CloseStop / ScaleHeadway build a
+// disrupted feed through the pure transforms of scenario/transform.h,
+// screen the zones that could have used a removed connection on the OLD
+// timetable (scenario/impact.h), and install the next epoch with only the
+// screened zones relabeled; SetFare relabels every zone of the
+// generalized-cost states and shares journey-time states verbatim;
+// ScaleWalkSpeed rescales the walk parameters (router and isochrone ω) and
+// rebuilds everything. Each disrupted epoch carries its own city copy —
+// zones and base POIs preserved, so the frozen gravity normalisers (and
+// with them the TODAM) never shift — plus a network version stamp worker
+// pools key their routers on. Every patched state is bit-identical to a
+// full rebuild from the mutated feed (golden-tested), and mutations stay
+// all-or-nothing: the new network is built entirely aside and committed
+// only after every patch has succeeded.
 #pragma once
 
 #include <atomic>
@@ -40,9 +56,11 @@
 #include "core/labeling.h"
 #include "core/todam.h"
 #include "router/router.h"
+#include "scenario/transform.h"
 #include "serve/request.h"
 #include "synth/city_builder.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 
 namespace staq::serve {
 
@@ -88,6 +106,16 @@ struct ExactLabelState {
   uint32_t relabeled_zones = 0;
 };
 
+/// Router configuration serve runs by default: the Connection Scan engine.
+/// Exact journey times, feasibility, and MAC/ACSD match the
+/// label-correcting engine (asserted by the golden equivalence suites);
+/// window scans make cold label builds and relabels far cheaper.
+inline router::RouterOptions DefaultServeRouterOptions() {
+  router::RouterOptions options;
+  options.engine = router::RoutingEngine::kCsa;
+  return options;
+}
+
 /// Immutable scenario snapshot. Thread-safe: all mutable state is the
 /// internal label-state memo, which is guarded and memoised per key.
 class Scenario {
@@ -97,13 +125,35 @@ class Scenario {
            std::shared_ptr<const OfflineState> offline);
 
   uint64_t epoch() const { return epoch_; }
+  /// The scenario's city — the disrupted copy once timetable mutations have
+  /// run. Every disruption preserves zones and base POIs, so the frozen
+  /// gravity normalisers read off this city never shift across epochs.
   const synth::City& base_city() const { return *base_; }
+  /// Shared handle on the scenario's city; worker contexts hold it as a
+  /// keepalive so their routers survive later network mutations.
+  std::shared_ptr<const synth::City> city_ptr() const { return base_; }
   const std::vector<synth::Poi>& pois() const { return pois_; }
   const OfflineState& offline() const { return *offline_; }
   /// The shared offline handle, for deriving POI-edit epochs that reuse it
   /// (sharing the handle, not aliasing the scenario, so dead epochs free).
   std::shared_ptr<const OfflineState> offline_ptr() const { return offline_; }
   const gtfs::TimeInterval& interval() const { return offline_->interval; }
+
+  /// Network stamp: increments with every timetable, fare, or walk
+  /// mutation. Pooled worker contexts built for a different version are
+  /// discarded rather than reused.
+  uint64_t network_version() const { return network_version_; }
+  /// Router options matching this scenario's network: the (possibly
+  /// rescaled) walk parameters plus the connection array of the scenario's
+  /// own feed.
+  const router::RouterOptions& router_options() const {
+    return router_options_;
+  }
+
+  /// Stamps the network version and router options (mutation derivation,
+  /// ScenarioStore only). Must only be called before the scenario is
+  /// installed.
+  void SetNetwork(uint64_t version, const router::RouterOptions& options);
 
   /// The scenario's POIs of one category, in stable-id order.
   std::vector<synth::Poi> PoisOf(synth::PoiCategory category) const;
@@ -144,6 +194,8 @@ class Scenario {
   std::shared_ptr<const synth::City> base_;
   std::vector<synth::Poi> pois_;
   std::shared_ptr<const OfflineState> offline_;
+  uint64_t network_version_ = 0;
+  router::RouterOptions router_options_ = DefaultServeRouterOptions();
 
   mutable std::mutex states_mu_;
   mutable std::unordered_map<std::string, StateEntry> states_;
@@ -168,16 +220,6 @@ struct RestoredScenario {
   /// would splice new POIs onto dead RNG streams.
   uint32_t next_poi_id = 0;
 };
-
-/// Router configuration serve runs by default: the Connection Scan engine.
-/// Exact journey times, feasibility, and MAC/ACSD match the
-/// label-correcting engine (asserted by the golden equivalence suites);
-/// window scans make cold label builds and relabels far cheaper.
-inline router::RouterOptions DefaultServeRouterOptions() {
-  router::RouterOptions options;
-  options.engine = router::RoutingEngine::kCsa;
-  return options;
-}
 
 /// Owns the current scenario and serialises mutations. Readers are
 /// wait-free with respect to writers apart from one pointer-load mutex.
@@ -227,8 +269,10 @@ class ScenarioStore {
 
   /// What one mutation did and what it cost.
   struct MutationReport {
-    uint64_t epoch = 0;           // the epoch the mutation installed
-    uint32_t poi_id = 0;          // AddPoi: id of the new POI
+    uint64_t epoch = 0;  // the epoch the mutation installed
+    /// AddPoi: id of the new POI; RemovePoi: the removed id; disruptions:
+    /// the target route/stop id (scenario::kAllRoutes for "all").
+    uint32_t poi_id = 0;
     uint32_t states_patched = 0;  // label states carried over by patching
     uint32_t states_shared = 0;   // carried over untouched (other category)
     uint32_t zones_relabeled = 0;
@@ -257,6 +301,33 @@ class ScenarioStore {
   /// not carried over.
   MutationReport SetInterval(const gtfs::TimeInterval& interval);
 
+  /// Timetable disruptions (scenario subsystem). Each builds the disrupted
+  /// feed through scenario/transform.h, screens the zones that could have
+  /// used a removed connection on the old timetable (scenario/impact.h),
+  /// and installs the next epoch with every materialised label state
+  /// patched: only the screened zones relabel, and the result is
+  /// bit-identical to a full rebuild from the mutated feed (golden-tested).
+  /// All-or-nothing: on any error the current epoch and network stay
+  /// exactly as they were.
+  util::Result<MutationReport> SuspendRoute(uint32_t route);
+  util::Result<MutationReport> CloseStop(uint32_t stop);
+  /// Service thinning; factor >= 2, route may be scenario::kAllRoutes.
+  util::Result<MutationReport> ScaleHeadway(uint32_t route, uint32_t factor);
+  /// Fare shock: relabels every zone of the generalized-cost states;
+  /// journey-time states are shared verbatim (fares never enter JT).
+  util::Result<MutationReport> SetFare(uint32_t route, double fare);
+  /// "Snow day": scales walking speed (router walk params and isochrone ω)
+  /// by `factor`, cumulatively. Rebuilds the offline state and relabels
+  /// every zone of every materialised state.
+  util::Result<MutationReport> ScaleWalkSpeed(double factor);
+
+  /// Network stamp of the current epoch (0 until the first disruption).
+  uint64_t network_version() const { return Acquire()->network_version(); }
+  /// Cumulative walk-speed factor applied by ScaleWalkSpeed (diagnostic).
+  double walk_scale() const {
+    return walk_scale_.load(std::memory_order_acquire);
+  }
+
   /// Serialises `scenario` — any epoch a caller still retains — plus the
   /// store's POI id cursor to `path` (store/snapshot.h format). Safe under
   /// concurrent queries and mutations: the scenario is immutable and the
@@ -276,6 +347,18 @@ class ScenarioStore {
   std::shared_ptr<const ExactLabelState> PatchRemove(
       const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
       uint32_t poi_id);
+  /// Carries one label state across a network mutation: the TODAM is
+  /// demand-side and moves verbatim; `affected` zones relabel against
+  /// `engine` (built over the new network).
+  std::shared_ptr<const ExactLabelState> PatchNetwork(
+      const Scenario& next, const LabelKey& key, const ExactLabelState& parent,
+      const std::vector<uint32_t>& affected, core::LabelingEngine* engine);
+  /// Shared tail of SuspendRoute / CloseStop / ScaleHeadway: screens the
+  /// affected zones on the old timetable, builds the new network aside,
+  /// patches every state, and commits. Caller holds mutation_mu_.
+  util::Result<MutationReport> ApplyTimetable(
+      scenario::TransformResult transformed, uint32_t target,
+      util::Stopwatch watch);
   void Install(std::shared_ptr<const Scenario> next);
 
   std::shared_ptr<const synth::City> base_;
@@ -284,9 +367,22 @@ class ScenarioStore {
   /// start, else 0). Immutable after construction.
   uint64_t base_sequence_ = 0;
 
-  /// Writer-side labeling context, used only under mutation_mu_.
-  router::Router relabel_router_;
-  core::LabelingEngine relabel_engine_;
+  /// The current network: the city the latest epoch serves (== base_ until
+  /// the first timetable disruption), its effective router options (walk
+  /// rescaled, connection array over the current feed), the effective
+  /// isochrone config, and the monotone version stamp. Written only under
+  /// mutation_mu_, and only after every patch of a mutation succeeded.
+  std::shared_ptr<const synth::City> network_city_;
+  router::RouterOptions network_router_;
+  core::IsochroneConfig network_iso_;
+  uint64_t network_version_ = 0;
+  std::atomic<double> walk_scale_{1.0};
+
+  /// Writer-side labeling context over the current network, used only
+  /// under mutation_mu_; rebuilt (and committed together with
+  /// network_city_) whenever the network changes.
+  std::unique_ptr<router::Router> relabel_router_;
+  std::unique_ptr<core::LabelingEngine> relabel_engine_;
 
   /// Serialises mutations; never held while readers run queries.
   std::mutex mutation_mu_;

@@ -186,6 +186,91 @@ util::Result<ScenarioStore::MutationReport> AqServer::SetInterval(
   return report;
 }
 
+util::Result<ScenarioStore::MutationReport> AqServer::SuspendRoute(
+    uint32_t route) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  util::Result<ScenarioStore::MutationReport> report =
+      util::Status::Internal("unreachable");
+  try {
+    report = store_.SuspendRoute(route);
+  } catch (...) {
+    return StatusFromException("SuspendRoute mutation");
+  }
+  if (!report.ok()) return report;
+  NoteMutation(report.value());
+  STAQ_RETURN_NOT_OK(
+      LogMutation(wal::MutationRecord::SuspendRoute(sequence(), route)));
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> AqServer::CloseStop(
+    uint32_t stop) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  util::Result<ScenarioStore::MutationReport> report =
+      util::Status::Internal("unreachable");
+  try {
+    report = store_.CloseStop(stop);
+  } catch (...) {
+    return StatusFromException("CloseStop mutation");
+  }
+  if (!report.ok()) return report;
+  NoteMutation(report.value());
+  STAQ_RETURN_NOT_OK(
+      LogMutation(wal::MutationRecord::CloseStop(sequence(), stop)));
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> AqServer::ScaleHeadway(
+    uint32_t route, uint32_t factor) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  util::Result<ScenarioStore::MutationReport> report =
+      util::Status::Internal("unreachable");
+  try {
+    report = store_.ScaleHeadway(route, factor);
+  } catch (...) {
+    return StatusFromException("ScaleHeadway mutation");
+  }
+  if (!report.ok()) return report;
+  NoteMutation(report.value());
+  STAQ_RETURN_NOT_OK(LogMutation(
+      wal::MutationRecord::ScaleHeadway(sequence(), route, factor)));
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> AqServer::SetFare(uint32_t route,
+                                                              double fare) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  util::Result<ScenarioStore::MutationReport> report =
+      util::Status::Internal("unreachable");
+  try {
+    report = store_.SetFare(route, fare);
+  } catch (...) {
+    return StatusFromException("SetFare mutation");
+  }
+  if (!report.ok()) return report;
+  NoteMutation(report.value());
+  STAQ_RETURN_NOT_OK(
+      LogMutation(wal::MutationRecord::SetFare(sequence(), route, fare)));
+  return report;
+}
+
+util::Result<ScenarioStore::MutationReport> AqServer::ScaleWalkSpeed(
+    double factor) {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  util::Result<ScenarioStore::MutationReport> report =
+      util::Status::Internal("unreachable");
+  try {
+    report = store_.ScaleWalkSpeed(factor);
+  } catch (...) {
+    return StatusFromException("ScaleWalkSpeed mutation");
+  }
+  if (!report.ok()) return report;
+  NoteMutation(report.value());
+  STAQ_RETURN_NOT_OK(
+      LogMutation(wal::MutationRecord::ScaleWalkSpeed(sequence(), factor)));
+  return report;
+}
+
 util::Result<ScenarioStore::MutationReport> AqServer::ApplyMutation(
     const wal::MutationRecord& record) {
   std::lock_guard<std::mutex> lock(wal_mu_);
@@ -226,6 +311,39 @@ util::Result<ScenarioStore::MutationReport> AqServer::ApplyMutation(
         stop_cache_epoch_.fetch_add(1, std::memory_order_release);
         break;
       }
+      // Disruption replay: the records carry resolved ids, and every
+      // transform plus the affected-zone screen is a pure function of the
+      // current feed, so replicas install bit-identical epochs.
+      case wal::MutationType::kSuspendRoute: {
+        auto result = store_.SuspendRoute(record.target);
+        if (!result.ok()) return result;
+        report = result.value();
+        break;
+      }
+      case wal::MutationType::kCloseStop: {
+        auto result = store_.CloseStop(record.target);
+        if (!result.ok()) return result;
+        report = result.value();
+        break;
+      }
+      case wal::MutationType::kScaleHeadway: {
+        auto result = store_.ScaleHeadway(record.target, record.factor);
+        if (!result.ok()) return result;
+        report = result.value();
+        break;
+      }
+      case wal::MutationType::kSetFare: {
+        auto result = store_.SetFare(record.target, record.value);
+        if (!result.ok()) return result;
+        report = result.value();
+        break;
+      }
+      case wal::MutationType::kScaleWalkSpeed: {
+        auto result = store_.ScaleWalkSpeed(record.value);
+        if (!result.ok()) return result;
+        report = result.value();
+        break;
+      }
     }
   } catch (...) {
     return StatusFromException("mutation replay");
@@ -234,13 +352,19 @@ util::Result<ScenarioStore::MutationReport> AqServer::ApplyMutation(
   return report;
 }
 
-std::unique_ptr<AqServer::WorkerContext> AqServer::AcquireContext() {
+std::unique_ptr<AqServer::WorkerContext> AqServer::AcquireContext(
+    const Scenario& scenario) {
   const uint64_t epoch = stop_cache_epoch_.load(std::memory_order_acquire);
   {
     std::lock_guard<std::mutex> lock(context_mu_);
-    if (!free_contexts_.empty()) {
+    while (!free_contexts_.empty()) {
       auto context = std::move(free_contexts_.back());
       free_contexts_.pop_back();
+      if (context->network_version != scenario.network_version()) {
+        // Built for a different network — its router scans the wrong feed
+        // or the wrong walk parameters. Destroy it and keep looking.
+        continue;
+      }
       if (context->stop_epoch != epoch) {
         context->engine.InvalidateAccessStopCache();
         context->stop_epoch = epoch;
@@ -248,8 +372,9 @@ std::unique_ptr<AqServer::WorkerContext> AqServer::AcquireContext() {
       return context;
     }
   }
-  auto context = std::make_unique<WorkerContext>(&store_.base_city(),
-                                                 store_.router_options());
+  auto context = std::make_unique<WorkerContext>(scenario.city_ptr(),
+                                                 scenario.router_options(),
+                                                 scenario.network_version());
   context->stop_epoch = epoch;
   return context;
 }
@@ -307,7 +432,7 @@ util::Result<core::AccessQueryResult> AqServer::QueryUncached(
 
 util::Result<core::AccessQueryResult> AqServer::QueryUncachedOn(
     const Scenario& scenario, const AqRequest& request) {
-  auto context = AcquireContext();
+  auto context = AcquireContext(scenario);
   util::Result<core::AccessQueryResult> result =
       util::Status::Internal("unreachable");
   try {
@@ -337,7 +462,7 @@ void AqServer::RunRequest(const AqRequest& request,
       return;
     }
 
-    auto context = AcquireContext();
+    auto context = AcquireContext(*snapshot);
     try {
       result = Execute(request, *snapshot, context.get(),
                        /*use_caches=*/true);

@@ -167,6 +167,19 @@ class AqServer {
   util::Result<ScenarioStore::MutationReport> SetInterval(
       const gtfs::TimeInterval& interval);
 
+  // Timetable disruptions (scenario subsystem) — same transactional
+  // contract, same WAL logging. In-flight queries keep answering against
+  // the epoch (and network) they were admitted under; worker contexts are
+  // keyed by the scenario's network version, so routing always matches the
+  // snapshot being served.
+  util::Result<ScenarioStore::MutationReport> SuspendRoute(uint32_t route);
+  util::Result<ScenarioStore::MutationReport> CloseStop(uint32_t stop);
+  util::Result<ScenarioStore::MutationReport> ScaleHeadway(uint32_t route,
+                                                           uint32_t factor);
+  util::Result<ScenarioStore::MutationReport> SetFare(uint32_t route,
+                                                      double fare);
+  util::Result<ScenarioStore::MutationReport> ScaleWalkSpeed(double factor);
+
   // --- replication API ---------------------------------------------------
   /// Makes this server a logging primary: every accepted mutation appends
   /// its record to `wal` (not owned; must outlive the server) before the
@@ -217,17 +230,29 @@ class AqServer {
 
   /// Per-worker routing context: Router scratch is not shareable across
   /// threads, so each concurrently running request leases one of these.
+  /// The context shares ownership of the city its router scans — a network
+  /// mutation can retire that city from the store while a leased context
+  /// still routes over it — and carries the network version it was built
+  /// for, so a pooled context never serves a scenario of a different
+  /// network.
   struct WorkerContext {
-    explicit WorkerContext(const synth::City* city,
-                           const router::RouterOptions& options)
-        : router(&city->feed, options), engine(city, &router) {}
+    WorkerContext(std::shared_ptr<const synth::City> city_in,
+                  const router::RouterOptions& options, uint64_t version)
+        : city(std::move(city_in)),
+          router(&city->feed, options),
+          engine(city.get(), &router),
+          network_version(version) {}
+    std::shared_ptr<const synth::City> city;
     router::Router router;
     core::LabelingEngine engine;
+    uint64_t network_version = 0;
     /// stop_cache_epoch_ value this context's engine is known valid for.
     uint64_t stop_epoch = 0;
   };
 
-  std::unique_ptr<WorkerContext> AcquireContext();
+  /// Leases a context matching `scenario`'s network: pooled contexts built
+  /// for a different network version are discarded, not reused.
+  std::unique_ptr<WorkerContext> AcquireContext(const Scenario& scenario);
   void ReleaseContext(std::unique_ptr<WorkerContext> context);
 
   /// Folds one mutation report into the stats counters.

@@ -1,5 +1,7 @@
 #include "wal/record.h"
 
+#include <cmath>
+
 #include "util/strings.h"
 
 namespace staq::wal {
@@ -12,9 +14,28 @@ const char* MutationTypeName(MutationType type) {
       return "remove_poi";
     case MutationType::kSetInterval:
       return "set_interval";
+    case MutationType::kSuspendRoute:
+      return "suspend_route";
+    case MutationType::kCloseStop:
+      return "close_stop";
+    case MutationType::kScaleHeadway:
+      return "scale_headway";
+    case MutationType::kSetFare:
+      return "set_fare";
+    case MutationType::kScaleWalkSpeed:
+      return "scale_walk_speed";
   }
   return "unknown";
 }
+
+namespace {
+
+std::string TargetName(uint32_t target) {
+  return target == kAllTargets ? std::string("all")
+                               : util::Format("%u", target);
+}
+
+}  // namespace
 
 MutationRecord MutationRecord::AddPoi(uint64_t sequence,
                                       synth::PoiCategory category,
@@ -46,6 +67,52 @@ MutationRecord MutationRecord::SetInterval(uint64_t sequence,
   return record;
 }
 
+MutationRecord MutationRecord::SuspendRoute(uint64_t sequence,
+                                            uint32_t route) {
+  MutationRecord record;
+  record.type = MutationType::kSuspendRoute;
+  record.sequence = sequence;
+  record.target = route;
+  return record;
+}
+
+MutationRecord MutationRecord::CloseStop(uint64_t sequence, uint32_t stop) {
+  MutationRecord record;
+  record.type = MutationType::kCloseStop;
+  record.sequence = sequence;
+  record.target = stop;
+  return record;
+}
+
+MutationRecord MutationRecord::ScaleHeadway(uint64_t sequence, uint32_t route,
+                                            uint32_t factor) {
+  MutationRecord record;
+  record.type = MutationType::kScaleHeadway;
+  record.sequence = sequence;
+  record.target = route;
+  record.factor = factor;
+  return record;
+}
+
+MutationRecord MutationRecord::SetFare(uint64_t sequence, uint32_t route,
+                                       double fare) {
+  MutationRecord record;
+  record.type = MutationType::kSetFare;
+  record.sequence = sequence;
+  record.target = route;
+  record.value = fare;
+  return record;
+}
+
+MutationRecord MutationRecord::ScaleWalkSpeed(uint64_t sequence,
+                                              double factor) {
+  MutationRecord record;
+  record.type = MutationType::kScaleWalkSpeed;
+  record.sequence = sequence;
+  record.value = factor;
+  return record;
+}
+
 std::string MutationRecord::ToString() const {
   switch (type) {
     case MutationType::kAddPoi:
@@ -63,6 +130,23 @@ std::string MutationRecord::ToString() const {
                           gtfs::FormatTime(interval.start).c_str(),
                           gtfs::FormatTime(interval.end).c_str(),
                           static_cast<int>(interval.day));
+    case MutationType::kSuspendRoute:
+      return util::Format("#%llu suspend_route route=%u",
+                          static_cast<unsigned long long>(sequence), target);
+    case MutationType::kCloseStop:
+      return util::Format("#%llu close_stop stop=%u",
+                          static_cast<unsigned long long>(sequence), target);
+    case MutationType::kScaleHeadway:
+      return util::Format("#%llu scale_headway route=%s factor=%u",
+                          static_cast<unsigned long long>(sequence),
+                          TargetName(target).c_str(), factor);
+    case MutationType::kSetFare:
+      return util::Format("#%llu set_fare route=%s fare=%.2f",
+                          static_cast<unsigned long long>(sequence),
+                          TargetName(target).c_str(), value);
+    case MutationType::kScaleWalkSpeed:
+      return util::Format("#%llu scale_walk_speed factor=%.3f",
+                          static_cast<unsigned long long>(sequence), value);
   }
   return util::Format("#%llu unknown",
                       static_cast<unsigned long long>(sequence));
@@ -81,6 +165,15 @@ bool MutationRecord::operator==(const MutationRecord& other) const {
              interval.end == other.interval.end &&
              interval.day == other.interval.day &&
              interval.label == other.interval.label;
+    case MutationType::kSuspendRoute:
+    case MutationType::kCloseStop:
+      return target == other.target;
+    case MutationType::kScaleHeadway:
+      return target == other.target && factor == other.factor;
+    case MutationType::kSetFare:
+      return target == other.target && value == other.value;
+    case MutationType::kScaleWalkSpeed:
+      return value == other.value;
   }
   return false;
 }
@@ -107,6 +200,23 @@ void EncodeMutationRecord(const MutationRecord& record,
       out->push_back(static_cast<uint8_t>(record.interval.day));
       store::PutLengthPrefixed(out, record.interval.label);
       break;
+    case MutationType::kSuspendRoute:
+    case MutationType::kCloseStop:
+      store::PutVarint64(out, record.target);
+      break;
+    case MutationType::kScaleHeadway:
+      store::PutVarint64(out, record.target);
+      store::PutVarint64(out, record.factor);
+      break;
+    case MutationType::kSetFare:
+      store::PutVarint64(out, record.target);
+      // Raw IEEE bits: the replica's fare (and hence every GAC label) must
+      // land on the identical double.
+      store::PutFixed(out, record.value);
+      break;
+    case MutationType::kScaleWalkSpeed:
+      store::PutFixed(out, record.value);
+      break;
   }
 }
 
@@ -114,7 +224,7 @@ bool DecodeMutationRecord(store::ByteReader* in, MutationRecord* out) {
   uint8_t type = 0;
   if (!in->ReadFixed(&type)) return false;
   if (type < static_cast<uint8_t>(MutationType::kAddPoi) ||
-      type > static_cast<uint8_t>(MutationType::kSetInterval)) {
+      type > static_cast<uint8_t>(MutationType::kScaleWalkSpeed)) {
     return false;
   }
   *out = MutationRecord();
@@ -160,6 +270,47 @@ bool DecodeMutationRecord(store::ByteReader* in, MutationRecord* out) {
       out->interval.end = static_cast<gtfs::TimeOfDay>(end);
       out->interval.day = static_cast<gtfs::Day>(day);
       return true;
+    }
+    case MutationType::kSuspendRoute:
+    case MutationType::kCloseStop: {
+      uint64_t target = 0;
+      if (!in->ReadVarint64(&target) ||
+          target > std::numeric_limits<uint32_t>::max()) {
+        return false;
+      }
+      out->target = static_cast<uint32_t>(target);
+      // kAllTargets would suspend/close everything at once — not a
+      // supported mutation; a record carrying it is corrupt.
+      return out->target != kAllTargets;
+    }
+    case MutationType::kScaleHeadway: {
+      uint64_t target = 0, factor = 0;
+      if (!in->ReadVarint64(&target) ||
+          target > std::numeric_limits<uint32_t>::max() ||
+          !in->ReadVarint64(&factor) || factor < 2 ||
+          factor > std::numeric_limits<uint32_t>::max()) {
+        return false;
+      }
+      out->target = static_cast<uint32_t>(target);
+      out->factor = static_cast<uint32_t>(factor);
+      return true;
+    }
+    case MutationType::kSetFare: {
+      uint64_t target = 0;
+      if (!in->ReadVarint64(&target) ||
+          target > std::numeric_limits<uint32_t>::max() ||
+          !in->ReadFixed(&out->value) || !(out->value >= 0.0) ||
+          !std::isfinite(out->value)) {
+        return false;
+      }
+      out->target = static_cast<uint32_t>(target);
+      return true;
+    }
+    case MutationType::kScaleWalkSpeed: {
+      // A non-positive or non-finite factor would zero out every walk leg;
+      // reject it as corruption rather than replay it.
+      return in->ReadFixed(&out->value) && out->value > 0.0 &&
+             std::isfinite(out->value);
     }
   }
   return false;

@@ -36,7 +36,18 @@ enum class MutationType : uint8_t {
   kAddPoi = 1,
   kRemovePoi = 2,
   kSetInterval = 3,
+  // Disruption mutations (scenario subsystem). Values 4-8 extend the codec
+  // in place: records of types 1-3 keep their exact byte layout, so WAL
+  // segments written before the extension decode unchanged.
+  kSuspendRoute = 4,
+  kCloseStop = 5,
+  kScaleHeadway = 6,
+  kSetFare = 7,
+  kScaleWalkSpeed = 8,
 };
+
+/// "Every route" sentinel for kScaleHeadway / kSetFare targets.
+inline constexpr uint32_t kAllTargets = static_cast<uint32_t>(-1);
 
 const char* MutationTypeName(MutationType type);
 
@@ -59,12 +70,28 @@ struct MutationRecord {
   // kSetInterval
   gtfs::TimeInterval interval;
 
+  // Disruption mutations. `target` is the route id (kSuspendRoute,
+  // kScaleHeadway, kSetFare) or stop id (kCloseStop); kAllTargets means
+  // "every route" where the mutation supports it. `value` carries the flat
+  // fare (kSetFare) or the walk-speed factor (kScaleWalkSpeed) as raw IEEE
+  // bits — replay must reproduce the identical doubles. `factor` is the
+  // kScaleHeadway thinning divisor (keep every factor-th trip).
+  uint32_t target = kAllTargets;
+  double value = 0.0;
+  uint32_t factor = 0;
+
   /// Factories mirroring the AqServer mutation API.
   static MutationRecord AddPoi(uint64_t sequence, synth::PoiCategory category,
                                const geo::Point& position, uint32_t poi_id);
   static MutationRecord RemovePoi(uint64_t sequence, uint32_t poi_id);
   static MutationRecord SetInterval(uint64_t sequence,
                                     const gtfs::TimeInterval& interval);
+  static MutationRecord SuspendRoute(uint64_t sequence, uint32_t route);
+  static MutationRecord CloseStop(uint64_t sequence, uint32_t stop);
+  static MutationRecord ScaleHeadway(uint64_t sequence, uint32_t route,
+                                     uint32_t factor);
+  static MutationRecord SetFare(uint64_t sequence, uint32_t route, double fare);
+  static MutationRecord ScaleWalkSpeed(uint64_t sequence, double factor);
 
   /// Human-readable one-liner for `staq_cli wal inspect`.
   std::string ToString() const;

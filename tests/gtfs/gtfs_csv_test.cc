@@ -239,6 +239,121 @@ TEST(GtfsCsvTest, FrequenciesRejectNonPositiveHeadway) {
   fs::remove_all(dir);
 }
 
+TEST(WeekdayOfTest, KnownDatesAndLeapYears) {
+  EXPECT_EQ(WeekdayOf(20240101).value(), Day::kMonday);
+  EXPECT_EQ(WeekdayOf(20260808).value(), Day::kSaturday);
+  EXPECT_EQ(WeekdayOf(19991231).value(), Day::kFriday);
+  // Leap rules: divisible-by-4 yes, century no, quadricentennial yes.
+  EXPECT_EQ(WeekdayOf(20240229).value(), Day::kThursday);
+  EXPECT_EQ(WeekdayOf(20000229).value(), Day::kTuesday);
+  EXPECT_FALSE(WeekdayOf(19000229).ok());
+  EXPECT_FALSE(WeekdayOf(20230229).ok());
+
+  EXPECT_FALSE(WeekdayOf(20241301).ok());  // month 13
+  EXPECT_FALSE(WeekdayOf(20240100).ok());  // day 0
+  EXPECT_FALSE(WeekdayOf(20240631).ok());  // June has 30 days
+  EXPECT_FALSE(WeekdayOf(9990101).ok());   // year below 1000
+}
+
+TEST(GtfsCsvTest, CalendarDatesFoldIntoTheWeeklyMask) {
+  Feed original = testing::LineFeed(600);  // every trip runs kWeekdays
+  std::string dir = FreshDir("caldates");
+  geo::LocalProjection projection = TestProjection();
+  // The exporter's single service is "C0". Add a Saturday, drop the Monday.
+  std::vector<CalendarDateException> exceptions = {
+      {"C0", 20260808, /*added=*/true},    // a Saturday
+      {"C0", 20240101, /*added=*/false},   // a Monday
+  };
+  ASSERT_TRUE(WriteFeedCsv(original, projection, dir, exceptions).ok());
+  ASSERT_TRUE(fs::exists(dir + "/calendar_dates.txt"));
+
+  auto loaded = ReadFeedCsv(dir, projection);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const DayMask expected = static_cast<DayMask>(
+      (kWeekdays | MaskOf(Day::kSaturday)) & ~MaskOf(Day::kMonday));
+  for (const Trip& trip : loaded.value().trips()) {
+    EXPECT_EQ(trip.days, expected) << "trip " << trip.id;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, CalendarDatesOnlyServiceIsCreated) {
+  // GTFS permits a service defined purely by added dates; the loader must
+  // create it with just those weekday bits.
+  std::string dir = FreshDir("caldates_only");
+  fs::create_directories(dir);
+  std::ofstream(dir + "/stops.txt")
+      << "stop_id,stop_name,stop_lat,stop_lon\n"
+      << "A,a,52.4800,-1.9000\nB,b,52.4900,-1.9000\n";
+  std::ofstream(dir + "/routes.txt")
+      << "route_id,route_short_name,route_type\nR1,one,3\n";
+  std::ofstream(dir + "/calendar.txt")
+      << "service_id,monday,tuesday,wednesday,thursday,friday,saturday,"
+         "sunday,start_date,end_date\n"
+      << "WK,1,1,1,1,1,0,0,20240101,20991231\n";
+  std::ofstream(dir + "/calendar_dates.txt")
+      << "service_id,date,exception_type\n"
+      << "XDAY,20260808,1\n"   // Saturday
+      << "XDAY,20260809,1\n";  // Sunday
+  std::ofstream(dir + "/trips.txt")
+      << "route_id,service_id,trip_id\nR1,WK,t-wk\nR1,XDAY,t-x\n";
+  std::ofstream(dir + "/stop_times.txt")
+      << "trip_id,arrival_time,departure_time,stop_id,stop_sequence\n"
+      << "t-wk,07:00:00,07:00:00,A,1\nt-wk,07:05:00,07:05:00,B,2\n"
+      << "t-x,08:00:00,08:00:00,A,1\nt-x,08:05:00,08:05:00,B,2\n";
+
+  auto loaded = ReadFeedCsv(dir, TestProjection());
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded.value().num_trips(), 2u);
+  EXPECT_EQ(loaded.value().trip(0).days, kWeekdays);
+  EXPECT_EQ(loaded.value().trip(1).days,
+            static_cast<DayMask>(MaskOf(Day::kSaturday) |
+                                 MaskOf(Day::kSunday)));
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, MalformedCalendarDatesRowsAreRejected) {
+  Feed original = testing::LineFeed(600);
+  std::string dir = FreshDir("caldates_bad");
+  geo::LocalProjection projection = TestProjection();
+  ASSERT_TRUE(WriteFeedCsv(original, projection, dir).ok());
+
+  struct Case {
+    const char* row;
+    const char* expect;  // message fragment
+  };
+  const Case cases[] = {
+      {"C0,20240101.5,1", "YYYYMMDD"},  // non-numeric date
+      {"C0,2024010,1", "YYYYMMDD"},     // 7 digits
+      {"C0,20230229,1", "bad YYYYMMDD"},// nonexistent date
+      {"C0,20240101", "too short"},     // missing exception_type
+      {"C0,20240101,3", "exception_type"},
+  };
+  for (const Case& c : cases) {
+    std::ofstream(dir + "/calendar_dates.txt")
+        << "service_id,date,exception_type\n"
+        << c.row << "\n";
+    auto loaded = ReadFeedCsv(dir, projection);
+    ASSERT_FALSE(loaded.ok()) << c.row;
+    EXPECT_NE(loaded.status().message().find(c.expect), std::string::npos)
+        << c.row << " -> " << loaded.status().message();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(GtfsCsvTest, ExporterValidatesExceptionDatesUpFront) {
+  Feed original = testing::LineFeed(600);
+  std::string dir = FreshDir("caldates_export_bad");
+  geo::LocalProjection projection = TestProjection();
+  std::vector<CalendarDateException> bad = {{"C0", 20241301, true}};
+  auto st = WriteFeedCsv(original, projection, dir, bad);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kInvalidArgument);
+  // The invalid file was never written.
+  EXPECT_FALSE(fs::exists(dir + "/calendar_dates.txt"));
+  fs::remove_all(dir);
+}
+
 TEST(ParseCsvTest, HandlesQuotingAndCrlf) {
   auto rows = util::ParseCsv("a,\"b,с\",c\r\n\"x\"\"y\",,z\n");
   ASSERT_TRUE(rows.ok());

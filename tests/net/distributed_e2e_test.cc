@@ -91,8 +91,10 @@ TEST(DistributedE2eTest, RouterOverPrimaryAndThreeReplicasMatchesTheOracle) {
   const ShardKey key{"covely", "am-peak"};
 
   // The deterministic mix: queries alternating category and path, with a
-  // mutation every fourth step. Every mutation is mirrored into the
-  // oracle; every query is checked against it bit for bit.
+  // mutation every third step. POI edits first, then the five disruption
+  // kinds — so the restarted replica replays timetable mutations too.
+  // Every mutation is mirrored into the oracle; every query is checked
+  // against it bit for bit.
   const std::vector<wal::MutationRecord> script = {
       wal::MutationRecord::AddPoi(0, synth::PoiCategory::kSchool, corner, 0),
       wal::MutationRecord::AddPoi(0, synth::PoiCategory::kHospital, centre, 0),
@@ -100,13 +102,19 @@ TEST(DistributedE2eTest, RouterOverPrimaryAndThreeReplicasMatchesTheOracle) {
       wal::MutationRecord::SetInterval(0, gtfs::WeekdayPmPeak()),
       wal::MutationRecord::AddPoi(0, synth::PoiCategory::kJobCenter, centre, 0),
       wal::MutationRecord::SetInterval(0, gtfs::WeekdayAmPeak()),
+      wal::MutationRecord::SuspendRoute(0, 0),
+      wal::MutationRecord::CloseStop(
+          0, testing::StopServedOutsideRoute(oracle.base_city().feed, 0)),
+      wal::MutationRecord::ScaleHeadway(0, wal::kAllTargets, 2),
+      wal::MutationRecord::SetFare(0, wal::kAllTargets, 4.25),
+      wal::MutationRecord::ScaleWalkSpeed(0, 0.5),
   };
   size_t next_mutation = 0;
   uint32_t first_added_id = 0;
   uint64_t expected_sequence = 0;
   const uint16_t killed_port = replicas[0]->port();
 
-  for (int step = 0; step < 24; ++step) {
+  for (int step = 0; step < 36; ++step) {
     if (step == 11) {
       // Kill replica 0 mid-run: its connections die, the router fails
       // over, and nobody gets a wrong (or torn) answer.
@@ -122,7 +130,7 @@ TEST(DistributedE2eTest, RouterOverPrimaryAndThreeReplicasMatchesTheOracle) {
           replicas[0]->CatchUp(expected_sequence, /*timeout_s=*/20.0).ok());
     }
 
-    if (step % 4 == 3 && next_mutation < script.size()) {
+    if (step % 3 == 2 && next_mutation < script.size()) {
       wal::MutationRecord mutation = script[next_mutation++];
       if (mutation.type == wal::MutationType::kRemovePoi) {
         mutation.poi_id = first_added_id;
@@ -142,6 +150,26 @@ TEST(DistributedE2eTest, RouterOverPrimaryAndThreeReplicasMatchesTheOracle) {
         case wal::MutationType::kSetInterval:
           remote = router.SetInterval(key, mutation.interval);
           local = oracle.SetInterval(mutation.interval);
+          break;
+        case wal::MutationType::kSuspendRoute:
+          remote = router.SuspendRoute(key, mutation.target);
+          local = oracle.SuspendRoute(mutation.target);
+          break;
+        case wal::MutationType::kCloseStop:
+          remote = router.CloseStop(key, mutation.target);
+          local = oracle.CloseStop(mutation.target);
+          break;
+        case wal::MutationType::kScaleHeadway:
+          remote = router.ScaleHeadway(key, mutation.target, mutation.factor);
+          local = oracle.ScaleHeadway(mutation.target, mutation.factor);
+          break;
+        case wal::MutationType::kSetFare:
+          remote = router.SetFare(key, mutation.target, mutation.value);
+          local = oracle.SetFare(mutation.target, mutation.value);
+          break;
+        case wal::MutationType::kScaleWalkSpeed:
+          remote = router.ScaleWalkSpeed(key, mutation.value);
+          local = oracle.ScaleWalkSpeed(mutation.value);
           break;
       }
       ASSERT_TRUE(remote.ok()) << "step " << step << ": " << remote.status();
@@ -182,12 +210,16 @@ TEST(DistributedE2eTest, RouterOverPrimaryAndThreeReplicasMatchesTheOracle) {
   EXPECT_FALSE(replicas[0]->diverged());
   auto direct = AqClient::Connect("127.0.0.1", replicas[0]->port());
   ASSERT_TRUE(direct.ok()) << direct.status();
-  auto pinned =
-      direct.value().Query(FastExactRequest(), expected_sequence);
-  ASSERT_TRUE(pinned.ok()) << pinned.status();
-  auto golden = oracle.QueryUncached(FastExactRequest());
-  ASSERT_TRUE(golden.ok());
-  ExpectSameAnswer(pinned.value().result, golden.value());
+  // JT plus generalized cost: the fare disruption only shows in the latter.
+  serve::AqRequest gac = FastExactRequest();
+  gac.options.cost = core::CostKind::kGeneralizedCost;
+  for (const serve::AqRequest& request : {FastExactRequest(), gac}) {
+    auto pinned = direct.value().Query(request, expected_sequence);
+    ASSERT_TRUE(pinned.ok()) << pinned.status();
+    auto golden = oracle.QueryUncached(request);
+    ASSERT_TRUE(golden.ok());
+    ExpectSameAnswer(pinned.value().result, golden.value());
+  }
 
   for (auto& replica : replicas) replica->Stop();
   primary_tcp.Stop();

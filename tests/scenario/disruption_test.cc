@@ -1,0 +1,188 @@
+// Disruption spec grammar and selector resolution: every kind parses,
+// malformed and out-of-domain specs are rejected with the offending spec
+// in the message, and `busiest` resolves deterministically with lowest-id
+// tie-breaking.
+#include "scenario/disruption.h"
+
+#include <gtest/gtest.h>
+
+#include "gtfs/feed_builder.h"
+#include "testing/test_city.h"
+
+namespace staq::scenario {
+namespace {
+
+TEST(DisruptionSpecTest, ParsesEveryKind) {
+  auto suspend = ParseDisruptionSpec("suspend_route:7");
+  ASSERT_TRUE(suspend.ok()) << suspend.status();
+  EXPECT_EQ(suspend.value().kind, wal::MutationType::kSuspendRoute);
+  EXPECT_EQ(suspend.value().selector, TargetSelector::kId);
+  EXPECT_EQ(suspend.value().id, 7u);
+  EXPECT_EQ(suspend.value().spec, "suspend_route:7");
+
+  auto close = ParseDisruptionSpec("close_stop:busiest");
+  ASSERT_TRUE(close.ok()) << close.status();
+  EXPECT_EQ(close.value().kind, wal::MutationType::kCloseStop);
+  EXPECT_EQ(close.value().selector, TargetSelector::kBusiest);
+
+  auto thin = ParseDisruptionSpec("scale_headway:all:3");
+  ASSERT_TRUE(thin.ok()) << thin.status();
+  EXPECT_EQ(thin.value().kind, wal::MutationType::kScaleHeadway);
+  EXPECT_EQ(thin.value().selector, TargetSelector::kAll);
+  EXPECT_EQ(thin.value().factor, 3u);
+
+  auto fare = ParseDisruptionSpec("set_fare:2:4.5");
+  ASSERT_TRUE(fare.ok()) << fare.status();
+  EXPECT_EQ(fare.value().kind, wal::MutationType::kSetFare);
+  EXPECT_EQ(fare.value().selector, TargetSelector::kId);
+  EXPECT_EQ(fare.value().id, 2u);
+  EXPECT_DOUBLE_EQ(fare.value().value, 4.5);
+
+  auto walk = ParseDisruptionSpec("scale_walk:0.5");
+  ASSERT_TRUE(walk.ok()) << walk.status();
+  EXPECT_EQ(walk.value().kind, wal::MutationType::kScaleWalkSpeed);
+  EXPECT_DOUBLE_EQ(walk.value().value, 0.5);
+}
+
+TEST(DisruptionSpecTest, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "",                         // no kind at all
+      "demolish_bridge:3",        // unknown kind
+      "suspend_route",            // missing selector
+      "suspend_route:all",        // 'all' not valid for suspensions
+      "suspend_route:3:4",        // too many fields
+      "close_stop:first",         // unknown selector word
+      "close_stop:-1",            // signs are not part of the grammar
+      "close_stop:3.5",           // ids are integers
+      "scale_headway:all",        // missing factor
+      "scale_headway:all:1",      // factor must be >= 2
+      "scale_headway:all:x",      // non-numeric factor
+      "set_fare:all",             // missing fare
+      "set_fare:all:-2",          // negative fare
+      "set_fare:all:abc",         // non-numeric fare
+      "scale_walk:0",             // factor must be positive
+      "scale_walk:-0.5",          //
+      "scale_walk:fast",          //
+      "scale_walk:0.5:0.5",       // too many fields
+  };
+  for (const char* spec : bad) {
+    auto parsed = ParseDisruptionSpec(spec);
+    EXPECT_FALSE(parsed.ok()) << "accepted '" << spec << "'";
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+      // The message names the offending spec, so a pack error is traceable.
+      EXPECT_NE(parsed.status().message().find(spec), std::string::npos)
+          << parsed.status().message();
+    }
+  }
+}
+
+/// Two routes with different trip counts and a shared mid-line stop: the
+/// busiest answers are unambiguous and not index-0 defaults.
+gtfs::Feed AsymmetricFeed() {
+  gtfs::FeedBuilder builder;
+  gtfs::StopId x = builder.AddStop("x", {0, 0});
+  gtfs::StopId y = builder.AddStop("y", {1000, 0});
+  gtfs::StopId z = builder.AddStop("z", {2000, 0});
+  gtfs::RouteId r0 = builder.AddRoute("r0", 1.0);
+  gtfs::RouteId r1 = builder.AddRoute("r1", 1.0);
+  for (int k = 0; k < 2; ++k) {
+    builder.BeginTrip(r0, gtfs::kEveryDay);
+    (void)builder.AddCall(x, gtfs::MakeTime(7, 10 * k));
+    (void)builder.AddCall(y, gtfs::MakeTime(7, 10 * k) + 300);
+  }
+  for (int k = 0; k < 3; ++k) {
+    builder.BeginTrip(r1, gtfs::kEveryDay);
+    (void)builder.AddCall(y, gtfs::MakeTime(8, 10 * k));
+    (void)builder.AddCall(z, gtfs::MakeTime(8, 10 * k) + 300);
+  }
+  auto feed = builder.Build();
+  EXPECT_TRUE(feed.ok());
+  return std::move(feed).value();
+}
+
+TEST(BusiestTest, PicksMostTripsAndMostDepartures) {
+  gtfs::Feed feed = AsymmetricFeed();
+  auto route = BusiestRoute(feed);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value(), 1u);  // r1 runs 3 trips to r0's 2
+
+  // y boards 3 departures (r1); x boards 2; z is a terminus only.
+  auto stop = BusiestStop(feed);
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop.value(), 1u);
+}
+
+TEST(BusiestTest, TiesKeepTheLowestId) {
+  // LineFeed: one route; stops s0 and s1 both board every one of the 12
+  // trips (s2 is the terminus) — the tie must resolve to s0.
+  gtfs::Feed feed = testing::LineFeed(600);
+  auto route = BusiestRoute(feed);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(route.value(), 0u);
+  auto stop = BusiestStop(feed);
+  ASSERT_TRUE(stop.ok());
+  EXPECT_EQ(stop.value(), 0u);
+
+  // TransferFeed: routes A and B both run 12 trips — ties to A (id 0).
+  auto tied = BusiestRoute(testing::TransferFeed());
+  ASSERT_TRUE(tied.ok());
+  EXPECT_EQ(tied.value(), 0u);
+}
+
+TEST(ResolveDisruptionTest, ResolvesSelectorsIntoConcreteRecords) {
+  gtfs::Feed feed = AsymmetricFeed();
+
+  auto busiest = ParseDisruptionSpec("suspend_route:busiest");
+  ASSERT_TRUE(busiest.ok());
+  auto record = ResolveDisruption(busiest.value(), feed);
+  ASSERT_TRUE(record.ok()) << record.status();
+  EXPECT_EQ(record.value().type, wal::MutationType::kSuspendRoute);
+  EXPECT_EQ(record.value().target, 1u);
+  EXPECT_EQ(record.value().sequence, 0u);  // the primary assigns positions
+
+  auto all = ParseDisruptionSpec("scale_headway:all:2");
+  ASSERT_TRUE(all.ok());
+  auto thin = ResolveDisruption(all.value(), feed);
+  ASSERT_TRUE(thin.ok());
+  EXPECT_EQ(thin.value().target, wal::kAllTargets);
+  EXPECT_EQ(thin.value().factor, 2u);
+
+  auto fare = ParseDisruptionSpec("set_fare:0:3.25");
+  ASSERT_TRUE(fare.ok());
+  auto shock = ResolveDisruption(fare.value(), feed);
+  ASSERT_TRUE(shock.ok());
+  EXPECT_EQ(shock.value().target, 0u);
+  EXPECT_EQ(shock.value().value, 3.25);
+
+  auto walk = ParseDisruptionSpec("scale_walk:0.75");
+  ASSERT_TRUE(walk.ok());
+  auto snow = ResolveDisruption(walk.value(), feed);
+  ASSERT_TRUE(snow.ok());
+  EXPECT_EQ(snow.value().type, wal::MutationType::kScaleWalkSpeed);
+  EXPECT_EQ(snow.value().value, 0.75);
+}
+
+TEST(ResolveDisruptionTest, RangeChecksExplicitIds) {
+  gtfs::Feed feed = AsymmetricFeed();  // 2 routes, 3 stops
+
+  auto route = ParseDisruptionSpec("suspend_route:2");
+  ASSERT_TRUE(route.ok());
+  auto missing_route = ResolveDisruption(route.value(), feed);
+  ASSERT_FALSE(missing_route.ok());
+  EXPECT_EQ(missing_route.status().code(), util::StatusCode::kNotFound);
+
+  auto stop = ParseDisruptionSpec("close_stop:3");
+  ASSERT_TRUE(stop.ok());
+  auto missing_stop = ResolveDisruption(stop.value(), feed);
+  ASSERT_FALSE(missing_stop.ok());
+  EXPECT_EQ(missing_stop.status().code(), util::StatusCode::kNotFound);
+
+  // In-range ids pass the same check.
+  auto ok_stop = ParseDisruptionSpec("close_stop:2");
+  ASSERT_TRUE(ok_stop.ok());
+  EXPECT_TRUE(ResolveDisruption(ok_stop.value(), feed).ok());
+}
+
+}  // namespace
+}  // namespace staq::scenario

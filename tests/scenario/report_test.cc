@@ -1,0 +1,126 @@
+// Equity reports: CompareAccess folds two query answers into deltas,
+// migration counts, and the worst zone; the JSON document round-trips
+// bit-for-bit through ParseEquityReportJson; and the text rendering is
+// deterministic.
+#include "scenario/report.h"
+
+#include <gtest/gtest.h>
+
+namespace staq::scenario {
+namespace {
+
+core::AccessQueryResult MakeResult(std::vector<double> mac,
+                                   std::vector<int> classes) {
+  core::AccessQueryResult result;
+  result.mac = std::move(mac);
+  result.acsd.assign(result.mac.size(), 120.0);
+  result.classes = std::move(classes);
+  result.mean_mac = 0.0;
+  for (double m : result.mac) result.mean_mac += m / result.mac.size();
+  result.mean_acsd = 120.0;
+  result.fairness = 0.875;
+  result.population_fairness = 0.75;
+  result.vulnerable_fairness = 0.5;
+  return result;
+}
+
+TEST(CompareAccessTest, DeltasMigrationAndWorstZone) {
+  std::vector<synth::Zone> zones(4);
+  auto before = MakeResult({100, 200, 300, 400}, {0, 1, 2, 3});
+  auto after = MakeResult({160, 200, 420.25, 400}, {1, 1, 3, 3});
+
+  EquityReport report = CompareAccess("outage", "covely", zones, before, after);
+  EXPECT_EQ(report.scenario, "outage");
+  EXPECT_EQ(report.city, "covely");
+  EXPECT_EQ(report.zones, 4u);
+
+  ASSERT_EQ(report.mac_delta_s.size(), 4u);
+  EXPECT_EQ(report.mac_delta_s[0], 60.0);
+  EXPECT_EQ(report.mac_delta_s[1], 0.0);
+  EXPECT_EQ(report.mac_delta_s[2], 120.25);
+  EXPECT_EQ(report.mac_delta_s[3], 0.0);
+
+  // Worst = largest MAC increase (access loss).
+  EXPECT_EQ(report.worst.zone, 2u);
+  EXPECT_EQ(report.worst.mac_delta_s, 120.25);
+
+  EXPECT_EQ(report.migration[0][1], 1u);
+  EXPECT_EQ(report.migration[1][1], 1u);
+  EXPECT_EQ(report.migration[2][3], 1u);
+  EXPECT_EQ(report.migration[3][3], 1u);
+  EXPECT_EQ(report.migration[0][0], 0u);
+
+  EXPECT_EQ(report.before.class_counts[0], 1u);
+  EXPECT_EQ(report.after.class_counts[3], 2u);
+  EXPECT_EQ(report.before.mean_mac, before.mean_mac);
+  EXPECT_EQ(report.after.fairness, 0.875);
+}
+
+TEST(CompareAccessTest, WorstZoneTiesKeepTheLowestId) {
+  std::vector<synth::Zone> zones(3);
+  auto before = MakeResult({100, 100, 100}, {0, 0, 0});
+  auto after = MakeResult({150, 150, 100}, {0, 0, 0});
+  EquityReport report = CompareAccess("tie", "c", zones, before, after);
+  EXPECT_EQ(report.worst.zone, 0u);
+}
+
+EquityReport SampleReport() {
+  std::vector<synth::Zone> zones(4);
+  auto before = MakeResult({100, 200, 300, 400}, {0, 1, 2, 3});
+  auto after = MakeResult({160, 200, 420.25, 400}, {1, 1, 3, 3});
+  EquityReport report =
+      CompareAccess("snow \"day\"", "covely-0.06", zones, before, after);
+  report.disruptions = {"scale_walk:0.5 => all routes",
+                        "suspend_route:busiest => route 3"};
+  report.mutation_seconds = 0.125;
+  report.mutation_spqs = 4242;
+  return report;
+}
+
+TEST(EquityReportJsonTest, RoundTripsEveryField) {
+  EquityReport report = SampleReport();
+  auto parsed = ParseEquityReportJson(EquityReportJson(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const EquityReport& r = parsed.value();
+
+  EXPECT_EQ(r.scenario, report.scenario);  // quote survives escaping
+  EXPECT_EQ(r.city, report.city);
+  EXPECT_EQ(r.zones, report.zones);
+  EXPECT_EQ(r.disruptions, report.disruptions);
+  EXPECT_EQ(r.before.mean_mac, report.before.mean_mac);
+  EXPECT_EQ(r.before.class_counts, report.before.class_counts);
+  EXPECT_EQ(r.after.fairness, report.after.fairness);
+  EXPECT_EQ(r.after.vulnerable_fairness, report.after.vulnerable_fairness);
+  EXPECT_EQ(r.migration, report.migration);
+  EXPECT_EQ(r.mac_delta_s, report.mac_delta_s);
+  EXPECT_EQ(r.worst.zone, report.worst.zone);
+  EXPECT_EQ(r.worst.mac_delta_s, report.worst.mac_delta_s);
+  EXPECT_EQ(r.mutation_seconds, report.mutation_seconds);
+  EXPECT_EQ(r.mutation_spqs, report.mutation_spqs);
+
+  // Determinism: rendering the parsed report reproduces the document.
+  EXPECT_EQ(EquityReportJson(r), EquityReportJson(report));
+}
+
+TEST(EquityReportJsonTest, RejectsIncompleteDocuments) {
+  EXPECT_FALSE(ParseEquityReportJson("not json").ok());
+  EXPECT_FALSE(ParseEquityReportJson("{}").ok());
+  // A truncated but valid JSON document (missing the migration matrix).
+  EXPECT_FALSE(ParseEquityReportJson(
+                   "{\"scenario\": \"s\", \"city\": \"c\", \"zones\": 0, "
+                   "\"before\": {}, \"after\": {}}")
+                   .ok());
+}
+
+TEST(FormatEquityReportTest, RendersDeterministically) {
+  EquityReport report = SampleReport();
+  std::string text = FormatEquityReport(report);
+  EXPECT_EQ(text, FormatEquityReport(report));
+  // The resolved disruptions and the worst zone appear verbatim.
+  EXPECT_NE(text.find("suspend_route:busiest => route 3"), std::string::npos);
+  EXPECT_NE(text.find("worst zone: 2"), std::string::npos);
+  EXPECT_NE(text.find("4242 patch SPQs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace staq::scenario

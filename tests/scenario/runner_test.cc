@@ -1,0 +1,150 @@
+// The scenario-pack runner: deterministic before/after reports against a
+// live AqServer, error context naming the scenario and spec, report
+// emission, and graceful degradation of the report-write failpoint.
+#include "scenario/runner.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_city.h"
+#include "util/failpoint.h"
+
+namespace staq::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+CityFactory TinyFactory() {
+  return [] { return util::Result<synth::City>(testing::TinyCity()); };
+}
+
+RunOptions FastOptions() {
+  RunOptions options;
+  options.server.num_threads = 1;
+  return options;
+}
+
+ScenarioPack ParsePack(const std::string& text) {
+  auto pack = ScenarioPack::Parse(text);
+  EXPECT_TRUE(pack.ok()) << pack.status();
+  return pack.ok() ? std::move(pack).value() : ScenarioPack{};
+}
+
+TEST(RunScenarioTest, ProducesADeterministicBeforeAfterReport) {
+  ScenarioPack pack = ParsePack(
+      "scenario outage { disrupt = suspend_route:busiest }\n");
+
+  auto report = RunScenario(TinyFactory(), pack.scenarios[0], FastOptions());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().scenario, "outage");
+  EXPECT_EQ(report.value().city, testing::TinyCity().spec.name);
+  EXPECT_EQ(report.value().zones, testing::TinyCity().zones.size());
+  ASSERT_EQ(report.value().disruptions.size(), 1u);
+  // The resolved target is recorded, so the report is self-describing.
+  EXPECT_NE(report.value().disruptions[0].find("=> route"),
+            std::string::npos);
+
+  // Suspending the busiest route must cost someone access: mean MAC can
+  // only go up, and at least one zone moves.
+  EXPECT_GE(report.value().after.mean_mac, report.value().before.mean_mac);
+  EXPECT_GT(report.value().worst.mac_delta_s, 0.0);
+
+  // Determinism: a second run over a fresh server matches bit for bit on
+  // every equity number (timing is wall clock and exempt).
+  auto again = RunScenario(TinyFactory(), pack.scenarios[0], FastOptions());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value().mac_delta_s, report.value().mac_delta_s);
+  EXPECT_EQ(again.value().before.mean_mac, report.value().before.mean_mac);
+  EXPECT_EQ(again.value().after.mean_mac, report.value().after.mean_mac);
+  EXPECT_EQ(again.value().migration, report.value().migration);
+  EXPECT_EQ(again.value().mutation_spqs, report.value().mutation_spqs);
+}
+
+TEST(RunScenarioTest, SequentialDisruptionsComposeOnTheLiveServer) {
+  // `busiest` twice: the second resolution must see the feed the first
+  // suspension produced, so the two resolved routes differ.
+  ScenarioPack pack = ParsePack(
+      "scenario double { disrupt = suspend_route:busiest, "
+      "suspend_route:busiest }\n");
+  auto report = RunScenario(TinyFactory(), pack.scenarios[0], FastOptions());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report.value().disruptions.size(), 2u);
+  EXPECT_NE(report.value().disruptions[0], report.value().disruptions[1]);
+}
+
+TEST(RunScenarioTest, ErrorsNameTheScenarioAndSpec) {
+  ScenarioPack pack = ParsePack(
+      "scenario broken { disrupt = close_stop:99999 }\n");
+  auto report = RunScenario(TinyFactory(), pack.scenarios[0], FastOptions());
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kNotFound);
+  EXPECT_NE(report.status().message().find("close_stop:99999"),
+            std::string::npos);
+}
+
+TEST(RunPackTest, RunsEveryScenarioIndependently) {
+  ScenarioPack pack = ParsePack(
+      "scenario first { disrupt = scale_headway:all:2 }\n"
+      "scenario second { disrupt = scale_walk:0.5 }\n");
+  auto reports = RunPack(TinyFactory(), pack, FastOptions());
+  ASSERT_TRUE(reports.ok()) << reports.status();
+  ASSERT_EQ(reports.value().size(), 2u);
+  EXPECT_EQ(reports.value()[0].scenario, "first");
+  EXPECT_EQ(reports.value()[1].scenario, "second");
+  // Independent what-if branches: both start from the same pristine
+  // "before" side.
+  EXPECT_EQ(reports.value()[0].before.mean_mac,
+            reports.value()[1].before.mean_mac);
+}
+
+TEST(WriteReportsTest, EmitsJsonPerScenarioPlusText) {
+  ScenarioPack pack = ParsePack(
+      "scenario thin { disrupt = scale_headway:all:2 }\n");
+  auto reports = RunPack(TinyFactory(), pack, FastOptions());
+  ASSERT_TRUE(reports.ok()) << reports.status();
+
+  std::string dir = ::testing::TempDir() + "staq_scenario_reports";
+  fs::remove_all(dir);
+  ASSERT_TRUE(WriteReports(reports.value(), dir).ok());
+
+  std::ifstream json(dir + "/report_thin.json");
+  ASSERT_TRUE(json.good());
+  std::stringstream buffer;
+  buffer << json.rdbuf();
+  auto parsed = ParseEquityReportJson(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().scenario, "thin");
+  EXPECT_EQ(parsed.value().zones, reports.value()[0].zones);
+
+  std::ifstream text(dir + "/reports.txt");
+  ASSERT_TRUE(text.good());
+  fs::remove_all(dir);
+}
+
+#if defined(STAQ_FAILPOINTS) && STAQ_FAILPOINTS
+TEST(WriteReportsTest, InjectedWriteFaultDegradesToACleanIoError) {
+  ScenarioPack pack = ParsePack(
+      "scenario thin { disrupt = scale_headway:all:2 }\n");
+  auto reports = RunPack(TinyFactory(), pack, FastOptions());
+  ASSERT_TRUE(reports.ok()) << reports.status();
+
+  std::string dir = ::testing::TempDir() + "staq_scenario_fail";
+  fs::remove_all(dir);
+  util::FailPoints::Arm("scenario.pack.report_write",
+                        util::FailPointConfig::Throw("disk full"));
+  auto st = WriteReports(reports.value(), dir);
+  util::FailPoints::DisarmAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+
+  // Recovery: the same reports write cleanly once the fault clears.
+  EXPECT_TRUE(WriteReports(reports.value(), dir).ok());
+  fs::remove_all(dir);
+}
+#endif
+
+}  // namespace
+}  // namespace staq::scenario

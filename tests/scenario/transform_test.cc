@@ -1,0 +1,134 @@
+// Pure timetable transforms and the affected-zone screen: the semantic
+// core the disruption epochs and their replicas both rebuild from.
+#include "scenario/transform.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "router/walk_table.h"
+#include "scenario/impact.h"
+#include "testing/test_city.h"
+
+namespace staq::scenario {
+namespace {
+
+TEST(SuspendRouteTest, DropsEveryTripButKeepsTheRouteEntity) {
+  gtfs::Feed feed = testing::TransferFeed();  // routes A and B, 12 trips each
+  auto result = SuspendRoute(feed, 0);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_EQ(result.value().feed.num_routes(), feed.num_routes());
+  EXPECT_EQ(result.value().feed.num_trips(), 12u);  // only B survives
+  for (const gtfs::Trip& trip : result.value().feed.trips()) {
+    EXPECT_EQ(trip.route, 1u);
+  }
+  // Removed trips are reported in *input* ids, one per suspended trip.
+  EXPECT_EQ(result.value().removed_trips.size(), 12u);
+  EXPECT_TRUE(result.value().feed.Validate().ok());
+}
+
+TEST(SuspendRouteTest, RejectsMissingRoutesAndEmptyResults) {
+  gtfs::Feed line = testing::LineFeed();
+  EXPECT_FALSE(SuspendRoute(line, 5).ok());
+  // Suspending the only route would empty the timetable.
+  EXPECT_FALSE(SuspendRoute(line, 0).ok());
+}
+
+TEST(CloseStopTest, RideThroughKeepsTripsRunning) {
+  gtfs::Feed feed = testing::LineFeed(600);  // s0 -> s1 -> s2, 12 trips
+  auto result = CloseStop(feed, 1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const gtfs::Feed& closed = result.value().feed;
+
+  // Every trip still runs, skipping s1 with times at s0/s2 unchanged.
+  EXPECT_EQ(closed.num_trips(), feed.num_trips());
+  EXPECT_EQ(closed.num_stops(), feed.num_stops());  // the entity stays
+  EXPECT_EQ(result.value().closed_stop, 1u);
+  EXPECT_TRUE(result.value().removed_trips.empty());
+  for (const gtfs::Trip& trip : closed.trips()) {
+    ASSERT_EQ(trip.num_stop_times, 2u);
+    const gtfs::StopTime* calls = closed.trip_begin(trip.id);
+    EXPECT_EQ(calls[0].stop, 0u);
+    EXPECT_EQ(calls[1].stop, 2u);
+    EXPECT_EQ(calls[1].departure - calls[0].departure, 600);
+  }
+}
+
+TEST(CloseStopTest, TripsLeftWithOneCallAreDropped) {
+  gtfs::Feed feed = testing::TransferFeed();  // A: a0->a1; B: b0->b1
+  auto result = CloseStop(feed, 0);           // a0: route A trips collapse
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().feed.num_trips(), 12u);  // only B's trips remain
+  EXPECT_EQ(result.value().removed_trips.size(), 12u);
+}
+
+TEST(ScaleHeadwayTest, KeepsEveryFactorThTripInDepartureOrder) {
+  gtfs::Feed feed = testing::LineFeed(600);  // 12 trips, 07:00 + k*600
+  auto result = ScaleHeadway(feed, 0, 3);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const gtfs::Feed& thinned = result.value().feed;
+  ASSERT_EQ(thinned.num_trips(), 4u);
+  EXPECT_EQ(result.value().removed_trips.size(), 8u);
+  // Survivors are the 1st, 4th, 7th, 10th departures: 1800 s apart.
+  std::vector<gtfs::TimeOfDay> departures;
+  for (const gtfs::Trip& trip : thinned.trips()) {
+    departures.push_back(thinned.trip_begin(trip.id)[0].departure);
+  }
+  std::sort(departures.begin(), departures.end());
+  for (size_t i = 0; i < departures.size(); ++i) {
+    EXPECT_EQ(departures[i], gtfs::MakeTime(7, 0) + 1800 * static_cast<int>(i));
+  }
+  EXPECT_FALSE(ScaleHeadway(feed, 0, 1).ok());  // factor >= 2
+}
+
+TEST(SetFlatFareTest, TouchesOnlyTheSelectedFare) {
+  gtfs::Feed feed = testing::TransferFeed();  // fares 2.0 / 2.5
+  auto one = SetFlatFare(feed, 1, 9.75);
+  ASSERT_TRUE(one.ok()) << one.status();
+  EXPECT_EQ(one.value().route(0).flat_fare, 2.0);
+  EXPECT_EQ(one.value().route(1).flat_fare, 9.75);
+  EXPECT_EQ(one.value().num_trips(), feed.num_trips());
+
+  auto all = SetFlatFare(feed, kAllRoutes, 0.0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().route(0).flat_fare, 0.0);
+  EXPECT_EQ(all.value().route(1).flat_fare, 0.0);
+}
+
+TEST(AffectedZonesTest, IsSortedDeduplicatedAndBounded) {
+  synth::City city = testing::TinyCity();
+  router::WalkTable walk(&city.feed, router::WalkParams());
+  auto transformed = SuspendRoute(city.feed, 0);
+  ASSERT_TRUE(transformed.ok());
+
+  ImpactInputs inputs;
+  inputs.city = &city;
+  inputs.feed = &city.feed;
+  inputs.walk = &walk;
+  inputs.interval = gtfs::WeekdayAmPeak();
+  inputs.removed_trips = transformed.value().removed_trips;
+
+  std::vector<uint32_t> affected = AffectedZones(inputs);
+  for (size_t i = 1; i < affected.size(); ++i) {
+    EXPECT_LT(affected[i - 1], affected[i]);  // strictly ascending => deduped
+  }
+  for (uint32_t z : affected) EXPECT_LT(z, city.zones.size());
+  // Deterministic: primaries and replicas must screen identically.
+  EXPECT_EQ(AffectedZones(inputs), affected);
+}
+
+TEST(AffectedZonesTest, NoRemovalsMeansNoAffectedZones) {
+  synth::City city = testing::TinyCity();
+  router::WalkTable walk(&city.feed, router::WalkParams());
+  ImpactInputs inputs;
+  inputs.city = &city;
+  inputs.feed = &city.feed;
+  inputs.walk = &walk;
+  inputs.interval = gtfs::WeekdayAmPeak();
+  EXPECT_TRUE(AffectedZones(inputs).empty());
+}
+
+}  // namespace
+}  // namespace staq::scenario

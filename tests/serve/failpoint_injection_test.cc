@@ -183,6 +183,58 @@ TEST_F(FaultInjectionTest, RelabelFailureAbortsBeforeInstall) {
   ExpectSameAnswer(after.value(), before.value());
 }
 
+// --- serve.scenario.patch_network -------------------------------------------
+
+TEST_F(FaultInjectionTest, NetworkPatchFailureRollsEveryDisruptionBack) {
+  auto before = server_->Query(FastExactRequest());  // materialise the state
+  ASSERT_TRUE(before.ok());
+
+  // Every disruption kind funnels through the network-patch site; each must
+  // degrade to a clean kInternal with the old epoch (and its network) still
+  // installed and serving.
+  FailPoints::Arm("serve.scenario.patch_network", FailPointConfig::Throw());
+  const std::vector<util::Result<ScenarioStore::MutationReport>> attempts = {
+      server_->SuspendRoute(0),
+      server_->CloseStop(0),
+      server_->ScaleHeadway(scenario::kAllRoutes, 2),
+      server_->SetFare(scenario::kAllRoutes, 4.25),
+      server_->ScaleWalkSpeed(0.5),
+  };
+  for (size_t i = 0; i < attempts.size(); ++i) {
+    ASSERT_FALSE(attempts[i].ok()) << "disruption " << i;
+    EXPECT_EQ(attempts[i].status().code(), util::StatusCode::kInternal)
+        << "disruption " << i;
+  }
+  EXPECT_EQ(server_->epoch(), 0u);
+  EXPECT_EQ(server_->Snapshot()->network_version(), 0u);
+  FailPoints::Disarm("serve.scenario.patch_network");
+
+  // The surviving epoch answers bit-identically, and the mutation works
+  // once the fault clears.
+  auto after = server_->Query(FastExactRequest());
+  ASSERT_TRUE(after.ok());
+  ExpectSameAnswer(after.value(), before.value());
+  auto retry = server_->SuspendRoute(0);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(retry.value().epoch, 1u);
+  EXPECT_EQ(server_->Snapshot()->network_version(), 1u);
+}
+
+TEST_F(FaultInjectionTest, TransientNetworkPatchFaultRecoversOnRetry) {
+  const double base_speed =
+      server_->Snapshot()->router_options().walk.speed_mps;
+
+  FailPoints::Arm("serve.scenario.patch_network",
+                  FailPointConfig::ThrowOnce("transient patch fault"));
+  ASSERT_FALSE(server_->ScaleWalkSpeed(0.5).ok());
+  EXPECT_EQ(server_->Snapshot()->router_options().walk.speed_mps, base_speed);
+
+  auto retry = server_->ScaleWalkSpeed(0.5);  // the once-fault is consumed
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(server_->Snapshot()->router_options().walk.speed_mps,
+            base_speed * 0.5);
+}
+
 // --- serve.cache.put / serve.cache.evict ------------------------------------
 
 TEST_F(FaultInjectionTest, CachePutFailureStillServesTheAnswer) {
@@ -372,6 +424,7 @@ TEST_F(FaultInjectionTest, EveryDocumentedSiteIsReachable) {
                                 server_->base_city().Centre());
   ASSERT_TRUE(report.ok());
   ASSERT_TRUE(server_->RemovePoi(report.value().poi_id).ok());
+  ASSERT_TRUE(server_->SuspendRoute(0).ok());
   AqTicket ticket = server_->Submit(FastExactRequest());
   (void)ticket.TryCancel();
   (void)ticket.Get();
@@ -380,7 +433,8 @@ TEST_F(FaultInjectionTest, EveryDocumentedSiteIsReachable) {
   for (const char* expected :
        {"serve.scenario.build_label_state", "serve.scenario.patch_add",
         "serve.scenario.patch_remove", "serve.scenario.relabel",
-        "serve.cache.put", "util.thread_pool.submit", "serve.ticket.cancel"}) {
+        "serve.scenario.patch_network", "serve.cache.put",
+        "util.thread_pool.submit", "serve.ticket.cancel"}) {
     EXPECT_NE(std::find(sites.begin(), sites.end(), expected), sites.end())
         << "site never evaluated: " << expected;
   }

@@ -1,0 +1,45 @@
+// Shared assertion: bit-level equality of two ExactLabelStates. Both the
+// POI-mutation and the disruption golden suites check the same contract —
+// an incrementally patched state equals a from-scratch build — so the
+// comparison lives here once.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "serve/scenario.h"
+
+namespace staq::testing {
+
+/// Full bit-level equality: POIs, per-zone trip sequences, α rows, labels.
+inline void ExpectStatesIdentical(const serve::ExactLabelState& patched,
+                                  const serve::ExactLabelState& fresh) {
+  ASSERT_EQ(patched.pois.size(), fresh.pois.size());
+  for (size_t p = 0; p < fresh.pois.size(); ++p) {
+    EXPECT_EQ(patched.pois[p].id, fresh.pois[p].id);
+  }
+  ASSERT_EQ(patched.todam.num_zones(), fresh.todam.num_zones());
+  EXPECT_EQ(patched.todam.num_trips(), fresh.todam.num_trips());
+  for (uint32_t z = 0; z < fresh.todam.num_zones(); ++z) {
+    EXPECT_EQ(patched.todam.TripsFor(z), fresh.todam.TripsFor(z))
+        << "trip sequence differs in zone " << z;
+  }
+  ASSERT_EQ(patched.todam.alpha().size(), fresh.todam.alpha().size());
+  for (size_t z = 0; z < fresh.todam.alpha().size(); ++z) {
+    EXPECT_EQ(patched.todam.alpha()[z], fresh.todam.alpha()[z])
+        << "alpha row differs in zone " << z;
+  }
+  ASSERT_EQ(patched.labels.size(), fresh.labels.size());
+  for (size_t z = 0; z < fresh.labels.size(); ++z) {
+    // EXPECT_EQ on doubles on purpose: the claim is bit-identity, not
+    // tolerance-level agreement.
+    EXPECT_EQ(patched.labels[z].mac, fresh.labels[z].mac) << "zone " << z;
+    EXPECT_EQ(patched.labels[z].acsd, fresh.labels[z].acsd) << "zone " << z;
+    EXPECT_EQ(patched.labels[z].num_trips, fresh.labels[z].num_trips);
+    EXPECT_EQ(patched.labels[z].num_infeasible,
+              fresh.labels[z].num_infeasible);
+    EXPECT_EQ(patched.labels[z].num_walk_only,
+              fresh.labels[z].num_walk_only);
+  }
+}
+
+}  // namespace staq::testing

@@ -86,4 +86,18 @@ inline gtfs::Feed TransferFeed() {
   return std::move(feed).value();
 }
 
+/// A stop that keeps timetable calls after route `suspended` is withdrawn:
+/// the first call of the lowest-id trip on any other route. Deterministic,
+/// so chained disruption tests (suspend route, then close a stop) pick a
+/// target that is still closable on any city family.
+inline gtfs::StopId StopServedOutsideRoute(const gtfs::Feed& feed,
+                                           gtfs::RouteId suspended) {
+  for (gtfs::TripId t = 0; t < feed.num_trips(); ++t) {
+    if (feed.trip(t).route == suspended) continue;
+    if (feed.trip(t).num_stop_times == 0) continue;
+    return feed.trip_begin(t)->stop;
+  }
+  std::abort();  // test feeds always have a second route
+}
+
 }  // namespace staq::testing

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,6 +65,65 @@ TEST(MutationRecordTest, DecodeRejectsTruncationEverywhere) {
   }
 }
 
+/// The five disruption records (types 4-8), explicit and all-target forms.
+std::vector<MutationRecord> DisruptionHistory(uint64_t first_sequence = 1) {
+  std::vector<MutationRecord> records;
+  records.push_back(MutationRecord::SuspendRoute(first_sequence, 3));
+  records.push_back(MutationRecord::CloseStop(first_sequence + 1, 41));
+  records.push_back(MutationRecord::ScaleHeadway(first_sequence + 2, 7, 2));
+  records.push_back(
+      MutationRecord::ScaleHeadway(first_sequence + 3, kAllTargets, 4));
+  records.push_back(MutationRecord::SetFare(first_sequence + 4, 5, 4.25));
+  records.push_back(
+      MutationRecord::SetFare(first_sequence + 5, kAllTargets, 0.0));
+  records.push_back(MutationRecord::ScaleWalkSpeed(first_sequence + 6, 0.5));
+  return records;
+}
+
+TEST(MutationRecordTest, CodecRoundTripsEveryDisruptionType) {
+  for (const MutationRecord& record : DisruptionHistory(91)) {
+    std::vector<uint8_t> bytes;
+    EncodeMutationRecord(record, &bytes);
+    store::ByteReader in(bytes.data(), bytes.size());
+    MutationRecord decoded;
+    ASSERT_TRUE(DecodeMutationRecord(&in, &decoded))
+        << MutationTypeName(record.type);
+    EXPECT_TRUE(in.exhausted());
+    EXPECT_EQ(record, decoded) << record.ToString();
+    // Truncation stays clean for the new layouts too.
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+      store::ByteReader prefix(bytes.data(), cut);
+      EXPECT_FALSE(DecodeMutationRecord(&prefix, &decoded))
+          << MutationTypeName(record.type) << " prefix " << cut;
+    }
+  }
+}
+
+TEST(MutationRecordTest, DecodeRejectsOutOfDomainDisruptions) {
+  // The encoder writes whatever it is given; the *decoder* is the trust
+  // boundary (WAL recovery, the wire), so out-of-domain payloads must come
+  // back as corruption, not as records a replay would choke on.
+  std::vector<MutationRecord> bad;
+  bad.push_back(MutationRecord::SuspendRoute(1, kAllTargets));
+  bad.push_back(MutationRecord::CloseStop(1, kAllTargets));
+  bad.push_back(MutationRecord::ScaleHeadway(1, 0, 1));  // factor must be >= 2
+  bad.push_back(MutationRecord::ScaleHeadway(1, 0, 0));
+  bad.push_back(MutationRecord::SetFare(1, 0, -0.25));
+  bad.push_back(
+      MutationRecord::SetFare(1, 0, std::numeric_limits<double>::quiet_NaN()));
+  bad.push_back(MutationRecord::ScaleWalkSpeed(1, 0.0));
+  bad.push_back(MutationRecord::ScaleWalkSpeed(1, -0.5));
+  bad.push_back(
+      MutationRecord::ScaleWalkSpeed(1, std::numeric_limits<double>::infinity()));
+  for (const MutationRecord& record : bad) {
+    std::vector<uint8_t> bytes;
+    EncodeMutationRecord(record, &bytes);
+    store::ByteReader in(bytes.data(), bytes.size());
+    MutationRecord decoded;
+    EXPECT_FALSE(DecodeMutationRecord(&in, &decoded)) << record.ToString();
+  }
+}
+
 TEST(MutationRecordTest, DecodeRejectsUnknownType) {
   std::vector<uint8_t> bytes;
   EncodeMutationRecord(SampleAdd(7), &bytes);
@@ -100,6 +160,38 @@ TEST(WalTest, AppendReadRoundTrip) {
     EXPECT_EQ(contents.value().records[i], history[i]) << "record " << i;
   }
   EXPECT_FALSE(contents.value().torn_tail);
+  EXPECT_TRUE(VerifyLog(dir).ok());
+}
+
+TEST(WalTest, PreDisruptionSegmentsRecoverAndExtendWithDisruptions) {
+  // Compatibility: the disruption extension added types 4-8 without
+  // changing the segment header version or the byte layout of types 1-3,
+  // so a log written before the extension is byte-for-byte what today's
+  // writer produces for the same records — recover it, then keep logging
+  // disruptions into the same chain.
+  std::string dir = WalDir("predisruption");
+  {
+    auto wal = MutationWal::Open(dir);
+    ASSERT_TRUE(wal.ok());
+    for (const MutationRecord& record : SampleHistory()) {
+      ASSERT_TRUE(wal.value()->Append(record).ok());
+    }
+  }
+  ASSERT_TRUE(VerifyLog(dir).ok());
+
+  auto wal = MutationWal::Open(dir);
+  ASSERT_TRUE(wal.ok()) << wal.status();
+  EXPECT_EQ(wal.value()->last_sequence(), 4u);
+  for (const MutationRecord& record : DisruptionHistory(5)) {
+    ASSERT_TRUE(wal.value()->Append(record).ok()) << record.ToString();
+  }
+  EXPECT_EQ(wal.value()->last_sequence(), 11u);
+
+  auto contents = ReadLog(dir);
+  ASSERT_TRUE(contents.ok()) << contents.status();
+  ASSERT_EQ(contents.value().records.size(), 11u);
+  EXPECT_EQ(contents.value().records[4],
+            MutationRecord::SuspendRoute(5, 3));  // the mixed log round-trips
   EXPECT_TRUE(VerifyLog(dir).ok());
 }
 

@@ -27,6 +27,12 @@
 //       resume snapshots), or diff a run's BENCH_*.json documents against
 //       the checked-in golden baselines under the tolerance policy.
 //
+//   staq_cli scenario list|run|report ...
+//       Disruption scenarios: list a pack's scenarios, run a pack against
+//       a city (each scenario applies its timetable disruptions to a live
+//       server and reports the before/after equity impact), or re-render a
+//       saved report JSON.
+//
 // Queries can also run directly on a synthetic spec without saving:
 //   staq_cli query --synth covely --scale 0.1 --poi hospital
 #include <algorithm>
@@ -49,6 +55,9 @@
 #include "core/parallel_labeling.h"
 #include "gtfs/gtfs_csv.h"
 #include "router/router.h"
+#include "scenario/pack.h"
+#include "scenario/report.h"
+#include "scenario/runner.h"
 #include "serve/request.h"
 #include "serve/scenario.h"
 #include "store/snapshot.h"
@@ -127,13 +136,21 @@ constexpr char kBenchUsage[] =
     "        [--max-executed N] [--quiet]\n"
     "  bench diff --run DIR [--baselines DIR] [--policy FILE] "
     "[--relax-perf]\n";
+constexpr char kScenarioUsage[] =
+    "  scenario list --pack FILE\n"
+    "  scenario run --pack FILE (--city-dir DIR | --synth brindale|covely "
+    "[--scale S] [--seed N])\n"
+    "           [--name SCENARIO] [--poi CATEGORY] "
+    "[--interval am|offpeak|pm|sunday]\n"
+    "           [--cost jt|gac] [--threads N] [--out DIR]\n"
+    "  scenario report --in FILE\n";
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: staq_cli <synth|info|query|snapshot|wal|bench> "
-               "[flags]\n%s%s%s%s%s%s",
+               "usage: staq_cli <synth|info|query|snapshot|wal|bench|"
+               "scenario> [flags]\n%s%s%s%s%s%s%s",
                kSynthUsage, kInfoUsage, kQueryUsage, kSnapshotUsage, kWalUsage,
-               kBenchUsage);
+               kBenchUsage, kScenarioUsage);
   return 2;
 }
 
@@ -835,6 +852,134 @@ int RunBenchDiff(const Args& args) {
   return ok ? 0 : 1;
 }
 
+int RunScenarioList(const Args& args) {
+  if (!CheckFlags(args, "scenario list", {"pack"})) {
+    return UsageFor("scenario list", kScenarioUsage);
+  }
+  if (!args.Has("pack")) {
+    std::fprintf(stderr, "scenario list: --pack FILE is required\n");
+    return UsageFor("scenario list", kScenarioUsage);
+  }
+  auto pack = scenario::ScenarioPack::Load(args.Get("pack", ""));
+  if (!pack.ok()) {
+    std::fprintf(stderr, "%s\n", pack.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-24s %s\n", "scenario", "disruptions");
+  for (const scenario::PackScenario& s : pack.value().scenarios) {
+    std::string specs;
+    for (const scenario::Disruption& d : s.disruptions) {
+      if (!specs.empty()) specs += ", ";
+      specs += d.spec;
+    }
+    std::printf("%-24s %s\n", s.name.c_str(), specs.c_str());
+  }
+  return 0;
+}
+
+int RunScenarioRun(const Args& args) {
+  if (!CheckFlags(args, "scenario run",
+                  {"pack", "city-dir", "synth", "scale", "seed", "name",
+                   "poi", "interval", "cost", "threads", "out"})) {
+    return UsageFor("scenario run", kScenarioUsage);
+  }
+  if (!args.Has("pack")) {
+    std::fprintf(stderr, "scenario run: --pack FILE is required\n");
+    return UsageFor("scenario run", kScenarioUsage);
+  }
+  auto pack = scenario::ScenarioPack::Load(args.Get("pack", ""));
+  auto category = CategoryFor(args.Get("poi", "school"));
+  auto interval = IntervalFor(args.Get("interval", "am"));
+  if (!pack.ok() || !category.ok() || !interval.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!pack.ok()       ? pack.status()
+                  : !category.ok() ? category.status()
+                                   : interval.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  // --name restricts the run to one scenario of the pack.
+  scenario::ScenarioPack selected = std::move(pack).value();
+  if (args.Has("name")) {
+    const scenario::PackScenario* found =
+        selected.Find(args.Get("name", ""));
+    if (found == nullptr) {
+      std::fprintf(stderr, "scenario run: no scenario '%s' in pack\n",
+                   args.Get("name", "").c_str());
+      return 1;
+    }
+    selected.scenarios = {*found};
+  }
+
+  scenario::RunOptions options;
+  options.interval = interval.value();
+  options.category = category.value();
+  options.server.num_threads =
+      static_cast<size_t>(std::max(0, args.GetInt("threads", 1)));
+  std::string cost = args.Get("cost", "jt");
+  if (cost == "gac") {
+    options.cost = core::CostKind::kGeneralizedCost;
+  } else if (cost != "jt") {
+    std::fprintf(stderr, "unknown cost: %s\n", cost.c_str());
+    return 1;
+  }
+
+  auto reports = scenario::RunPack([&args] { return LoadOrSynth(args); },
+                                   selected, options);
+  if (!reports.ok()) {
+    std::fprintf(stderr, "%s\n", reports.status().ToString().c_str());
+    return 1;
+  }
+  for (const scenario::EquityReport& report : reports.value()) {
+    std::printf("%s", scenario::FormatEquityReport(report).c_str());
+  }
+  if (args.Has("out")) {
+    std::string out = args.Get("out", "");
+    if (auto st = scenario::WriteReports(reports.value(), out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu reports to %s\n", reports.value().size(),
+                out.c_str());
+  }
+  return 0;
+}
+
+int RunScenarioReport(const Args& args) {
+  if (!CheckFlags(args, "scenario report", {"in"})) {
+    return UsageFor("scenario report", kScenarioUsage);
+  }
+  if (!args.Has("in")) {
+    std::fprintf(stderr, "scenario report: --in FILE is required\n");
+    return UsageFor("scenario report", kScenarioUsage);
+  }
+  auto text = ReadTextFile(args.Get("in", ""));
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto report = scenario::ParseEquityReportJson(text.value());
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.Get("in", "").c_str(),
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", scenario::FormatEquityReport(report.value()).c_str());
+  return 0;
+}
+
+int RunScenario(int argc, char** argv, const Args& args) {
+  if (argc < 3) return UsageFor("scenario", kScenarioUsage);
+  std::string verb = argv[2];
+  if (!CheckCommand("scenario", verb, {"list", "run", "report"})) {
+    return UsageFor("scenario", kScenarioUsage);
+  }
+  if (verb == "list") return RunScenarioList(args);
+  if (verb == "run") return RunScenarioRun(args);
+  return RunScenarioReport(args);
+}
+
 int RunBench(int argc, char** argv, const Args& args) {
   if (argc < 3) return UsageFor("bench", kBenchUsage);
   std::string verb = argv[2];
@@ -850,7 +995,7 @@ int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string command = argv[1];
   if (!CheckCommand("", command, {"synth", "info", "query", "snapshot",
-                                  "wal", "bench"})) {
+                                  "wal", "bench", "scenario"})) {
     return Usage();
   }
   Args args(argc, argv);
@@ -859,6 +1004,7 @@ int Main(int argc, char** argv) {
   if (command == "query") return RunQuery(args);
   if (command == "snapshot") return RunSnapshot(argc, argv, args);
   if (command == "wal") return RunWal(argc, argv, args);
+  if (command == "scenario") return RunScenario(argc, argv, args);
   return RunBench(argc, argv, args);
 }
 

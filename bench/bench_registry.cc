@@ -16,6 +16,8 @@ const std::vector<BenchInfo>& BenchTable() {
        &RunStoreBench},
       {"serve", "perf", "serving tier end-to-end latency phases",
        &RunServeBench},
+      {"load", "perf", "columnar batch speedup gate + open-loop SLO generator",
+       &RunLoadBench},
       {"net", "perf", "TCP wire protocol / WAL / replication latency",
        &RunNetBench},
       {"quality", "perf", "SSR quality cell: error + SPQ reduction at one β",

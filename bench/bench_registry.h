@@ -50,6 +50,7 @@ exp::RunResult RunLabelingBench();
 exp::RunResult RunMlBench();
 exp::RunResult RunStoreBench();
 exp::RunResult RunServeBench();
+exp::RunResult RunLoadBench();
 exp::RunResult RunNetBench();
 exp::RunResult RunQualityBench();
 exp::RunResult RunTable1Bench();

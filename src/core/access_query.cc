@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ml/kernels.h"
 #include "util/stopwatch.h"
 
 namespace staq::core {
@@ -29,6 +30,29 @@ void FinalizeAccessQueryResult(const std::vector<synth::Zone>& zones,
   result->population_fairness = WeightedJainIndex(result->mac, pop_weights);
   result->vulnerable_fairness =
       WeightedJainIndex(result->mac, vulnerable_weights);
+}
+
+void FinalizeAccessQueryResultColumnar(const std::vector<synth::Zone>& zones,
+                                       AccessQueryResult* result) {
+  result->classes = ClassifyAccessibilityColumnar(result->mac, result->acsd);
+  size_t n = result->mac.size();
+  result->mean_mac = ml::kernels::ReduceSum(n, result->mac.data()) /
+                     static_cast<double>(n);
+  result->mean_acsd = ml::kernels::ReduceSum(n, result->acsd.data()) /
+                      static_cast<double>(n);
+
+  result->fairness = JainIndexColumnar(result->mac);
+  std::vector<double> pop_weights, vulnerable_weights;
+  pop_weights.reserve(zones.size());
+  vulnerable_weights.reserve(zones.size());
+  for (const synth::Zone& z : zones) {
+    pop_weights.push_back(z.population);
+    vulnerable_weights.push_back(z.population * z.vulnerability);
+  }
+  result->population_fairness =
+      WeightedJainIndexColumnar(result->mac, pop_weights);
+  result->vulnerable_fairness =
+      WeightedJainIndexColumnar(result->mac, vulnerable_weights);
 }
 
 AccessQueryEngine::AccessQueryEngine(synth::City city,
@@ -75,6 +99,81 @@ util::Result<AccessQueryResult> AccessQueryEngine::Query(
 
   result.elapsed_s = watch.ElapsedSeconds();
   return result;
+}
+
+util::Result<std::vector<AccessQueryResult>> AccessQueryEngine::QueryVector(
+    synth::PoiCategory category, const AccessQueryOptions& base,
+    const VectorQuerySpec& spec) {
+  if (!base.exact) {
+    return util::Status::InvalidArgument(
+        "vector queries require exact=true: SSR members train per-member "
+        "models and share no labeling pass");
+  }
+  std::vector<synth::PoiCategory> categories =
+      spec.categories.empty() ? std::vector<synth::PoiCategory>{category}
+                              : spec.categories;
+  std::vector<uint64_t> seeds = spec.seeds.empty()
+                                    ? std::vector<uint64_t>{base.seed}
+                                    : spec.seeds;
+  std::vector<CostMember> members =
+      spec.cost_members.empty()
+          ? std::vector<CostMember>{{base.cost, base.gac}}
+          : spec.cost_members;
+  for (const CostMember& m : members) {
+    if (m.cost == CostKind::kGeneralizedCost && !m.gac.Valid()) {
+      return util::Status::InvalidArgument(
+          "invalid GAC weights in vector query member");
+    }
+  }
+
+  std::vector<AccessQueryResult> out;
+  out.reserve(categories.size() * seeds.size() * members.size());
+  std::vector<double> member_costs;
+  for (synth::PoiCategory cat : categories) {
+    for (uint64_t seed : seeds) {
+      if (!spec.use_columnar) {
+        // Scalar foil: each derived member is an independent full query.
+        for (const CostMember& m : members) {
+          AccessQueryOptions options = base;
+          options.seed = seed;
+          options.cost = m.cost;
+          options.gac = m.gac;
+          auto result = Query(cat, options);
+          if (!result.ok()) return result.status();
+          out.push_back(std::move(result.value()));
+        }
+        continue;
+      }
+
+      std::vector<synth::Poi> pois = city_.PoisOf(cat);
+      if (pois.empty()) {
+        return util::Status::NotFound("no POIs of requested category");
+      }
+      util::Stopwatch watch;
+      Todam todam = pipeline_->BuildGravityTodam(pois, base.gravity, seed);
+      CapturedCosts captured =
+          pipeline_->CaptureGroundTruthColumns(pois, todam);
+      for (const CostMember& m : members) {
+        AccessQueryResult result;
+        result.gravity_trips = todam.num_trips();
+        MemberCostColumn(captured.columns, m, &member_costs);
+        std::vector<ZoneLabel> labels =
+            AggregateZoneLabels(captured.columns, member_costs);
+        result.mac.resize(labels.size());
+        result.acsd.resize(labels.size());
+        for (size_t z = 0; z < labels.size(); ++z) {
+          result.mac[z] = labels[z].mac;
+          result.acsd[z] = labels[z].acsd;
+        }
+        // Each member reports the full pass it would have paid alone.
+        result.spqs = captured.spqs;
+        FinalizeAccessQueryResultColumnar(city_.zones, &result);
+        result.elapsed_s = watch.ElapsedSeconds();
+        out.push_back(std::move(result));
+      }
+    }
+  }
+  return out;
 }
 
 uint32_t AccessQueryEngine::AddPoi(synth::PoiCategory category,

@@ -55,6 +55,27 @@ struct AccessQueryResult {
 void FinalizeAccessQueryResult(const std::vector<synth::Zone>& zones,
                                AccessQueryResult* result);
 
+/// Kernel-backed FinalizeAccessQueryResult, bit-identical to the scalar
+/// form (which stays as the foil): the summary means, classes and the
+/// three Jain indices reduce through the columnar measure variants.
+void FinalizeAccessQueryResultColumnar(const std::vector<synth::Zone>& zones,
+                                       AccessQueryResult* result);
+
+/// Axes of a vector query: one request template swept across POI
+/// categories, TODAM seeds (the `t`-resample axis) and cost definitions.
+/// An empty axis means "the template's value". Derived results are ordered
+/// category-major, then seed, then cost member — the order QueryVector
+/// returns and the serve batch tier caches under.
+struct VectorQuerySpec {
+  std::vector<synth::PoiCategory> categories;
+  std::vector<uint64_t> seeds;
+  std::vector<CostMember> cost_members;
+  /// false selects the scalar foil: one independent Query per derived
+  /// member, sharing nothing. Kept for equivalence tests and the
+  /// bench_load speedup gate.
+  bool use_columnar = true;
+};
+
 /// Owns a city and serves access queries against it.
 class AccessQueryEngine {
  public:
@@ -69,6 +90,17 @@ class AccessQueryEngine {
   /// Answers an AQ for one POI category under the current scenario.
   util::Result<AccessQueryResult> Query(synth::PoiCategory category,
                                         const AccessQueryOptions& options);
+
+  /// Answers a vector of derived queries in one call. All members of a
+  /// (category, seed) group share ONE exact labeling pass — journeys do
+  /// not depend on the cost definition — and each member's measures are
+  /// derived columnarly, bit-identical to the single Query it replaces
+  /// (including `spqs`, which every single exact query would pay in full).
+  /// Requires `base.exact`: SSR templates train per-member models and have
+  /// no shared pass to amortise (InvalidArgument).
+  util::Result<std::vector<AccessQueryResult>> QueryVector(
+      synth::PoiCategory category, const AccessQueryOptions& base,
+      const VectorQuerySpec& spec);
 
   /// Dynamic scenario edit: adds a POI (e.g. a candidate facility site).
   /// Returns its id. Takes effect on the next Query().

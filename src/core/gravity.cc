@@ -8,6 +8,15 @@ double DistanceDecay(double distance_m, double decay_scale_m) {
   return std::exp(-distance_m / decay_scale_m);
 }
 
+void DistanceDecayColumn(const std::vector<synth::Zone>& zones,
+                         const geo::Point& poi_position, double decay_scale_m,
+                         double* out) {
+  for (size_t i = 0; i < zones.size(); ++i) {
+    out[i] = DistanceDecay(geo::Distance(zones[i].centroid, poi_position),
+                           decay_scale_m);
+  }
+}
+
 std::vector<double> AttractivenessRow(const geo::Point& zone_centroid,
                                       const std::vector<synth::Poi>& pois,
                                       double decay_scale_m) {

@@ -30,6 +30,15 @@ struct GravityConfig {
 /// Raw (unnormalised) attractiveness of a POI at `distance_m` from a zone.
 double DistanceDecay(double distance_m, double decay_scale_m);
 
+/// Columnar form of DistanceDecay: one POI's decay against every zone
+/// centroid, written to `out` (size >= zones.size()). Element i equals
+/// DistanceDecay(Distance(zones[i].centroid, poi_position), decay_scale_m)
+/// exactly — the decay stays a per-element std::exp, only the loop
+/// structure is columnar.
+void DistanceDecayColumn(const std::vector<synth::Zone>& zones,
+                         const geo::Point& poi_position, double decay_scale_m,
+                         double* out);
+
 /// The α row for one zone over a POI set: decay-weighted and normalised to
 /// sum to 1 (all-zero rows stay all-zero; happens only with no POIs).
 std::vector<double> AttractivenessRow(const geo::Point& zone_centroid,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/columnar.h"
 #include "util/check.h"
 
 namespace staq::core {
@@ -72,12 +73,15 @@ ZoneLabel LabelingEngine::LabelZonePerTrip(const Todam& todam, uint32_t zone,
   double sum = 0.0, sum_sq = 0.0;
   uint32_t feasible = 0;
 
-  for (const TripEntry& trip : todam.TripsFor(zone)) {
+  const std::vector<TripEntry>& trips = todam.TripsFor(zone);
+  for (size_t i = 0; i < trips.size(); ++i) {
+    const TripEntry& trip = trips[i];
     router::Journey journey = router_->Route(origin, pois[trip.poi].position,
                                              day, trip.depart);
     ++spq_count_;
     ++expansion_count_;
     ++label.num_trips;
+    if (capture_ != nullptr) capture_->Record(capture_base_ + i, journey);
     if (!journey.feasible) {
       ++label.num_infeasible;
       continue;
@@ -153,6 +157,7 @@ ZoneLabel LabelingEngine::LabelZoneBatched(const Todam& todam, uint32_t zone,
     for (size_t k = g; k < g_end; ++k) {
       const router::Journey& journey = group_journeys_[group_slots_[k - g]];
       uint32_t idx = order_[k];
+      if (capture_ != nullptr) capture_->Record(capture_base_ + idx, journey);
       uint8_t flags = 0;
       double cost = 0.0;
       if (journey.feasible) {
@@ -278,6 +283,7 @@ ZoneLabel LabelingEngine::LabelZoneProfile(const Todam& todam, uint32_t zone,
   for (size_t k = 0; k < order_.size(); ++k) {
     const router::Journey& journey = profile_journeys_[group_slots_[k]];
     uint32_t idx = order_[k];
+    if (capture_ != nullptr) capture_->Record(capture_base_ + idx, journey);
     uint8_t flags = 0;
     double cost = 0.0;
     if (journey.feasible) {
@@ -313,6 +319,17 @@ ZoneLabel LabelingEngine::LabelZoneProfile(const Todam& todam, uint32_t zone,
     double var = sum_sq / n - label.mac * label.mac;
     label.acsd = var > 0 ? std::sqrt(var) : 0.0;
   }
+  return label;
+}
+
+ZoneLabel LabelingEngine::CaptureZoneCosts(const Todam& todam, uint32_t zone,
+                                           const std::vector<synth::Poi>& pois,
+                                           gtfs::Day day,
+                                           TripCostColumns* columns) {
+  capture_ = columns;
+  capture_base_ = columns->AppendZone(todam.TripsFor(zone).size());
+  ZoneLabel label = LabelZone(todam, zone, pois, CostKind::kJourneyTime, day);
+  capture_ = nullptr;
   return label;
 }
 

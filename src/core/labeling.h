@@ -61,6 +61,8 @@ struct ZoneLabel {
   uint32_t num_walk_only = 0;
 };
 
+struct TripCostColumns;  // core/columnar.h
+
 /// Runs SPQs and aggregates. Holds a Router (stateful scratch), so one
 /// engine per thread.
 class LabelingEngine {
@@ -84,6 +86,16 @@ class LabelingEngine {
                                     const std::vector<uint32_t>& zones,
                                     const std::vector<synth::Poi>& pois,
                                     CostKind kind, gtfs::Day day);
+
+  /// Columnar capture hook (core/columnar.h): labels `zone` exactly like
+  /// LabelZone while appending every trip's cost *basis* (JT seconds, the
+  /// five GAC components, fare) to `columns` in original trip order. One
+  /// captured pass derives any number of cost definitions bit-identically
+  /// — journeys do not depend on the cost kind. Routing mode, SPQ
+  /// accounting and the returned label (kJourneyTime) are unchanged.
+  ZoneLabel CaptureZoneCosts(const Todam& todam, uint32_t zone,
+                             const std::vector<synth::Poi>& pois,
+                             gtfs::Day day, TripCostColumns* columns);
 
   /// Delta-labeling hook (serve subsystem): relabels exactly `zones` and
   /// patches the full-size label vector `labels` (indexed by zone id) in
@@ -136,6 +148,12 @@ class LabelingEngine {
   LabelingMode mode_;
   uint64_t spq_count_ = 0;
   uint64_t expansion_count_ = 0;
+
+  // Columnar capture sink: when set, every resolved journey is also
+  // recorded at capture_base_ + original trip index. Active only inside
+  // CaptureZoneCosts.
+  TripCostColumns* capture_ = nullptr;
+  size_t capture_base_ = 0;
 
   /// The zone's access stops, from the per-zone cache when warm. Batched
   /// mode only; the serve hot path relabels the same zones over and over,

@@ -38,4 +38,24 @@ double WeightedJainIndex(const std::vector<double>& values,
 double FairnessIndexError(const std::vector<double>& truth_mac,
                           const std::vector<double>& predicted_mac);
 
+// --- columnar (kernel-backed) variants ------------------------------------
+//
+// Bit-identical to the scalar functions above, which stay as the
+// equivalence foil: the ml::kernels reductions accumulate each value in
+// the same ascending-index single-accumulator order as the scalar loops
+// (splitting an interleaved multi-accumulator loop into one reduction per
+// accumulator preserves each accumulator's addition sequence).
+
+/// ClassifyAccessibility with the across-zone means reduced by kernel.
+std::vector<int> ClassifyAccessibilityColumnar(const std::vector<double>& mac,
+                                               const std::vector<double>& acsd);
+
+/// JainIndex via ReduceSum / Dot.
+double JainIndexColumnar(const std::vector<double>& values);
+
+/// WeightedJainIndex via ReduceSum / Dot. The w·x² accumulator reduces as
+/// Dot(w ⊙ x, x), preserving the scalar's (w*x)*x product association.
+double WeightedJainIndexColumnar(const std::vector<double>& values,
+                                 const std::vector<double>& weights);
+
 }  // namespace staq::core

@@ -48,6 +48,14 @@ std::vector<double> StableGravityNorms(const std::vector<synth::Zone>& zones,
                                        const std::vector<synth::Poi>& pois,
                                        double decay_scale_m);
 
+/// Columnar StableGravityNorms: one decay column per POI accumulated with
+/// an Axpy over all zones. Each norms[z] sums the same decays in the same
+/// ascending-POI order as the scalar loop above (kept as the foil), so the
+/// result is bit-identical; the batch serve/query paths use this form.
+std::vector<double> StableGravityNormsColumnar(
+    const std::vector<synth::Zone>& zones, const std::vector<synth::Poi>& pois,
+    double decay_scale_m);
+
 /// Samples the trips of one (zone, poi) pair in the edit-stable mode. The
 /// RNG stream is keyed by the POI's *stable id* (not its index or the POI
 /// count), so the same pair draws the same trips regardless of which other

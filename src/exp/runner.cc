@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <set>
@@ -233,23 +234,40 @@ std::string BuildTables(const std::vector<CellOutcome>& outcomes) {
         rows.push_back(q.row);
       }
     }
+    // RowLabel strips the seed (with the other scale knobs), so cells that
+    // differ only by seed land in one (row, beta) bucket: a single sample
+    // prints plainly, replicated cells print mean±sd (sample sd, n-1).
     auto grid = [&](const char* title, double QualityCell::* field) {
       out += "\n" + std::string(title) + "\n";
       out += util::Format("%-44s", "setting");
-      for (double beta : betas) out += util::Format(" b=%-5.0f%%", beta * 100);
+      for (double beta : betas) {
+        out += util::Format(" b=%-10.0f%%", beta * 100);
+      }
       out += "\n";
       for (const std::string& row : rows) {
         out += util::Format("%-44s", row.c_str());
         for (double beta : betas) {
-          bool found = false;
+          std::vector<double> samples;
           for (const QualityCell& q : quality) {
-            if (q.row == row && q.beta == beta) {
-              out += util::Format(" %8.2f", q.*field);
-              found = true;
-              break;
-            }
+            if (q.row == row && q.beta == beta) samples.push_back(q.*field);
           }
-          if (!found) out += util::Format(" %8s", "-");
+          if (samples.empty()) {
+            out += util::Format(" %13s", "-");
+            continue;
+          }
+          double sum = 0.0;
+          for (double v : samples) sum += v;
+          const double mean = sum / static_cast<double>(samples.size());
+          if (samples.size() == 1) {
+            out += util::Format(" %13.2f", mean);
+          } else {
+            double ss = 0.0;
+            for (double v : samples) ss += (v - mean) * (v - mean);
+            const double sd =
+                std::sqrt(ss / static_cast<double>(samples.size() - 1));
+            out += util::Format(" %13s",
+                                util::Format("%.2f±%.2f", mean, sd).c_str());
+          }
         }
         out += "\n";
       }

@@ -23,6 +23,37 @@ void AppendField(std::string* out, const char* name, uint64_t v) {
 
 }  // namespace
 
+std::vector<AqRequest> ExpandBatch(const AqBatchRequest& batch) {
+  std::vector<synth::PoiCategory> categories =
+      batch.categories.empty()
+          ? std::vector<synth::PoiCategory>{batch.request.category}
+          : batch.categories;
+  std::vector<uint64_t> seeds =
+      batch.seeds.empty() ? std::vector<uint64_t>{batch.request.options.seed}
+                          : batch.seeds;
+  std::vector<core::CostMember> members =
+      batch.cost_members.empty()
+          ? std::vector<core::CostMember>{{batch.request.options.cost,
+                                           batch.request.options.gac}}
+          : batch.cost_members;
+
+  std::vector<AqRequest> out;
+  out.reserve(categories.size() * seeds.size() * members.size());
+  for (synth::PoiCategory category : categories) {
+    for (uint64_t seed : seeds) {
+      for (const core::CostMember& member : members) {
+        AqRequest derived = batch.request;
+        derived.category = category;
+        derived.options.seed = seed;
+        derived.options.cost = member.cost;
+        derived.options.gac = member.gac;
+        out.push_back(std::move(derived));
+      }
+    }
+  }
+  return out;
+}
+
 std::string LabelKey::Canonical() const {
   std::string out = "cat=" + std::to_string(static_cast<int>(category));
   out += "|cost=";

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/access_query.h"
 
@@ -25,6 +26,24 @@ struct AqRequest {
   /// instead of occupying a worker. 0 disables the deadline.
   double deadline_s = 0.0;
 };
+
+/// One request template swept across POI categories, TODAM seeds, and cost
+/// definitions — the serve form of core::VectorQuerySpec. An empty axis
+/// means "the template's value". Every member of an exact batch that
+/// shares a (category, seed) shares ONE labeling pass on a worker and its
+/// answer lands in the ResultCache under the derived single-query key, so
+/// later single submissions of any member are cache hits.
+struct AqBatchRequest {
+  AqRequest request;
+  std::vector<synth::PoiCategory> categories;
+  std::vector<uint64_t> seeds;
+  std::vector<core::CostMember> cost_members;
+};
+
+/// Expands the template × axes into concrete single requests in the
+/// deterministic batch order: category-major, then seed, then cost member.
+/// SubmitBatch returns tickets in exactly this order.
+std::vector<AqRequest> ExpandBatch(const AqBatchRequest& batch);
 
 /// Everything an *exact* labeling depends on besides the scenario's POI
 /// set: the inputs of the edit-stable TODAM plus the cost definition.
@@ -57,6 +76,7 @@ struct ServerStats {
   uint64_t completed = 0;          // promise fulfilled with an OK result
   uint64_t failed = 0;             // fulfilled with a non-OK status
   uint64_t rejected = 0;           // refused at admission (queue full)
+  uint64_t shed = 0;               // refused at admission (queue-delay budget)
   uint64_t deadline_exceeded = 0;  // expired before a worker picked it up
   uint64_t cancelled = 0;          // withdrawn via AqTicket::TryCancel
 

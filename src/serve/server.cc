@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/columnar.h"
 #include "core/pipeline.h"
 #include "store/snapshot.h"
 #include "util/failpoint.h"
@@ -400,6 +401,13 @@ AqTicket AqServer::Submit(const AqRequest& request) {
     return ticket;
   }
 
+  if (ShouldShed()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    ticket.promise_->set_value(util::Status::Unavailable(
+        "request shed: estimated queue delay exceeds the admission budget"));
+    return ticket;
+  }
+
   // The snapshot is captured at admission: the request answers against the
   // epoch it was accepted under, whatever mutations land meanwhile.
   auto snapshot = store_.Acquire();
@@ -422,6 +430,123 @@ AqTicket AqServer::Submit(const AqRequest& request) {
 util::Result<core::AccessQueryResult> AqServer::Query(
     const AqRequest& request) {
   return Submit(request).Get();
+}
+
+bool AqServer::ShouldShed() const {
+  if (options_.max_queue_delay_s <= 0.0) return false;
+  const double ewma = service_ewma_s_.load(std::memory_order_relaxed);
+  if (ewma <= 0.0) return false;  // no completed task yet: nothing to estimate
+  const double workers = static_cast<double>(pool_.num_threads());
+  const double estimated_delay_s =
+      static_cast<double>(pool_.PendingTasks()) * ewma / workers;
+  return estimated_delay_s > options_.max_queue_delay_s;
+}
+
+void AqServer::NoteServiceTime(double seconds) {
+  constexpr double kAlpha = 0.2;  // the last ~5 tasks dominate the estimate
+  const double prev = service_ewma_s_.load(std::memory_order_relaxed);
+  const double next =
+      prev <= 0.0 ? seconds : (1.0 - kAlpha) * prev + kAlpha * seconds;
+  service_ewma_s_.store(next, std::memory_order_relaxed);
+}
+
+std::vector<AqTicket> AqServer::SubmitBatch(const AqBatchRequest& batch) {
+  std::vector<AqRequest> derived = ExpandBatch(batch);
+  std::vector<AqTicket> tickets(derived.size());
+  if (derived.empty()) return tickets;
+  submitted_.fetch_add(derived.size(), std::memory_order_relaxed);
+  for (AqTicket& ticket : tickets) {
+    ticket.server_ = this;
+    ticket.promise_ = std::make_shared<AqTicket::Promise>();
+    ticket.future_ = ticket.promise_->get_future();
+  }
+
+  // Admission is all-or-nothing: a batch is one burst of work, so either
+  // the whole sweep is accepted or the caller gets a uniform backpressure
+  // signal to retry against.
+  if (pool_.PendingTasks() >= options_.max_pending) {
+    rejected_.fetch_add(derived.size(), std::memory_order_relaxed);
+    for (AqTicket& ticket : tickets) {
+      ticket.promise_->set_value(util::Status::ResourceExhausted(
+          "serve queue full (" + std::to_string(options_.max_pending) +
+          " pending)"));
+    }
+    return tickets;
+  }
+  if (ShouldShed()) {
+    shed_.fetch_add(derived.size(), std::memory_order_relaxed);
+    for (AqTicket& ticket : tickets) {
+      ticket.promise_->set_value(util::Status::Unavailable(
+          "batch shed: estimated queue delay exceeds the admission budget"));
+    }
+    return tickets;
+  }
+
+  auto snapshot = store_.Acquire();
+  auto submitted_at = clock_->Now();
+  for (AqTicket& ticket : tickets) ticket.epoch_ = snapshot->epoch();
+
+  if (!batch.request.options.exact) {
+    // SSR members train per-member models and share no labeling pass:
+    // each derived request runs as an ordinary individual task (and keeps
+    // an individual cancellation handle).
+    for (size_t i = 0; i < derived.size(); ++i) {
+      auto promise = tickets[i].promise_;
+      try {
+        tickets[i].handle_ = pool_.SubmitHandle(
+            [this, request = derived[i], submitted_at, snapshot, promise]() {
+              RunRequest(request, submitted_at, snapshot, promise);
+            });
+      } catch (...) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        promise->set_value(StatusFromException("submission"));
+      }
+    }
+    return tickets;
+  }
+
+  // Exact members: ExpandBatch orders category-major then seed, so each
+  // (category, seed) group — the unit that shares one labeling pass — is a
+  // contiguous run. One worker task per group.
+  size_t begin = 0;
+  while (begin < derived.size()) {
+    size_t end = begin + 1;
+    while (end < derived.size() &&
+           derived[end].category == derived[begin].category &&
+           derived[end].options.seed == derived[begin].options.seed) {
+      ++end;
+    }
+    std::vector<AqRequest> group(derived.begin() + begin,
+                                 derived.begin() + end);
+    std::vector<std::shared_ptr<AqTicket::Promise>> group_promises;
+    group_promises.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) {
+      group_promises.push_back(tickets[i].promise_);
+    }
+    try {
+      pool_.SubmitHandle([this, group = std::move(group), submitted_at,
+                          snapshot, promises = std::move(group_promises)]() {
+        RunBatchGroup(group, submitted_at, snapshot, promises);
+      });
+    } catch (...) {
+      util::Status status = StatusFromException("submission");
+      for (size_t i = begin; i < end; ++i) {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        tickets[i].promise_->set_value(status);
+      }
+    }
+    begin = end;
+  }
+  return tickets;
+}
+
+std::vector<util::Result<core::AccessQueryResult>> AqServer::QueryBatch(
+    const AqBatchRequest& batch) {
+  std::vector<AqTicket> tickets = SubmitBatch(batch);
+  std::vector<util::Result<core::AccessQueryResult>> out;
+  out.reserve(tickets.size());
+  for (AqTicket& ticket : tickets) out.push_back(ticket.Get());
+  return out;
 }
 
 util::Result<core::AccessQueryResult> AqServer::QueryUncached(
@@ -451,6 +576,7 @@ void AqServer::RunRequest(const AqRequest& request,
                           util::Clock::TimePoint submitted_at,
                           std::shared_ptr<const Scenario> snapshot,
                           const std::shared_ptr<AqTicket::Promise>& promise) {
+  util::Stopwatch service_watch(clock_);
   util::Result<core::AccessQueryResult> result =
       util::Status::Internal("unreachable");
   try {
@@ -482,7 +608,134 @@ void AqServer::RunRequest(const AqRequest& request,
   } else {
     failed_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Deadline-expired tasks returned above: their near-zero "service" time
+  // would drag the shedding estimate toward zero exactly when the server
+  // is most overloaded.
+  NoteServiceTime(service_watch.ElapsedSeconds());
   promise->set_value(std::move(result));
+}
+
+void AqServer::RunBatchGroup(
+    const std::vector<AqRequest>& requests,
+    util::Clock::TimePoint submitted_at,
+    std::shared_ptr<const Scenario> snapshot,
+    const std::vector<std::shared_ptr<AqTicket::Promise>>& promises) {
+  util::Stopwatch service_watch(clock_);
+  std::vector<bool> fulfilled(requests.size(), false);
+  // Resolves every still-pending member with one status; also the
+  // degradation path for exceptions, so no waiter ever hangs.
+  auto fail_remaining = [&](const util::Status& status,
+                            std::atomic<uint64_t>* counter) {
+    for (size_t i = 0; i < requests.size(); ++i) {
+      if (fulfilled[i]) continue;
+      counter->fetch_add(1, std::memory_order_relaxed);
+      fulfilled[i] = true;
+      promises[i]->set_value(status);
+    }
+  };
+
+  try {
+    // ExpandBatch copies the template's deadline into every member.
+    const AqRequest& head = requests.front();
+    if (head.deadline_s > 0.0 &&
+        clock_->SecondsSince(submitted_at) > head.deadline_s) {
+      fail_remaining(util::Status::DeadlineExceeded(
+                         "deadline expired before execution started"),
+                     &deadline_exceeded_);
+      return;
+    }
+
+    util::Stopwatch watch(clock_);
+    const std::string epoch_prefix =
+        "e=" + std::to_string(snapshot->epoch()) + '|';
+    std::vector<std::string> keys(requests.size());
+    std::vector<size_t> missing;
+    for (size_t i = 0; i < requests.size(); ++i) {
+      keys[i] = epoch_prefix + CanonicalRequestKey(requests[i]);
+      if (auto cached = cache_.Get(keys[i])) {
+        core::AccessQueryResult result = *cached;
+        result.elapsed_s = watch.ElapsedSeconds();
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        fulfilled[i] = true;
+        promises[i]->set_value(std::move(result));
+      } else {
+        missing.push_back(i);
+      }
+    }
+
+    if (!missing.empty()) {
+      auto context = AcquireContext(*snapshot);
+      try {
+        const synth::City& city = snapshot->base_city();
+        std::vector<synth::Poi> pois = snapshot->PoisOf(head.category);
+        if (pois.empty()) {
+          fail_remaining(util::Status::NotFound(
+                             "no POIs of requested category in scenario"),
+                         &failed_);
+        } else {
+          // One shared labeling pass for the whole group, mirroring
+          // Scenario::BuildLabelState step for step (edit-stable TODAM
+          // from frozen base-city norms), so every derived answer is
+          // bit-identical to the single-request path. Journeys do not
+          // depend on the cost definition, so the JT capture sweep stands
+          // in for each member's own sweep — including its SPQ count.
+          std::vector<double> zone_norm = core::StableGravityNormsColumnar(
+              city.zones, city.PoisOf(head.category),
+              head.options.gravity.decay_scale_m);
+          core::TodamBuilder builder(city.zones, pois, snapshot->interval(),
+                                     head.options.gravity);
+          core::Todam todam =
+              builder.BuildGravityStable(head.options.seed, zone_norm);
+          const uint64_t spqs_before = context->engine.spq_count();
+          core::TripCostColumns columns;
+          for (uint32_t z = 0; z < city.zones.size(); ++z) {
+            context->engine.CaptureZoneCosts(todam, z, pois,
+                                             snapshot->interval().day,
+                                             &columns);
+          }
+          const uint64_t pass_spqs =
+              context->engine.spq_count() - spqs_before;
+          exact_state_builds_.fetch_add(1, std::memory_order_relaxed);
+
+          std::vector<double> member_costs;
+          for (size_t i : missing) {
+            const core::CostMember member{requests[i].options.cost,
+                                          requests[i].options.gac};
+            core::AccessQueryResult result;
+            result.gravity_trips = todam.num_trips();
+            result.spqs = pass_spqs;
+            core::MemberCostColumn(columns, member, &member_costs);
+            std::vector<core::ZoneLabel> labels =
+                core::AggregateZoneLabels(columns, member_costs);
+            result.mac.resize(labels.size());
+            result.acsd.resize(labels.size());
+            for (size_t z = 0; z < labels.size(); ++z) {
+              result.mac[z] = labels[z].mac;
+              result.acsd[z] = labels[z].acsd;
+            }
+            core::FinalizeAccessQueryResultColumnar(city.zones, &result);
+            result.elapsed_s = watch.ElapsedSeconds();
+            try {
+              cache_.Put(keys[i], std::make_shared<const
+                                      core::AccessQueryResult>(result));
+            } catch (...) {
+              // A failed insert costs a future hit, never the answer.
+            }
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            fulfilled[i] = true;
+            promises[i]->set_value(std::move(result));
+          }
+        }
+        ReleaseContext(std::move(context));
+      } catch (...) {
+        // Drop the possibly half-built context; resolve the rest cleanly.
+        fail_remaining(StatusFromException("batch execution"), &failed_);
+      }
+    }
+  } catch (...) {
+    fail_remaining(StatusFromException("batch execution"), &failed_);
+  }
+  NoteServiceTime(service_watch.ElapsedSeconds());
 }
 
 util::Result<core::AccessQueryResult> AqServer::Execute(
@@ -579,6 +832,7 @@ ServerStats AqServer::stats() const {
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.failed = failed_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
   stats.deadline_exceeded =
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);

@@ -96,6 +96,15 @@ class AqServer {
     int ml_threads = 1;
     /// Admission bound: Submit() rejects once this many tasks are pending.
     size_t max_pending = 256;
+    /// Latency-based admission bound (the load-shedding path): when > 0,
+    /// Submit() estimates the queueing delay a new request would see —
+    /// pending tasks × EWMA(service time) / workers — and sheds it with
+    /// kUnavailable once the estimate exceeds this budget. Shedding keeps
+    /// the tail latency of *admitted* requests bounded under overload
+    /// instead of letting the queue absorb the backlog; shed requests are
+    /// counted in ServerStats::shed, separately from queue-full
+    /// rejections. 0 disables shedding (max_pending still applies).
+    double max_queue_delay_s = 0.0;
     ResultCache::Options cache;
     ScenarioStore::Options scenario;
     /// Time source for deadlines, cache aging, and latency accounting;
@@ -211,6 +220,24 @@ class AqServer {
   /// Synchronous convenience: Submit + Get.
   util::Result<core::AccessQueryResult> Query(const AqRequest& request);
 
+  /// Vector submission: expands the batch (see ExpandBatch for the order)
+  /// and returns one ticket per derived request. Exact members of one
+  /// (category, seed) group run as ONE worker task sharing a single
+  /// labeling pass — each member's answer is derived columnarly,
+  /// bit-identical to the single-request path — and every answer is
+  /// inserted into the result cache under its derived single-query key, so
+  /// later single submissions are cache hits. Non-exact (SSR) members
+  /// share no pass and run as ordinary individual tasks. Admission
+  /// (queue-full rejection, delay-budget shedding) is decided once for the
+  /// whole batch. Batch tickets cannot be cancelled (TryCancel returns
+  /// false): members of a group do not have individual queue slots.
+  std::vector<AqTicket> SubmitBatch(const AqBatchRequest& batch);
+
+  /// Synchronous convenience: SubmitBatch + Get on every ticket, in batch
+  /// order.
+  std::vector<util::Result<core::AccessQueryResult>> QueryBatch(
+      const AqBatchRequest& batch);
+
   /// Golden reference: recomputes the answer from scratch on the caller's
   /// thread, bypassing the result cache and the label-state memo.
   util::Result<core::AccessQueryResult> QueryUncached(const AqRequest& request);
@@ -269,6 +296,19 @@ class AqServer {
                   util::Clock::TimePoint submitted_at,
                   std::shared_ptr<const Scenario> snapshot,
                   const std::shared_ptr<AqTicket::Promise>& promise);
+  /// Worker body of one exact (category, seed) batch group: one shared
+  /// labeling pass, then per-member columnar derivation, cache fill, and
+  /// promise fulfilment. `requests` and `promises` are parallel arrays.
+  void RunBatchGroup(const std::vector<AqRequest>& requests,
+                     util::Clock::TimePoint submitted_at,
+                     std::shared_ptr<const Scenario> snapshot,
+                     const std::vector<std::shared_ptr<AqTicket::Promise>>&
+                         promises);
+  /// True when the delay-budget estimate says a new submission should be
+  /// shed (see Options::max_queue_delay_s).
+  bool ShouldShed() const;
+  /// Folds one completed task's service time into the shedding estimator.
+  void NoteServiceTime(double seconds);
 
   Options options_;
   /// Resolved time source (options_.clock or the real clock). Never null.
@@ -295,6 +335,7 @@ class AqServer {
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> exact_state_builds_{0};
@@ -302,6 +343,12 @@ class AqServer {
   std::atomic<uint64_t> states_patched_{0};
   std::atomic<uint64_t> zones_relabeled_{0};
   std::atomic<uint64_t> patch_spqs_{0};
+
+  /// EWMA of per-task service seconds feeding the shedding estimate. A
+  /// rough load signal, not an accounting value: concurrent updates may
+  /// lose a sample (load and store are separate relaxed atomic ops), which
+  /// only perturbs the estimate by one decayed term.
+  std::atomic<double> service_ewma_s_{0.0};
 
   /// Declared last so ~AqServer destroys it first: ~ThreadPool finishes
   /// already-queued RunRequest tasks before joining, and those tasks touch

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
@@ -102,6 +103,48 @@ matrix b { bench = mock })");
             std::string::npos);
   EXPECT_NE(report.value().final_json.find("\"failures\": 1"),
             std::string::npos);
+}
+
+TEST(RunSweep, QualityPivotAggregatesSeedsIntoMeanAndSd) {
+  // Two seeds at beta=0.05 share one pivot bucket (RowLabel strips the
+  // seed); one seed at beta=0.10 stays a plain single-sample cell.
+  BenchRegistry registry;
+  registry["qmock"] = [](const RunSpec& spec) {
+    const double seed = std::atof(spec.params.at("seed").c_str());
+    std::string json = util::Format(
+        "{\n  \"jt_mae_min\": %.2f,\n  \"spq_reduction_pct\": %.2f\n}\n",
+        4.0 + seed, 90.0);
+    return RunResult{0, std::move(json)};
+  };
+  auto config = ConfigOrDie(R"(matrix multi {
+  bench = qmock
+  model = MLP
+  beta = 0.05
+  seed = 1, 3
+}
+matrix single {
+  bench = qmock
+  model = MLP
+  beta = 0.10
+  seed = 1
+})");
+  RunnerOptions options;
+  options.verbose = false;
+  auto report = RunSweep(config, registry, options);
+  ASSERT_TRUE(report.ok()) << report.status();
+  const std::string& tables = report.value().tables;
+  // beta=0.05 MAE: seeds {1, 3} give {5, 7} -> mean 6, sample sd sqrt(2).
+  EXPECT_NE(tables.find("6.00±1.41"), std::string::npos) << tables;
+  // Identical replicated reductions still show their (zero) spread.
+  EXPECT_NE(tables.find("90.00±0.00"), std::string::npos) << tables;
+  // The single-sample beta=0.10 cell prints without a variance suffix.
+  EXPECT_NE(tables.find("5.00"), std::string::npos) << tables;
+  EXPECT_EQ(tables.find("5.00±"), std::string::npos) << tables;
+  // Both seeds collapsed into one pivot row: the grids (unlike the
+  // per-cell summary above them) never mention the seed.
+  const size_t pivots = tables.find("JT MAE");
+  ASSERT_NE(pivots, std::string::npos) << tables;
+  EXPECT_EQ(tables.find("seed=", pivots), std::string::npos) << tables;
 }
 
 TEST(RunSweep, SecondRunOverSameStateDirIsAllCached) {

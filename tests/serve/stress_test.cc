@@ -49,6 +49,22 @@ AqRequest SsrRequest() {
   return request;
 }
 
+/// Cost-member sweep for the batch op: one shared labeling pass derives
+/// all three on a worker while mutations race it.
+AqBatchRequest BatchSweep(synth::PoiCategory category) {
+  router::GacWeights wait_heavy;
+  wait_heavy.lambda_wt = 3.5;
+  wait_heavy.transfer_penalty_s = 300.0;
+  AqBatchRequest batch;
+  batch.request = ExactRequest(category);
+  batch.cost_members = {
+      core::CostMember{core::CostKind::kJourneyTime, router::GacWeights{}},
+      core::CostMember{core::CostKind::kGeneralizedCost, router::GacWeights{}},
+      core::CostMember{core::CostKind::kGeneralizedCost, wait_heavy},
+  };
+  return batch;
+}
+
 void ExpectSameAnswer(const core::AccessQueryResult& a,
                       const core::AccessQueryResult& b) {
   ASSERT_EQ(a.mac.size(), b.mac.size());
@@ -108,6 +124,24 @@ TEST_P(ServeStressTest, MixedWorkloadIsEpochConsistent) {
       // replayable for a failing seed even though the schedule is not.
       std::mt19937_64 rng(seed * 1000003 + c);
       for (int op = 0; op < kOpsPerClient; ++op) {
+        if (rng() % 8 == 0) {
+          // Batch op: the derived tickets join the same per-epoch oracle
+          // as single submissions — a batch admitted under epoch e must be
+          // bit-identical to sequential answers on snapshot e, whatever
+          // mutations land while its group task runs.
+          AqBatchRequest batch =
+              BatchSweep(rng() % 2 == 0 ? synth::PoiCategory::kSchool
+                                        : synth::PoiCategory::kVaxCenter);
+          std::vector<AqRequest> derived = ExpandBatch(batch);
+          std::vector<AqTicket> tickets = server->SubmitBatch(batch);
+          for (size_t i = 0; i < tickets.size(); ++i) {
+            Issued entry;
+            entry.request = derived[i];
+            entry.ticket = std::move(tickets[i]);
+            issued[c].push_back(std::move(entry));
+          }
+          continue;
+        }
         Issued entry;
         entry.request = mix[rng() % mix.size()];
         entry.ticket = server->Submit(entry.request);
@@ -148,8 +182,10 @@ TEST_P(ServeStressTest, MixedWorkloadIsEpochConsistent) {
   // (epoch, canonical key) — the canonicaliser says which requests must be
   // answer-identical, so it is also the right oracle key.
   std::map<std::string, core::AccessQueryResult> goldens;
+  size_t total_issued = 0;
   int answered = 0, cancelled = 0;
   for (auto& client_issued : issued) {
+    total_issued += client_issued.size();
     for (Issued& entry : client_issued) {
       auto result = entry.ticket.Get();  // must always resolve
       if (entry.cancelled) {
@@ -173,7 +209,7 @@ TEST_P(ServeStressTest, MixedWorkloadIsEpochConsistent) {
       ++answered;
     }
   }
-  EXPECT_EQ(answered + cancelled, kClients * kOpsPerClient);
+  EXPECT_EQ(static_cast<size_t>(answered + cancelled), total_issued);
 
   // Destroy phase: tear the server down with requests still outstanding.
   // ~AqServer drains the queue, so every ticket must still resolve cleanly

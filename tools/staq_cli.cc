@@ -118,7 +118,9 @@ constexpr char kQueryUsage[] =
     "        [--interval am|offpeak|pm|sunday] [--beta B]\n"
     "        [--model MLP|OLS|COREG|MT|GNN] [--cost jt|gac]\n"
     "        [--exact] [--threads N] [--zones-out FILE]\n"
-    "        [--geojson FILE] [--report FILE]\n";
+    "        [--geojson FILE] [--report FILE]\n"
+    "        [--batch [--batch-seeds N]]  (requires --exact: sweeps\n"
+    "          jt+gac across N TODAM seeds in one labeling pass)\n";
 constexpr char kSnapshotUsage[] =
     "  snapshot save (--city-dir DIR | --synth brindale|covely [--scale S] "
     "[--seed N])\n"
@@ -311,7 +313,7 @@ int RunQuery(const Args& args) {
   if (!CheckFlags(args, "query",
                   {"city-dir", "synth", "scale", "seed", "poi", "interval",
                    "beta", "model", "cost", "exact", "threads", "zones-out",
-                   "geojson", "report"})) {
+                   "geojson", "report", "batch", "batch-seeds"})) {
     return UsageFor("query", kQueryUsage);
   }
   auto city = LoadOrSynth(args);
@@ -344,6 +346,56 @@ int RunQuery(const Args& args) {
   } else if (cost != "jt") {
     std::fprintf(stderr, "unknown cost: %s\n", cost.c_str());
     return 1;
+  }
+
+  if (args.Has("batch")) {
+    // One columnar labeling pass per seed answers the whole jt+gac sweep
+    // (journeys do not depend on the cost definition); the per-row SPQ
+    // column shows the shared pass every single query would pay in full.
+    if (!options.exact) {
+      std::fprintf(stderr,
+                   "query --batch requires --exact: SSR members train "
+                   "per-member models and share no labeling pass\n");
+      return 1;
+    }
+    if (args.Has("zones-out") || args.Has("geojson") || args.Has("report")) {
+      std::fprintf(stderr,
+                   "query --batch: --zones-out/--geojson/--report export a "
+                   "single result; drop --batch to use them\n");
+      return 1;
+    }
+    int batch_seeds = args.GetInt("batch-seeds", 2);
+    if (batch_seeds < 1) batch_seeds = 1;
+    core::VectorQuerySpec spec;
+    for (int i = 0; i < batch_seeds; ++i) {
+      spec.seeds.push_back(options.seed + static_cast<uint64_t>(i));
+    }
+    spec.cost_members.push_back({core::CostKind::kJourneyTime, {}});
+    spec.cost_members.push_back(
+        {core::CostKind::kGeneralizedCost, options.gac});
+    auto batch = engine.QueryVector(category.value(), options, spec);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "%s\n", batch.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("poi=%s interval=%s (exact batch: %d seed%s x jt,gac)\n",
+                synth::PoiCategoryName(category.value()),
+                interval.value().label.c_str(), batch_seeds,
+                batch_seeds == 1 ? "" : "s");
+    std::printf("%-6s %-5s %10s %10s %8s %10s\n", "seed", "cost", "MAC(min)",
+                "ACSD(min)", "Jain", "SPQs");
+    size_t i = 0;
+    for (uint64_t seed : spec.seeds) {
+      for (const core::CostMember& member : spec.cost_members) {
+        const core::AccessQueryResult& row = batch.value()[i++];
+        std::printf("%-6llu %-5s %10.1f %10.1f %8.3f %10llu\n",
+                    static_cast<unsigned long long>(seed),
+                    member.cost == core::CostKind::kJourneyTime ? "jt" : "gac",
+                    row.mean_mac / 60, row.mean_acsd / 60, row.fairness,
+                    static_cast<unsigned long long>(row.spqs));
+      }
+    }
+    return 0;
   }
 
   auto result = engine.Query(category.value(), options);
